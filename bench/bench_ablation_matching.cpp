@@ -1,0 +1,70 @@
+// Ablation: the decision tree (paper §4, "trades off space for dynamic
+// predicate evaluation performance") versus the naive linear scan over all
+// registered policies. google-benchmark sweeps the policy count; the tree's
+// prefix sharing should flatten the growth that the linear matcher pays.
+#include <benchmark/benchmark.h>
+
+#include "core/decision_tree.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace nakika;
+
+core::policy_set build_policies(int count) {
+  // Policies share host prefixes (sites with many path-specific policies),
+  // the case the tree is designed for.
+  core::policy_set set;
+  util::rng rng(7);
+  const char* hosts[] = {"med.nyu.edu", "law.nyu.edu", "cs.nyu.edu", "pitt.edu"};
+  for (int i = 0; i < count; ++i) {
+    auto p = std::make_shared<core::policy>();
+    const std::string host = hosts[rng.next(4)];
+    p->urls.push_back(http::url::parse_lenient(host + "/sec" + std::to_string(i % 16) +
+                                               "/leaf" + std::to_string(i)));
+    if (rng.chance(0.3)) p->clients.push_back("10.0.0.0/8");
+    if (rng.chance(0.2)) p->methods.push_back(http::method::get);
+    p->registration_order = static_cast<std::uint64_t>(i);
+    set.policies.push_back(std::move(p));
+  }
+  return set;
+}
+
+http::request probe_request() {
+  http::request r;
+  r.url = http::url::parse("http://www.med.nyu.edu/sec3/leaf3/deep/item.html");
+  r.client_ip = "10.1.2.3";
+  return r;
+}
+
+void linear_match(benchmark::State& state) {
+  const core::policy_set set = build_policies(static_cast<int>(state.range(0)));
+  const http::request r = probe_request();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::match_linear(set, r));
+  }
+}
+BENCHMARK(linear_match)->Arg(10)->Arg(50)->Arg(100)->Arg(500)->Unit(benchmark::kMicrosecond);
+
+void tree_match(benchmark::State& state) {
+  const core::policy_set set = build_policies(static_cast<int>(state.range(0)));
+  const core::decision_tree tree = core::decision_tree::build(set);
+  const http::request r = probe_request();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.match(r));
+  }
+  state.SetLabel(std::to_string(tree.node_count()) + " tree nodes");
+}
+BENCHMARK(tree_match)->Arg(10)->Arg(50)->Arg(100)->Arg(500)->Unit(benchmark::kMicrosecond);
+
+void tree_build(benchmark::State& state) {
+  const core::policy_set set = build_policies(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::decision_tree::build(set));
+  }
+}
+BENCHMARK(tree_build)->Arg(10)->Arg(100)->Arg(500)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

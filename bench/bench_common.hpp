@@ -1,0 +1,45 @@
+// Shared helpers for the evaluation harness: table printing and the
+// paper-vs-measured framing every bench reports.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nakika::bench {
+
+inline void print_header(const char* experiment, const char* paper_reference) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_reference);
+  std::printf("============================================================\n");
+}
+
+inline void print_row(const std::string& label, const std::vector<std::string>& cells,
+                      int label_width = 28, int cell_width = 14) {
+  std::printf("%-*s", label_width, label.c_str());
+  for (const auto& cell : cells) {
+    std::printf("%*s", cell_width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string ms(double seconds, int decimals = 1) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, seconds * 1000.0);
+  return buf;
+}
+
+inline std::string num(double v, int decimals = 1) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string pct(double fraction, int decimals = 1) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace nakika::bench

@@ -1,0 +1,257 @@
+// Reproduces §5.4: the three extensions built on Na Kika — electronic
+// annotations layered over another site, image transcoding for small
+// devices, and blacklist-based content blocking with dynamically generated
+// policy code. Each is executed end to end on a simulated node and its
+// script size is reported against the paper's line counts (annotations 50,
+// transcoding 80, blacklist 70; Na Kika Pages is a ~60-line layer).
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "media/image.hpp"
+#include "proxy/deployment.hpp"
+#include "sim/topology.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace nakika;
+
+int count_loc(const std::string& source) {
+  int lines = 0;
+  for (const auto& line : util::split(source, '\n')) {
+    const auto t = util::trim(line);
+    if (!t.empty() && !t.starts_with("//")) ++lines;
+  }
+  return lines;
+}
+
+// --- extension scripts (also used by the examples) ---------------------------------
+
+const char* annotation_script = R"JS(
+// Electronic annotations: interposes on the SIMMs by rewriting requests to
+// the original site and injecting note markup into returned HTML.
+var notes = new Policy();
+notes.url = [ "notes.example.org" ];
+notes.onRequest = function() {
+  Request.setUrl("http://simms.med.nyu.edu" + Request.path);
+};
+notes.onResponse = function() {
+  var ct = Response.getHeader("Content-Type");
+  if (ct == null || ct.indexOf("text/html") != 0) { return; }
+  var body = new ByteArray();
+  var c = null;
+  while (c = Response.read()) { body.append(c); }
+  var html = body.toString();
+  var stored = HardState.get("note:" + Request.path);
+  var note = stored == null ? "" :
+    "<div class=\"postit\">" + stored + "</div>";
+  html = html.replace("</body>", note + "</body>");
+  Response.write(html);
+};
+notes.register();
+var save = new Policy();
+save.url = [ "notes.example.org/annotate" ];
+save.method = [ "POST" ];
+save.onRequest = function() {
+  HardState.put("note:" + Request.query, "annotated at " + System.time());
+  Request.respond(200, "text/plain", "saved");
+};
+save.register();
+)JS";
+
+const char* transcoding_script = R"JS(
+// Image transcoding for small devices (generalizes paper Fig. 2): scales
+// images to fit a phone screen and caches the transformed content.
+var phone = new Policy();
+phone.headers = { "User-Agent": "Nokia|SonyEricsson" };
+phone.onResponse = function() {
+  var type = ImageTransformer.type(Response.contentType);
+  if (type == null) { return; }
+  var cached = Cache.get("http://transcode/" + Request.url);
+  if (cached != null) {
+    Response.setHeader("Content-Type", cached.contentType);
+    Response.write(cached.body);
+    return;
+  }
+  var body = new ByteArray();
+  var c = null;
+  while (c = Response.read()) { body.append(c); }
+  var dim = ImageTransformer.dimensions(body, type);
+  if (dim.x > 176 || dim.y > 208) {
+    var img = ImageTransformer.transform(body, type, "jpeg", 176, 208);
+    Response.setHeader("Content-Type", "image/jpeg");
+    Response.setHeader("Content-Length", img.length);
+    Response.write(img);
+    Cache.put("http://transcode/" + Request.url,
+              { contentType: "image/jpeg", body: img, ttl: 600 });
+  }
+};
+phone.register();
+)JS";
+
+// Stage 1 of the blacklist extension: fetches the blacklist and generates
+// the policy code for stage 2 (the paper's dynamically created script).
+const char* blacklist_generator_script = R"JS(
+var gen = new Policy();
+gen.onRequest = function() {
+  var cached = Cache.get("http://nakika.net/generated-blacklist.js");
+  if (cached != null) { return; }
+  var list = Fetch.fetch("http://admin.example.org/blacklist.txt");
+  var urls = list.body.toString().split("\n");
+  var code = "";
+  for (var i = 0; i < urls.length; i++) {
+    if (urls[i].length == 0) { continue; }
+    code += "var b" + i + " = new Policy();\n";
+    code += "b" + i + ".url = [ \"" + urls[i] + "\" ];\n";
+    code += "b" + i + ".onRequest = function() { Request.terminate(403); };\n";
+    code += "b" + i + ".register();\n";
+  }
+  Cache.put("http://nakika.net/generated-blacklist.js",
+            { contentType: "application/javascript", body: code, ttl: 300 });
+};
+gen.nextStages = [ "http://nakika.net/generated-blacklist.js" ];
+gen.register();
+)JS";
+
+// --- end-to-end checks ----------------------------------------------------------------
+
+bool check_transcoding() {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const auto topo = sim::build_lan(net);
+  proxy::deployment dep(net);
+  proxy::origin_server& origin = dep.create_origin(topo.origin);
+  dep.map_host("pics.example.org", origin);
+  origin.add_static(
+      "pics.example.org", "/large.png", "image/png",
+      util::make_body(media::encode(media::make_test_image(640, 480, 3),
+                                    media::image_format::png)));
+  origin.add_static_text("pics.example.org", "/nakika.js", "application/javascript",
+                         transcoding_script);
+  proxy::node_config cfg;
+  cfg.resource_controls = false;
+  proxy::nakika_node& node = dep.create_node(topo.proxy, std::move(cfg));
+
+  http::request r;
+  r.url = http::url::parse("http://pics.example.org/large.png");
+  r.client_ip = "10.0.0.1";
+  r.headers.set("User-Agent", "Nokia6600/2.0");
+  bool ok = false;
+  proxy::forward_request(net, topo.client, node, r, [&](http::response resp) {
+    const auto dims = media::read_dimensions(resp.body->span());
+    ok = resp.status == 200 && resp.headers.get_or("Content-Type", "") == "image/jpeg" &&
+         dims && dims->width <= 176 && dims->height <= 208;
+  });
+  loop.run();
+
+  // Desktop clients keep the original.
+  http::request desktop = r;
+  desktop.headers.set("User-Agent", "Mozilla/5.0");
+  bool desktop_ok = false;
+  proxy::forward_request(net, topo.client, node, desktop, [&](http::response resp) {
+    const auto dims = media::read_dimensions(resp.body->span());
+    desktop_ok = resp.status == 200 && dims && dims->width == 640;
+  });
+  loop.run();
+  return ok && desktop_ok;
+}
+
+bool check_blacklist() {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const auto topo = sim::build_lan(net);
+  proxy::deployment dep(net);
+  proxy::origin_server& origin = dep.create_origin(topo.origin);
+  dep.map_host("admin.example.org", origin);
+  dep.map_host("evil.example.org", origin);
+  dep.map_host("fine.example.org", origin);
+  origin.add_static_text("admin.example.org", "/blacklist.txt", "text/plain",
+                         "evil.example.org\nworse.example.org\n");
+  origin.add_static_text("evil.example.org", "/", "text/html", "illegal");
+  origin.add_static_text("fine.example.org", "/", "text/html", "legal");
+
+  proxy::node_config cfg;
+  cfg.resource_controls = false;
+  cfg.clientwall_source = blacklist_generator_script;
+  proxy::nakika_node& node = dep.create_node(topo.proxy, std::move(cfg));
+
+  auto status_of = [&](const std::string& url) {
+    http::request r;
+    r.url = http::url::parse(url);
+    r.client_ip = "10.0.0.1";
+    int status = 0;
+    proxy::forward_request(net, topo.client, node, r,
+                           [&](http::response resp) { status = resp.status; });
+    loop.run();
+    return status;
+  };
+  return status_of("http://evil.example.org/") == 403 &&
+         status_of("http://fine.example.org/") == 200;
+}
+
+bool check_annotations() {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const auto topo = sim::build_lan(net);
+  proxy::deployment dep(net);
+  proxy::origin_server& origin = dep.create_origin(topo.origin);
+  dep.map_host("notes.example.org", origin);
+  dep.map_host("simms.med.nyu.edu", origin);
+  origin.add_static_text("notes.example.org", "/nakika.js", "application/javascript",
+                         annotation_script);
+  origin.add_static_text("simms.med.nyu.edu", "/case1", "text/html",
+                         "<html><body>content</body></html>");
+  proxy::node_config cfg;
+  cfg.resource_controls = false;
+  proxy::nakika_node& node = dep.create_node(topo.proxy, std::move(cfg));
+
+  // Save an annotation, then fetch the page through the annotating site.
+  http::request post;
+  post.method = http::method::post;
+  post.url = http::url::parse("http://notes.example.org/annotate?/case1");
+  post.client_ip = "10.0.0.1";
+  int post_status = 0;
+  proxy::forward_request(net, topo.client, node, post,
+                         [&](http::response resp) { post_status = resp.status; });
+  loop.run();
+
+  http::request get;
+  get.url = http::url::parse("http://notes.example.org/case1");
+  get.client_ip = "10.0.0.1";
+  bool injected = false;
+  proxy::forward_request(net, topo.client, node, get, [&](http::response resp) {
+    injected = resp.status == 200 &&
+               resp.body->view().find("class=\"postit\"") != std::string_view::npos &&
+               resp.body->view().find("content") != std::string_view::npos;
+  });
+  loop.run();
+  return post_status == 200 && injected;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nakika::bench;
+  print_header("Extensions — annotations, transcoding, blacklist blocking",
+               "Na Kika (NSDI '06) §5.4 (paper LoC: annotations 50 (+180 "
+               "reused), transcoding 80, blacklist 70)");
+
+  print_row("Extension", {"Script LoC", "Works"});
+  print_row("---------", {"----------", "-----"});
+  const bool annotations_ok = check_annotations();
+  print_row("electronic annotations",
+            {std::to_string(count_loc(annotation_script)), annotations_ok ? "yes" : "NO"});
+  const bool transcode_ok = check_transcoding();
+  print_row("image transcoding",
+            {std::to_string(count_loc(transcoding_script)), transcode_ok ? "yes" : "NO"});
+  const bool blacklist_ok = check_blacklist();
+  print_row("blacklist blocking",
+            {std::to_string(count_loc(blacklist_generator_script)),
+             blacklist_ok ? "yes" : "NO"});
+
+  std::printf(
+      "\nshape checks: each extension is a few dozen lines of script, uses\n"
+      "predicate selection + dynamically scheduled stages, and runs without\n"
+      "modifying the platform — the paper's extensibility claim.\n");
+  return (annotations_ok && transcode_ok && blacklist_ok) ? 0 : 1;
+}

@@ -1,0 +1,177 @@
+// Reproduces §5.1 "Resource Controls": throughput of a Na Kika node under
+// flash-crowd load with and without congestion-based resource management,
+// and with a misbehaving script that consumes all available memory by
+// repeatedly doubling a string.
+//
+// Paper: 30 generators: 294 rps without vs 396 rps with controls; 90
+// generators: 229 vs 356; with the misbehaving script at 30 generators the
+// throughput collapses to 47 rps without controls but holds at 382 with.
+// Runs with controls reject < 0.55% by throttling and < 0.08% by
+// termination.
+#include "bench_common.hpp"
+#include "proxy/deployment.hpp"
+#include "sim/topology.hpp"
+#include "workload/clients.hpp"
+
+namespace {
+
+using namespace nakika;
+
+constexpr const char* page_host = "www.google.example";
+constexpr const char* hog_host = "hog.example";
+
+const char* match1_script = R"JS(
+var m = new Policy();
+m.url = [ "www.google.example" ];
+m.onRequest = function() {};
+m.onResponse = function() {};
+m.register();
+)JS";
+
+// The misbehaving script. Without per-context limits or the monitor, each
+// request performs a large amount of real allocation and CPU work.
+const char* hog_script = R"JS(
+var hog = new Policy();
+hog.url = [ "hog.example" ];
+hog.onResponse = function() {
+  var s = "xxxxxxxxxxxxxxxx";
+  for (var i = 0; i < 20; i++) { s = s + s; }
+  Response.setHeader("X-Hog", s.length);
+};
+hog.register();
+)JS";
+
+const char* admin_wall2 = R"JS(
+var wall = new Policy();
+wall.onRequest = function() {};
+wall.onResponse = function() {};
+wall.register();
+)JS";
+
+struct run_result {
+  double rps = 0;
+  double throttled_fraction = 0;
+  double terminated_fraction = 0;
+};
+
+run_result run(bool controls, bool with_hog, std::size_t clients, double duration_s) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::three_tier topo = sim::build_lan(net);
+  const sim::node_id hog_client = net.add_node("hog-client");
+  net.set_route(hog_client, topo.proxy, 0.0002);
+  proxy::deployment dep(net);
+  proxy::origin_server& origin = dep.create_origin(topo.origin);
+  dep.map_host(page_host, origin);
+  dep.map_host(hog_host, origin);
+  origin.add_static_text(page_host, "/", "text/html", std::string(2096, 'g'), 36000);
+  origin.add_static_text(page_host, "/nakika.js", "application/javascript", match1_script,
+                         36000);
+  origin.add_static_text(hog_host, "/nakika.js", "application/javascript", hog_script, 36000);
+  origin.add_static_text(hog_host, "/item", "text/plain", "x", 0);  // uncacheable
+
+  proxy::node_config cfg;
+  cfg.resource_controls = controls;
+  cfg.control_interval = 0.25;
+  cfg.control_timeout = 0.25;
+  cfg.clientwall_source = admin_wall2;
+  cfg.serverwall_source = admin_wall2;
+  // Congestion thresholds for one node's worth of capacity.
+  cfg.capacities.cpu_seconds_per_second = 1.0;
+  cfg.capacities.memory_bytes_per_second = 24e6;
+  if (!controls) {
+    // "Without resource controls": no sandbox limits either.
+    cfg.script_limits.heap_bytes = 0;
+    cfg.script_limits.ops = 0;
+  } else {
+    // The sandbox bounds any single pipeline's memory, standing in for the
+    // paper's per-pipeline OS processes that the monitor can kill.
+    cfg.script_limits.heap_bytes = 2 * 1024 * 1024;
+  }
+  proxy::nakika_node& node = dep.create_node(topo.proxy, std::move(cfg));
+  if (controls) node.start_monitor();
+
+  workload::measurement m;
+  workload::load_driver driver(
+      net, topo.client, [&](std::size_t) { return &node; },
+      [&](std::size_t, std::size_t) -> std::optional<http::request> {
+        http::request r;
+        r.url = http::url::parse(std::string("http://") + page_host + "/");
+        r.client_ip = "10.0.0.1";
+        return r;
+      });
+  workload::driver_options opts;
+  opts.clients = clients;
+  opts.deadline_seconds = duration_s;
+  opts.ramp_seconds = 0.2;
+  driver.start(opts, m);
+
+  workload::measurement hog_m;
+  workload::load_driver hog_driver(
+      net, hog_client, [&](std::size_t) { return &node; },
+      [&](std::size_t, std::size_t seq) -> std::optional<http::request> {
+        http::request r;
+        r.url = http::url::parse(std::string("http://") + hog_host +
+                                 "/item?" + std::to_string(seq));
+        r.client_ip = "10.0.0.2";
+        return r;
+      });
+  if (with_hog) {
+    workload::driver_options hog_opts;
+    hog_opts.clients = 1;  // "one instance of a misbehaving script"
+    hog_opts.deadline_seconds = duration_s;
+    hog_opts.think_time_seconds = 0.05;  // the attacker retries, not spins
+    hog_driver.start(hog_opts, hog_m);
+  }
+
+  loop.run_until(duration_s);
+  m.set_window(0.0, duration_s);
+
+  run_result out;
+  out.rps = m.requests_per_second();
+  const auto& counters = node.counters();
+  out.throttled_fraction = counters.throttled_fraction();
+  out.terminated_fraction = counters.terminated_fraction();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nakika::bench;
+  print_header("Resource controls — throughput under load and under attack",
+               "Na Kika (NSDI '06) §5.1 Resource Controls "
+               "(paper: 30 gen 294→396 rps, 90 gen 229→356 rps, "
+               "+misbehaving script 47 vs 382 rps)");
+
+  const double duration = 10.0;
+  print_row("Scenario", {"Controls", "Requests/s", "Throttled", "Terminated"});
+  print_row("--------", {"--------", "----------", "---------", "----------"});
+
+  double collapse_rps = 0;
+  double protected_rps = 0;
+  for (const std::size_t clients : {30u, 90u}) {
+    for (const bool controls : {false, true}) {
+      const run_result r = run(controls, /*with_hog=*/false, clients, duration);
+      print_row(std::to_string(clients) + " generators",
+                {controls ? "on" : "off", num(r.rps, 0), pct(r.throttled_fraction, 2),
+                 pct(r.terminated_fraction, 3)});
+    }
+  }
+  for (const bool controls : {false, true}) {
+    const run_result r = run(controls, /*with_hog=*/true, 30, duration);
+    if (!controls) collapse_rps = r.rps;
+    if (controls) protected_rps = r.rps;
+    print_row("30 gen + misbehaving",
+              {controls ? "on" : "off", num(r.rps, 0), pct(r.throttled_fraction, 2),
+               pct(r.terminated_fraction, 3)});
+  }
+
+  std::printf(
+      "\nshape checks: without controls the misbehaving script collapses\n"
+      "throughput (paper 294 -> 47 rps); with controls throughput holds\n"
+      "(measured %.0f vs %.0f rps) while rejecting only a small fraction of\n"
+      "requests (paper: <0.55%% throttled, <0.08%% terminated).\n",
+      collapse_rps, protected_rps);
+  return 0;
+}

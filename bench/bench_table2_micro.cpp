@@ -1,0 +1,190 @@
+// Reproduces paper Table 1 (configuration legend) and Table 2: latency for a
+// client fetching a static 2,096-byte page (Google's home page without
+// inline images) through nine proxy configurations, under cold and warm
+// caches, on a switched 100 Mbit LAN.
+//
+// Absolute values differ from the paper (our engine and cost model, not
+// Apache/SpiderMonkey on a 2.8 GHz Pentium 4); the orderings to check are
+// Proxy < DHT < Admin < Pred-0 <= Pred-1 <= Match-1 <= Pred-10 < Pred-50 <
+// Pred-100 under a cold cache, and everything collapsing to a small constant
+// under a warm cache.
+#include <functional>
+#include <optional>
+
+#include "bench_common.hpp"
+#include "proxy/deployment.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace nakika;
+
+constexpr const char* page_host = "www.google.example";
+const std::string page_body(2096, 'g');
+
+std::string pred_site_script(int policies, bool include_match) {
+  // `policies` non-matching policy objects (distinct URL predicates), plus
+  // optionally one matching policy with empty event handlers.
+  std::string src;
+  for (int i = 0; i < policies; ++i) {
+    src += "var p" + std::to_string(i) + " = new Policy();\n";
+    src += "p" + std::to_string(i) + ".url = [ \"other" + std::to_string(i) +
+           ".example.org\" ];\n";
+    src += "p" + std::to_string(i) + ".onRequest = function() {};\n";
+    src += "p" + std::to_string(i) + ".register();\n";
+  }
+  if (include_match) {
+    src += "var m = new Policy();\n";
+    src += "m.url = [ \"" + std::string(page_host) + "\" ];\n";
+    src += "m.onRequest = function() {};\n";
+    src += "m.onResponse = function() {};\n";
+    src += "m.register();\n";
+  }
+  return src;
+}
+
+const char* admin_wall = R"JS(
+var wall = new Policy();
+wall.onRequest = function() {};
+wall.onResponse = function() {};
+wall.register();
+)JS";
+
+struct config_run {
+  double cold_ms = 0;
+  double warm_ms = 0;
+};
+
+// Builds a fresh LAN deployment per configuration and measures the first
+// (cold) and second (warm) request.
+config_run run_config(const std::string& name, bool use_dht, bool admin_stages,
+                      std::optional<std::string> site_script) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::three_tier topo = sim::build_lan(net);
+  proxy::deployment dep(net);
+  proxy::origin_server& origin = dep.create_origin(topo.origin);
+  dep.map_host(page_host, origin);
+  origin.add_static_text(page_host, "/", "text/html", page_body, 3600);
+  if (site_script) {
+    origin.add_static_text(page_host, "/nakika.js", "application/javascript", *site_script,
+                           3600);
+  }
+
+  proxy::http_endpoint* endpoint = nullptr;
+  if (name == "Proxy") {
+    endpoint = &dep.create_plain_proxy(topo.proxy);
+  } else {
+    proxy::node_config cfg;
+    cfg.resource_controls = false;  // "resource control is disabled" (§5.1)
+    cfg.scripting = !use_dht || admin_stages;  // DHT config: proxy + DHT only
+    if (admin_stages) {
+      cfg.clientwall_source = admin_wall;
+      cfg.serverwall_source = admin_wall;
+    }
+    proxy::nakika_node& node = dep.create_node(topo.proxy, std::move(cfg));
+    if (use_dht) {
+      // Peers so the DHT has a ring to consult (the paper integrates Coral).
+      const sim::node_id peer1 = net.add_node("peer1");
+      const sim::node_id peer2 = net.add_node("peer2");
+      net.set_route(topo.proxy, peer1, 0.0002);
+      net.set_route(topo.proxy, peer2, 0.0002);
+      net.set_route(peer1, peer2, 0.0002);
+      net.set_route(topo.client, peer1, 0.0002);
+      net.set_route(topo.client, peer2, 0.0002);
+      net.set_route(topo.origin, peer1, 0.0002);
+      net.set_route(topo.origin, peer2, 0.0002);
+      dep.enable_overlay();
+      dep.create_node(peer1, [] {
+        proxy::node_config c;
+        c.resource_controls = false;
+        return c;
+      }());
+      dep.create_node(peer2, [] {
+        proxy::node_config c;
+        c.resource_controls = false;
+        return c;
+      }());
+      loop.run();  // settle joins
+    }
+    endpoint = &node;
+  }
+
+  auto fetch_once = [&]() {
+    http::request r;
+    r.url = http::url::parse(std::string("http://") + page_host + "/");
+    r.client_ip = "10.0.0.1";
+    const double start = loop.now();
+    double finished = start;
+    proxy::forward_request(net, topo.client, *endpoint, r,
+                           [&](http::response resp) {
+                             finished = loop.now();
+                             if (resp.status != 200) {
+                               std::fprintf(stderr, "unexpected status %d in %s\n",
+                                            resp.status, name.c_str());
+                             }
+                           });
+    loop.run();
+    return finished - start;
+  };
+
+  config_run out;
+  out.cold_ms = fetch_once() * 1000.0;
+  out.warm_ms = fetch_once() * 1000.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nakika::bench;
+
+  print_header("Table 1 — micro-benchmark configurations",
+               "Na Kika (NSDI '06), Table 1");
+  std::printf(
+      "  Proxy    a regular (plain) proxy cache\n"
+      "  DHT      the proxy with an integrated DHT (2 peer nodes)\n"
+      "  Admin    Na Kika node, both administrative stages match one\n"
+      "           predicate and run empty event handlers\n"
+      "  Pred-n   Admin plus a site stage evaluating n policy objects,\n"
+      "           none matching\n"
+      "  Match-1  Admin plus a site stage with one matching predicate and\n"
+      "           empty event handlers\n");
+
+  print_header(
+      "Table 2 — latency (ms) for a static 2,096-byte page, cold vs warm cache",
+      "Na Kika (NSDI '06), Table 2 "
+      "(paper: Proxy 3/1, DHT 5/1, Admin 16/2, Pred-0 19/2, Pred-1 20/2, "
+      "Match-1 21/2, Pred-10 22/2, Pred-50 30/2, Pred-100 41/2)");
+
+  print_row("Configuration", {"Cold (ms)", "Warm (ms)"});
+  print_row("-------------", {"---------", "---------"});
+
+  struct spec {
+    std::string name;
+    bool dht;
+    bool admin;
+    std::optional<std::string> site_script;
+  };
+  const spec specs[] = {
+      {"Proxy", false, false, std::nullopt},
+      {"DHT", true, false, std::nullopt},
+      {"Admin", false, true, std::nullopt},
+      {"Pred-0", false, true, pred_site_script(0, false)},
+      {"Pred-1", false, true, pred_site_script(1, false)},
+      {"Match-1", false, true, pred_site_script(0, true)},
+      {"Pred-10", false, true, pred_site_script(10, false)},
+      {"Pred-50", false, true, pred_site_script(50, false)},
+      {"Pred-100", false, true, pred_site_script(100, false)},
+  };
+  for (const spec& s : specs) {
+    const config_run r = run_config(s.name, s.dht, s.admin, s.site_script);
+    print_row(s.name, {num(r.cold_ms, 1), num(r.warm_ms, 1)});
+  }
+
+  std::printf(
+      "\nshape checks: DHT > Proxy (cold), Admin adds scripting-pipeline cost,\n"
+      "Pred-n grows with n (script fetch + parse dominate cold), warm-cache\n"
+      "latencies collapse to a small constant for every configuration.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// The paper's third extension (§5.4): content blocking from a blacklist.
+// Security policy expressed as ordinary scripts: a static generator stage
+// reads the blacklist from a preconfigured URL and dynamically generates the
+// policy code for a second stage, which denies access (paper Fig. 5 style).
+#include <cstdio>
+
+#include "proxy/deployment.hpp"
+#include "sim/topology.hpp"
+
+using namespace nakika;
+
+namespace {
+
+// Stage 1: generate stage-2 code from the blacklist (70 lines in the paper).
+const char* generator_script = R"JS(
+var BLACKLIST_URL = "http://admin.nakika.example/blacklist.txt";
+var GENERATED_URL = "http://nakika.net/generated-blacklist.js";
+
+var gen = new Policy();
+gen.onRequest = function() {
+  if (Cache.get(GENERATED_URL) != null) {
+    return;                                   // still fresh
+  }
+  var list = Fetch.fetch(BLACKLIST_URL);
+  var urls = list.body.toString().split("\n");
+  var code = "";
+  for (var i = 0; i < urls.length; i++) {
+    var entry = urls[i].trim();
+    if (entry.length == 0 || entry.startsWith("#")) {
+      continue;
+    }
+    code += "var block" + i + " = new Policy();\n";
+    code += "block" + i + ".url = [ \"" + entry + "\" ];\n";
+    code += "block" + i + ".onRequest = function() { Request.terminate(403); };\n";
+    code += "block" + i + ".register();\n";
+  }
+  Cache.put(GENERATED_URL,
+            { contentType: "application/javascript", body: code, ttl: 300 });
+  Log.write("regenerated blacklist policy for " + urls.length + " entries");
+};
+gen.nextStages = [ GENERATED_URL ];
+gen.register();
+)JS";
+
+void fetch(sim::network& net, sim::node_id client, proxy::nakika_node& node,
+           const std::string& url) {
+  http::request r;
+  r.url = http::url::parse(url);
+  r.client_ip = "10.0.0.1";
+  proxy::forward_request(net, client, node, r, [&url](http::response resp) {
+    std::printf("%-34s -> %d %s\n", url.c_str(), resp.status, resp.reason.c_str());
+  });
+  net.loop().run();
+}
+
+}  // namespace
+
+int main() {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::three_tier topo = sim::build_lan(net);
+  proxy::deployment dep(net);
+  proxy::origin_server& origin = dep.create_origin(topo.origin);
+  dep.map_host("admin.nakika.example", origin);
+  dep.map_host("warez.example", origin);
+  dep.map_host("piracy.example", origin);
+  dep.map_host("news.example", origin);
+
+  origin.add_static_text("admin.nakika.example", "/blacklist.txt", "text/plain",
+                         "# deny access to illegal content through Na Kika\n"
+                         "warez.example\n"
+                         "piracy.example/downloads\n");
+  origin.add_static_text("warez.example", "/anything", "text/html", "bad");
+  origin.add_static_text("piracy.example", "/downloads/file", "text/html", "bad");
+  origin.add_static_text("piracy.example", "/about", "text/html", "fine");
+  origin.add_static_text("news.example", "/today", "text/html", "fine");
+
+  // The node administrator installs the generator as the client wall —
+  // administrative control over clients' access (paper §3.1, first stage).
+  proxy::node_config cfg;
+  cfg.clientwall_source = generator_script;
+  proxy::nakika_node& node = dep.create_node(topo.proxy, std::move(cfg));
+
+  std::printf("blacklist-based content blocking (paper §5.4, third extension)\n\n");
+  fetch(net, topo.client, node, "http://news.example/today");
+  fetch(net, topo.client, node, "http://warez.example/anything");
+  fetch(net, topo.client, node, "http://piracy.example/downloads/file");
+  fetch(net, topo.client, node, "http://piracy.example/about");
+
+  for (const auto& site : {"http://news.example", "http://warez.example"}) {
+    for (const auto& line : node.site_log(site)) {
+      std::printf("log [%s]: %s\n", site, line.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "cache/http_cache.hpp"
+
+namespace nakika::cache {
+
+http_cache::http_cache(std::size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+std::optional<http::response> http_cache::get(const std::string& url, std::int64_t now) {
+  const auto it = entries_.find(url);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.expires_at <= now) {
+    ++stats_.expirations;
+    ++stats_.misses;
+    drop(url);
+    return std::nullopt;
+  }
+  touch(url, it->second);
+  ++stats_.hits;
+  return it->second.response;
+}
+
+bool http_cache::put(const std::string& url, const http::response& r, std::int64_t now) {
+  const http::freshness f = http::compute_freshness(r, now);
+  if (!f.cacheable) return false;
+  put_with_expiry(url, r, f.expires_at, now);
+  return true;
+}
+
+void http_cache::put_with_expiry(const std::string& url, const http::response& r,
+                                 std::int64_t expires_at, std::int64_t now) {
+  if (expires_at <= now) return;
+  const std::size_t body_bytes = r.body_size() + 256;  // headers overhead estimate
+  if (capacity_bytes_ != 0 && body_bytes > capacity_bytes_) return;
+
+  drop(url);  // replace any existing entry
+  evict_for(body_bytes);
+
+  lru_.push_front(url);
+  entry e;
+  e.response = r;
+  e.expires_at = expires_at;
+  e.charged_bytes = body_bytes;
+  e.lru_it = lru_.begin();
+  bytes_used_ += body_bytes;
+  entries_.emplace(url, std::move(e));
+  ++stats_.insertions;
+}
+
+bool http_cache::remove(const std::string& url) {
+  if (!entries_.contains(url)) return false;
+  drop(url);
+  return true;
+}
+
+void http_cache::clear() {
+  entries_.clear();
+  lru_.clear();
+  bytes_used_ = 0;
+}
+
+void http_cache::touch(const std::string& url, entry& e) {
+  lru_.erase(e.lru_it);
+  lru_.push_front(url);
+  e.lru_it = lru_.begin();
+}
+
+void http_cache::evict_for(std::size_t incoming_bytes) {
+  if (capacity_bytes_ == 0) return;
+  while (bytes_used_ + incoming_bytes > capacity_bytes_ && !lru_.empty()) {
+    ++stats_.evictions;
+    drop(lru_.back());
+  }
+}
+
+void http_cache::drop(const std::string& url) {
+  const auto it = entries_.find(url);
+  if (it == entries_.end()) return;
+  bytes_used_ -= it->second.charged_bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+}  // namespace nakika::cache

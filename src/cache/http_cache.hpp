@@ -1,0 +1,76 @@
+// Expiration-based proxy cache (the role mod_proxy's cache plays in the
+// paper). Keys are full URLs; freshness follows http::compute_freshness;
+// capacity is bounded with LRU eviction. The same cache stores original and
+// processed content — the paper's pipeline caches transformed responses by
+// rewritten URL.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "http/cache_control.hpp"
+#include "http/message.hpp"
+
+namespace nakika::cache {
+
+struct cache_stats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expirations = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class http_cache {
+ public:
+  // `capacity_bytes` bounds the sum of cached body sizes (0 = unlimited).
+  explicit http_cache(std::size_t capacity_bytes = 256 * 1024 * 1024);
+
+  // Fresh entry for `url` at virtual time `now`, or nullopt. Expired entries
+  // are dropped on access.
+  [[nodiscard]] std::optional<http::response> get(const std::string& url, std::int64_t now);
+
+  // Stores if the response is cacheable per its headers. Returns true when
+  // stored. Oversized bodies (> capacity) are never stored.
+  bool put(const std::string& url, const http::response& r, std::int64_t now);
+
+  // Stores unconditionally with an explicit expiry (used for processed
+  // content whose lifetime the script chooses).
+  void put_with_expiry(const std::string& url, const http::response& r,
+                       std::int64_t expires_at, std::int64_t now);
+
+  bool remove(const std::string& url);
+  void clear();
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
+  [[nodiscard]] const cache_stats& stats() const { return stats_; }
+
+ private:
+  struct entry {
+    http::response response;
+    std::int64_t expires_at = 0;
+    std::size_t charged_bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void touch(const std::string& url, entry& e);
+  void evict_for(std::size_t incoming_bytes);
+  void drop(const std::string& url);
+
+  std::size_t capacity_bytes_;
+  std::size_t bytes_used_ = 0;
+  std::unordered_map<std::string, entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  cache_stats stats_;
+};
+
+}  // namespace nakika::cache

@@ -1,0 +1,29 @@
+#include "cache/script_cache.hpp"
+
+#include <stdexcept>
+
+namespace nakika::cache {
+
+negative_cache::negative_cache(std::int64_t ttl_seconds) : ttl_seconds_(ttl_seconds) {
+  if (ttl_seconds <= 0) {
+    throw std::invalid_argument("negative_cache: ttl must be positive");
+  }
+}
+
+bool negative_cache::contains(const std::string& key, std::int64_t now) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  if (it->second <= now) {
+    entries_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+void negative_cache::insert(const std::string& key, std::int64_t now) {
+  entries_[key] = now + ttl_seconds_;
+}
+
+bool negative_cache::remove(const std::string& key) { return entries_.erase(key) > 0; }
+
+}  // namespace nakika::cache

@@ -1,0 +1,70 @@
+// Caches around script loading. Two pieces:
+//   - ttl_cache<T>: generic expiring cache; core uses it for compiled
+//     programs and decision trees ("decision trees are cached in a dedicated
+//     in-memory cache", paper §4).
+//   - negative_cache: remembers that a site publishes no nakika.js, "thus
+//     avoiding repeated checks for the nakika.js resource" (paper §4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace nakika::cache {
+
+template <typename T>
+class ttl_cache {
+ public:
+  [[nodiscard]] std::optional<T> get(const std::string& key, std::int64_t now) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    if (it->second.expires_at <= now) {
+      entries_.erase(it);
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    return it->second.item;
+  }
+
+  void put(const std::string& key, T item, std::int64_t expires_at) {
+    entries_[key] = {std::move(item), expires_at};
+  }
+
+  bool remove(const std::string& key) { return entries_.erase(key) > 0; }
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct entry {
+    T item;
+    std::int64_t expires_at = 0;
+  };
+  std::unordered_map<std::string, entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// Remembers "this URL does not exist" verdicts with a TTL.
+class negative_cache {
+ public:
+  explicit negative_cache(std::int64_t ttl_seconds = 300);
+
+  [[nodiscard]] bool contains(const std::string& key, std::int64_t now);
+  void insert(const std::string& key, std::int64_t now);
+  bool remove(const std::string& key);
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::int64_t ttl_seconds_;
+  std::unordered_map<std::string, std::int64_t> entries_;  // key -> expiry
+};
+
+}  // namespace nakika::cache

@@ -1,0 +1,44 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/sandbox.hpp"
+
+namespace nakika::core {
+
+void cost_model::calibrate() {
+  // Measure context creation and a representative stage load on this host.
+  const auto t0 = std::chrono::steady_clock::now();
+  sandbox probe;
+  const double create_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+  static const char* probe_script = R"JS(
+    var p = new Policy();
+    p.url = [ "calibrate.example.org/a/b" ];
+    p.onResponse = function() { var x = 0; for (var i = 0; i < 100; i++) { x += i; } };
+    p.register();
+  )JS";
+  stage_load_stats stats;
+  probe.load_stage("http://calibrate/probe.js", probe_script, 1, &stats);
+  const double load_s = stats.parse_seconds + stats.execute_seconds + stats.tree_seconds;
+
+  // Scale engine-side constants by measured / default, clamped.
+  const double create_factor =
+      std::clamp(create_s / context_create, 0.05, 20.0);
+  const double exec_factor =
+      std::clamp(load_s / parse_exec(200), 0.05, 20.0);
+
+  context_create *= create_factor;
+  context_reuse *= create_factor;
+  parse_exec_base *= exec_factor;
+  parse_exec_per_byte *= exec_factor;
+  tree_cache_hit *= exec_factor;
+  predicate_eval_base *= exec_factor;
+  predicate_eval_per_policy *= exec_factor;
+  handler_dispatch *= exec_factor;
+}
+
+}  // namespace nakika::core

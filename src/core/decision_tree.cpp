@@ -1,0 +1,196 @@
+#include "core/decision_tree.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace nakika::core {
+
+struct decision_tree::request_view {
+  std::vector<std::string> host_rev;
+  std::uint16_t port;
+  std::vector<std::string> path;
+  const http::request* request;
+};
+
+namespace {
+
+// Specificity contribution of a client spec, independent of the request
+// (exact IP = 4, CIDR = prefix octets, domain = label count).
+int client_spec_score(const std::string& spec) {
+  if (spec.find('/') != std::string::npos) {
+    const auto slash = spec.find('/');
+    const auto bits = nakika::util::parse_int(std::string_view(spec).substr(slash + 1));
+    return bits ? static_cast<int>((*bits + 7) / 8) : 0;
+  }
+  if (!http::ip_components(spec).empty()) return 4;
+  return static_cast<int>(nakika::util::split(spec, '.').size());
+}
+
+}  // namespace
+
+decision_tree decision_tree::build(const policy_set& set) {
+  decision_tree tree;
+  tree.policy_count_ = set.policies.size();
+
+  for (const auto& p : set.policies) {
+    // Cartesian expansion: "if a property contains multiple values, nodes
+    // are added along multiple paths" (paper §4). Null properties skip their
+    // levels entirely.
+    const std::size_t url_paths = p->urls.empty() ? 1 : p->urls.size();
+    const std::size_t client_paths = p->clients.empty() ? 1 : p->clients.size();
+    const std::size_t method_paths = p->methods.empty() ? 1 : p->methods.size();
+
+    for (std::size_t ui = 0; ui < url_paths; ++ui) {
+      for (std::size_t ci = 0; ci < client_paths; ++ci) {
+        for (std::size_t mi = 0; mi < method_paths; ++mi) {
+          node* cursor = tree.root_.get();
+          specificity score{0, 0, 0, 0};
+
+          if (!p->urls.empty()) {
+            const http::url& u = p->urls[ui];
+            for (const auto& comp : u.host_components_reversed()) {
+              auto& child = cursor->host_children[util::to_lower(comp)];
+              if (!child) child = std::make_unique<node>();
+              cursor = child.get();
+              ++score[0];
+            }
+            auto& port_child = cursor->port_children[u.port()];
+            if (!port_child) port_child = std::make_unique<node>();
+            cursor = port_child.get();
+            ++score[0];
+            for (const auto& comp : u.path_components()) {
+              auto& child = cursor->path_children[comp];
+              if (!child) child = std::make_unique<node>();
+              cursor = child.get();
+              ++score[0];
+            }
+          }
+
+          if (!p->clients.empty()) {
+            const std::string& spec = p->clients[ci];
+            node::client_child* found = nullptr;
+            for (auto& cc : cursor->client_children) {
+              if (cc.spec == spec) {
+                found = &cc;
+                break;
+              }
+            }
+            if (found == nullptr) {
+              cursor->client_children.push_back({spec, std::make_unique<node>()});
+              found = &cursor->client_children.back();
+            }
+            cursor = found->next.get();
+            score[1] = client_spec_score(spec);
+          }
+
+          if (!p->methods.empty()) {
+            auto& child = cursor->method_children[p->methods[mi]];
+            if (!child) child = std::make_unique<node>();
+            cursor = child.get();
+            score[2] = 1;
+          }
+
+          for (const auto& h : p->headers) {
+            node::header_child* found = nullptr;
+            for (auto& hc : cursor->header_children) {
+              if (util::iequals(hc.pred.name, h.name) &&
+                  hc.pred.pattern_source == h.pattern_source) {
+                found = &hc;
+                break;
+              }
+            }
+            if (found == nullptr) {
+              cursor->header_children.push_back({h, std::make_unique<node>()});
+              found = &cursor->header_children.back();
+            }
+            cursor = found->next.get();
+            ++score[3];
+          }
+
+          cursor->terminals.emplace_back(p, score);
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+void decision_tree::walk(const node& n, const request_view& rv, std::size_t host_index,
+                         std::size_t path_index, match_result& best,
+                         std::uint64_t& best_order) {
+  for (const auto& [p, score] : n.terminals) {
+    const bool better = !best.found() || score > best.score ||
+                        (score == best.score && p->registration_order < best_order);
+    if (better) {
+      best.matched = p;
+      best.score = score;
+      best_order = p->registration_order;
+    }
+  }
+
+  if (host_index < rv.host_rev.size()) {
+    const auto it = n.host_children.find(rv.host_rev[host_index]);
+    if (it != n.host_children.end()) {
+      walk(*it->second, rv, host_index + 1, path_index, best, best_order);
+    }
+  }
+  {
+    const auto it = n.port_children.find(rv.port);
+    if (it != n.port_children.end()) {
+      walk(*it->second, rv, host_index, path_index, best, best_order);
+    }
+  }
+  if (path_index < rv.path.size()) {
+    const auto it = n.path_children.find(rv.path[path_index]);
+    if (it != n.path_children.end()) {
+      walk(*it->second, rv, host_index, path_index + 1, best, best_order);
+    }
+  }
+  for (const auto& cc : n.client_children) {
+    if (match_client_value(cc.spec, rv.request->client_ip, rv.request->client_host)) {
+      walk(*cc.next, rv, host_index, path_index, best, best_order);
+    }
+  }
+  {
+    const auto it = n.method_children.find(rv.request->method);
+    if (it != n.method_children.end()) {
+      walk(*it->second, rv, host_index, path_index, best, best_order);
+    }
+  }
+  for (const auto& hc : n.header_children) {
+    const auto v = rv.request->headers.get(hc.pred.name);
+    if (v && hc.pred.pattern->search(*v)) {
+      walk(*hc.next, rv, host_index, path_index, best, best_order);
+    }
+  }
+}
+
+match_result decision_tree::match(const http::request& r) const {
+  request_view rv;
+  rv.host_rev = r.url.host_components_reversed();
+  for (auto& c : rv.host_rev) c = util::to_lower(c);
+  rv.port = r.url.port();
+  rv.path = r.url.path_components();
+  rv.request = &r;
+
+  match_result best;
+  std::uint64_t best_order = 0;
+  walk(*root_, rv, 0, 0, best, best_order);
+  return best;
+}
+
+std::size_t decision_tree::count_nodes(const node& n) {
+  std::size_t total = 1;
+  for (const auto& [_, c] : n.host_children) total += count_nodes(*c);
+  for (const auto& [_, c] : n.port_children) total += count_nodes(*c);
+  for (const auto& [_, c] : n.path_children) total += count_nodes(*c);
+  for (const auto& cc : n.client_children) total += count_nodes(*cc.next);
+  for (const auto& [_, c] : n.method_children) total += count_nodes(*c);
+  for (const auto& hc : n.header_children) total += count_nodes(*hc.next);
+  return total;
+}
+
+std::size_t decision_tree::node_count() const { return count_nodes(*root_); }
+
+}  // namespace nakika::core

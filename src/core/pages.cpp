@@ -1,0 +1,69 @@
+#include "core/pages.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace nakika::core {
+
+std::string script_string_literal(std::string_view text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string compile_nkp(std::string_view source) {
+  // The generated script registers a catch-all policy whose onResponse
+  // renders the page: text chunks write through, code blocks run inline.
+  std::string body;
+  std::size_t pos = 0;
+  while (pos < source.size()) {
+    const std::size_t open = source.find("<?nkp", pos);
+    if (open == std::string_view::npos) {
+      if (pos < source.size()) {
+        body += "  Response.write(" + script_string_literal(source.substr(pos)) + ");\n";
+      }
+      break;
+    }
+    if (open > pos) {
+      body += "  Response.write(" + script_string_literal(source.substr(pos, open - pos)) +
+              ");\n";
+    }
+    const std::size_t close = source.find("?>", open + 5);
+    if (close == std::string_view::npos) {
+      throw std::invalid_argument("nkp: unterminated <?nkp block");
+    }
+    body += "  ";
+    body += source.substr(open + 5, close - open - 5);
+    body += "\n";
+    pos = close + 2;
+  }
+
+  std::string script = "var nkpPage = new Policy();\n";
+  script += "nkpPage.onResponse = function() {\n";
+  script += body;
+  script += "  Response.setHeader(\"Content-Type\", \"text/html\");\n";
+  script += "};\n";
+  script += "nkpPage.register();\n";
+  return script;
+}
+
+bool is_nkp_resource(std::string_view path, std::string_view content_type) {
+  if (path.ends_with(".nkp")) return true;
+  const auto semicolon = content_type.find(';');
+  const std::string_view mime = util::trim(
+      semicolon == std::string_view::npos ? content_type : content_type.substr(0, semicolon));
+  return util::iequals(mime, "text/nkp");
+}
+
+}  // namespace nakika::core

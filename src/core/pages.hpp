@@ -1,0 +1,23 @@
+// Na Kika Pages (paper §3.1): markup-based content with embedded script,
+// for developers versed in PHP/JSP/ASP.NET. Resources with the .nkp
+// extension or text/nkp MIME type are compiled: literal text becomes
+// Response.write(...) calls and <?nkp ... ?> blocks are inlined as script.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace nakika::core {
+
+// Compiles an NKP document into an event-handler script whose onResponse
+// replaces the body with the rendered output. Throws std::invalid_argument
+// on an unterminated <?nkp block.
+[[nodiscard]] std::string compile_nkp(std::string_view source);
+
+// True when the resource should be NKP-processed.
+[[nodiscard]] bool is_nkp_resource(std::string_view path, std::string_view content_type);
+
+// Escapes text for inclusion in a script string literal.
+[[nodiscard]] std::string script_string_literal(std::string_view text);
+
+}  // namespace nakika::core

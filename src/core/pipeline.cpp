@@ -1,0 +1,206 @@
+#include "core/pipeline.hpp"
+
+#include <chrono>
+
+namespace nakika::core {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+}  // namespace
+
+pipeline_executor::pipeline_executor(pipeline_config config) : config_(std::move(config)) {}
+
+struct pipeline_executor::run {
+  http::request request;
+  sandbox* sb = nullptr;
+  stage_loader load_stage;
+  resource_fetcher fetch_resource;
+  std::function<void(pipeline_result)> done;
+
+  std::deque<std::string> forward;       // next stage script URLs, front = next
+  std::vector<policy_ptr> backward;      // matched policies, back = innermost
+  exec_state exec;
+  pipeline_result result;
+  std::size_t stages_started = 0;
+  bool finished = false;
+};
+
+void pipeline_executor::execute(http::request request, sandbox& sb,
+                                std::string site_script_url, stage_loader load_stage,
+                                resource_fetcher fetch_resource, exec_state base,
+                                std::function<void(pipeline_result)> done) {
+  auto r = std::make_shared<run>();
+  r->request = std::move(request);
+  r->sb = &sb;
+  r->load_stage = std::move(load_stage);
+  r->fetch_resource = std::move(fetch_resource);
+  r->done = std::move(done);
+  r->exec = std::move(base);
+  r->exec.request = &r->request;
+  r->exec.response = nullptr;
+
+  // Fig. 4: PUSH serverwall, PUSH site script, PUSH clientwall — POP order is
+  // client wall first, then the site, then the server wall.
+  r->forward.push_back(config_.clientwall_url);
+  r->forward.push_back(std::move(site_script_url));
+  r->forward.push_back(config_.serverwall_url);
+
+  sb.begin_run();
+  step_forward(r);
+}
+
+void pipeline_executor::step_forward(const std::shared_ptr<run>& r) {
+  if (r->finished) return;
+  if (r->exec.generated) {
+    // An onRequest handler created the response: reverse direction.
+    r->result.response = std::move(r->exec.generated_response);
+    run_backward(r);
+    return;
+  }
+  if (r->forward.empty()) {
+    // Fetch the original resource.
+    r->fetch_resource(r->request, [this, r](http::response response, double delay) {
+      r->result.response = std::move(response);
+      r->result.virtual_delay_seconds += delay;
+      run_backward(r);
+    });
+    return;
+  }
+  if (r->stages_started >= config_.max_stages) {
+    js::script_error overflow(js::script_error_kind::runtime,
+                              "pipeline exceeded max_stages (runaway nextStages?)");
+    fail(r, overflow);
+    return;
+  }
+
+  const std::string url = r->forward.front();
+  r->forward.pop_front();
+  ++r->stages_started;
+
+  r->load_stage(url, [this, r, url](stage_fetch_result fetched) {
+    if (r->finished) return;
+    r->result.virtual_delay_seconds += fetched.virtual_delay_seconds;
+    if (!fetched.found) {
+      step_forward(r);  // stage without a script is a no-op
+      return;
+    }
+
+    const sandbox::loaded_stage* stage = nullptr;
+    stage_load_stats stats;
+    try {
+      stage = &r->sb->load_stage(url, fetched.source, fetched.version, &stats);
+    } catch (const js::script_error& e) {
+      fail(r, e);
+      return;
+    }
+    r->result.script_cpu_seconds +=
+        stats.parse_seconds + stats.execute_seconds + stats.tree_seconds;
+    ++r->result.stages_executed;
+
+    // FIND-CLOSEST-MATCH on the (possibly rewritten) request.
+    const match_result match = stage->tree->match(r->request);
+    if (match.found()) {
+      r->backward.push_back(match.matched);
+      if (match.matched->has_on_request()) {
+        if (!run_handler(r, match.matched->on_request, /*request_phase=*/true)) {
+          return;  // failed; `fail` already completed the run
+        }
+      }
+      if (!match.matched->next_stages.empty()) {
+        // PREPEND(forward, policy.nextStages): scheduled stages run directly
+        // after this one, before already-scheduled stages.
+        for (auto it = match.matched->next_stages.rbegin();
+             it != match.matched->next_stages.rend(); ++it) {
+          r->forward.push_front(*it);
+        }
+      }
+    }
+    step_forward(r);
+  });
+}
+
+void pipeline_executor::run_backward(const std::shared_ptr<run>& r) {
+  if (r->finished) return;
+  r->exec.response = &r->result.response;
+
+  // POP(backward): innermost stage's onResponse first.
+  while (!r->backward.empty()) {
+    const policy_ptr p = r->backward.back();
+    r->backward.pop_back();
+    if (!p->has_on_response()) continue;
+    r->exec.read_cursor = 0;  // each handler reads the body from the start
+    if (!run_handler(r, p->on_response, /*request_phase=*/false)) {
+      return;
+    }
+  }
+  finish(r);
+}
+
+bool pipeline_executor::run_handler(const std::shared_ptr<run>& r, const js::value& handler,
+                                    bool request_phase) {
+  sandbox& sb = *r->sb;
+  sb.binding()->current = &r->exec;
+  sync_request_to_script(sb.ctx(), r->request);
+  if (!request_phase) {
+    sync_response_to_script(sb.ctx(), r->result.response);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  bool ok = true;
+  try {
+    js::interpreter in(sb.ctx());
+    in.call(handler, js::value::undefined(), {});
+  } catch (const request_terminated_signal&) {
+    // Request.terminate(): generated response is already in exec state.
+  } catch (const js::script_error& e) {
+    ok = false;
+    r->result.script_cpu_seconds += seconds_since(start);
+    sb.binding()->current = nullptr;
+    fail(r, e);
+  }
+  if (!ok) return false;
+
+  r->result.script_cpu_seconds += seconds_since(start);
+  ++r->result.handlers_run;
+
+  // Mirror script-side mutations back into the native message.
+  read_back_request(sb.ctx(), r->request);
+  if (!request_phase) {
+    read_back_response(sb.ctx(), r->exec, r->result.response);
+  }
+  sb.binding()->current = nullptr;
+  return true;
+}
+
+void pipeline_executor::finish(const std::shared_ptr<run>& r) {
+  if (r->finished) return;
+  r->finished = true;
+  r->result.ops = r->sb->ops_used();
+  r->result.heap_bytes = r->sb->allocation_churn();
+  r->result.bytes_read = r->exec.bytes_read;
+  r->result.bytes_written = r->exec.bytes_written;
+  r->result.virtual_delay_seconds += r->exec.accumulated_delay;
+  r->result.log_lines = std::move(r->exec.log_lines);
+  r->done(std::move(r->result));
+}
+
+void pipeline_executor::fail(const std::shared_ptr<run>& r, const js::script_error& e) {
+  if (r->finished) return;
+  r->result.failed = true;
+  r->result.error = std::string(js::to_string(e.kind())) + ": " + e.what();
+  switch (e.kind()) {
+    case js::script_error_kind::terminated:
+      // The resource manager killed this pipeline; clients see server busy.
+      r->result.terminated = true;
+      r->result.response = http::make_error_response(503, "pipeline terminated");
+      break;
+    default:
+      r->result.response = http::make_error_response(500, r->result.error);
+      break;
+  }
+  finish(r);
+}
+
+}  // namespace nakika::core

@@ -1,0 +1,97 @@
+// EXECUTE-PIPELINE (paper Fig. 4): the scripting pipeline that mediates every
+// HTTP exchange. Forward phase pops stage scripts (client wall, site script,
+// server wall, plus dynamically scheduled stages prepended by nextStages),
+// selects the closest-matching policy per stage, and runs onRequest handlers;
+// an onRequest that generates a response reverses direction early. The
+// backward phase runs onResponse handlers in LIFO order.
+//
+// Stage scripts and the original resource arrive through host callbacks, so
+// the executor composes with both the discrete-event simulator (async
+// fetches) and direct in-process harnesses (immediate callbacks).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sandbox.hpp"
+#include "core/vocabulary.hpp"
+#include "http/message.hpp"
+
+namespace nakika::core {
+
+struct pipeline_config {
+  // Administrative control stages (paper §3.1: "accessed from well-known
+  // locations"; node administrators may override).
+  std::string clientwall_url = "http://nakika.net/clientwall.js";
+  std::string serverwall_url = "http://nakika.net/serverwall.js";
+  // Guard against runaway nextStages scheduling.
+  std::size_t max_stages = 32;
+};
+
+// Host-provided stage script fetch: found=false means the URL has no script
+// (e.g. a site without nakika.js); virtual_delay is charged to the pipeline's
+// completion time; cpu_seconds is any host-side work already accounted.
+struct stage_fetch_result {
+  bool found = false;
+  std::string source;
+  std::uint64_t version = 0;  // cache key: bump when content changes
+  double virtual_delay_seconds = 0.0;
+};
+using stage_loader =
+    std::function<void(const std::string& url, std::function<void(stage_fetch_result)>)>;
+
+// Host-provided origin fetch for the request once the forward phase ends.
+using resource_fetcher =
+    std::function<void(const http::request&, std::function<void(http::response,
+                                                                double virtual_delay)>)>;
+
+struct pipeline_result {
+  http::response response;
+
+  bool failed = false;
+  bool terminated = false;  // killed by the resource manager
+  std::string error;
+
+  // Accounting for the resource manager and the cost model.
+  std::uint64_t ops = 0;
+  std::size_t heap_bytes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  double virtual_delay_seconds = 0.0;  // network time owed (stage + resource
+                                       // fetches + script subrequests)
+  double script_cpu_seconds = 0.0;     // real time in handlers + stage loads
+  int stages_executed = 0;
+  int handlers_run = 0;
+  std::vector<std::string> log_lines;
+};
+
+class pipeline_executor {
+ public:
+  explicit pipeline_executor(pipeline_config config = {});
+
+  // Runs the pipeline for `request`. `site_script_url` is the site's
+  // nakika.js location (paper: SITE(request.url) + "/nakika.js").
+  // `base` seeds the exec_state (site, clocks, cache/store/fetch hooks);
+  // request/response pointers are managed by the executor.
+  void execute(http::request request, sandbox& sb, std::string site_script_url,
+               stage_loader load_stage, resource_fetcher fetch_resource, exec_state base,
+               std::function<void(pipeline_result)> done);
+
+  [[nodiscard]] const pipeline_config& config() const { return config_; }
+
+ private:
+  struct run;
+  void step_forward(const std::shared_ptr<run>& r);
+  void run_backward(const std::shared_ptr<run>& r);
+  bool run_handler(const std::shared_ptr<run>& r, const js::value& handler,
+                   bool request_phase);
+  void finish(const std::shared_ptr<run>& r);
+  void fail(const std::shared_ptr<run>& r, const js::script_error& e);
+
+  pipeline_config config_;
+};
+
+}  // namespace nakika::core

@@ -1,0 +1,109 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace nakika::core {
+
+std::optional<int> match_url_value(const http::url& predicate, const http::url& target) {
+  // Host: the predicate's reversed components must be a prefix of the
+  // target's reversed components (domain-suffix semantics).
+  const auto pred_host = predicate.host_components_reversed();
+  const auto target_host = target.host_components_reversed();
+  if (pred_host.size() > target_host.size()) return std::nullopt;
+  for (std::size_t i = 0; i < pred_host.size(); ++i) {
+    if (!util::iequals(pred_host[i], target_host[i])) return std::nullopt;
+  }
+  int score = static_cast<int>(pred_host.size());
+
+  if (predicate.port() != target.port()) return std::nullopt;
+  score += 1;  // port level
+
+  // Path: predicate components must be a prefix of the target's.
+  const auto pred_path = predicate.path_components();
+  const auto target_path = target.path_components();
+  if (pred_path.size() > target_path.size()) return std::nullopt;
+  for (std::size_t i = 0; i < pred_path.size(); ++i) {
+    if (pred_path[i] != target_path[i]) return std::nullopt;
+  }
+  score += static_cast<int>(pred_path.size());
+  return score;
+}
+
+std::optional<int> match_client_value(const std::string& spec, const std::string& client_ip,
+                                      const std::string& client_host) {
+  if (spec.empty()) return std::nullopt;
+  // CIDR notation.
+  if (spec.find('/') != std::string::npos) {
+    if (!http::cidr_contains(spec, client_ip)) return std::nullopt;
+    const auto slash = spec.find('/');
+    const auto bits = util::parse_int(std::string_view(spec).substr(slash + 1));
+    // Specificity in "components": prefix bits / 8, rounded up.
+    return bits ? static_cast<int>((*bits + 7) / 8) : 0;
+  }
+  // Exact IPv4 address.
+  if (!http::ip_components(spec).empty()) {
+    if (spec != client_ip) return std::nullopt;
+    return 4;
+  }
+  // Domain suffix against the client's resolved hostname.
+  if (client_host.empty()) return std::nullopt;
+  if (!util::domain_matches(client_host, spec)) return std::nullopt;
+  return static_cast<int>(util::split(spec, '.').size());
+}
+
+std::optional<specificity> evaluate_policy(const policy& p, const http::request& r) {
+  specificity score{0, 0, 0, 0};
+
+  if (!p.urls.empty()) {
+    int best = -1;
+    for (const auto& u : p.urls) {
+      if (const auto s = match_url_value(u, r.url)) best = std::max(best, *s);
+    }
+    if (best < 0) return std::nullopt;
+    score[0] = best;
+  }
+  if (!p.clients.empty()) {
+    int best = -1;
+    for (const auto& c : p.clients) {
+      if (const auto s = match_client_value(c, r.client_ip, r.client_host)) {
+        best = std::max(best, *s);
+      }
+    }
+    if (best < 0) return std::nullopt;
+    score[1] = best;
+  }
+  if (!p.methods.empty()) {
+    if (std::find(p.methods.begin(), p.methods.end(), r.method) == p.methods.end()) {
+      return std::nullopt;
+    }
+    score[2] = 1;
+  }
+  for (const auto& h : p.headers) {
+    const auto v = r.headers.get(h.name);
+    if (!v || !h.pattern->search(*v)) return std::nullopt;
+    ++score[3];
+  }
+  return score;
+}
+
+match_result match_linear(const policy_set& set, const http::request& r) {
+  match_result best;
+  std::uint64_t best_order = 0;
+  for (const auto& p : set.policies) {
+    const auto score = evaluate_policy(*p, r);
+    if (!score) continue;
+    const bool better =
+        !best.found() || *score > best.score ||
+        (*score == best.score && p->registration_order < best_order);
+    if (better) {
+      best.matched = p;
+      best.score = *score;
+      best_order = p->registration_order;
+    }
+  }
+  return best;
+}
+
+}  // namespace nakika::core

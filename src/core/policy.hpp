@@ -1,0 +1,90 @@
+// Policy objects (paper §3.1, Fig. 3): predicates over HTTP messages paired
+// with onRequest/onResponse event handlers and optional dynamically scheduled
+// next stages. Scripts instantiate `new Policy()` and call register(); the
+// vocabulary in policy.cpp lowers the JavaScript object into this C++ form.
+//
+// Predicate semantics (paper): values within one property are a disjunction,
+// properties are a conjunction, null properties are true. URL values match
+// by host-suffix + port + path-prefix; client values by domain suffix, exact
+// IP, or CIDR; header values are regular expressions. Precedence for the
+// "closest valid match" is URL, then client, then method, then headers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+#include "js/value.hpp"
+#include "util/glob.hpp"
+
+namespace nakika::core {
+
+struct header_predicate {
+  std::string name;            // header name, case-insensitive match
+  std::string pattern_source;  // regular expression text
+  std::shared_ptr<util::pattern> pattern;
+};
+
+struct policy {
+  std::vector<http::url> urls;          // empty = any URL
+  std::vector<std::string> clients;     // domain suffix, IP, or CIDR; empty = any
+  std::vector<http::method> methods;    // empty = any
+  std::vector<header_predicate> headers;
+
+  js::value on_request;    // undefined when absent (no-op)
+  js::value on_response;   // undefined when absent
+  std::vector<std::string> next_stages;
+
+  std::uint64_t registration_order = 0;
+
+  [[nodiscard]] bool has_on_request() const {
+    return on_request.is_object() && on_request.as_object()->callable();
+  }
+  [[nodiscard]] bool has_on_response() const {
+    return on_response.is_object() && on_response.as_object()->callable();
+  }
+};
+using policy_ptr = std::shared_ptr<const policy>;
+
+// All policies registered by one stage's script, in registration order.
+struct policy_set {
+  std::vector<policy_ptr> policies;
+};
+
+// Specificity vector ordered by the paper's precedence:
+// [url components, client components, method, headers]. Lexicographically
+// larger = closer match.
+using specificity = std::array<int, 4>;
+
+struct match_result {
+  policy_ptr matched;        // null when no policy applies
+  specificity score{};
+  [[nodiscard]] bool found() const { return matched != nullptr; }
+};
+
+// --- individual predicate evaluation (shared by the linear matcher and the
+//     decision tree; exposed for property tests) ---
+
+// Number of URL components matched (reversed host components + port + path
+// prefix components), or nullopt on mismatch. "med.nyu.edu" matches host
+// www.med.nyu.edu (domain suffix = reversed-component prefix).
+[[nodiscard]] std::optional<int> match_url_value(const http::url& predicate,
+                                                 const http::url& target);
+// Number of client components matched for a domain-suffix / IP / CIDR spec.
+[[nodiscard]] std::optional<int> match_client_value(const std::string& spec,
+                                                    const std::string& client_ip,
+                                                    const std::string& client_host);
+// Evaluates the full predicate; nullopt when the policy does not apply.
+[[nodiscard]] std::optional<specificity> evaluate_policy(const policy& p,
+                                                         const http::request& r);
+
+// Reference matcher: linear scan over all policies, best specificity wins,
+// ties go to the earliest registration. The decision tree must agree with
+// this (tested); it exists as the ablation baseline.
+[[nodiscard]] match_result match_linear(const policy_set& set, const http::request& r);
+
+}  // namespace nakika::core

@@ -1,0 +1,240 @@
+#include "core/resource_manager.hpp"
+
+#include <algorithm>
+
+namespace nakika::core {
+
+const char* to_string(resource_kind k) {
+  switch (k) {
+    case resource_kind::cpu: return "cpu";
+    case resource_kind::memory: return "memory";
+    case resource_kind::bandwidth: return "bandwidth";
+    case resource_kind::running_time: return "running_time";
+    case resource_kind::total_bytes: return "total_bytes";
+  }
+  return "?";
+}
+
+resource_manager::resource_manager(resource_capacities capacities, double ewma_alpha)
+    : capacities_(capacities), ewma_alpha_(ewma_alpha) {
+  last_phase1_time_.fill(0.0);
+  last_utilization_.fill(0.0);
+  throttling_.fill(false);
+}
+
+void resource_manager::record(const std::string& site, resource_kind kind, double amount) {
+  if (amount < 0) return;
+  auto& state = sites_[site];
+  state.interval_use[static_cast<std::size_t>(kind)] += amount;
+}
+
+void resource_manager::pipeline_started(const std::string& site,
+                                        std::shared_ptr<std::atomic<bool>> kill_flag) {
+  sites_[site].active.push_back(kill_flag);
+}
+
+void resource_manager::pipeline_finished(const std::string& site,
+                                         const std::shared_ptr<std::atomic<bool>>& kill_flag) {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  auto& active = it->second.active;
+  active.erase(std::remove_if(active.begin(), active.end(),
+                              [&](const std::weak_ptr<std::atomic<bool>>& w) {
+                                const auto locked = w.lock();
+                                return locked == nullptr || locked == kill_flag;
+                              }),
+               active.end());
+}
+
+double resource_manager::interval_total(resource_kind kind) const {
+  double total = 0.0;
+  for (const auto& [_, s] : sites_) {
+    total += s.interval_use[static_cast<std::size_t>(kind)];
+  }
+  return total;
+}
+
+void resource_manager::consume_interval(resource_kind kind) {
+  for (auto& [_, s] : sites_) {
+    s.interval_use[static_cast<std::size_t>(kind)] = 0.0;
+  }
+}
+
+bool resource_manager::control_phase1(resource_kind kind, double now) {
+  const auto ki = static_cast<std::size_t>(kind);
+  const double interval = std::max(1e-9, now - last_phase1_time_[ki]);
+  last_phase1_time_[ki] = now;
+
+  const double total = interval_total(kind);
+  double capacity = 0.0;
+  switch (kind) {
+    case resource_kind::cpu: capacity = capacities_.cpu_seconds_per_second; break;
+    case resource_kind::memory: capacity = capacities_.memory_bytes_per_second; break;
+    case resource_kind::bandwidth: capacity = capacities_.bandwidth_bytes_per_second; break;
+    case resource_kind::running_time:
+    case resource_kind::total_bytes:
+      capacity = 0.0;  // nonrenewable: tracked, never "congested"
+      break;
+  }
+  const double rate = total / interval;
+  last_utilization_[ki] = capacity > 0 ? rate / capacity : 0.0;
+  const bool congested =
+      is_renewable(kind) && last_utilization_[ki] >= capacities_.congestion_threshold;
+
+  if (congested) {
+    ++consecutive_congested_[ki];
+    // "Track usage and throttle": contributions update only under
+    // overutilization for renewable resources; throttling is proportional.
+    for (auto& [_, s] : sites_) {
+      const double share = total > 0 ? s.interval_use[ki] / total : 0.0;
+      auto& c = s.contribution[ki];
+      if (!c.initialized()) c = util::ewma(ewma_alpha_);
+      c.update(share);
+      s.throttle_probability = std::max(s.throttle_probability, c.value());
+    }
+    throttling_[ki] = true;
+  } else if (is_renewable(kind)) {
+    consecutive_congested_[ki] = 0;
+  } else {
+    // Nonrenewable: "track usage" unconditionally.
+    const double nr_total = total;
+    for (auto& [_, s] : sites_) {
+      const double share = nr_total > 0 ? s.interval_use[ki] / nr_total : 0.0;
+      auto& c = s.contribution[ki];
+      if (!c.initialized()) c = util::ewma(ewma_alpha_);
+      c.update(share);
+    }
+  }
+  consume_interval(kind);
+  return congested;
+}
+
+control_outcome resource_manager::control_phase2(resource_kind kind, double now) {
+  const auto ki = static_cast<std::size_t>(kind);
+  control_outcome outcome;
+  outcome.congested_before = throttling_[ki];
+  if (!throttling_[ki]) return outcome;
+
+  // Re-measure over the timeout window: did throttling relieve congestion?
+  const double interval = std::max(1e-9, now - last_phase1_time_[ki]);
+  last_phase1_time_[ki] = now;
+  const double total = interval_total(kind);
+  double capacity = 0.0;
+  switch (kind) {
+    case resource_kind::cpu: capacity = capacities_.cpu_seconds_per_second; break;
+    case resource_kind::memory: capacity = capacities_.memory_bytes_per_second; break;
+    case resource_kind::bandwidth: capacity = capacities_.bandwidth_bytes_per_second; break;
+    default: break;
+  }
+  const double rate = total / interval;
+  last_utilization_[ki] = capacity > 0 ? rate / capacity : 0.0;
+  const bool chronic =
+      consecutive_congested_[ki] >= capacities_.chronic_congestion_cycles;
+  outcome.congested_after =
+      last_utilization_[ki] >= capacities_.congestion_threshold || chronic;
+  consume_interval(kind);
+
+  if (outcome.congested_after && termination_enabled_) {
+    consecutive_congested_[ki] = 0;  // the termination resets the episode
+    // TERMINATE(DEQUEUE(priorityq)): kill the top offender's pipelines.
+    // Prefer a site with in-flight pipelines to kill; fall back to the top
+    // contributor (whose processes the paper's monitor would kill between
+    // requests).
+    std::string worst;
+    double worst_contribution = 0.0;
+    bool worst_has_active = false;
+    for (const auto& [site, s] : sites_) {
+      const double c = s.contribution[ki].value();
+      if (c <= 0) continue;
+      const bool has_active = !s.active.empty();
+      if ((has_active && !worst_has_active) ||
+          (has_active == worst_has_active && c > worst_contribution)) {
+        worst_contribution = c;
+        worst = site;
+        worst_has_active = has_active;
+      }
+    }
+    if (!worst.empty()) {
+      auto& s = sites_[worst];
+      for (const auto& w : s.active) {
+        if (const auto flag = w.lock()) {
+          flag->store(true);
+          ++outcome.pipelines_killed;
+        }
+      }
+      ++terminations_;
+      outcome.terminated_site = worst;
+      // A terminated site stays maximally blocked until the penalty expires.
+      s.throttle_probability = 1.0;
+      s.penalty_until = now + capacities_.termination_penalty_seconds;
+    }
+  } else if (!outcome.congested_after) {
+    // UNTHROTTLE(resource): restore normal operation.
+    throttling_[ki] = false;
+    bool any_throttling = false;
+    for (bool t : throttling_) any_throttling |= t;
+    if (!any_throttling) {
+      for (auto& [_, s] : sites_) {
+        s.throttle_probability = 0.0;
+      }
+    }
+  }
+  return outcome;
+}
+
+bool resource_manager::admit(const std::string& site, util::rng& rng, double now) {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return true;
+  if (now < it->second.penalty_until) {
+    ++throttle_rejections_;
+    return false;
+  }
+  if (it->second.throttle_probability <= 0.0) return true;
+  if (rng.chance(it->second.throttle_probability)) {
+    ++throttle_rejections_;
+    return false;
+  }
+  return true;
+}
+
+bool resource_manager::is_throttled(const std::string& site) const {
+  const auto it = sites_.find(site);
+  return it != sites_.end() && it->second.throttle_probability > 0.0;
+}
+
+double resource_manager::contribution(const std::string& site, resource_kind kind) const {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return 0.0;
+  return it->second.contribution[static_cast<std::size_t>(kind)].value();
+}
+
+double resource_manager::utilization(resource_kind kind) const {
+  return last_utilization_[static_cast<std::size_t>(kind)];
+}
+
+resource_view resource_manager::view_for(const std::string& site) const {
+  resource_view v;
+  v.cpu_congestion = utilization(resource_kind::cpu);
+  v.memory_congestion = utilization(resource_kind::memory);
+  v.bandwidth_congestion = utilization(resource_kind::bandwidth);
+  double best = 0.0;
+  const auto it = sites_.find(site);
+  if (it != sites_.end()) {
+    for (const auto& c : it->second.contribution) best = std::max(best, c.value());
+    v.throttled = it->second.throttle_probability > 0.0;
+  }
+  v.site_contribution = best;
+  return v;
+}
+
+std::size_t resource_manager::active_pipelines(const std::string& site) const {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& w : it->second.active) {
+    if (!w.expired()) ++n;
+  }
+  return n;
+}
+
+}  // namespace nakika::core

@@ -1,0 +1,128 @@
+// Congestion-based resource management (paper §3.2, Fig. 6). No a-priori
+// quotas: the manager tracks per-site consumption of renewable resources
+// (CPU, memory, bandwidth) and nonrenewable ones (running time, total bytes
+// transferred). When a resource is congested it throttles sites
+// proportionally to their contribution; if congestion persists past the
+// control timeout it terminates the pipelines of the largest contributor.
+// Contributions are EWMAs of past and present consumption and are exposed to
+// scripts (System.contribution), "allowing scripts to adapt to system
+// congestion and recover from past penalization".
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/vocabulary.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace nakika::core {
+
+enum class resource_kind : std::uint8_t {
+  cpu = 0,
+  memory,
+  bandwidth,
+  running_time,
+  total_bytes,
+};
+inline constexpr std::size_t resource_kind_count = 5;
+
+[[nodiscard]] constexpr bool is_renewable(resource_kind k) {
+  return k == resource_kind::cpu || k == resource_kind::memory ||
+         k == resource_kind::bandwidth;
+}
+[[nodiscard]] const char* to_string(resource_kind k);
+
+struct resource_capacities {
+  double cpu_seconds_per_second = 1.0;       // one core's worth of script CPU
+  double memory_bytes_per_second = 256e6;    // allocation-rate proxy for heap load
+  double bandwidth_bytes_per_second = 12.5e6;
+  // Utilization ratio at which a renewable resource counts as congested.
+  double congestion_threshold = 0.9;
+  // How long a terminated site stays fully blocked before it may recover
+  // ("recover from past penalization", §3.2).
+  double termination_penalty_seconds = 5.0;
+  // A resource congested at phase 1 this many consecutive cycles counts as
+  // persistent congestion even if throttling relieves each individual wait
+  // window (an attacker re-triggering per request would otherwise oscillate
+  // forever between throttle and unthrottle).
+  int chronic_congestion_cycles = 3;
+};
+
+struct control_outcome {
+  bool congested_before = false;   // at phase 1
+  bool congested_after = false;    // at phase 2, post-throttling
+  std::string terminated_site;     // non-empty when a site was killed
+  std::size_t pipelines_killed = 0;
+};
+
+class resource_manager {
+ public:
+  explicit resource_manager(resource_capacities capacities = {}, double ewma_alpha = 0.5);
+
+  // --- accounting (called by the node around pipeline executions) ---
+  void record(const std::string& site, resource_kind kind, double amount);
+  void pipeline_started(const std::string& site,
+                        std::shared_ptr<std::atomic<bool>> kill_flag);
+  void pipeline_finished(const std::string& site,
+                         const std::shared_ptr<std::atomic<bool>>& kill_flag);
+
+  // --- the CONTROL procedure (paper Fig. 6), split at WAIT(TIMEOUT) ---
+  // Phase 1 at time `now`: detect congestion over the elapsed interval,
+  // update usage EWMAs, start throttling proportionally. Returns whether the
+  // resource was congested.
+  bool control_phase1(resource_kind kind, double now);
+  // Phase 2 after the timeout: if still congested, terminate the largest
+  // contributor; otherwise restore normal operation.
+  control_outcome control_phase2(resource_kind kind, double now);
+
+  // --- admission (the "server busy" flag, paper §4) ---
+  // False when the request should be rejected with 503 due to throttling or
+  // an active termination penalty. `now` gates penalty expiry.
+  [[nodiscard]] bool admit(const std::string& site, util::rng& rng, double now = 0.0);
+  [[nodiscard]] bool is_throttled(const std::string& site) const;
+
+  // --- introspection ---
+  [[nodiscard]] double contribution(const std::string& site, resource_kind kind) const;
+  [[nodiscard]] double utilization(resource_kind kind) const;  // last interval
+  [[nodiscard]] resource_view view_for(const std::string& site) const;
+
+  [[nodiscard]] std::size_t active_pipelines(const std::string& site) const;
+  [[nodiscard]] std::uint64_t terminations() const { return terminations_; }
+  [[nodiscard]] std::uint64_t throttle_rejections() const { return throttle_rejections_; }
+
+  // Testing/ablation hook: disable termination, keep throttling.
+  void set_termination_enabled(bool enabled) { termination_enabled_ = enabled; }
+
+ private:
+  struct site_state {
+    // Consumption accumulated in the current control interval, per resource.
+    std::array<double, resource_kind_count> interval_use{};
+    // EWMA contribution (share of total), per resource.
+    std::array<util::ewma, resource_kind_count> contribution;
+    double throttle_probability = 0.0;
+    double penalty_until = 0.0;  // terminated sites stay blocked until then
+    std::vector<std::weak_ptr<std::atomic<bool>>> active;
+  };
+
+  [[nodiscard]] double interval_total(resource_kind kind) const;
+  void consume_interval(resource_kind kind);
+
+  resource_capacities capacities_;
+  double ewma_alpha_;
+  std::map<std::string, site_state> sites_;
+  std::array<double, resource_kind_count> last_phase1_time_{};
+  std::array<double, resource_kind_count> last_utilization_{};
+  std::array<bool, resource_kind_count> throttling_{};
+  std::array<int, resource_kind_count> consecutive_congested_{};
+  bool termination_enabled_ = true;
+  std::uint64_t terminations_ = 0;
+  std::uint64_t throttle_rejections_ = 0;
+};
+
+}  // namespace nakika::core

@@ -1,0 +1,79 @@
+#include "core/sandbox.hpp"
+
+#include "js/parser.hpp"
+
+namespace nakika::core {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+}  // namespace
+
+sandbox::sandbox(js::context_limits limits) {
+  const auto start = std::chrono::steady_clock::now();
+  ctx_ = std::make_unique<js::context>(limits);
+  binding_ = std::make_shared<exec_binding>();
+  sink_ = std::make_shared<policy_sink>();
+  install_all_vocabularies(*ctx_, binding_, sink_);
+  creation_seconds_ = seconds_since(start);
+}
+
+const sandbox::loaded_stage* sandbox::find_stage(const std::string& url,
+                                                 std::uint64_t version) const {
+  const auto it = stages_.find(url);
+  if (it == stages_.end() || it->second.version != version) return nullptr;
+  return &it->second;
+}
+
+const sandbox::loaded_stage& sandbox::load_stage(const std::string& url,
+                                                 const std::string& source,
+                                                 std::uint64_t version,
+                                                 stage_load_stats* stats) {
+  if (const loaded_stage* cached = find_stage(url, version)) {
+    if (stats != nullptr) stats->from_cache = true;
+    return *cached;
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  const js::program_ptr prog = js::parse_program(source, url);
+  const double parse_s = seconds_since(t0);
+
+  policy_registry registry;
+  sink_->current = &registry;
+  t0 = std::chrono::steady_clock::now();
+  try {
+    js::interpreter in(*ctx_);
+    in.run(prog);
+  } catch (...) {
+    sink_->current = nullptr;
+    throw;
+  }
+  sink_->current = nullptr;
+  const double exec_s = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  auto tree = std::make_shared<decision_tree>(decision_tree::build(registry.set));
+  const double tree_s = seconds_since(t0);
+
+  loaded_stage stage;
+  stage.tree = std::move(tree);
+  stage.version = version;
+  stage.policy_count = registry.set.policies.size();
+  auto [it, inserted] = stages_.insert_or_assign(url, std::move(stage));
+  (void)inserted;
+
+  if (stats != nullptr) {
+    stats->parse_seconds = parse_s;
+    stats->execute_seconds = exec_s;
+    stats->tree_seconds = tree_s;
+    stats->from_cache = false;
+  }
+  return it->second;
+}
+
+void sandbox::evict_stage(const std::string& url) { stages_.erase(url); }
+
+void sandbox::begin_run() { ctx_->reset_for_reuse(); }
+
+}  // namespace nakika::core

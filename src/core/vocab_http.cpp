@@ -1,0 +1,248 @@
+// Request/Response vocabulary: the global objects scripts use to inspect and
+// rewrite the HTTP exchange (paper Figs. 2 and 5). Scalar fields are mirrored
+// as plain properties before each handler runs and read back afterwards;
+// everything with side effects is a native method.
+#include <algorithm>
+
+#include "core/vocabulary.hpp"
+#include "http/cookies.hpp"
+#include "js/stdlib.hpp"
+#include "util/strings.hpp"
+
+namespace nakika::core {
+
+using js::arg_or_undefined;
+using js::make_native_function;
+using js::require_string;
+using js::throw_js;
+using js::value;
+
+namespace {
+
+constexpr std::size_t read_chunk_bytes = 16 * 1024;
+
+js::object_ptr global_object(js::context& ctx, const char* name) {
+  const value v = ctx.global()->get(name);
+  if (!v.is_object()) throw std::logic_error(std::string(name) + " vocabulary missing");
+  return v.as_object();
+}
+
+}  // namespace
+
+void install_http_vocabulary(js::context& ctx, exec_binding_ptr binding) {
+  // ----- Request --------------------------------------------------------------
+  auto request = js::make_plain_object();
+
+  request->set("getHeader",
+               value::object(make_native_function(
+                   "getHeader", [binding](js::interpreter&, const value&,
+                                          std::span<value> args) -> value {
+                     exec_state& exec = require_exec(binding, "Request.getHeader");
+                     const auto v =
+                         exec.request->headers.get(require_string(args, 0, "getHeader"));
+                     return v ? value::string(*v) : value::null();
+                   })));
+  request->set("setHeader",
+               value::object(make_native_function(
+                   "setHeader", [binding](js::interpreter&, const value&,
+                                          std::span<value> args) -> value {
+                     exec_state& exec = require_exec(binding, "Request.setHeader");
+                     exec.request->headers.set(require_string(args, 0, "setHeader"),
+                                               arg_or_undefined(args, 1).to_string());
+                     return value::undefined();
+                   })));
+  request->set("removeHeader",
+               value::object(make_native_function(
+                   "removeHeader", [binding](js::interpreter&, const value&,
+                                             std::span<value> args) -> value {
+                     exec_state& exec = require_exec(binding, "Request.removeHeader");
+                     exec.request->headers.remove(require_string(args, 0, "removeHeader"));
+                     return value::undefined();
+                   })));
+  request->set("cookie",
+               value::object(make_native_function(
+                   "cookie", [binding](js::interpreter&, const value&,
+                                       std::span<value> args) -> value {
+                     exec_state& exec = require_exec(binding, "Request.cookie");
+                     const auto header = exec.request->headers.get("Cookie");
+                     if (!header) return value::null();
+                     const auto c =
+                         http::get_cookie(*header, require_string(args, 0, "cookie"));
+                     return c ? value::string(*c) : value::null();
+                   })));
+  request->set("setUrl",
+               value::object(make_native_function(
+                   "setUrl", [binding](js::interpreter& in, const value&,
+                                       std::span<value> args) -> value {
+                     exec_state& exec = require_exec(binding, "Request.setUrl");
+                     try {
+                       exec.request->url =
+                           http::url::parse_lenient(require_string(args, 0, "setUrl"));
+                     } catch (const std::invalid_argument& e) {
+                       throw_js(std::string("Request.setUrl: ") + e.what());
+                     }
+                     sync_request_to_script(in.ctx(), *exec.request);
+                     return value::undefined();
+                   })));
+  request->set("terminate",
+               value::object(make_native_function(
+                   "terminate", [binding](js::interpreter&, const value&,
+                                          std::span<value> args) -> value {
+                     exec_state& exec = require_exec(binding, "Request.terminate");
+                     const int status =
+                         args.empty() ? 403 : static_cast<int>(args[0].to_number());
+                     exec.generated_response = http::make_error_response(status);
+                     exec.generated = true;
+                     throw request_terminated_signal{};
+                   })));
+  request->set("respond",
+               value::object(make_native_function(
+                   "respond", [binding](js::interpreter&, const value&,
+                                        std::span<value> args) -> value {
+                     exec_state& exec = require_exec(binding, "Request.respond");
+                     const int status =
+                         args.empty() ? 200 : static_cast<int>(args[0].to_number());
+                     const std::string content_type =
+                         args.size() > 1 ? args[1].to_string() : "text/html";
+                     util::byte_buffer body;
+                     const value b = arg_or_undefined(args, 2);
+                     if (b.is_object() &&
+                         b.as_object()->kind == js::object_kind::byte_array) {
+                       body = b.as_object()->bytes;
+                     } else if (!b.is_nullish()) {
+                       body.append(b.to_string());
+                     }
+                     exec.bytes_written += body.size();
+                     exec.generated_response = http::make_response(
+                         status, content_type, util::make_body(std::move(body)));
+                     exec.generated = true;
+                     return value::undefined();
+                   })));
+  ctx.global()->set("Request", value::object(request));
+
+  // ----- Response -------------------------------------------------------------
+  auto response = js::make_plain_object();
+
+  response->set("getHeader",
+                value::object(make_native_function(
+                    "getHeader", [binding](js::interpreter&, const value&,
+                                           std::span<value> args) -> value {
+                      exec_state& exec = require_exec(binding, "Response.getHeader");
+                      if (exec.response == nullptr) throw_js("Response not available yet");
+                      const auto v =
+                          exec.response->headers.get(require_string(args, 0, "getHeader"));
+                      return v ? value::string(*v) : value::null();
+                    })));
+  response->set("setHeader",
+                value::object(make_native_function(
+                    "setHeader", [binding](js::interpreter&, const value&,
+                                           std::span<value> args) -> value {
+                      exec_state& exec = require_exec(binding, "Response.setHeader");
+                      if (exec.response == nullptr) throw_js("Response not available yet");
+                      exec.response->headers.set(require_string(args, 0, "setHeader"),
+                                                 arg_or_undefined(args, 1).to_string());
+                      return value::undefined();
+                    })));
+  response->set("removeHeader",
+                value::object(make_native_function(
+                    "removeHeader", [binding](js::interpreter&, const value&,
+                                              std::span<value> args) -> value {
+                      exec_state& exec = require_exec(binding, "Response.removeHeader");
+                      if (exec.response == nullptr) throw_js("Response not available yet");
+                      exec.response->headers.remove(require_string(args, 0, "removeHeader"));
+                      return value::undefined();
+                    })));
+  // read(): next chunk of the instance-complete body as a ByteArray, or null
+  // at end (paper Fig. 2: "the response body is accessed in chunks").
+  response->set("read",
+                value::object(make_native_function(
+                    "read", [binding](js::interpreter& in, const value&,
+                                      std::span<value>) -> value {
+                      exec_state& exec = require_exec(binding, "Response.read");
+                      if (exec.response == nullptr) throw_js("Response not available yet");
+                      if (!exec.response->body ||
+                          exec.read_cursor >= exec.response->body->size()) {
+                        return value::null();
+                      }
+                      const std::size_t n = std::min(
+                          read_chunk_bytes, exec.response->body->size() - exec.read_cursor);
+                      auto chunk = in.ctx().make_byte_array();
+                      chunk->bytes = exec.response->body->slice(exec.read_cursor, n);
+                      in.ctx().charge_object(*chunk, n);
+                      exec.read_cursor += n;
+                      exec.bytes_read += n;
+                      return value::object(chunk);
+                    })));
+  response->set("write",
+                value::object(make_native_function(
+                    "write", [binding](js::interpreter&, const value&,
+                                       std::span<value> args) -> value {
+                      exec_state& exec = require_exec(binding, "Response.write");
+                      const value b = arg_or_undefined(args, 0);
+                      const std::size_t before = exec.write_buffer.size();
+                      if (b.is_object() &&
+                          b.as_object()->kind == js::object_kind::byte_array) {
+                        exec.write_buffer.append(b.as_object()->bytes);
+                      } else if (!b.is_nullish()) {
+                        exec.write_buffer.append(b.to_string());
+                      }
+                      exec.wrote = true;
+                      exec.bytes_written += exec.write_buffer.size() - before;
+                      return value::undefined();
+                    })));
+  ctx.global()->set("Response", value::object(response));
+}
+
+// ----- property mirroring ---------------------------------------------------------
+
+void sync_request_to_script(js::context& ctx, const http::request& r) {
+  auto request = global_object(ctx, "Request");
+  request->set("method", value::string(std::string(http::to_string(r.method))));
+  request->set("url", value::string(r.url.str()));
+  request->set("host", value::string(r.url.host()));
+  request->set("path", value::string(r.url.path()));
+  request->set("query", value::string(r.url.query()));
+  request->set("clientIP", value::string(r.client_ip));
+  request->set("clientHost", value::string(r.client_host));
+}
+
+void read_back_request(js::context& ctx, http::request& r) {
+  auto request = global_object(ctx, "Request");
+  const value url_prop = request->get("url");
+  if (url_prop.is_string() && url_prop.as_string() != r.url.str()) {
+    try {
+      r.url = http::url::parse_lenient(url_prop.as_string());
+    } catch (const std::invalid_argument&) {
+      // A malformed assignment leaves the request URL untouched; scripts
+      // that care use Request.setUrl, which validates eagerly.
+    }
+  }
+  const value method_prop = request->get("method");
+  if (method_prop.is_string()) {
+    if (const auto m = http::parse_method(method_prop.as_string())) r.method = *m;
+  }
+}
+
+void sync_response_to_script(js::context& ctx, const http::response& r) {
+  auto response = global_object(ctx, "Response");
+  response->set("status", value::number(r.status));
+  response->set("contentType", value::string(r.headers.get_or("Content-Type", "")));
+  response->set("contentLength", value::number(static_cast<double>(r.body_size())));
+}
+
+void read_back_response(js::context& ctx, exec_state& exec, http::response& r) {
+  auto response = global_object(ctx, "Response");
+  const value status_prop = response->get("status");
+  if (status_prop.is_number()) {
+    const int status = static_cast<int>(status_prop.as_number());
+    if (status >= 100 && status <= 599) r.status = status;
+  }
+  if (exec.wrote) {
+    r.body = util::make_body(std::move(exec.write_buffer));
+    r.headers.set("Content-Length", std::to_string(r.body->size()));
+    exec.write_buffer = util::byte_buffer();
+    exec.wrote = false;
+  }
+}
+
+}  // namespace nakika::core

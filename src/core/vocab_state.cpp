@@ -1,0 +1,210 @@
+// State-facing vocabularies: Cache (proxy-cache access for processed
+// content), Fetch (subrequests), HardState (per-site replicated storage,
+// paper §3.3), and Messages (reliable messaging). All are partitioned or
+// mediated per site, so hosted code cannot touch another site's state.
+#include "core/vocabulary.hpp"
+#include "js/stdlib.hpp"
+#include "util/strings.hpp"
+
+namespace nakika::core {
+
+using js::arg_or_undefined;
+using js::make_native_function;
+using js::require_string;
+using js::throw_js;
+using js::value;
+
+namespace {
+
+value response_to_script(js::interpreter& in, const http::response& r) {
+  auto obj = in.ctx().make_object();
+  obj->set("status", value::number(r.status));
+  obj->set("contentType", value::string(r.headers.get_or("Content-Type", "")));
+  auto body = in.ctx().make_byte_array();
+  if (r.body) {
+    body->bytes = *r.body;
+    in.ctx().charge_object(*body, body->bytes.size());
+  }
+  obj->set("body", value::object(body));
+
+  // getHeader closure over a copied header map.
+  auto headers = std::make_shared<http::header_map>(r.headers);
+  obj->set("getHeader",
+           value::object(make_native_function(
+               "getHeader", [headers](js::interpreter&, const value&,
+                                      std::span<value> args) -> value {
+                 const auto v = headers->get(require_string(args, 0, "getHeader"));
+                 return v ? value::string(*v) : value::null();
+               })));
+  return value::object(obj);
+}
+
+}  // namespace
+
+void install_state_vocabulary(js::context& ctx, exec_binding_ptr binding) {
+  // ----- Cache ---------------------------------------------------------------
+  auto cache_obj = js::make_plain_object();
+  cache_obj->set("get", value::object(make_native_function(
+                            "get", [binding](js::interpreter& in, const value&,
+                                             std::span<value> args) -> value {
+                              exec_state& exec = require_exec(binding, "Cache.get");
+                              if (exec.http_cache == nullptr) return value::null();
+                              const std::string url = require_string(args, 0, "Cache.get");
+                              const auto r = exec.http_cache->get(url, exec.now);
+                              if (!r) return value::null();
+                              return response_to_script(in, *r);
+                            })));
+  cache_obj->set("put",
+                 value::object(make_native_function(
+                     "put", [binding](js::interpreter&, const value&,
+                                      std::span<value> args) -> value {
+                       exec_state& exec = require_exec(binding, "Cache.put");
+                       if (exec.http_cache == nullptr) return value::boolean(false);
+                       const std::string url = require_string(args, 0, "Cache.put");
+                       const value spec = arg_or_undefined(args, 1);
+                       if (!spec.is_object()) {
+                         throw_js("Cache.put: second argument must be an object");
+                       }
+                       const auto& obj = spec.as_object();
+                       http::response r;
+                       const value status = obj->get("status");
+                       r.status = status.is_number()
+                                      ? static_cast<int>(status.as_number())
+                                      : 200;
+                       util::byte_buffer body;
+                       const value b = obj->get("body");
+                       if (b.is_object() &&
+                           b.as_object()->kind == js::object_kind::byte_array) {
+                         body = b.as_object()->bytes;
+                       } else if (!b.is_nullish()) {
+                         body.append(b.to_string());
+                       }
+                       const value content_type = obj->get("contentType");
+                       r = http::make_response(
+                           r.status,
+                           content_type.is_string() ? content_type.as_string()
+                                                    : "application/octet-stream",
+                           util::make_body(std::move(body)));
+                       const value ttl = obj->get("ttl");
+                       const std::int64_t ttl_s =
+                           ttl.is_number() ? static_cast<std::int64_t>(ttl.as_number())
+                                           : 300;
+                       if (ttl_s <= 0) throw_js("Cache.put: ttl must be positive");
+                       exec.http_cache->put_with_expiry(url, r, exec.now + ttl_s, exec.now);
+                       return value::boolean(true);
+                     })));
+  cache_obj->set("remove",
+                 value::object(make_native_function(
+                     "remove", [binding](js::interpreter&, const value&,
+                                         std::span<value> args) -> value {
+                       exec_state& exec = require_exec(binding, "Cache.remove");
+                       if (exec.http_cache == nullptr) return value::boolean(false);
+                       return value::boolean(
+                           exec.http_cache->remove(require_string(args, 0, "Cache.remove")));
+                     })));
+  ctx.global()->set("Cache", value::object(cache_obj));
+
+  // ----- Fetch ---------------------------------------------------------------
+  auto fetch_obj = js::make_plain_object();
+  fetch_obj->set(
+      "fetch",
+      value::object(make_native_function(
+          "fetch", [binding](js::interpreter& in, const value&,
+                             std::span<value> args) -> value {
+            exec_state& exec = require_exec(binding, "Fetch.fetch");
+            if (!exec.fetch) throw_js("Fetch.fetch: subrequests unavailable here");
+            http::request sub;
+            try {
+              sub.url = http::url::parse_lenient(require_string(args, 0, "Fetch.fetch"));
+            } catch (const std::invalid_argument& e) {
+              throw_js(std::string("Fetch.fetch: ") + e.what());
+            }
+            sub.client_ip = exec.request != nullptr ? exec.request->client_ip : "0.0.0.0";
+            const value opts = arg_or_undefined(args, 1);
+            if (opts.is_object()) {
+              const value m = opts.as_object()->get("method");
+              if (m.is_string()) {
+                const auto parsed = http::parse_method(m.as_string());
+                if (!parsed) throw_js("Fetch.fetch: unknown method " + m.as_string());
+                sub.method = *parsed;
+              }
+              const value body = opts.as_object()->get("body");
+              if (!body.is_nullish()) {
+                sub.body = util::make_body(body.to_string());
+              }
+            }
+            const fetch_result r = exec.fetch(sub);
+            exec.accumulated_delay += r.virtual_delay_seconds;
+            if (!r.ok) throw_js("Fetch.fetch: " + sub.url.str() + " unreachable");
+            return response_to_script(in, r.response);
+          })));
+  ctx.global()->set("Fetch", value::object(fetch_obj));
+
+  // ----- HardState -------------------------------------------------------------
+  auto hard_state = js::make_plain_object();
+  hard_state->set("get",
+                  value::object(make_native_function(
+                      "get", [binding](js::interpreter&, const value&,
+                                       std::span<value> args) -> value {
+                        exec_state& exec = require_exec(binding, "HardState.get");
+                        const std::string key = require_string(args, 0, "HardState.get");
+                        if (exec.replica != nullptr) {
+                          const auto v = exec.replica->get(key);
+                          return v ? value::string(*v) : value::null();
+                        }
+                        if (exec.store == nullptr) return value::null();
+                        const auto v = exec.store->get(exec.site, key);
+                        return v ? value::string(*v) : value::null();
+                      })));
+  hard_state->set("put",
+                  value::object(make_native_function(
+                      "put", [binding](js::interpreter&, const value&,
+                                       std::span<value> args) -> value {
+                        exec_state& exec = require_exec(binding, "HardState.put");
+                        const std::string key = require_string(args, 0, "HardState.put");
+                        const std::string val =
+                            arg_or_undefined(args, 1).to_string();
+                        if (exec.replica != nullptr) {
+                          exec.replica->put(key, val);
+                          return value::boolean(true);
+                        }
+                        if (exec.store == nullptr) return value::boolean(false);
+                        return value::boolean(exec.store->put(exec.site, key, val));
+                      })));
+  hard_state->set("scan",
+                  value::object(make_native_function(
+                      "scan", [binding](js::interpreter& in, const value&,
+                                        std::span<value> args) -> value {
+                        exec_state& exec = require_exec(binding, "HardState.scan");
+                        auto arr = in.ctx().make_array();
+                        if (exec.store == nullptr) return value::object(arr);
+                        const std::string prefix =
+                            args.empty() ? "" : args[0].to_string();
+                        for (const auto& [k, v] : exec.store->scan(exec.site, prefix)) {
+                          auto entry = in.ctx().make_object();
+                          entry->set("key", value::string(k));
+                          entry->set("value", value::string(v));
+                          arr->elements.push_back(value::object(entry));
+                        }
+                        return value::object(arr);
+                      })));
+  ctx.global()->set("HardState", value::object(hard_state));
+
+  // ----- Messages ---------------------------------------------------------------
+  auto messages = js::make_plain_object();
+  messages->set("publish",
+                value::object(make_native_function(
+                    "publish", [binding](js::interpreter&, const value&,
+                                         std::span<value> args) -> value {
+                      exec_state& exec = require_exec(binding, "Messages.publish");
+                      if (!exec.publish) {
+                        throw_js("Messages.publish: messaging unavailable here");
+                      }
+                      exec.publish(require_string(args, 0, "Messages.publish"),
+                                   arg_or_undefined(args, 1).to_string());
+                      return value::undefined();
+                    })));
+  ctx.global()->set("Messages", value::object(messages));
+}
+
+}  // namespace nakika::core

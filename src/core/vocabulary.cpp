@@ -1,0 +1,212 @@
+#include "core/vocabulary.hpp"
+
+#include "js/stdlib.hpp"
+#include "util/strings.hpp"
+
+namespace nakika::core {
+
+using js::arg_or_undefined;
+using js::make_native_function;
+using js::require_number;
+using js::require_string;
+using js::throw_js;
+using js::value;
+
+exec_state& require_exec(const exec_binding_ptr& binding, const char* who) {
+  if (binding == nullptr || binding->current == nullptr) {
+    throw_js(std::string(who) + ": no pipeline execution in progress");
+  }
+  return *binding->current;
+}
+
+// ----- Policy vocabulary --------------------------------------------------------
+
+namespace {
+
+// Collects a JS value that may be a string or an array of strings.
+std::vector<std::string> string_list(const value& v, const char* what) {
+  std::vector<std::string> out;
+  if (v.is_nullish()) return out;
+  if (v.is_string()) {
+    out.push_back(v.as_string());
+    return out;
+  }
+  if (v.is_object() && v.as_object()->kind == js::object_kind::array) {
+    for (const value& e : v.as_object()->elements) {
+      if (!e.is_string()) throw_js(std::string(what) + ": list entries must be strings");
+      out.push_back(e.as_string());
+    }
+    return out;
+  }
+  throw_js(std::string(what) + ": expected a string or an array of strings");
+}
+
+// Lowers a registered JS policy object into the C++ policy record.
+policy lower_policy(js::interpreter& in, const js::object_ptr& obj) {
+  (void)in;
+  policy p;
+
+  for (const auto& u : string_list(obj->get("url"), "Policy.url")) {
+    try {
+      p.urls.push_back(http::url::parse_lenient(u));
+    } catch (const std::invalid_argument& e) {
+      throw_js(std::string("Policy.url: ") + e.what());
+    }
+  }
+  p.clients = string_list(obj->get("client"), "Policy.client");
+  for (const auto& m : string_list(obj->get("method"), "Policy.method")) {
+    const auto parsed = http::parse_method(m);
+    if (!parsed) throw_js("Policy.method: unknown method '" + m + "'");
+    p.methods.push_back(*parsed);
+  }
+
+  const value headers = obj->get("headers");
+  if (headers.is_object() && headers.as_object()->kind == js::object_kind::plain) {
+    for (const auto& prop : headers.as_object()->props) {
+      for (const auto& pattern_text : string_list(prop.val, "Policy.headers")) {
+        header_predicate hp;
+        hp.name = prop.key;
+        hp.pattern_source = pattern_text;
+        try {
+          hp.pattern = std::make_shared<util::pattern>(pattern_text);
+        } catch (const std::invalid_argument& e) {
+          throw_js("Policy.headers: bad pattern for '" + prop.key + "': " + e.what());
+        }
+        p.headers.push_back(std::move(hp));
+      }
+    }
+  } else if (!headers.is_nullish()) {
+    throw_js("Policy.headers: expected an object mapping names to patterns");
+  }
+
+  p.on_request = obj->get("onRequest");
+  if (!p.on_request.is_nullish() &&
+      !(p.on_request.is_object() && p.on_request.as_object()->callable())) {
+    throw_js("Policy.onRequest must be a function");
+  }
+  p.on_response = obj->get("onResponse");
+  if (!p.on_response.is_nullish() &&
+      !(p.on_response.is_object() && p.on_response.as_object()->callable())) {
+    throw_js("Policy.onResponse must be a function");
+  }
+  p.next_stages = string_list(obj->get("nextStages"), "Policy.nextStages");
+  return p;
+}
+
+}  // namespace
+
+void install_policy_vocabulary(js::context& ctx, policy_sink_ptr sink) {
+  auto ctor = make_native_function(
+      "Policy", [](js::interpreter& in, const value& this_value, std::span<value>) -> value {
+        // `new Policy()` passes a fresh object as `this`; plain calls get a
+        // new object too.
+        if (this_value.is_object()) return this_value;
+        return value::object(in.ctx().make_object());
+      });
+
+  // register() lives on Policy.prototype so every instance sees it.
+  auto proto = js::make_plain_object();
+  proto->set("register",
+             value::object(make_native_function(
+                 "register",
+                 [sink](js::interpreter& in, const value& this_value,
+                        std::span<value>) -> value {
+                   if (sink == nullptr || sink->current == nullptr) {
+                     throw_js("Policy.register: no stage is loading");
+                   }
+                   if (!this_value.is_object()) {
+                     throw_js("Policy.register: call as policy.register()");
+                   }
+                   auto p = std::make_shared<policy>(lower_policy(in, this_value.as_object()));
+                   p->registration_order = sink->current->next_order++;
+                   sink->current->set.policies.push_back(std::move(p));
+                   return value::undefined();
+                 })));
+  ctor->set("prototype", value::object(proto));
+  ctx.global()->set("Policy", value::object(ctor));
+}
+
+// ----- System vocabulary --------------------------------------------------------
+
+void install_system_vocabulary(js::context& ctx, exec_binding_ptr binding) {
+  auto system = js::make_plain_object();
+
+  system->set("isLocal",
+              value::object(make_native_function(
+                  "isLocal", [binding](js::interpreter&, const value&,
+                                       std::span<value> args) -> value {
+                    exec_state& exec = require_exec(binding, "System.isLocal");
+                    const std::string probe = require_string(args, 0, "System.isLocal");
+                    for (const auto& spec : exec.local_specs) {
+                      if (spec.find('/') != std::string::npos) {
+                        if (http::cidr_contains(spec, probe)) return value::boolean(true);
+                      } else if (util::domain_matches(probe, spec) || probe == spec) {
+                        return value::boolean(true);
+                      }
+                    }
+                    return value::boolean(false);
+                  })));
+  system->set("time", value::object(make_native_function(
+                          "time", [binding](js::interpreter&, const value&,
+                                            std::span<value>) -> value {
+                            exec_state& exec = require_exec(binding, "System.time");
+                            return value::number(static_cast<double>(exec.now));
+                          })));
+  system->set("congestion",
+              value::object(make_native_function(
+                  "congestion", [binding](js::interpreter&, const value&,
+                                          std::span<value> args) -> value {
+                    exec_state& exec = require_exec(binding, "System.congestion");
+                    const std::string which = require_string(args, 0, "System.congestion");
+                    if (which == "cpu") return value::number(exec.resources.cpu_congestion);
+                    if (which == "memory") {
+                      return value::number(exec.resources.memory_congestion);
+                    }
+                    if (which == "bandwidth") {
+                      return value::number(exec.resources.bandwidth_congestion);
+                    }
+                    throw_js("System.congestion: unknown resource '" + which + "'");
+                  })));
+  system->set("contribution",
+              value::object(make_native_function(
+                  "contribution", [binding](js::interpreter&, const value&,
+                                            std::span<value>) -> value {
+                    exec_state& exec = require_exec(binding, "System.contribution");
+                    return value::number(exec.resources.site_contribution);
+                  })));
+  system->set("throttled",
+              value::object(make_native_function(
+                  "throttled", [binding](js::interpreter&, const value&,
+                                         std::span<value>) -> value {
+                    exec_state& exec = require_exec(binding, "System.throttled");
+                    return value::boolean(exec.resources.throttled);
+                  })));
+  system->set("site", value::object(make_native_function(
+                          "site", [binding](js::interpreter&, const value&,
+                                            std::span<value>) -> value {
+                            exec_state& exec = require_exec(binding, "System.site");
+                            return value::string(exec.site);
+                          })));
+  ctx.global()->set("System", value::object(system));
+
+  auto log = js::make_plain_object();
+  log->set("write", value::object(make_native_function(
+                        "write", [binding](js::interpreter&, const value&,
+                                           std::span<value> args) -> value {
+                          exec_state& exec = require_exec(binding, "Log.write");
+                          exec.log_lines.push_back(arg_or_undefined(args, 0).to_string());
+                          return value::undefined();
+                        })));
+  ctx.global()->set("Log", value::object(log));
+}
+
+void install_all_vocabularies(js::context& ctx, exec_binding_ptr binding,
+                              policy_sink_ptr sink) {
+  install_policy_vocabulary(ctx, std::move(sink));
+  install_http_vocabulary(ctx, binding);
+  install_system_vocabulary(ctx, binding);
+  install_media_vocabulary(ctx, binding);
+  install_state_vocabulary(ctx, binding);
+}
+
+}  // namespace nakika::core

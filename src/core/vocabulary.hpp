@@ -1,0 +1,120 @@
+// Vocabularies: the native-code libraries Na Kika exposes to scripts as
+// global JavaScript objects (paper §3.1). A sandboxed context installs them
+// once; per pipeline run, the executor points the shared exec_binding at the
+// current exec_state, so reused contexts see fresh request/response data.
+//
+// Installed globals:
+//   Policy            predicate + handler registration (paper Fig. 3)
+//   Request/Response  the HTTP message being processed (paper Fig. 2, 5)
+//   System            isLocal, time, congestion introspection, logging
+//   ImageTransformer  type/dimensions/transform (paper Fig. 2)
+//   XmlTransformer    XML + XSL-subset rendering (SIMM workload)
+//   Cache             proxy-cache access for processed content
+//   Fetch             subrequests to other web resources
+//   HardState         per-site replicated storage (paper §3.3)
+//   Messages          reliable messaging (paper §3.3)
+//   Log               per-site access/event logging (paper §3.3)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/http_cache.hpp"
+#include "core/policy.hpp"
+#include "http/message.hpp"
+#include "js/interpreter.hpp"
+#include "state/local_store.hpp"
+#include "state/replication.hpp"
+
+namespace nakika::core {
+
+// Thrown by Request.terminate(status); aborts the current handler and
+// short-circuits the pipeline with the generated response.
+struct request_terminated_signal {};
+
+struct fetch_result {
+  bool ok = false;
+  http::response response;
+  double virtual_delay_seconds = 0.0;  // charged to the pipeline's completion
+};
+using fetch_fn = std::function<fetch_result(const http::request&)>;
+
+// Resource-manager view exposed to scripts, "thus allowing scripts to adapt
+// to system congestion and recover from past penalization" (paper §3.2).
+struct resource_view {
+  double cpu_congestion = 0.0;        // utilization in [0, ~]
+  double memory_congestion = 0.0;
+  double bandwidth_congestion = 0.0;
+  double site_contribution = 0.0;     // this site's EWMA share
+  bool throttled = false;
+};
+
+// Per-pipeline-run state; vocabularies read and mutate through the binding.
+struct exec_state {
+  http::request* request = nullptr;
+  http::response* response = nullptr;  // non-null during onResponse phase
+
+  bool generated = false;              // onRequest produced a response
+  http::response generated_response;
+
+  std::size_t read_cursor = 0;         // Response.read() progress
+  util::byte_buffer write_buffer;      // Response.write() accumulator
+  bool wrote = false;
+
+  std::string site;                    // site identity for state partitioning
+  std::vector<std::string> local_specs;  // CIDRs / domain suffixes for isLocal
+  std::int64_t now = 0;                // virtual epoch seconds
+  double accumulated_delay = 0.0;      // virtual seconds owed to sub-fetches
+  std::uint64_t bytes_read = 0;        // resource accounting
+  std::uint64_t bytes_written = 0;
+
+  fetch_fn fetch;                            // null when subrequests unavailable
+  cache::http_cache* http_cache = nullptr;   // null when cache access disabled
+  state::local_store* store = nullptr;       // HardState backing
+  state::replica* replica = nullptr;         // replicated HardState (optional)
+  std::function<void(const std::string&, const std::string&)> publish;  // Messages
+  std::vector<std::string> log_lines;        // Log.write output
+  resource_view resources;
+};
+
+// Shared slot the vocabularies capture; the executor retargets it per run.
+struct exec_binding {
+  exec_state* current = nullptr;
+};
+using exec_binding_ptr = std::shared_ptr<exec_binding>;
+
+// Receives policies registered while one stage's script runs.
+struct policy_registry {
+  policy_set set;
+  std::uint64_t next_order = 0;
+};
+// Shared slot for the active registry (swapped per stage load).
+struct policy_sink {
+  policy_registry* current = nullptr;
+};
+using policy_sink_ptr = std::shared_ptr<policy_sink>;
+
+// --- installation (see vocab_http.cpp / vocab_media.cpp / vocab_state.cpp) ---
+void install_policy_vocabulary(js::context& ctx, policy_sink_ptr sink);
+void install_http_vocabulary(js::context& ctx, exec_binding_ptr binding);
+void install_system_vocabulary(js::context& ctx, exec_binding_ptr binding);
+void install_media_vocabulary(js::context& ctx, exec_binding_ptr binding);
+void install_state_vocabulary(js::context& ctx, exec_binding_ptr binding);
+
+// Installs everything above into one context.
+void install_all_vocabularies(js::context& ctx, exec_binding_ptr binding,
+                              policy_sink_ptr sink);
+
+// Helper shared by vocabularies: the current exec_state or a script error.
+[[nodiscard]] exec_state& require_exec(const exec_binding_ptr& binding, const char* who);
+
+// Refresh/readback between the executor and the Request/Response globals.
+void sync_request_to_script(js::context& ctx, const http::request& r);
+void read_back_request(js::context& ctx, http::request& r);
+void sync_response_to_script(js::context& ctx, const http::response& r);
+void read_back_response(js::context& ctx, exec_state& exec, http::response& r);
+
+}  // namespace nakika::core

@@ -1,0 +1,77 @@
+#include "http/cache_control.hpp"
+
+#include <algorithm>
+
+#include "http/date.hpp"
+#include "util/strings.hpp"
+
+namespace nakika::http {
+
+cache_directives parse_cache_control(std::string_view header_value) {
+  cache_directives d;
+  for (const auto& part : util::split_trimmed(header_value, ',')) {
+    const std::size_t eq = part.find('=');
+    const std::string name =
+        util::to_lower(eq == std::string::npos ? part : part.substr(0, eq));
+    std::string_view arg =
+        eq == std::string::npos ? std::string_view{} : std::string_view(part).substr(eq + 1);
+    if (!arg.empty() && arg.front() == '"' && arg.back() == '"' && arg.size() >= 2) {
+      arg = arg.substr(1, arg.size() - 2);
+    }
+    if (name == "no-store") {
+      d.no_store = true;
+    } else if (name == "no-cache") {
+      d.no_cache = true;
+    } else if (name == "private") {
+      d.is_private = true;
+    } else if (name == "must-revalidate") {
+      d.must_revalidate = true;
+    } else if (name == "max-age") {
+      if (const auto v = util::parse_int(arg); v && *v >= 0) d.max_age = *v;
+    } else if (name == "s-maxage") {
+      if (const auto v = util::parse_int(arg); v && *v >= 0) d.s_maxage = *v;
+    }
+  }
+  return d;
+}
+
+freshness compute_freshness(const response& r, std::int64_t response_time) {
+  freshness f;
+  // Only successful, complete responses are cacheable in our proxy.
+  if (r.status != 200 && r.status != 301 && r.status != 404) return f;
+
+  const cache_directives d = parse_cache_control(r.headers.get_or("Cache-Control", ""));
+  if (d.no_store || d.no_cache || d.is_private) return f;
+
+  if (d.s_maxage) {
+    f.cacheable = true;
+    f.expires_at = response_time + *d.s_maxage;
+    return f;
+  }
+  if (d.max_age) {
+    f.cacheable = true;
+    f.expires_at = response_time + *d.max_age;
+    return f;
+  }
+  if (const auto expires = r.headers.get("Expires")) {
+    if (const auto when = parse_http_date(*expires)) {
+      f.cacheable = *when > response_time;
+      f.expires_at = *when;
+      return f;
+    }
+    return f;  // malformed Expires means already stale
+  }
+  // Heuristic freshness: 10% of the age implied by Last-Modified, at most a
+  // day, at least nothing (uncacheable when Last-Modified is absent).
+  const auto last_modified = r.headers.get("Last-Modified");
+  if (!last_modified) return f;
+  const auto lm = parse_http_date(*last_modified);
+  if (!lm || *lm > response_time) return f;
+  const std::int64_t lifetime = std::min<std::int64_t>((response_time - *lm) / 10, 86400);
+  if (lifetime <= 0) return f;
+  f.cacheable = true;
+  f.expires_at = response_time + lifetime;
+  return f;
+}
+
+}  // namespace nakika::http

@@ -1,0 +1,36 @@
+// Expiration-based consistency, the web's cache model the paper builds on
+// (§3.3): parse Cache-Control and Expires, decide cacheability and freshness
+// lifetimes. Times are epoch seconds on the simulator's virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "http/message.hpp"
+
+namespace nakika::http {
+
+struct cache_directives {
+  bool no_store = false;
+  bool no_cache = false;
+  bool is_private = false;
+  bool must_revalidate = false;
+  std::optional<std::int64_t> max_age;    // seconds
+  std::optional<std::int64_t> s_maxage;   // seconds, shared caches
+};
+
+[[nodiscard]] cache_directives parse_cache_control(std::string_view header_value);
+
+// Freshness decision for a response received at `response_time` (epoch
+// seconds). Priority: s-maxage > max-age > Expires - Date. Responses with
+// no explicit lifetime get a conservative heuristic lifetime (10% of
+// Date - Last-Modified, capped), mirroring common proxy behaviour.
+struct freshness {
+  bool cacheable = false;
+  std::int64_t expires_at = 0;  // epoch seconds; meaningful if cacheable
+};
+
+[[nodiscard]] freshness compute_freshness(const response& r, std::int64_t response_time);
+
+}  // namespace nakika::http

@@ -1,0 +1,34 @@
+#include "http/cookies.hpp"
+
+#include "util/strings.hpp"
+
+namespace nakika::http {
+
+std::vector<cookie> parse_cookie_header(std::string_view header_value) {
+  std::vector<cookie> out;
+  for (const auto& part : util::split_trimmed(header_value, ';')) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) continue;
+    cookie c;
+    c.name = std::string(util::trim(std::string_view(part).substr(0, eq)));
+    c.value = std::string(util::trim(std::string_view(part).substr(eq + 1)));
+    if (!c.name.empty()) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::optional<std::string> get_cookie(std::string_view header_value, std::string_view name) {
+  for (const auto& c : parse_cookie_header(header_value)) {
+    if (c.name == name) return c.value;
+  }
+  return std::nullopt;
+}
+
+std::string format_set_cookie(const cookie& c, std::string_view path,
+                              std::optional<std::int64_t> max_age) {
+  std::string out = c.name + "=" + c.value + "; Path=" + std::string(path);
+  if (max_age) out += "; Max-Age=" + std::to_string(*max_age);
+  return out;
+}
+
+}  // namespace nakika::http

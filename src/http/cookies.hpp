@@ -1,0 +1,29 @@
+// Cookie parsing. The paper's vocabularies expose cookies to scripts (the
+// SIMM port switched from cookies to URL session identifiers, exercising
+// both paths).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nakika::http {
+
+struct cookie {
+  std::string name;
+  std::string value;
+};
+
+// Parses a Cookie request header: "a=1; b=2".
+[[nodiscard]] std::vector<cookie> parse_cookie_header(std::string_view header_value);
+
+// Finds a cookie by name in a Cookie header value.
+[[nodiscard]] std::optional<std::string> get_cookie(std::string_view header_value,
+                                                    std::string_view name);
+
+// Builds a Set-Cookie response header value.
+[[nodiscard]] std::string format_set_cookie(const cookie& c, std::string_view path = "/",
+                                            std::optional<std::int64_t> max_age = {});
+
+}  // namespace nakika::http

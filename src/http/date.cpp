@@ -1,0 +1,96 @@
+#include "http/date.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace nakika::http {
+
+namespace {
+
+constexpr std::array<const char*, 7> day_names = {"Sun", "Mon", "Tue", "Wed",
+                                                  "Thu", "Fri", "Sat"};
+constexpr std::array<const char*, 12> month_names = {"Jan", "Feb", "Mar", "Apr",
+                                                     "May", "Jun", "Jul", "Aug",
+                                                     "Sep", "Oct", "Nov", "Dec"};
+
+// Howard Hinnant's days-from-civil algorithm (public domain).
+std::int64_t days_from_civil(std::int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+// Inverse: civil date from days since epoch.
+void civil_from_days(std::int64_t z, std::int64_t& y, unsigned& m, unsigned& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const auto doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = doy - (153 * mp + 2) / 5 + 1;
+  m = mp + (mp < 10 ? 3 : -9);
+  y += m <= 2;
+}
+
+}  // namespace
+
+std::string format_http_date(std::int64_t epoch_seconds) {
+  std::int64_t days = epoch_seconds / 86400;
+  std::int64_t rem = epoch_seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  std::int64_t year = 0;
+  unsigned month = 0;
+  unsigned day = 0;
+  civil_from_days(days, year, month, day);
+  // Epoch (1970-01-01) was a Thursday (index 4).
+  const auto weekday = static_cast<std::size_t>(((days % 7) + 7 + 4) % 7);
+  const auto hour = static_cast<int>(rem / 3600);
+  const auto minute = static_cast<int>(rem % 3600 / 60);
+  const auto second = static_cast<int>(rem % 60);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s, %02u %s %04lld %02d:%02d:%02d GMT",
+                day_names[weekday], day, month_names[month - 1],
+                static_cast<long long>(year), hour, minute, second);
+  return buf;
+}
+
+std::optional<std::int64_t> parse_http_date(std::string_view text) {
+  // Expected: "Sun, 06 Nov 1994 08:49:37 GMT"
+  const auto fields = util::split_trimmed(std::string(text), ' ');
+  if (fields.size() != 6) return std::nullopt;
+  const auto day = util::parse_int(fields[1]);
+  if (!day || *day < 1 || *day > 31) return std::nullopt;
+  int month = 0;
+  for (std::size_t i = 0; i < month_names.size(); ++i) {
+    if (util::iequals(fields[2], month_names[i])) {
+      month = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  if (month == 0) return std::nullopt;
+  const auto year = util::parse_int(fields[3]);
+  if (!year || *year < 1900) return std::nullopt;
+  const auto hms = util::split(fields[4], ':');
+  if (hms.size() != 3) return std::nullopt;
+  const auto h = util::parse_int(hms[0]);
+  const auto m = util::parse_int(hms[1]);
+  const auto s = util::parse_int(hms[2]);
+  if (!h || !m || !s || *h < 0 || *h > 23 || *m < 0 || *m > 59 || *s < 0 || *s > 60) {
+    return std::nullopt;
+  }
+  const std::int64_t days = days_from_civil(*year, static_cast<unsigned>(month),
+                                            static_cast<unsigned>(*day));
+  return days * 86400 + *h * 3600 + *m * 60 + *s;
+}
+
+}  // namespace nakika::http

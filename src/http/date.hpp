@@ -1,0 +1,19 @@
+// HTTP-date (RFC 1123) formatting and parsing over plain epoch seconds.
+// The simulator runs on virtual seconds, so everything here is integer math
+// with no dependence on the host clock or timezone database.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nakika::http {
+
+// Formats epoch seconds as "Sun, 06 Nov 1994 08:49:37 GMT".
+[[nodiscard]] std::string format_http_date(std::int64_t epoch_seconds);
+
+// Parses RFC 1123 dates; returns nullopt on malformed input.
+[[nodiscard]] std::optional<std::int64_t> parse_http_date(std::string_view text);
+
+}  // namespace nakika::http

@@ -1,0 +1,129 @@
+#include "http/message.hpp"
+
+#include "util/strings.hpp"
+
+namespace nakika::http {
+
+std::string_view to_string(method m) {
+  switch (m) {
+    case method::get: return "GET";
+    case method::head: return "HEAD";
+    case method::post: return "POST";
+    case method::put: return "PUT";
+    case method::del: return "DELETE";
+    case method::options: return "OPTIONS";
+    case method::trace: return "TRACE";
+    case method::connect: return "CONNECT";
+  }
+  return "GET";
+}
+
+std::optional<method> parse_method(std::string_view text) {
+  if (util::iequals(text, "GET")) return method::get;
+  if (util::iequals(text, "HEAD")) return method::head;
+  if (util::iequals(text, "POST")) return method::post;
+  if (util::iequals(text, "PUT")) return method::put;
+  if (util::iequals(text, "DELETE")) return method::del;
+  if (util::iequals(text, "OPTIONS")) return method::options;
+  if (util::iequals(text, "TRACE")) return method::trace;
+  if (util::iequals(text, "CONNECT")) return method::connect;
+  return std::nullopt;
+}
+
+std::optional<std::string> header_map::get(std::string_view name) const {
+  for (const auto& e : entries_) {
+    if (util::iequals(e.name, name)) return e.val;
+  }
+  return std::nullopt;
+}
+
+std::string header_map::get_or(std::string_view name, std::string_view fallback) const {
+  const auto v = get(name);
+  return v ? *v : std::string(fallback);
+}
+
+bool header_map::has(std::string_view name) const { return get(name).has_value(); }
+
+std::vector<std::string> header_map::get_all(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    if (util::iequals(e.name, name)) out.push_back(e.val);
+  }
+  return out;
+}
+
+void header_map::set(std::string_view name, std::string_view v) {
+  remove(name);
+  entries_.push_back({std::string(name), std::string(v)});
+}
+
+void header_map::add(std::string_view name, std::string_view v) {
+  entries_.push_back({std::string(name), std::string(v)});
+}
+
+std::size_t header_map::remove(std::string_view name) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (util::iequals(it->name, name)) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::optional<std::int64_t> header_map::content_length() const {
+  const auto v = get("Content-Length");
+  if (!v) return std::nullopt;
+  const auto n = util::parse_int(*v);
+  if (!n || *n < 0) return std::nullopt;
+  return n;
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 206: return "Partial Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 307: return "Temporary Redirect";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+response make_response(int status, std::string_view content_type, util::shared_body body) {
+  response r;
+  r.status = status;
+  r.reason = reason_phrase(status);
+  if (!content_type.empty()) r.headers.set("Content-Type", content_type);
+  r.headers.set("Content-Length", std::to_string(body ? body->size() : 0));
+  r.body = std::move(body);
+  return r;
+}
+
+response make_error_response(int status, std::string_view detail) {
+  std::string text = std::to_string(status) + " " + std::string(reason_phrase(status));
+  if (!detail.empty()) {
+    text += "\n";
+    text += detail;
+  }
+  return make_response(status, "text/plain", util::make_body(text));
+}
+
+}  // namespace nakika::http

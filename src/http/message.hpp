@@ -1,0 +1,82 @@
+// HTTP message model: methods, status codes, case-insensitive header maps,
+// and request/response records. This is the substrate the paper gets from
+// Apache; everything the scripting pipeline touches flows through these types.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/url.hpp"
+#include "util/bytes.hpp"
+
+namespace nakika::http {
+
+enum class method : std::uint8_t { get, head, post, put, del, options, trace, connect };
+
+[[nodiscard]] std::string_view to_string(method m);
+[[nodiscard]] std::optional<method> parse_method(std::string_view text);
+
+// Insertion-ordered header collection with case-insensitive names, matching
+// HTTP semantics. Multiple headers with the same name are preserved.
+class header_map {
+ public:
+  // First value for `name`, if any.
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+  [[nodiscard]] std::string get_or(std::string_view name, std::string_view fallback) const;
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> get_all(std::string_view name) const;
+
+  // Replaces all values of `name` with a single value.
+  void set(std::string_view name, std::string_view v);
+  // Appends without replacing.
+  void add(std::string_view name, std::string_view v);
+  // Removes every value of `name`; returns how many were removed.
+  std::size_t remove(std::string_view name);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  struct entry {
+    std::string name;
+    std::string val;
+  };
+  [[nodiscard]] const std::vector<entry>& entries() const { return entries_; }
+
+  [[nodiscard]] std::optional<std::int64_t> content_length() const;
+
+ private:
+  std::vector<entry> entries_;
+};
+
+struct request {
+  http::method method = http::method::get;
+  http::url url;
+  header_map headers;
+  util::shared_body body;                // may be null (no body)
+  std::string client_ip;                 // dotted quad, filled in by the proxy
+  std::string client_host;               // reverse-resolved name, may be empty
+
+  [[nodiscard]] std::size_t body_size() const { return body ? body->size() : 0; }
+};
+
+struct response {
+  int status = 200;
+  std::string reason;  // derived from status if empty
+  header_map headers;
+  util::shared_body body;
+
+  [[nodiscard]] std::size_t body_size() const { return body ? body->size() : 0; }
+  [[nodiscard]] bool ok() const { return status >= 200 && status < 300; }
+};
+
+[[nodiscard]] std::string_view reason_phrase(int status);
+
+// Builds a minimal response with Content-Type/Content-Length set.
+[[nodiscard]] response make_response(int status, std::string_view content_type,
+                                     util::shared_body body);
+[[nodiscard]] response make_error_response(int status, std::string_view detail = {});
+
+}  // namespace nakika::http

@@ -1,0 +1,173 @@
+#include "http/url.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace nakika::http {
+
+namespace {
+
+void parse_authority(url& u, std::string_view authority) {
+  const std::size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    const auto port = util::parse_int(authority.substr(colon + 1));
+    if (!port || *port < 0 || *port > 65535) {
+      throw std::invalid_argument("url: bad port in '" + std::string(authority) + "'");
+    }
+    u.set_port(static_cast<std::uint16_t>(*port));
+    u.set_host(util::to_lower(authority.substr(0, colon)));
+  } else {
+    u.set_host(util::to_lower(authority));
+  }
+}
+
+void parse_path_query(url& u, std::string_view rest) {
+  if (rest.empty()) {
+    u.set_path("/");
+    return;
+  }
+  const std::size_t q = rest.find('?');
+  if (q == std::string_view::npos) {
+    u.set_path(rest);
+  } else {
+    u.set_path(rest.substr(0, q));
+    u.set_query(rest.substr(q + 1));
+  }
+  if (u.path().empty()) u.set_path("/");
+}
+
+}  // namespace
+
+url url::parse(std::string_view text) {
+  url u;
+  if (text.empty()) throw std::invalid_argument("url: empty input");
+
+  if (text.starts_with("/")) {  // origin-form
+    parse_path_query(u, text);
+    return u;
+  }
+
+  const std::size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos) {
+    throw std::invalid_argument("url: missing scheme in '" + std::string(text) + "'");
+  }
+  u.scheme_ = util::to_lower(text.substr(0, scheme_end));
+  if (u.scheme_ != "http" && u.scheme_ != "https") {
+    throw std::invalid_argument("url: unsupported scheme '" + u.scheme_ + "'");
+  }
+  u.port_ = u.scheme_ == "https" ? 443 : 80;
+
+  std::string_view rest = text.substr(scheme_end + 3);
+  const std::size_t path_start = rest.find('/');
+  const std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  if (authority.empty()) {
+    throw std::invalid_argument("url: empty host in '" + std::string(text) + "'");
+  }
+  parse_authority(u, authority);
+  parse_path_query(u, path_start == std::string_view::npos ? std::string_view{}
+                                                           : rest.substr(path_start));
+  return u;
+}
+
+url url::parse_lenient(std::string_view text) {
+  if (text.find("://") != std::string_view::npos || text.starts_with("/")) {
+    return parse(text);
+  }
+  // Scheme-less predicate form: host[:port][/path...].
+  url u;
+  const std::size_t path_start = text.find('/');
+  const std::string_view authority =
+      path_start == std::string_view::npos ? text : text.substr(0, path_start);
+  if (authority.empty()) throw std::invalid_argument("url: empty host");
+  parse_authority(u, authority);
+  parse_path_query(u, path_start == std::string_view::npos ? std::string_view{}
+                                                           : text.substr(path_start));
+  return u;
+}
+
+std::vector<std::string> url::host_components_reversed() const {
+  auto parts = util::split(host_, '.');
+  std::reverse(parts.begin(), parts.end());
+  return parts;
+}
+
+std::vector<std::string> url::path_components() const {
+  std::vector<std::string> out;
+  for (auto& part : util::split(path_, '/')) {
+    if (!part.empty()) out.push_back(std::move(part));
+  }
+  return out;
+}
+
+std::string url::str() const {
+  std::string out = scheme_ + "://" + host_;
+  const bool default_port =
+      (scheme_ == "http" && port_ == 80) || (scheme_ == "https" && port_ == 443);
+  if (!default_port) out += ":" + std::to_string(port_);
+  out += path_;
+  if (!query_.empty()) out += "?" + query_;
+  return out;
+}
+
+std::string url::host_and_path() const {
+  std::string out = host_;
+  const bool default_port =
+      (scheme_ == "http" && port_ == 80) || (scheme_ == "https" && port_ == 443);
+  if (!default_port) out += ":" + std::to_string(port_);
+  out += path_;
+  if (!query_.empty()) out += "?" + query_;
+  return out;
+}
+
+std::string url::site() const {
+  std::string out = scheme_ + "://" + host_;
+  const bool default_port =
+      (scheme_ == "http" && port_ == 80) || (scheme_ == "https" && port_ == 443);
+  if (!default_port) out += ":" + std::to_string(port_);
+  return out;
+}
+
+std::vector<std::string> ip_components(std::string_view ip) {
+  auto parts = util::split(ip, '.');
+  if (parts.size() != 4) return {};
+  for (const auto& p : parts) {
+    const auto v = util::parse_int(p);
+    if (!v || *v < 0 || *v > 255) return {};
+  }
+  return parts;
+}
+
+namespace {
+std::optional<std::uint32_t> ip_to_u32(std::string_view ip) {
+  const auto parts = ip_components(ip);
+  if (parts.empty()) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto& p : parts) {
+    v = v << 8 | static_cast<std::uint32_t>(*util::parse_int(p));
+  }
+  return v;
+}
+}  // namespace
+
+bool cidr_contains(std::string_view cidr, std::string_view ip) {
+  const std::size_t slash = cidr.find('/');
+  std::string_view base = cidr;
+  int bits = 32;
+  if (slash != std::string_view::npos) {
+    base = cidr.substr(0, slash);
+    const auto b = util::parse_int(cidr.substr(slash + 1));
+    if (!b || *b < 0 || *b > 32) return false;
+    bits = static_cast<int>(*b);
+  }
+  const auto base_v = ip_to_u32(base);
+  const auto ip_v = ip_to_u32(ip);
+  if (!base_v || !ip_v) return false;
+  if (bits == 0) return true;
+  const std::uint32_t mask = bits == 32 ? 0xFFFFFFFFu : ~((1u << (32 - bits)) - 1u);
+  return (*base_v & mask) == (*ip_v & mask);
+}
+
+}  // namespace nakika::http

@@ -1,0 +1,69 @@
+// URL parsing and decomposition. The decision tree (paper §4) matches on a
+// URL's server-name components, port, and path components, so those
+// decompositions live here next to the parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nakika::http {
+
+class url {
+ public:
+  url() = default;
+  // Parses an absolute ("http://host[:port]/path?query") or origin-form
+  // ("/path?query") URL. Throws std::invalid_argument on malformed input.
+  static url parse(std::string_view text);
+  // Parses a paper-style URL predicate value, which may omit the scheme:
+  // "med.nyu.edu/simms" means host prefix + path prefix.
+  static url parse_lenient(std::string_view text);
+
+  [[nodiscard]] const std::string& scheme() const { return scheme_; }
+  [[nodiscard]] const std::string& host() const { return host_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& query() const { return query_; }
+
+  void set_host(std::string_view host) { host_ = host; }
+  void set_path(std::string_view path) { path_ = path; }
+  void set_query(std::string_view query) { query_ = query; }
+  void set_port(std::uint16_t port) { port_ = port; }
+  void set_scheme(std::string_view scheme) { scheme_ = scheme; }
+
+  // Host components in reverse DNS order: "www.med.nyu.edu" -> {edu, nyu,
+  // med, www}. This is the order the decision tree descends.
+  [[nodiscard]] std::vector<std::string> host_components_reversed() const;
+  // Path components: "/a/b/c" -> {a, b, c}.
+  [[nodiscard]] std::vector<std::string> path_components() const;
+
+  // Full serialization "http://host[:port]/path[?query]".
+  [[nodiscard]] std::string str() const;
+  // Host[:port] + path + query, without the scheme (matches Host headers).
+  [[nodiscard]] std::string host_and_path() const;
+
+  // The site identity used for resource accounting and nakika.js discovery:
+  // scheme://host[:port].
+  [[nodiscard]] std::string site() const;
+
+  bool operator==(const url& other) const = default;
+
+ private:
+  std::string scheme_ = "http";
+  std::string host_;
+  std::uint16_t port_ = 80;
+  std::string path_ = "/";
+  std::string query_;
+};
+
+// Splits a dotted-quad IPv4 address into its four components as strings, most
+// significant first ("192.168.7.9" -> {192, 168, 7, 9}). Returns empty on
+// malformed input.
+[[nodiscard]] std::vector<std::string> ip_components(std::string_view ip);
+
+// True if `ip` falls inside `cidr` ("192.168.0.0/16"). Malformed inputs are
+// treated as non-matching.
+[[nodiscard]] bool cidr_contains(std::string_view cidr, std::string_view ip);
+
+}  // namespace nakika::http

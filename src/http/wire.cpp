@@ -1,0 +1,243 @@
+#include "http/wire.hpp"
+
+#include "util/strings.hpp"
+
+namespace nakika::http {
+
+namespace {
+
+void serialize_headers(std::string& out, const header_map& headers) {
+  for (const auto& e : headers.entries()) {
+    out += e.name;
+    out += ": ";
+    out += e.val;
+    out += "\r\n";
+  }
+  out += "\r\n";
+}
+
+struct head_parse {
+  bool ok = false;
+  std::string error;
+  std::string start_line;
+  header_map headers;
+  std::string_view rest;
+};
+
+head_parse parse_head(std::string_view wire) {
+  head_parse h;
+  const std::size_t line_end = wire.find("\r\n");
+  if (line_end == std::string_view::npos) {
+    h.error = "missing start line terminator";
+    return h;
+  }
+  h.start_line = std::string(wire.substr(0, line_end));
+  std::size_t pos = line_end + 2;
+  while (true) {
+    const std::size_t next = wire.find("\r\n", pos);
+    if (next == std::string_view::npos) {
+      h.error = "unterminated header block";
+      return h;
+    }
+    if (next == pos) {  // blank line
+      h.rest = wire.substr(pos + 2);
+      h.ok = true;
+      return h;
+    }
+    const std::string_view line = wire.substr(pos, next - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      h.error = "malformed header line: " + std::string(line);
+      return h;
+    }
+    h.headers.add(util::trim(line.substr(0, colon)), util::trim(line.substr(colon + 1)));
+    pos = next + 2;
+  }
+}
+
+struct body_parse {
+  bool ok = false;
+  std::string error;
+  util::shared_body body;
+};
+
+body_parse parse_body(const header_map& headers, std::string_view rest) {
+  body_parse b;
+  const auto transfer = headers.get("Transfer-Encoding");
+  if (transfer && util::iequals(*transfer, "chunked")) {
+    util::byte_buffer out;
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t line_end = rest.find("\r\n", pos);
+      if (line_end == std::string_view::npos) {
+        b.error = "chunked: missing size line";
+        return b;
+      }
+      const std::string size_text(util::trim(rest.substr(pos, line_end - pos)));
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(size_text.c_str(), &end, 16);
+      if (end == size_text.c_str()) {
+        b.error = "chunked: bad size '" + size_text + "'";
+        return b;
+      }
+      pos = line_end + 2;
+      if (n == 0) break;
+      if (pos + n + 2 > rest.size()) {
+        b.error = "chunked: truncated chunk";
+        return b;
+      }
+      out.append(rest.substr(pos, n));
+      pos += n + 2;  // skip trailing CRLF
+    }
+    b.body = util::make_body(std::move(out));
+    b.ok = true;
+    return b;
+  }
+  const auto length = headers.content_length();
+  if (length) {
+    if (static_cast<std::size_t>(*length) > rest.size()) {
+      b.error = "truncated body";
+      return b;
+    }
+    b.body = util::make_body(util::byte_buffer(rest.substr(0, static_cast<std::size_t>(*length))));
+    b.ok = true;
+    return b;
+  }
+  // No framing headers: everything remaining is the body.
+  if (!rest.empty()) b.body = util::make_body(util::byte_buffer(rest));
+  b.ok = true;
+  return b;
+}
+
+}  // namespace
+
+util::byte_buffer serialize(const request& r) {
+  std::string out;
+  out += to_string(r.method);
+  out += " ";
+  out += r.url.path();
+  if (!r.url.query().empty()) {
+    out += "?";
+    out += r.url.query();
+  }
+  out += " HTTP/1.1\r\n";
+  if (!r.headers.has("Host")) {
+    out += "Host: " + r.url.host() + "\r\n";
+  }
+  serialize_headers(out, r.headers);
+  util::byte_buffer buf(out);
+  if (r.body) buf.append(*r.body);
+  return buf;
+}
+
+util::byte_buffer serialize(const response& r) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    (r.reason.empty() ? std::string(reason_phrase(r.status)) : r.reason) +
+                    "\r\n";
+  serialize_headers(out, r.headers);
+  util::byte_buffer buf(out);
+  if (r.body) buf.append(*r.body);
+  return buf;
+}
+
+std::size_t wire_size(const request& r) {
+  std::size_t n = 4 + 14;  // method/version slack + separators
+  n += r.url.path().size() + r.url.query().size();
+  if (!r.headers.has("Host")) n += 8 + r.url.host().size();
+  for (const auto& e : r.headers.entries()) n += e.name.size() + e.val.size() + 4;
+  n += 2 + r.body_size();
+  return n;
+}
+
+std::size_t wire_size(const response& r) {
+  std::size_t n = 17;  // status line
+  for (const auto& e : r.headers.entries()) n += e.name.size() + e.val.size() + 4;
+  n += 2 + r.body_size();
+  return n;
+}
+
+parse_result_request parse_request(std::string_view wire) {
+  parse_result_request out;
+  head_parse h = parse_head(wire);
+  if (!h.ok) {
+    out.error = h.error;
+    return out;
+  }
+  const auto fields = util::split_trimmed(h.start_line, ' ');
+  if (fields.size() != 3) {
+    out.error = "malformed request line: " + h.start_line;
+    return out;
+  }
+  const auto m = parse_method(fields[0]);
+  if (!m) {
+    out.error = "unknown method: " + fields[0];
+    return out;
+  }
+  out.value.method = *m;
+  try {
+    if (fields[1].starts_with("/")) {
+      out.value.url = url::parse(fields[1]);
+      if (const auto host = h.headers.get("Host")) {
+        // Reconstruct an absolute URL from origin-form + Host.
+        url u = url::parse_lenient(*host + out.value.url.path() +
+                                   (out.value.url.query().empty()
+                                        ? ""
+                                        : "?" + out.value.url.query()));
+        out.value.url = u;
+      }
+    } else {
+      out.value.url = url::parse(fields[1]);
+    }
+  } catch (const std::invalid_argument& e) {
+    out.error = e.what();
+    return out;
+  }
+  out.value.headers = std::move(h.headers);
+  body_parse b = parse_body(out.value.headers, h.rest);
+  if (!b.ok) {
+    out.error = b.error;
+    return out;
+  }
+  out.value.body = std::move(b.body);
+  out.ok = true;
+  return out;
+}
+
+parse_result_response parse_response(std::string_view wire) {
+  parse_result_response out;
+  head_parse h = parse_head(wire);
+  if (!h.ok) {
+    out.error = h.error;
+    return out;
+  }
+  if (!h.start_line.starts_with("HTTP/1.")) {
+    out.error = "malformed status line: " + h.start_line;
+    return out;
+  }
+  const auto fields = util::split_trimmed(h.start_line, ' ');
+  if (fields.size() < 2) {
+    out.error = "malformed status line: " + h.start_line;
+    return out;
+  }
+  const auto status = util::parse_int(fields[1]);
+  if (!status || *status < 100 || *status > 599) {
+    out.error = "bad status code: " + fields[1];
+    return out;
+  }
+  out.value.status = static_cast<int>(*status);
+  for (std::size_t i = 2; i < fields.size(); ++i) {
+    if (!out.value.reason.empty()) out.value.reason += " ";
+    out.value.reason += fields[i];
+  }
+  out.value.headers = std::move(h.headers);
+  body_parse b = parse_body(out.value.headers, h.rest);
+  if (!b.ok) {
+    out.error = b.error;
+    return out;
+  }
+  out.value.body = std::move(b.body);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace nakika::http

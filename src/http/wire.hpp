@@ -1,0 +1,37 @@
+// HTTP/1.1 wire (de)serialization. The simulator charges link transfer time
+// by serialized size, and the tests round-trip messages through this format.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "http/message.hpp"
+
+namespace nakika::http {
+
+// Serializes a request in origin-form with Host header.
+[[nodiscard]] util::byte_buffer serialize(const request& r);
+[[nodiscard]] util::byte_buffer serialize(const response& r);
+
+// Size on the wire without materializing the full serialization.
+[[nodiscard]] std::size_t wire_size(const request& r);
+[[nodiscard]] std::size_t wire_size(const response& r);
+
+struct parse_result_request {
+  bool ok = false;
+  std::string error;
+  request value;
+};
+struct parse_result_response {
+  bool ok = false;
+  std::string error;
+  response value;
+};
+
+// Parses a complete serialized message. Supports Content-Length framing and
+// chunked transfer-coding. Parse failures are reported, not thrown: malformed
+// input is data-path, not programmer error.
+[[nodiscard]] parse_result_request parse_request(std::string_view wire);
+[[nodiscard]] parse_result_response parse_response(std::string_view wire);
+
+}  // namespace nakika::http

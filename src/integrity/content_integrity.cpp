@@ -1,0 +1,69 @@
+#include "integrity/content_integrity.hpp"
+
+#include "http/cache_control.hpp"
+#include "http/date.hpp"
+#include "integrity/hmac.hpp"
+
+namespace nakika::integrity {
+
+namespace {
+// The signed statement binds the content hash to the freshness deadline.
+std::string signing_input(std::string_view content_hash, std::string_view expires) {
+  return std::string(content_hash) + "\n" + std::string(expires);
+}
+}  // namespace
+
+const char* to_string(verify_result r) {
+  switch (r) {
+    case verify_result::ok: return "ok";
+    case verify_result::missing_headers: return "missing_headers";
+    case verify_result::hash_mismatch: return "hash_mismatch";
+    case verify_result::signature_mismatch: return "signature_mismatch";
+    case verify_result::relative_expiry: return "relative_expiry";
+    case verify_result::stale: return "stale";
+  }
+  return "?";
+}
+
+void sign_response(http::response& r, std::string_view key, std::int64_t now,
+                   std::int64_t lifetime_seconds) {
+  const std::string hash =
+      r.body ? sha256_hex(r.body->span()) : sha256_hex(std::string_view{});
+  r.headers.set("X-Content-SHA256", hash);
+
+  // Absolute expiration only: untrusted nodes cannot be relied on to
+  // decrement relative max-age values (paper §6).
+  if (!r.headers.has("Expires")) {
+    r.headers.set("Expires", http::format_http_date(now + lifetime_seconds));
+  }
+  auto directives = http::parse_cache_control(r.headers.get_or("Cache-Control", ""));
+  if (directives.max_age || directives.s_maxage) {
+    r.headers.remove("Cache-Control");
+  }
+  const std::string expires = r.headers.get_or("Expires", "");
+  r.headers.set("X-Signature", hmac_sha256_hex(key, signing_input(hash, expires)));
+}
+
+verify_result verify_response(const http::response& r, std::string_view key,
+                              std::int64_t now) {
+  const auto hash = r.headers.get("X-Content-SHA256");
+  const auto signature = r.headers.get("X-Signature");
+  if (!hash || !signature) return verify_result::missing_headers;
+
+  const std::string actual =
+      r.body ? sha256_hex(r.body->span()) : sha256_hex(std::string_view{});
+  if (actual != *hash) return verify_result::hash_mismatch;
+
+  const auto directives = http::parse_cache_control(r.headers.get_or("Cache-Control", ""));
+  if (directives.max_age || directives.s_maxage) return verify_result::relative_expiry;
+
+  const std::string expires = r.headers.get_or("Expires", "");
+  const std::string expected = hmac_sha256_hex(key, signing_input(*hash, expires));
+  if (expected != *signature) return verify_result::signature_mismatch;
+
+  const auto when = http::parse_http_date(expires);
+  if (!when || *when <= now) return verify_result::stale;
+  return verify_result::ok;
+}
+
+}  // namespace nakika::integrity

@@ -1,0 +1,42 @@
+// Static content integrity (paper §6): origins attach
+//   X-Content-SHA256: hex digest of the body (integrity; precomputable)
+//   X-Signature:      HMAC over the content hash + cache-control headers
+//                     (freshness; requires absolute Expires, because edge
+//                     nodes cannot be trusted to decrement relative ages)
+// and edge nodes verify both before serving cached copies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "http/message.hpp"
+
+namespace nakika::http {
+struct response;
+}
+
+namespace nakika::integrity {
+
+enum class verify_result {
+  ok,
+  missing_headers,     // response carries no integrity headers
+  hash_mismatch,       // body does not match X-Content-SHA256
+  signature_mismatch,  // X-Signature does not verify
+  relative_expiry,     // Cache-Control max-age present; absolute Expires required
+  stale,               // signed Expires has passed
+};
+
+[[nodiscard]] const char* to_string(verify_result r);
+
+// Attaches integrity headers to `r`, signing with `key`. Requires an
+// absolute Expires header; sets one `lifetime_seconds` ahead of `now` if the
+// response lacks it. Strips Cache-Control max-age (relative times defeat
+// freshness checking by untrusted nodes).
+void sign_response(http::response& r, std::string_view key, std::int64_t now,
+                   std::int64_t lifetime_seconds = 3600);
+
+// Verifies integrity + freshness at virtual time `now`.
+[[nodiscard]] verify_result verify_response(const http::response& r, std::string_view key,
+                                            std::int64_t now);
+
+}  // namespace nakika::integrity

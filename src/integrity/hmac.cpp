@@ -1,0 +1,57 @@
+#include "integrity/hmac.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/bytes.hpp"
+
+namespace nakika::integrity {
+
+sha256_digest hmac_sha256(std::string_view key, std::span<const std::uint8_t> message) {
+  constexpr std::size_t block_size = 64;
+  std::array<std::uint8_t, block_size> key_block{};
+  if (key.size() > block_size) {
+    const sha256_digest hashed = sha256_hash(key);
+    std::memcpy(key_block.data(), hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, block_size> ipad;
+  std::array<std::uint8_t, block_size> opad;
+  for (std::size_t i = 0; i < block_size; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  sha256 inner;
+  inner.update(std::span<const std::uint8_t>(ipad.data(), ipad.size()));
+  inner.update(message);
+  const sha256_digest inner_digest = inner.finish();
+
+  sha256 outer;
+  outer.update(std::span<const std::uint8_t>(opad.data(), opad.size()));
+  outer.update(std::span<const std::uint8_t>(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+sha256_digest hmac_sha256(std::string_view key, std::string_view message) {
+  return hmac_sha256(
+      key, std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(message.data()),
+                                         message.size()));
+}
+
+std::string hmac_sha256_hex(std::string_view key, std::string_view message) {
+  const sha256_digest d = hmac_sha256(key, message);
+  return util::to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+bool digests_equal(const sha256_digest& a, const sha256_digest& b) {
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<unsigned>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace nakika::integrity

@@ -1,0 +1,23 @@
+// HMAC-SHA256 (RFC 2104). Substitutes for the paper's public-key
+// X-Signature: the origin and the trusted registry share a key, which
+// preserves the integrity/freshness semantics without an offline RSA/DSA
+// implementation (documented in DESIGN.md).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "integrity/sha256.hpp"
+
+namespace nakika::integrity {
+
+[[nodiscard]] sha256_digest hmac_sha256(std::string_view key,
+                                        std::span<const std::uint8_t> message);
+[[nodiscard]] sha256_digest hmac_sha256(std::string_view key, std::string_view message);
+[[nodiscard]] std::string hmac_sha256_hex(std::string_view key, std::string_view message);
+
+// Constant-time comparison so signature checks don't leak timing.
+[[nodiscard]] bool digests_equal(const sha256_digest& a, const sha256_digest& b);
+
+}  // namespace nakika::integrity

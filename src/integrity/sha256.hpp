@@ -1,0 +1,38 @@
+// From-scratch SHA-256 (FIPS 180-4). The paper's X-Content-SHA256 header
+// carries exactly this digest; no crypto library is assumed offline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace nakika::integrity {
+
+using sha256_digest = std::array<std::uint8_t, 32>;
+
+class sha256 {
+ public:
+  sha256();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+  // Finalizes and returns the digest; the object must not be reused after.
+  [[nodiscard]] sha256_digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+[[nodiscard]] sha256_digest sha256_hash(std::span<const std::uint8_t> data);
+[[nodiscard]] sha256_digest sha256_hash(std::string_view text);
+[[nodiscard]] std::string sha256_hex(std::string_view text);
+[[nodiscard]] std::string sha256_hex(std::span<const std::uint8_t> data);
+
+}  // namespace nakika::integrity

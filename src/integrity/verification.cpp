@@ -1,0 +1,63 @@
+#include "integrity/verification.hpp"
+
+#include <stdexcept>
+
+#include "integrity/sha256.hpp"
+
+namespace nakika::integrity {
+
+verification_registry::verification_registry(std::size_t eviction_threshold)
+    : eviction_threshold_(eviction_threshold) {
+  if (eviction_threshold == 0) {
+    throw std::invalid_argument("verification_registry: threshold must be >= 1");
+  }
+}
+
+void verification_registry::register_node(const std::string& node) {
+  members_.insert(node);
+}
+
+bool verification_registry::is_member(const std::string& node) const {
+  return members_.contains(node);
+}
+
+bool verification_registry::report_mismatch(const std::string& accused,
+                                            const std::string& reporter) {
+  if (!members_.contains(accused)) return false;
+  auto& reporters = reports_[accused];
+  reporters.insert(reporter);
+  if (reporters.size() >= eviction_threshold_) {
+    members_.erase(accused);
+    evicted_.push_back(accused);
+    reports_.erase(accused);
+    return true;
+  }
+  return false;
+}
+
+std::size_t verification_registry::report_count(const std::string& node) const {
+  const auto it = reports_.find(node);
+  return it == reports_.end() ? 0 : it->second.size();
+}
+
+probabilistic_verifier::probabilistic_verifier(verification_registry& registry,
+                                               double sample_probability, util::rng& rng)
+    : registry_(registry), sample_probability_(sample_probability), rng_(rng) {
+  if (sample_probability < 0.0 || sample_probability > 1.0) {
+    throw std::invalid_argument("probabilistic_verifier: probability out of range");
+  }
+}
+
+bool probabilistic_verifier::should_verify() { return rng_.chance(sample_probability_); }
+
+bool probabilistic_verifier::check(const std::string& served_by, const std::string& reporter,
+                                   std::string_view original_body,
+                                   std::string_view replayed_body) {
+  ++checks_;
+  if (sha256_hex(original_body) == sha256_hex(replayed_body)) return true;
+  ++mismatches_;
+  registry_.report_mismatch(served_by, reporter);
+  return false;
+}
+
+}  // namespace nakika::integrity

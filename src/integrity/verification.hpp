@@ -1,0 +1,70 @@
+// Probabilistic verification of processed content (paper §6, future work):
+// a trusted registry maintains membership; clients forward a fraction of
+// received content to a second proxy which repeats the processing; mismatches
+// are reported and misbehaving nodes evicted.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace nakika::integrity {
+
+// Trusted registry of edge-node membership with report-based eviction.
+class verification_registry {
+ public:
+  // A node is evicted once it accumulates `eviction_threshold` mismatch
+  // reports from distinct reporters.
+  explicit verification_registry(std::size_t eviction_threshold = 3);
+
+  void register_node(const std::string& node);
+  [[nodiscard]] bool is_member(const std::string& node) const;
+  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+
+  // Records that `reporter` observed `accused` serving content that did not
+  // match an independent re-execution. Returns true if this report caused
+  // eviction.
+  bool report_mismatch(const std::string& accused, const std::string& reporter);
+
+  [[nodiscard]] std::size_t report_count(const std::string& node) const;
+  [[nodiscard]] const std::vector<std::string>& evicted() const { return evicted_; }
+
+ private:
+  std::size_t eviction_threshold_;
+  std::unordered_set<std::string> members_;
+  std::unordered_map<std::string, std::unordered_set<std::string>> reports_;
+  std::vector<std::string> evicted_;
+};
+
+// Client-side sampling: decides which responses to double-check and compares
+// the two executions.
+class probabilistic_verifier {
+ public:
+  probabilistic_verifier(verification_registry& registry, double sample_probability,
+                         util::rng& rng);
+
+  // Returns true if this response should be re-executed elsewhere.
+  [[nodiscard]] bool should_verify();
+
+  // Compares `original` against `replayed` (body digests). On mismatch,
+  // reports `served_by` to the registry. Returns true when contents matched.
+  bool check(const std::string& served_by, const std::string& reporter,
+             std::string_view original_body, std::string_view replayed_body);
+
+  [[nodiscard]] std::size_t checks_performed() const { return checks_; }
+  [[nodiscard]] std::size_t mismatches_found() const { return mismatches_; }
+
+ private:
+  verification_registry& registry_;
+  double sample_probability_;
+  util::rng& rng_;
+  std::size_t checks_ = 0;
+  std::size_t mismatches_ = 0;
+};
+
+}  // namespace nakika::integrity

@@ -1,0 +1,310 @@
+// Abstract syntax tree for the scripting language. Nodes are plain structs
+// discriminated by a kind enum; the interpreter switches on the kind and
+// static_casts, which keeps dispatch cheap for a tree-walker.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nakika::js {
+
+// ----- expressions ----------------------------------------------------------
+
+enum class expr_kind {
+  number_lit,
+  string_lit,
+  bool_lit,
+  null_lit,
+  undefined_lit,
+  identifier,
+  this_expr,
+  array_lit,
+  object_lit,
+  function_lit,
+  member,      // obj.name
+  index,       // obj[expr]
+  call,
+  new_call,
+  unary,       // ! - + ~ typeof delete
+  binary,      // arithmetic / relational / bitwise
+  logical,     // && ||
+  conditional, // ?:
+  assign,      // = += -= *= /= %= &= |= ^= <<= >>=
+  update,      // ++ -- (prefix / postfix)
+};
+
+struct expr {
+  explicit expr(expr_kind k, int ln) : kind(k), line(ln) {}
+  virtual ~expr() = default;
+  expr(const expr&) = delete;
+  expr& operator=(const expr&) = delete;
+
+  expr_kind kind;
+  int line;
+};
+using expr_ptr = std::unique_ptr<expr>;
+
+struct stmt;
+using stmt_ptr = std::unique_ptr<stmt>;
+
+struct number_lit final : expr {
+  number_lit(double v, int ln) : expr(expr_kind::number_lit, ln), value(v) {}
+  double value;
+};
+
+struct string_lit final : expr {
+  string_lit(std::string v, int ln) : expr(expr_kind::string_lit, ln), value(std::move(v)) {}
+  std::string value;
+};
+
+struct bool_lit final : expr {
+  bool_lit(bool v, int ln) : expr(expr_kind::bool_lit, ln), value(v) {}
+  bool value;
+};
+
+struct null_lit final : expr {
+  explicit null_lit(int ln) : expr(expr_kind::null_lit, ln) {}
+};
+
+struct undefined_lit final : expr {
+  explicit undefined_lit(int ln) : expr(expr_kind::undefined_lit, ln) {}
+};
+
+struct identifier final : expr {
+  identifier(std::string n, int ln) : expr(expr_kind::identifier, ln), name(std::move(n)) {}
+  std::string name;
+};
+
+struct this_expr final : expr {
+  explicit this_expr(int ln) : expr(expr_kind::this_expr, ln) {}
+};
+
+struct array_lit final : expr {
+  explicit array_lit(int ln) : expr(expr_kind::array_lit, ln) {}
+  std::vector<expr_ptr> elements;
+};
+
+struct object_lit final : expr {
+  explicit object_lit(int ln) : expr(expr_kind::object_lit, ln) {}
+  std::vector<std::pair<std::string, expr_ptr>> entries;
+};
+
+struct function_lit final : expr {
+  explicit function_lit(int ln) : expr(expr_kind::function_lit, ln) {}
+  std::string name;  // empty for anonymous function expressions
+  std::vector<std::string> params;
+  std::vector<stmt_ptr> body;
+};
+
+struct member_expr final : expr {
+  member_expr(expr_ptr obj, std::string prop, int ln)
+      : expr(expr_kind::member, ln), object(std::move(obj)), property(std::move(prop)) {}
+  expr_ptr object;
+  std::string property;
+};
+
+struct index_expr final : expr {
+  index_expr(expr_ptr obj, expr_ptr idx, int ln)
+      : expr(expr_kind::index, ln), object(std::move(obj)), index(std::move(idx)) {}
+  expr_ptr object;
+  expr_ptr index;
+};
+
+struct call_expr final : expr {
+  call_expr(expr_ptr c, int ln) : expr(expr_kind::call, ln), callee(std::move(c)) {}
+  expr_ptr callee;
+  std::vector<expr_ptr> args;
+};
+
+struct new_expr final : expr {
+  new_expr(expr_ptr c, int ln) : expr(expr_kind::new_call, ln), callee(std::move(c)) {}
+  expr_ptr callee;
+  std::vector<expr_ptr> args;
+};
+
+struct unary_expr final : expr {
+  unary_expr(std::string o, expr_ptr opnd, int ln)
+      : expr(expr_kind::unary, ln), op(std::move(o)), operand(std::move(opnd)) {}
+  std::string op;  // "!", "-", "+", "~", "typeof", "delete"
+  expr_ptr operand;
+};
+
+struct binary_expr final : expr {
+  binary_expr(std::string o, expr_ptr l, expr_ptr r, int ln)
+      : expr(expr_kind::binary, ln), op(std::move(o)), left(std::move(l)), right(std::move(r)) {}
+  std::string op;
+  expr_ptr left;
+  expr_ptr right;
+};
+
+struct logical_expr final : expr {
+  logical_expr(std::string o, expr_ptr l, expr_ptr r, int ln)
+      : expr(expr_kind::logical, ln), op(std::move(o)), left(std::move(l)), right(std::move(r)) {}
+  std::string op;  // "&&" or "||"
+  expr_ptr left;
+  expr_ptr right;
+};
+
+struct conditional_expr final : expr {
+  conditional_expr(expr_ptr c, expr_ptr t, expr_ptr f, int ln)
+      : expr(expr_kind::conditional, ln),
+        condition(std::move(c)),
+        if_true(std::move(t)),
+        if_false(std::move(f)) {}
+  expr_ptr condition;
+  expr_ptr if_true;
+  expr_ptr if_false;
+};
+
+struct assign_expr final : expr {
+  assign_expr(std::string o, expr_ptr t, expr_ptr v, int ln)
+      : expr(expr_kind::assign, ln), op(std::move(o)), target(std::move(t)), value(std::move(v)) {}
+  std::string op;  // "=", "+=", ...
+  expr_ptr target;
+  expr_ptr value;
+};
+
+struct update_expr final : expr {
+  update_expr(std::string o, bool pre, expr_ptr t, int ln)
+      : expr(expr_kind::update, ln), op(std::move(o)), prefix(pre), target(std::move(t)) {}
+  std::string op;  // "++" or "--"
+  bool prefix;
+  expr_ptr target;
+};
+
+// ----- statements ------------------------------------------------------------
+
+enum class stmt_kind {
+  expr_stmt,
+  var_decl,
+  block,
+  if_stmt,
+  while_stmt,
+  do_while_stmt,
+  for_stmt,
+  for_in_stmt,
+  return_stmt,
+  break_stmt,
+  continue_stmt,
+  function_decl,
+  throw_stmt,
+  try_stmt,
+  switch_stmt,
+  empty_stmt,
+};
+
+struct stmt {
+  explicit stmt(stmt_kind k, int ln) : kind(k), line(ln) {}
+  virtual ~stmt() = default;
+  stmt(const stmt&) = delete;
+  stmt& operator=(const stmt&) = delete;
+
+  stmt_kind kind;
+  int line;
+};
+
+struct expr_stmt final : stmt {
+  expr_stmt(expr_ptr e, int ln) : stmt(stmt_kind::expr_stmt, ln), expression(std::move(e)) {}
+  expr_ptr expression;
+};
+
+struct var_decl final : stmt {
+  explicit var_decl(int ln) : stmt(stmt_kind::var_decl, ln) {}
+  std::vector<std::pair<std::string, expr_ptr>> declarations;  // initializer may be null
+};
+
+struct block_stmt final : stmt {
+  explicit block_stmt(int ln) : stmt(stmt_kind::block, ln) {}
+  std::vector<stmt_ptr> body;
+};
+
+struct if_stmt final : stmt {
+  explicit if_stmt(int ln) : stmt(stmt_kind::if_stmt, ln) {}
+  expr_ptr condition;
+  stmt_ptr then_branch;
+  stmt_ptr else_branch;  // may be null
+};
+
+struct while_stmt final : stmt {
+  explicit while_stmt(int ln) : stmt(stmt_kind::while_stmt, ln) {}
+  expr_ptr condition;
+  stmt_ptr body;
+};
+
+struct do_while_stmt final : stmt {
+  explicit do_while_stmt(int ln) : stmt(stmt_kind::do_while_stmt, ln) {}
+  stmt_ptr body;
+  expr_ptr condition;
+};
+
+struct for_stmt final : stmt {
+  explicit for_stmt(int ln) : stmt(stmt_kind::for_stmt, ln) {}
+  stmt_ptr init;       // var_decl or expr_stmt; may be null
+  expr_ptr condition;  // may be null (infinite)
+  expr_ptr step;       // may be null
+  stmt_ptr body;
+};
+
+struct for_in_stmt final : stmt {
+  explicit for_in_stmt(int ln) : stmt(stmt_kind::for_in_stmt, ln) {}
+  std::string variable;
+  bool declares = false;  // true for `for (var k in ...)`
+  expr_ptr object;
+  stmt_ptr body;
+};
+
+struct return_stmt final : stmt {
+  explicit return_stmt(int ln) : stmt(stmt_kind::return_stmt, ln) {}
+  expr_ptr value;  // may be null
+};
+
+struct break_stmt final : stmt {
+  explicit break_stmt(int ln) : stmt(stmt_kind::break_stmt, ln) {}
+};
+
+struct continue_stmt final : stmt {
+  explicit continue_stmt(int ln) : stmt(stmt_kind::continue_stmt, ln) {}
+};
+
+struct function_decl final : stmt {
+  explicit function_decl(int ln) : stmt(stmt_kind::function_decl, ln) {}
+  std::unique_ptr<function_lit> function;
+};
+
+struct throw_stmt final : stmt {
+  throw_stmt(expr_ptr v, int ln) : stmt(stmt_kind::throw_stmt, ln), value(std::move(v)) {}
+  expr_ptr value;
+};
+
+struct try_stmt final : stmt {
+  explicit try_stmt(int ln) : stmt(stmt_kind::try_stmt, ln) {}
+  stmt_ptr try_block;
+  std::string catch_name;   // empty if no catch clause
+  stmt_ptr catch_block;     // may be null
+  stmt_ptr finally_block;   // may be null
+};
+
+struct switch_stmt final : stmt {
+  explicit switch_stmt(int ln) : stmt(stmt_kind::switch_stmt, ln) {}
+  expr_ptr discriminant;
+  struct case_clause {
+    expr_ptr test;  // null for `default:`
+    std::vector<stmt_ptr> body;
+  };
+  std::vector<case_clause> cases;
+};
+
+struct empty_stmt final : stmt {
+  explicit empty_stmt(int ln) : stmt(stmt_kind::empty_stmt, ln) {}
+};
+
+// A parsed script. Shared so function values can keep their AST alive after
+// the program object itself goes out of scope.
+struct program {
+  std::string name;  // source name for diagnostics (usually the script URL)
+  std::vector<stmt_ptr> body;
+};
+using program_ptr = std::shared_ptr<const program>;
+
+}  // namespace nakika::js

@@ -1,0 +1,46 @@
+// Error taxonomy for the scripting engine. Everything the sandbox and the
+// resource manager care about is distinguishable: syntax errors, runtime type
+// errors, script-thrown values, resource exhaustion, and forced termination
+// (the congestion controller killing a pipeline, paper Fig. 6).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nakika::js {
+
+enum class script_error_kind {
+  syntax,          // lexer/parser rejection
+  runtime,         // type errors, undefined calls, bad arguments
+  thrown,          // uncaught `throw` from script code
+  out_of_memory,   // context heap budget exhausted
+  ops_budget,      // instruction budget exhausted
+  terminated,      // kill flag set by the resource manager
+};
+
+class script_error : public std::runtime_error {
+ public:
+  script_error(script_error_kind kind, std::string message, int line = 0)
+      : std::runtime_error(std::move(message)), kind_(kind), line_(line) {}
+
+  [[nodiscard]] script_error_kind kind() const { return kind_; }
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  script_error_kind kind_;
+  int line_;
+};
+
+[[nodiscard]] inline const char* to_string(script_error_kind kind) {
+  switch (kind) {
+    case script_error_kind::syntax: return "syntax";
+    case script_error_kind::runtime: return "runtime";
+    case script_error_kind::thrown: return "thrown";
+    case script_error_kind::out_of_memory: return "out_of_memory";
+    case script_error_kind::ops_budget: return "ops_budget";
+    case script_error_kind::terminated: return "terminated";
+  }
+  return "?";
+}
+
+}  // namespace nakika::js

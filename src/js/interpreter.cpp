@@ -1,0 +1,992 @@
+#include "js/interpreter.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "js/parser.hpp"
+#include "js/stdlib.hpp"
+#include "util/strings.hpp"
+
+namespace nakika::js {
+
+// ----- environment -----------------------------------------------------------
+
+void environment::declare(std::string_view name, value v) {
+  if (backing_ != nullptr) {
+    backing_->set(name, std::move(v));
+    return;
+  }
+  if (value* existing = find_local(name)) {
+    *existing = std::move(v);
+    return;
+  }
+  slots_.emplace_back(std::string(name), std::move(v));
+}
+
+value* environment::find_local(std::string_view name) {
+  if (backing_ != nullptr) return backing_->find_own(name);
+  for (auto& [key, val] : slots_) {
+    if (key == name) return &val;
+  }
+  return nullptr;
+}
+
+value* environment::find(std::string_view name) {
+  for (environment* e = this; e != nullptr; e = e->parent_.get()) {
+    if (value* v = e->find_local(name)) return v;
+  }
+  return nullptr;
+}
+
+// ----- context ----------------------------------------------------------------
+
+context::context(context_limits limits) : limits_(limits) {
+  global_ = make_plain_object();
+  global_env_ = std::make_shared<environment>(nullptr, global_.get());
+  install_stdlib(*this);
+}
+
+namespace {
+constexpr std::size_t object_overhead = 64;
+}
+
+object_ptr context::make_object() {
+  auto o = make_plain_object();
+  o->proto = object_proto;
+  o->charge = heap_charge(heap_used_, object_overhead);
+  if (limits_.heap_bytes != 0 && *heap_used_ > limits_.heap_bytes) {
+    throw script_error(script_error_kind::out_of_memory, "script heap limit exceeded");
+  }
+  return o;
+}
+
+object_ptr context::make_array() {
+  auto o = make_array_object();
+  o->proto = array_proto;
+  o->charge = heap_charge(heap_used_, object_overhead);
+  if (limits_.heap_bytes != 0 && *heap_used_ > limits_.heap_bytes) {
+    throw script_error(script_error_kind::out_of_memory, "script heap limit exceeded");
+  }
+  return o;
+}
+
+object_ptr context::make_byte_array() {
+  auto o = make_byte_array_object();
+  o->proto = byte_array_proto;
+  o->charge = heap_charge(heap_used_, object_overhead);
+  if (limits_.heap_bytes != 0 && *heap_used_ > limits_.heap_bytes) {
+    throw script_error(script_error_kind::out_of_memory, "script heap limit exceeded");
+  }
+  return o;
+}
+
+object_ptr context::make_function(const function_lit* fn, program_ptr owner, env_ptr closure) {
+  auto o = std::make_shared<object>(object_kind::function);
+  o->proto = function_proto;
+  o->fn = fn;
+  o->owner = std::move(owner);
+  o->closure = std::move(closure);
+  o->name = fn->name;
+  // Script functions can serve as constructors; give them a prototype object.
+  o->set("prototype", value::object(make_plain_object()));
+  o->charge = heap_charge(heap_used_, object_overhead);
+  return o;
+}
+
+void context::charge_transient(std::size_t bytes) {
+  transient_run_ += bytes;  // always tracked: the resource manager reads this
+  if (limits_.heap_bytes == 0) return;
+  if (transient_run_ > limits_.heap_bytes || bytes > limits_.heap_bytes) {
+    throw script_error(script_error_kind::out_of_memory,
+                       "script allocation budget exceeded");
+  }
+}
+
+void context::charge_object(object& obj, std::size_t bytes) {
+  if (obj.charge.counter == nullptr) {
+    obj.charge = heap_charge(heap_used_, bytes);
+  } else {
+    obj.charge.add(bytes);
+  }
+  if (limits_.heap_bytes != 0 && *heap_used_ > limits_.heap_bytes) {
+    throw script_error(script_error_kind::out_of_memory, "script heap limit exceeded");
+  }
+}
+
+void context::count_op(int line) {
+  ++ops_used_;
+  if ((ops_used_ & 0xFF) == 0) {
+    if (kill_flag_->load(std::memory_order_relaxed)) {
+      throw script_error(script_error_kind::terminated, "pipeline terminated", line);
+    }
+    if (limits_.ops != 0 && ops_used_ > limits_.ops) {
+      throw script_error(script_error_kind::ops_budget, "script operation budget exceeded",
+                         line);
+    }
+  }
+}
+
+void context::add_ops(std::uint64_t n, int line) {
+  ops_used_ += n;
+  if (kill_flag_->load(std::memory_order_relaxed)) {
+    throw script_error(script_error_kind::terminated, "pipeline terminated", line);
+  }
+  if (limits_.ops != 0 && ops_used_ > limits_.ops) {
+    throw script_error(script_error_kind::ops_budget, "script operation budget exceeded", line);
+  }
+}
+
+void context::reset_for_reuse() {
+  ops_used_ = 0;
+  transient_run_ = 0;
+  kill_flag_->store(false, std::memory_order_relaxed);
+  call_depth = 0;
+}
+
+// ----- interpreter ------------------------------------------------------------
+
+struct interpreter::completion {
+  enum class kind { normal, returned, broke, continued } k = kind::normal;
+  value v;
+
+  static completion normal() { return {}; }
+  static completion returned(value v) {
+    completion c;
+    c.k = kind::returned;
+    c.v = std::move(v);
+    return c;
+  }
+  static completion broke() {
+    completion c;
+    c.k = kind::broke;
+    return c;
+  }
+  static completion continued() {
+    completion c;
+    c.k = kind::continued;
+    return c;
+  }
+  [[nodiscard]] bool abrupt() const { return k != kind::normal; }
+};
+
+void interpreter::runtime_fail(const std::string& message, int line) const {
+  throw script_error(script_error_kind::runtime, message, line);
+}
+
+namespace {
+// RAII guard for script call depth.
+class depth_guard {
+ public:
+  depth_guard(context& ctx, int line) : ctx_(ctx) {
+    if (++ctx_.call_depth > ctx_.limits().call_depth) {
+      --ctx_.call_depth;
+      throw script_error(script_error_kind::runtime, "maximum call depth exceeded", line);
+    }
+  }
+  ~depth_guard() { --ctx_.call_depth; }
+  depth_guard(const depth_guard&) = delete;
+  depth_guard& operator=(const depth_guard&) = delete;
+
+ private:
+  context& ctx_;
+};
+
+double to_int32(double d) {
+  if (std::isnan(d) || std::isinf(d)) return 0.0;
+  return static_cast<double>(static_cast<std::int32_t>(static_cast<std::int64_t>(d)));
+}
+}  // namespace
+
+void interpreter::run(const program_ptr& prog) {
+  env_ptr env = ctx_.global_env();
+  const program_ptr saved = std::exchange(active_program_, prog);
+  hoist_functions(prog->body, env);
+  try {
+    for (const auto& s : prog->body) {
+      const completion c = exec_stmt(*s, env);
+      if (c.abrupt()) {
+        runtime_fail("illegal top-level break/continue/return", s->line);
+      }
+    }
+  } catch (const thrown_value& t) {
+    active_program_ = saved;
+    throw script_error(script_error_kind::thrown,
+                       prog->name + ": uncaught exception: " + t.v.to_string());
+  } catch (...) {
+    active_program_ = saved;
+    throw;
+  }
+  active_program_ = saved;
+}
+
+value interpreter::call(const value& fn, const value& this_value, std::vector<value> args) {
+  if (!fn.is_object() || !fn.as_object()->callable()) {
+    runtime_fail("attempted to call a non-function", 0);
+  }
+  try {
+    return call_function_object(fn.as_object(), this_value, std::move(args), 0);
+  } catch (const thrown_value& t) {
+    throw script_error(script_error_kind::thrown,
+                       "uncaught exception: " + t.v.to_string());
+  }
+}
+
+void interpreter::hoist_functions(const std::vector<stmt_ptr>& body, env_ptr& env) {
+  for (const auto& s : body) {
+    if (s->kind == stmt_kind::function_decl) {
+      const auto& decl = static_cast<const function_decl&>(*s);
+      // The owner program pointer is not available here; function objects made
+      // during hoisting keep the AST alive via the enclosing program, which
+      // outlives the environment in all our uses. We store a null owner and
+      // rely on the host holding the program; exec of function_decl re-binds
+      // with the proper owner when reached. Hoisting only needs the binding to
+      // exist for mutual recursion, so bind the final object right away.
+      env->declare(decl.function->name, value::undefined());
+    }
+  }
+}
+
+interpreter::completion interpreter::exec_block(const std::vector<stmt_ptr>& body, env_ptr env) {
+  hoist_functions(body, env);
+  for (const auto& s : body) {
+    completion c = exec_stmt(*s, env);
+    if (c.abrupt()) return c;
+  }
+  return completion::normal();
+}
+
+interpreter::completion interpreter::exec_stmt(const stmt& s, env_ptr& env) {
+  ctx_.count_op(s.line);
+  switch (s.kind) {
+    case stmt_kind::empty_stmt:
+      return completion::normal();
+
+    case stmt_kind::expr_stmt:
+      eval(*static_cast<const expr_stmt&>(s).expression, env);
+      return completion::normal();
+
+    case stmt_kind::var_decl: {
+      const auto& decl = static_cast<const var_decl&>(s);
+      for (const auto& [name, init] : decl.declarations) {
+        env->declare(name, init ? eval(*init, env) : value::undefined());
+      }
+      return completion::normal();
+    }
+
+    case stmt_kind::block: {
+      const auto& block = static_cast<const block_stmt&>(s);
+      return exec_block(block.body, std::make_shared<environment>(env));
+    }
+
+    case stmt_kind::if_stmt: {
+      const auto& node = static_cast<const if_stmt&>(s);
+      if (eval(*node.condition, env).truthy()) {
+        return exec_stmt(*node.then_branch, env);
+      }
+      if (node.else_branch) return exec_stmt(*node.else_branch, env);
+      return completion::normal();
+    }
+
+    case stmt_kind::while_stmt: {
+      const auto& node = static_cast<const while_stmt&>(s);
+      while (eval(*node.condition, env).truthy()) {
+        ctx_.count_op(s.line);
+        completion c = exec_stmt(*node.body, env);
+        if (c.k == completion::kind::broke) break;
+        if (c.k == completion::kind::returned) return c;
+      }
+      return completion::normal();
+    }
+
+    case stmt_kind::do_while_stmt: {
+      const auto& node = static_cast<const do_while_stmt&>(s);
+      do {
+        ctx_.count_op(s.line);
+        completion c = exec_stmt(*node.body, env);
+        if (c.k == completion::kind::broke) break;
+        if (c.k == completion::kind::returned) return c;
+      } while (eval(*node.condition, env).truthy());
+      return completion::normal();
+    }
+
+    case stmt_kind::for_stmt: {
+      const auto& node = static_cast<const for_stmt&>(s);
+      env_ptr loop_env = std::make_shared<environment>(env);
+      if (node.init) {
+        completion c = exec_stmt(*node.init, loop_env);
+        if (c.abrupt()) return c;
+      }
+      while (!node.condition || eval(*node.condition, loop_env).truthy()) {
+        ctx_.count_op(s.line);
+        completion c = exec_stmt(*node.body, loop_env);
+        if (c.k == completion::kind::broke) break;
+        if (c.k == completion::kind::returned) return c;
+        if (node.step) eval(*node.step, loop_env);
+      }
+      return completion::normal();
+    }
+
+    case stmt_kind::for_in_stmt: {
+      const auto& node = static_cast<const for_in_stmt&>(s);
+      const value target = eval(*node.object, env);
+      env_ptr loop_env = std::make_shared<environment>(env);
+      if (node.declares) loop_env->declare(node.variable, value::undefined());
+
+      std::vector<std::string> keys;
+      if (target.is_object()) {
+        const auto& obj = target.as_object();
+        if (obj->kind == object_kind::array) {
+          for (std::size_t i = 0; i < obj->elements.size(); ++i) {
+            keys.push_back(std::to_string(i));
+          }
+        }
+        for (const auto& p : obj->props) keys.push_back(p.key);
+      }
+      for (const auto& key : keys) {
+        ctx_.count_op(s.line);
+        if (value* slot = loop_env->find(node.variable)) {
+          *slot = value::string(key);
+        } else {
+          // Assigning an undeclared loop variable creates a global, like JS.
+          ctx_.global()->set(node.variable, value::string(key));
+        }
+        completion c = exec_stmt(*node.body, loop_env);
+        if (c.k == completion::kind::broke) break;
+        if (c.k == completion::kind::returned) return c;
+      }
+      return completion::normal();
+    }
+
+    case stmt_kind::return_stmt: {
+      const auto& node = static_cast<const return_stmt&>(s);
+      return completion::returned(node.value ? eval(*node.value, env) : value::undefined());
+    }
+
+    case stmt_kind::break_stmt:
+      return completion::broke();
+
+    case stmt_kind::continue_stmt:
+      return completion::continued();
+
+    case stmt_kind::function_decl: {
+      const auto& decl = static_cast<const function_decl&>(s);
+      env->declare(decl.function->name,
+                   value::object(
+                       ctx_.make_function(decl.function.get(), active_program_, env)));
+      return completion::normal();
+    }
+
+    case stmt_kind::throw_stmt: {
+      const auto& node = static_cast<const throw_stmt&>(s);
+      throw thrown_value{eval(*node.value, env)};
+    }
+
+    case stmt_kind::try_stmt: {
+      const auto& node = static_cast<const try_stmt&>(s);
+      completion result = completion::normal();
+      bool pending_throw = false;
+      value pending_value;
+      try {
+        result = exec_stmt(*node.try_block, env);
+      } catch (const thrown_value& t) {
+        if (node.catch_block) {
+          env_ptr catch_env = std::make_shared<environment>(env);
+          catch_env->declare(node.catch_name, t.v);
+          try {
+            result = exec_stmt(*node.catch_block, catch_env);
+          } catch (const thrown_value& inner) {
+            pending_throw = true;
+            pending_value = inner.v;
+          }
+        } else {
+          pending_throw = true;
+          pending_value = t.v;
+        }
+      }
+      if (node.finally_block) {
+        completion fin = exec_stmt(*node.finally_block, env);
+        if (fin.abrupt()) return fin;  // finally overrides earlier completion
+      }
+      if (pending_throw) throw thrown_value{std::move(pending_value)};
+      return result;
+    }
+
+    case stmt_kind::switch_stmt: {
+      const auto& node = static_cast<const switch_stmt&>(s);
+      const value disc = eval(*node.discriminant, env);
+      env_ptr switch_env = std::make_shared<environment>(env);
+      bool matched = false;
+      // Two passes: cases first, then fall back to default, with fallthrough.
+      std::size_t start = node.cases.size();
+      for (std::size_t i = 0; i < node.cases.size(); ++i) {
+        if (node.cases[i].test &&
+            disc.strict_equals(eval(*node.cases[i].test, switch_env))) {
+          start = i;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        for (std::size_t i = 0; i < node.cases.size(); ++i) {
+          if (!node.cases[i].test) {
+            start = i;
+            break;
+          }
+        }
+      }
+      for (std::size_t i = start; i < node.cases.size(); ++i) {
+        for (const auto& st : node.cases[i].body) {
+          completion c = exec_stmt(*st, switch_env);
+          if (c.k == completion::kind::broke) return completion::normal();
+          if (c.abrupt()) return c;
+        }
+      }
+      return completion::normal();
+    }
+  }
+  runtime_fail("unhandled statement kind", s.line);
+}
+
+// ----- expressions -------------------------------------------------------------
+
+value interpreter::eval(const expr& e, env_ptr& env) {
+  ctx_.count_op(e.line);
+  switch (e.kind) {
+    case expr_kind::number_lit:
+      return value::number(static_cast<const number_lit&>(e).value);
+    case expr_kind::string_lit:
+      return value::string(static_cast<const string_lit&>(e).value);
+    case expr_kind::bool_lit:
+      return value::boolean(static_cast<const bool_lit&>(e).value);
+    case expr_kind::null_lit:
+      return value::null();
+    case expr_kind::undefined_lit:
+      return value::undefined();
+
+    case expr_kind::identifier: {
+      const auto& id = static_cast<const identifier&>(e);
+      if (value* v = env->find(id.name)) return *v;
+      // Fall back to global object properties (vocabularies live there).
+      if (const value* v = ctx_.global()->find_own(id.name)) return *v;
+      runtime_fail("'" + id.name + "' is not defined", e.line);
+    }
+
+    case expr_kind::this_expr: {
+      if (value* v = env->find("this")) return *v;
+      return value::undefined();
+    }
+
+    case expr_kind::array_lit: {
+      const auto& lit = static_cast<const array_lit&>(e);
+      auto arr = ctx_.make_array();
+      arr->elements.reserve(lit.elements.size());
+      for (const auto& el : lit.elements) {
+        arr->elements.push_back(eval(*el, env));
+      }
+      ctx_.charge_object(*arr, lit.elements.size() * 16);
+      return value::object(arr);
+    }
+
+    case expr_kind::object_lit: {
+      const auto& lit = static_cast<const object_lit&>(e);
+      auto obj = ctx_.make_object();
+      for (const auto& [key, val_expr] : lit.entries) {
+        obj->set(key, eval(*val_expr, env));
+      }
+      ctx_.charge_object(*obj, lit.entries.size() * 32);
+      return value::object(obj);
+    }
+
+    case expr_kind::function_lit: {
+      const auto& fn = static_cast<const function_lit&>(e);
+      return value::object(ctx_.make_function(&fn, active_program_, env));
+    }
+
+    case expr_kind::member: {
+      const auto& m = static_cast<const member_expr&>(e);
+      const value base = eval(*m.object, env);
+      return get_property(base, m.property, e.line);
+    }
+
+    case expr_kind::index: {
+      const auto& ix = static_cast<const index_expr&>(e);
+      const value base = eval(*ix.object, env);
+      const value idx = eval(*ix.index, env);
+      if (base.is_object()) {
+        const auto& obj = base.as_object();
+        if (obj->kind == object_kind::array && idx.is_number()) {
+          const double d = idx.as_number();
+          const auto i = static_cast<std::int64_t>(d);
+          if (i >= 0 && static_cast<std::size_t>(i) < obj->elements.size()) {
+            return obj->elements[static_cast<std::size_t>(i)];
+          }
+          return value::undefined();
+        }
+        if (obj->kind == object_kind::byte_array && idx.is_number()) {
+          const auto i = static_cast<std::int64_t>(idx.as_number());
+          if (i >= 0 && static_cast<std::size_t>(i) < obj->bytes.size()) {
+            return value::number(obj->bytes[static_cast<std::size_t>(i)]);
+          }
+          return value::undefined();
+        }
+      }
+      if (base.is_string() && idx.is_number()) {
+        const auto i = static_cast<std::int64_t>(idx.as_number());
+        if (i >= 0 && static_cast<std::size_t>(i) < base.as_string().size()) {
+          return value::string(std::string(1, base.as_string()[static_cast<std::size_t>(i)]));
+        }
+        return value::undefined();
+      }
+      return get_property(base, idx.to_string(), e.line);
+    }
+
+    case expr_kind::call:
+      return eval_call(static_cast<const call_expr&>(e), env);
+    case expr_kind::new_call:
+      return eval_new(static_cast<const new_expr&>(e), env);
+
+    case expr_kind::unary: {
+      const auto& u = static_cast<const unary_expr&>(e);
+      if (u.op == "typeof") {
+        // typeof tolerates undeclared identifiers.
+        if (u.operand->kind == expr_kind::identifier) {
+          const auto& id = static_cast<const identifier&>(*u.operand);
+          if (env->find(id.name) == nullptr &&
+              ctx_.global()->find_own(id.name) == nullptr) {
+            return value::string("undefined");
+          }
+        }
+        return value::string(eval(*u.operand, env).type_name());
+      }
+      if (u.op == "delete") {
+        if (u.operand->kind == expr_kind::member) {
+          const auto& m = static_cast<const member_expr&>(*u.operand);
+          const value base = eval(*m.object, env);
+          if (base.is_object()) return value::boolean(base.as_object()->erase(m.property));
+          return value::boolean(false);
+        }
+        if (u.operand->kind == expr_kind::index) {
+          const auto& ix = static_cast<const index_expr&>(*u.operand);
+          const value base = eval(*ix.object, env);
+          const value idx = eval(*ix.index, env);
+          if (base.is_object()) {
+            return value::boolean(base.as_object()->erase(idx.to_string()));
+          }
+          return value::boolean(false);
+        }
+        return value::boolean(true);
+      }
+      const value operand = eval(*u.operand, env);
+      if (u.op == "!") return value::boolean(!operand.truthy());
+      if (u.op == "-") return value::number(-operand.to_number());
+      if (u.op == "+") return value::number(operand.to_number());
+      if (u.op == "~") {
+        return value::number(
+            static_cast<double>(~static_cast<std::int32_t>(to_int32(operand.to_number()))));
+      }
+      runtime_fail("unknown unary operator " + u.op, e.line);
+    }
+
+    case expr_kind::binary:
+      return eval_binary(static_cast<const binary_expr&>(e), env);
+
+    case expr_kind::logical: {
+      const auto& l = static_cast<const logical_expr&>(e);
+      value left = eval(*l.left, env);
+      if (l.op == "&&") return left.truthy() ? eval(*l.right, env) : left;
+      return left.truthy() ? left : eval(*l.right, env);  // "||"
+    }
+
+    case expr_kind::conditional: {
+      const auto& c = static_cast<const conditional_expr&>(e);
+      return eval(*c.condition, env).truthy() ? eval(*c.if_true, env) : eval(*c.if_false, env);
+    }
+
+    case expr_kind::assign:
+      return eval_assign(static_cast<const assign_expr&>(e), env);
+    case expr_kind::update:
+      return eval_update(static_cast<const update_expr&>(e), env);
+  }
+  runtime_fail("unhandled expression kind", e.line);
+}
+
+value interpreter::eval_binary(const binary_expr& b, env_ptr& env) {
+  const value left = eval(*b.left, env);
+  const value right = eval(*b.right, env);
+  const std::string& op = b.op;
+
+  if (op == "+") {
+    if (left.is_string() || right.is_string() ||
+        (left.is_object() && !right.is_number()) ||
+        (right.is_object() && !left.is_number())) {
+      std::string result = left.to_string() + right.to_string();
+      ctx_.charge_transient(result.size());
+      return value::string(std::move(result));
+    }
+    return value::number(left.to_number() + right.to_number());
+  }
+  if (op == "-") return value::number(left.to_number() - right.to_number());
+  if (op == "*") return value::number(left.to_number() * right.to_number());
+  if (op == "/") return value::number(left.to_number() / right.to_number());
+  if (op == "%") return value::number(std::fmod(left.to_number(), right.to_number()));
+
+  if (op == "==") return value::boolean(left.loose_equals(right));
+  if (op == "!=") return value::boolean(!left.loose_equals(right));
+  if (op == "===") return value::boolean(left.strict_equals(right));
+  if (op == "!==") return value::boolean(!left.strict_equals(right));
+
+  if (op == "<" || op == ">" || op == "<=" || op == ">=") {
+    if (left.is_string() && right.is_string()) {
+      const int cmp = left.as_string().compare(right.as_string());
+      if (op == "<") return value::boolean(cmp < 0);
+      if (op == ">") return value::boolean(cmp > 0);
+      if (op == "<=") return value::boolean(cmp <= 0);
+      return value::boolean(cmp >= 0);
+    }
+    const double l = left.to_number();
+    const double r = right.to_number();
+    if (op == "<") return value::boolean(l < r);
+    if (op == ">") return value::boolean(l > r);
+    if (op == "<=") return value::boolean(l <= r);
+    return value::boolean(l >= r);
+  }
+
+  if (op == "&" || op == "|" || op == "^" || op == "<<" || op == ">>") {
+    const auto l = static_cast<std::int32_t>(to_int32(left.to_number()));
+    const auto r = static_cast<std::int32_t>(to_int32(right.to_number()));
+    if (op == "&") return value::number(l & r);
+    if (op == "|") return value::number(l | r);
+    if (op == "^") return value::number(l ^ r);
+    if (op == "<<") return value::number(l << (r & 31));
+    return value::number(l >> (r & 31));
+  }
+
+  if (op == "in") {
+    if (!right.is_object()) runtime_fail("'in' requires an object", b.line);
+    const auto& obj = right.as_object();
+    if (obj->kind == object_kind::array && left.is_number()) {
+      const auto i = static_cast<std::int64_t>(left.as_number());
+      return value::boolean(i >= 0 && static_cast<std::size_t>(i) < obj->elements.size());
+    }
+    return value::boolean(obj->has(left.to_string()));
+  }
+
+  if (op == "instanceof") {
+    if (!right.is_object() || !right.as_object()->callable()) {
+      runtime_fail("'instanceof' requires a function", b.line);
+    }
+    if (!left.is_object()) return value::boolean(false);
+    const value proto = right.as_object()->get("prototype");
+    if (!proto.is_object()) return value::boolean(false);
+    for (object_ptr p = left.as_object()->proto; p != nullptr; p = p->proto) {
+      if (p == proto.as_object()) return value::boolean(true);
+    }
+    return value::boolean(false);
+  }
+
+  runtime_fail("unknown binary operator " + op, b.line);
+}
+
+namespace {
+value apply_compound(interpreter& in, const std::string& op, const value& current,
+                     const value& operand, context& ctx, int line) {
+  (void)in;
+  const std::string base_op = op.substr(0, op.size() - 1);  // strip '='
+  if (base_op == "+") {
+    if (current.is_string() || operand.is_string()) {
+      std::string result = current.to_string() + operand.to_string();
+      ctx.charge_transient(result.size());
+      return value::string(std::move(result));
+    }
+    return value::number(current.to_number() + operand.to_number());
+  }
+  const double l = current.to_number();
+  const double r = operand.to_number();
+  if (base_op == "-") return value::number(l - r);
+  if (base_op == "*") return value::number(l * r);
+  if (base_op == "/") return value::number(l / r);
+  if (base_op == "%") return value::number(std::fmod(l, r));
+  const auto li = static_cast<std::int32_t>(to_int32(l));
+  const auto ri = static_cast<std::int32_t>(to_int32(r));
+  if (base_op == "&") return value::number(li & ri);
+  if (base_op == "|") return value::number(li | ri);
+  if (base_op == "^") return value::number(li ^ ri);
+  if (base_op == "<<") return value::number(li << (ri & 31));
+  if (base_op == ">>") return value::number(li >> (ri & 31));
+  throw script_error(script_error_kind::runtime, "unknown compound operator " + op, line);
+}
+}  // namespace
+
+value interpreter::eval_assign(const assign_expr& a, env_ptr& env) {
+  // Identifier target. The right-hand side is evaluated before the slot is
+  // located: evaluation can declare new bindings, which may invalidate any
+  // previously held slot pointer.
+  if (a.target->kind == expr_kind::identifier) {
+    const auto& id = static_cast<const identifier&>(*a.target);
+    value rhs = eval(*a.value, env);
+    if (a.op != "=") {
+      value* slot = env->find(id.name);
+      const value current = slot ? *slot : value::undefined();
+      rhs = apply_compound(*this, a.op, current, rhs, ctx_, a.line);
+    }
+    if (value* slot = env->find(id.name)) {
+      *slot = rhs;
+    } else {
+      // Undeclared assignment creates a global-object property (non-strict
+      // JS, where the global scope is the global object). This is how the
+      // paper's scripts publish handlers: `onResponse = function() {...}`.
+      ctx_.global()->set(id.name, rhs);
+    }
+    return rhs;
+  }
+
+  // Member / index target.
+  if (a.target->kind == expr_kind::member) {
+    const auto& m = static_cast<const member_expr&>(*a.target);
+    const value base = eval(*m.object, env);
+    value rhs = eval(*a.value, env);
+    if (a.op != "=") {
+      rhs = apply_compound(*this, a.op, get_property(base, m.property, a.line), rhs, ctx_,
+                           a.line);
+    }
+    set_property(base, m.property, rhs, a.line);
+    return rhs;
+  }
+
+  const auto& ix = static_cast<const index_expr&>(*a.target);
+  const value base = eval(*ix.object, env);
+  const value idx = eval(*ix.index, env);
+  value rhs = eval(*a.value, env);
+
+  if (base.is_object()) {
+    const auto& obj = base.as_object();
+    if (obj->kind == object_kind::array && idx.is_number()) {
+      const auto i = static_cast<std::int64_t>(idx.as_number());
+      if (i < 0) runtime_fail("negative array index", a.line);
+      if (a.op != "=") {
+        const value current = static_cast<std::size_t>(i) < obj->elements.size()
+                                  ? obj->elements[static_cast<std::size_t>(i)]
+                                  : value::undefined();
+        rhs = apply_compound(*this, a.op, current, rhs, ctx_, a.line);
+      }
+      if (static_cast<std::size_t>(i) >= obj->elements.size()) {
+        const std::size_t grown = static_cast<std::size_t>(i) + 1 - obj->elements.size();
+        ctx_.charge_object(*obj, grown * 16);
+        obj->elements.resize(static_cast<std::size_t>(i) + 1);
+      }
+      obj->elements[static_cast<std::size_t>(i)] = rhs;
+      return rhs;
+    }
+    if (obj->kind == object_kind::byte_array && idx.is_number()) {
+      const auto i = static_cast<std::int64_t>(idx.as_number());
+      if (i < 0 || static_cast<std::size_t>(i) >= obj->bytes.size()) {
+        runtime_fail("byte array index out of range", a.line);
+      }
+      if (a.op != "=") {
+        rhs = apply_compound(*this, a.op,
+                             value::number(obj->bytes[static_cast<std::size_t>(i)]), rhs,
+                             ctx_, a.line);
+      }
+      obj->bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(static_cast<std::int64_t>(rhs.to_number()) & 0xff);
+      return rhs;
+    }
+  }
+  if (a.op != "=") {
+    rhs = apply_compound(*this, a.op, get_property(base, idx.to_string(), a.line), rhs, ctx_,
+                         a.line);
+  }
+  set_property(base, idx.to_string(), rhs, a.line);
+  return rhs;
+}
+
+value interpreter::eval_update(const update_expr& u, env_ptr& env) {
+  const double delta = u.op == "++" ? 1.0 : -1.0;
+  if (u.target->kind == expr_kind::identifier) {
+    const auto& id = static_cast<const identifier&>(*u.target);
+    value* slot = env->find(id.name);
+    if (slot == nullptr) slot = ctx_.global()->find_own(id.name);
+    if (slot == nullptr) runtime_fail("'" + id.name + "' is not defined", u.line);
+    const double old_value = slot->to_number();
+    *slot = value::number(old_value + delta);
+    return value::number(u.prefix ? old_value + delta : old_value);
+  }
+  if (u.target->kind == expr_kind::member) {
+    const auto& m = static_cast<const member_expr&>(*u.target);
+    const value base = eval(*m.object, env);
+    const double old_value = get_property(base, m.property, u.line).to_number();
+    set_property(base, m.property, value::number(old_value + delta), u.line);
+    return value::number(u.prefix ? old_value + delta : old_value);
+  }
+  const auto& ix = static_cast<const index_expr&>(*u.target);
+  const value base = eval(*ix.object, env);
+  const value idx = eval(*ix.index, env);
+  if (base.is_object() && base.as_object()->kind == object_kind::array && idx.is_number()) {
+    const auto& obj = base.as_object();
+    const auto i = static_cast<std::size_t>(idx.as_number());
+    if (i >= obj->elements.size()) runtime_fail("array index out of range", u.line);
+    const double old_value = obj->elements[i].to_number();
+    obj->elements[i] = value::number(old_value + delta);
+    return value::number(u.prefix ? old_value + delta : old_value);
+  }
+  const std::string key = idx.to_string();
+  const double old_value = get_property(base, key, u.line).to_number();
+  set_property(base, key, value::number(old_value + delta), u.line);
+  return value::number(u.prefix ? old_value + delta : old_value);
+}
+
+value interpreter::eval_call(const call_expr& c, env_ptr& env) {
+  value this_value;
+  value callee;
+  if (c.callee->kind == expr_kind::member) {
+    const auto& m = static_cast<const member_expr&>(*c.callee);
+    this_value = eval(*m.object, env);
+    callee = get_property(this_value, m.property, c.line);
+    if (callee.is_undefined()) {
+      runtime_fail("method '" + m.property + "' is not defined on " +
+                       std::string(this_value.type_name()),
+                   c.line);
+    }
+  } else if (c.callee->kind == expr_kind::index) {
+    const auto& ix = static_cast<const index_expr&>(*c.callee);
+    this_value = eval(*ix.object, env);
+    const value idx = eval(*ix.index, env);
+    callee = get_property(this_value, idx.to_string(), c.line);
+  } else {
+    callee = eval(*c.callee, env);
+  }
+
+  std::vector<value> args;
+  args.reserve(c.args.size());
+  for (const auto& a : c.args) args.push_back(eval(*a, env));
+
+  if (!callee.is_object() || !callee.as_object()->callable()) {
+    runtime_fail("attempted to call a non-function", c.line);
+  }
+  return call_function_object(callee.as_object(), this_value, std::move(args), c.line);
+}
+
+value interpreter::eval_new(const new_expr& n, env_ptr& env) {
+  const value callee = eval(*n.callee, env);
+  if (!callee.is_object() || !callee.as_object()->callable()) {
+    runtime_fail("'new' applied to a non-function", n.line);
+  }
+  std::vector<value> args;
+  args.reserve(n.args.size());
+  for (const auto& a : n.args) args.push_back(eval(*a, env));
+
+  const object_ptr& ctor = callee.as_object();
+  object_ptr instance = ctx_.make_object();
+  const value proto = ctor->get("prototype");
+  if (proto.is_object()) instance->proto = proto.as_object();
+
+  const value result =
+      call_function_object(ctor, value::object(instance), std::move(args), n.line);
+  // A constructor returning an object overrides the fresh instance.
+  return result.is_object() ? result : value::object(instance);
+}
+
+value interpreter::call_function_object(const object_ptr& fn, const value& this_value,
+                                        std::vector<value> args, int line) {
+  depth_guard guard(ctx_, line);
+  if (fn->kind == object_kind::native_function) {
+    return fn->native(*this, this_value, std::span<value>(args));
+  }
+
+  // Function bodies may create more functions; those belong to this
+  // function's owning program.
+  const program_ptr saved = std::exchange(active_program_, fn->owner);
+  struct restore {
+    interpreter* self;
+    program_ptr saved;
+    ~restore() { self->active_program_ = std::move(saved); }
+  } restorer{this, saved};
+
+  env_ptr fn_env = std::make_shared<environment>(fn->closure ? fn->closure : ctx_.global_env());
+  fn_env->declare("this", this_value);
+  const auto& params = fn->fn->params;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    fn_env->declare(params[i], i < args.size() ? std::move(args[i]) : value::undefined());
+  }
+  // `arguments` array for variadic handlers.
+  auto args_array = ctx_.make_array();
+  for (std::size_t i = params.size(); i < args.size(); ++i) {
+    args_array->elements.push_back(std::move(args[i]));
+  }
+  fn_env->declare("arguments", value::object(args_array));
+
+  completion c = exec_block(fn->fn->body, fn_env);
+  if (c.k == completion::kind::returned) return c.v;
+  if (c.k == completion::kind::broke || c.k == completion::kind::continued) {
+    runtime_fail("break/continue escaped function body", line);
+  }
+  return value::undefined();
+}
+
+// ----- property access ----------------------------------------------------------
+
+value interpreter::get_property(const value& base, std::string_view name, int line) {
+  if (base.is_string()) {
+    if (name == "length") return value::number(static_cast<double>(base.as_string().size()));
+    if (ctx_.string_proto) return ctx_.string_proto->get(name);
+    return value::undefined();
+  }
+  if (base.is_number()) {
+    if (ctx_.number_proto) return ctx_.number_proto->get(name);
+    return value::undefined();
+  }
+  if (base.is_boolean()) return value::undefined();
+  if (base.is_nullish()) {
+    runtime_fail("cannot read property '" + std::string(name) + "' of " +
+                     std::string(base.is_null() ? "null" : "undefined"),
+                 line);
+  }
+  const auto& obj = base.as_object();
+  if (name == "length") {
+    if (obj->kind == object_kind::array) {
+      return value::number(static_cast<double>(obj->elements.size()));
+    }
+    if (obj->kind == object_kind::byte_array) {
+      return value::number(static_cast<double>(obj->bytes.size()));
+    }
+  }
+  return obj->get(name);
+}
+
+void interpreter::set_property(const value& base, std::string_view name, value v, int line) {
+  if (!base.is_object()) {
+    runtime_fail("cannot set property '" + std::string(name) + "' on a " +
+                     std::string(base.type_name()),
+                 line);
+  }
+  const auto& obj = base.as_object();
+  if (obj->kind == object_kind::array && name == "length") {
+    const auto n = static_cast<std::int64_t>(v.to_number());
+    if (n < 0) runtime_fail("invalid array length", line);
+    obj->elements.resize(static_cast<std::size_t>(n));
+    return;
+  }
+  if (obj->kind == object_kind::array) {
+    // Numeric string keys address elements ("0", "1", ...).
+    const auto idx = util::parse_int(name);
+    if (idx && *idx >= 0) {
+      if (static_cast<std::size_t>(*idx) >= obj->elements.size()) {
+        ctx_.charge_object(*obj,
+                           (static_cast<std::size_t>(*idx) + 1 - obj->elements.size()) * 16);
+        obj->elements.resize(static_cast<std::size_t>(*idx) + 1);
+      }
+      obj->elements[static_cast<std::size_t>(*idx)] = std::move(v);
+      return;
+    }
+  }
+  ctx_.charge_object(*obj, 32 + name.size());
+  obj->set(name, std::move(v));
+}
+
+void eval_script(context& ctx, std::string_view source, std::string_view name) {
+  const program_ptr prog = parse_program(source, name);
+  interpreter in(ctx);
+  in.run(prog);
+}
+
+}  // namespace nakika::js

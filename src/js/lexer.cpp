@@ -1,0 +1,206 @@
+#include "js/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "js/errors.hpp"
+
+namespace nakika::js {
+
+namespace {
+
+// Multi-character punctuators, longest first so maximal munch works.
+constexpr const char* punctuators[] = {
+    ">>>=", "===", "!==", ">>>", "<<=", ">>=", "&&", "||", "==", "!=", "<=",
+    ">=",  "++",  "--",  "+=",  "-=",  "*=",  "/=", "%=", "&=", "|=", "^=",
+    "<<",  ">>",  "{",   "}",   "(",   ")",   "[",  "]",  ";",  ",",  "<",
+    ">",   "+",   "-",   "*",   "/",   "%",   "&",  "|",  "^",  "!",  "~",
+    "?",   ":",   "=",   ".",
+};
+
+class lexer {
+ public:
+  explicit lexer(std::string_view src) : src_(src) {}
+
+  std::vector<token> run() {
+    std::vector<token> out;
+    while (true) {
+      skip_trivia();
+      if (pos_ >= src_.size()) {
+        out.push_back({token_kind::end_of_input, "", 0.0, line_});
+        return out;
+      }
+      out.push_back(next_token());
+    }
+  }
+
+ private:
+  void skip_trivia() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        const int start_line = line_;
+        pos_ += 2;
+        while (true) {
+          if (pos_ + 1 >= src_.size()) {
+            throw script_error(script_error_kind::syntax,
+                               "unterminated block comment", start_line);
+          }
+          if (src_[pos_] == '*' && src_[pos_ + 1] == '/') {
+            pos_ += 2;
+            break;
+          }
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  token next_token() {
+    const char c = src_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      return lex_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      return lex_identifier();
+    }
+    if (c == '"' || c == '\'') {
+      return lex_string();
+    }
+    return lex_punctuator();
+  }
+
+  token lex_number() {
+    const std::size_t start = pos_;
+    const int line = line_;
+    if (src_[pos_] == '0' && pos_ + 1 < src_.size() &&
+        (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+      pos_ += 2;
+      const std::size_t digits = pos_;
+      while (pos_ < src_.size() && std::isxdigit(static_cast<unsigned char>(src_[pos_]))) ++pos_;
+      if (pos_ == digits) {
+        throw script_error(script_error_kind::syntax, "malformed hex literal", line);
+      }
+      const std::string text(src_.substr(start, pos_ - start));
+      return {token_kind::number, text,
+              static_cast<double>(std::strtoull(text.c_str() + 2, nullptr, 16)), line};
+    }
+    while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) ++pos_;
+    if (pos_ < src_.size() && src_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) ++pos_;
+    }
+    if (pos_ < src_.size() && (src_[pos_] == 'e' || src_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < src_.size() && (src_[pos_] == '+' || src_[pos_] == '-')) ++pos_;
+      const std::size_t digits = pos_;
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) ++pos_;
+      if (pos_ == digits) {
+        throw script_error(script_error_kind::syntax, "malformed exponent", line);
+      }
+    }
+    const std::string text(src_.substr(start, pos_ - start));
+    return {token_kind::number, text, std::strtod(text.c_str(), nullptr), line};
+  }
+
+  token lex_identifier() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_' ||
+            src_[pos_] == '$')) {
+      ++pos_;
+    }
+    std::string text(src_.substr(start, pos_ - start));
+    const token_kind kind =
+        is_reserved_word(text) ? token_kind::keyword : token_kind::identifier;
+    return {kind, std::move(text), 0.0, line_};
+  }
+
+  token lex_string() {
+    const char quote = src_[pos_++];
+    const int line = line_;
+    std::string text;
+    while (true) {
+      if (pos_ >= src_.size() || src_[pos_] == '\n') {
+        throw script_error(script_error_kind::syntax, "unterminated string literal", line);
+      }
+      const char c = src_[pos_++];
+      if (c == quote) break;
+      if (c != '\\') {
+        text.push_back(c);
+        continue;
+      }
+      if (pos_ >= src_.size()) {
+        throw script_error(script_error_kind::syntax, "unterminated escape", line);
+      }
+      const char e = src_[pos_++];
+      switch (e) {
+        case 'n': text.push_back('\n'); break;
+        case 't': text.push_back('\t'); break;
+        case 'r': text.push_back('\r'); break;
+        case '0': text.push_back('\0'); break;
+        case 'b': text.push_back('\b'); break;
+        case 'f': text.push_back('\f'); break;
+        case 'v': text.push_back('\v'); break;
+        case 'x': {
+          if (pos_ + 1 >= src_.size()) {
+            throw script_error(script_error_kind::syntax, "bad \\x escape", line);
+          }
+          const std::string hex(src_.substr(pos_, 2));
+          char* end = nullptr;
+          const long v = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 2) {
+            throw script_error(script_error_kind::syntax, "bad \\x escape", line);
+          }
+          text.push_back(static_cast<char>(v));
+          pos_ += 2;
+          break;
+        }
+        case '\n':
+          ++line_;  // line continuation
+          break;
+        default:
+          text.push_back(e);  // \' \" \\ / and any other pass through
+          break;
+      }
+    }
+    return {token_kind::string, std::move(text), 0.0, line};
+  }
+
+  token lex_punctuator() {
+    for (const char* p : punctuators) {
+      const std::string_view sv(p);
+      if (src_.substr(pos_).starts_with(sv)) {
+        pos_ += sv.size();
+        return {token_kind::punctuator, std::string(sv), 0.0, line_};
+      }
+    }
+    throw script_error(script_error_kind::syntax,
+                       std::string("unexpected character '") + src_[pos_] + "'", line_);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::vector<token> tokenize(std::string_view source) {
+  return lexer(source).run();
+}
+
+}  // namespace nakika::js

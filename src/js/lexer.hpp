@@ -1,0 +1,17 @@
+// Hand-written lexer for the scripting language. Produces the full token
+// stream up front; scripts are small (the paper's largest is ~100 lines), so
+// eager tokenization keeps the parser simple.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "js/token.hpp"
+
+namespace nakika::js {
+
+// Tokenizes `source`. Throws script_error(syntax) on malformed input
+// (unterminated strings/comments, bad numbers, stray characters).
+[[nodiscard]] std::vector<token> tokenize(std::string_view source);
+
+}  // namespace nakika::js

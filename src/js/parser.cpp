@@ -1,0 +1,689 @@
+#include "js/parser.hpp"
+
+#include <utility>
+
+#include "js/errors.hpp"
+#include "js/lexer.hpp"
+
+namespace nakika::js {
+
+namespace {
+
+class parser {
+ public:
+  parser(std::vector<token> tokens, std::string_view name)
+      : tokens_(std::move(tokens)), name_(name) {}
+
+  program_ptr run() {
+    auto prog = std::make_shared<program>();
+    prog->name = name_;
+    while (!at_end()) {
+      prog->body.push_back(parse_statement());
+    }
+    return prog;
+  }
+
+ private:
+  // ----- token helpers -------------------------------------------------------
+
+  [[nodiscard]] const token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  [[nodiscard]] bool at_end() const { return peek().kind == token_kind::end_of_input; }
+  const token& advance() {
+    const token& t = tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_];
+    last_line_ = t.line;
+    return t;
+  }
+
+  bool match_punct(std::string_view p) {
+    if (peek().is_punct(p)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool match_keyword(std::string_view kw) {
+    if (peek().is_keyword(kw)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_punct(std::string_view p) {
+    if (!match_punct(p)) {
+      fail(std::string("expected '") + std::string(p) + "', got '" + peek().text + "'");
+    }
+  }
+
+  std::string expect_identifier() {
+    if (peek().kind != token_kind::identifier) {
+      fail("expected identifier, got '" + peek().text + "'");
+    }
+    return advance().text;
+  }
+
+  // Approximate automatic-semicolon-insertion: a statement terminator is a
+  // ';', the statement may end implicitly before '}' / end of input, or a
+  // line break separates it from the next token (newline ASI — the paper's
+  // Fig. 5 script relies on this).
+  void expect_semicolon() {
+    if (match_punct(";")) return;
+    if (peek().is_punct("}") || at_end()) return;
+    if (peek().line > last_line_) return;
+    fail("expected ';' before '" + peek().text + "'");
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw script_error(script_error_kind::syntax,
+                       name_ + ":" + std::to_string(peek().line) + ": " + message,
+                       peek().line);
+  }
+
+  // ----- statements ----------------------------------------------------------
+
+  stmt_ptr parse_statement() {
+    const token& t = peek();
+    if (t.is_punct("{")) return parse_block();
+    if (t.is_punct(";")) {
+      advance();
+      return std::make_unique<empty_stmt>(t.line);
+    }
+    if (t.kind == token_kind::keyword) {
+      if (t.text == "var") return parse_var();
+      if (t.text == "if") return parse_if();
+      if (t.text == "while") return parse_while();
+      if (t.text == "do") return parse_do_while();
+      if (t.text == "for") return parse_for();
+      if (t.text == "return") return parse_return();
+      if (t.text == "break") {
+        advance();
+        expect_semicolon();
+        return std::make_unique<break_stmt>(t.line);
+      }
+      if (t.text == "continue") {
+        advance();
+        expect_semicolon();
+        return std::make_unique<continue_stmt>(t.line);
+      }
+      if (t.text == "function") return parse_function_decl();
+      if (t.text == "throw") {
+        advance();
+        auto value = parse_expression();
+        expect_semicolon();
+        return std::make_unique<throw_stmt>(std::move(value), t.line);
+      }
+      if (t.text == "try") return parse_try();
+      if (t.text == "switch") return parse_switch();
+    }
+    auto e = parse_expression();
+    const int line = t.line;
+    expect_semicolon();
+    return std::make_unique<expr_stmt>(std::move(e), line);
+  }
+
+  stmt_ptr parse_block() {
+    const int line = peek().line;
+    expect_punct("{");
+    auto block = std::make_unique<block_stmt>(line);
+    while (!peek().is_punct("}")) {
+      if (at_end()) fail("unterminated block");
+      block->body.push_back(parse_statement());
+    }
+    expect_punct("}");
+    return block;
+  }
+
+  stmt_ptr parse_var() {
+    const int line = peek().line;
+    advance();  // var
+    auto decl = parse_var_declarators(line);
+    expect_semicolon();
+    return decl;
+  }
+
+  std::unique_ptr<var_decl> parse_var_declarators(int line) {
+    auto decl = std::make_unique<var_decl>(line);
+    while (true) {
+      std::string name = expect_identifier();
+      expr_ptr init;
+      if (match_punct("=")) init = parse_assignment();
+      decl->declarations.emplace_back(std::move(name), std::move(init));
+      if (!match_punct(",")) break;
+    }
+    return decl;
+  }
+
+  stmt_ptr parse_if() {
+    const int line = peek().line;
+    advance();  // if
+    expect_punct("(");
+    auto node = std::make_unique<if_stmt>(line);
+    node->condition = parse_expression();
+    expect_punct(")");
+    node->then_branch = parse_statement();
+    if (match_keyword("else")) node->else_branch = parse_statement();
+    return node;
+  }
+
+  stmt_ptr parse_while() {
+    const int line = peek().line;
+    advance();  // while
+    expect_punct("(");
+    auto node = std::make_unique<while_stmt>(line);
+    node->condition = parse_expression();
+    expect_punct(")");
+    node->body = parse_statement();
+    return node;
+  }
+
+  stmt_ptr parse_do_while() {
+    const int line = peek().line;
+    advance();  // do
+    auto node = std::make_unique<do_while_stmt>(line);
+    node->body = parse_statement();
+    if (!match_keyword("while")) fail("expected 'while' after do-body");
+    expect_punct("(");
+    node->condition = parse_expression();
+    expect_punct(")");
+    expect_semicolon();
+    return node;
+  }
+
+  stmt_ptr parse_for() {
+    const int line = peek().line;
+    advance();  // for
+    expect_punct("(");
+
+    // Distinguish `for (var x in e)`, `for (x in e)`, and the classic form.
+    if (peek().is_keyword("var") && peek(1).kind == token_kind::identifier &&
+        peek(2).is_keyword("in")) {
+      advance();  // var
+      auto node = std::make_unique<for_in_stmt>(line);
+      node->variable = expect_identifier();
+      node->declares = true;
+      advance();  // in
+      node->object = parse_expression();
+      expect_punct(")");
+      node->body = parse_statement();
+      return node;
+    }
+    if (peek().kind == token_kind::identifier && peek(1).is_keyword("in")) {
+      auto node = std::make_unique<for_in_stmt>(line);
+      node->variable = expect_identifier();
+      advance();  // in
+      node->object = parse_expression();
+      expect_punct(")");
+      node->body = parse_statement();
+      return node;
+    }
+
+    auto node = std::make_unique<for_stmt>(line);
+    if (!peek().is_punct(";")) {
+      if (peek().is_keyword("var")) {
+        advance();
+        node->init = parse_var_declarators(line);
+      } else {
+        node->init = std::make_unique<expr_stmt>(parse_expression(), line);
+      }
+    }
+    expect_punct(";");
+    if (!peek().is_punct(";")) node->condition = parse_expression();
+    expect_punct(";");
+    if (!peek().is_punct(")")) node->step = parse_expression();
+    expect_punct(")");
+    node->body = parse_statement();
+    return node;
+  }
+
+  stmt_ptr parse_return() {
+    const int line = peek().line;
+    advance();  // return
+    auto node = std::make_unique<return_stmt>(line);
+    if (!peek().is_punct(";") && !peek().is_punct("}") && !at_end()) {
+      node->value = parse_expression();
+    }
+    expect_semicolon();
+    return node;
+  }
+
+  stmt_ptr parse_function_decl() {
+    const int line = peek().line;
+    advance();  // function
+    auto fn = parse_function_rest(line, /*require_name=*/true);
+    auto decl = std::make_unique<function_decl>(line);
+    decl->function = std::move(fn);
+    return decl;
+  }
+
+  stmt_ptr parse_try() {
+    const int line = peek().line;
+    advance();  // try
+    auto node = std::make_unique<try_stmt>(line);
+    node->try_block = parse_block();
+    if (match_keyword("catch")) {
+      expect_punct("(");
+      node->catch_name = expect_identifier();
+      expect_punct(")");
+      node->catch_block = parse_block();
+    }
+    if (match_keyword("finally")) {
+      node->finally_block = parse_block();
+    }
+    if (!node->catch_block && !node->finally_block) {
+      fail("try requires catch or finally");
+    }
+    return node;
+  }
+
+  stmt_ptr parse_switch() {
+    const int line = peek().line;
+    advance();  // switch
+    expect_punct("(");
+    auto node = std::make_unique<switch_stmt>(line);
+    node->discriminant = parse_expression();
+    expect_punct(")");
+    expect_punct("{");
+    bool saw_default = false;
+    while (!peek().is_punct("}")) {
+      if (at_end()) fail("unterminated switch");
+      switch_stmt::case_clause clause;
+      if (match_keyword("case")) {
+        clause.test = parse_expression();
+      } else if (match_keyword("default")) {
+        if (saw_default) fail("duplicate default clause");
+        saw_default = true;
+      } else {
+        fail("expected 'case' or 'default'");
+      }
+      expect_punct(":");
+      while (!peek().is_punct("}") && !peek().is_keyword("case") &&
+             !peek().is_keyword("default")) {
+        clause.body.push_back(parse_statement());
+      }
+      node->cases.push_back(std::move(clause));
+    }
+    expect_punct("}");
+    return node;
+  }
+
+  // ----- expressions ---------------------------------------------------------
+
+  expr_ptr parse_expression() { return parse_assignment(); }
+
+  expr_ptr parse_assignment() {
+    auto left = parse_conditional();
+    static constexpr const char* assign_ops[] = {"=",  "+=", "-=", "*=", "/=", "%=",
+                                                 "&=", "|=", "^=", "<<=", ">>="};
+    for (const char* op : assign_ops) {
+      if (peek().is_punct(op)) {
+        const int line = peek().line;
+        advance();
+        if (left->kind != expr_kind::identifier && left->kind != expr_kind::member &&
+            left->kind != expr_kind::index) {
+          fail("invalid assignment target");
+        }
+        auto right = parse_assignment();
+        return std::make_unique<assign_expr>(op, std::move(left), std::move(right), line);
+      }
+    }
+    return left;
+  }
+
+  expr_ptr parse_conditional() {
+    auto cond = parse_logical_or();
+    if (match_punct("?")) {
+      const int line = peek().line;
+      auto t = parse_assignment();
+      expect_punct(":");
+      auto f = parse_assignment();
+      return std::make_unique<conditional_expr>(std::move(cond), std::move(t), std::move(f),
+                                                line);
+    }
+    return cond;
+  }
+
+  expr_ptr parse_logical_or() {
+    auto left = parse_logical_and();
+    while (peek().is_punct("||")) {
+      const int line = advance().line;
+      auto right = parse_logical_and();
+      left = std::make_unique<logical_expr>("||", std::move(left), std::move(right), line);
+    }
+    return left;
+  }
+
+  expr_ptr parse_logical_and() {
+    auto left = parse_bitwise_or();
+    while (peek().is_punct("&&")) {
+      const int line = advance().line;
+      auto right = parse_bitwise_or();
+      left = std::make_unique<logical_expr>("&&", std::move(left), std::move(right), line);
+    }
+    return left;
+  }
+
+  expr_ptr parse_bitwise_or() {
+    auto left = parse_bitwise_xor();
+    while (peek().is_punct("|")) {
+      const int line = advance().line;
+      left = std::make_unique<binary_expr>("|", std::move(left), parse_bitwise_xor(), line);
+    }
+    return left;
+  }
+
+  expr_ptr parse_bitwise_xor() {
+    auto left = parse_bitwise_and();
+    while (peek().is_punct("^")) {
+      const int line = advance().line;
+      left = std::make_unique<binary_expr>("^", std::move(left), parse_bitwise_and(), line);
+    }
+    return left;
+  }
+
+  expr_ptr parse_bitwise_and() {
+    auto left = parse_equality();
+    while (peek().is_punct("&")) {
+      const int line = advance().line;
+      left = std::make_unique<binary_expr>("&", std::move(left), parse_equality(), line);
+    }
+    return left;
+  }
+
+  expr_ptr parse_equality() {
+    auto left = parse_relational();
+    while (peek().is_punct("==") || peek().is_punct("!=") || peek().is_punct("===") ||
+           peek().is_punct("!==")) {
+      const token t = advance();
+      left = std::make_unique<binary_expr>(t.text, std::move(left), parse_relational(), t.line);
+    }
+    return left;
+  }
+
+  expr_ptr parse_relational() {
+    auto left = parse_shift();
+    while (true) {
+      if (peek().is_punct("<") || peek().is_punct(">") || peek().is_punct("<=") ||
+          peek().is_punct(">=")) {
+        const token t = advance();
+        left = std::make_unique<binary_expr>(t.text, std::move(left), parse_shift(), t.line);
+      } else if (peek().is_keyword("in") || peek().is_keyword("instanceof")) {
+        const token t = advance();
+        left = std::make_unique<binary_expr>(t.text, std::move(left), parse_shift(), t.line);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  expr_ptr parse_shift() {
+    auto left = parse_additive();
+    while (peek().is_punct("<<") || peek().is_punct(">>") || peek().is_punct(">>>")) {
+      const token t = advance();
+      left = std::make_unique<binary_expr>(t.text, std::move(left), parse_additive(), t.line);
+    }
+    return left;
+  }
+
+  expr_ptr parse_additive() {
+    auto left = parse_multiplicative();
+    while (peek().is_punct("+") || peek().is_punct("-")) {
+      const token t = advance();
+      left =
+          std::make_unique<binary_expr>(t.text, std::move(left), parse_multiplicative(), t.line);
+    }
+    return left;
+  }
+
+  expr_ptr parse_multiplicative() {
+    auto left = parse_unary();
+    while (peek().is_punct("*") || peek().is_punct("/") || peek().is_punct("%")) {
+      const token t = advance();
+      left = std::make_unique<binary_expr>(t.text, std::move(left), parse_unary(), t.line);
+    }
+    return left;
+  }
+
+  expr_ptr parse_unary() {
+    const token& t = peek();
+    if (t.is_punct("!") || t.is_punct("-") || t.is_punct("+") || t.is_punct("~")) {
+      advance();
+      return std::make_unique<unary_expr>(t.text, parse_unary(), t.line);
+    }
+    if (t.is_keyword("typeof") || t.is_keyword("delete")) {
+      advance();
+      return std::make_unique<unary_expr>(t.text, parse_unary(), t.line);
+    }
+    if (t.is_punct("++") || t.is_punct("--")) {
+      advance();
+      auto target = parse_unary();
+      if (target->kind != expr_kind::identifier && target->kind != expr_kind::member &&
+          target->kind != expr_kind::index) {
+        fail("invalid update target");
+      }
+      return std::make_unique<update_expr>(t.text, /*prefix=*/true, std::move(target), t.line);
+    }
+    return parse_postfix();
+  }
+
+  expr_ptr parse_postfix() {
+    auto operand = parse_call_member();
+    if (peek().is_punct("++") || peek().is_punct("--")) {
+      const token t = advance();
+      if (operand->kind != expr_kind::identifier && operand->kind != expr_kind::member &&
+          operand->kind != expr_kind::index) {
+        fail("invalid update target");
+      }
+      return std::make_unique<update_expr>(t.text, /*prefix=*/false, std::move(operand),
+                                           t.line);
+    }
+    return operand;
+  }
+
+  expr_ptr parse_call_member() {
+    expr_ptr node;
+    if (peek().is_keyword("new")) {
+      const int line = advance().line;
+      auto callee = parse_member_chain(parse_primary());
+      auto ne = std::make_unique<new_expr>(std::move(callee), line);
+      if (peek().is_punct("(")) {
+        ne->args = parse_arguments();
+      }
+      node = std::move(ne);
+    } else {
+      node = parse_primary();
+    }
+    // Any mix of .prop, [expr], and (args) chains.
+    while (true) {
+      if (peek().is_punct(".")) {
+        const int line = advance().line;
+        std::string prop = parse_property_name();
+        node = std::make_unique<member_expr>(std::move(node), std::move(prop), line);
+      } else if (peek().is_punct("[")) {
+        const int line = advance().line;
+        auto idx = parse_expression();
+        expect_punct("]");
+        node = std::make_unique<index_expr>(std::move(node), std::move(idx), line);
+      } else if (peek().is_punct("(")) {
+        const int line = peek().line;
+        auto call = std::make_unique<call_expr>(std::move(node), line);
+        call->args = parse_arguments();
+        node = std::move(call);
+      } else {
+        return node;
+      }
+    }
+  }
+
+  // Member chain without calls, for `new a.b.C(args)` — the callee binds
+  // tighter than the argument list.
+  expr_ptr parse_member_chain(expr_ptr node) {
+    while (true) {
+      if (peek().is_punct(".")) {
+        const int line = advance().line;
+        std::string prop = parse_property_name();
+        node = std::make_unique<member_expr>(std::move(node), std::move(prop), line);
+      } else if (peek().is_punct("[")) {
+        const int line = advance().line;
+        auto idx = parse_expression();
+        expect_punct("]");
+        node = std::make_unique<index_expr>(std::move(node), std::move(idx), line);
+      } else {
+        return node;
+      }
+    }
+  }
+
+  // Property names after '.' may be keywords (e.g. resp.delete is unusual but
+  // x.in shows up with header maps); accept identifiers and keywords.
+  std::string parse_property_name() {
+    if (peek().kind == token_kind::identifier || peek().kind == token_kind::keyword) {
+      return advance().text;
+    }
+    fail("expected property name after '.'");
+  }
+
+  std::vector<expr_ptr> parse_arguments() {
+    expect_punct("(");
+    std::vector<expr_ptr> args;
+    if (!peek().is_punct(")")) {
+      while (true) {
+        args.push_back(parse_assignment());
+        if (!match_punct(",")) break;
+      }
+    }
+    expect_punct(")");
+    return args;
+  }
+
+  expr_ptr parse_primary() {
+    const token& t = peek();
+    switch (t.kind) {
+      case token_kind::number:
+        advance();
+        return std::make_unique<number_lit>(t.number, t.line);
+      case token_kind::string:
+        advance();
+        return std::make_unique<string_lit>(t.text, t.line);
+      case token_kind::identifier:
+        advance();
+        return std::make_unique<identifier>(t.text, t.line);
+      case token_kind::keyword:
+        if (t.text == "true" || t.text == "false") {
+          advance();
+          return std::make_unique<bool_lit>(t.text == "true", t.line);
+        }
+        if (t.text == "null") {
+          advance();
+          return std::make_unique<null_lit>(t.line);
+        }
+        if (t.text == "undefined") {
+          advance();
+          return std::make_unique<undefined_lit>(t.line);
+        }
+        if (t.text == "this") {
+          advance();
+          return std::make_unique<this_expr>(t.line);
+        }
+        if (t.text == "function") {
+          advance();
+          return parse_function_rest(t.line, /*require_name=*/false);
+        }
+        fail("unexpected keyword '" + t.text + "'");
+      case token_kind::punctuator:
+        if (t.text == "(") {
+          advance();
+          auto inner = parse_expression();
+          expect_punct(")");
+          return inner;
+        }
+        if (t.text == "[") return parse_array_literal();
+        if (t.text == "{") return parse_object_literal();
+        fail("unexpected token '" + t.text + "'");
+      case token_kind::end_of_input:
+        fail("unexpected end of input");
+    }
+    fail("unexpected token");
+  }
+
+  std::unique_ptr<function_lit> parse_function_rest(int line, bool require_name) {
+    auto fn = std::make_unique<function_lit>(line);
+    if (peek().kind == token_kind::identifier) {
+      fn->name = advance().text;
+    } else if (require_name) {
+      fail("function declaration requires a name");
+    }
+    expect_punct("(");
+    if (!peek().is_punct(")")) {
+      while (true) {
+        fn->params.push_back(expect_identifier());
+        if (!match_punct(",")) break;
+      }
+    }
+    expect_punct(")");
+    expect_punct("{");
+    while (!peek().is_punct("}")) {
+      if (at_end()) fail("unterminated function body");
+      fn->body.push_back(parse_statement());
+    }
+    expect_punct("}");
+    return fn;
+  }
+
+  expr_ptr parse_array_literal() {
+    const int line = peek().line;
+    expect_punct("[");
+    auto arr = std::make_unique<array_lit>(line);
+    if (!peek().is_punct("]")) {
+      while (true) {
+        arr->elements.push_back(parse_assignment());
+        if (!match_punct(",")) break;
+        if (peek().is_punct("]")) break;  // trailing comma
+      }
+    }
+    expect_punct("]");
+    return arr;
+  }
+
+  expr_ptr parse_object_literal() {
+    const int line = peek().line;
+    expect_punct("{");
+    auto obj = std::make_unique<object_lit>(line);
+    if (!peek().is_punct("}")) {
+      while (true) {
+        std::string key;
+        if (peek().kind == token_kind::string) {
+          key = advance().text;
+        } else if (peek().kind == token_kind::identifier ||
+                   peek().kind == token_kind::keyword) {
+          key = advance().text;
+        } else if (peek().kind == token_kind::number) {
+          key = advance().text;
+        } else {
+          fail("expected property key");
+        }
+        expect_punct(":");
+        obj->entries.emplace_back(std::move(key), parse_assignment());
+        if (!match_punct(",")) break;
+        if (peek().is_punct("}")) break;  // trailing comma
+      }
+    }
+    expect_punct("}");
+    return obj;
+  }
+
+  std::vector<token> tokens_;
+  std::string name_;
+  std::size_t pos_ = 0;
+  int last_line_ = 0;
+};
+
+}  // namespace
+
+program_ptr parse_program(std::string_view source, std::string_view name) {
+  return parser(tokenize(source), name).run();
+}
+
+}  // namespace nakika::js

@@ -1,0 +1,14 @@
+// Recursive-descent parser producing the AST in ast.hpp.
+#pragma once
+
+#include <string_view>
+
+#include "js/ast.hpp"
+
+namespace nakika::js {
+
+// Parses a complete script. Throws script_error(syntax) on malformed input.
+// `name` is used in diagnostics (conventionally the script's URL).
+[[nodiscard]] program_ptr parse_program(std::string_view source, std::string_view name = "<script>");
+
+}  // namespace nakika::js

@@ -1,0 +1,21 @@
+#include "js/token.hpp"
+
+#include <array>
+
+namespace nakika::js {
+
+bool is_reserved_word(std::string_view word) {
+  static constexpr std::array keywords = {
+      "var",      "function", "return",  "if",     "else",    "while",
+      "for",      "do",       "break",   "continue", "new",   "delete",
+      "typeof",   "in",       "null",    "true",   "false",   "undefined",
+      "this",     "throw",    "try",     "catch",  "finally", "switch",
+      "case",     "default",  "instanceof",
+  };
+  for (const char* kw : keywords) {
+    if (word == kw) return true;
+  }
+  return false;
+}
+
+}  // namespace nakika::js

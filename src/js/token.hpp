@@ -1,0 +1,38 @@
+// Token model for the Na Kika scripting language, a JavaScript subset that
+// covers every construct used by the paper's scripts (event handlers, policy
+// objects, vocabularies) plus the conventional library surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nakika::js {
+
+enum class token_kind : std::uint8_t {
+  end_of_input,
+  identifier,
+  keyword,
+  number,
+  string,
+  punctuator,
+};
+
+struct token {
+  token_kind kind = token_kind::end_of_input;
+  std::string text;      // identifier name, keyword, punctuator spelling, or string value
+  double number = 0.0;   // numeric literal value
+  int line = 0;
+
+  [[nodiscard]] bool is_keyword(std::string_view kw) const {
+    return kind == token_kind::keyword && text == kw;
+  }
+  [[nodiscard]] bool is_punct(std::string_view p) const {
+    return kind == token_kind::punctuator && text == p;
+  }
+};
+
+// True if `word` is a reserved word of the language.
+[[nodiscard]] bool is_reserved_word(std::string_view word);
+
+}  // namespace nakika::js

@@ -1,0 +1,181 @@
+#include "js/value.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace nakika::js {
+
+bool value::truthy() const {
+  if (is_undefined() || is_null()) return false;
+  if (is_boolean()) return as_boolean();
+  if (is_number()) {
+    const double d = as_number();
+    return d != 0.0 && !std::isnan(d);
+  }
+  if (is_string()) return !as_string().empty();
+  return true;  // objects are always truthy
+}
+
+double value::to_number() const {
+  if (is_number()) return as_number();
+  if (is_boolean()) return as_boolean() ? 1.0 : 0.0;
+  if (is_null()) return 0.0;
+  if (is_string()) {
+    const auto d = util::parse_double(as_string());
+    if (d) return *d;
+    if (util::trim(as_string()).empty()) return 0.0;
+    return std::nan("");
+  }
+  if (is_object()) {
+    const auto& obj = as_object();
+    // Arrays of a single numeric element convert like JS ([5] -> 5).
+    if (obj->kind == object_kind::array && obj->elements.size() == 1) {
+      return obj->elements[0].to_number();
+    }
+    if (obj->kind == object_kind::array && obj->elements.empty()) return 0.0;
+    if (obj->kind == object_kind::byte_array) {
+      return std::nan("");
+    }
+  }
+  return std::nan("");
+}
+
+namespace {
+std::string number_to_string(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
+  // Integers print without a decimal point, like JS.
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", d);
+  return buf;
+}
+}  // namespace
+
+std::string value::to_string() const {
+  if (is_undefined()) return "undefined";
+  if (is_null()) return "null";
+  if (is_boolean()) return as_boolean() ? "true" : "false";
+  if (is_number()) return number_to_string(as_number());
+  if (is_string()) return as_string();
+  const auto& obj = as_object();
+  switch (obj->kind) {
+    case object_kind::array: {
+      std::string out;
+      for (std::size_t i = 0; i < obj->elements.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        const value& e = obj->elements[i];
+        if (!e.is_nullish()) out += e.to_string();
+      }
+      return out;
+    }
+    case object_kind::function:
+    case object_kind::native_function:
+      return "function " + obj->name + "() { [code] }";
+    case object_kind::byte_array:
+      return obj->bytes.str();
+    case object_kind::plain:
+      return "[object Object]";
+  }
+  return "[object Object]";
+}
+
+const char* value::type_name() const {
+  if (is_undefined()) return "undefined";
+  if (is_null()) return "object";  // JS quirk preserved
+  if (is_boolean()) return "boolean";
+  if (is_number()) return "number";
+  if (is_string()) return "string";
+  return as_object()->callable() ? "function" : "object";
+}
+
+bool value::strict_equals(const value& other) const {
+  if (is_undefined() && other.is_undefined()) return true;
+  if (is_null() && other.is_null()) return true;
+  if (is_boolean() && other.is_boolean()) return as_boolean() == other.as_boolean();
+  if (is_number() && other.is_number()) return as_number() == other.as_number();
+  if (is_string() && other.is_string()) return as_string() == other.as_string();
+  if (is_object() && other.is_object()) return as_object() == other.as_object();
+  return false;
+}
+
+bool value::loose_equals(const value& other) const {
+  if (is_nullish() && other.is_nullish()) return true;
+  if (is_nullish() || other.is_nullish()) return false;
+  if (v_.index() == other.v_.index()) return strict_equals(other);
+  // Mixed types coerce numerically, except string-vs-object which compares
+  // via the object's string form (covers `header == "value"` patterns).
+  if (is_string() && other.is_object()) return as_string() == other.to_string();
+  if (is_object() && other.is_string()) return to_string() == other.as_string();
+  return to_number() == other.to_number();
+}
+
+// ----- object ---------------------------------------------------------------
+
+value* object::find_own(std::string_view key) {
+  for (auto& p : props) {
+    if (p.key == key) return &p.val;
+  }
+  return nullptr;
+}
+
+const value* object::find_own(std::string_view key) const {
+  for (const auto& p : props) {
+    if (p.key == key) return &p.val;
+  }
+  return nullptr;
+}
+
+value object::get(std::string_view key) const {
+  for (const object* o = this; o != nullptr; o = o->proto.get()) {
+    if (const value* v = o->find_own(key)) return *v;
+  }
+  return value::undefined();
+}
+
+bool object::has(std::string_view key) const {
+  for (const object* o = this; o != nullptr; o = o->proto.get()) {
+    if (o->find_own(key) != nullptr) return true;
+  }
+  return false;
+}
+
+void object::set(std::string_view key, value v) {
+  if (value* existing = find_own(key)) {
+    *existing = std::move(v);
+    return;
+  }
+  props.push_back({std::string(key), std::move(v)});
+}
+
+bool object::erase(std::string_view key) {
+  for (auto it = props.begin(); it != props.end(); ++it) {
+    if (it->key == key) {
+      props.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+object_ptr make_plain_object() { return std::make_shared<object>(object_kind::plain); }
+
+object_ptr make_array_object() { return std::make_shared<object>(object_kind::array); }
+
+object_ptr make_native_function(std::string name, native_fn fn) {
+  auto o = std::make_shared<object>(object_kind::native_function);
+  o->name = std::move(name);
+  o->native = std::move(fn);
+  return o;
+}
+
+object_ptr make_byte_array_object() {
+  return std::make_shared<object>(object_kind::byte_array);
+}
+
+}  // namespace nakika::js

@@ -1,0 +1,195 @@
+// Value and object model. Values are small tagged unions; everything heap-
+// allocated (objects, arrays, functions, byte arrays) lives behind a shared
+// pointer. Objects carry a prototype pointer, insertion-ordered properties,
+// and per-kind payloads.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "js/ast.hpp"
+#include "util/bytes.hpp"
+
+namespace nakika::js {
+
+class object;
+using object_ptr = std::shared_ptr<object>;
+
+class interpreter;
+class environment;
+using env_ptr = std::shared_ptr<environment>;
+
+class value {
+ public:
+  struct undefined_t {
+    bool operator==(const undefined_t&) const = default;
+  };
+  struct null_t {
+    bool operator==(const null_t&) const = default;
+  };
+
+  value() : v_(undefined_t{}) {}
+  static value undefined() { return value(); }
+  static value null() {
+    value v;
+    v.v_ = null_t{};
+    return v;
+  }
+  static value boolean(bool b) {
+    value v;
+    v.v_ = b;
+    return v;
+  }
+  static value number(double d) {
+    value v;
+    v.v_ = d;
+    return v;
+  }
+  static value string(std::string s) {
+    value v;
+    v.v_ = std::move(s);
+    return v;
+  }
+  static value object(object_ptr o) {
+    value v;
+    v.v_ = std::move(o);
+    return v;
+  }
+
+  [[nodiscard]] bool is_undefined() const { return std::holds_alternative<undefined_t>(v_); }
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<null_t>(v_); }
+  [[nodiscard]] bool is_nullish() const { return is_undefined() || is_null(); }
+  [[nodiscard]] bool is_boolean() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<object_ptr>(v_); }
+
+  [[nodiscard]] bool as_boolean() const { return std::get<bool>(v_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const object_ptr& as_object() const { return std::get<object_ptr>(v_); }
+
+  // JS ToBoolean.
+  [[nodiscard]] bool truthy() const;
+  // JS ToNumber (subset: strings parse as decimal, objects are NaN unless
+  // arrays of length 1 — we keep it simple and return NaN).
+  [[nodiscard]] double to_number() const;
+  // JS ToString (objects stringify as JSON-ish for arrays, "[object Object]"
+  // for plain objects, source-less "function" for functions).
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] const char* type_name() const;  // typeof semantics
+
+  [[nodiscard]] bool strict_equals(const value& other) const;
+  [[nodiscard]] bool loose_equals(const value& other) const;
+
+ private:
+  std::variant<undefined_t, null_t, bool, double, std::string, object_ptr> v_;
+};
+
+using native_fn =
+    std::function<value(interpreter&, const value& this_value, std::span<value> args)>;
+
+enum class object_kind { plain, array, function, native_function, byte_array };
+
+// Heap accounting hook. Objects allocated through a context carry a charge
+// that is released when the object dies, so the sandbox sees live bytes.
+struct heap_charge {
+  std::shared_ptr<std::size_t> counter;
+  std::size_t amount = 0;
+
+  heap_charge() = default;
+  heap_charge(std::shared_ptr<std::size_t> c, std::size_t a)
+      : counter(std::move(c)), amount(a) {
+    if (counter) *counter += amount;
+  }
+  ~heap_charge() { release(); }
+  heap_charge(const heap_charge&) = delete;
+  heap_charge& operator=(const heap_charge&) = delete;
+  heap_charge(heap_charge&& other) noexcept
+      : counter(std::move(other.counter)), amount(other.amount) {
+    other.counter = nullptr;
+    other.amount = 0;
+  }
+  heap_charge& operator=(heap_charge&& other) noexcept {
+    if (this != &other) {
+      release();
+      counter = std::move(other.counter);
+      amount = other.amount;
+      other.counter = nullptr;
+      other.amount = 0;
+    }
+    return *this;
+  }
+
+  void add(std::size_t more) {
+    amount += more;
+    if (counter) *counter += more;
+  }
+  void release() {
+    if (counter) *counter -= amount;
+    counter = nullptr;
+    amount = 0;
+  }
+};
+
+class object : public std::enable_shared_from_this<object> {
+ public:
+  explicit object(object_kind k) : kind(k) {}
+
+  object_kind kind;
+  object_ptr proto;  // prototype chain; may be null
+
+  // --- property storage (insertion-ordered; scripts' objects are small) ---
+  struct property {
+    std::string key;
+    value val;
+  };
+  std::vector<property> props;
+
+  // Finds an own property; nullptr if absent.
+  [[nodiscard]] value* find_own(std::string_view key);
+  [[nodiscard]] const value* find_own(std::string_view key) const;
+  // Walks the prototype chain; returns undefined if absent anywhere.
+  [[nodiscard]] value get(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const;
+  // Creates or overwrites an own property.
+  void set(std::string_view key, value v);
+  // Removes an own property; true if it existed.
+  bool erase(std::string_view key);
+
+  // --- array payload ---
+  std::vector<value> elements;
+
+  // --- function payload ---
+  const function_lit* fn = nullptr;  // borrowed from `owner`'s AST
+  program_ptr owner;                 // keeps the AST alive
+  env_ptr closure;
+
+  // --- native function payload ---
+  native_fn native;
+  std::string name;  // diagnostic name for functions and vocabulary objects
+
+  // --- byte array payload ---
+  util::byte_buffer bytes;
+
+  heap_charge charge;
+
+  [[nodiscard]] bool callable() const {
+    return kind == object_kind::function || kind == object_kind::native_function;
+  }
+};
+
+// Convenience constructors that do NOT charge any heap budget — used for
+// engine-internal structures (prototypes, vocabularies). Script-visible
+// allocation goes through context::make_* which charges.
+[[nodiscard]] object_ptr make_plain_object();
+[[nodiscard]] object_ptr make_array_object();
+[[nodiscard]] object_ptr make_native_function(std::string name, native_fn fn);
+[[nodiscard]] object_ptr make_byte_array_object();
+
+}  // namespace nakika::js

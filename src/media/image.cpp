@@ -1,0 +1,199 @@
+#include "media/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace nakika::media {
+
+namespace {
+constexpr char magic[4] = {'S', 'I', 'M', 'G'};
+constexpr std::size_t header_size = 4 + 1 + 4 + 4;
+
+void put_u32(util::byte_buffer& buf, std::uint32_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf.push_back(static_cast<std::uint8_t>(v >> 16 & 0xff));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8 & 0xff));
+  buf.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> data, std::size_t offset) {
+  return static_cast<std::uint32_t>(data[offset]) << 24 |
+         static_cast<std::uint32_t>(data[offset + 1]) << 16 |
+         static_cast<std::uint32_t>(data[offset + 2]) << 8 |
+         static_cast<std::uint32_t>(data[offset + 3]);
+}
+
+bool has_magic(std::span<const std::uint8_t> data) {
+  return data.size() >= header_size && data[0] == 'S' && data[1] == 'I' && data[2] == 'M' &&
+         data[3] == 'G';
+}
+}  // namespace
+
+std::string_view to_string(image_format f) {
+  switch (f) {
+    case image_format::raw: return "raw";
+    case image_format::jpeg: return "jpeg";
+    case image_format::png: return "png";
+    case image_format::gif: return "gif";
+  }
+  return "raw";
+}
+
+std::optional<image_format> format_from_name(std::string_view name) {
+  if (util::iequals(name, "raw")) return image_format::raw;
+  if (util::iequals(name, "jpeg") || util::iequals(name, "jpg")) return image_format::jpeg;
+  if (util::iequals(name, "png")) return image_format::png;
+  if (util::iequals(name, "gif")) return image_format::gif;
+  return std::nullopt;
+}
+
+std::optional<image_format> format_from_mime(std::string_view mime) {
+  const std::string lowered = util::to_lower(util::trim(mime));
+  if (!lowered.starts_with("image/")) return std::nullopt;
+  return format_from_name(std::string_view(lowered).substr(6));
+}
+
+std::string mime_from_format(image_format f) {
+  return "image/" + std::string(to_string(f));
+}
+
+util::byte_buffer encode(const image& img, image_format format) {
+  util::byte_buffer buf;
+  buf.reserve(header_size + img.pixels.size());
+  for (char c : magic) buf.push_back(static_cast<std::uint8_t>(c));
+  buf.push_back(static_cast<std::uint8_t>(format));
+  put_u32(buf, img.width);
+  put_u32(buf, img.height);
+  buf.append(std::span<const std::uint8_t>(img.pixels.data(), img.pixels.size()));
+  return buf;
+}
+
+decode_result decode(std::span<const std::uint8_t> data) {
+  decode_result r;
+  if (!has_magic(data)) {
+    r.error = "not a SIMG image";
+    return r;
+  }
+  const std::uint8_t tag = data[4];
+  if (tag > static_cast<std::uint8_t>(image_format::gif)) {
+    r.error = "unknown format tag";
+    return r;
+  }
+  r.format = static_cast<image_format>(tag);
+  r.img.width = get_u32(data, 5);
+  r.img.height = get_u32(data, 9);
+  const std::size_t expected = static_cast<std::size_t>(r.img.width) * r.img.height * 3;
+  if (data.size() < header_size + expected) {
+    r.error = "truncated pixel data";
+    return r;
+  }
+  r.img.pixels.assign(data.begin() + header_size, data.begin() + header_size + expected);
+  r.ok = true;
+  return r;
+}
+
+std::optional<image_dimensions> read_dimensions(std::span<const std::uint8_t> data) {
+  if (!has_magic(data)) return std::nullopt;
+  return image_dimensions{get_u32(data, 5), get_u32(data, 9)};
+}
+
+std::optional<image_format> read_format(std::span<const std::uint8_t> data) {
+  if (!has_magic(data)) return std::nullopt;
+  const std::uint8_t tag = data[4];
+  if (tag > static_cast<std::uint8_t>(image_format::gif)) return std::nullopt;
+  return static_cast<image_format>(tag);
+}
+
+image scale_bilinear(const image& src, std::uint32_t new_width, std::uint32_t new_height) {
+  if (!src.valid() || src.width == 0 || src.height == 0) {
+    throw std::invalid_argument("scale_bilinear: invalid source image");
+  }
+  if (new_width == 0 || new_height == 0) {
+    throw std::invalid_argument("scale_bilinear: target dimensions must be >= 1");
+  }
+  image dst;
+  dst.width = new_width;
+  dst.height = new_height;
+  dst.pixels.resize(static_cast<std::size_t>(new_width) * new_height * 3);
+
+  const double x_ratio = new_width > 1
+                             ? static_cast<double>(src.width - 1) / (new_width - 1)
+                             : 0.0;
+  const double y_ratio = new_height > 1
+                             ? static_cast<double>(src.height - 1) / (new_height - 1)
+                             : 0.0;
+
+  for (std::uint32_t y = 0; y < new_height; ++y) {
+    const double sy = y * y_ratio;
+    const auto y0 = static_cast<std::uint32_t>(sy);
+    const std::uint32_t y1 = std::min(y0 + 1, src.height - 1);
+    const double fy = sy - y0;
+    for (std::uint32_t x = 0; x < new_width; ++x) {
+      const double sx = x * x_ratio;
+      const auto x0 = static_cast<std::uint32_t>(sx);
+      const std::uint32_t x1 = std::min(x0 + 1, src.width - 1);
+      const double fx = sx - x0;
+      for (int c = 0; c < 3; ++c) {
+        const auto p00 = src.pixels[(static_cast<std::size_t>(y0) * src.width + x0) * 3 + c];
+        const auto p01 = src.pixels[(static_cast<std::size_t>(y0) * src.width + x1) * 3 + c];
+        const auto p10 = src.pixels[(static_cast<std::size_t>(y1) * src.width + x0) * 3 + c];
+        const auto p11 = src.pixels[(static_cast<std::size_t>(y1) * src.width + x1) * 3 + c];
+        const double top = p00 * (1.0 - fx) + p01 * fx;
+        const double bottom = p10 * (1.0 - fx) + p11 * fx;
+        dst.pixels[(static_cast<std::size_t>(y) * new_width + x) * 3 + c] =
+            static_cast<std::uint8_t>(std::lround(top * (1.0 - fy) + bottom * fy));
+      }
+    }
+  }
+  return dst;
+}
+
+transcode_result transcode_to_fit(std::span<const std::uint8_t> data, image_format target,
+                                  std::uint32_t max_width, std::uint32_t max_height) {
+  transcode_result out;
+  if (max_width == 0 || max_height == 0) {
+    out.error = "target bounds must be >= 1";
+    return out;
+  }
+  decode_result d = decode(data);
+  if (!d.ok) {
+    out.error = d.error;
+    return out;
+  }
+  std::uint32_t w = d.img.width;
+  std::uint32_t h = d.img.height;
+  if (w > max_width || h > max_height) {
+    // Fit within the box, preserving aspect ratio (paper Fig. 2 logic).
+    const double scale = std::min(static_cast<double>(max_width) / w,
+                                  static_cast<double>(max_height) / h);
+    w = std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(w * scale)));
+    h = std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(h * scale)));
+    d.img = scale_bilinear(d.img, w, h);
+  }
+  out.data = encode(d.img, target);
+  out.dims = {w, h};
+  out.ok = true;
+  return out;
+}
+
+image make_test_image(std::uint32_t width, std::uint32_t height, std::uint32_t seed) {
+  image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(static_cast<std::size_t>(width) * height * 3);
+  std::uint32_t state = seed * 2654435761u + 1;
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      state = state * 1664525u + 1013904223u;  // LCG noise
+      const std::size_t i = (static_cast<std::size_t>(y) * width + x) * 3;
+      img.pixels[i] = static_cast<std::uint8_t>((x * 255) / std::max(1u, width - 1));
+      img.pixels[i + 1] = static_cast<std::uint8_t>((y * 255) / std::max(1u, height - 1));
+      img.pixels[i + 2] = static_cast<std::uint8_t>(state >> 24);
+    }
+  }
+  return img;
+}
+
+}  // namespace nakika::media

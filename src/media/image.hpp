@@ -1,0 +1,82 @@
+// Synthetic raster imaging. The paper transcodes JPEG/GIF/PNG with an image
+// library; offline we substitute the SIMG container (magic + format tag +
+// dimensions + raw RGB) and perform genuine bilinear resampling, so the
+// transcoding pipeline does real, size-proportional CPU work (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace nakika::media {
+
+enum class image_format : std::uint8_t { raw = 0, jpeg = 1, png = 2, gif = 3 };
+
+[[nodiscard]] std::string_view to_string(image_format f);
+[[nodiscard]] std::optional<image_format> format_from_name(std::string_view name);
+// Maps a MIME type ("image/jpeg") to a format; nullopt for non-images.
+[[nodiscard]] std::optional<image_format> format_from_mime(std::string_view mime);
+[[nodiscard]] std::string mime_from_format(image_format f);
+
+struct image {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::uint8_t> pixels;  // RGB24, row-major
+
+  [[nodiscard]] std::size_t pixel_bytes() const { return pixels.size(); }
+  [[nodiscard]] bool valid() const {
+    return static_cast<std::size_t>(width) * height * 3 == pixels.size();
+  }
+};
+
+struct image_dimensions {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+};
+
+// --- SIMG container -----------------------------------------------------------
+
+// Encodes pixels into a SIMG container tagged with `format`. The tag is what
+// a Content-Type would claim; pixels are stored raw either way.
+[[nodiscard]] util::byte_buffer encode(const image& img, image_format format);
+
+struct decode_result {
+  bool ok = false;
+  std::string error;
+  image img;
+  image_format format = image_format::raw;
+};
+[[nodiscard]] decode_result decode(std::span<const std::uint8_t> data);
+
+// Reads only the header. Cheap, like reading JPEG SOF markers.
+[[nodiscard]] std::optional<image_dimensions> read_dimensions(
+    std::span<const std::uint8_t> data);
+[[nodiscard]] std::optional<image_format> read_format(std::span<const std::uint8_t> data);
+
+// --- processing ----------------------------------------------------------------
+
+// Bilinear resample to exactly (new_width, new_height); both must be >= 1.
+[[nodiscard]] image scale_bilinear(const image& src, std::uint32_t new_width,
+                                   std::uint32_t new_height);
+
+// Transcode: decode, scale down to fit within (max_width, max_height)
+// preserving aspect ratio (never upscales), re-encode as `target`.
+struct transcode_result {
+  bool ok = false;
+  std::string error;
+  util::byte_buffer data;
+  image_dimensions dims;
+};
+[[nodiscard]] transcode_result transcode_to_fit(std::span<const std::uint8_t> data,
+                                                image_format target, std::uint32_t max_width,
+                                                std::uint32_t max_height);
+
+// Deterministic synthetic image (gradient + hash noise) for workloads/tests.
+[[nodiscard]] image make_test_image(std::uint32_t width, std::uint32_t height,
+                                    std::uint32_t seed);
+
+}  // namespace nakika::media

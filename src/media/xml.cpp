@@ -1,0 +1,264 @@
+#include "media/xml.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace nakika::media {
+
+const std::string* xml_node::attr(std::string_view name) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+const xml_node* xml_node::child(std::string_view name) const {
+  for (const auto& c : children) {
+    if (c->k == kind::element && c->name == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const xml_node*> xml_node::children_named(std::string_view name) const {
+  std::vector<const xml_node*> out;
+  for (const auto& c : children) {
+    if (c->k == kind::element && c->name == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string xml_node::inner_text() const {
+  if (k == kind::text) return text;
+  std::string out;
+  for (const auto& c : children) out += c->inner_text();
+  return out;
+}
+
+namespace {
+
+class xml_parser {
+ public:
+  explicit xml_parser(std::string_view src) : src_(src) {}
+
+  xml_node_ptr parse() {
+    skip_prolog();
+    auto root = parse_element();
+    skip_ws_and_comments();
+    if (pos_ != src_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("xml: " + message + " (offset " + std::to_string(pos_) + ")");
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[pos_]))) ++pos_;
+  }
+
+  void skip_ws_and_comments() {
+    while (true) {
+      skip_ws();
+      if (src_.substr(pos_).starts_with("<!--")) {
+        const std::size_t end = src_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (src_.substr(pos_).starts_with("<?")) {
+      const std::size_t end = src_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated XML declaration");
+      pos_ = end + 2;
+    }
+    skip_ws_and_comments();
+    if (src_.substr(pos_).starts_with("<!DOCTYPE")) {
+      const std::size_t end = src_.find('>', pos_);
+      if (end == std::string_view::npos) fail("unterminated DOCTYPE");
+      pos_ = end + 1;
+    }
+    skip_ws_and_comments();
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_' ||
+            src_[pos_] == '-' || src_[pos_] == ':' || src_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a name");
+    return std::string(src_.substr(start, pos_ - start));
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    std::size_t i = 0;
+    while (i < raw.size()) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      const std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) fail("unterminated entity");
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else if (entity.starts_with("#")) {
+        const long cp = std::strtol(std::string(entity.substr(1)).c_str(), nullptr,
+                                    entity.starts_with("#x") ? 16 : 10);
+        out.push_back(static_cast<char>(cp & 0x7f));
+      } else {
+        fail("unknown entity &" + std::string(entity) + ";");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  xml_node_ptr parse_element() {
+    if (pos_ >= src_.size() || src_[pos_] != '<') fail("expected '<'");
+    ++pos_;
+    auto node = std::make_unique<xml_node>();
+    node->name = parse_name();
+
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (pos_ >= src_.size()) fail("unterminated start tag");
+      if (src_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      if (src_.substr(pos_).starts_with("/>")) {
+        pos_ += 2;
+        return node;  // self-closing
+      }
+      std::string attr_name = parse_name();
+      skip_ws();
+      if (pos_ >= src_.size() || src_[pos_] != '=') fail("expected '=' after attribute name");
+      ++pos_;
+      skip_ws();
+      if (pos_ >= src_.size() || (src_[pos_] != '"' && src_[pos_] != '\'')) {
+        fail("expected quoted attribute value");
+      }
+      const char quote = src_[pos_++];
+      const std::size_t val_end = src_.find(quote, pos_);
+      if (val_end == std::string_view::npos) fail("unterminated attribute value");
+      node->attrs.emplace_back(std::move(attr_name),
+                               decode_entities(src_.substr(pos_, val_end - pos_)));
+      pos_ = val_end + 1;
+    }
+
+    // Children until the matching end tag.
+    while (true) {
+      if (pos_ >= src_.size()) fail("unterminated element <" + node->name + ">");
+      if (src_.substr(pos_).starts_with("</")) {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != node->name) {
+          fail("mismatched end tag </" + closing + "> for <" + node->name + ">");
+        }
+        skip_ws();
+        if (pos_ >= src_.size() || src_[pos_] != '>') fail("malformed end tag");
+        ++pos_;
+        return node;
+      }
+      if (src_.substr(pos_).starts_with("<!--")) {
+        const std::size_t end = src_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (src_.substr(pos_).starts_with("<![CDATA[")) {
+        const std::size_t end = src_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) fail("unterminated CDATA");
+        auto text_node = std::make_unique<xml_node>();
+        text_node->k = xml_node::kind::text;
+        text_node->text = std::string(src_.substr(pos_ + 9, end - pos_ - 9));
+        node->children.push_back(std::move(text_node));
+        pos_ = end + 3;
+        continue;
+      }
+      if (src_[pos_] == '<') {
+        node->children.push_back(parse_element());
+        continue;
+      }
+      const std::size_t text_end = src_.find('<', pos_);
+      if (text_end == std::string_view::npos) fail("unterminated element content");
+      const std::string decoded = decode_entities(src_.substr(pos_, text_end - pos_));
+      pos_ = text_end;
+      // Skip whitespace-only runs between elements.
+      if (decoded.find_first_not_of(" \t\r\n") != std::string::npos) {
+        auto text_node = std::make_unique<xml_node>();
+        text_node->k = xml_node::kind::text;
+        text_node->text = decoded;
+        node->children.push_back(std::move(text_node));
+      }
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+void serialize_into(std::string& out, const xml_node& node) {
+  if (node.k == xml_node::kind::text) {
+    out += xml_escape(node.text);
+    return;
+  }
+  out += "<" + node.name;
+  for (const auto& [k, v] : node.attrs) {
+    out += " " + k + "=\"" + xml_escape(v) + "\"";
+  }
+  if (node.children.empty()) {
+    out += "/>";
+    return;
+  }
+  out += ">";
+  for (const auto& c : node.children) serialize_into(out, *c);
+  out += "</" + node.name + ">";
+}
+
+}  // namespace
+
+xml_node_ptr parse_xml(std::string_view source) { return xml_parser(source).parse(); }
+
+std::string serialize_xml(const xml_node& node) {
+  std::string out;
+  serialize_into(out, node);
+  return out;
+}
+
+std::string xml_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace nakika::media

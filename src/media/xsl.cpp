@@ -1,0 +1,162 @@
+#include "media/xsl.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace nakika::media {
+
+namespace {
+
+// Resolves a select path against a context element. Supported forms:
+// "." (inner text), "@attr", "name", "a/b" (first match), "a/@attr".
+std::string resolve_value(const xml_node& context, std::string_view path) {
+  if (path == ".") return context.inner_text();
+  const xml_node* node = &context;
+  for (const auto& step : util::split(std::string(path), '/')) {
+    if (step.empty()) continue;
+    if (step.front() == '@') {
+      const std::string* a = node->attr(std::string_view(step).substr(1));
+      return a ? *a : "";
+    }
+    const xml_node* next = node->child(step);
+    if (next == nullptr) return "";
+    node = next;
+  }
+  return node->inner_text();
+}
+
+std::vector<const xml_node*> resolve_nodes(const xml_node& context, std::string_view path) {
+  if (path.empty() || path == ".") {
+    std::vector<const xml_node*> out;
+    for (const auto& c : context.children) {
+      if (c->k == xml_node::kind::element) out.push_back(c.get());
+    }
+    return out;
+  }
+  // Walk intermediate steps to a parent, then collect all children matching
+  // the final step.
+  const auto steps = util::split(std::string(path), '/');
+  const xml_node* node = &context;
+  for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+    if (steps[i].empty()) continue;
+    node = node->child(steps[i]);
+    if (node == nullptr) return {};
+  }
+  return node->children_named(steps.back());
+}
+
+bool is_xsl(const xml_node& n, std::string_view local) {
+  return n.k == xml_node::kind::element && (n.name == "xsl:" + std::string(local));
+}
+
+}  // namespace
+
+xsl_stylesheet xsl_stylesheet::parse(std::string_view source) {
+  xsl_stylesheet sheet;
+  sheet.sheet_ = parse_xml(source);
+  if (sheet.sheet_->name != "xsl:stylesheet" && sheet.sheet_->name != "xsl:transform") {
+    throw std::invalid_argument("xsl: root element must be xsl:stylesheet");
+  }
+  for (const auto& child : sheet.sheet_->children) {
+    if (child->k != xml_node::kind::element) continue;
+    if (!is_xsl(*child, "template")) continue;
+    const std::string* match = child->attr("match");
+    if (match == nullptr || match->empty()) {
+      throw std::invalid_argument("xsl: template without match attribute");
+    }
+    sheet.templates_.push_back({*match, child.get()});
+  }
+  if (sheet.templates_.empty()) {
+    throw std::invalid_argument("xsl: stylesheet has no templates");
+  }
+  return sheet;
+}
+
+const xsl_stylesheet::template_rule* xsl_stylesheet::find_rule(std::string_view name) const {
+  for (const auto& t : templates_) {
+    if (t.match == name) return &t;
+  }
+  return nullptr;
+}
+
+std::string xsl_stylesheet::apply(const xml_node& document) const {
+  std::string out;
+  // Root rule "/" if present, else the rule matching the root element, else
+  // the built-in rule (recurse).
+  if (const template_rule* root = find_rule("/")) {
+    run_body(out, *root->body, document);
+  } else {
+    apply_templates(out, document);
+  }
+  return out;
+}
+
+void xsl_stylesheet::apply_templates(std::string& out, const xml_node& context) const {
+  if (const template_rule* rule = find_rule(context.name)) {
+    run_body(out, *rule->body, context);
+    return;
+  }
+  // Built-in rule: text copies through, elements recurse.
+  for (const auto& c : context.children) {
+    if (c->k == xml_node::kind::text) {
+      out += c->text;
+    } else {
+      apply_templates(out, *c);
+    }
+  }
+}
+
+void xsl_stylesheet::run_body(std::string& out, const xml_node& body,
+                              const xml_node& context) const {
+  for (const auto& child : body.children) {
+    if (child->k == xml_node::kind::text) {
+      out += child->text;
+      continue;
+    }
+    if (is_xsl(*child, "value-of")) {
+      const std::string* select = child->attr("select");
+      if (select == nullptr) throw std::invalid_argument("xsl:value-of without select");
+      out += xml_escape(resolve_value(context, *select));
+      continue;
+    }
+    if (is_xsl(*child, "apply-templates")) {
+      const std::string* select = child->attr("select");
+      for (const xml_node* n : resolve_nodes(context, select ? *select : "")) {
+        apply_templates(out, *n);
+      }
+      continue;
+    }
+    if (is_xsl(*child, "for-each")) {
+      const std::string* select = child->attr("select");
+      if (select == nullptr) throw std::invalid_argument("xsl:for-each without select");
+      for (const xml_node* n : resolve_nodes(context, *select)) {
+        run_body(out, *child, *n);
+      }
+      continue;
+    }
+    if (child->name.starts_with("xsl:")) {
+      throw std::invalid_argument("xsl: unsupported instruction " + child->name);
+    }
+    // Literal result element: copy tag + attributes, recurse into children.
+    out += "<" + child->name;
+    for (const auto& [k, v] : child->attrs) {
+      out += " " + k + "=\"" + xml_escape(v) + "\"";
+    }
+    if (child->children.empty()) {
+      out += "/>";
+    } else {
+      out += ">";
+      run_body(out, *child, context);
+      out += "</" + child->name + ">";
+    }
+  }
+}
+
+std::string xsl_transform(std::string_view stylesheet_xml, std::string_view document_xml) {
+  const xsl_stylesheet sheet = xsl_stylesheet::parse(stylesheet_xml);
+  const xml_node_ptr doc = parse_xml(document_xml);
+  return sheet.apply(*doc);
+}
+
+}  // namespace nakika::media

@@ -1,0 +1,47 @@
+// XSL-subset transformer. The SIMM experiment (paper §5.2) off-loads the
+// "processor-intensive" XML-to-HTML rendering (one stylesheet for all
+// students) to the edge; this implements the subset those stylesheets need:
+//   <xsl:template match="name|/">     template rules
+//   <xsl:value-of select="path"/>     path = name, a/b, @attr, or .
+//   <xsl:apply-templates/>            recurse into children (optional select)
+//   <xsl:for-each select="path">      iterate matching children
+// Literal elements are copied through with their attributes.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "media/xml.hpp"
+
+namespace nakika::media {
+
+class xsl_stylesheet {
+ public:
+  // Parses a stylesheet document. Throws std::invalid_argument if the
+  // document is not a stylesheet or uses unsupported constructs.
+  static xsl_stylesheet parse(std::string_view source);
+
+  // Applies the stylesheet to a document, returning the rendered output.
+  [[nodiscard]] std::string apply(const xml_node& document) const;
+
+  [[nodiscard]] std::size_t template_count() const { return templates_.size(); }
+
+ private:
+  struct template_rule {
+    std::string match;       // element name or "/"
+    const xml_node* body;    // borrowed from sheet_
+  };
+
+  void apply_templates(std::string& out, const xml_node& context) const;
+  void run_body(std::string& out, const xml_node& body, const xml_node& context) const;
+  [[nodiscard]] const template_rule* find_rule(std::string_view name) const;
+
+  xml_node_ptr sheet_;  // owns the template bodies
+  std::vector<template_rule> templates_;
+};
+
+// Convenience: parse stylesheet + document and apply.
+[[nodiscard]] std::string xsl_transform(std::string_view stylesheet_xml,
+                                        std::string_view document_xml);
+
+}  // namespace nakika::media

@@ -1,0 +1,99 @@
+#include "overlay/clusters.hpp"
+
+#include <stdexcept>
+
+namespace nakika::overlay {
+
+coral_overlay::coral_overlay(sim::network& net, cluster_config config)
+    : net_(net), config_(std::move(config)) {
+  if (config_.level_thresholds.empty()) {
+    throw std::invalid_argument("coral_overlay: need at least one level");
+  }
+  for (double threshold : config_.level_thresholds) {
+    level l;
+    l.threshold = threshold;
+    levels_.push_back(std::move(l));
+  }
+}
+
+coral_overlay::member_id coral_overlay::join(sim::node_id host, const std::string& name) {
+  member m;
+  m.host = host;
+  m.name = name;
+
+  for (auto& lvl : levels_) {
+    // Greedy cluster assignment: join the first cluster whose center is
+    // within the level's RTT threshold, else found a new cluster.
+    std::size_t chosen = lvl.clusters.size();
+    for (std::size_t c = 0; c < lvl.clusters.size(); ++c) {
+      if (net_.has_route(host, lvl.centers[c]) &&
+          net_.route_latency(host, lvl.centers[c]) <= lvl.threshold) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen == lvl.clusters.size()) {
+      lvl.clusters.push_back(std::make_unique<sloppy_dht>(net_, config_.dht));
+      lvl.centers.push_back(host);
+    }
+    const sloppy_dht::member_id rid = lvl.clusters[chosen]->join(host, name);
+    m.rings.emplace_back(chosen, rid);
+  }
+  members_.push_back(std::move(m));
+  return members_.size() - 1;
+}
+
+std::size_t coral_overlay::cluster_count(std::size_t level) const {
+  if (level >= levels_.size()) throw std::invalid_argument("coral_overlay: bad level");
+  return levels_[level].clusters.size();
+}
+
+std::size_t coral_overlay::cluster_of(member_id m, std::size_t level) const {
+  if (m >= members_.size()) throw std::invalid_argument("coral_overlay: bad member");
+  if (level >= levels_.size()) throw std::invalid_argument("coral_overlay: bad level");
+  return members_[m].rings[level].first;
+}
+
+void coral_overlay::put(member_id m, const std::string& key, const std::string& value,
+                        std::int64_t expires_at, std::function<void()> done) {
+  if (m >= members_.size()) throw std::invalid_argument("coral_overlay::put: bad member");
+  auto remaining = std::make_shared<std::size_t>(levels_.size());
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const auto [cluster, rid] = members_[m].rings[l];
+    levels_[l].clusters[cluster]->put(rid, key, value, expires_at,
+                                      [remaining, shared_done](int) {
+                                        if (--*remaining == 0) (*shared_done)();
+                                      });
+  }
+}
+
+void coral_overlay::get(member_id m, const std::string& key,
+                        std::function<void(std::vector<std::string>, int)> done) {
+  if (m >= members_.size()) throw std::invalid_argument("coral_overlay::get: bad member");
+  auto shared =
+      std::make_shared<std::function<void(std::vector<std::string>, int)>>(std::move(done));
+  // Start at the tightest level (highest index) and fall outward to global.
+  get_from_level(m, levels_.size() - 1, key, shared);
+}
+
+void coral_overlay::get_from_level(
+    member_id m, std::size_t level_index, const std::string& key,
+    std::shared_ptr<std::function<void(std::vector<std::string>, int)>> done) {
+  const auto [cluster, rid] = members_[m].rings[level_index];
+  levels_[level_index].clusters[cluster]->get(
+      rid, key,
+      [this, m, level_index, key, done](std::vector<std::string> values, int) {
+        if (!values.empty()) {
+          (*done)(std::move(values), static_cast<int>(level_index));
+          return;
+        }
+        if (level_index == 0) {
+          (*done)({}, -1);
+          return;
+        }
+        get_from_level(m, level_index - 1, key, done);
+      });
+}
+
+}  // namespace nakika::overlay

@@ -1,0 +1,72 @@
+// Coral-style hierarchical clusters: three levels with RTT diameters
+// (~30 ms, ~100 ms, global). A node belongs to one cluster per level; gets
+// prefer the smallest-diameter ring and fall back outward, so content is
+// found nearby when possible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "overlay/dht.hpp"
+
+namespace nakika::overlay {
+
+struct cluster_config {
+  // One-way latency thresholds per level, seconds. Level 0 is global
+  // (infinite); the last entry is the tightest cluster.
+  std::vector<double> level_thresholds = {1e9, 0.050, 0.015};
+  dht_config dht;
+};
+
+class coral_overlay {
+ public:
+  coral_overlay(sim::network& net, cluster_config config = {});
+
+  using member_id = std::size_t;
+
+  // Joins the overlay: the node is greedily assigned to the nearest existing
+  // cluster within each level's threshold (or founds a new one).
+  member_id join(sim::node_id host, const std::string& name);
+
+  // Stores in every level's ring (Coral inserts at each level).
+  void put(member_id m, const std::string& key, const std::string& value,
+           std::int64_t expires_at, std::function<void()> done);
+
+  // Looks up level-by-level, tightest first; `done` receives the first
+  // non-empty result and the level it was found at (-1 when absent).
+  void get(member_id m, const std::string& key,
+           std::function<void(std::vector<std::string>, int level)> done);
+
+  [[nodiscard]] std::size_t level_count() const { return levels_.size(); }
+  [[nodiscard]] std::size_t cluster_count(std::size_t level) const;
+  // Which cluster member `m` belongs to at `level` (for tests).
+  [[nodiscard]] std::size_t cluster_of(member_id m, std::size_t level) const;
+
+ private:
+  struct level {
+    double threshold;
+    // Each cluster is its own sloppy ring.
+    std::vector<std::unique_ptr<sloppy_dht>> clusters;
+    // Cluster "centers" for greedy assignment: host of the founding member.
+    std::vector<sim::node_id> centers;
+  };
+  struct member {
+    sim::node_id host;
+    std::string name;
+    // Per level: cluster index and member id within that cluster's ring.
+    std::vector<std::pair<std::size_t, sloppy_dht::member_id>> rings;
+  };
+
+  void get_from_level(member_id m, std::size_t level_index, const std::string& key,
+                      std::shared_ptr<std::function<void(std::vector<std::string>, int)>> done);
+
+  sim::network& net_;
+  cluster_config config_;
+  std::vector<level> levels_;  // index 0 = global
+  std::vector<member> members_;
+};
+
+}  // namespace nakika::overlay

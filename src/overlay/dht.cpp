@@ -1,0 +1,312 @@
+#include "overlay/dht.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nakika::overlay {
+
+sloppy_dht::sloppy_dht(sim::network& net, dht_config config)
+    : net_(net), config_(config) {}
+
+struct sloppy_dht::lookup_state {
+  member_id via = 0;
+  node_id target;
+  std::string key;   // non-empty for get-style lookups
+  bool is_get = false;
+
+  std::vector<contact> shortlist;  // sorted by distance to target
+  std::set<node_id> queried;
+  int hops = 0;
+  int rpc_budget = 0;
+  bool finished = false;
+
+  std::function<void(std::vector<contact>, int)> done_path;
+  std::function<void(std::vector<std::string>, int)> done_values;
+};
+
+sloppy_dht::member_id sloppy_dht::join(sim::node_id host, const std::string& name) {
+  member m;
+  m.self.id = node_id::hash_of(name);
+  m.self.host = host;
+  m.host = host;
+  m.table = std::make_unique<routing_table>(m.self.id, config_.k);
+
+  // Bootstrap: seed with a few existing members, then the new node becomes
+  // discoverable as others hear from it over RPC traffic.
+  std::size_t seeds = 0;
+  for (std::size_t i = 0; i < members_.size() && seeds < 3; ++i) {
+    if (!members_[i].alive) continue;
+    m.table->observe(members_[i].self);
+    ++seeds;
+  }
+  members_.push_back(std::move(m));
+  const member_id id = members_.size() - 1;
+
+  // Existing members learn about the newcomer lazily; give the seeds a
+  // direct pointer so early lookups can route at all.
+  std::size_t told = 0;
+  for (std::size_t i = 0; i < members_.size() - 1 && told < 3; ++i) {
+    if (!members_[i].alive) continue;
+    members_[i].table->observe(members_[id].self);
+    ++told;
+  }
+
+  // Iterative self-lookup fills more distant buckets.
+  if (members_.size() > 1) {
+    lookup(id, members_[id].self.id, [](std::vector<contact>, int) {});
+  }
+  return id;
+}
+
+void sloppy_dht::leave(member_id m) {
+  if (m >= members_.size()) throw std::invalid_argument("sloppy_dht::leave: bad member");
+  members_[m].alive = false;
+  members_[m].store.clear();
+}
+
+std::size_t sloppy_dht::member_count() const {
+  std::size_t n = 0;
+  for (const auto& m : members_) {
+    if (m.alive) ++n;
+  }
+  return n;
+}
+
+const contact& sloppy_dht::member_contact(member_id m) const {
+  if (m >= members_.size()) {
+    throw std::invalid_argument("sloppy_dht::member_contact: bad member");
+  }
+  return members_[m].self;
+}
+
+std::vector<std::string> sloppy_dht::stored_at(member_id m, const std::string& key,
+                                               std::int64_t now) const {
+  std::vector<std::string> out;
+  if (m >= members_.size()) return out;
+  const auto it = members_[m].store.find(key);
+  if (it == members_[m].store.end()) return out;
+  for (const auto& sv : it->second) {
+    if (sv.expires_at > now) out.push_back(sv.value);
+  }
+  return out;
+}
+
+sloppy_dht::member* sloppy_dht::find_member(const node_id& id) {
+  for (auto& m : members_) {
+    if (m.alive && m.self.id == id) return &m;
+  }
+  return nullptr;
+}
+
+std::int64_t sloppy_dht::now_seconds() const {
+  return static_cast<std::int64_t>(net_.loop().now());
+}
+
+void sloppy_dht::prune_expired(member& m, const std::string& key) {
+  const auto it = m.store.find(key);
+  if (it == m.store.end()) return;
+  const std::int64_t now = now_seconds();
+  auto& values = it->second;
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [&](const stored_value& sv) { return sv.expires_at <= now; }),
+               values.end());
+  if (values.empty()) m.store.erase(it);
+}
+
+void sloppy_dht::rpc(member_id from, const contact& to, std::function<void(member*)> handler,
+                     std::function<void()> on_unreachable) {
+  const sim::node_id from_host = members_[from].host;
+  net_.transfer(from_host, to.host, config_.rpc_bytes, [this, from, to,
+                                                        handler = std::move(handler),
+                                                        on_unreachable =
+                                                            std::move(on_unreachable),
+                                                        from_host]() {
+    member* target = find_member(to.id);
+    if (target == nullptr) {
+      // Dead node: the reply never comes; model a timeout of one RTT.
+      net_.loop().schedule(0.0, on_unreachable);
+      return;
+    }
+    // The target hears from the caller and refreshes its routing table.
+    target->table->observe(members_[from].self);
+    net_.run_cpu(to.host, config_.rpc_cpu_seconds, [this, to, from_host,
+                                                    handler = std::move(handler)]() {
+      member* target_now = find_member(to.id);
+      if (target_now == nullptr) return;
+      net_.transfer(to.host, from_host, config_.rpc_bytes,
+                    [target_now, handler = std::move(handler)]() { handler(target_now); });
+    });
+  });
+}
+
+void sloppy_dht::lookup(member_id via, const node_id& target,
+                        std::function<void(std::vector<contact>, int)> done) {
+  auto state = std::make_shared<lookup_state>();
+  state->via = via;
+  state->target = target;
+  state->done_path = std::move(done);
+  state->rpc_budget = static_cast<int>(config_.k) * 3;
+  state->shortlist = members_[via].table->closest(target, config_.k);
+  state->queried.insert(members_[via].self.id);
+  lookup_step(state);
+}
+
+void sloppy_dht::lookup_step(const std::shared_ptr<lookup_state>& state) {
+  if (state->finished) return;
+
+  // Closest not-yet-queried contact.
+  const contact* next = nullptr;
+  for (const auto& c : state->shortlist) {
+    if (!state->queried.contains(c.id)) {
+      next = &c;
+      break;
+    }
+  }
+  if (next == nullptr || state->rpc_budget <= 0) {
+    state->finished = true;
+    if (state->is_get) {
+      state->done_values({}, state->hops);
+    } else {
+      state->done_path(state->shortlist, state->hops);
+    }
+    return;
+  }
+
+  const contact to = *next;
+  state->queried.insert(to.id);
+  --state->rpc_budget;
+  ++state->hops;
+
+  rpc(state->via, to,
+      [this, state, to](member* m) {
+        // Get-style lookups return early when the contacted node holds
+        // values for the key (Coral answers from the lookup path).
+        if (state->is_get && !state->key.empty()) {
+          prune_expired(*m, state->key);
+          const auto it = m->store.find(state->key);
+          if (it != m->store.end() && !it->second.empty()) {
+            state->finished = true;
+            std::vector<std::string> values;
+            for (const auto& sv : it->second) values.push_back(sv.value);
+            state->done_values(std::move(values), state->hops);
+            return;
+          }
+        }
+        // Merge the target's k-closest into our shortlist.
+        std::vector<contact> more = m->table->closest(state->target, config_.k);
+        more.push_back(m->self);
+        for (const auto& c : more) {
+          const bool known = std::any_of(state->shortlist.begin(), state->shortlist.end(),
+                                         [&](const contact& s) { return s.id == c.id; });
+          if (!known) state->shortlist.push_back(c);
+          members_[state->via].table->observe(c);
+        }
+        std::sort(state->shortlist.begin(), state->shortlist.end(),
+                  [&](const contact& a, const contact& b) {
+                    return a.id.distance_to(state->target) < b.id.distance_to(state->target);
+                  });
+        if (state->shortlist.size() > config_.k * 2) {
+          state->shortlist.resize(config_.k * 2);
+        }
+        lookup_step(state);
+      },
+      [this, state, to]() {
+        members_[state->via].table->remove(to.id);
+        lookup_step(state);
+      });
+}
+
+void sloppy_dht::put(member_id via, const std::string& key, const std::string& value,
+                     std::int64_t expires_at, std::function<void(int hops)> done) {
+  if (via >= members_.size() || !members_[via].alive) {
+    throw std::invalid_argument("sloppy_dht::put: bad member");
+  }
+  const node_id target = node_id::hash_of(key);
+
+  lookup(via, target, [this, via, key, value, expires_at, done = std::move(done)](
+                          std::vector<contact> path, int hops) {
+    // Sloppy store: prefer the closest node, but spill outward past nodes
+    // already holding spill_threshold values for this key. Captures by value:
+    // this closure outlives the lookup callback (it runs after another RPC).
+    auto store_into = [this, key, value, expires_at](member& m) {
+      prune_expired(m, key);
+      auto& values = m.store[key];
+      // Refresh an existing copy of the same value.
+      for (auto& sv : values) {
+        if (sv.value == value) {
+          sv.expires_at = std::max(sv.expires_at, expires_at);
+          return;
+        }
+      }
+      if (values.size() >= config_.max_values_per_key) {
+        // Displace the soonest-to-expire value.
+        auto oldest = std::min_element(values.begin(), values.end(),
+                                       [](const stored_value& a, const stored_value& b) {
+                                         return a.expires_at < b.expires_at;
+                                       });
+        *oldest = {value, expires_at};
+        return;
+      }
+      values.push_back({value, expires_at});
+    };
+
+    member* chosen = nullptr;
+    for (const auto& c : path) {
+      member* m = find_member(c.id);
+      if (m == nullptr) continue;
+      prune_expired(*m, key);
+      const auto it = m->store.find(key);
+      const std::size_t held = it == m->store.end() ? 0 : it->second.size();
+      if (held < config_.spill_threshold) {
+        chosen = m;
+        break;
+      }
+      if (chosen == nullptr) chosen = m;  // fallback: closest alive
+    }
+    if (chosen == nullptr && !members_.empty()) {
+      chosen = &members_[via];  // degenerate ring: store locally
+    }
+    if (chosen != nullptr) {
+      const contact dest = chosen->self;
+      rpc(via, dest,
+          [store_into, done, hops](member* m) {
+            store_into(*m);
+            done(hops + 1);
+          },
+          [done, hops]() { done(hops + 1); });
+      return;
+    }
+    done(hops);
+  });
+}
+
+void sloppy_dht::get(member_id via, const std::string& key,
+                     std::function<void(std::vector<std::string>, int)> done) {
+  if (via >= members_.size() || !members_[via].alive) {
+    throw std::invalid_argument("sloppy_dht::get: bad member");
+  }
+  // Local store first: zero hops.
+  prune_expired(members_[via], key);
+  const auto it = members_[via].store.find(key);
+  if (it != members_[via].store.end() && !it->second.empty()) {
+    std::vector<std::string> values;
+    for (const auto& sv : it->second) values.push_back(sv.value);
+    net_.loop().schedule(0.0, [done = std::move(done), values = std::move(values)]() mutable {
+      done(std::move(values), 0);
+    });
+    return;
+  }
+
+  auto state = std::make_shared<lookup_state>();
+  state->via = via;
+  state->target = node_id::hash_of(key);
+  state->key = key;
+  state->is_get = true;
+  state->done_values = std::move(done);
+  state->rpc_budget = static_cast<int>(config_.k) * 3;
+  state->shortlist = members_[via].table->closest(state->target, config_.k);
+  state->queried.insert(members_[via].self.id);
+  lookup_step(state);
+}
+
+}  // namespace nakika::overlay

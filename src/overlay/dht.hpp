@@ -1,0 +1,91 @@
+// Sloppy DHT ring, modeled on Coral's distributed sloppy hash table: keys
+// map to multiple values (node addresses caching a URL), stores may stop
+// early at intermediate nodes when the path toward the key is loaded
+// ("sloppiness"), and lookups return as soon as any values are found along
+// the path. RPCs travel over the simulated network, so lookups cost real
+// virtual-time hops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "overlay/routing_table.hpp"
+#include "sim/network.hpp"
+
+namespace nakika::overlay {
+
+struct dht_config {
+  std::size_t k = 8;                 // bucket capacity / replication set size
+  std::size_t spill_threshold = 4;   // sloppy store: stop early at a node
+                                     // already holding this many values
+  std::size_t max_values_per_key = 8;
+  double rpc_cpu_seconds = 50e-6;    // per-RPC processing cost
+  std::size_t rpc_bytes = 120;       // request/response wire size
+};
+
+// One logical ring. Multiple rings coexist (Coral levels / clusters).
+class sloppy_dht {
+ public:
+  sloppy_dht(sim::network& net, dht_config config = {});
+
+  using member_id = std::size_t;
+
+  // Adds a member hosted on `host`, bootstrapping its routing table from the
+  // existing members (iterative self-lookup, as in Kademlia join).
+  member_id join(sim::node_id host, const std::string& name);
+  void leave(member_id m);
+
+  // Stores `value` under `key` with an absolute expiry, starting at member
+  // `via`. `done(hops)` fires when the store lands.
+  void put(member_id via, const std::string& key, const std::string& value,
+           std::int64_t expires_at, std::function<void(int hops)> done);
+
+  // Looks up `key` starting at `via`; `done(values, hops)` delivers all
+  // non-expired values found (empty when the key is absent).
+  void get(member_id via, const std::string& key,
+           std::function<void(std::vector<std::string> values, int hops)> done);
+
+  [[nodiscard]] std::size_t member_count() const;
+  [[nodiscard]] const contact& member_contact(member_id m) const;
+  // Introspection for tests: values stored at one member for a key.
+  [[nodiscard]] std::vector<std::string> stored_at(member_id m, const std::string& key,
+                                                   std::int64_t now) const;
+  [[nodiscard]] sim::network& net() { return net_; }
+
+ private:
+  struct stored_value {
+    std::string value;
+    std::int64_t expires_at;
+  };
+  struct member {
+    bool alive = true;
+    contact self;
+    sim::node_id host = 0;
+    std::unique_ptr<routing_table> table;
+    std::map<std::string, std::vector<stored_value>> store;
+  };
+
+  // Iterative lookup driving closure. alpha = 1 outstanding RPC.
+  struct lookup_state;
+  void lookup(member_id via, const node_id& target,
+              std::function<void(std::vector<contact> path, int hops)> done);
+  void lookup_step(const std::shared_ptr<lookup_state>& state);
+
+  void rpc(member_id from, const contact& to, std::function<void(member*)> handler,
+           std::function<void()> on_unreachable);
+
+  [[nodiscard]] member* find_member(const node_id& id);
+  [[nodiscard]] std::int64_t now_seconds() const;
+  void prune_expired(member& m, const std::string& key);
+
+  sim::network& net_;
+  dht_config config_;
+  std::vector<member> members_;
+};
+
+}  // namespace nakika::overlay

@@ -1,0 +1,40 @@
+#include "overlay/node_id.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "integrity/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace nakika::overlay {
+
+node_id node_id::hash_of(std::string_view text) {
+  const integrity::sha256_digest digest = integrity::sha256_hash(text);
+  std::array<std::uint8_t, bytes> raw;
+  std::copy_n(digest.begin(), bytes, raw.begin());
+  return node_id(raw);
+}
+
+std::string node_id::hex() const {
+  return util::to_hex(std::span<const std::uint8_t>(raw_.data(), raw_.size()));
+}
+
+node_id node_id::distance_to(const node_id& other) const {
+  std::array<std::uint8_t, bytes> d;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    d[i] = raw_[i] ^ other.raw_[i];
+  }
+  return node_id(d);
+}
+
+int node_id::bucket_index(const node_id& other) const {
+  for (std::size_t i = 0; i < bytes; ++i) {
+    const std::uint8_t x = static_cast<std::uint8_t>(raw_[i] ^ other.raw_[i]);
+    if (x != 0) {
+      return static_cast<int>(bits - 1 - i * 8 - static_cast<std::size_t>(std::countl_zero(x)));
+    }
+  }
+  return -1;
+}
+
+}  // namespace nakika::overlay

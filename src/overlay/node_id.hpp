@@ -1,0 +1,46 @@
+// 160-bit identifiers with the XOR metric, as in Kademlia/Coral. Keys and
+// node IDs share the space; keys are SHA-256 digests truncated to 160 bits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nakika::overlay {
+
+class node_id {
+ public:
+  static constexpr std::size_t bits = 160;
+  static constexpr std::size_t bytes = bits / 8;
+
+  node_id() { raw_.fill(0); }
+  explicit node_id(const std::array<std::uint8_t, bytes>& raw) : raw_(raw) {}
+
+  // Hash of arbitrary text (node names, URLs) into the ID space.
+  static node_id hash_of(std::string_view text);
+
+  [[nodiscard]] const std::array<std::uint8_t, bytes>& raw() const { return raw_; }
+  [[nodiscard]] std::string hex() const;
+
+  // XOR distance between two IDs.
+  [[nodiscard]] node_id distance_to(const node_id& other) const;
+  // Index of the highest set bit of the distance (0..159), or -1 when equal.
+  // This is the k-bucket index.
+  [[nodiscard]] int bucket_index(const node_id& other) const;
+
+  auto operator<=>(const node_id& other) const = default;
+
+ private:
+  std::array<std::uint8_t, bytes> raw_;
+};
+
+// Orders a by XOR-closeness to a target.
+struct closer_to {
+  node_id target;
+  bool operator()(const node_id& a, const node_id& b) const {
+    return a.distance_to(target) < b.distance_to(target);
+  }
+};
+
+}  // namespace nakika::overlay

@@ -1,0 +1,60 @@
+#include "overlay/redirector.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace nakika::overlay {
+
+namespace {
+constexpr std::string_view suffix = ".nakika.net";
+}
+
+dns_redirector::dns_redirector(sim::network& net, double tolerance)
+    : net_(net), tolerance_(tolerance) {
+  if (tolerance < 1.0) {
+    throw std::invalid_argument("dns_redirector: tolerance must be >= 1");
+  }
+}
+
+void dns_redirector::add_proxy(sim::node_id proxy) {
+  if (std::find(proxies_.begin(), proxies_.end(), proxy) == proxies_.end()) {
+    proxies_.push_back(proxy);
+  }
+}
+
+void dns_redirector::remove_proxy(sim::node_id proxy) {
+  proxies_.erase(std::remove(proxies_.begin(), proxies_.end(), proxy), proxies_.end());
+}
+
+sim::node_id dns_redirector::pick(sim::node_id client, util::rng& rng) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (sim::node_id p : proxies_) {
+    if (!net_.has_route(client, p)) continue;
+    best = std::min(best, net_.route_latency(client, p));
+  }
+  if (!std::isfinite(best)) {
+    throw std::logic_error("dns_redirector: no reachable proxy");
+  }
+  std::vector<sim::node_id> near;
+  for (sim::node_id p : proxies_) {
+    if (net_.has_route(client, p) && net_.route_latency(client, p) <= best * tolerance_) {
+      near.push_back(p);
+    }
+  }
+  return near[rng.next(near.size())];
+}
+
+std::string to_nakika_host(std::string_view origin_host) {
+  if (is_nakika_host(origin_host)) return std::string(origin_host);
+  return std::string(origin_host) + std::string(suffix);
+}
+
+std::string from_nakika_host(std::string_view nakika_host) {
+  if (!is_nakika_host(nakika_host)) return std::string(nakika_host);
+  return std::string(nakika_host.substr(0, nakika_host.size() - suffix.size()));
+}
+
+bool is_nakika_host(std::string_view host) { return host.ends_with(suffix); }
+
+}  // namespace nakika::overlay

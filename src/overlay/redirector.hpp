@@ -1,0 +1,41 @@
+// DNS redirection: Na Kika appends ".nakika.net" to hostnames so its name
+// servers can direct clients to nearby edge nodes (paper §3). The redirector
+// picks the lowest-RTT proxy for a client, load-balancing randomly among
+// proxies within a tolerance of the minimum.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "util/random.hpp"
+
+namespace nakika::overlay {
+
+class dns_redirector {
+ public:
+  // `tolerance` widens the near-minimum set: a proxy qualifies if its RTT is
+  // within `tolerance` * min_rtt.
+  dns_redirector(sim::network& net, double tolerance = 1.25);
+
+  void add_proxy(sim::node_id proxy);
+  void remove_proxy(sim::node_id proxy);
+
+  // Chooses a nearby proxy for `client`. Throws std::logic_error when no
+  // reachable proxy is registered.
+  [[nodiscard]] sim::node_id pick(sim::node_id client, util::rng& rng) const;
+
+  [[nodiscard]] std::size_t proxy_count() const { return proxies_.size(); }
+
+ private:
+  sim::network& net_;
+  double tolerance_;
+  std::vector<sim::node_id> proxies_;
+};
+
+// Hostname rewriting helpers ("www.med.nyu.edu" <-> "www.med.nyu.edu.nakika.net").
+[[nodiscard]] std::string to_nakika_host(std::string_view origin_host);
+[[nodiscard]] std::string from_nakika_host(std::string_view nakika_host);
+[[nodiscard]] bool is_nakika_host(std::string_view host);
+
+}  // namespace nakika::overlay

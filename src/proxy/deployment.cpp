@@ -1,0 +1,73 @@
+#include "proxy/deployment.hpp"
+
+#include "util/strings.hpp"
+
+namespace nakika::proxy {
+
+deployment::deployment(sim::network& net) : net_(net), redirector_(net) {}
+
+origin_server& deployment::create_origin(sim::node_id host) {
+  origins_.push_back(std::make_unique<origin_server>(net_, host));
+  return *origins_.back();
+}
+
+void deployment::map_host(const std::string& host_name, origin_server& server) {
+  host_map_[util::to_lower(host_name)] = &server;
+}
+
+endpoint_resolver deployment::origin_resolver() {
+  return [this](const std::string& host) -> http_endpoint* {
+    const auto it = host_map_.find(util::to_lower(host));
+    return it == host_map_.end() ? nullptr : it->second;
+  };
+}
+
+nakika_node& deployment::create_node(sim::node_id host, node_config cfg) {
+  auto node = std::make_unique<nakika_node>(net_, host, origin_resolver(), std::move(cfg));
+  nakika_node& ref = *node;
+  const std::string name = "nakika-" + net_.node_name(host);
+  nodes_by_name_[name] = &ref;
+  nodes_.push_back(std::move(node));
+  redirector_.add_proxy(host);
+  if (overlay_ != nullptr) join_overlay(ref);
+  return ref;
+}
+
+plain_proxy& deployment::create_plain_proxy(sim::node_id host, core::cost_model costs) {
+  plain_proxies_.push_back(
+      std::make_unique<plain_proxy>(net_, host, origin_resolver(), costs));
+  return *plain_proxies_.back();
+}
+
+void deployment::enable_overlay(overlay::cluster_config cfg) {
+  if (overlay_ != nullptr) return;
+  overlay_ = std::make_unique<overlay::coral_overlay>(net_, std::move(cfg));
+  for (auto& node : nodes_) join_overlay(*node);
+}
+
+void deployment::join_overlay(nakika_node& node) {
+  const std::string name = "nakika-" + net_.node_name(node.host());
+  const auto member = overlay_->join(node.host(), name);
+  node.attach_overlay(overlay_.get(), member, name,
+                      [this](const std::string& peer) { return node_by_name(peer); });
+}
+
+nakika_node* deployment::node_by_name(const std::string& name) {
+  const auto it = nodes_by_name_.find(name);
+  return it == nodes_by_name_.end() ? nullptr : it->second;
+}
+
+nakika_node* deployment::pick_node(sim::node_id client, util::rng& rng) {
+  if (nodes_.empty()) return nullptr;
+  try {
+    const sim::node_id host = redirector_.pick(client, rng);
+    for (auto& node : nodes_) {
+      if (node->host() == host) return node.get();
+    }
+  } catch (const std::logic_error&) {
+    return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace nakika::proxy

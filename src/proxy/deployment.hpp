@@ -1,0 +1,60 @@
+// Deployment wiring: owns origin servers, Na Kika nodes, the overlay, and
+// DNS redirection for one simulated experiment. Keeps benches and examples
+// short — build a topology, add origins and nodes, go.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "overlay/clusters.hpp"
+#include "overlay/redirector.hpp"
+#include "proxy/nakika_node.hpp"
+#include "proxy/origin_server.hpp"
+#include "proxy/plain_proxy.hpp"
+
+namespace nakika::proxy {
+
+class deployment {
+ public:
+  explicit deployment(sim::network& net);
+
+  // Creates an origin server on `host`. Host names are mapped to it with
+  // map_host (one origin can serve many sites).
+  origin_server& create_origin(sim::node_id host);
+  void map_host(const std::string& host_name, origin_server& server);
+
+  // Creates a Na Kika node; it joins the overlay automatically when
+  // enable_overlay was called.
+  nakika_node& create_node(sim::node_id host, node_config cfg = {});
+  // Baseline proxy for comparisons.
+  plain_proxy& create_plain_proxy(sim::node_id host, core::cost_model costs = {});
+
+  // Turns on cooperative caching; nodes created before and after all join.
+  void enable_overlay(overlay::cluster_config cfg = {});
+
+  [[nodiscard]] endpoint_resolver origin_resolver();
+  [[nodiscard]] overlay::dns_redirector& redirector() { return redirector_; }
+
+  // Picks a nearby node for a client (DNS redirection) — nullptr if none.
+  [[nodiscard]] nakika_node* pick_node(sim::node_id client, util::rng& rng);
+
+  [[nodiscard]] std::vector<std::unique_ptr<nakika_node>>& nodes() { return nodes_; }
+  [[nodiscard]] nakika_node* node_by_name(const std::string& name);
+  [[nodiscard]] sim::network& net() { return net_; }
+
+ private:
+  void join_overlay(nakika_node& node);
+
+  sim::network& net_;
+  std::vector<std::unique_ptr<origin_server>> origins_;
+  std::map<std::string, origin_server*> host_map_;
+  std::vector<std::unique_ptr<nakika_node>> nodes_;
+  std::map<std::string, nakika_node*> nodes_by_name_;
+  std::vector<std::unique_ptr<plain_proxy>> plain_proxies_;
+  std::unique_ptr<overlay::coral_overlay> overlay_;
+  overlay::dns_redirector redirector_;
+};
+
+}  // namespace nakika::proxy

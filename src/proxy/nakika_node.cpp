@@ -1,0 +1,512 @@
+#include "proxy/nakika_node.hpp"
+
+#include "http/wire.hpp"
+#include "overlay/redirector.hpp"
+#include "proxy/plain_proxy.hpp"
+#include "util/logging.hpp"
+
+namespace nakika::proxy {
+
+nakika_node::nakika_node(sim::network& net, sim::node_id host,
+                         endpoint_resolver resolve_origin, node_config config)
+    : net_(net),
+      host_(host),
+      resolve_origin_(std::move(resolve_origin)),
+      config_(std::move(config)),
+      pipeline_(config_.pipeline),
+      resources_(config_.capacities),
+      rng_(config_.rng_seed) {}
+
+void nakika_node::set_wall_sources(std::string clientwall, std::string serverwall) {
+  config_.clientwall_source = std::move(clientwall);
+  config_.serverwall_source = std::move(serverwall);
+}
+
+void nakika_node::attach_overlay(overlay::coral_overlay* ov,
+                                 overlay::coral_overlay::member_id member,
+                                 std::string self_name, peer_resolver peers) {
+  overlay_ = ov;
+  overlay_member_ = member;
+  self_name_ = std::move(self_name);
+  peers_ = std::move(peers);
+}
+
+void nakika_node::attach_replica(const std::string& site, state::replica* r) {
+  replicas_[site] = r;
+}
+
+std::optional<http::response> nakika_node::lookup_cache_only(const std::string& url) {
+  const auto now = static_cast<std::int64_t>(net_.loop().now());
+  return content_cache_.get(url, now);
+}
+
+const std::vector<std::string>& nakika_node::site_log(const std::string& site) const {
+  static const std::vector<std::string> empty;
+  const auto it = site_logs_.find(site);
+  return it == site_logs_.end() ? empty : it->second;
+}
+
+// ----- sandbox pool -----------------------------------------------------------
+
+core::sandbox* nakika_node::acquire_sandbox(const std::string& site, double& cpu_cost) {
+  auto& pool = sandbox_pool_[site];
+  if (!pool.empty()) {
+    core::sandbox* sb = pool.back().release();
+    pool.pop_back();
+    cpu_cost += config_.costs.context_reuse;
+    return sb;
+  }
+  ++sandboxes_created_;
+  cpu_cost += config_.costs.context_create;
+  auto sb = std::make_unique<core::sandbox>(config_.script_limits);
+  return sb.release();
+}
+
+void nakika_node::release_sandbox(const std::string& site, core::sandbox* sb,
+                                  bool poisoned) {
+  std::unique_ptr<core::sandbox> owned(sb);
+  if (poisoned) return;  // a killed/corrupted context is discarded, not reused
+  sandbox_pool_[site].push_back(std::move(owned));
+}
+
+// ----- stage script loading ------------------------------------------------------
+
+void nakika_node::load_stage_script(const std::string& url,
+                                    std::function<void(core::stage_fetch_result)> cb) {
+  core::stage_fetch_result out;
+
+  // Administrative walls come from node configuration (the paper fetches
+  // them from nakika.net and caches; administrators may override locally).
+  if (url == config_.pipeline.clientwall_url) {
+    out.found = !config_.clientwall_source.empty();
+    out.source = config_.clientwall_source;
+    out.version = 1;
+    cb(std::move(out));
+    return;
+  }
+  if (url == config_.pipeline.serverwall_url) {
+    out.found = !config_.serverwall_source.empty();
+    out.source = config_.serverwall_source;
+    out.version = 1;
+    cb(std::move(out));
+    return;
+  }
+
+  const auto now = static_cast<std::int64_t>(net_.loop().now());
+  if (no_script_.contains(url, now)) {
+    cb(std::move(out));  // cached "no such script"
+    return;
+  }
+  if (auto cached = script_cache_.get(url, now)) {
+    out.found = true;
+    out.source = std::move(cached->source);
+    out.version = cached->version;
+    cb(std::move(out));
+    return;
+  }
+  // Scripts are ordinary HTTP resources subject to ordinary caching (§3.1);
+  // dynamically generated stage code (e.g. the blacklist extension) lands in
+  // the content cache via the Cache vocabulary and is loadable from there.
+  if (auto content = content_cache_.get(url, now)) {
+    if (content->ok() && content->body) {
+      out.found = true;
+      out.source = content->body->str();
+      // Content-hash versioning: identical generated code reuses the
+      // compiled stage; regenerated code reloads.
+      out.version = std::hash<std::string>{}(out.source) | 1;
+      cb(std::move(out));
+      return;
+    }
+  }
+
+  http::request script_request;
+  try {
+    script_request.url = http::url::parse(url);
+  } catch (const std::invalid_argument&) {
+    no_script_.insert(url, now);
+    cb(std::move(out));
+    return;
+  }
+  script_request.client_ip = "0.0.0.0";
+
+  http_endpoint* origin = resolve_origin_(script_request.url.host());
+  if (origin == nullptr) {
+    no_script_.insert(url, now);
+    cb(std::move(out));
+    return;
+  }
+  forward_request(net_, host_, *origin, script_request,
+                  [this, url, cb = std::move(cb)](http::response resp) mutable {
+                    core::stage_fetch_result out;
+                    const auto later = static_cast<std::int64_t>(net_.loop().now());
+                    if (!resp.ok() || !resp.body) {
+                      no_script_.insert(url, later);
+                      cb(std::move(out));
+                      return;
+                    }
+                    script_entry entry;
+                    entry.source = resp.body->str();
+                    entry.version = next_script_version_++;
+                    const http::freshness f = http::compute_freshness(resp, later);
+                    const std::int64_t expiry =
+                        f.cacheable ? f.expires_at : later + config_.default_script_ttl;
+                    script_cache_.put(url, entry, expiry);
+                    out.found = true;
+                    out.source = std::move(entry.source);
+                    out.version = entry.version;
+                    cb(std::move(out));
+                  });
+}
+
+// ----- resource fetching -----------------------------------------------------------
+
+http::response nakika_node::maybe_render_nkp(const std::string& site, const http::request& r,
+                                             http::response resp) {
+  if (!config_.enable_pages || !resp.ok() || !resp.body) return resp;
+  const std::string content_type = resp.headers.get_or("Content-Type", "");
+  if (!core::is_nkp_resource(r.url.path(), content_type)) return resp;
+
+  // Compile the page into a one-policy script and run its onResponse in the
+  // site's sandbox (the paper layers NKP on the event model the same way).
+  std::string script;
+  try {
+    script = core::compile_nkp(resp.body->str());
+  } catch (const std::invalid_argument& e) {
+    return http::make_error_response(500, std::string("nkp: ") + e.what());
+  }
+
+  double cpu = 0.0;
+  core::sandbox* sb = acquire_sandbox(site, cpu);
+  bool poisoned = false;
+  http::response rendered = std::move(resp);
+  try {
+    sb->begin_run();
+    const core::sandbox::loaded_stage& stage =
+        sb->load_stage(r.url.str() + "#nkp", script, next_script_version_++);
+    const core::match_result match = stage.tree->match(r);
+    if (match.found() && match.matched->has_on_response()) {
+      core::exec_state exec;
+      exec.site = site;
+      exec.now = static_cast<std::int64_t>(net_.loop().now());
+      exec.request = const_cast<http::request*>(&r);
+      exec.response = &rendered;
+      exec.store = &store_;
+      exec.http_cache = &content_cache_;
+      sb->binding()->current = &exec;
+      core::sync_request_to_script(sb->ctx(), r);
+      core::sync_response_to_script(sb->ctx(), rendered);
+      js::interpreter in(sb->ctx());
+      in.call(match.matched->on_response, js::value::undefined(), {});
+      core::read_back_response(sb->ctx(), exec, rendered);
+      sb->binding()->current = nullptr;
+    }
+  } catch (const js::script_error& e) {
+    poisoned = true;
+    rendered = http::make_error_response(500, std::string("nkp script: ") + e.what());
+  } catch (const core::request_terminated_signal&) {
+    sb->binding()->current = nullptr;
+  }
+  release_sandbox(site, sb, poisoned);
+  return rendered;
+}
+
+void nakika_node::fetch_from_origin(const http::request& r,
+                                    std::function<void(http::response, double)> cb) {
+  http_endpoint* origin = resolve_origin_(r.url.host());
+  if (origin == nullptr) {
+    cb(http::make_error_response(502, "cannot resolve " + r.url.host()), 0.0);
+    return;
+  }
+  forward_request(net_, host_, *origin, r,
+                  [cb = std::move(cb)](http::response resp) mutable {
+                    cb(std::move(resp), 0.0);
+                  });
+}
+
+void nakika_node::fetch_resource(const std::string& site, const http::request& r,
+                                 std::function<void(http::response, double)> cb) {
+  const std::string key = r.url.str();
+  const auto now = static_cast<std::int64_t>(net_.loop().now());
+
+  if (auto hit = content_cache_.get(key, now)) {
+    cb(std::move(*hit), config_.costs.cache_hit_serve);
+    return;
+  }
+
+  auto finish_with = [this, site, r, key, cb](http::response resp) mutable {
+    resp = maybe_render_nkp(site, r, std::move(resp));
+    const auto later = static_cast<std::int64_t>(net_.loop().now());
+    const bool stored = content_cache_.put(key, resp, later);
+    if (stored && overlay_ != nullptr) {
+      // Advertise our copy: "one cached copy ... is sufficient for avoiding
+      // origin server accesses".
+      const http::freshness f = http::compute_freshness(resp, later);
+      overlay_->put(overlay_member_, key, self_name_, f.expires_at, []() {});
+    }
+    cb(std::move(resp), 0.0);
+  };
+
+  // The overlay is only worth consulting for content that peers could have
+  // cached; query-bearing URLs are dynamic/personalized and go straight to
+  // the origin (as CoralCDN does for uncacheable content).
+  const bool overlay_worthwhile = r.url.query().empty();
+  if (overlay_ != nullptr && peers_ && overlay_worthwhile) {
+    overlay_->get(overlay_member_, key,
+                  [this, r, finish_with, cb](std::vector<std::string> holders,
+                                             int /*level*/) mutable {
+                    nakika_node* peer = nullptr;
+                    for (const auto& name : holders) {
+                      if (name == self_name_) continue;
+                      if (nakika_node* p = peers_(name)) {
+                        peer = p;
+                        break;
+                      }
+                    }
+                    if (peer == nullptr) {
+                      fetch_from_origin(r, [finish_with](http::response resp, double) mutable {
+                        finish_with(std::move(resp));
+                      });
+                      return;
+                    }
+                    // Ask the peer's cache; fall back to origin on a miss.
+                    const std::string key = r.url.str();
+                    net_.transfer(
+                        host_, peer->host(), http::wire_size(r),
+                        [this, peer, key, r, finish_with]() mutable {
+                          auto hit = peer->lookup_cache_only(key);
+                          if (!hit) {
+                            // Miss at the peer (stale hint): back to origin.
+                            net_.transfer(peer->host(), host_, 64, [this, r,
+                                                                    finish_with]() mutable {
+                              fetch_from_origin(
+                                  r, [finish_with](http::response resp, double) mutable {
+                                    finish_with(std::move(resp));
+                                  });
+                            });
+                            return;
+                          }
+                          const std::size_t bytes = http::wire_size(*hit);
+                          net_.run_cpu(
+                              peer->host(), config_.costs.cache_hit_serve,
+                              [this, peer, bytes, resp = std::move(*hit),
+                               finish_with]() mutable {
+                                net_.transfer(peer->host(), host_, bytes,
+                                              [resp = std::move(resp),
+                                               finish_with]() mutable {
+                                                finish_with(std::move(resp));
+                                              });
+                              });
+                        });
+                  });
+    return;
+  }
+
+  fetch_from_origin(r, [finish_with](http::response resp, double) mutable {
+    finish_with(std::move(resp));
+  });
+}
+
+// ----- script subrequests (Fetch vocabulary) ----------------------------------------
+
+core::fetch_result nakika_node::sub_fetch(const http::request& r) {
+  core::fetch_result out;
+  const std::string key = r.url.str();
+  const auto now = static_cast<std::int64_t>(net_.loop().now());
+
+  if (auto hit = content_cache_.get(key, now)) {
+    out.ok = true;
+    out.response = std::move(*hit);
+    out.virtual_delay_seconds = config_.costs.cache_hit_serve;
+    return out;
+  }
+  // Synchronous origin read with an accounted round-trip delay: scripts see
+  // blocking semantics (per-script user-level threads in the paper) while
+  // the simulator bills the time to the pipeline's completion.
+  http_endpoint* origin = resolve_origin_(r.url.host());
+  auto* concrete = dynamic_cast<origin_server*>(origin);
+  if (concrete == nullptr) {
+    return out;  // unreachable or not a direct origin
+  }
+  double cpu = 0.0;
+  auto resp = concrete->serve_now(r, &cpu);
+  if (!resp) return out;
+  const double rtt = net_.has_route(host_, concrete->host())
+                         ? 2.0 * net_.route_latency(host_, concrete->host())
+                         : 0.0;
+  const double transfer_time =
+      static_cast<double>(http::wire_size(*resp)) / 12.5e6;  // nominal LAN rate
+  out.ok = true;
+  out.response = std::move(*resp);
+  out.virtual_delay_seconds = rtt + cpu + transfer_time;
+  const auto later = static_cast<std::int64_t>(net_.loop().now());
+  content_cache_.put(key, out.response, later);
+  return out;
+}
+
+// ----- request handling ---------------------------------------------------------------
+
+void nakika_node::handle(const http::request& original,
+                         std::function<void(http::response)> done) {
+  ++counters_.offered;
+
+  http::request r = original;
+  if (overlay::is_nakika_host(r.url.host())) {
+    r.url.set_host(overlay::from_nakika_host(r.url.host()));
+  }
+  const std::string site = r.url.site();
+
+  if (config_.resource_controls && !resources_.admit(site, rng_, net_.loop().now())) {
+    // Throttled rejection is a shared-memory flag check in the paper's
+    // implementation — far cheaper than full request processing.
+    ++counters_.throttled;
+    net_.run_cpu(host_, 0.0001, [done = std::move(done)]() mutable {
+      done(http::make_error_response(503, "server busy (throttled)"));
+    });
+    return;
+  }
+
+  if (!config_.scripting) {
+    // DHT-only mode: cache + cooperative lookup, no scripting pipeline.
+    net_.run_cpu(host_, config_.costs.proxy_overhead,
+                 [this, site, r, done = std::move(done)]() mutable {
+                   fetch_resource(site, r, [this, done = std::move(done)](
+                                               http::response resp, double cpu) mutable {
+                     ++counters_.completed;
+                     net_.run_cpu(host_, cpu + config_.costs.dht_processing,
+                                  [done = std::move(done), resp = std::move(resp)]() mutable {
+                                    done(std::move(resp));
+                                  });
+                   });
+                 });
+    return;
+  }
+
+  double setup_cpu = config_.costs.proxy_overhead;
+  core::sandbox* sb = acquire_sandbox(site, setup_cpu);
+  resources_.pipeline_started(site, sb->kill_flag());
+
+  core::exec_state base;
+  base.site = site;
+  base.local_specs = config_.local_specs;
+  base.now = static_cast<std::int64_t>(net_.loop().now());
+  base.http_cache = &content_cache_;
+  base.store = &store_;
+  const auto rep = replicas_.find(site);
+  base.replica = rep == replicas_.end() ? nullptr : rep->second;
+  base.fetch = [this](const http::request& sub) { return sub_fetch(sub); };
+  base.resources = resources_.view_for(site);
+
+  const std::string site_script_url = site + "/nakika.js";
+  const double start_time = net_.loop().now();
+
+  pipeline_.execute(
+      std::move(r), *sb, site_script_url,
+      [this](const std::string& url, std::function<void(core::stage_fetch_result)> cb) {
+        load_stage_script(url, std::move(cb));
+      },
+      [this, site](const http::request& req,
+                   std::function<void(http::response, double)> cb) {
+        fetch_resource(site, req, std::move(cb));
+      },
+      std::move(base),
+      [this, site, sb, setup_cpu, start_time,
+       done = std::move(done)](core::pipeline_result result) mutable {
+        resources_.pipeline_finished(site, sb->kill_flag());
+        const bool poisoned = result.terminated || result.failed;
+        release_sandbox(site, sb, poisoned);
+
+        const double elapsed = net_.loop().now() - start_time;
+        const double response_bytes = static_cast<double>(result.response.body_size());
+        resources_.record(site, core::resource_kind::cpu, result.script_cpu_seconds);
+        resources_.record(site, core::resource_kind::memory,
+                          static_cast<double>(result.heap_bytes));
+        resources_.record(site, core::resource_kind::bandwidth,
+                          static_cast<double>(result.bytes_read + result.bytes_written) +
+                              response_bytes);
+        resources_.record(site, core::resource_kind::running_time,
+                          elapsed + result.script_cpu_seconds);
+        resources_.record(site, core::resource_kind::total_bytes,
+                          static_cast<double>(result.bytes_read + result.bytes_written) +
+                              response_bytes);
+
+        if (result.terminated) {
+          ++counters_.terminated;
+        } else if (result.failed) {
+          ++counters_.failed;
+        } else {
+          ++counters_.completed;
+        }
+        if (!result.log_lines.empty()) {
+          auto& log = site_logs_[site];
+          log.insert(log.end(), result.log_lines.begin(), result.log_lines.end());
+        }
+
+        note_churn(static_cast<double>(result.heap_bytes));
+        const double cpu = (setup_cpu + result.script_cpu_seconds +
+                            config_.stage_overhead * result.stages_executed) *
+                           thrash_factor();
+        const double extra_delay = result.virtual_delay_seconds;
+        net_.run_cpu(host_, cpu, [this, extra_delay, done = std::move(done),
+                                  resp = std::move(result.response)]() mutable {
+          if (extra_delay > 0) {
+            net_.loop().schedule(extra_delay,
+                                 [done = std::move(done), resp = std::move(resp)]() mutable {
+                                   done(std::move(resp));
+                                 });
+          } else {
+            done(std::move(resp));
+          }
+        });
+      });
+}
+
+// ----- memory-pressure model ---------------------------------------------------------
+
+void nakika_node::note_churn(double bytes) {
+  const double now = net_.loop().now();
+  constexpr double window = 0.25;  // seconds
+  if (now - churn_window_start_ >= window) {
+    churn_rate_ = churn_window_bytes_ / std::max(window, now - churn_window_start_);
+    churn_window_start_ = now;
+    churn_window_bytes_ = 0.0;
+  }
+  churn_window_bytes_ += bytes;
+}
+
+double nakika_node::thrash_factor() const {
+  const double capacity = config_.capacities.memory_bytes_per_second;
+  if (capacity <= 0 || churn_rate_ <= capacity) return 1.0;
+  return std::min(churn_rate_ / capacity, 64.0);
+}
+
+// ----- resource-control monitor ----------------------------------------------------
+
+void nakika_node::start_monitor() {
+  if (monitor_running_ || !config_.resource_controls) return;
+  monitor_running_ = true;
+  monitor_tick(0);
+}
+
+void nakika_node::monitor_tick(std::size_t /*kind_index*/) {
+  // CONTROL runs for every tracked resource each cycle: phase 1, wait the
+  // control timeout ("note that our implementation does not block but
+  // rather polls"), then phase 2.
+  net_.loop().schedule(config_.control_interval, [this]() {
+    for (std::size_t k = 0; k < core::resource_kind_count; ++k) {
+      resources_.control_phase1(static_cast<core::resource_kind>(k), net_.loop().now());
+    }
+    net_.loop().schedule(config_.control_timeout, [this]() {
+      for (std::size_t k = 0; k < core::resource_kind_count; ++k) {
+        const core::control_outcome outcome = resources_.control_phase2(
+            static_cast<core::resource_kind>(k), net_.loop().now());
+        if (!outcome.terminated_site.empty()) {
+          NAKIKA_LOG(info, "monitor")
+              << "terminated pipelines of " << outcome.terminated_site;
+        }
+      }
+      monitor_tick(0);
+    });
+  });
+}
+
+}  // namespace nakika::proxy

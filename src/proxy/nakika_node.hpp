@@ -1,0 +1,158 @@
+// A Na Kika edge node (paper Fig. 1): mediates HTTP exchanges through the
+// scripting pipeline (client wall → site stages → server wall), caches
+// original and processed content, cooperates with other nodes through the
+// Coral-like overlay, and enforces congestion-based resource controls with a
+// periodic monitor.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/http_cache.hpp"
+#include "cache/script_cache.hpp"
+#include "core/cost_model.hpp"
+#include "core/pages.hpp"
+#include "core/pipeline.hpp"
+#include "core/resource_manager.hpp"
+#include "core/sandbox.hpp"
+#include "overlay/clusters.hpp"
+#include "proxy/origin_server.hpp"
+#include "state/local_store.hpp"
+#include "state/replication.hpp"
+#include "util/stats.hpp"
+
+namespace nakika::proxy {
+
+struct node_config {
+  core::pipeline_config pipeline;
+  core::cost_model costs;
+  core::resource_capacities capacities;
+  js::context_limits script_limits;
+
+  bool resource_controls = true;
+  double control_interval = 1.0;  // seconds between CONTROL phase-1 runs
+  double control_timeout = 0.5;   // WAIT(TIMEOUT) before phase 2
+
+  // When false the node is "the proxy with an integrated DHT" (Table 1's
+  // DHT configuration): no walls, no site scripts, no sandboxes — just
+  // caching plus cooperative lookup.
+  bool scripting = true;
+
+  bool enable_pages = true;       // Na Kika Pages (.nkp) rendering
+  std::int64_t default_script_ttl = 300;
+
+  // Administrative control scripts; empty = no-op stage. Node administrators
+  // may override these to enforce location-specific policy (paper §3.1).
+  std::string clientwall_source;
+  std::string serverwall_source;
+
+  // What counts as "local" for System.isLocal: CIDRs or domain suffixes.
+  std::vector<std::string> local_specs;
+
+  // Per-stage plumbing overhead beyond measured script time (filter chain,
+  // bucket-brigade bookkeeping in the paper's Apache implementation).
+  // Calibrated so Match-1 capacity lands near the paper's half-of-proxy.
+  double stage_overhead = 0.00095;
+
+  std::uint64_t rng_seed = 42;
+};
+
+class nakika_node : public http_endpoint {
+ public:
+  nakika_node(sim::network& net, sim::node_id host, endpoint_resolver resolve_origin,
+              node_config config = {});
+
+  void handle(const http::request& r, std::function<void(http::response)> done) override;
+  [[nodiscard]] sim::node_id host() const override { return host_; }
+
+  // --- cooperative caching ---
+  // Resolves a peer node name (as stored in the DHT) to its endpoint.
+  using peer_resolver = std::function<nakika_node*(const std::string& name)>;
+  void attach_overlay(overlay::coral_overlay* ov, overlay::coral_overlay::member_id member,
+                      std::string self_name, peer_resolver peers);
+  // Cache-only lookup used by peers (no origin fallback).
+  [[nodiscard]] std::optional<http::response> lookup_cache_only(const std::string& url);
+
+  // --- hard state ---
+  void attach_replica(const std::string& site, state::replica* r);
+  [[nodiscard]] state::local_store& store() { return store_; }
+
+  // --- resource controls ---
+  // Starts the periodic monitor (schedules itself on the event loop).
+  void start_monitor();
+  [[nodiscard]] core::resource_manager& resources() { return resources_; }
+
+  // --- administrative scripts ---
+  void set_wall_sources(std::string clientwall, std::string serverwall);
+
+  // --- introspection ---
+  [[nodiscard]] cache::http_cache& content_cache() { return content_cache_; }
+  [[nodiscard]] const util::run_counters& counters() const { return counters_; }
+  [[nodiscard]] const std::vector<std::string>& site_log(const std::string& site) const;
+  [[nodiscard]] const node_config& config() const { return config_; }
+  [[nodiscard]] std::size_t sandboxes_created() const { return sandboxes_created_; }
+
+ private:
+  struct script_entry {
+    std::string source;
+    std::uint64_t version = 0;
+  };
+
+  core::sandbox* acquire_sandbox(const std::string& site, double& cpu_cost);
+  void release_sandbox(const std::string& site, core::sandbox* sb, bool poisoned);
+
+  void load_stage_script(const std::string& url,
+                         std::function<void(core::stage_fetch_result)> cb);
+  void fetch_resource(const std::string& site, const http::request& r,
+                      std::function<void(http::response, double)> cb);
+  void fetch_from_origin(const http::request& r,
+                         std::function<void(http::response, double)> cb);
+  http::response maybe_render_nkp(const std::string& site, const http::request& r,
+                                  http::response resp);
+  core::fetch_result sub_fetch(const http::request& r);
+  void monitor_tick(std::size_t kind_index);
+
+  sim::network& net_;
+  sim::node_id host_;
+  endpoint_resolver resolve_origin_;
+  node_config config_;
+
+  core::pipeline_executor pipeline_;
+  core::resource_manager resources_;
+  cache::http_cache content_cache_;
+  cache::ttl_cache<script_entry> script_cache_;
+  cache::negative_cache no_script_;
+  state::local_store store_;
+  std::map<std::string, state::replica*> replicas_;
+
+  // Sandbox pool per site: paper isolates pipelines and reuses contexts.
+  std::map<std::string, std::vector<std::unique_ptr<core::sandbox>>> sandbox_pool_;
+  std::size_t sandboxes_created_ = 0;
+
+  overlay::coral_overlay* overlay_ = nullptr;
+  overlay::coral_overlay::member_id overlay_member_ = 0;
+  std::string self_name_;
+  peer_resolver peers_;
+
+  std::map<std::string, std::vector<std::string>> site_logs_;
+  util::run_counters counters_;
+  util::rng rng_;
+  std::uint64_t next_script_version_ = 1;
+  bool monitor_running_ = false;
+
+  // Memory-pressure model: when script allocation churn exceeds the node's
+  // memory capacity (possible only when per-context limits are disabled and
+  // the monitor has not intervened), every request slows down — the
+  // simulator's stand-in for swap/GC thrashing on a real host. The factor is
+  // the overcommit ratio over a sliding window.
+  [[nodiscard]] double thrash_factor() const;
+  void note_churn(double bytes);
+  double churn_window_start_ = 0.0;
+  double churn_window_bytes_ = 0.0;
+  double churn_rate_ = 0.0;  // bytes/second over the last window
+};
+
+}  // namespace nakika::proxy

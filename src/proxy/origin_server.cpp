@@ -1,0 +1,80 @@
+#include "proxy/origin_server.hpp"
+
+#include "http/date.hpp"
+#include "util/strings.hpp"
+
+namespace nakika::proxy {
+
+origin_server::origin_server(sim::network& net, sim::node_id host)
+    : net_(net), host_(host) {}
+
+void origin_server::add_static(const std::string& host_name, const std::string& path,
+                               std::string_view content_type, util::shared_body body,
+                               std::int64_t max_age_seconds) {
+  sites_[util::to_lower(host_name)].statics[path] = {std::string(content_type),
+                                                     std::move(body), max_age_seconds};
+}
+
+void origin_server::add_static_text(const std::string& host_name, const std::string& path,
+                                    std::string_view content_type, std::string_view text,
+                                    std::int64_t max_age_seconds) {
+  add_static(host_name, path, content_type, util::make_body(text), max_age_seconds);
+}
+
+void origin_server::add_dynamic(const std::string& host_name, const std::string& path_prefix,
+                                dynamic_handler handler) {
+  sites_[util::to_lower(host_name)].dynamics.emplace_back(path_prefix, std::move(handler));
+}
+
+http::response origin_server::build_response(const http::request& r, double* cpu_seconds) {
+  if (cpu_seconds != nullptr) *cpu_seconds = base_cpu_seconds_;
+  const auto site_it = sites_.find(util::to_lower(r.url.host()));
+  if (site_it == sites_.end()) {
+    return http::make_error_response(404, "no such site: " + r.url.host());
+  }
+  const site& s = site_it->second;
+
+  // Longest-prefix dynamic handlers win over statics so a site can overlay
+  // dynamic sections on static trees.
+  const std::pair<std::string, dynamic_handler>* best = nullptr;
+  for (const auto& d : s.dynamics) {
+    if (r.url.path().starts_with(d.first) &&
+        (best == nullptr || d.first.size() > best->first.size())) {
+      best = &d;
+    }
+  }
+  if (best != nullptr) {
+    dynamic_result out = best->second(r);
+    if (cpu_seconds != nullptr) *cpu_seconds = base_cpu_seconds_ + out.cpu_seconds;
+    return std::move(out.response);
+  }
+
+  const auto static_it = s.statics.find(r.url.path());
+  if (static_it == s.statics.end()) {
+    return http::make_error_response(404, "no such resource: " + r.url.path());
+  }
+  const static_entry& e = static_it->second;
+  http::response resp = http::make_response(200, e.content_type, e.body);
+  const auto now = static_cast<std::int64_t>(net_.loop().now());
+  resp.headers.set("Date", http::format_http_date(now));
+  resp.headers.set("Cache-Control", "max-age=" + std::to_string(e.max_age));
+  if (r.method == http::method::head) resp.body = nullptr;
+  return resp;
+}
+
+void origin_server::handle(const http::request& r, std::function<void(http::response)> done) {
+  double cpu = 0.0;
+  http::response resp = build_response(r, &cpu);
+  ++served_;
+  net_.run_cpu(host_, cpu, [done = std::move(done), resp = std::move(resp)]() mutable {
+    done(std::move(resp));
+  });
+}
+
+std::optional<http::response> origin_server::serve_now(const http::request& r,
+                                                       double* cpu_seconds) {
+  ++served_;
+  return build_response(r, cpu_seconds);
+}
+
+}  // namespace nakika::proxy

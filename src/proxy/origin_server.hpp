@@ -1,0 +1,88 @@
+// Origin servers and the endpoint abstraction. An endpoint is anything that
+// accepts an HTTP request on a simulated host: origin servers, the plain
+// proxy baseline, and Na Kika nodes all implement it, so clients and proxies
+// compose freely.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "http/message.hpp"
+#include "sim/network.hpp"
+
+namespace nakika::proxy {
+
+class http_endpoint {
+ public:
+  virtual ~http_endpoint() = default;
+  // Processes a request that has already arrived at this endpoint's host;
+  // `done` fires (in virtual time) when the response is ready to transmit.
+  virtual void handle(const http::request& r, std::function<void(http::response)> done) = 0;
+  [[nodiscard]] virtual sim::node_id host() const = 0;
+};
+
+// Maps a URL host to the endpoint serving it (the simulator's DNS).
+using endpoint_resolver = std::function<http_endpoint*(const std::string& host)>;
+
+// A simulated origin server hosting one or more sites. Content is either
+// static bodies (with caching headers) or dynamic handlers with an explicit
+// CPU cost, which is how the SIMM/Tomcat and PHP/SPECweb models plug in.
+class origin_server : public http_endpoint {
+ public:
+  origin_server(sim::network& net, sim::node_id host);
+
+  // Static resource with a freshness lifetime. Path must be absolute.
+  void add_static(const std::string& host_name, const std::string& path,
+                  std::string_view content_type, util::shared_body body,
+                  std::int64_t max_age_seconds = 3600);
+  // Convenience: text content.
+  void add_static_text(const std::string& host_name, const std::string& path,
+                       std::string_view content_type, std::string_view text,
+                       std::int64_t max_age_seconds = 3600);
+
+  struct dynamic_result {
+    http::response response;
+    double cpu_seconds = 0.0;  // added to the fixed per-request cost
+  };
+  using dynamic_handler = std::function<dynamic_result(const http::request&)>;
+  // Dynamic resource rooted at a path prefix.
+  void add_dynamic(const std::string& host_name, const std::string& path_prefix,
+                   dynamic_handler handler);
+
+  // Fixed CPU cost per served request (request parsing, I/O).
+  void set_base_cpu_seconds(double s) { base_cpu_seconds_ = s; }
+
+  void handle(const http::request& r, std::function<void(http::response)> done) override;
+  [[nodiscard]] sim::node_id host() const override { return host_; }
+
+  // Synchronous variant for script subrequests (Fetch vocabulary): returns
+  // the response plus the virtual delay a network round trip would cost.
+  [[nodiscard]] std::optional<http::response> serve_now(const http::request& r,
+                                                        double* cpu_seconds = nullptr);
+
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  struct static_entry {
+    std::string content_type;
+    util::shared_body body;
+    std::int64_t max_age;
+  };
+  struct site {
+    std::map<std::string, static_entry> statics;                  // by exact path
+    std::vector<std::pair<std::string, dynamic_handler>> dynamics;  // by prefix
+  };
+
+  [[nodiscard]] http::response build_response(const http::request& r, double* cpu_seconds);
+
+  sim::network& net_;
+  sim::node_id host_;
+  double base_cpu_seconds_ = 0.0029;  // paper: 2.9 ms to load the page
+  std::map<std::string, site> sites_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace nakika::proxy

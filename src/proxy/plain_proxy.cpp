@@ -1,0 +1,60 @@
+#include "proxy/plain_proxy.hpp"
+
+#include "http/wire.hpp"
+
+namespace nakika::proxy {
+
+void forward_request(sim::network& net, sim::node_id from, http_endpoint& target,
+                     const http::request& r, std::function<void(http::response)> done) {
+  net.transfer(from, target.host(), http::wire_size(r), [&net, from, &target, r,
+                                                         done = std::move(done)]() mutable {
+    target.handle(r, [&net, from, target_host = target.host(),
+                      done = std::move(done)](http::response resp) mutable {
+      const std::size_t bytes = http::wire_size(resp);
+      net.transfer(target_host, from, bytes,
+                   [done = std::move(done), resp = std::move(resp)]() mutable {
+                     done(std::move(resp));
+                   });
+    });
+  });
+}
+
+plain_proxy::plain_proxy(sim::network& net, sim::node_id host,
+                         endpoint_resolver resolve_origin, core::cost_model costs)
+    : net_(net),
+      host_(host),
+      resolve_origin_(std::move(resolve_origin)),
+      costs_(costs) {}
+
+void plain_proxy::handle(const http::request& r, std::function<void(http::response)> done) {
+  const auto now = static_cast<std::int64_t>(net_.loop().now());
+  const std::string key = r.url.str();
+
+  if (auto hit = cache_.get(key, now)) {
+    net_.run_cpu(host_, costs_.proxy_overhead + costs_.cache_hit_serve,
+                 [done = std::move(done), resp = std::move(*hit)]() mutable {
+                   done(std::move(resp));
+                 });
+    return;
+  }
+
+  http_endpoint* origin = resolve_origin_(r.url.host());
+  if (origin == nullptr) {
+    net_.run_cpu(host_, costs_.proxy_overhead, [done = std::move(done), &r]() mutable {
+      done(http::make_error_response(502, "cannot resolve " + r.url.host()));
+    });
+    return;
+  }
+
+  net_.run_cpu(host_, costs_.proxy_overhead, [this, r, origin, key,
+                                              done = std::move(done)]() mutable {
+    forward_request(net_, host_, *origin, r, [this, key, done = std::move(done)](
+                                                 http::response resp) mutable {
+      const auto later = static_cast<std::int64_t>(net_.loop().now());
+      cache_.put(key, resp, later);
+      done(std::move(resp));
+    });
+  });
+}
+
+}  // namespace nakika::proxy

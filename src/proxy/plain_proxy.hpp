@@ -1,0 +1,37 @@
+// The baseline: "a regular Apache proxy" (Table 1's Proxy configuration).
+// Expiration-based caching, no scripting pipeline, no DHT, no resource
+// controls. Every comparison in §5.1 starts here.
+#pragma once
+
+#include "cache/http_cache.hpp"
+#include "core/cost_model.hpp"
+#include "proxy/origin_server.hpp"
+
+namespace nakika::proxy {
+
+class plain_proxy : public http_endpoint {
+ public:
+  plain_proxy(sim::network& net, sim::node_id host, endpoint_resolver resolve_origin,
+              core::cost_model costs = {});
+
+  void handle(const http::request& r, std::function<void(http::response)> done) override;
+  [[nodiscard]] sim::node_id host() const override { return host_; }
+
+  [[nodiscard]] cache::http_cache& cache() { return cache_; }
+  [[nodiscard]] const cache::cache_stats& cache_stats() const { return cache_.stats(); }
+
+ private:
+  sim::network& net_;
+  sim::node_id host_;
+  endpoint_resolver resolve_origin_;
+  core::cost_model costs_;
+  cache::http_cache cache_;
+};
+
+// Shared helper: moves `r` to `target` over the network, lets it handle, and
+// returns the response to `from`. Used by proxies for upstream fetches and by
+// client drivers.
+void forward_request(sim::network& net, sim::node_id from, http_endpoint& target,
+                     const http::request& r, std::function<void(http::response)> done);
+
+}  // namespace nakika::proxy

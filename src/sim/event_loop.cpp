@@ -1,0 +1,44 @@
+#include "sim/event_loop.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nakika::sim {
+
+void event_loop::schedule(sim_time delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("event_loop::schedule: negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void event_loop::schedule_at(sim_time when, std::function<void()> fn) {
+  if (when < now_) throw std::invalid_argument("event_loop::schedule_at: time in the past");
+  queue_.push({when, next_seq_++, std::move(fn)});
+}
+
+bool event_loop::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the function object must be moved out
+  // before pop, so copy the metadata and move the closure via const_cast-free
+  // re-push avoidance: take a copy of the handler (cheap for shared-state
+  // closures) then pop.
+  const event& top = queue_.top();
+  now_ = top.when;
+  std::function<void()> fn = top.fn;
+  queue_.pop();
+  fn();
+  return true;
+}
+
+void event_loop::run() {
+  while (step()) {
+  }
+}
+
+void event_loop::run_until(sim_time deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace nakika::sim

@@ -1,0 +1,51 @@
+// Discrete-event simulation kernel: a virtual clock and an ordered event
+// queue. All end-to-end experiments (paper §5.2, §5.3) run on this kernel so
+// wide-area conditions are reproducible without a testbed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace nakika::sim {
+
+using sim_time = double;  // seconds of virtual time
+
+class event_loop {
+ public:
+  // Schedules `fn` to run `delay` seconds from now (>= 0).
+  void schedule(sim_time delay, std::function<void()> fn);
+  void schedule_at(sim_time when, std::function<void()> fn);
+
+  [[nodiscard]] sim_time now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  // Runs events until the queue is empty.
+  void run();
+  // Runs events with timestamps <= `deadline`; the clock ends at `deadline`
+  // (or at the last event, whichever is later within the bound).
+  void run_until(sim_time deadline);
+  // Executes exactly one event if available; returns false when idle.
+  bool step();
+
+ private:
+  struct event {
+    sim_time when;
+    std::uint64_t seq;  // tie-break preserves scheduling order
+    std::function<void()> fn;
+  };
+  struct later {
+    bool operator()(const event& a, const event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<event, std::vector<event>, later> queue_;
+  sim_time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace nakika::sim

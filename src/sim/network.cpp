@@ -1,0 +1,96 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nakika::sim {
+
+node_id network::add_node(std::string name, int cores) {
+  if (cores < 1) throw std::invalid_argument("network::add_node: cores must be >= 1");
+  node_state n;
+  n.name = std::move(name);
+  n.core_free.assign(static_cast<std::size_t>(cores), 0.0);
+  nodes_.push_back(std::move(n));
+  return static_cast<node_id>(nodes_.size() - 1);
+}
+
+link_id network::add_link(double bytes_per_second) {
+  if (bytes_per_second <= 0) {
+    throw std::invalid_argument("network::add_link: bandwidth must be > 0");
+  }
+  links_.push_back({bytes_per_second, 0.0, 0});
+  return static_cast<link_id>(links_.size() - 1);
+}
+
+void network::set_route(node_id a, node_id b, double latency_seconds,
+                        std::vector<link_id> links) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::invalid_argument("network::set_route: unknown node");
+  }
+  for (link_id l : links) {
+    if (l >= links_.size()) throw std::invalid_argument("network::set_route: unknown link");
+  }
+  routes_[route_key(a, b)] = {latency_seconds, std::move(links)};
+}
+
+void network::transfer(node_id from, node_id to, std::size_t bytes,
+                       std::function<void()> done) {
+  if (from == to) {
+    loop_.schedule(0.0, std::move(done));
+    return;
+  }
+  const auto it = routes_.find(route_key(from, to));
+  if (it == routes_.end()) {
+    throw std::logic_error("network::transfer: no route between " + nodes_[from].name +
+                           " and " + nodes_[to].name);
+  }
+  const route_state& route = it->second;
+  // Eager reservation: claim each link in order; store-and-forward.
+  sim_time t = loop_.now();
+  for (link_id l : route.links) {
+    link_state& link = links_[l];
+    const sim_time start = std::max(t, link.free_at);
+    const sim_time finish = start + static_cast<double>(bytes) / link.bytes_per_second;
+    link.free_at = finish;
+    link.total_bytes += bytes;
+    t = finish;
+  }
+  t += route.latency;
+  loop_.schedule_at(t, std::move(done));
+}
+
+void network::run_cpu(node_id n, double seconds, std::function<void()> done) {
+  if (n >= nodes_.size()) throw std::invalid_argument("network::run_cpu: unknown node");
+  if (seconds < 0) throw std::invalid_argument("network::run_cpu: negative duration");
+  auto& cores = nodes_[n].core_free;
+  auto earliest = std::min_element(cores.begin(), cores.end());
+  const sim_time start = std::max(loop_.now(), *earliest);
+  const sim_time finish = start + seconds;
+  *earliest = finish;
+  loop_.schedule_at(finish, std::move(done));
+}
+
+double network::route_latency(node_id a, node_id b) const {
+  if (a == b) return 0.0;
+  const auto it = routes_.find(route_key(a, b));
+  if (it == routes_.end()) {
+    throw std::logic_error("network::route_latency: no route");
+  }
+  return it->second.latency;
+}
+
+bool network::has_route(node_id a, node_id b) const {
+  return a == b || routes_.contains(route_key(a, b));
+}
+
+const std::string& network::node_name(node_id n) const {
+  if (n >= nodes_.size()) throw std::invalid_argument("network::node_name: unknown node");
+  return nodes_[n].name;
+}
+
+std::uint64_t network::link_bytes(link_id l) const {
+  if (l >= links_.size()) throw std::invalid_argument("network::link_bytes: unknown link");
+  return links_[l].total_bytes;
+}
+
+}  // namespace nakika::sim

@@ -1,0 +1,83 @@
+// Simulated network: nodes with CPU service queues, shared links with finite
+// bandwidth, and routes composed of links plus propagation latency. Replaces
+// the paper's PlanetLab testbed; the SIMM wide-area and constrained-WAN
+// experiments are topologies over this model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_loop.hpp"
+
+namespace nakika::sim {
+
+using node_id = std::uint32_t;
+using link_id = std::uint32_t;
+
+class network {
+ public:
+  explicit network(event_loop& loop) : loop_(loop) {}
+
+  // --- topology construction ---
+  node_id add_node(std::string name, int cores = 1);
+  // A link is a shared capacity: concurrent transfers queue on it.
+  link_id add_link(double bytes_per_second);
+  // Declares the (symmetric) route between two nodes: one-way propagation
+  // latency plus the ordered set of shared links traversed.
+  void set_route(node_id a, node_id b, double latency_seconds,
+                 std::vector<link_id> links = {});
+
+  // --- traffic ---
+  // Moves `bytes` from `from` to `to`; `done` fires at delivery time.
+  // Store-and-forward across each shared link, so a 8 Mbps bottleneck shared
+  // by 160 clients behaves like one. Throws std::logic_error when no route
+  // exists.
+  void transfer(node_id from, node_id to, std::size_t bytes, std::function<void()> done);
+
+  // Occupies one CPU core on `n` for `seconds`, FIFO across the node's
+  // cores; `done` fires when the work completes.
+  void run_cpu(node_id n, double seconds, std::function<void()> done);
+
+  // One-way latency of the route (ignoring bandwidth); used by the overlay's
+  // RTT-based clustering. Throws std::logic_error when no route exists.
+  [[nodiscard]] double route_latency(node_id a, node_id b) const;
+  [[nodiscard]] bool has_route(node_id a, node_id b) const;
+
+  [[nodiscard]] const std::string& node_name(node_id n) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] event_loop& loop() { return loop_; }
+
+  // Total bytes ever offered to each link; lets benches report bandwidth use.
+  [[nodiscard]] std::uint64_t link_bytes(link_id l) const;
+
+ private:
+  struct node_state {
+    std::string name;
+    std::vector<sim_time> core_free;  // per-core next-free times
+  };
+  struct link_state {
+    double bytes_per_second;
+    sim_time free_at = 0.0;
+    std::uint64_t total_bytes = 0;
+  };
+  struct route_state {
+    double latency;
+    std::vector<link_id> links;
+  };
+
+  [[nodiscard]] static std::uint64_t route_key(node_id a, node_id b) {
+    const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+    const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+    return lo << 32 | hi;
+  }
+
+  event_loop& loop_;
+  std::vector<node_state> nodes_;
+  std::vector<link_state> links_;
+  std::unordered_map<std::uint64_t, route_state> routes_;
+};
+
+}  // namespace nakika::sim

@@ -1,0 +1,113 @@
+#include "sim/topology.hpp"
+
+#include <stdexcept>
+
+namespace nakika::sim {
+
+namespace {
+constexpr double lan_bandwidth = 12.5e6;  // 100 Mbit/s in bytes/s
+constexpr double lan_latency = 0.0002;    // 0.2 ms one-way
+}  // namespace
+
+three_tier build_lan(network& net) {
+  three_tier t;
+  t.client = net.add_node("client");
+  t.proxy = net.add_node("proxy");
+  t.origin = net.add_node("origin");
+  // Switched Ethernet: each host's NIC is its own capacity.
+  const link_id client_nic = net.add_link(lan_bandwidth);
+  const link_id proxy_nic = net.add_link(lan_bandwidth);
+  const link_id origin_nic = net.add_link(lan_bandwidth);
+  net.set_route(t.client, t.proxy, lan_latency, {client_nic, proxy_nic});
+  net.set_route(t.client, t.origin, lan_latency, {client_nic, origin_nic});
+  net.set_route(t.proxy, t.origin, lan_latency, {proxy_nic, origin_nic});
+  return t;
+}
+
+three_tier build_constrained_wan(network& net) {
+  three_tier t;
+  t.client = net.add_node("client");
+  t.proxy = net.add_node("proxy");
+  t.origin = net.add_node("origin");
+  const link_id client_nic = net.add_link(lan_bandwidth);
+  const link_id proxy_nic = net.add_link(lan_bandwidth);
+  // The paper inserts "an artificial network delay of 80 ms and bandwidth cap
+  // of 8 Mbps between the server on one side and the proxy and clients on the
+  // other side": one shared bottleneck in front of the origin.
+  const link_id bottleneck = net.add_link(1.0e6);  // 8 Mbit/s
+  net.set_route(t.client, t.proxy, lan_latency, {client_nic, proxy_nic});
+  net.set_route(t.client, t.origin, 0.080, {client_nic, bottleneck});
+  net.set_route(t.proxy, t.origin, 0.080, {proxy_nic, bottleneck});
+  return t;
+}
+
+geo_deployment build_geo(network& net, int sites_per_region,
+                         double host_bandwidth_bytes_per_sec) {
+  if (sites_per_region < 1) {
+    throw std::invalid_argument("build_geo: sites_per_region must be >= 1");
+  }
+  // One-way latencies between regions, seconds.
+  const double intra_region = 0.010;
+  const double east_west = 0.035;
+  const double east_asia = 0.090;
+  const double west_asia = 0.060;
+  const double site_local = 0.002;  // client to its nearby proxy
+
+  auto region_latency = [&](const std::string& a, const std::string& b) {
+    if (a == b) return intra_region;
+    if ((a == "us-east" && b == "us-west") || (a == "us-west" && b == "us-east")) {
+      return east_west;
+    }
+    if ((a == "us-east" && b == "asia") || (a == "asia" && b == "us-east")) {
+      return east_asia;
+    }
+    return west_asia;
+  };
+
+  geo_deployment g;
+  g.origin = net.add_node("origin-ny");
+  const link_id origin_nic = net.add_link(host_bandwidth_bytes_per_sec);
+
+  struct host_links {
+    link_id client_nic;
+    link_id proxy_nic;
+  };
+  std::vector<host_links> nics;
+
+  const char* regions[] = {"us-east", "us-west", "asia"};
+  for (const char* region : regions) {
+    for (int i = 0; i < sites_per_region; ++i) {
+      geo_site site;
+      site.region = region;
+      const std::string suffix = std::string(region) + "-" + std::to_string(i);
+      site.client = net.add_node("client-" + suffix);
+      site.proxy = net.add_node("proxy-" + suffix);
+      const link_id client_nic = net.add_link(host_bandwidth_bytes_per_sec);
+      const link_id proxy_nic = net.add_link(host_bandwidth_bytes_per_sec);
+      net.set_route(site.client, site.proxy, site_local, {client_nic, proxy_nic});
+      net.set_route(site.client, g.origin, region_latency(region, "us-east"),
+                    {client_nic, origin_nic});
+      net.set_route(site.proxy, g.origin, region_latency(region, "us-east"),
+                    {proxy_nic, origin_nic});
+      g.sites.push_back(site);
+      nics.push_back({client_nic, proxy_nic});
+    }
+  }
+
+  // Full proxy mesh (the overlay needs any-to-any) and client access to
+  // remote proxies (redirection may send a client anywhere).
+  for (std::size_t i = 0; i < g.sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < g.sites.size(); ++j) {
+      const double lat = region_latency(g.sites[i].region, g.sites[j].region);
+      net.set_route(g.sites[i].proxy, g.sites[j].proxy, lat,
+                    {nics[i].proxy_nic, nics[j].proxy_nic});
+      net.set_route(g.sites[i].client, g.sites[j].proxy, lat,
+                    {nics[i].client_nic, nics[j].proxy_nic});
+      net.set_route(g.sites[i].proxy, g.sites[j].client, lat,
+                    {nics[i].proxy_nic, nics[j].client_nic});
+    }
+  }
+  return g;
+}
+
+}  // namespace nakika::sim

@@ -1,0 +1,48 @@
+// Topology builders for the paper's experimental setups:
+//   - LAN: client, proxy, and origin on one switched 100 Mbit Ethernet
+//     (micro-benchmarks, §5.1 and the local SIMM runs, §5.2).
+//   - Constrained WAN: LAN plus an 80 ms / 8 Mbps bottleneck in front of the
+//     origin (the "simulate a wide-area network" configuration in §5.2).
+//   - Geo: client sites on the US East Coast, West Coast, and Asia with
+//     proxies near each site and the origin in New York (§5.2 wide-area,
+//     §5.3 SPECweb).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace nakika::sim {
+
+struct three_tier {
+  node_id client = 0;
+  node_id proxy = 0;
+  node_id origin = 0;
+};
+
+// 100 Mbit switched Ethernet, 0.2 ms one-way latency everywhere.
+three_tier build_lan(network& net);
+
+// Same LAN between client and proxy; origin behind an 80 ms one-way,
+// 8 Mbps shared bottleneck (for both proxy and client paths, as in §5.2).
+three_tier build_constrained_wan(network& net);
+
+struct geo_site {
+  std::string region;   // "us-east", "us-west", "asia"
+  node_id client = 0;   // load-generating host at this site
+  node_id proxy = 0;    // nearby Na Kika node
+};
+
+struct geo_deployment {
+  node_id origin = 0;                // PlanetLab node in New York
+  std::vector<geo_site> sites;
+};
+
+// `sites_per_region` client sites in each of us-east / us-west / asia, each
+// with a nearby proxy; inter-region latencies model the public internet and
+// a shared per-host bandwidth cap models PlanetLab's per-project limit.
+geo_deployment build_geo(network& net, int sites_per_region,
+                         double host_bandwidth_bytes_per_sec = 1.25e6);
+
+}  // namespace nakika::sim

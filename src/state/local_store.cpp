@@ -1,0 +1,67 @@
+#include "state/local_store.hpp"
+
+namespace nakika::state {
+
+local_store::local_store(std::size_t per_site_quota_bytes) : quota_(per_site_quota_bytes) {}
+
+bool local_store::put(const std::string& site, const std::string& key,
+                      const std::string& value) {
+  partition& p = partitions_[site];
+  const std::size_t incoming = key.size() + value.size();
+  std::size_t released = 0;
+  const auto it = p.entries.find(key);
+  if (it != p.entries.end()) {
+    released = key.size() + it->second.size();
+  }
+  if (quota_ != 0 && p.bytes - released + incoming > quota_) {
+    return false;
+  }
+  p.bytes = p.bytes - released + incoming;
+  p.entries[key] = value;
+  return true;
+}
+
+std::optional<std::string> local_store::get(const std::string& site,
+                                            const std::string& key) const {
+  const auto pit = partitions_.find(site);
+  if (pit == partitions_.end()) return std::nullopt;
+  const auto it = pit->second.entries.find(key);
+  if (it == pit->second.entries.end()) return std::nullopt;
+  return it->second;
+}
+
+bool local_store::remove(const std::string& site, const std::string& key) {
+  const auto pit = partitions_.find(site);
+  if (pit == partitions_.end()) return false;
+  const auto it = pit->second.entries.find(key);
+  if (it == pit->second.entries.end()) return false;
+  pit->second.bytes -= key.size() + it->second.size();
+  pit->second.entries.erase(it);
+  return true;
+}
+
+std::size_t local_store::site_bytes(const std::string& site) const {
+  const auto pit = partitions_.find(site);
+  return pit == partitions_.end() ? 0 : pit->second.bytes;
+}
+
+std::size_t local_store::site_keys(const std::string& site) const {
+  const auto pit = partitions_.find(site);
+  return pit == partitions_.end() ? 0 : pit->second.entries.size();
+}
+
+std::vector<std::pair<std::string, std::string>> local_store::scan(
+    const std::string& site, const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  const auto pit = partitions_.find(site);
+  if (pit == partitions_.end()) return out;
+  for (auto it = pit->second.entries.lower_bound(prefix);
+       it != pit->second.entries.end() && it->first.starts_with(prefix); ++it) {
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+void local_store::clear_site(const std::string& site) { partitions_.erase(site); }
+
+}  // namespace nakika::state

@@ -1,0 +1,45 @@
+// Per-site partitioned local storage with quotas — the "database for local
+// storage" behind hard-state replication (paper §3.3). Na Kika "partitions
+// hard state amongst sites and enforces resource constraints on persistent
+// storage"; both live here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nakika::state {
+
+class local_store {
+ public:
+  // `per_site_quota_bytes` bounds sum(key+value sizes) per site (0 = none).
+  explicit local_store(std::size_t per_site_quota_bytes = 16 * 1024 * 1024);
+
+  // Returns false (and stores nothing) if the write would exceed the site's
+  // quota. Overwrites release the old value's bytes first.
+  bool put(const std::string& site, const std::string& key, const std::string& value);
+  [[nodiscard]] std::optional<std::string> get(const std::string& site,
+                                               const std::string& key) const;
+  bool remove(const std::string& site, const std::string& key);
+
+  [[nodiscard]] std::size_t site_bytes(const std::string& site) const;
+  [[nodiscard]] std::size_t site_keys(const std::string& site) const;
+  // Keys with the given prefix, sorted (used by per-site log scans).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> scan(
+      const std::string& site, const std::string& prefix) const;
+
+  void clear_site(const std::string& site);
+  [[nodiscard]] std::size_t quota() const { return quota_; }
+
+ private:
+  struct partition {
+    std::map<std::string, std::string> entries;
+    std::size_t bytes = 0;
+  };
+  std::size_t quota_;
+  std::map<std::string, partition> partitions_;
+};
+
+}  // namespace nakika::state

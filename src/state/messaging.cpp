@@ -1,0 +1,88 @@
+#include "state/messaging.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace nakika::state {
+
+message_bus::message_bus(sim::network& net, double loss_probability, double retry_timeout,
+                         int max_attempts)
+    : net_(net),
+      loss_probability_(loss_probability),
+      retry_timeout_(retry_timeout),
+      max_attempts_(max_attempts) {
+  if (loss_probability < 0.0 || loss_probability >= 1.0) {
+    throw std::invalid_argument("message_bus: loss probability must be in [0, 1)");
+  }
+  if (max_attempts < 1) {
+    throw std::invalid_argument("message_bus: max_attempts must be >= 1");
+  }
+}
+
+std::size_t message_bus::subscribe(const std::string& topic, sim::node_id host, handler h) {
+  subs_.push_back({true, topic, host, std::move(h)});
+  return subs_.size() - 1;
+}
+
+void message_bus::unsubscribe(std::size_t subscription) {
+  if (subscription >= subs_.size()) {
+    throw std::invalid_argument("message_bus::unsubscribe: bad id");
+  }
+  subs_[subscription].active = false;
+}
+
+void message_bus::publish(sim::node_id from, const std::string& topic,
+                          const std::string& payload, std::function<void()> all_acked) {
+  ++stats_.published;
+  const std::uint64_t msg_id = next_msg_id_++;
+
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    if (subs_[i].active && subs_[i].topic == topic) targets.push_back(i);
+  }
+  auto remaining = std::make_shared<std::size_t>(targets.size());
+  auto acked = std::make_shared<std::function<void()>>(std::move(all_acked));
+  if (targets.empty()) {
+    if (*acked) net_.loop().schedule(0.0, [acked]() { (*acked)(); });
+    return;
+  }
+  for (std::size_t t : targets) {
+    deliver(msg_id, t, from, topic, payload, 1, remaining, acked);
+  }
+}
+
+void message_bus::deliver(std::uint64_t msg_id, std::size_t sub_index, sim::node_id from,
+                          std::string topic, std::string payload, int attempt,
+                          std::shared_ptr<std::size_t> remaining,
+                          std::shared_ptr<std::function<void()>> all_acked) {
+  const std::size_t bytes = 64 + topic.size() + payload.size();
+  const sim::node_id host = subs_[sub_index].host;
+
+  net_.transfer(from, host, bytes, [this, msg_id, sub_index, from, topic = std::move(topic),
+                                    payload = std::move(payload), attempt, remaining,
+                                    all_acked]() mutable {
+    const bool lost = rng_.chance(loss_probability_);
+    if (lost && attempt < max_attempts_) {
+      ++stats_.losses;
+      ++stats_.retransmissions;
+      net_.loop().schedule(retry_timeout_, [this, msg_id, sub_index, from,
+                                            topic = std::move(topic),
+                                            payload = std::move(payload), attempt, remaining,
+                                            all_acked]() mutable {
+        deliver(msg_id, sub_index, from, std::move(topic), std::move(payload), attempt + 1,
+                remaining, all_acked);
+      });
+      return;
+    }
+    ++stats_.deliveries;
+    if (subs_[sub_index].active) {
+      subs_[sub_index].h(msg_id, topic, payload);
+    }
+    // Ack travels back to the publisher.
+    net_.transfer(subs_[sub_index].host, from, 64, [remaining, all_acked]() {
+      if (--*remaining == 0 && *all_acked) (*all_acked)();
+    });
+  });
+}
+
+}  // namespace nakika::state

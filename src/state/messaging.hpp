@@ -1,0 +1,72 @@
+// Reliable topic-based messaging over the simulated network — the JORAM
+// substitute (paper §4). At-least-once delivery with retransmission under
+// injected loss; receivers see message ids so the replication layer can
+// deduplicate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "util/random.hpp"
+
+namespace nakika::state {
+
+struct bus_stats {
+  std::uint64_t published = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t losses = 0;
+  std::uint64_t retransmissions = 0;
+};
+
+class message_bus {
+ public:
+  // `loss_probability` drops each delivery attempt independently; lost
+  // attempts are retried after `retry_timeout` seconds, up to `max_attempts`.
+  message_bus(sim::network& net, double loss_probability = 0.0,
+              double retry_timeout = 0.5, int max_attempts = 10);
+
+  using handler =
+      std::function<void(std::uint64_t msg_id, const std::string& topic,
+                         const std::string& payload)>;
+
+  // Subscribes a host to a topic. Returns a subscription id for cancel.
+  std::size_t subscribe(const std::string& topic, sim::node_id host, handler h);
+  void unsubscribe(std::size_t subscription);
+
+  // Publishes to every subscriber of `topic`; `all_acked` (optional) fires
+  // after every subscriber has acknowledged one delivery.
+  void publish(sim::node_id from, const std::string& topic, const std::string& payload,
+               std::function<void()> all_acked = {});
+
+  [[nodiscard]] const bus_stats& stats() const { return stats_; }
+  [[nodiscard]] util::rng& rng() { return rng_; }
+  [[nodiscard]] sim::network& net() { return net_; }
+
+ private:
+  struct subscription {
+    bool active = true;
+    std::string topic;
+    sim::node_id host = 0;
+    handler h;
+  };
+
+  void deliver(std::uint64_t msg_id, std::size_t sub_index, sim::node_id from,
+               std::string topic, std::string payload, int attempt,
+               std::shared_ptr<std::size_t> remaining,
+               std::shared_ptr<std::function<void()>> all_acked);
+
+  sim::network& net_;
+  double loss_probability_;
+  double retry_timeout_;
+  int max_attempts_;
+  std::vector<subscription> subs_;
+  std::uint64_t next_msg_id_ = 1;
+  bus_stats stats_;
+  util::rng rng_;
+};
+
+}  // namespace nakika::state

@@ -1,0 +1,164 @@
+#include "state/replication.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace nakika::state {
+
+namespace {
+std::string bcast_topic(const std::string& site) { return "state/" + site; }
+std::string fwd_topic(const std::string& site) { return "state-fwd/" + site; }
+}  // namespace
+
+replica::replica(local_store& store, message_bus& bus, sim::node_id host,
+                 std::string node_name, std::string site, replication_strategy strategy,
+                 bool is_primary)
+    : store_(store),
+      bus_(bus),
+      host_(host),
+      node_name_(std::move(node_name)),
+      site_(std::move(site)),
+      strategy_(strategy),
+      is_primary_(is_primary) {
+  bus_.subscribe(bcast_topic(site_), host_,
+                 [this](std::uint64_t id, const std::string&, const std::string& payload) {
+                   on_message(id, payload);
+                 });
+  if (strategy_ == replication_strategy::origin_primary && is_primary_) {
+    bus_.subscribe(fwd_topic(site_), host_,
+                   [this](std::uint64_t id, const std::string&, const std::string& payload) {
+                     on_message(id, payload);
+                   });
+  }
+}
+
+std::string replica::encode(const std::string& key, const versioned& v,
+                            const char* kind) const {
+  // kind \n timestamp \n writer \n key_length \n key value
+  return std::string(kind) + "\n" + std::to_string(v.timestamp) + "\n" + v.writer + "\n" +
+         std::to_string(key.size()) + "\n" + key + v.value;
+}
+
+namespace {
+struct decoded {
+  bool ok = false;
+  std::string kind;
+  double timestamp = 0.0;
+  std::string writer;
+  std::string key;
+  std::string value;
+};
+
+decoded decode(const std::string& payload) {
+  decoded d;
+  std::size_t pos = 0;
+  auto next_line = [&](std::string& out) -> bool {
+    const std::size_t nl = payload.find('\n', pos);
+    if (nl == std::string::npos) return false;
+    out = payload.substr(pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+  std::string ts, len;
+  if (!next_line(d.kind) || !next_line(ts) || !next_line(d.writer) || !next_line(len)) {
+    return d;
+  }
+  const auto t = nakika::util::parse_double(ts);
+  const auto n = nakika::util::parse_int(len);
+  if (!t || !n || *n < 0 || pos + static_cast<std::size_t>(*n) > payload.size()) return d;
+  d.timestamp = *t;
+  d.key = payload.substr(pos, static_cast<std::size_t>(*n));
+  d.value = payload.substr(pos + static_cast<std::size_t>(*n));
+  d.ok = true;
+  return d;
+}
+}  // namespace
+
+void replica::put(const std::string& key, const std::string& value,
+                  std::function<void()> done) {
+  versioned v;
+  v.timestamp = bus_.net().loop().now();
+  v.writer = node_name_;
+  v.value = value;
+
+  if (strategy_ == replication_strategy::broadcast ||
+      (strategy_ == replication_strategy::origin_primary && is_primary_)) {
+    apply(v, key);
+    bus_.publish(host_, bcast_topic(site_), encode(key, v, "bcast"));
+    if (done) bus_.net().loop().schedule(0.0, std::move(done));
+    return;
+  }
+
+  // Secondary under origin_primary: forward; apply when the primary's
+  // ordered broadcast returns. `done` fires at that point.
+  if (done) {
+    pending_.emplace_back(key, value, std::move(done));
+  }
+  bus_.publish(host_, fwd_topic(site_), encode(key, v, "fwd"));
+}
+
+std::optional<std::string> replica::get(const std::string& key) const {
+  return store_.get(site_, key);
+}
+
+void replica::apply(const versioned& v, const std::string& key) {
+  const auto existing = versions_.find(key);
+  versioned to_store = v;
+  if (existing != versions_.end()) {
+    const versioned& old = existing->second;
+    if (resolver_ && old.value != v.value) {
+      to_store.value = resolver_(old.value, v.value);
+      to_store.timestamp = std::max(old.timestamp, v.timestamp);
+    } else if (v.timestamp < old.timestamp ||
+               (v.timestamp == old.timestamp && v.writer < old.writer)) {
+      return;  // last-writer-wins: incoming loses
+    }
+  }
+  versions_[key] = to_store;
+  store_.put(site_, key, to_store.value);
+  ++applied_;
+}
+
+void replica::on_message(std::uint64_t msg_id, const std::string& payload) {
+  if (seen_.contains(msg_id)) {
+    ++deduplicated_;
+    return;  // at-least-once bus: drop duplicates
+  }
+  seen_[msg_id] = true;
+
+  const decoded d = decode(payload);
+  if (!d.ok) return;
+
+  if (d.kind == "fwd") {
+    if (!(strategy_ == replication_strategy::origin_primary && is_primary_)) return;
+    // The primary orders the write at its own clock and broadcasts.
+    versioned v;
+    v.timestamp = bus_.net().loop().now();
+    v.writer = d.writer;
+    v.value = d.value;
+    apply(v, d.key);
+    bus_.publish(host_, bcast_topic(site_), encode(d.key, v, "bcast"));
+    return;
+  }
+
+  versioned v;
+  v.timestamp = d.timestamp;
+  v.writer = d.writer;
+  v.value = d.value;
+  apply(v, d.key);
+
+  // Resolve any local write waiting for its ordered broadcast.
+  if (d.writer == node_name_) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (std::get<0>(*it) == d.key && std::get<1>(*it) == d.value) {
+        auto done = std::move(std::get<2>(*it));
+        pending_.erase(it);
+        if (done) done();
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace nakika::state

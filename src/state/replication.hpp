@@ -1,0 +1,83 @@
+// Hard-state replication built on local storage + reliable messaging,
+// following Gao et al.'s distributed-objects approach as adapted by the paper
+// (§3.3): updates are accepted locally, written to storage, propagated via
+// the messaging layer, and applied at receivers with a pluggable conflict
+// policy. Two built-in strategies:
+//   - broadcast (optimistic): propagate to all replicas; last-writer-wins
+//     (timestamp, then node name) or a custom resolver.
+//   - origin_primary (serializable): writes forward to the primary, which
+//     orders them and broadcasts the outcome.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "state/local_store.hpp"
+#include "state/messaging.hpp"
+
+namespace nakika::state {
+
+enum class replication_strategy { broadcast, origin_primary };
+
+// Resolves a write conflict: receives existing and incoming values, returns
+// the value to keep.
+using conflict_resolver =
+    std::function<std::string(const std::string& existing, const std::string& incoming)>;
+
+class replica {
+ public:
+  // `site` partitions state; all replicas of a site share its topic.
+  // `is_primary` marks the origin replica for origin_primary mode.
+  replica(local_store& store, message_bus& bus, sim::node_id host, std::string node_name,
+          std::string site, replication_strategy strategy, bool is_primary = false);
+
+  // Script/application write. In broadcast mode: applies locally and
+  // propagates. In origin_primary mode on a secondary: forwards to the
+  // primary (applies only when the primary's broadcast returns).
+  // `done` fires when the write is locally durable (broadcast) or globally
+  // ordered (origin_primary).
+  void put(const std::string& key, const std::string& value, std::function<void()> done = {});
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  void set_conflict_resolver(conflict_resolver resolver) { resolver_ = std::move(resolver); }
+
+  [[nodiscard]] const std::string& node_name() const { return node_name_; }
+  [[nodiscard]] std::uint64_t applied_updates() const { return applied_; }
+  [[nodiscard]] std::uint64_t deduplicated() const { return deduplicated_; }
+
+ private:
+  struct versioned {
+    double timestamp = 0.0;
+    std::string writer;
+    std::string value;
+  };
+
+  void apply(const versioned& v, const std::string& key);
+  void on_message(std::uint64_t msg_id, const std::string& payload);
+  [[nodiscard]] std::string encode(const std::string& key, const versioned& v,
+                                   const char* kind) const;
+
+  local_store& store_;
+  message_bus& bus_;
+  sim::node_id host_;
+  std::string node_name_;
+  std::string site_;
+  replication_strategy strategy_;
+  bool is_primary_;
+  conflict_resolver resolver_;
+  std::map<std::string, versioned> versions_;  // key -> last applied version
+  std::map<std::uint64_t, bool> seen_;         // message dedup (at-least-once bus)
+  // Secondary writes awaiting the primary's ordered broadcast: key, value,
+  // completion callback.
+  std::vector<std::tuple<std::string, std::string, std::function<void()>>> pending_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t deduplicated_ = 0;
+};
+
+}  // namespace nakika::state

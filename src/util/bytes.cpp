@@ -1,0 +1,115 @@
+#include "util/bytes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nakika::util {
+
+byte_buffer byte_buffer::slice(std::size_t offset, std::size_t length) const {
+  if (offset > data_.size()) {
+    throw std::out_of_range("byte_buffer::slice offset past end");
+  }
+  const std::size_t n = std::min(length, data_.size() - offset);
+  return byte_buffer(data_.data() + offset, n);
+}
+
+namespace {
+constexpr char hex_digits[] = "0123456789abcdef";
+constexpr char b64_alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(hex_digits[b >> 4]);
+    out.push_back(hex_digits[b & 0xf]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("from_hex: non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+std::string base64_encode(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= bytes.size()) {
+    const std::uint32_t v = std::uint32_t{bytes[i]} << 16 | std::uint32_t{bytes[i + 1]} << 8 |
+                            bytes[i + 2];
+    out.push_back(b64_alphabet[v >> 18 & 0x3f]);
+    out.push_back(b64_alphabet[v >> 12 & 0x3f]);
+    out.push_back(b64_alphabet[v >> 6 & 0x3f]);
+    out.push_back(b64_alphabet[v & 0x3f]);
+    i += 3;
+  }
+  const std::size_t rem = bytes.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = std::uint32_t{bytes[i]} << 16;
+    out.push_back(b64_alphabet[v >> 18 & 0x3f]);
+    out.push_back(b64_alphabet[v >> 12 & 0x3f]);
+    out.append("==");
+  } else if (rem == 2) {
+    const std::uint32_t v = std::uint32_t{bytes[i]} << 16 | std::uint32_t{bytes[i + 1]} << 8;
+    out.push_back(b64_alphabet[v >> 18 & 0x3f]);
+    out.push_back(b64_alphabet[v >> 12 & 0x3f]);
+    out.push_back(b64_alphabet[v >> 6 & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> base64_decode(std::string_view text) {
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    if (c == '=' || c == '\n' || c == '\r') continue;
+    const int v = b64_value(c);
+    if (v < 0) {
+      throw std::invalid_argument("base64_decode: invalid character");
+    }
+    acc = acc << 6 | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(acc >> bits & 0xff));
+    }
+  }
+  return out;
+}
+
+}  // namespace nakika::util

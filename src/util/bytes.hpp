@@ -1,0 +1,80 @@
+// Byte buffer primitives shared across the system: HTTP bodies, script
+// sources, image payloads, and the scripting engine's ByteArray vocabulary
+// all use byte_buffer so data can move between layers without copying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nakika::util {
+
+// Growable owning byte sequence. Thin wrapper over std::vector<uint8_t>
+// with string interop, because HTTP bodies cross the text/binary boundary
+// constantly.
+class byte_buffer {
+ public:
+  byte_buffer() = default;
+  explicit byte_buffer(std::string_view text) : data_(text.begin(), text.end()) {}
+  explicit byte_buffer(std::vector<std::uint8_t> bytes) : data_(std::move(bytes)) {}
+  byte_buffer(const std::uint8_t* data, std::size_t size) : data_(data, data + size) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] const std::uint8_t* data() const { return data_.data(); }
+  [[nodiscard]] std::uint8_t* data() { return data_.data(); }
+
+  [[nodiscard]] std::span<const std::uint8_t> span() const { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::string_view view() const {
+    return {reinterpret_cast<const char*>(data_.data()), data_.size()};
+  }
+  [[nodiscard]] std::string str() const { return std::string(view()); }
+
+  void append(std::span<const std::uint8_t> bytes) {
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+  }
+  void append(std::string_view text) {
+    data_.insert(data_.end(), text.begin(), text.end());
+  }
+  void append(const byte_buffer& other) { append(other.span()); }
+  void push_back(std::uint8_t b) { data_.push_back(b); }
+
+  [[nodiscard]] byte_buffer slice(std::size_t offset, std::size_t length) const;
+
+  void clear() { data_.clear(); }
+  void resize(std::size_t n) { data_.resize(n); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  std::uint8_t& operator[](std::size_t i) { return data_[i]; }
+  const std::uint8_t& operator[](std::size_t i) const { return data_[i]; }
+
+  bool operator==(const byte_buffer& other) const = default;
+
+  [[nodiscard]] std::vector<std::uint8_t>& vec() { return data_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& vec() const { return data_; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+// Immutable, cheaply shareable body payload. Proxy cache entries and script
+// sources are shared between pipelines; shared_body avoids copying them.
+using shared_body = std::shared_ptr<const byte_buffer>;
+
+inline shared_body make_body(std::string_view text) {
+  return std::make_shared<const byte_buffer>(text);
+}
+inline shared_body make_body(byte_buffer buf) {
+  return std::make_shared<const byte_buffer>(std::move(buf));
+}
+
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::vector<std::uint8_t> from_hex(std::string_view hex);
+[[nodiscard]] std::string base64_encode(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::vector<std::uint8_t> base64_decode(std::string_view text);
+
+}  // namespace nakika::util

@@ -1,0 +1,316 @@
+#include "util/glob.hpp"
+
+#include <array>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace nakika::util {
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer algorithm with star backtracking.
+  std::size_t p = 0;
+  std::size_t t = 0;
+  std::size_t star = std::string_view::npos;
+  std::size_t star_text = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_text = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_text;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+// --- regex-lite -------------------------------------------------------------
+
+namespace {
+
+enum class node_kind {
+  empty,        // matches nothing consumed
+  literal,      // one specific char
+  any,          // '.'
+  char_class,   // [...] with optional negation
+  concat,       // left then right
+  alternate,    // left | right
+  repeat,       // left repeated min..max (max == SIZE_MAX for unbounded)
+  anchor_start, // ^
+  anchor_end,   // $
+};
+
+}  // namespace
+
+struct pattern::node {
+  node_kind kind = node_kind::empty;
+  char literal = 0;
+  bool negated = false;
+  std::array<bool, 256> cls{};  // char_class membership
+  std::size_t min = 0;
+  std::size_t max = 0;
+  std::unique_ptr<node> left;
+  std::unique_ptr<node> right;
+};
+
+namespace {
+
+using node = pattern::node;  // not accessible; redefine below instead
+
+}  // namespace
+
+// Parser: grammar
+//   alt    := concat ('|' concat)*
+//   concat := repeat*
+//   repeat := atom ('*' | '+' | '?')?
+//   atom   := literal | '.' | '[' class ']' | '(' alt ')' | '^' | '$' | '\' c
+namespace {
+
+class regex_parser {
+ public:
+  explicit regex_parser(std::string_view src) : src_(src) {}
+
+  std::unique_ptr<pattern::node> parse() {
+    auto n = parse_alt();
+    if (pos_ != src_.size()) {
+      throw std::invalid_argument("regex: unexpected ')' or trailing input");
+    }
+    return n;
+  }
+
+ private:
+  using node_ptr = std::unique_ptr<pattern::node>;
+
+  static node_ptr make(node_kind kind) {
+    auto n = std::make_unique<pattern::node>();
+    n->kind = kind;
+    return n;
+  }
+
+  node_ptr parse_alt() {
+    auto left = parse_concat();
+    while (peek() == '|') {
+      ++pos_;
+      auto n = make(node_kind::alternate);
+      n->left = std::move(left);
+      n->right = parse_concat();
+      left = std::move(n);
+    }
+    return left;
+  }
+
+  node_ptr parse_concat() {
+    node_ptr left = make(node_kind::empty);
+    bool first = true;
+    while (pos_ < src_.size() && peek() != '|' && peek() != ')') {
+      auto item = parse_repeat();
+      if (first) {
+        left = std::move(item);
+        first = false;
+      } else {
+        auto n = make(node_kind::concat);
+        n->left = std::move(left);
+        n->right = std::move(item);
+        left = std::move(n);
+      }
+    }
+    return left;
+  }
+
+  node_ptr parse_repeat() {
+    auto atom = parse_atom();
+    const char c = peek();
+    if (c == '*' || c == '+' || c == '?') {
+      ++pos_;
+      auto n = make(node_kind::repeat);
+      n->min = c == '+' ? 1 : 0;
+      n->max = c == '?' ? 1 : SIZE_MAX;
+      n->left = std::move(atom);
+      return n;
+    }
+    return atom;
+  }
+
+  node_ptr parse_atom() {
+    if (pos_ >= src_.size()) throw std::invalid_argument("regex: dangling operator");
+    const char c = src_[pos_++];
+    switch (c) {
+      case '.':
+        return make(node_kind::any);
+      case '^':
+        return make(node_kind::anchor_start);
+      case '$':
+        return make(node_kind::anchor_end);
+      case '(': {
+        auto inner = parse_alt();
+        if (peek() != ')') throw std::invalid_argument("regex: missing ')'");
+        ++pos_;
+        return inner;
+      }
+      case '[':
+        return parse_class();
+      case '\\':
+        return parse_escape();
+      case '*':
+      case '+':
+      case '?':
+        throw std::invalid_argument("regex: operator without operand");
+      default: {
+        auto n = make(node_kind::literal);
+        n->literal = c;
+        return n;
+      }
+    }
+  }
+
+  node_ptr parse_escape() {
+    if (pos_ >= src_.size()) throw std::invalid_argument("regex: trailing backslash");
+    const char c = src_[pos_++];
+    auto n = make(node_kind::char_class);
+    switch (c) {
+      case 'd':
+        for (char d = '0'; d <= '9'; ++d) n->cls[static_cast<unsigned char>(d)] = true;
+        return n;
+      case 'w':
+        for (char d = '0'; d <= '9'; ++d) n->cls[static_cast<unsigned char>(d)] = true;
+        for (char d = 'a'; d <= 'z'; ++d) n->cls[static_cast<unsigned char>(d)] = true;
+        for (char d = 'A'; d <= 'Z'; ++d) n->cls[static_cast<unsigned char>(d)] = true;
+        n->cls[static_cast<unsigned char>('_')] = true;
+        return n;
+      case 's':
+        for (char d : {' ', '\t', '\r', '\n', '\f', '\v'}) {
+          n->cls[static_cast<unsigned char>(d)] = true;
+        }
+        return n;
+      default: {
+        auto lit = make(node_kind::literal);
+        lit->literal = c;
+        return lit;
+      }
+    }
+  }
+
+  node_ptr parse_class() {
+    auto n = make(node_kind::char_class);
+    if (peek() == '^') {
+      n->negated = true;
+      ++pos_;
+    }
+    bool first = true;
+    while (true) {
+      if (pos_ >= src_.size()) throw std::invalid_argument("regex: missing ']'");
+      char c = src_[pos_++];
+      if (c == ']' && !first) break;
+      first = false;
+      if (c == '\\') {
+        if (pos_ >= src_.size()) throw std::invalid_argument("regex: trailing backslash");
+        c = src_[pos_++];
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '-' && src_[pos_ + 1] != ']') {
+        ++pos_;
+        const char hi = src_[pos_++];
+        if (hi < c) throw std::invalid_argument("regex: inverted range in class");
+        for (int ch = c; ch <= hi; ++ch) n->cls[static_cast<unsigned char>(ch)] = true;
+      } else {
+        n->cls[static_cast<unsigned char>(c)] = true;
+      }
+    }
+    return n;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+// Backtracking matcher in continuation-passing style. `cont(next_pos)` is
+// invoked for every position the node can match up to.
+bool match_node(const pattern::node* n, std::string_view text, std::size_t pos,
+                const std::function<bool(std::size_t)>& cont) {
+  switch (n->kind) {
+    case node_kind::empty:
+      return cont(pos);
+    case node_kind::literal:
+      return pos < text.size() && text[pos] == n->literal && cont(pos + 1);
+    case node_kind::any:
+      return pos < text.size() && cont(pos + 1);
+    case node_kind::char_class: {
+      if (pos >= text.size()) return false;
+      const bool in = n->cls[static_cast<unsigned char>(text[pos])];
+      return in != n->negated && cont(pos + 1);
+    }
+    case node_kind::anchor_start:
+      return pos == 0 && cont(pos);
+    case node_kind::anchor_end:
+      return pos == text.size() && cont(pos);
+    case node_kind::concat:
+      return match_node(n->left.get(), text, pos, [&](std::size_t mid) {
+        return match_node(n->right.get(), text, mid, cont);
+      });
+    case node_kind::alternate:
+      return match_node(n->left.get(), text, pos, cont) ||
+             match_node(n->right.get(), text, pos, cont);
+    case node_kind::repeat: {
+      // Greedy repetition with backtracking. `step` advances one iteration.
+      std::function<bool(std::size_t, std::size_t)> step = [&](std::size_t p,
+                                                               std::size_t count) -> bool {
+        if (count < n->max) {
+          const bool advanced = match_node(n->left.get(), text, p, [&](std::size_t q) {
+            // Zero-width progress guard: stop expanding if nothing consumed.
+            if (q == p) return false;
+            return step(q, count + 1);
+          });
+          if (advanced) return true;
+        }
+        return count >= n->min && cont(p);
+      };
+      return step(pos, 0);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+pattern::pattern(std::string_view expr) : source_(expr) {
+  regex_parser parser(expr);
+  root_ = parser.parse();
+}
+
+pattern::pattern(pattern&&) noexcept = default;
+pattern& pattern::operator=(pattern&&) noexcept = default;
+pattern::~pattern() = default;
+
+bool pattern::full_match(std::string_view text) const {
+  return match_node(root_.get(), text, 0,
+                    [&](std::size_t end) { return end == text.size(); });
+}
+
+bool pattern::search(std::string_view text) const {
+  return find(text) != std::string_view::npos;
+}
+
+std::size_t pattern::find(std::string_view text, std::size_t* length) const {
+  for (std::size_t start = 0; start <= text.size(); ++start) {
+    std::size_t match_end = 0;
+    const bool hit = match_node(root_.get(), text, start, [&](std::size_t end) {
+      match_end = end;
+      return true;
+    });
+    if (hit) {
+      if (length != nullptr) *length = match_end - start;
+      return start;
+    }
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace nakika::util

@@ -1,0 +1,41 @@
+// Pattern matching for predicates. Two flavours:
+//   - glob_match: '*' / '?' wildcards, used for quick URL-ish matching.
+//   - pattern: a small backtracking regular-expression engine supporting
+//     the constructs the paper's header predicates need (., *, +, ?, [...],
+//     ^, $, |, (...)). Also backs the scripting engine's RegExp vocabulary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace nakika::util {
+
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);
+
+class pattern {
+ public:
+  // Compiles the expression; throws std::invalid_argument on syntax errors.
+  explicit pattern(std::string_view expr);
+  pattern(pattern&&) noexcept;
+  pattern& operator=(pattern&&) noexcept;
+  ~pattern();
+
+  // True if the expression matches the *entire* text.
+  [[nodiscard]] bool full_match(std::string_view text) const;
+  // True if the expression matches anywhere in the text (unanchored unless
+  // the expression itself uses ^/$).
+  [[nodiscard]] bool search(std::string_view text) const;
+  // Position of the first match, or npos. `length` receives the match length.
+  [[nodiscard]] std::size_t find(std::string_view text, std::size_t* length = nullptr) const;
+
+  [[nodiscard]] const std::string& source() const { return source_; }
+
+  struct node;  // implementation detail, public for the out-of-line matcher
+
+ private:
+  std::string source_;
+  std::unique_ptr<node> root_;
+};
+
+}  // namespace nakika::util

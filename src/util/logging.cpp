@@ -1,0 +1,33 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace nakika::util {
+
+namespace {
+log_level current_level = log_level::off;
+
+const char* level_name(log_level level) {
+  switch (level) {
+    case log_level::error: return "ERROR";
+    case log_level::warn: return "WARN";
+    case log_level::info: return "INFO";
+    case log_level::debug: return "DEBUG";
+    case log_level::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+log_level get_log_level() { return current_level; }
+
+void set_log_level(log_level level) { current_level = level; }
+
+void log_write(log_level level, std::string_view component, std::string_view message) {
+  if (current_level < level) return;
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace nakika::util

@@ -1,0 +1,45 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// the examples turn on info-level output to narrate what the pipeline does.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nakika::util {
+
+enum class log_level { off = 0, error = 1, warn = 2, info = 3, debug = 4 };
+
+log_level get_log_level();
+void set_log_level(log_level level);
+
+void log_write(log_level level, std::string_view component, std::string_view message);
+
+// Usage: NAKIKA_LOG(info, "proxy") << "cache hit for " << url;
+#define NAKIKA_LOG(level, component)                                              \
+  for (bool nakika_log_once =                                                     \
+           ::nakika::util::get_log_level() >= ::nakika::util::log_level::level;   \
+       nakika_log_once; nakika_log_once = false)                                  \
+  ::nakika::util::log_line(::nakika::util::log_level::level, component)
+
+class log_line {
+ public:
+  log_line(log_level level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~log_line() { log_write(level_, component_, stream_.str()); }
+  log_line(const log_line&) = delete;
+  log_line& operator=(const log_line&) = delete;
+
+  template <typename T>
+  log_line& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  log_level level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace nakika::util

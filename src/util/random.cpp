@@ -1,0 +1,57 @@
+#include "util/random.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nakika::util {
+
+std::uint64_t rng::next(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("rng::next(0)");
+  return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+}
+
+double rng::next_double() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("rng::exponential: mean must be > 0");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+bool rng::chance(double probability) {
+  return next_double() < probability;
+}
+
+zipf_distribution::zipf_distribution(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument("zipf_distribution: n must be > 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+std::size_t zipf_distribution::sample(rng& r) const {
+  const double u = r.next_double();
+  // Binary search for the first CDF entry >= u.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace nakika::util

@@ -1,0 +1,44 @@
+// Deterministic randomness for reproducible experiments. Every workload
+// generator and simulated component takes an explicit rng so runs are
+// repeatable given a seed (the benches print their seeds).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace nakika::util {
+
+class rng {
+ public:
+  explicit rng(std::uint64_t seed = 0x6e616b696b61ULL) : engine_(seed) {}
+
+  // Uniform in [0, n); n must be > 0.
+  [[nodiscard]] std::uint64_t next(std::uint64_t n);
+  // Uniform double in [0, 1).
+  [[nodiscard]] double next_double();
+  // Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+  // Exponentially distributed with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean);
+  [[nodiscard]] bool chance(double probability);
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+// Zipf-distributed integers over [0, n); used for page-popularity skew in
+// the SIMM and SPECweb-like workloads.
+class zipf_distribution {
+ public:
+  zipf_distribution(std::size_t n, double exponent);
+  [[nodiscard]] std::size_t sample(rng& r) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace nakika::util

@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace nakika::util {
+
+void sample_set::add(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+}
+
+void sample_set::sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double sample_set::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double sample_set::min() const {
+  if (samples_.empty()) throw std::logic_error("sample_set::min on empty set");
+  sort();
+  return samples_.front();
+}
+
+double sample_set::max() const {
+  if (samples_.empty()) throw std::logic_error("sample_set::max on empty set");
+  sort();
+  return samples_.back();
+}
+
+double sample_set::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("sample_set::percentile on empty set");
+  sort();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: ceil(p/100 * N), 1-based.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(index, samples_.size() - 1)];
+}
+
+double sample_set::cdf_at(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), threshold);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double sample_set::fraction_at_least(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  const auto it = std::lower_bound(samples_.begin(), samples_.end(), threshold);
+  return static_cast<double>(samples_.end() - it) / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> sample_set::cdf_points(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  sort();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  const double step = points > 1 ? (hi - lo) / static_cast<double>(points - 1) : 0.0;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    out.emplace_back(x, cdf_at(x));
+  }
+  return out;
+}
+
+void sample_set::clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace nakika::util

@@ -1,0 +1,82 @@
+// Measurement collection for the evaluation harness: latency samples,
+// percentiles, CDFs (paper Fig. 7), throughput counters, and the exponentially
+// weighted moving averages used by the congestion controller (paper Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nakika::util {
+
+// Accumulates scalar samples and answers percentile / CDF queries. Samples
+// are sorted lazily on first query.
+class sample_set {
+ public:
+  void add(double v);
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  // p in [0, 100]; nearest-rank percentile. Requires at least one sample.
+  [[nodiscard]] double percentile(double p) const;
+  // Fraction of samples <= threshold, i.e. one point of the CDF.
+  [[nodiscard]] double cdf_at(double threshold) const;
+  // Fraction of samples >= threshold (used for "fraction of clients seeing
+  // at least the video bitrate").
+  [[nodiscard]] double fraction_at_least(double threshold) const;
+  // Evenly spaced CDF rendering: `points` (x = value, y = cumulative fraction)
+  // suitable for printing a figure as rows.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_points(std::size_t points) const;
+
+  void clear();
+
+ private:
+  void sort() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Exponentially weighted moving average: "the actual value is the weighted
+// average of past and present consumption" (paper §3.2).
+class ewma {
+ public:
+  explicit ewma(double alpha = 0.5) : alpha_(alpha) {}
+  void update(double sample) {
+    value_ = initialized_ ? alpha_ * sample + (1.0 - alpha_) * value_ : sample;
+    initialized_ = true;
+  }
+  [[nodiscard]] double value() const { return initialized_ ? value_ : 0.0; }
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  void reset() {
+    value_ = 0.0;
+    initialized_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Simple named counter bundle for per-run accounting (requests offered,
+// rejected by throttling, dropped by termination, ...).
+struct run_counters {
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t throttled = 0;
+  std::size_t terminated = 0;
+  std::size_t failed = 0;
+
+  [[nodiscard]] double throttled_fraction() const {
+    return offered == 0 ? 0.0 : static_cast<double>(throttled) / static_cast<double>(offered);
+  }
+  [[nodiscard]] double terminated_fraction() const {
+    return offered == 0 ? 0.0 : static_cast<double>(terminated) / static_cast<double>(offered);
+  }
+};
+
+// Formats a number with fixed decimals without dragging <iomanip> everywhere.
+[[nodiscard]] std::string format_fixed(double v, int decimals);
+
+}  // namespace nakika::util

@@ -1,0 +1,41 @@
+// Small string helpers used across HTTP parsing, predicate matching, and the
+// scripting engine. All functions are pure and allocation-conscious.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nakika::util {
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] std::string to_lower(std::string_view s);
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+// Case-insensitive comparison, as required for HTTP header names and methods.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+[[nodiscard]] bool istarts_with(std::string_view s, std::string_view prefix);
+
+// Splits on every occurrence of `sep`; empty fields are preserved so that
+// "a..b" splits into {"a", "", "b"}.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+// Splits on `sep` and trims each field; empty fields are dropped. Used for
+// comma-separated HTTP header values.
+[[nodiscard]] std::vector<std::string> split_trimmed(std::string_view s, char sep);
+
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view s);
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+// Replaces every occurrence of `from` with `to`. `from` must be non-empty.
+[[nodiscard]] std::string replace_all(std::string_view s, std::string_view from,
+                                      std::string_view to);
+
+// True if `host` equals `suffix` or ends with "." + suffix. This is the
+// domain-suffix rule the paper uses for client predicates like "nyu.edu".
+[[nodiscard]] bool domain_matches(std::string_view host, std::string_view suffix);
+
+}  // namespace nakika::util

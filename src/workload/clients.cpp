@@ -1,0 +1,59 @@
+#include "workload/clients.hpp"
+
+#include "http/wire.hpp"
+#include "proxy/plain_proxy.hpp"
+
+namespace nakika::workload {
+
+load_driver::load_driver(sim::network& net, sim::node_id client_host, target_selector select,
+                         request_generator generate)
+    : net_(net),
+      client_host_(client_host),
+      select_(std::move(select)),
+      generate_(std::move(generate)) {}
+
+void load_driver::start(const driver_options& options, measurement& m) {
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    const double offset =
+        options.ramp_seconds > 0
+            ? options.ramp_seconds * static_cast<double>(c) /
+                  static_cast<double>(options.clients)
+            : 0.0;
+    net_.loop().schedule(offset, [this, c, &options, &m]() { client_loop(c, 0, options, m); });
+  }
+}
+
+void load_driver::client_loop(std::size_t client, std::size_t seq,
+                              const driver_options& options, measurement& m) {
+  if (options.requests_per_client != 0 && seq >= options.requests_per_client) return;
+  if (options.deadline_seconds > 0 && net_.loop().now() >= options.deadline_seconds) return;
+
+  const auto request = generate_(client, seq);
+  if (!request) return;
+  proxy::http_endpoint* target = select_(client);
+  if (target == nullptr) {
+    m.record_failure();
+    return;
+  }
+
+  const double started = net_.loop().now();
+  ++in_flight_;
+  proxy::forward_request(
+      net_, client_host_, *target, *request,
+      [this, client, seq, &options, &m, started](http::response resp) {
+        --in_flight_;
+        const double latency = net_.loop().now() - started;
+        m.record(latency, resp.body_size(), resp.status,
+                 resp.headers.get_or("Content-Type", ""));
+        const auto next = [this, client, seq, &options, &m]() {
+          client_loop(client, seq + 1, options, m);
+        };
+        if (options.think_time_seconds > 0) {
+          net_.loop().schedule(options.think_time_seconds, next);
+        } else {
+          next();
+        }
+      });
+}
+
+}  // namespace nakika::workload

@@ -1,0 +1,55 @@
+// Closed-loop load generation: each logical client issues a request, waits
+// for the response, records it, thinks, repeats — the model behind the
+// paper's load-generating client machines.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "http/message.hpp"
+#include "proxy/origin_server.hpp"
+#include "util/random.hpp"
+#include "workload/measurement.hpp"
+
+namespace nakika::workload {
+
+// Produces the next request for (client, sequence); nullopt ends the client.
+using request_generator =
+    std::function<std::optional<http::request>(std::size_t client, std::size_t seq)>;
+// Chooses the target endpoint per request (fixed server, or DNS redirection).
+using target_selector = std::function<proxy::http_endpoint*(std::size_t client)>;
+
+struct driver_options {
+  std::size_t clients = 1;
+  std::size_t requests_per_client = 0;  // 0 = run until the deadline
+  double deadline_seconds = 0.0;        // 0 = run until generators finish
+  double think_time_seconds = 0.0;      // fixed pause between responses
+  double ramp_seconds = 0.0;            // client start times spread over this
+};
+
+// Drives `clients` concurrent request loops from one simulated host.
+class load_driver {
+ public:
+  load_driver(sim::network& net, sim::node_id client_host, target_selector select,
+              request_generator generate);
+
+  // Schedules all client loops; the caller runs the event loop. Results land
+  // in `m` (latency, bandwidth, statuses). Window bookkeeping is the
+  // caller's (set_window around the run).
+  void start(const driver_options& options, measurement& m);
+
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+
+ private:
+  void client_loop(std::size_t client, std::size_t seq, const driver_options& options,
+                   measurement& m);
+
+  sim::network& net_;
+  sim::node_id client_host_;
+  target_selector select_;
+  request_generator generate_;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace nakika::workload

@@ -1,0 +1,57 @@
+#include "workload/measurement.hpp"
+
+namespace nakika::workload {
+
+content_class classify_content(std::string_view content_type) {
+  if (content_type.starts_with("text/html")) return content_class::html;
+  if (content_type.starts_with("text/xml")) return content_class::html;
+  if (content_type.starts_with("image/")) return content_class::image;
+  if (content_type.starts_with("video/")) return content_class::video;
+  return content_class::other;
+}
+
+void measurement::record(double latency_seconds, std::size_t bytes, int status,
+                         std::string_view content_type) {
+  ++completed_;
+  ++by_status_[status];
+  latency_.add(latency_seconds);
+  const double bps =
+      latency_seconds > 0 ? static_cast<double>(bytes) * 8.0 / latency_seconds : 0.0;
+  if (latency_seconds > 0 && bytes > 0) {
+    bandwidth_.add(bps);
+  }
+  if (status < 500) {
+    auto& cls = by_class_[classify_content(content_type)];
+    cls.latency.add(latency_seconds);
+    if (latency_seconds > 0 && bytes > 0) cls.bandwidth.add(bps);
+  }
+}
+
+void measurement::record_failure() { ++failures_; }
+
+std::size_t measurement::status_count(int status) const {
+  const auto it = by_status_.find(status);
+  return it == by_status_.end() ? 0 : it->second;
+}
+
+double measurement::failure_rate() const {
+  const std::size_t attempts = completed_ + failures_;
+  if (attempts == 0) return 0.0;
+  std::size_t bad = failures_;
+  for (const auto& [status, count] : by_status_) {
+    if (status >= 500) bad += count;
+  }
+  return static_cast<double>(bad) / static_cast<double>(attempts);
+}
+
+void measurement::set_window(double start_seconds, double end_seconds) {
+  start_ = start_seconds;
+  end_ = end_seconds;
+}
+
+double measurement::requests_per_second() const {
+  const double d = duration();
+  return d > 0 ? static_cast<double>(completed_) / d : 0.0;
+}
+
+}  // namespace nakika::workload

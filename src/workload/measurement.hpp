@@ -1,0 +1,67 @@
+// Measurement collection for end-to-end experiments: latency and bandwidth
+// samples, status counts, throughput. One instance per experiment run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace nakika::workload {
+
+// Coarse content classes for per-type reporting (the paper reports HTML
+// latency and multimedia bandwidth separately).
+enum class content_class { html, image, video, other };
+[[nodiscard]] content_class classify_content(std::string_view content_type);
+
+class measurement {
+ public:
+  void record(double latency_seconds, std::size_t bytes, int status,
+              std::string_view content_type = "");
+  void record_failure();
+
+  [[nodiscard]] util::sample_set& latency_of(content_class c) { return by_class_[c].latency; }
+  [[nodiscard]] util::sample_set& bandwidth_of(content_class c) {
+    return by_class_[c].bandwidth;
+  }
+  [[nodiscard]] const util::sample_set& latency_of(content_class c) const {
+    return by_class_.at(c).latency;
+  }
+  [[nodiscard]] const util::sample_set& bandwidth_of(content_class c) const {
+    return by_class_.at(c).bandwidth;
+  }
+  [[nodiscard]] bool has_class(content_class c) const { return by_class_.contains(c); }
+
+  [[nodiscard]] util::sample_set& latency() { return latency_; }
+  [[nodiscard]] const util::sample_set& latency() const { return latency_; }
+  // Observed goodput per transfer, bits per second.
+  [[nodiscard]] util::sample_set& bandwidth_bps() { return bandwidth_; }
+  [[nodiscard]] const util::sample_set& bandwidth_bps() const { return bandwidth_; }
+
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] std::size_t failures() const { return failures_; }
+  [[nodiscard]] std::size_t status_count(int status) const;
+  // 5xx and transport failures as a fraction of attempts.
+  [[nodiscard]] double failure_rate() const;
+
+  void set_window(double start_seconds, double end_seconds);
+  [[nodiscard]] double duration() const { return end_ - start_; }
+  [[nodiscard]] double requests_per_second() const;
+
+ private:
+  struct class_samples {
+    util::sample_set latency;
+    util::sample_set bandwidth;
+  };
+  util::sample_set latency_;
+  util::sample_set bandwidth_;
+  std::map<content_class, class_samples> by_class_;
+  std::map<int, std::size_t> by_status_;
+  std::size_t completed_ = 0;
+  std::size_t failures_ = 0;
+  double start_ = 0.0;
+  double end_ = 0.0;
+};
+
+}  // namespace nakika::workload

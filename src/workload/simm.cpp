@@ -1,0 +1,250 @@
+#include "workload/simm.hpp"
+
+#include "media/image.hpp"
+#include "media/xsl.hpp"
+#include "util/strings.hpp"
+
+namespace nakika::workload {
+
+simm_site::simm_site(simm_config cfg) : cfg_(cfg) {}
+
+std::string simm_site::page_xml(int module, int page, const std::string& student) const {
+  // Deterministic "personalized" content: the progress marker and section
+  // emphasis depend on (student, page), the narrative text on (module, page).
+  std::uint32_t h = 2166136261u;
+  for (char c : student) h = (h ^ static_cast<unsigned char>(c)) * 16777619u;
+  h ^= static_cast<std::uint32_t>(module * 131 + page * 31);
+
+  std::string xml = "<simm module=\"m" + std::to_string(module) + "\" page=\"p" +
+                    std::to_string(page) + "\">";
+  xml += "<title>Module " + std::to_string(module) + ": workup, page " +
+         std::to_string(page) + "</title>";
+  xml += "<student id=\"" + student + "\" progress=\"" + std::to_string(h % 100) + "\"/>";
+  for (int s = 0; s < 6; ++s) {
+    xml += "<section><heading>Stage " + std::to_string(s) + "</heading><para>";
+    for (int w = 0; w < 40; ++w) {
+      xml += "clinical finding " + std::to_string((h + s * 40 + w) % 977) + " ";
+    }
+    xml += "</para><emphasis>" + std::string((h + s) % 3 == 0 ? "review" : "proceed") +
+           "</emphasis></section>";
+  }
+  xml += "<assessment>";
+  for (int q = 0; q < 3; ++q) {
+    xml += "<question n=\"" + std::to_string(q) + "\">Differential for case " +
+           std::to_string((h + q) % 53) + "?</question>";
+  }
+  xml += "</assessment></simm>";
+  return xml;
+}
+
+std::string simm_site::stylesheet() {
+  return R"XSL(<xsl:stylesheet version="1.0">
+  <xsl:template match="simm">
+    <html><head><title><xsl:value-of select="title"/></title></head>
+    <body>
+      <h1><xsl:value-of select="title"/></h1>
+      <div class="progress"><xsl:value-of select="student/@progress"/>%</div>
+      <xsl:for-each select="section">
+        <div class="section">
+          <h2><xsl:value-of select="heading"/></h2>
+          <p><xsl:value-of select="para"/></p>
+          <span class="hint"><xsl:value-of select="emphasis"/></span>
+        </div>
+      </xsl:for-each>
+      <ol class="assessment">
+        <xsl:for-each select="assessment/question">
+          <li><xsl:value-of select="."/></li>
+        </xsl:for-each>
+      </ol>
+    </body></html>
+  </xsl:template>
+</xsl:stylesheet>)XSL";
+}
+
+std::string simm_site::nakika_script() {
+  // The site-specific edge script (the paper's port: ~100 lines of policy).
+  // Renders personalized XML to HTML with the shared stylesheet at the edge.
+  return R"JS(
+var render = new Policy();
+render.url = [ "simms.med.nyu.edu/content" ];
+render.onResponse = function() {
+  var ct = Response.getHeader("Content-Type");
+  if (ct == null || ct.indexOf("text/xml") != 0) {
+    return;
+  }
+  var body = new ByteArray();
+  var chunk = null;
+  while (chunk = Response.read()) {
+    body.append(chunk);
+  }
+  var xsl = Fetch.fetch("http://simms.med.nyu.edu/style/simm.xsl");
+  var html = XmlTransformer.render(body.toString(), xsl.body.toString());
+  Response.setHeader("Content-Type", "text/html");
+  Response.setHeader("Content-Length", html.length);
+  Response.write(html);
+};
+render.register();
+)JS";
+}
+
+void simm_site::install_media(proxy::origin_server& origin) const {
+  for (int m = 0; m < cfg_.modules; ++m) {
+    // Video segments: opaque bytes at the configured size.
+    for (int v = 0; v < cfg_.videos_per_module; ++v) {
+      util::byte_buffer body;
+      body.resize(cfg_.video_bytes);
+      std::uint32_t state = static_cast<std::uint32_t>(cfg_.seed + m * 131 + v);
+      for (std::size_t i = 0; i < body.size(); ++i) {
+        state = state * 1664525u + 1013904223u;
+        body[i] = static_cast<std::uint8_t>(state >> 24);
+      }
+      origin.add_static(host_name,
+                        "/media/m" + std::to_string(m) + "/vid" + std::to_string(v) + ".mp4",
+                        "video/mp4", util::make_body(std::move(body)), cfg_.media_max_age);
+    }
+    // Imaging studies: real SIMG rasters (so edge transcoding examples have
+    // honest inputs).
+    for (int p = 0; p < cfg_.pages_per_module; ++p) {
+      for (int i = 0; i < cfg_.images_per_page; ++i) {
+        const media::image img = media::make_test_image(
+            cfg_.image_side, cfg_.image_side,
+            static_cast<std::uint32_t>(cfg_.seed + m * 10007 + p * 101 + i));
+        origin.add_static(host_name,
+                          "/media/m" + std::to_string(m) + "/p" + std::to_string(p) + "-img" +
+                              std::to_string(i) + ".jpg",
+                          "image/jpeg",
+                          util::make_body(media::encode(img, media::image_format::jpeg)),
+                          cfg_.media_max_age);
+      }
+    }
+  }
+}
+
+void simm_site::install_single_server(proxy::origin_server& origin) const {
+  install_media(origin);
+  const std::string xsl = stylesheet();
+  origin.add_dynamic(
+      host_name, "/content/",
+      [this, xsl](const http::request& r) {
+        proxy::origin_server::dynamic_result out;
+        // Parse /content/m{M}/p{P}.html?student=...
+        const auto parts = r.url.path_components();
+        int module = 0;
+        int page = 0;
+        if (parts.size() >= 3) {
+          module = static_cast<int>(
+              util::parse_int(std::string_view(parts[1]).substr(1)).value_or(0));
+          const std::size_t dot = parts[2].find('.');
+          page = static_cast<int>(
+              util::parse_int(std::string_view(parts[2]).substr(1, dot - 1)).value_or(0));
+        }
+        const std::string student = r.url.query();
+        const std::string xml = page_xml(module, page, student);
+        // Real rendering work at the origin, charged with the Tomcat-like
+        // per-request CPU model.
+        std::string html;
+        try {
+          html = media::xsl_transform(xsl, xml);
+        } catch (const std::invalid_argument& e) {
+          out.response = http::make_error_response(500, e.what());
+          return out;
+        }
+        out.response = http::make_response(200, "text/html", util::make_body(html));
+        out.response.headers.set("Cache-Control", "private");  // personalized
+        out.cpu_seconds = cfg_.personalize_cpu + cfg_.render_cpu_base +
+                          cfg_.render_cpu_per_byte * static_cast<double>(xml.size());
+        return out;
+      });
+}
+
+void simm_site::install_edge(proxy::origin_server& origin) const {
+  install_media(origin);
+  origin.add_static_text(host_name, "/nakika.js", "application/javascript", nakika_script(),
+                         3600);
+  origin.add_static_text(host_name, "/style/simm.xsl", "text/xml", stylesheet(),
+                         cfg_.xsl_max_age);
+  origin.add_dynamic(
+      host_name, "/content/",
+      [this](const http::request& r) {
+        proxy::origin_server::dynamic_result out;
+        const auto parts = r.url.path_components();
+        int module = 0;
+        int page = 0;
+        if (parts.size() >= 3) {
+          module = static_cast<int>(
+              util::parse_int(std::string_view(parts[1]).substr(1)).value_or(0));
+          const std::size_t dot = parts[2].find('.');
+          page = static_cast<int>(
+              util::parse_int(std::string_view(parts[2]).substr(1, dot - 1)).value_or(0));
+        }
+        const std::string xml = page_xml(module, page, r.url.query());
+        out.response = http::make_response(200, "text/xml", util::make_body(xml));
+        out.response.headers.set("Cache-Control", "private");  // personalized
+        out.cpu_seconds = cfg_.personalize_cpu;  // rendering moved to the edge
+        return out;
+      });
+}
+
+request_generator simm_site::make_generator(bool edge_mode, std::uint64_t client_seed) const {
+  // Per-client session state, created lazily. Shared across the generator's
+  // copies so the driver sees one coherent session per client.
+  struct client_state {
+    std::unique_ptr<util::rng> rng;
+    int module = 0;
+    int page = 0;
+    int step = 0;  // 0 = page, 1..images = image fetches, images+1 = video
+    bool wants_video = false;
+  };
+  auto states = std::make_shared<std::map<std::size_t, client_state>>();
+  auto zipf = std::make_shared<util::zipf_distribution>(
+      static_cast<std::size_t>(cfg_.modules * cfg_.pages_per_module), cfg_.zipf_exponent);
+  const simm_config cfg = cfg_;
+
+  return [states, zipf, cfg, edge_mode, client_seed](
+             std::size_t client, std::size_t) -> std::optional<http::request> {
+    client_state& st = (*states)[client];
+    if (!st.rng) {
+      st.rng = std::make_unique<util::rng>(cfg.seed * 1315423911ull + client_seed * 2654435761ull +
+                                           client);
+      st.step = -1;
+    }
+    // Step layout per page view: 0 = page, 1..images_per_page = images,
+    // images_per_page+1 = optional video.
+    const int after_images = cfg.images_per_page + 1;
+    if (st.step < 0 || st.step > after_images ||
+        (st.step == after_images && !st.wants_video)) {
+      // Start a new page view.
+      const std::size_t pick = zipf->sample(*st.rng);
+      st.module = static_cast<int>(pick) / cfg.pages_per_module;
+      st.page = static_cast<int>(pick) % cfg.pages_per_module;
+      st.wants_video = st.rng->chance(cfg.video_probability);
+      st.step = 0;
+    }
+
+    http::request r;
+    r.client_ip = "10.1." + std::to_string(client / 250) + "." + std::to_string(client % 250);
+    const std::string base = std::string("http://") + host_name;
+    if (st.step == 0) {
+      const char* ext = edge_mode ? ".xml" : ".html";
+      r.url = http::url::parse(base + "/content/m" + std::to_string(st.module) + "/p" +
+                               std::to_string(st.page) + ext + "?student=s" +
+                               std::to_string(client));
+      ++st.step;
+    } else if (st.step <= cfg.images_per_page) {
+      r.url = http::url::parse(base + "/media/m" + std::to_string(st.module) + "/p" +
+                               std::to_string(st.page) + "-img" +
+                               std::to_string(st.step - 1) + ".jpg");
+      ++st.step;
+    } else {
+      const int vid = static_cast<int>(st.rng->next(
+          static_cast<std::uint64_t>(cfg.videos_per_module)));
+      r.url = http::url::parse(base + "/media/m" + std::to_string(st.module) + "/vid" +
+                               std::to_string(vid) + ".mp4");
+      st.wants_video = false;
+      ++st.step;
+    }
+    return r;
+  };
+}
+
+}  // namespace nakika::workload

@@ -1,0 +1,72 @@
+// The Surgical Interactive Multimedia Modules workload (paper §5.2): a
+// web-based medical-education site with personalized XML content rendered to
+// HTML through one shared XSL stylesheet, plus large multimedia objects.
+// Two deployments:
+//   - single server: the origin personalizes AND renders (Tomcat/JSP model);
+//   - Na Kika: the origin personalizes (returns XML), the edge renders via
+//     the site's nakika.js and caches multimedia — exactly the split of the
+//     paper's two-day port.
+// Content sizes are scaled down from the paper's ~1 GB/module so the
+// simulation fits in memory; the ratios (video >> image >> page) and the
+// 140 kbps video bitrate criterion are preserved (see DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "proxy/deployment.hpp"
+#include "workload/clients.hpp"
+
+namespace nakika::workload {
+
+struct simm_config {
+  int modules = 5;                   // the five existing SIMMs
+  int pages_per_module = 40;
+  int videos_per_module = 12;
+  std::size_t video_bytes = 350 * 1024;  // ~20 s at the 140 kbps bitrate
+  int images_per_page = 2;
+  std::uint32_t image_side = 96;     // SIMG dimension -> ~27 KB encoded
+  double video_probability = 0.25;   // page views that play a video
+  double zipf_exponent = 0.9;        // module/page popularity skew
+
+  double personalize_cpu = 0.002;    // origin-side per-request customization
+  double render_cpu_base = 0.004;    // origin-side XSL rendering (single-server)
+  double render_cpu_per_byte = 4e-7;
+  std::int64_t media_max_age = 86400;
+  std::int64_t xsl_max_age = 86400;
+
+  std::uint64_t seed = 7;
+};
+
+class simm_site {
+ public:
+  static constexpr const char* host_name = "simms.med.nyu.edu";
+
+  explicit simm_site(simm_config cfg = {});
+
+  // Deterministic personalized page content.
+  [[nodiscard]] std::string page_xml(int module, int page, const std::string& student) const;
+  [[nodiscard]] static std::string stylesheet();
+  // The site's edge script: renders XML to HTML at the proxy (paper: the
+  // port's nakika.js is ~100 lines).
+  [[nodiscard]] static std::string nakika_script();
+
+  // Installs content on an origin server for the given deployment style.
+  void install_single_server(proxy::origin_server& origin) const;
+  void install_edge(proxy::origin_server& origin) const;
+
+  // Session-structured request generator: page view = HTML/XML + images +
+  // (sometimes) a video segment. `edge_mode` selects URL flavour.
+  // `client_seed` decorrelates clients across driver instances.
+  [[nodiscard]] request_generator make_generator(bool edge_mode,
+                                                 std::uint64_t client_seed) const;
+
+  [[nodiscard]] const simm_config& config() const { return cfg_; }
+
+ private:
+  void install_media(proxy::origin_server& origin) const;
+
+  simm_config cfg_;
+};
+
+}  // namespace nakika::workload

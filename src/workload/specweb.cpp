@@ -1,0 +1,167 @@
+#include "workload/specweb.hpp"
+
+#include "util/strings.hpp"
+
+namespace nakika::workload {
+
+specweb_site::specweb_site(specweb_config cfg) : cfg_(cfg) {}
+
+std::string specweb_site::dynamic_page_nkp() {
+  // Per-request dynamic content: rotating ad (random) and per-user
+  // customization (query), as in SPECweb99's dynamic GET with ad rotation.
+  return R"NKP(<html><head><title>SPECweb99 dynamic</title></head><body>
+<?nkp
+  var user = Request.query;
+  var ad = Math.floor(Math.random() * 360);
+  Response.write("<div class=\"ad\">Advertisement " + ad + "</div>");
+  Response.write("<div class=\"user\">Hello, " + user + "</div>");
+  var reg = HardState.get("user:" + user);
+  if (reg != null) {
+    Response.write("<div class=\"member\">member since " + reg + "</div>");
+  }
+  var filler = "";
+  for (var i = 0; i < 60; i++) {
+    filler += "<p>custom content line " + i + " for " + user + "</p>";
+  }
+  Response.write(filler);
+?>
+</body></html>)NKP";
+}
+
+std::string specweb_site::nakika_script() {
+  // POST /register: accept the registration into replicated hard state; the
+  // replication strategy (broadcast vs origin-primary) is the node's replica
+  // configuration, exactly as §3.3 leaves strategy to the site.
+  return R"JS(
+var reg = new Policy();
+reg.url = [ "www.specweb.example.org/register" ];
+reg.method = [ "POST" ];
+reg.onRequest = function() {
+  var user = Request.query;
+  if (user == "") {
+    Request.terminate(400);
+  }
+  HardState.put("user:" + user, "t" + System.time());
+  Request.respond(200, "text/plain", "registered " + user);
+};
+reg.register();
+)JS";
+}
+
+void specweb_site::install_statics(proxy::origin_server& origin) const {
+  for (int d = 0; d < cfg_.directories; ++d) {
+    for (std::size_t c = 0; c < cfg_.class_bytes.size(); ++c) {
+      for (int f = 0; f < cfg_.files_per_class; ++f) {
+        util::byte_buffer body;
+        body.resize(cfg_.class_bytes[c]);
+        std::uint32_t state = static_cast<std::uint32_t>(cfg_.seed + d * 131 + c * 31 + f);
+        for (std::size_t i = 0; i < body.size(); ++i) {
+          state = state * 1664525u + 1013904223u;
+          body[i] = static_cast<std::uint8_t>(state >> 24);
+        }
+        origin.add_static(host_name,
+                          "/file_set/dir" + std::to_string(d) + "/class" +
+                              std::to_string(c) + "_" + std::to_string(f),
+                          "application/octet-stream", util::make_body(std::move(body)),
+                          cfg_.static_max_age);
+      }
+    }
+  }
+}
+
+void specweb_site::install_php_server(proxy::origin_server& origin) const {
+  install_statics(origin);
+  origin.add_dynamic(
+      host_name, "/dynamic.php",
+      [this](const http::request& r) {
+        proxy::origin_server::dynamic_result out;
+        const std::string user = r.url.query();
+        std::string html = "<html><body><div class=\"ad\">Advertisement</div>";
+        html += "<div class=\"user\">Hello, " + user + "</div>";
+        for (int i = 0; i < 60; ++i) {
+          html += "<p>custom content line " + std::to_string(i) + " for " + user + "</p>";
+        }
+        html += "</body></html>";
+        out.response = http::make_response(200, "text/html", util::make_body(html));
+        out.response.headers.set("Cache-Control", "no-store");
+        out.cpu_seconds = cfg_.php_dynamic_cpu;
+        return out;
+      });
+  origin.add_dynamic(
+      host_name, "/register",
+      [this](const http::request& r) {
+        proxy::origin_server::dynamic_result out;
+        out.response =
+            http::make_response(200, "text/plain", util::make_body("registered " +
+                                                                    r.url.query()));
+        out.response.headers.set("Cache-Control", "no-store");
+        out.cpu_seconds = cfg_.php_post_cpu;
+        return out;
+      });
+}
+
+void specweb_site::install_edge(proxy::origin_server& origin) const {
+  install_statics(origin);
+  origin.add_static_text(host_name, "/nakika.js", "application/javascript", nakika_script(),
+                         3600);
+  // The NKP source itself: served cheaply, marked no-store so each request
+  // renders fresh at the edge (SPECweb dynamic GETs differ per request).
+  origin.add_dynamic(
+      host_name, "/dynamic.nkp",
+      [](const http::request&) {
+        proxy::origin_server::dynamic_result out;
+        out.response =
+            http::make_response(200, "text/nkp", util::make_body(dynamic_page_nkp()));
+        out.response.headers.set("Cache-Control", "no-store");
+        out.cpu_seconds = 0.0005;  // static-file-like source fetch
+        return out;
+      });
+}
+
+request_generator specweb_site::make_generator(bool edge_mode,
+                                               std::uint64_t client_seed) const {
+  auto rng = std::make_shared<util::rng>(cfg_.seed * 888888877ull + client_seed);
+  auto zipf = std::make_shared<util::zipf_distribution>(
+      static_cast<std::size_t>(cfg_.directories), 1.0);
+  const specweb_config cfg = cfg_;
+
+  return [rng, zipf, cfg, edge_mode, client_seed](
+             std::size_t client, std::size_t seq) -> std::optional<http::request> {
+    http::request r;
+    r.client_ip =
+        "10.2." + std::to_string(client / 250) + "." + std::to_string(client % 250);
+    const std::string base = std::string("http://") + host_name;
+    const std::string user =
+        "u" + std::to_string(client_seed) + "-" + std::to_string(client);
+
+    if (rng->chance(cfg.dynamic_fraction)) {
+      if (rng->chance(cfg.post_fraction)) {
+        r.method = http::method::post;
+        r.url = http::url::parse(base + "/register?" + user + "-" + std::to_string(seq));
+        r.body = util::make_body("name=" + user);
+        return r;
+      }
+      const char* page = edge_mode ? "/dynamic.nkp?" : "/dynamic.php?";
+      r.url = http::url::parse(base + page + user);
+      return r;
+    }
+    const std::size_t dir = zipf->sample(*rng);
+    // Weighted size-class pick.
+    const double p = rng->next_double();
+    std::size_t cls = 0;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cfg.class_weights.size(); ++c) {
+      acc += cfg.class_weights[c];
+      if (p < acc) {
+        cls = c;
+        break;
+      }
+    }
+    const std::size_t file = rng->next(static_cast<std::uint64_t>(cfg.files_per_class));
+    r.url = http::url::parse(base + "/file_set/dir" + std::to_string(dir) + "/class" +
+                             std::to_string(cls) + "_" + std::to_string(file));
+    return r;
+  };
+}
+
+}  // namespace nakika::workload

@@ -1,0 +1,59 @@
+// SPECweb99-like workload (paper §5.3): a static-file mix in four size
+// classes plus dynamic GETs (ad rotation, per-user customization) and POSTs
+// (user registration, the paper's replicated hard state). Two deployments:
+//   - PHP single server: dynamic requests cost origin CPU;
+//   - Na Kika: dynamic pages are Na Kika Pages rendered at the edge, and
+//     registrations are accepted by the site script into replicated
+//     HardState — the origin only serves sources and statics.
+#pragma once
+
+#include <string>
+
+#include "proxy/deployment.hpp"
+#include "workload/clients.hpp"
+
+namespace nakika::workload {
+
+struct specweb_config {
+  int directories = 10;
+  int files_per_class = 3;
+  // SPECweb99's access mix across the four size classes.
+  std::array<double, 4> class_weights = {0.35, 0.50, 0.14, 0.01};
+  std::array<std::size_t, 4> class_bytes = {1 * 1024, 10 * 1024, 100 * 1024, 1024 * 1024};
+
+  double dynamic_fraction = 0.8;   // "80% dynamic requests"
+  double post_fraction = 0.125;    // of dynamic requests, user registrations
+
+  double php_dynamic_cpu = 0.085;  // PHP page build on a loaded PlanetLab node
+  double php_post_cpu = 0.020;
+  std::int64_t static_max_age = 3600;
+
+  std::uint64_t seed = 17;
+};
+
+class specweb_site {
+ public:
+  static constexpr const char* host_name = "www.specweb.example.org";
+
+  explicit specweb_site(specweb_config cfg = {});
+
+  // The NKP source for the dynamic page (rendered per request at the edge).
+  [[nodiscard]] static std::string dynamic_page_nkp();
+  // The site script: accepts POST registrations into replicated HardState.
+  [[nodiscard]] static std::string nakika_script();
+
+  void install_php_server(proxy::origin_server& origin) const;
+  void install_edge(proxy::origin_server& origin) const;
+
+  // Request mix generator. `edge_mode` selects .nkp vs .php dynamic URLs.
+  [[nodiscard]] request_generator make_generator(bool edge_mode,
+                                                 std::uint64_t client_seed) const;
+
+  [[nodiscard]] const specweb_config& config() const { return cfg_; }
+
+ private:
+  void install_statics(proxy::origin_server& origin) const;
+  specweb_config cfg_;
+};
+
+}  // namespace nakika::workload

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "cache/http_cache.hpp"
+#include "cache/script_cache.hpp"
+
+namespace nakika::cache {
+namespace {
+
+http::response cacheable(std::string body, std::int64_t max_age = 100) {
+  http::response r = http::make_response(200, "text/plain", util::make_body(body));
+  r.headers.set("Cache-Control", "max-age=" + std::to_string(max_age));
+  return r;
+}
+
+TEST(HttpCache, HitUntilExpiry) {
+  http_cache c;
+  EXPECT_TRUE(c.put("http://a/x", cacheable("v", 100), 0));
+  ASSERT_TRUE(c.get("http://a/x", 50).has_value());
+  EXPECT_EQ(c.get("http://a/x", 50)->body->view(), "v");
+  EXPECT_FALSE(c.get("http://a/x", 100).has_value());  // expired exactly at t=100
+  EXPECT_EQ(c.stats().expirations, 1u);
+}
+
+TEST(HttpCache, UncacheableRejected) {
+  http_cache c;
+  http::response r = http::make_response(200, "text/plain", util::make_body("x"));
+  r.headers.set("Cache-Control", "no-store");
+  EXPECT_FALSE(c.put("http://a/ns", r, 0));
+  EXPECT_EQ(c.entry_count(), 0u);
+}
+
+TEST(HttpCache, PutWithExplicitExpiry) {
+  http_cache c;
+  http::response r = http::make_response(200, "text/plain", util::make_body("p"));
+  c.put_with_expiry("http://a/p", r, 500, 0);
+  EXPECT_TRUE(c.get("http://a/p", 499).has_value());
+  EXPECT_FALSE(c.get("http://a/p", 500).has_value());
+  // Expiry in the past is a no-op.
+  c.put_with_expiry("http://a/past", r, 5, 10);
+  EXPECT_EQ(c.entry_count(), 0u);
+}
+
+TEST(HttpCache, LruEvictionUnderPressure) {
+  http_cache c(3000);  // tiny capacity
+  for (int i = 0; i < 5; ++i) {
+    c.put_with_expiry("http://a/" + std::to_string(i),
+                      http::make_response(200, "t", util::make_body(std::string(500, 'x'))),
+                      1000, 0);
+  }
+  EXPECT_LE(c.bytes_used(), 3000u);
+  EXPECT_GT(c.stats().evictions, 0u);
+  // Most recent entries survive.
+  EXPECT_TRUE(c.get("http://a/4", 1).has_value());
+  EXPECT_FALSE(c.get("http://a/0", 1).has_value());
+}
+
+TEST(HttpCache, TouchKeepsHotEntriesAlive) {
+  // Each entry charges body + 256 bytes overhead = 756; two fit in 2000,
+  // three do not, so inserting "new" must evict exactly one entry.
+  http_cache c(2000);
+  c.put_with_expiry("http://a/hot",
+                    http::make_response(200, "t", util::make_body(std::string(500, 'h'))),
+                    1000, 0);
+  c.put_with_expiry("http://a/cold",
+                    http::make_response(200, "t", util::make_body(std::string(500, 'c'))),
+                    1000, 0);
+  ASSERT_TRUE(c.get("http://a/hot", 1).has_value());  // touch hot
+  c.put_with_expiry("http://a/new",
+                    http::make_response(200, "t", util::make_body(std::string(500, 'n'))),
+                    1000, 0);
+  EXPECT_TRUE(c.get("http://a/hot", 2).has_value());
+  EXPECT_FALSE(c.get("http://a/cold", 2).has_value());  // LRU victim
+}
+
+TEST(HttpCache, OversizedBodyNeverStored) {
+  http_cache c(1000);
+  c.put_with_expiry("http://a/big",
+                    http::make_response(200, "t", util::make_body(std::string(5000, 'x'))),
+                    1000, 0);
+  EXPECT_EQ(c.entry_count(), 0u);
+}
+
+TEST(HttpCache, RemoveAndClear) {
+  http_cache c;
+  c.put("http://a/x", cacheable("v"), 0);
+  EXPECT_TRUE(c.remove("http://a/x"));
+  EXPECT_FALSE(c.remove("http://a/x"));
+  c.put("http://a/y", cacheable("v"), 0);
+  c.clear();
+  EXPECT_EQ(c.entry_count(), 0u);
+  EXPECT_EQ(c.bytes_used(), 0u);
+}
+
+TEST(HttpCache, ReplaceUpdatesAccounting) {
+  http_cache c;
+  c.put_with_expiry("http://a/x", http::make_response(200, "t", util::make_body("small")),
+                    1000, 0);
+  const std::size_t before = c.bytes_used();
+  c.put_with_expiry("http://a/x",
+                    http::make_response(200, "t", util::make_body(std::string(1000, 'L'))),
+                    1000, 0);
+  EXPECT_EQ(c.entry_count(), 1u);
+  EXPECT_GT(c.bytes_used(), before);
+  EXPECT_EQ(c.get("http://a/x", 1)->body_size(), 1000u);
+}
+
+TEST(HttpCache, HitRateStats) {
+  http_cache c;
+  c.put("http://a/x", cacheable("v"), 0);
+  (void)c.get("http://a/x", 1);
+  (void)c.get("http://a/missing", 1);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.5);
+}
+
+TEST(TtlCache, ExpiresEntries) {
+  ttl_cache<int> c;
+  c.put("k", 7, 100);
+  EXPECT_EQ(c.get("k", 50), 7);
+  EXPECT_FALSE(c.get("k", 100).has_value());
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(TtlCache, RemoveAndOverwrite) {
+  ttl_cache<std::string> c;
+  c.put("k", "v1", 100);
+  c.put("k", "v2", 200);
+  EXPECT_EQ(c.get("k", 150), "v2");
+  EXPECT_TRUE(c.remove("k"));
+  EXPECT_FALSE(c.remove("k"));
+}
+
+TEST(NegativeCache, RemembersAbsenceWithTtl) {
+  negative_cache nc(300);
+  EXPECT_FALSE(nc.contains("http://a/nakika.js", 0));
+  nc.insert("http://a/nakika.js", 0);
+  EXPECT_TRUE(nc.contains("http://a/nakika.js", 299));
+  EXPECT_FALSE(nc.contains("http://a/nakika.js", 300));
+  EXPECT_EQ(nc.size(), 0u);  // lazily pruned
+}
+
+TEST(NegativeCache, RemoveRevalidates) {
+  negative_cache nc(300);
+  nc.insert("k", 0);
+  EXPECT_TRUE(nc.remove("k"));
+  EXPECT_FALSE(nc.contains("k", 1));
+  EXPECT_THROW(negative_cache(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nakika::cache

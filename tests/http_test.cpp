@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "http/cache_control.hpp"
+#include "http/cookies.hpp"
+#include "http/date.hpp"
+#include "http/message.hpp"
+#include "http/url.hpp"
+#include "http/wire.hpp"
+
+namespace nakika::http {
+namespace {
+
+// ----- url ------------------------------------------------------------------
+
+TEST(Url, ParsesAbsolute) {
+  const url u = url::parse("http://www.Med.NYU.edu:8080/a/b?x=1");
+  EXPECT_EQ(u.scheme(), "http");
+  EXPECT_EQ(u.host(), "www.med.nyu.edu");
+  EXPECT_EQ(u.port(), 8080);
+  EXPECT_EQ(u.path(), "/a/b");
+  EXPECT_EQ(u.query(), "x=1");
+  EXPECT_EQ(u.str(), "http://www.med.nyu.edu:8080/a/b?x=1");
+}
+
+TEST(Url, DefaultsAndOriginForm) {
+  const url u = url::parse("http://example.org");
+  EXPECT_EQ(u.port(), 80);
+  EXPECT_EQ(u.path(), "/");
+  const url o = url::parse("/just/path?q");
+  EXPECT_EQ(o.path(), "/just/path");
+  EXPECT_EQ(o.query(), "q");
+}
+
+TEST(Url, LenientPredicateForm) {
+  const url u = url::parse_lenient("med.nyu.edu/simms");
+  EXPECT_EQ(u.host(), "med.nyu.edu");
+  EXPECT_EQ(u.path(), "/simms");
+  const url full = url::parse_lenient("http://a.b/c");
+  EXPECT_EQ(full.host(), "a.b");
+}
+
+TEST(Url, RejectsMalformed) {
+  EXPECT_THROW(url::parse(""), std::invalid_argument);
+  EXPECT_THROW(url::parse("ftp://x/"), std::invalid_argument);
+  EXPECT_THROW(url::parse("http:///path"), std::invalid_argument);
+  EXPECT_THROW(url::parse("http://host:notaport/"), std::invalid_argument);
+  EXPECT_THROW(url::parse("http://host:70000/"), std::invalid_argument);
+}
+
+TEST(Url, Components) {
+  const url u = url::parse("http://www.med.nyu.edu/a/b/c.html");
+  const auto hosts = u.host_components_reversed();
+  ASSERT_EQ(hosts.size(), 4u);
+  EXPECT_EQ(hosts[0], "edu");
+  EXPECT_EQ(hosts[3], "www");
+  const auto paths = u.path_components();
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[2], "c.html");
+}
+
+TEST(Url, SiteIdentity) {
+  EXPECT_EQ(url::parse("http://a.b/x/y").site(), "http://a.b");
+  EXPECT_EQ(url::parse("http://a.b:81/x").site(), "http://a.b:81");
+}
+
+TEST(Url, IpComponents) {
+  const auto parts = ip_components("192.168.7.9");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "192");
+  EXPECT_TRUE(ip_components("not.an.ip.x").empty());
+  EXPECT_TRUE(ip_components("1.2.3").empty());
+  EXPECT_TRUE(ip_components("1.2.3.256").empty());
+}
+
+TEST(Url, CidrContains) {
+  EXPECT_TRUE(cidr_contains("192.168.0.0/16", "192.168.7.9"));
+  EXPECT_FALSE(cidr_contains("192.168.0.0/16", "192.169.0.1"));
+  EXPECT_TRUE(cidr_contains("10.0.0.0/8", "10.255.255.255"));
+  EXPECT_TRUE(cidr_contains("1.2.3.4", "1.2.3.4"));   // /32 implied
+  EXPECT_FALSE(cidr_contains("1.2.3.4", "1.2.3.5"));
+  EXPECT_TRUE(cidr_contains("0.0.0.0/0", "8.8.8.8"));
+  EXPECT_FALSE(cidr_contains("bad/16", "1.2.3.4"));
+  EXPECT_FALSE(cidr_contains("1.2.3.0/33", "1.2.3.4"));
+}
+
+// ----- message ----------------------------------------------------------------
+
+TEST(Message, MethodRoundTrip) {
+  EXPECT_EQ(parse_method("GET"), method::get);
+  EXPECT_EQ(parse_method("post"), method::post);
+  EXPECT_EQ(parse_method("DELETE"), method::del);
+  EXPECT_FALSE(parse_method("FROB").has_value());
+  EXPECT_EQ(to_string(method::head), "HEAD");
+}
+
+TEST(Message, HeaderMapCaseInsensitive) {
+  header_map h;
+  h.set("Content-Type", "text/html");
+  EXPECT_EQ(h.get("content-type"), "text/html");
+  EXPECT_TRUE(h.has("CONTENT-TYPE"));
+  h.set("content-TYPE", "text/plain");
+  EXPECT_EQ(h.get_all("Content-Type").size(), 1u);
+  EXPECT_EQ(h.get("Content-Type"), "text/plain");
+}
+
+TEST(Message, HeaderMapMultiValue) {
+  header_map h;
+  h.add("Via", "a");
+  h.add("Via", "b");
+  EXPECT_EQ(h.get_all("via").size(), 2u);
+  EXPECT_EQ(h.get("Via"), "a");  // first value
+  EXPECT_EQ(h.remove("VIA"), 2u);
+  EXPECT_FALSE(h.has("Via"));
+}
+
+TEST(Message, ContentLength) {
+  header_map h;
+  EXPECT_FALSE(h.content_length().has_value());
+  h.set("Content-Length", "123");
+  EXPECT_EQ(h.content_length(), 123);
+  h.set("Content-Length", "-1");
+  EXPECT_FALSE(h.content_length().has_value());
+  h.set("Content-Length", "abc");
+  EXPECT_FALSE(h.content_length().has_value());
+}
+
+TEST(Message, MakeResponse) {
+  const response r = make_response(200, "text/plain", util::make_body("hi"));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.headers.get("Content-Length"), "2");
+  EXPECT_EQ(r.body_size(), 2u);
+  const response e = make_error_response(404, "gone");
+  EXPECT_EQ(e.status, 404);
+  EXPECT_NE(e.body->view().find("gone"), std::string_view::npos);
+}
+
+// ----- date -----------------------------------------------------------------
+
+TEST(Date, FormatKnownInstant) {
+  // 784111777 = Sun, 06 Nov 1994 08:49:37 GMT (the RFC example).
+  EXPECT_EQ(format_http_date(784111777), "Sun, 06 Nov 1994 08:49:37 GMT");
+  EXPECT_EQ(format_http_date(0), "Thu, 01 Jan 1970 00:00:00 GMT");
+}
+
+TEST(Date, ParseInverseOfFormat) {
+  for (const std::int64_t t : {0LL, 784111777LL, 1700000000LL, 86399LL, 86400LL}) {
+    EXPECT_EQ(parse_http_date(format_http_date(t)), t);
+  }
+}
+
+TEST(Date, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_http_date("").has_value());
+  EXPECT_FALSE(parse_http_date("Sun, 06 Nope 1994 08:49:37 GMT").has_value());
+  EXPECT_FALSE(parse_http_date("Sun, 06 Nov 1994 08:49 GMT").has_value());
+  EXPECT_FALSE(parse_http_date("Sun, 99 Nov 1994 08:49:37 GMT").has_value());
+}
+
+// ----- cache-control -----------------------------------------------------------
+
+TEST(CacheControl, ParsesDirectives) {
+  const auto d = parse_cache_control("no-cache, max-age=60, s-maxage=\"30\", private");
+  EXPECT_TRUE(d.no_cache);
+  EXPECT_TRUE(d.is_private);
+  EXPECT_EQ(d.max_age, 60);
+  EXPECT_EQ(d.s_maxage, 30);
+  EXPECT_FALSE(d.no_store);
+}
+
+TEST(CacheControl, FreshnessFromMaxAge) {
+  response r = make_response(200, "text/plain", util::make_body("x"));
+  r.headers.set("Cache-Control", "max-age=100");
+  const auto f = compute_freshness(r, 1000);
+  EXPECT_TRUE(f.cacheable);
+  EXPECT_EQ(f.expires_at, 1100);
+}
+
+TEST(CacheControl, SMaxAgeWins) {
+  response r = make_response(200, "text/plain", util::make_body("x"));
+  r.headers.set("Cache-Control", "max-age=100, s-maxage=10");
+  EXPECT_EQ(compute_freshness(r, 0).expires_at, 10);
+}
+
+TEST(CacheControl, NoStoreBlocksCaching) {
+  response r = make_response(200, "text/plain", util::make_body("x"));
+  r.headers.set("Cache-Control", "no-store");
+  EXPECT_FALSE(compute_freshness(r, 0).cacheable);
+  r.headers.set("Cache-Control", "private");
+  EXPECT_FALSE(compute_freshness(r, 0).cacheable);
+}
+
+TEST(CacheControl, ExpiresHeader) {
+  response r = make_response(200, "text/plain", util::make_body("x"));
+  r.headers.set("Expires", format_http_date(5000));
+  const auto f = compute_freshness(r, 1000);
+  EXPECT_TRUE(f.cacheable);
+  EXPECT_EQ(f.expires_at, 5000);
+  EXPECT_FALSE(compute_freshness(r, 6000).cacheable);  // already stale
+}
+
+TEST(CacheControl, HeuristicFromLastModified) {
+  response r = make_response(200, "text/plain", util::make_body("x"));
+  r.headers.set("Last-Modified", format_http_date(0));
+  const auto f = compute_freshness(r, 1000);
+  EXPECT_TRUE(f.cacheable);
+  EXPECT_EQ(f.expires_at, 1100);  // 10% of age
+}
+
+TEST(CacheControl, UncacheableStatuses) {
+  response r = make_response(500, "text/plain", util::make_body("x"));
+  r.headers.set("Cache-Control", "max-age=100");
+  EXPECT_FALSE(compute_freshness(r, 0).cacheable);
+}
+
+// ----- cookies -----------------------------------------------------------------
+
+TEST(Cookies, ParseHeader) {
+  const auto cookies = parse_cookie_header("session=abc; user=n1; flag");
+  ASSERT_EQ(cookies.size(), 2u);
+  EXPECT_EQ(cookies[0].name, "session");
+  EXPECT_EQ(cookies[0].value, "abc");
+  EXPECT_EQ(get_cookie("a=1; b=2", "b"), "2");
+  EXPECT_FALSE(get_cookie("a=1", "c").has_value());
+}
+
+TEST(Cookies, FormatSetCookie) {
+  EXPECT_EQ(format_set_cookie({"sid", "xyz"}, "/app", 60), "sid=xyz; Path=/app; Max-Age=60");
+  EXPECT_EQ(format_set_cookie({"sid", "xyz"}), "sid=xyz; Path=/");
+}
+
+// ----- wire --------------------------------------------------------------------
+
+TEST(Wire, RequestRoundTrip) {
+  request r;
+  r.method = method::post;
+  r.url = url::parse("http://example.org/submit?x=1");
+  r.headers.set("X-Custom", "v");
+  r.body = util::make_body("payload");
+  r.headers.set("Content-Length", "7");
+
+  const auto bytes = serialize(r);
+  const auto parsed = parse_request(bytes.view());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.method, method::post);
+  EXPECT_EQ(parsed.value.url.host(), "example.org");
+  EXPECT_EQ(parsed.value.url.path(), "/submit");
+  EXPECT_EQ(parsed.value.headers.get("X-Custom"), "v");
+  EXPECT_EQ(parsed.value.body->view(), "payload");
+}
+
+TEST(Wire, ResponseRoundTrip) {
+  const response r = make_response(200, "text/html", util::make_body("<p>hi</p>"));
+  const auto bytes = serialize(r);
+  const auto parsed = parse_response(bytes.view());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.status, 200);
+  EXPECT_EQ(parsed.value.body->view(), "<p>hi</p>");
+}
+
+TEST(Wire, ChunkedBody) {
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+  const auto parsed = parse_response(wire);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.body->view(), "Wikipedia");
+}
+
+TEST(Wire, MalformedInputsReportErrors) {
+  EXPECT_FALSE(parse_request("GARBAGE").ok);
+  EXPECT_FALSE(parse_request("GET /\r\n\r\n").ok);  // missing version
+  EXPECT_FALSE(parse_response("HTTP/1.1 9999 X\r\n\r\n").ok);
+  EXPECT_FALSE(parse_response("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc").ok);
+  const std::string bad_chunk =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n";
+  EXPECT_FALSE(parse_response(bad_chunk).ok);
+}
+
+TEST(Wire, WireSizeTracksSerialization) {
+  const response r = make_response(200, "text/html", util::make_body(std::string(500, 'x')));
+  const std::size_t estimate = wire_size(r);
+  const std::size_t actual = serialize(r).size();
+  EXPECT_NEAR(static_cast<double>(estimate), static_cast<double>(actual), 32.0);
+}
+
+}  // namespace
+}  // namespace nakika::http

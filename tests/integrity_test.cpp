@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "http/date.hpp"
+#include "integrity/content_integrity.hpp"
+#include "integrity/hmac.hpp"
+#include "integrity/sha256.hpp"
+#include "integrity/verification.hpp"
+
+namespace nakika::integrity {
+namespace {
+
+// ----- sha256 (FIPS 180-4 vectors) -------------------------------------------------
+
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(sha256_hex(std::string_view("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex(std::string_view("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex(std::string_view(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto digest = h.finish();
+  EXPECT_EQ(util::to_hex({digest.data(), digest.size()}),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  sha256 h;
+  for (char c : msg) h.update(std::string_view(&c, 1));
+  const auto incremental = h.finish();
+  EXPECT_EQ(incremental, sha256_hash(msg));
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Pad-boundary cases: 55, 56, 63, 64, 65 bytes.
+  for (const std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string msg(n, 'x');
+    sha256 split;
+    split.update(std::string_view(msg).substr(0, n / 2));
+    split.update(std::string_view(msg).substr(n / 2));
+    EXPECT_EQ(split.finish(), sha256_hash(msg)) << n;
+  }
+}
+
+TEST(Sha256, ReuseAfterFinishThrows) {
+  sha256 h;
+  h.update(std::string_view("x"));
+  (void)h.finish();
+  EXPECT_THROW(h.update(std::string_view("y")), std::logic_error);
+  EXPECT_THROW((void)h.finish(), std::logic_error);
+}
+
+// ----- hmac (RFC 4231 vectors) ------------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const std::string key(20, '\x0b');
+  EXPECT_EQ(hmac_sha256_hex(key, "Hi There"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hmac_sha256_hex("Jefe", "what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(hmac_sha256_hex(key, "Test Using Larger Than Block-Size Key - Hash Key First"),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DigestComparisonConstantTimeSemantics) {
+  const auto a = hmac_sha256("k", std::string_view("m"));
+  const auto b = hmac_sha256("k", std::string_view("m"));
+  const auto c = hmac_sha256("k", std::string_view("n"));
+  EXPECT_TRUE(digests_equal(a, b));
+  EXPECT_FALSE(digests_equal(a, c));
+}
+
+// ----- content integrity -------------------------------------------------------------
+
+http::response signed_response(const std::string& body, std::int64_t now,
+                               std::int64_t lifetime = 3600) {
+  http::response r = http::make_response(200, "text/html", util::make_body(body));
+  sign_response(r, "shared-key", now, lifetime);
+  return r;
+}
+
+TEST(ContentIntegrity, SignedResponseVerifies) {
+  const http::response r = signed_response("content", 1000);
+  EXPECT_EQ(verify_response(r, "shared-key", 1001), verify_result::ok);
+  EXPECT_TRUE(r.headers.has("X-Content-SHA256"));
+  EXPECT_TRUE(r.headers.has("X-Signature"));
+  EXPECT_TRUE(r.headers.has("Expires"));
+}
+
+TEST(ContentIntegrity, TamperedBodyDetected) {
+  http::response r = signed_response("content", 1000);
+  r.body = util::make_body("tampered by a malicious edge node");
+  EXPECT_EQ(verify_response(r, "shared-key", 1001), verify_result::hash_mismatch);
+}
+
+TEST(ContentIntegrity, TamperedExpiryDetected) {
+  // A bad node extending freshness must invalidate the signature.
+  http::response r = signed_response("content", 1000, 10);
+  r.headers.set("Expires", http::format_http_date(999999));
+  EXPECT_EQ(verify_response(r, "shared-key", 1001), verify_result::signature_mismatch);
+}
+
+TEST(ContentIntegrity, StaleContentRejected) {
+  const http::response r = signed_response("content", 1000, 10);
+  EXPECT_EQ(verify_response(r, "shared-key", 1009), verify_result::ok);
+  EXPECT_EQ(verify_response(r, "shared-key", 1010), verify_result::stale);
+}
+
+TEST(ContentIntegrity, WrongKeyRejected) {
+  const http::response r = signed_response("content", 1000);
+  EXPECT_EQ(verify_response(r, "other-key", 1001), verify_result::signature_mismatch);
+}
+
+TEST(ContentIntegrity, MissingHeadersReported) {
+  const http::response r = http::make_response(200, "text/html", util::make_body("x"));
+  EXPECT_EQ(verify_response(r, "shared-key", 0), verify_result::missing_headers);
+}
+
+TEST(ContentIntegrity, RelativeExpiryForbidden) {
+  // Paper §6: relative times cannot be trusted on untrusted nodes.
+  http::response r = signed_response("content", 1000);
+  r.headers.set("Cache-Control", "max-age=60");
+  EXPECT_EQ(verify_response(r, "shared-key", 1001), verify_result::relative_expiry);
+  // And sign_response strips max-age in the first place.
+  http::response r2 = http::make_response(200, "text/html", util::make_body("y"));
+  r2.headers.set("Cache-Control", "max-age=60");
+  sign_response(r2, "k", 0);
+  EXPECT_FALSE(r2.headers.has("Cache-Control"));
+}
+
+TEST(ContentIntegrity, PreservesExistingAbsoluteExpiry) {
+  http::response r = http::make_response(200, "text/html", util::make_body("z"));
+  r.headers.set("Expires", http::format_http_date(5000));
+  sign_response(r, "k", 1000);
+  EXPECT_EQ(r.headers.get("Expires"), http::format_http_date(5000));
+  EXPECT_EQ(verify_response(r, "k", 4999), verify_result::ok);
+}
+
+// ----- probabilistic verification (paper §6) --------------------------------------------
+
+TEST(Verification, EvictsAfterThresholdDistinctReporters) {
+  verification_registry registry(3);
+  registry.register_node("bad-node");
+  registry.register_node("good-node");
+  EXPECT_FALSE(registry.report_mismatch("bad-node", "client-1"));
+  EXPECT_FALSE(registry.report_mismatch("bad-node", "client-1"));  // duplicate reporter
+  EXPECT_EQ(registry.report_count("bad-node"), 1u);
+  EXPECT_FALSE(registry.report_mismatch("bad-node", "client-2"));
+  EXPECT_TRUE(registry.report_mismatch("bad-node", "client-3"));
+  EXPECT_FALSE(registry.is_member("bad-node"));
+  EXPECT_TRUE(registry.is_member("good-node"));
+  ASSERT_EQ(registry.evicted().size(), 1u);
+  EXPECT_EQ(registry.evicted()[0], "bad-node");
+  // Reports against non-members are ignored.
+  EXPECT_FALSE(registry.report_mismatch("bad-node", "client-4"));
+  EXPECT_THROW(verification_registry(0), std::invalid_argument);
+}
+
+TEST(Verification, SamplerHonorsProbability) {
+  verification_registry registry(3);
+  util::rng rng(9);
+  probabilistic_verifier always(registry, 1.0, rng);
+  probabilistic_verifier never(registry, 0.0, rng);
+  int yes = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (always.should_verify()) ++yes;
+    EXPECT_FALSE(never.should_verify());
+  }
+  EXPECT_EQ(yes, 100);
+  EXPECT_THROW(probabilistic_verifier(registry, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Verification, MismatchReportsAccusedNode) {
+  verification_registry registry(1);  // single report evicts
+  registry.register_node("proxy-x");
+  util::rng rng(4);
+  probabilistic_verifier verifier(registry, 0.5, rng);
+  EXPECT_TRUE(verifier.check("proxy-x", "client", "same", "same"));
+  EXPECT_TRUE(registry.is_member("proxy-x"));
+  EXPECT_FALSE(verifier.check("proxy-x", "client", "original", "falsified"));
+  EXPECT_FALSE(registry.is_member("proxy-x"));
+  EXPECT_EQ(verifier.checks_performed(), 2u);
+  EXPECT_EQ(verifier.mismatches_found(), 1u);
+}
+
+}  // namespace
+}  // namespace nakika::integrity

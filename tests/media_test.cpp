@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "media/image.hpp"
+#include "media/xml.hpp"
+#include "media/xsl.hpp"
+
+namespace nakika::media {
+namespace {
+
+// ----- image -------------------------------------------------------------------
+
+TEST(Image, EncodeDecodeRoundTrip) {
+  const image img = make_test_image(16, 9, 42);
+  const auto encoded = encode(img, image_format::jpeg);
+  const decode_result d = decode(encoded.span());
+  ASSERT_TRUE(d.ok) << d.error;
+  EXPECT_EQ(d.format, image_format::jpeg);
+  EXPECT_EQ(d.img.width, 16u);
+  EXPECT_EQ(d.img.height, 9u);
+  EXPECT_EQ(d.img.pixels, img.pixels);
+}
+
+TEST(Image, HeaderOnlyReads) {
+  const auto encoded = encode(make_test_image(33, 21, 1), image_format::png);
+  const auto dims = read_dimensions(encoded.span());
+  ASSERT_TRUE(dims.has_value());
+  EXPECT_EQ(dims->width, 33u);
+  EXPECT_EQ(dims->height, 21u);
+  EXPECT_EQ(read_format(encoded.span()), image_format::png);
+}
+
+TEST(Image, DecodeRejectsGarbage) {
+  const util::byte_buffer junk("not an image at all, definitely");
+  EXPECT_FALSE(decode(junk.span()).ok);
+  EXPECT_FALSE(read_dimensions(junk.span()).has_value());
+  // Truncated pixel data.
+  auto encoded = encode(make_test_image(10, 10, 1), image_format::raw);
+  const auto truncated = encoded.slice(0, encoded.size() - 10);
+  EXPECT_FALSE(decode(truncated.span()).ok);
+}
+
+TEST(Image, MimeMapping) {
+  EXPECT_EQ(format_from_mime("image/jpeg"), image_format::jpeg);
+  EXPECT_EQ(format_from_mime(" IMAGE/GIF "), image_format::gif);
+  EXPECT_FALSE(format_from_mime("text/html").has_value());
+  EXPECT_FALSE(format_from_mime("image/webp").has_value());
+  EXPECT_EQ(mime_from_format(image_format::png), "image/png");
+  EXPECT_EQ(format_from_name("jpg"), image_format::jpeg);
+}
+
+TEST(Image, ScalePreservesGradientStructure) {
+  // The test image has a horizontal red gradient; scaling keeps it monotone.
+  const image src = make_test_image(64, 64, 3);
+  const image dst = scale_bilinear(src, 16, 16);
+  EXPECT_EQ(dst.width, 16u);
+  EXPECT_TRUE(dst.valid());
+  const auto red_at = [&](std::uint32_t x) { return dst.pixels[(8 * 16 + x) * 3]; };
+  EXPECT_LT(red_at(0), red_at(8));
+  EXPECT_LT(red_at(8), red_at(15));
+}
+
+TEST(Image, ScaleEdgeCases) {
+  const image src = make_test_image(10, 10, 1);
+  const image one = scale_bilinear(src, 1, 1);
+  EXPECT_EQ(one.pixels.size(), 3u);
+  const image up = scale_bilinear(src, 20, 5);
+  EXPECT_EQ(up.width, 20u);
+  EXPECT_EQ(up.height, 5u);
+  EXPECT_THROW((void)scale_bilinear(src, 0, 5), std::invalid_argument);
+  image invalid;
+  EXPECT_THROW((void)scale_bilinear(invalid, 5, 5), std::invalid_argument);
+}
+
+TEST(Image, TranscodeFitsNokiaScreen) {
+  // The paper's Fig. 2 example: fit within 176x208.
+  const auto big = encode(make_test_image(1024, 768, 9), image_format::png);
+  const auto result = transcode_to_fit(big.span(), image_format::jpeg, 176, 208);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_LE(result.dims.width, 176u);
+  EXPECT_LE(result.dims.height, 208u);
+  // Aspect ratio preserved: 1024/768 = 4:3 -> 176x132.
+  EXPECT_EQ(result.dims.width, 176u);
+  EXPECT_EQ(result.dims.height, 132u);
+  EXPECT_EQ(read_format(result.data.span()), image_format::jpeg);
+}
+
+TEST(Image, TranscodeNeverUpscales) {
+  const auto small = encode(make_test_image(100, 50, 2), image_format::gif);
+  const auto result = transcode_to_fit(small.span(), image_format::jpeg, 176, 208);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.dims.width, 100u);
+  EXPECT_EQ(result.dims.height, 50u);
+}
+
+TEST(Image, TranscodeRejectsBadInput) {
+  const util::byte_buffer junk("zzz");
+  EXPECT_FALSE(transcode_to_fit(junk.span(), image_format::jpeg, 10, 10).ok);
+  const auto good = encode(make_test_image(4, 4, 1), image_format::raw);
+  EXPECT_FALSE(transcode_to_fit(good.span(), image_format::jpeg, 0, 10).ok);
+}
+
+// Parameterized sweep: every source/target size combination stays in bounds.
+struct fit_case {
+  std::uint32_t sw, sh, mw, mh;
+};
+class TranscodeFit : public ::testing::TestWithParam<fit_case> {};
+TEST_P(TranscodeFit, FitsWithinBox) {
+  const auto p = GetParam();
+  const auto data = encode(make_test_image(p.sw, p.sh, 7), image_format::jpeg);
+  const auto result = transcode_to_fit(data.span(), image_format::jpeg, p.mw, p.mh);
+  ASSERT_TRUE(result.ok);
+  EXPECT_LE(result.dims.width, p.mw);
+  EXPECT_LE(result.dims.height, p.mh);
+  EXPECT_GE(result.dims.width, 1u);
+  EXPECT_GE(result.dims.height, 1u);
+}
+INSTANTIATE_TEST_SUITE_P(Sizes, TranscodeFit,
+                         ::testing::Values(fit_case{640, 480, 176, 208},
+                                           fit_case{480, 640, 176, 208},
+                                           fit_case{2000, 100, 176, 208},
+                                           fit_case{100, 2000, 176, 208},
+                                           fit_case{176, 208, 176, 208},
+                                           fit_case{177, 208, 176, 208},
+                                           fit_case{1, 1, 176, 208}));
+
+// ----- xml ----------------------------------------------------------------------
+
+TEST(Xml, ParsesElementsAttributesText) {
+  const auto root = parse_xml("<a x=\"1\" y='2'><b>hi</b><c/>tail</a>");
+  EXPECT_EQ(root->name, "a");
+  EXPECT_EQ(*root->attr("x"), "1");
+  EXPECT_EQ(*root->attr("y"), "2");
+  EXPECT_EQ(root->attr("z"), nullptr);
+  ASSERT_EQ(root->children.size(), 3u);
+  EXPECT_EQ(root->child("b")->inner_text(), "hi");
+  EXPECT_EQ(root->child("c")->children.size(), 0u);
+  EXPECT_EQ(root->inner_text(), "hitail");
+}
+
+TEST(Xml, HandlesPrologCommentsCdata) {
+  const auto root = parse_xml(
+      "<?xml version=\"1.0\"?><!-- c --><root><!-- inner --><![CDATA[<raw>]]></root>");
+  EXPECT_EQ(root->name, "root");
+  EXPECT_EQ(root->inner_text(), "<raw>");
+}
+
+TEST(Xml, DecodesEntities) {
+  const auto root = parse_xml("<a>&lt;x&gt; &amp; &quot;q&quot; &apos;s&apos; &#65;</a>");
+  EXPECT_EQ(root->inner_text(), "<x> & \"q\" 's' A");
+}
+
+TEST(Xml, SerializeRoundTrip) {
+  const char* doc = "<a x=\"1\"><b>t &amp; u</b><c/></a>";
+  const auto root = parse_xml(doc);
+  const std::string out = serialize_xml(*root);
+  const auto reparsed = parse_xml(out);
+  EXPECT_EQ(serialize_xml(*reparsed), out);
+  EXPECT_EQ(reparsed->child("b")->inner_text(), "t & u");
+}
+
+TEST(Xml, RejectsMalformed) {
+  EXPECT_THROW(parse_xml("<a><b></a>"), std::invalid_argument);
+  EXPECT_THROW(parse_xml("<a"), std::invalid_argument);
+  EXPECT_THROW(parse_xml("<a attr></a>"), std::invalid_argument);
+  EXPECT_THROW(parse_xml("<a>&bogus;</a>"), std::invalid_argument);
+  EXPECT_THROW(parse_xml("<a></a><b></b>"), std::invalid_argument);
+  EXPECT_THROW(parse_xml("<a x=\"unterminated></a>"), std::invalid_argument);
+}
+
+TEST(Xml, ChildQueries) {
+  const auto root = parse_xml("<r><s>1</s><s>2</s><t>3</t></r>");
+  EXPECT_EQ(root->children_named("s").size(), 2u);
+  EXPECT_EQ(root->child("t")->inner_text(), "3");
+  EXPECT_EQ(root->child("missing"), nullptr);
+}
+
+// ----- xsl ----------------------------------------------------------------------
+
+TEST(Xsl, ValueOfAndForEach) {
+  const char* sheet = R"(<xsl:stylesheet version="1.0">
+    <xsl:template match="doc">
+      <ul><xsl:for-each select="item"><li><xsl:value-of select="."/></li></xsl:for-each></ul>
+    </xsl:template>
+  </xsl:stylesheet>)";
+  const char* doc = "<doc><item>a</item><item>b</item></doc>";
+  // Whitespace-only text between elements is dropped by the parser.
+  EXPECT_EQ(xsl_transform(sheet, doc), "<ul><li>a</li><li>b</li></ul>");
+}
+
+TEST(Xsl, AttributeSelectAndPaths) {
+  const char* sheet = R"(<xsl:stylesheet version="1.0">
+    <xsl:template match="doc"><xsl:value-of select="meta/@id"/>:<xsl:value-of select="meta/title"/></xsl:template>
+  </xsl:stylesheet>)";
+  const char* doc = "<doc><meta id=\"7\"><title>T</title></meta></doc>";
+  EXPECT_EQ(xsl_transform(sheet, doc), "7:T");
+}
+
+TEST(Xsl, ApplyTemplatesRecursion) {
+  const char* sheet = R"(<xsl:stylesheet version="1.0">
+    <xsl:template match="doc"><div><xsl:apply-templates select="sec"/></div></xsl:template>
+    <xsl:template match="sec"><p><xsl:value-of select="."/></p></xsl:template>
+  </xsl:stylesheet>)";
+  const char* doc = "<doc><sec>one</sec><sec>two</sec></doc>";
+  EXPECT_EQ(xsl_transform(sheet, doc), "<div><p>one</p><p>two</p></div>");
+}
+
+TEST(Xsl, LiteralElementsCopyAttributes) {
+  const char* sheet = R"(<xsl:stylesheet version="1.0">
+    <xsl:template match="d"><a href="x">link</a><br/></xsl:template>
+  </xsl:stylesheet>)";
+  EXPECT_EQ(xsl_transform(sheet, "<d/>"), "<a href=\"x\">link</a><br/>");
+}
+
+TEST(Xsl, EscapesOutputText) {
+  const char* sheet = R"(<xsl:stylesheet version="1.0">
+    <xsl:template match="d"><xsl:value-of select="."/></xsl:template>
+  </xsl:stylesheet>)";
+  EXPECT_EQ(xsl_transform(sheet, "<d>a &lt; b</d>"), "a &lt; b");
+}
+
+TEST(Xsl, RejectsInvalidStylesheets) {
+  EXPECT_THROW(xsl_stylesheet::parse("<notasheet/>"), std::invalid_argument);
+  EXPECT_THROW(xsl_stylesheet::parse("<xsl:stylesheet version=\"1.0\"/>"),
+               std::invalid_argument);
+  EXPECT_THROW(xsl_stylesheet::parse(
+                   "<xsl:stylesheet version=\"1.0\"><xsl:template>x</xsl:template>"
+                   "</xsl:stylesheet>"),
+               std::invalid_argument);
+  const char* unsupported = R"(<xsl:stylesheet version="1.0">
+    <xsl:template match="d"><xsl:choose/></xsl:template>
+  </xsl:stylesheet>)";
+  EXPECT_THROW(xsl_transform(unsupported, "<d/>"), std::invalid_argument);
+}
+
+TEST(Xsl, BuiltInRuleRecursesUnmatched) {
+  const char* sheet = R"(<xsl:stylesheet version="1.0">
+    <xsl:template match="leaf">[L]</xsl:template>
+  </xsl:stylesheet>)";
+  // <root> has no rule: built-in recursion descends to <leaf>.
+  EXPECT_EQ(xsl_transform(sheet, "<root><mid><leaf>x</leaf></mid>t</root>"), "[L]t");
+}
+
+}  // namespace
+}  // namespace nakika::media

@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include "overlay/clusters.hpp"
+#include "overlay/dht.hpp"
+#include "overlay/node_id.hpp"
+#include "overlay/redirector.hpp"
+#include "overlay/routing_table.hpp"
+#include "sim/topology.hpp"
+
+namespace nakika::overlay {
+namespace {
+
+// ----- node_id ------------------------------------------------------------------
+
+TEST(NodeId, HashIsDeterministicAndDistinct) {
+  EXPECT_EQ(node_id::hash_of("a"), node_id::hash_of("a"));
+  EXPECT_NE(node_id::hash_of("a"), node_id::hash_of("b"));
+  EXPECT_EQ(node_id::hash_of("a").hex().size(), 40u);
+}
+
+TEST(NodeId, XorMetricProperties) {
+  const node_id a = node_id::hash_of("a");
+  const node_id b = node_id::hash_of("b");
+  EXPECT_EQ(a.distance_to(a), node_id{});
+  EXPECT_EQ(a.distance_to(b), b.distance_to(a));  // symmetry
+  EXPECT_EQ(a.bucket_index(a), -1);
+  const int bucket = a.bucket_index(b);
+  EXPECT_GE(bucket, 0);
+  EXPECT_LT(bucket, 160);
+}
+
+TEST(NodeId, BucketIndexMatchesHighBit) {
+  std::array<std::uint8_t, node_id::bytes> raw{};
+  const node_id zero(raw);
+  raw[0] = 0x80;
+  EXPECT_EQ(zero.bucket_index(node_id(raw)), 159);
+  raw[0] = 0;
+  raw[19] = 0x01;
+  EXPECT_EQ(zero.bucket_index(node_id(raw)), 0);
+}
+
+// ----- routing table -------------------------------------------------------------
+
+TEST(RoutingTable, ObserveAndClosest) {
+  const node_id owner = node_id::hash_of("owner");
+  routing_table table(owner, 4);
+  for (int i = 0; i < 64; ++i) {
+    table.observe({node_id::hash_of("n" + std::to_string(i)),
+                   static_cast<std::uint32_t>(i)});
+  }
+  EXPECT_GT(table.size(), 0u);
+  const node_id target = node_id::hash_of("target");
+  const auto closest = table.closest(target, 5);
+  ASSERT_LE(closest.size(), 5u);
+  // Results are sorted by XOR distance.
+  for (std::size_t i = 1; i < closest.size(); ++i) {
+    EXPECT_LE(closest[i - 1].id.distance_to(target), closest[i].id.distance_to(target));
+  }
+}
+
+TEST(RoutingTable, NeverStoresSelfAndHonorsCapacity) {
+  const node_id owner = node_id::hash_of("owner");
+  routing_table table(owner, 2);
+  EXPECT_FALSE(table.observe({owner, 0}));
+  // Same bucket can hold at most k entries; extras are dropped.
+  std::size_t inserted = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (table.observe({node_id::hash_of("x" + std::to_string(i)), 1})) ++inserted;
+  }
+  EXPECT_LT(inserted, 500u);
+}
+
+TEST(RoutingTable, RemoveDeadContacts) {
+  routing_table table(node_id::hash_of("owner"), 4);
+  const contact c{node_id::hash_of("peer"), 9};
+  table.observe(c);
+  EXPECT_TRUE(table.remove(c.id));
+  EXPECT_FALSE(table.remove(c.id));
+}
+
+// ----- sloppy dht ------------------------------------------------------------------
+
+struct dht_fixture : ::testing::Test {
+  sim::event_loop loop;
+  sim::network net{loop};
+  std::vector<sim::node_id> hosts;
+
+  void build_mesh(int n) {
+    std::vector<sim::link_id> nics;
+    for (int i = 0; i < n; ++i) {
+      hosts.push_back(net.add_node("h" + std::to_string(i)));
+      nics.push_back(net.add_link(12.5e6));
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        net.set_route(hosts[i], hosts[j], 0.005, {nics[i], nics[j]});
+      }
+    }
+  }
+};
+
+TEST_F(dht_fixture, PutThenGetFindsValue) {
+  build_mesh(12);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();  // settle joins
+
+  bool put_done = false;
+  dht.put(members[0], "http://a/x", "holder-0", 1000, [&](int) { put_done = true; });
+  loop.run();
+  EXPECT_TRUE(put_done);
+
+  std::vector<std::string> found;
+  int hops = -1;
+  dht.get(members[7], "http://a/x", [&](std::vector<std::string> v, int h) {
+    found = std::move(v);
+    hops = h;
+  });
+  loop.run();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], "holder-0");
+  EXPECT_GE(hops, 0);
+}
+
+TEST_F(dht_fixture, MissingKeyReturnsEmpty) {
+  build_mesh(8);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  bool called = false;
+  dht.get(members[2], "http://nothing", [&](std::vector<std::string> v, int) {
+    called = true;
+    EXPECT_TRUE(v.empty());
+  });
+  loop.run();
+  EXPECT_TRUE(called);
+}
+
+TEST_F(dht_fixture, ValuesExpire) {
+  build_mesh(6);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  dht.put(members[0], "k", "v", 10, [](int) {});
+  loop.run();
+  loop.run_until(20.0);  // virtual time past the expiry
+
+  bool called = false;
+  dht.get(members[1], "k", [&](std::vector<std::string> v, int) {
+    called = true;
+    EXPECT_TRUE(v.empty());
+  });
+  loop.run();
+  EXPECT_TRUE(called);
+}
+
+TEST_F(dht_fixture, MultipleValuesPerKey) {
+  build_mesh(10);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  for (int i = 0; i < 3; ++i) {
+    dht.put(members[static_cast<std::size_t>(i)], "shared", "holder-" + std::to_string(i),
+            1000, [](int) {});
+  }
+  loop.run();
+
+  std::vector<std::string> found;
+  dht.get(members[9], "shared", [&](std::vector<std::string> v, int) { found = std::move(v); });
+  loop.run();
+  EXPECT_GE(found.size(), 1u);  // sloppiness may spread values across nodes
+}
+
+TEST_F(dht_fixture, LocalStoreAnswersWithZeroHops) {
+  build_mesh(6);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  // Force a value into member 3's local store, then get from member 3.
+  dht.put(members[3], "k3", "v3", 1000, [](int) {});
+  loop.run();
+  // Find who actually stores it; if member 3 does, the get is local.
+  const auto local = dht.stored_at(members[3], "k3", 0);
+  std::vector<std::string> found;
+  int hops = -1;
+  dht.get(members[3], "k3", [&](std::vector<std::string> v, int h) {
+    found = std::move(v);
+    hops = h;
+  });
+  loop.run();
+  ASSERT_FALSE(found.empty());
+  if (!local.empty()) {
+    EXPECT_EQ(hops, 0);
+  }
+}
+
+TEST_F(dht_fixture, DeadNodeDoesNotWedgeLookups) {
+  build_mesh(8);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+  dht.put(members[0], "k", "v", 1000, [](int) {});
+  loop.run();
+
+  dht.leave(members[2]);
+  dht.leave(members[5]);
+  bool called = false;
+  dht.get(members[7], "k", [&](std::vector<std::string>, int) { called = true; });
+  loop.run();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(dht.member_count(), 6u);
+}
+
+// ----- clusters ---------------------------------------------------------------------
+
+TEST(Clusters, GeoNodesFormRegionalClusters) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::geo_deployment g = sim::build_geo(net, 3);
+
+  coral_overlay coral(net);
+  std::vector<coral_overlay::member_id> members;
+  for (const auto& site : g.sites) {
+    members.push_back(coral.join(site.proxy, "proxy-" + site.region +
+                                                 std::to_string(members.size())));
+  }
+  loop.run();
+
+  ASSERT_EQ(coral.level_count(), 3u);
+  EXPECT_EQ(coral.cluster_count(0), 1u);  // global: everyone together
+  // Tightest level: one cluster per region (intra-region 10 ms < 15 ms).
+  EXPECT_EQ(coral.cluster_count(2), 3u);
+  // Same-region nodes share a tight cluster.
+  EXPECT_EQ(coral.cluster_of(members[0], 2), coral.cluster_of(members[1], 2));
+  EXPECT_NE(coral.cluster_of(members[0], 2), coral.cluster_of(members[3], 2));
+}
+
+TEST(Clusters, GetPrefersTightCluster) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::geo_deployment g = sim::build_geo(net, 3);
+
+  coral_overlay coral(net);
+  std::vector<coral_overlay::member_id> members;
+  for (std::size_t i = 0; i < g.sites.size(); ++i) {
+    members.push_back(coral.join(g.sites[i].proxy, "p" + std::to_string(i)));
+  }
+  loop.run();
+
+  bool put_done = false;
+  coral.put(members[0], "key", "holder", 10000, [&] { put_done = true; });
+  loop.run();
+  EXPECT_TRUE(put_done);
+
+  // A same-region member finds it at the tightest level.
+  int level = -2;
+  coral.get(members[1], "key", [&](std::vector<std::string> v, int l) {
+    EXPECT_FALSE(v.empty());
+    level = l;
+  });
+  loop.run();
+  EXPECT_EQ(level, 2);
+
+  // A remote-region member still finds it (via a wider level).
+  bool found_remote = false;
+  coral.get(members[6], "key", [&](std::vector<std::string> v, int l) {
+    found_remote = !v.empty();
+    EXPECT_LE(l, 1);
+  });
+  loop.run();
+  EXPECT_TRUE(found_remote);
+}
+
+TEST(Clusters, MissReportsLevelMinusOne) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::geo_deployment g = sim::build_geo(net, 1);
+  coral_overlay coral(net);
+  const auto m = coral.join(g.sites[0].proxy, "only");
+  loop.run();
+  int level = 0;
+  coral.get(m, "absent", [&](std::vector<std::string> v, int l) {
+    EXPECT_TRUE(v.empty());
+    level = l;
+  });
+  loop.run();
+  EXPECT_EQ(level, -1);
+}
+
+// ----- redirector -------------------------------------------------------------------
+
+TEST(Redirector, PicksNearbyProxy) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::geo_deployment g = sim::build_geo(net, 2);
+  dns_redirector redirector(net, 1.05);
+  for (const auto& site : g.sites) redirector.add_proxy(site.proxy);
+
+  util::rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const sim::node_id picked = redirector.pick(g.sites[0].client, rng);
+    // Must be the site-local proxy (2 ms) — everything else is >= 10 ms.
+    EXPECT_EQ(picked, g.sites[0].proxy);
+  }
+}
+
+TEST(Redirector, BalancesAmongEquallyNearProxies) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::node_id client = net.add_node("client");
+  const sim::node_id p1 = net.add_node("p1");
+  const sim::node_id p2 = net.add_node("p2");
+  net.set_route(client, p1, 0.010);
+  net.set_route(client, p2, 0.010);
+  dns_redirector redirector(net);
+  redirector.add_proxy(p1);
+  redirector.add_proxy(p2);
+
+  util::rng rng(2);
+  int hits_p1 = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (redirector.pick(client, rng) == p1) ++hits_p1;
+  }
+  EXPECT_GT(hits_p1, 50);
+  EXPECT_LT(hits_p1, 150);
+}
+
+TEST(Redirector, ErrorsWithoutProxies) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::node_id client = net.add_node("client");
+  dns_redirector redirector(net);
+  util::rng rng(1);
+  EXPECT_THROW((void)redirector.pick(client, rng), std::logic_error);
+  EXPECT_THROW(dns_redirector(net, 0.5), std::invalid_argument);
+}
+
+TEST(Redirector, HostnameRewriting) {
+  EXPECT_EQ(to_nakika_host("www.med.nyu.edu"), "www.med.nyu.edu.nakika.net");
+  EXPECT_EQ(from_nakika_host("www.med.nyu.edu.nakika.net"), "www.med.nyu.edu");
+  EXPECT_EQ(from_nakika_host("plain.org"), "plain.org");
+  EXPECT_TRUE(is_nakika_host("a.nakika.net"));
+  EXPECT_FALSE(is_nakika_host("a.nakika.org"));
+  // Idempotent.
+  EXPECT_EQ(to_nakika_host(to_nakika_host("x.org")), "x.org.nakika.net");
+}
+
+}  // namespace
+}  // namespace nakika::overlay

@@ -1,0 +1,334 @@
+// Tests for EXECUTE-PIPELINE (paper Fig. 4) and the script vocabularies. The
+// host callbacks are immediate (no simulator) so each scenario is a direct
+// check of pipeline semantics: stage order, closest-match selection, dynamic
+// scheduling, short-circuiting, and the backward onResponse pass.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/pipeline.hpp"
+
+namespace nakika::core {
+namespace {
+
+struct pipeline_fixture : ::testing::Test {
+  sandbox sb;
+  pipeline_executor executor;
+  std::map<std::string, std::string> scripts;  // url -> source
+  std::vector<std::string> stage_loads;        // order of stage fetches
+  http::response origin_response =
+      http::make_response(200, "text/plain", util::make_body("origin-body"));
+  int origin_fetches = 0;
+
+  pipeline_fixture()
+      : executor(pipeline_config{}) {}
+
+  stage_loader loader() {
+    return [this](const std::string& url, std::function<void(stage_fetch_result)> cb) {
+      stage_loads.push_back(url);
+      stage_fetch_result out;
+      const auto it = scripts.find(url);
+      if (it != scripts.end()) {
+        out.found = true;
+        out.source = it->second;
+        out.version = 1;
+      }
+      cb(std::move(out));
+    };
+  }
+
+  resource_fetcher fetcher() {
+    return [this](const http::request&, std::function<void(http::response, double)> cb) {
+      ++origin_fetches;
+      cb(origin_response, 0.0);
+    };
+  }
+
+  pipeline_result run(const std::string& url, const std::string& client_ip = "1.2.3.4") {
+    http::request r;
+    r.url = http::url::parse(url);
+    r.client_ip = client_ip;
+    exec_state base;
+    base.site = r.url.site();
+    base.now = 1000;
+    pipeline_result out;
+    bool done = false;
+    executor.execute(std::move(r), sb, r.url.site() + "/nakika.js", loader(), fetcher(),
+                     std::move(base), [&](pipeline_result result) {
+                       out = std::move(result);
+                       done = true;
+                     });
+    EXPECT_TRUE(done) << "pipeline did not complete synchronously";
+    return out;
+  }
+};
+
+TEST_F(pipeline_fixture, NoScriptsPassesThrough) {
+  const pipeline_result result = run("http://plain.org/page");
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.response.body->view(), "origin-body");
+  EXPECT_EQ(origin_fetches, 1);
+  // Walls + site script probed in Fig. 4 order: client wall, site, server wall.
+  ASSERT_EQ(stage_loads.size(), 3u);
+  EXPECT_EQ(stage_loads[0], "http://nakika.net/clientwall.js");
+  EXPECT_EQ(stage_loads[1], "http://plain.org/nakika.js");
+  EXPECT_EQ(stage_loads[2], "http://nakika.net/serverwall.js");
+}
+
+TEST_F(pipeline_fixture, OnResponseTransformsBody) {
+  scripts["http://site.org/nakika.js"] = R"JS(
+    var p = new Policy();
+    p.url = [ "site.org" ];
+    p.onResponse = function() {
+      var body = new ByteArray();
+      var chunk = null;
+      while (chunk = Response.read()) { body.append(chunk); }
+      Response.write("<<" + body.toString() + ">>");
+    };
+    p.register();
+  )JS";
+  const pipeline_result result = run("http://site.org/page");
+  EXPECT_FALSE(result.failed) << result.error;
+  EXPECT_EQ(result.response.body->view(), "<<origin-body>>");
+  EXPECT_EQ(result.response.headers.get("Content-Length"), "15");
+  EXPECT_EQ(result.handlers_run, 1);
+}
+
+TEST_F(pipeline_fixture, OnRequestShortCircuitSkipsOriginAndLaterStages) {
+  scripts["http://nakika.net/clientwall.js"] = R"JS(
+    var wall = new Policy();
+    wall.url = [ "blocked.org" ];
+    wall.onRequest = function() { Request.terminate(401); };
+    wall.register();
+  )JS";
+  scripts["http://blocked.org/nakika.js"] = R"JS(
+    var p = new Policy();
+    p.onResponse = function() { Response.setHeader("X-Should-Not-Run", "1"); };
+    p.register();
+  )JS";
+  const pipeline_result result = run("http://blocked.org/secret");
+  EXPECT_EQ(result.response.status, 401);
+  EXPECT_EQ(origin_fetches, 0);  // dropped before resources were expended
+  EXPECT_FALSE(result.response.headers.has("X-Should-Not-Run"));
+  // The site stage was never even loaded: the wall came first.
+  ASSERT_EQ(stage_loads.size(), 1u);
+}
+
+TEST_F(pipeline_fixture, GeneratingStagesOwnOnResponseStillRuns) {
+  // Fig. 4: the stage that generates a response was already pushed onto the
+  // backward stack, so its own onResponse executes.
+  scripts["http://gen.org/nakika.js"] = R"JS(
+    var p = new Policy();
+    p.url = [ "gen.org" ];
+    p.onRequest = function() { Request.respond(200, "text/plain", "generated"); };
+    p.onResponse = function() { Response.setHeader("X-Post", "ran"); };
+    p.register();
+  )JS";
+  const pipeline_result result = run("http://gen.org/");
+  EXPECT_EQ(result.response.body->view(), "generated");
+  EXPECT_EQ(result.response.headers.get("X-Post"), "ran");
+  EXPECT_EQ(origin_fetches, 0);
+}
+
+TEST_F(pipeline_fixture, NextStagesArePrependedNotAppended) {
+  // Site schedules [extra1, extra2]; they must run before the server wall
+  // and in their listed order.
+  scripts["http://site.org/nakika.js"] = R"JS(
+    var p = new Policy();
+    p.nextStages = [ "http://svc.org/extra1.js", "http://svc.org/extra2.js" ];
+    p.register();
+  )JS";
+  scripts["http://svc.org/extra1.js"] = "var q = new Policy(); q.register();";
+  scripts["http://svc.org/extra2.js"] = "var q = new Policy(); q.register();";
+  run("http://site.org/");
+  ASSERT_EQ(stage_loads.size(), 5u);
+  EXPECT_EQ(stage_loads[1], "http://site.org/nakika.js");
+  EXPECT_EQ(stage_loads[2], "http://svc.org/extra1.js");
+  EXPECT_EQ(stage_loads[3], "http://svc.org/extra2.js");
+  EXPECT_EQ(stage_loads[4], "http://nakika.net/serverwall.js");
+}
+
+TEST_F(pipeline_fixture, OnResponseRunsInReverseStageOrder) {
+  scripts["http://site.org/nakika.js"] = R"JS(
+    var p = new Policy();
+    p.nextStages = [ "http://svc.org/inner.js" ];
+    p.onResponse = function() {
+      var b = new ByteArray(); var c = null;
+      while (c = Response.read()) { b.append(c); }
+      Response.write(b.toString() + "+outer");
+    };
+    p.register();
+  )JS";
+  scripts["http://svc.org/inner.js"] = R"JS(
+    var p = new Policy();
+    p.onResponse = function() {
+      var b = new ByteArray(); var c = null;
+      while (c = Response.read()) { b.append(c); }
+      Response.write(b.toString() + "+inner");
+    };
+    p.register();
+  )JS";
+  const pipeline_result result = run("http://site.org/");
+  // Backward pass pops LIFO: inner first, then the scheduling (outer) stage.
+  EXPECT_EQ(result.response.body->view(), "origin-body+inner+outer");
+}
+
+TEST_F(pipeline_fixture, RequestRewritingInterposition) {
+  // The annotations-extension pattern: rewrite the URL, then the original
+  // service's stage sees the rewritten request.
+  scripts["http://front.org/nakika.js"] = R"JS(
+    var p = new Policy();
+    p.url = [ "front.org" ];
+    p.onRequest = function() {
+      Request.setUrl("http://site.org" + Request.path);
+    };
+    p.nextStages = [ "http://site.org/nakika.js" ];
+    p.register();
+  )JS";
+  scripts["http://site.org/nakika.js"] = R"JS(
+    var p = new Policy();
+    p.url = [ "site.org" ];
+    p.onResponse = function() { Response.setHeader("X-Backend", "site"); };
+    p.register();
+  )JS";
+  const pipeline_result result = run("http://front.org/doc");
+  EXPECT_EQ(result.response.headers.get("X-Backend"), "site");
+  EXPECT_EQ(origin_fetches, 1);
+}
+
+TEST_F(pipeline_fixture, ClosestMatchSelectsPerStage) {
+  scripts["http://site.org/nakika.js"] = R"JS(
+    var generic = new Policy();
+    generic.url = [ "site.org" ];
+    generic.onResponse = function() { Response.setHeader("X-Match", "generic"); };
+    generic.register();
+    var specific = new Policy();
+    specific.url = [ "site.org/api" ];
+    specific.onResponse = function() { Response.setHeader("X-Match", "specific"); };
+    specific.register();
+  )JS";
+  EXPECT_EQ(run("http://site.org/api/v1").response.headers.get("X-Match"), "specific");
+  EXPECT_EQ(run("http://site.org/other").response.headers.get("X-Match"), "generic");
+}
+
+TEST_F(pipeline_fixture, DigitalLibraryPolicyFromPaperFigure5) {
+  scripts["http://nakika.net/clientwall.js"] = R"JS(
+    bmj = "bmj.bmjjournals.com/cgi/reprint";
+    nejm = "content.nejm.org/cgi/reprint";
+    p = new Policy();
+    p.url = [ bmj, nejm ];
+    p.onRequest = function() {
+      if (! System.isLocal(Request.clientIP)) {
+        Request.terminate(401);
+      }
+    }
+    p.register();
+  )JS";
+  // Local clients (10.0.0.0/8 below) pass; others get 401.
+  http::request r;
+  r.url = http::url::parse("http://content.nejm.org/cgi/reprint/paper.pdf");
+  r.client_ip = "128.122.1.1";
+  exec_state base;
+  base.site = "http://content.nejm.org";
+  base.local_specs = {"10.0.0.0/8"};
+  pipeline_result denied;
+  executor.execute(r, sb, "http://content.nejm.org/nakika.js", loader(), fetcher(),
+                   base, [&](pipeline_result out) { denied = std::move(out); });
+  EXPECT_EQ(denied.response.status, 401);
+
+  r.client_ip = "10.9.9.9";
+  pipeline_result allowed;
+  executor.execute(r, sb, "http://content.nejm.org/nakika.js", loader(), fetcher(),
+                   base, [&](pipeline_result out) { allowed = std::move(out); });
+  EXPECT_EQ(allowed.response.status, 200);
+}
+
+TEST_F(pipeline_fixture, ScriptErrorYields500) {
+  scripts["http://bad.org/nakika.js"] = R"JS(
+    var p = new Policy();
+    p.url = [ "bad.org" ];
+    p.onResponse = function() { undefinedFunction(); };
+    p.register();
+  )JS";
+  const pipeline_result result = run("http://bad.org/");
+  EXPECT_TRUE(result.failed);
+  EXPECT_EQ(result.response.status, 500);
+}
+
+TEST_F(pipeline_fixture, SyntaxErrorInStageYields500) {
+  scripts["http://broken.org/nakika.js"] = "var p = ((;";
+  const pipeline_result result = run("http://broken.org/");
+  EXPECT_TRUE(result.failed);
+  EXPECT_EQ(result.response.status, 500);
+}
+
+TEST_F(pipeline_fixture, RunawayNextStagesBounded) {
+  scripts["http://loop.org/nakika.js"] = R"JS(
+    var p = new Policy();
+    p.nextStages = [ "http://loop.org/nakika.js" ];
+    p.register();
+  )JS";
+  const pipeline_result result = run("http://loop.org/");
+  EXPECT_TRUE(result.failed);
+  EXPECT_EQ(result.response.status, 500);
+}
+
+TEST_F(pipeline_fixture, StageCacheAvoidsReload) {
+  scripts["http://site.org/nakika.js"] = R"JS(
+    var p = new Policy();
+    p.url = [ "site.org" ];
+    p.onResponse = function() { Response.setHeader("X-N", "1"); };
+    p.register();
+  )JS";
+  run("http://site.org/a");
+  const auto created = sb.find_stage("http://site.org/nakika.js", 1);
+  ASSERT_NE(created, nullptr);
+  const decision_tree* tree_before = created->tree.get();
+  run("http://site.org/b");
+  const auto cached = sb.find_stage("http://site.org/nakika.js", 1);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached->tree.get(), tree_before);  // same compiled stage reused
+}
+
+TEST_F(pipeline_fixture, StageReloadsOnVersionBump) {
+  scripts["http://site.org/nakika.js"] = "var p = new Policy(); p.register();";
+  run("http://site.org/a");
+  EXPECT_EQ(sb.find_stage("http://site.org/nakika.js", 2), nullptr);
+  sb.load_stage("http://site.org/nakika.js", "var q = new Policy(); q.register();", 2);
+  EXPECT_NE(sb.find_stage("http://site.org/nakika.js", 2), nullptr);
+  EXPECT_EQ(sb.find_stage("http://site.org/nakika.js", 1), nullptr);
+}
+
+TEST_F(pipeline_fixture, LogVocabularyCollectsLines) {
+  scripts["http://site.org/nakika.js"] = R"JS(
+    var p = new Policy();
+    p.url = [ "site.org" ];
+    p.onResponse = function() { Log.write("served " + Request.path); };
+    p.register();
+  )JS";
+  const pipeline_result result = run("http://site.org/page");
+  ASSERT_EQ(result.log_lines.size(), 1u);
+  EXPECT_EQ(result.log_lines[0], "served /page");
+}
+
+TEST_F(pipeline_fixture, AccountingReportsOpsAndBytes) {
+  scripts["http://site.org/nakika.js"] = R"JS(
+    var p = new Policy();
+    p.url = [ "site.org" ];
+    p.onResponse = function() {
+      var b = new ByteArray(); var c = null;
+      while (c = Response.read()) { b.append(c); }
+      Response.write(b);
+    };
+    p.register();
+  )JS";
+  const pipeline_result result = run("http://site.org/");
+  EXPECT_GT(result.ops, 0u);
+  EXPECT_EQ(result.bytes_read, 11u);   // "origin-body"
+  EXPECT_EQ(result.bytes_written, 11u);
+  EXPECT_EQ(result.stages_executed, 1);
+}
+
+}  // namespace
+}  // namespace nakika::core

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "core/decision_tree.hpp"
+#include "core/policy.hpp"
+#include "util/random.hpp"
+
+namespace nakika::core {
+namespace {
+
+http::request make_request(const std::string& url, const std::string& client_ip = "1.2.3.4",
+                           const std::string& client_host = "",
+                           http::method m = http::method::get) {
+  http::request r;
+  r.url = http::url::parse(url);
+  r.client_ip = client_ip;
+  r.client_host = client_host;
+  r.method = m;
+  return r;
+}
+
+policy_ptr make_policy(std::vector<std::string> urls, std::vector<std::string> clients = {},
+                       std::vector<http::method> methods = {},
+                       std::vector<std::pair<std::string, std::string>> headers = {},
+                       std::uint64_t order = 0) {
+  auto p = std::make_shared<policy>();
+  for (const auto& u : urls) p->urls.push_back(http::url::parse_lenient(u));
+  p->clients = std::move(clients);
+  p->methods = std::move(methods);
+  for (auto& [name, pattern_text] : headers) {
+    header_predicate hp;
+    hp.name = name;
+    hp.pattern_source = pattern_text;
+    hp.pattern = std::make_shared<util::pattern>(pattern_text);
+    p->headers.push_back(std::move(hp));
+  }
+  p->registration_order = order;
+  return p;
+}
+
+// ----- individual predicate evaluation -------------------------------------------------
+
+TEST(Predicates, UrlDomainSuffixSemantics) {
+  const http::url pred = http::url::parse_lenient("med.nyu.edu");
+  EXPECT_TRUE(match_url_value(pred, http::url::parse("http://med.nyu.edu/")).has_value());
+  EXPECT_TRUE(match_url_value(pred, http::url::parse("http://www.med.nyu.edu/x")).has_value());
+  EXPECT_FALSE(match_url_value(pred, http::url::parse("http://law.nyu.edu/")).has_value());
+  EXPECT_FALSE(match_url_value(pred, http::url::parse("http://notmed.nyu.edux/")).has_value());
+}
+
+TEST(Predicates, UrlPathPrefixSemantics) {
+  const http::url pred = http::url::parse_lenient("a.org/docs/api");
+  EXPECT_TRUE(match_url_value(pred, http::url::parse("http://a.org/docs/api")).has_value());
+  EXPECT_TRUE(
+      match_url_value(pred, http::url::parse("http://a.org/docs/api/v2")).has_value());
+  EXPECT_FALSE(match_url_value(pred, http::url::parse("http://a.org/docs")).has_value());
+  EXPECT_FALSE(match_url_value(pred, http::url::parse("http://a.org/docsx/api")).has_value());
+}
+
+TEST(Predicates, UrlPortMustAgree) {
+  const http::url pred = http::url::parse_lenient("a.org:8080");
+  EXPECT_TRUE(match_url_value(pred, http::url::parse("http://a.org:8080/")).has_value());
+  EXPECT_FALSE(match_url_value(pred, http::url::parse("http://a.org/")).has_value());
+}
+
+TEST(Predicates, UrlSpecificityCountsComponents) {
+  // host components + 1 (port) + path components
+  EXPECT_EQ(match_url_value(http::url::parse_lenient("nyu.edu"),
+                            http::url::parse("http://www.med.nyu.edu/a")),
+            3);  // 2 host + port
+  EXPECT_EQ(match_url_value(http::url::parse_lenient("med.nyu.edu/a/b"),
+                            http::url::parse("http://med.nyu.edu/a/b/c")),
+            6);  // 3 host + port + 2 path
+}
+
+TEST(Predicates, ClientSpecs) {
+  // CIDR
+  EXPECT_TRUE(match_client_value("192.168.0.0/16", "192.168.9.9", "").has_value());
+  EXPECT_FALSE(match_client_value("192.168.0.0/16", "10.0.0.1", "").has_value());
+  EXPECT_EQ(match_client_value("192.168.0.0/16", "192.168.9.9", ""), 2);
+  // Exact IP
+  EXPECT_EQ(match_client_value("1.2.3.4", "1.2.3.4", ""), 4);
+  EXPECT_FALSE(match_client_value("1.2.3.4", "1.2.3.5", "").has_value());
+  // Domain suffix needs a resolved host name.
+  EXPECT_EQ(match_client_value("nyu.edu", "1.2.3.4", "dialup.nyu.edu"), 2);
+  EXPECT_FALSE(match_client_value("nyu.edu", "1.2.3.4", "").has_value());
+  EXPECT_FALSE(match_client_value("nyu.edu", "1.2.3.4", "pitt.edu").has_value());
+  EXPECT_FALSE(match_client_value("", "1.2.3.4", "x").has_value());
+}
+
+TEST(Predicates, HeadersAreConjunctive) {
+  const auto p = make_policy({}, {}, {},
+                             {{"User-Agent", "Nokia"}, {"Accept", "image"}});
+  http::request r = make_request("http://a.org/");
+  EXPECT_FALSE(evaluate_policy(*p, r).has_value());
+  r.headers.set("User-Agent", "Nokia6600/2.0");
+  EXPECT_FALSE(evaluate_policy(*p, r).has_value());
+  r.headers.set("Accept", "text/html,image/gif");
+  const auto score = evaluate_policy(*p, r);
+  ASSERT_TRUE(score.has_value());
+  EXPECT_EQ((*score)[3], 2);
+}
+
+TEST(Predicates, ValuesWithinPropertyAreDisjunctive) {
+  // Paper Fig. 3: two URLs, two client domains.
+  const auto p = make_policy({"med.nyu.edu", "medschool.pitt.edu"}, {"nyu.edu", "pitt.edu"});
+  EXPECT_TRUE(evaluate_policy(*p, make_request("http://med.nyu.edu/x", "1.1.1.1",
+                                               "cs.pitt.edu"))
+                  .has_value());
+  EXPECT_TRUE(evaluate_policy(*p, make_request("http://medschool.pitt.edu/y", "1.1.1.1",
+                                               "lab.nyu.edu"))
+                  .has_value());
+  EXPECT_FALSE(evaluate_policy(*p, make_request("http://med.nyu.edu/x", "1.1.1.1",
+                                                "harvard.edu"))
+                   .has_value());
+  EXPECT_FALSE(evaluate_policy(*p, make_request("http://elsewhere.org/", "1.1.1.1",
+                                                "lab.nyu.edu"))
+                   .has_value());
+}
+
+TEST(Predicates, NullPropertiesAreTrue) {
+  const auto p = make_policy({});
+  EXPECT_TRUE(evaluate_policy(*p, make_request("http://anything.example/")).has_value());
+}
+
+TEST(Predicates, MethodsMatch) {
+  const auto p = make_policy({}, {}, {http::method::post, http::method::put});
+  EXPECT_FALSE(evaluate_policy(*p, make_request("http://a/")).has_value());
+  EXPECT_TRUE(evaluate_policy(*p, make_request("http://a/", "1.1.1.1", "",
+                                               http::method::post))
+                  .has_value());
+}
+
+// ----- closest-match selection -------------------------------------------------------
+
+TEST(Matching, MoreSpecificUrlWins) {
+  policy_set set;
+  set.policies.push_back(make_policy({"nyu.edu"}, {}, {}, {}, 0));
+  set.policies.push_back(make_policy({"med.nyu.edu/simms"}, {}, {}, {}, 1));
+  const auto result = match_linear(set, make_request("http://med.nyu.edu/simms/intro"));
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.matched->registration_order, 1u);
+}
+
+TEST(Matching, UrlPrecedesClientSpecificity) {
+  // Paper: precedence is URL, then client. A policy with a more specific URL
+  // beats one with a hyper-specific client but shorter URL.
+  policy_set set;
+  set.policies.push_back(make_policy({"nyu.edu"}, {"1.2.3.4"}, {}, {}, 0));
+  set.policies.push_back(make_policy({"med.nyu.edu"}, {}, {}, {}, 1));
+  const auto result = match_linear(set, make_request("http://med.nyu.edu/x", "1.2.3.4"));
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.matched->registration_order, 1u);
+}
+
+TEST(Matching, ClientPrecedesMethod) {
+  policy_set set;
+  set.policies.push_back(make_policy({}, {}, {http::method::get}, {}, 0));
+  set.policies.push_back(make_policy({}, {"10.0.0.0/8"}, {}, {}, 1));
+  const auto result = match_linear(set, make_request("http://a/", "10.1.1.1"));
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.matched->registration_order, 1u);
+}
+
+TEST(Matching, TieBreaksOnRegistrationOrder) {
+  policy_set set;
+  set.policies.push_back(make_policy({"a.org"}, {}, {}, {}, 0));
+  set.policies.push_back(make_policy({"a.org"}, {}, {}, {}, 1));
+  const auto result = match_linear(set, make_request("http://a.org/"));
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.matched->registration_order, 0u);
+}
+
+TEST(Matching, NoMatchReported) {
+  policy_set set;
+  set.policies.push_back(make_policy({"a.org"}));
+  EXPECT_FALSE(match_linear(set, make_request("http://b.org/")).found());
+  EXPECT_FALSE(decision_tree::build(set).match(make_request("http://b.org/")).found());
+}
+
+// ----- decision tree ------------------------------------------------------------------
+
+TEST(DecisionTree, SharesPrefixesAcrossPolicies) {
+  policy_set set;
+  set.policies.push_back(make_policy({"med.nyu.edu/a"}));
+  set.policies.push_back(make_policy({"med.nyu.edu/b"}));
+  set.policies.push_back(make_policy({"law.nyu.edu"}));
+  const decision_tree tree = decision_tree::build(set);
+  // Shared: root + edu + nyu (3) then med/port/a, med-port shared... total
+  // must be well below three independent chains (3 * 5 + root = 16).
+  EXPECT_LT(tree.node_count(), 12u);
+  EXPECT_EQ(tree.policy_count(), 3u);
+}
+
+TEST(DecisionTree, MatchesEquivalentToLinearOnExamples) {
+  policy_set set;
+  set.policies.push_back(make_policy({"med.nyu.edu", "medschool.pitt.edu"},
+                                     {"nyu.edu", "pitt.edu"}, {}, {}, 0));
+  set.policies.push_back(make_policy({"med.nyu.edu/simms"}, {}, {}, {}, 1));
+  set.policies.push_back(
+      make_policy({}, {}, {}, {{"User-Agent", "Nokia|SonyEricsson"}}, 2));
+  set.policies.push_back(make_policy({}, {"192.168.0.0/16"}, {http::method::post}, {}, 3));
+  const decision_tree tree = decision_tree::build(set);
+
+  std::vector<http::request> requests;
+  requests.push_back(make_request("http://med.nyu.edu/simms/1", "1.1.1.1", "cs.nyu.edu"));
+  requests.push_back(make_request("http://www.med.nyu.edu/", "1.1.1.1", "cs.pitt.edu"));
+  requests.push_back(make_request("http://other.org/", "192.168.3.4", "",
+                                  http::method::post));
+  requests.push_back(make_request("http://other.org/", "10.0.0.1"));
+  http::request nokia = make_request("http://any.org/pic.png");
+  nokia.headers.set("User-Agent", "Nokia6600");
+  requests.push_back(nokia);
+
+  for (const auto& r : requests) {
+    const auto linear = match_linear(set, r);
+    const auto via_tree = tree.match(r);
+    EXPECT_EQ(linear.found(), via_tree.found()) << r.url.str();
+    if (linear.found() && via_tree.found()) {
+      EXPECT_EQ(linear.matched->registration_order, via_tree.matched->registration_order)
+          << r.url.str();
+      EXPECT_EQ(linear.score, via_tree.score) << r.url.str();
+    }
+  }
+}
+
+// Property test: the decision tree agrees with the reference linear matcher
+// on randomized policy sets and requests.
+class TreeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeEquivalence, RandomizedAgreement) {
+  util::rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+
+  const std::vector<std::string> hosts = {"a.org", "www.a.org", "b.a.org", "x.net",
+                                          "deep.x.net"};
+  const std::vector<std::string> paths = {"", "/p", "/p/q", "/r"};
+  const std::vector<std::string> clients = {"10.0.0.0/8", "192.168.1.0/24", "1.2.3.4",
+                                            "nyu.edu", "cs.nyu.edu"};
+  const std::vector<http::method> methods = {http::method::get, http::method::post,
+                                             http::method::head};
+
+  policy_set set;
+  const std::size_t policy_count = 1 + rng.next(12);
+  for (std::size_t i = 0; i < policy_count; ++i) {
+    std::vector<std::string> urls;
+    const std::size_t url_count = rng.next(3);  // 0 = null property
+    for (std::size_t u = 0; u < url_count; ++u) {
+      urls.push_back(hosts[rng.next(hosts.size())] + paths[rng.next(paths.size())]);
+    }
+    std::vector<std::string> client_specs;
+    const std::size_t client_count = rng.next(3);
+    for (std::size_t c = 0; c < client_count; ++c) {
+      client_specs.push_back(clients[rng.next(clients.size())]);
+    }
+    std::vector<http::method> method_list;
+    if (rng.chance(0.3)) method_list.push_back(methods[rng.next(methods.size())]);
+    std::vector<std::pair<std::string, std::string>> headers;
+    if (rng.chance(0.3)) headers.emplace_back("User-Agent", "Nokia|Moto");
+    set.policies.push_back(
+        make_policy(urls, client_specs, method_list, headers, i));
+  }
+  const decision_tree tree = decision_tree::build(set);
+
+  for (int t = 0; t < 60; ++t) {
+    http::request r = make_request(
+        "http://" + hosts[rng.next(hosts.size())] + paths[rng.next(paths.size())] + "/leaf",
+        rng.chance(0.5) ? "10.1.2.3" : (rng.chance(0.5) ? "192.168.1.9" : "1.2.3.4"),
+        rng.chance(0.5) ? "dialup.cs.nyu.edu" : "", methods[rng.next(methods.size())]);
+    if (rng.chance(0.3)) r.headers.set("User-Agent", "Nokia123");
+
+    const auto linear = match_linear(set, r);
+    const auto via_tree = tree.match(r);
+    ASSERT_EQ(linear.found(), via_tree.found()) << "seed=" << GetParam() << " t=" << t;
+    if (linear.found()) {
+      EXPECT_EQ(linear.matched->registration_order, via_tree.matched->registration_order)
+          << "seed=" << GetParam() << " t=" << t << " url=" << r.url.str();
+      EXPECT_EQ(linear.score, via_tree.score);
+    }
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeEquivalence, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace nakika::core

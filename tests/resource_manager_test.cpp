@@ -1,0 +1,192 @@
+// Tests for the congestion controller (paper Fig. 6): congestion detection,
+// proportional throttling, termination of the top offender, renewable vs
+// nonrenewable accounting, and EWMA contributions.
+#include <gtest/gtest.h>
+
+#include "core/resource_manager.hpp"
+
+namespace nakika::core {
+namespace {
+
+resource_capacities small_caps() {
+  resource_capacities caps;
+  caps.cpu_seconds_per_second = 1.0;
+  caps.memory_bytes_per_second = 1000;
+  caps.bandwidth_bytes_per_second = 1000;
+  caps.congestion_threshold = 0.9;
+  return caps;
+}
+
+TEST(ResourceKinds, RenewableClassification) {
+  EXPECT_TRUE(is_renewable(resource_kind::cpu));
+  EXPECT_TRUE(is_renewable(resource_kind::memory));
+  EXPECT_TRUE(is_renewable(resource_kind::bandwidth));
+  EXPECT_FALSE(is_renewable(resource_kind::running_time));
+  EXPECT_FALSE(is_renewable(resource_kind::total_bytes));
+  EXPECT_STREQ(to_string(resource_kind::cpu), "cpu");
+}
+
+TEST(ResourceManager, NoCongestionNoThrottle) {
+  resource_manager rm(small_caps());
+  rm.record("siteA", resource_kind::cpu, 0.1);  // 10% over a 1s interval
+  EXPECT_FALSE(rm.control_phase1(resource_kind::cpu, 1.0));
+  EXPECT_FALSE(rm.is_throttled("siteA"));
+  util::rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(rm.admit("siteA", rng));
+}
+
+TEST(ResourceManager, CongestionStartsProportionalThrottling) {
+  resource_manager rm(small_caps());
+  rm.record("hog", resource_kind::cpu, 1.8);
+  rm.record("small", resource_kind::cpu, 0.2);
+  EXPECT_TRUE(rm.control_phase1(resource_kind::cpu, 1.0));  // 200% utilization
+  EXPECT_TRUE(rm.is_throttled("hog"));
+  EXPECT_TRUE(rm.is_throttled("small"));
+
+  // Rejection probability tracks the contribution share: the hog (90%)
+  // must be rejected far more often than the small site (10%).
+  util::rng rng(2);
+  int hog_rejected = 0;
+  int small_rejected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!rm.admit("hog", rng)) ++hog_rejected;
+    if (!rm.admit("small", rng)) ++small_rejected;
+  }
+  EXPECT_GT(hog_rejected, 800);
+  EXPECT_LT(small_rejected, 250);
+  EXPECT_GT(rm.throttle_rejections(), 0u);
+}
+
+TEST(ResourceManager, Phase2TerminatesTopOffenderWhenStillCongested) {
+  resource_manager rm(small_caps());
+  auto hog_flag = std::make_shared<std::atomic<bool>>(false);
+  auto small_flag = std::make_shared<std::atomic<bool>>(false);
+  rm.pipeline_started("hog", hog_flag);
+  rm.pipeline_started("small", small_flag);
+
+  rm.record("hog", resource_kind::cpu, 1.8);
+  rm.record("small", resource_kind::cpu, 0.2);
+  ASSERT_TRUE(rm.control_phase1(resource_kind::cpu, 1.0));
+
+  // Still congested during the wait: the hog keeps burning.
+  rm.record("hog", resource_kind::cpu, 0.9);
+  const control_outcome outcome = rm.control_phase2(resource_kind::cpu, 1.5);
+  EXPECT_TRUE(outcome.congested_after);
+  EXPECT_EQ(outcome.terminated_site, "hog");
+  EXPECT_EQ(outcome.pipelines_killed, 1u);
+  EXPECT_TRUE(hog_flag->load());
+  EXPECT_FALSE(small_flag->load());
+  EXPECT_EQ(rm.terminations(), 1u);
+}
+
+TEST(ResourceManager, Phase2UnthrottlesWhenRelieved) {
+  resource_manager rm(small_caps());
+  rm.record("a", resource_kind::cpu, 2.0);
+  ASSERT_TRUE(rm.control_phase1(resource_kind::cpu, 1.0));
+  EXPECT_TRUE(rm.is_throttled("a"));
+  // No new consumption during the wait: congestion relieved.
+  const control_outcome outcome = rm.control_phase2(resource_kind::cpu, 1.5);
+  EXPECT_FALSE(outcome.congested_after);
+  EXPECT_TRUE(outcome.terminated_site.empty());
+  EXPECT_FALSE(rm.is_throttled("a"));
+}
+
+TEST(ResourceManager, TerminationCanBeDisabled) {
+  resource_manager rm(small_caps());
+  rm.set_termination_enabled(false);
+  auto flag = std::make_shared<std::atomic<bool>>(false);
+  rm.pipeline_started("hog", flag);
+  rm.record("hog", resource_kind::cpu, 5.0);
+  rm.control_phase1(resource_kind::cpu, 1.0);
+  rm.record("hog", resource_kind::cpu, 5.0);
+  const control_outcome outcome = rm.control_phase2(resource_kind::cpu, 1.5);
+  EXPECT_TRUE(outcome.congested_after);
+  EXPECT_TRUE(outcome.terminated_site.empty());
+  EXPECT_FALSE(flag->load());
+}
+
+TEST(ResourceManager, NonrenewableTrackedWithoutCongestion) {
+  resource_manager rm(small_caps());
+  rm.record("a", resource_kind::total_bytes, 1e12);  // absurd volume
+  EXPECT_FALSE(rm.control_phase1(resource_kind::total_bytes, 1.0));
+  // Usage EWMA updated even without congestion: contribution is recorded.
+  EXPECT_GT(rm.contribution("a", resource_kind::total_bytes), 0.9);
+  EXPECT_FALSE(rm.is_throttled("a"));
+}
+
+TEST(ResourceManager, RenewableContributionOnlyUnderOverutilization) {
+  resource_manager rm(small_caps());
+  rm.record("a", resource_kind::cpu, 0.1);  // far below capacity
+  rm.control_phase1(resource_kind::cpu, 1.0);
+  EXPECT_DOUBLE_EQ(rm.contribution("a", resource_kind::cpu), 0.0);
+  // Under congestion the contribution updates.
+  rm.record("a", resource_kind::cpu, 2.0);
+  rm.control_phase1(resource_kind::cpu, 2.0);
+  EXPECT_GT(rm.contribution("a", resource_kind::cpu), 0.9);
+}
+
+TEST(ResourceManager, ContributionIsWeightedAverage) {
+  resource_manager rm(small_caps(), /*ewma_alpha=*/0.5);
+  rm.record("a", resource_kind::cpu, 2.0);  // 100% of congestion
+  rm.control_phase1(resource_kind::cpu, 1.0);
+  EXPECT_DOUBLE_EQ(rm.contribution("a", resource_kind::cpu), 1.0);
+  // Next interval, a is quiet but b hogs: a's contribution halves (EWMA),
+  // allowing recovery from past penalization.
+  rm.record("b", resource_kind::cpu, 2.0);
+  rm.control_phase1(resource_kind::cpu, 2.0);
+  EXPECT_DOUBLE_EQ(rm.contribution("a", resource_kind::cpu), 0.5);
+  EXPECT_DOUBLE_EQ(rm.contribution("b", resource_kind::cpu), 1.0);
+}
+
+TEST(ResourceManager, PipelineRegistrationLifecycle) {
+  resource_manager rm(small_caps());
+  auto f1 = std::make_shared<std::atomic<bool>>(false);
+  auto f2 = std::make_shared<std::atomic<bool>>(false);
+  rm.pipeline_started("s", f1);
+  rm.pipeline_started("s", f2);
+  EXPECT_EQ(rm.active_pipelines("s"), 2u);
+  rm.pipeline_finished("s", f1);
+  EXPECT_EQ(rm.active_pipelines("s"), 1u);
+  rm.pipeline_finished("s", f2);
+  EXPECT_EQ(rm.active_pipelines("s"), 0u);
+  EXPECT_EQ(rm.active_pipelines("unknown"), 0u);
+}
+
+TEST(ResourceManager, ViewForScripts) {
+  resource_manager rm(small_caps());
+  rm.record("a", resource_kind::cpu, 2.0);
+  rm.control_phase1(resource_kind::cpu, 1.0);
+  const resource_view v = rm.view_for("a");
+  EXPECT_GT(v.cpu_congestion, 1.0);
+  EXPECT_TRUE(v.throttled);
+  EXPECT_GT(v.site_contribution, 0.9);
+  const resource_view other = rm.view_for("unknown-site");
+  EXPECT_FALSE(other.throttled);
+  EXPECT_DOUBLE_EQ(other.site_contribution, 0.0);
+}
+
+TEST(ResourceManager, NegativeAmountsIgnored) {
+  resource_manager rm(small_caps());
+  rm.record("a", resource_kind::cpu, -5.0);
+  EXPECT_FALSE(rm.control_phase1(resource_kind::cpu, 1.0));
+}
+
+TEST(ResourceManager, TerminatedSiteStaysThrottled) {
+  resource_manager rm(small_caps());
+  auto flag = std::make_shared<std::atomic<bool>>(false);
+  rm.pipeline_started("hog", flag);
+  rm.record("hog", resource_kind::cpu, 3.0);
+  rm.control_phase1(resource_kind::cpu, 1.0);
+  rm.record("hog", resource_kind::cpu, 3.0);
+  rm.control_phase2(resource_kind::cpu, 1.5);
+  // Admission for the terminated site is fully blocked until it recovers.
+  util::rng rng(3);
+  int admitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (rm.admit("hog", rng)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 0);
+}
+
+}  // namespace
+}  // namespace nakika::core

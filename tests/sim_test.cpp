@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "sim/topology.hpp"
+
+namespace nakika::sim {
+namespace {
+
+TEST(EventLoop, OrdersByTimeThenSequence) {
+  event_loop loop;
+  std::string order;
+  loop.schedule(2.0, [&] { order += "c"; });
+  loop.schedule(1.0, [&] { order += "a"; });
+  loop.schedule(1.0, [&] { order += "b"; });  // same time: FIFO by sequence
+  loop.run();
+  EXPECT_EQ(order, "abc");
+  EXPECT_DOUBLE_EQ(loop.now(), 2.0);
+}
+
+TEST(EventLoop, NestedScheduling) {
+  event_loop loop;
+  double fired_at = -1;
+  loop.schedule(1.0, [&] {
+    loop.schedule(0.5, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(EventLoop, RunUntilAdvancesClock) {
+  event_loop loop;
+  int fired = 0;
+  loop.schedule(1.0, [&] { ++fired; });
+  loop.schedule(5.0, [&] { ++fired; });
+  loop.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(loop.now(), 2.0);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, RejectsPastScheduling) {
+  event_loop loop;
+  loop.schedule(1.0, [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(0.5, [] {}), std::invalid_argument);
+  EXPECT_THROW(loop.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Network, TransferTimeIsLatencyPlusSerialization) {
+  event_loop loop;
+  network net(loop);
+  const node_id a = net.add_node("a");
+  const node_id b = net.add_node("b");
+  const link_id l = net.add_link(1e6);  // 1 MB/s
+  net.set_route(a, b, 0.010, {l});
+
+  double delivered = -1;
+  net.transfer(a, b, 100000, [&] { delivered = loop.now(); });
+  loop.run();
+  EXPECT_NEAR(delivered, 0.010 + 0.1, 1e-9);  // 100 KB at 1 MB/s + 10 ms
+}
+
+TEST(Network, SharedLinkSerializesTransfers) {
+  event_loop loop;
+  network net(loop);
+  const node_id a = net.add_node("a");
+  const node_id b = net.add_node("b");
+  const link_id l = net.add_link(1e6);
+  net.set_route(a, b, 0.0, {l});
+
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    net.transfer(a, b, 1000000, [&] { done.push_back(loop.now()); });
+  }
+  loop.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);  // queued behind the first
+  EXPECT_NEAR(done[2], 3.0, 1e-9);
+  EXPECT_EQ(net.link_bytes(l), 3000000u);
+}
+
+TEST(Network, SelfTransferIsImmediate) {
+  event_loop loop;
+  network net(loop);
+  const node_id a = net.add_node("a");
+  bool done = false;
+  net.transfer(a, a, 100, [&] { done = true; });
+  loop.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(loop.now(), 0.0);
+}
+
+TEST(Network, MissingRouteThrows) {
+  event_loop loop;
+  network net(loop);
+  const node_id a = net.add_node("a");
+  const node_id b = net.add_node("b");
+  EXPECT_THROW(net.transfer(a, b, 1, [] {}), std::logic_error);
+  EXPECT_THROW((void)net.route_latency(a, b), std::logic_error);
+  EXPECT_FALSE(net.has_route(a, b));
+  EXPECT_TRUE(net.has_route(a, a));
+}
+
+TEST(Network, CpuQueueIsFifoPerCore) {
+  event_loop loop;
+  network net(loop);
+  const node_id a = net.add_node("a", 1);
+  std::vector<double> done;
+  net.run_cpu(a, 0.5, [&] { done.push_back(loop.now()); });
+  net.run_cpu(a, 0.5, [&] { done.push_back(loop.now()); });
+  loop.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 0.5, 1e-9);
+  EXPECT_NEAR(done[1], 1.0, 1e-9);  // serialized on the single core
+}
+
+TEST(Network, MultiCoreRunsInParallel) {
+  event_loop loop;
+  network net(loop);
+  const node_id a = net.add_node("a", 2);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) net.run_cpu(a, 1.0, [&] { done.push_back(loop.now()); });
+  loop.run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_NEAR(done[1], 1.0, 1e-9);  // two finish at t=1
+  EXPECT_NEAR(done[3], 2.0, 1e-9);  // two more at t=2
+}
+
+TEST(Network, ValidatesArguments) {
+  event_loop loop;
+  network net(loop);
+  const node_id a = net.add_node("a");
+  EXPECT_THROW(net.add_node("bad", 0), std::invalid_argument);
+  EXPECT_THROW(net.add_link(0.0), std::invalid_argument);
+  EXPECT_THROW(net.run_cpu(a, -1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(net.run_cpu(99, 1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(net.set_route(0, 99, 0.1), std::invalid_argument);
+}
+
+TEST(Topology, LanHasSymmetricLowLatency) {
+  event_loop loop;
+  network net(loop);
+  const three_tier t = build_lan(net);
+  EXPECT_NEAR(net.route_latency(t.client, t.proxy), 0.0002, 1e-9);
+  EXPECT_NEAR(net.route_latency(t.proxy, t.origin), 0.0002, 1e-9);
+}
+
+TEST(Topology, ConstrainedWanBottleneckIsShared) {
+  event_loop loop;
+  network net(loop);
+  const three_tier t = build_constrained_wan(net);
+  EXPECT_NEAR(net.route_latency(t.proxy, t.origin), 0.080, 1e-9);
+  // Two 1 MB transfers through the 8 Mbps bottleneck must serialize.
+  std::vector<double> done;
+  net.transfer(t.origin, t.proxy, 1000000, [&] { done.push_back(loop.now()); });
+  net.transfer(t.origin, t.client, 1000000, [&] { done.push_back(loop.now()); });
+  loop.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_GT(done[1], 1.9);  // ~1 s each through the shared 1 MB/s link
+}
+
+TEST(Topology, GeoBuildsAllRoutes) {
+  event_loop loop;
+  network net(loop);
+  const geo_deployment g = build_geo(net, 2);
+  ASSERT_EQ(g.sites.size(), 6u);
+  for (const auto& site : g.sites) {
+    EXPECT_TRUE(net.has_route(site.client, site.proxy));
+    EXPECT_TRUE(net.has_route(site.client, g.origin));
+    EXPECT_TRUE(net.has_route(site.proxy, g.origin));
+  }
+  // Proxy mesh is complete.
+  for (std::size_t i = 0; i < g.sites.size(); ++i) {
+    for (std::size_t j = 0; j < g.sites.size(); ++j) {
+      EXPECT_TRUE(net.has_route(g.sites[i].proxy, g.sites[j].proxy));
+    }
+  }
+  // Asia is farther from the New York origin than the East Coast.
+  double asia = 0;
+  double east = 0;
+  for (const auto& site : g.sites) {
+    if (site.region == "asia") asia = net.route_latency(site.client, g.origin);
+    if (site.region == "us-east") east = net.route_latency(site.client, g.origin);
+  }
+  EXPECT_GT(asia, east);
+}
+
+TEST(Topology, GeoRejectsBadArguments) {
+  event_loop loop;
+  network net(loop);
+  EXPECT_THROW(build_geo(net, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nakika::sim

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "state/local_store.hpp"
+#include "state/messaging.hpp"
+#include "state/replication.hpp"
+
+namespace nakika::state {
+namespace {
+
+// ----- local store ------------------------------------------------------------
+
+TEST(LocalStore, PutGetRemove) {
+  local_store store;
+  EXPECT_TRUE(store.put("siteA", "k", "v"));
+  EXPECT_EQ(store.get("siteA", "k"), "v");
+  EXPECT_FALSE(store.get("siteB", "k").has_value());  // partitioned
+  EXPECT_TRUE(store.remove("siteA", "k"));
+  EXPECT_FALSE(store.remove("siteA", "k"));
+}
+
+TEST(LocalStore, QuotaEnforcedPerSite) {
+  local_store store(100);
+  EXPECT_TRUE(store.put("a", "k1", std::string(40, 'x')));   // 42 bytes
+  EXPECT_TRUE(store.put("a", "k2", std::string(40, 'x')));   // 84 bytes
+  EXPECT_FALSE(store.put("a", "k3", std::string(40, 'x')));  // would exceed
+  // Another site has its own quota.
+  EXPECT_TRUE(store.put("b", "k1", std::string(40, 'x')));
+  EXPECT_EQ(store.site_keys("a"), 2u);
+}
+
+TEST(LocalStore, OverwriteReleasesOldBytes) {
+  local_store store(100);
+  EXPECT_TRUE(store.put("a", "k", std::string(80, 'x')));
+  EXPECT_TRUE(store.put("a", "k", std::string(50, 'y')));  // frees 81, uses 51
+  EXPECT_EQ(store.site_bytes("a"), 51u);
+  EXPECT_TRUE(store.put("a", "k2", std::string(40, 'z')));
+}
+
+TEST(LocalStore, ScanByPrefix) {
+  local_store store;
+  store.put("a", "user:1", "x");
+  store.put("a", "user:2", "y");
+  store.put("a", "log:1", "z");
+  const auto users = store.scan("a", "user:");
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0].first, "user:1");
+  EXPECT_EQ(store.scan("a", "").size(), 3u);
+  EXPECT_TRUE(store.scan("missing", "x").empty());
+}
+
+TEST(LocalStore, ClearSite) {
+  local_store store;
+  store.put("a", "k", "v");
+  store.clear_site("a");
+  EXPECT_EQ(store.site_bytes("a"), 0u);
+  EXPECT_FALSE(store.get("a", "k").has_value());
+}
+
+// ----- messaging fixture ---------------------------------------------------------
+
+struct bus_fixture : ::testing::Test {
+  sim::event_loop loop;
+  sim::network net{loop};
+  sim::node_id a = 0;
+  sim::node_id b = 0;
+  sim::node_id c = 0;
+
+  void SetUp() override {
+    a = net.add_node("a");
+    b = net.add_node("b");
+    c = net.add_node("c");
+    net.set_route(a, b, 0.010);
+    net.set_route(a, c, 0.010);
+    net.set_route(b, c, 0.010);
+  }
+};
+
+TEST_F(bus_fixture, PublishReachesAllSubscribers) {
+  message_bus bus(net);
+  int received_b = 0;
+  int received_c = 0;
+  bus.subscribe("t", b, [&](std::uint64_t, const std::string&, const std::string& p) {
+    EXPECT_EQ(p, "hello");
+    ++received_b;
+  });
+  bus.subscribe("t", c, [&](std::uint64_t, const std::string&, const std::string&) {
+    ++received_c;
+  });
+  bus.subscribe("other", c,
+                [&](std::uint64_t, const std::string&, const std::string&) { FAIL(); });
+  bool acked = false;
+  bus.publish(a, "t", "hello", [&] { acked = true; });
+  loop.run();
+  EXPECT_EQ(received_b, 1);
+  EXPECT_EQ(received_c, 1);
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(bus.stats().deliveries, 2u);
+}
+
+TEST_F(bus_fixture, NoSubscribersStillAcks) {
+  message_bus bus(net);
+  bool acked = false;
+  bus.publish(a, "empty", "x", [&] { acked = true; });
+  loop.run();
+  EXPECT_TRUE(acked);
+}
+
+TEST_F(bus_fixture, UnsubscribeStopsDelivery) {
+  message_bus bus(net);
+  int received = 0;
+  const auto sub = bus.subscribe(
+      "t", b, [&](std::uint64_t, const std::string&, const std::string&) { ++received; });
+  bus.publish(a, "t", "one");
+  loop.run();
+  bus.unsubscribe(sub);
+  bus.publish(a, "t", "two");
+  loop.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_THROW(bus.unsubscribe(999), std::invalid_argument);
+}
+
+TEST_F(bus_fixture, LossyLinkRetransmitsUntilDelivered) {
+  message_bus bus(net, /*loss_probability=*/0.5, /*retry_timeout=*/0.1);
+  int received = 0;
+  bus.subscribe("t", b,
+                [&](std::uint64_t, const std::string&, const std::string&) { ++received; });
+  for (int i = 0; i < 20; ++i) bus.publish(a, "t", "m" + std::to_string(i));
+  loop.run();
+  EXPECT_EQ(received, 20);  // every message eventually arrives
+  EXPECT_GT(bus.stats().retransmissions, 0u);
+}
+
+TEST_F(bus_fixture, ValidatesConfiguration) {
+  EXPECT_THROW(message_bus(net, 1.0), std::invalid_argument);
+  EXPECT_THROW(message_bus(net, -0.1), std::invalid_argument);
+  EXPECT_THROW(message_bus(net, 0.0, 0.5, 0), std::invalid_argument);
+}
+
+// ----- replication ------------------------------------------------------------------
+
+struct replication_fixture : bus_fixture {
+  local_store store_a{0};
+  local_store store_b{0};
+  local_store store_c{0};
+  message_bus bus{net};
+};
+
+TEST_F(replication_fixture, BroadcastPropagatesToAllReplicas) {
+  replica ra(store_a, bus, a, "node-a", "site", replication_strategy::broadcast);
+  replica rb(store_b, bus, b, "node-b", "site", replication_strategy::broadcast);
+  replica rc(store_c, bus, c, "node-c", "site", replication_strategy::broadcast);
+
+  bool durable = false;
+  ra.put("user:1", "alice", [&] { durable = true; });
+  loop.run();
+  EXPECT_TRUE(durable);
+  EXPECT_EQ(ra.get("user:1"), "alice");
+  EXPECT_EQ(rb.get("user:1"), "alice");
+  EXPECT_EQ(rc.get("user:1"), "alice");
+}
+
+TEST_F(replication_fixture, LastWriterWinsOnConcurrentWrites) {
+  replica ra(store_a, bus, a, "node-a", "site", replication_strategy::broadcast);
+  replica rb(store_b, bus, b, "node-b", "site", replication_strategy::broadcast);
+
+  // Same virtual instant: the tie breaks on the writer name ("node-b" wins
+  // over "node-a" deterministically).
+  ra.put("k", "from-a");
+  rb.put("k", "from-b");
+  loop.run();
+  EXPECT_EQ(ra.get("k"), rb.get("k"));  // convergence
+  EXPECT_EQ(*ra.get("k"), "from-b");
+}
+
+TEST_F(replication_fixture, CustomConflictResolver) {
+  replica ra(store_a, bus, a, "node-a", "site", replication_strategy::broadcast);
+  replica rb(store_b, bus, b, "node-b", "site", replication_strategy::broadcast);
+  const conflict_resolver merge = [](const std::string& mine, const std::string& theirs) {
+    return mine < theirs ? mine + "+" + theirs : theirs + "+" + mine;
+  };
+  ra.set_conflict_resolver(merge);
+  rb.set_conflict_resolver(merge);
+
+  ra.put("k", "aaa");
+  rb.put("k", "bbb");
+  loop.run();
+  EXPECT_EQ(ra.get("k"), rb.get("k"));
+  EXPECT_EQ(*ra.get("k"), "aaa+bbb");
+}
+
+TEST_F(replication_fixture, OriginPrimaryOrdersWrites) {
+  replica primary(store_a, bus, a, "origin", "site", replication_strategy::origin_primary,
+                  /*is_primary=*/true);
+  replica edge1(store_b, bus, b, "edge-1", "site", replication_strategy::origin_primary);
+  replica edge2(store_c, bus, c, "edge-2", "site", replication_strategy::origin_primary);
+
+  bool ordered = false;
+  edge1.put("k", "v-edge", [&] { ordered = true; });
+  loop.run();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(primary.get("k"), "v-edge");
+  EXPECT_EQ(edge1.get("k"), "v-edge");
+  EXPECT_EQ(edge2.get("k"), "v-edge");
+}
+
+TEST_F(replication_fixture, DuplicateMessagesDeduplicated) {
+  message_bus lossy(net, 0.4, 0.05);
+  replica ra(store_a, lossy, a, "node-a", "site", replication_strategy::broadcast);
+  replica rb(store_b, lossy, b, "node-b", "site", replication_strategy::broadcast);
+  for (int i = 0; i < 10; ++i) {
+    ra.put("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rb.get("k" + std::to_string(i)), "v" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace nakika::state

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/glob.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace nakika::util {
+namespace {
+
+// ----- bytes -------------------------------------------------------------------
+
+TEST(Bytes, RoundTripsText) {
+  byte_buffer b("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.view(), "hello");
+  b.append(std::string_view(" world"));
+  EXPECT_EQ(b.str(), "hello world");
+}
+
+TEST(Bytes, SliceBounds) {
+  byte_buffer b("abcdef");
+  EXPECT_EQ(b.slice(2, 3).view(), "cde");
+  EXPECT_EQ(b.slice(4, 100).view(), "ef");
+  EXPECT_EQ(b.slice(6, 1).size(), 0u);
+  EXPECT_THROW((void)b.slice(7, 1), std::out_of_range);
+}
+
+TEST(Bytes, HexRoundTrip) {
+  const std::vector<std::uint8_t> data = {0x00, 0xff, 0x10, 0xab};
+  const std::string hex = to_hex(data);
+  EXPECT_EQ(hex, "00ff10ab");
+  EXPECT_EQ(from_hex(hex), data);
+}
+
+TEST(Bytes, HexRejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, Base64KnownVectors) {
+  // RFC 4648 vectors.
+  const std::pair<const char*, const char*> vectors[] = {
+      {"", ""},      {"f", "Zg=="},     {"fo", "Zm8="},     {"foo", "Zm9v"},
+      {"foob", "Zm9vYg=="}, {"fooba", "Zm9vYmE="}, {"foobar", "Zm9vYmFy"},
+  };
+  for (const auto& [plain, encoded] : vectors) {
+    const byte_buffer b{std::string_view(plain)};
+    EXPECT_EQ(base64_encode(b.span()), encoded) << plain;
+    const auto decoded = base64_decode(encoded);
+    EXPECT_EQ(std::string(decoded.begin(), decoded.end()), plain);
+  }
+}
+
+// ----- strings -----------------------------------------------------------------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b \t\r\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_EQ(to_upper("aBc"), "ABC");
+  EXPECT_TRUE(iequals("Content-Type", "content-type"));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_TRUE(istarts_with("Content-Type: x", "content-type"));
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitTrimmedDropsEmpties) {
+  const auto parts = split_trimmed(" a , , b ", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Strings, ParseNumbers) {
+  EXPECT_EQ(parse_int(" 42 "), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_FALSE(parse_int("4x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_FALSE(parse_double("x").has_value());
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+}
+
+TEST(Strings, DomainMatches) {
+  EXPECT_TRUE(domain_matches("www.nyu.edu", "nyu.edu"));
+  EXPECT_TRUE(domain_matches("nyu.edu", "nyu.edu"));
+  EXPECT_FALSE(domain_matches("notnyu.edu", "nyu.edu"));
+  EXPECT_FALSE(domain_matches("edu", "nyu.edu"));
+  EXPECT_FALSE(domain_matches("www.nyu.edu", ""));
+}
+
+// ----- stats --------------------------------------------------------------------
+
+TEST(Stats, PercentileNearestRank) {
+  sample_set s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50);
+  EXPECT_DOUBLE_EQ(s.percentile(90), 90);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 100);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Stats, PercentileOnEmptyThrows) {
+  sample_set s;
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+}
+
+TEST(Stats, CdfAndFractions) {
+  sample_set s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_at_least(3.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_at_least(0.0), 1.0);
+}
+
+TEST(Stats, CdfPointsAreMonotonic) {
+  sample_set s;
+  util::rng r(1);
+  for (int i = 0; i < 500; ++i) s.add(r.next_double() * 10);
+  const auto points = s.cdf_points(20);
+  ASSERT_EQ(points.size(), 20u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].second, points[i].second);
+  }
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(Stats, EwmaConverges) {
+  ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  e.update(10);
+  EXPECT_DOUBLE_EQ(e.value(), 10);
+  e.update(0);
+  EXPECT_DOUBLE_EQ(e.value(), 5);
+  e.update(0);
+  EXPECT_DOUBLE_EQ(e.value(), 2.5);
+}
+
+TEST(Stats, RunCounters) {
+  run_counters c;
+  c.offered = 200;
+  c.throttled = 1;
+  EXPECT_DOUBLE_EQ(c.throttled_fraction(), 0.005);
+  EXPECT_DOUBLE_EQ(c.terminated_fraction(), 0.0);
+}
+
+// ----- random -------------------------------------------------------------------
+
+TEST(Random, DeterministicWithSeed) {
+  rng a(7);
+  rng b(7);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.next(1000), b.next(1000));
+  }
+}
+
+TEST(Random, NextRange) {
+  rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next(10), 10u);
+  }
+  EXPECT_THROW((void)r.next(0), std::invalid_argument);
+}
+
+TEST(Random, ZipfIsSkewed) {
+  zipf_distribution z(100, 1.0);
+  rng r(11);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.sample(r)];
+  // Rank 0 should dominate rank 50 heavily.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_THROW(zipf_distribution(0, 1.0), std::invalid_argument);
+}
+
+TEST(Random, ExponentialMean) {
+  rng r(5);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += r.exponential(2.0);
+  EXPECT_NEAR(total / n, 2.0, 0.1);
+}
+
+// ----- glob ---------------------------------------------------------------------
+
+TEST(Glob, Wildcards) {
+  EXPECT_TRUE(glob_match("*.js", "nakika.js"));
+  EXPECT_TRUE(glob_match("a*b", "ab"));
+  EXPECT_TRUE(glob_match("a*b", "aXXb"));
+  EXPECT_FALSE(glob_match("a*b", "aXXc"));
+  EXPECT_TRUE(glob_match("a?c", "abc"));
+  EXPECT_FALSE(glob_match("a?c", "ac"));
+  EXPECT_TRUE(glob_match("**", ""));
+}
+
+// ----- regex-lite ----------------------------------------------------------------
+
+TEST(Pattern, Literals) {
+  pattern p("abc");
+  EXPECT_TRUE(p.full_match("abc"));
+  EXPECT_FALSE(p.full_match("abcd"));
+  EXPECT_TRUE(p.search("xxabcxx"));
+}
+
+TEST(Pattern, Quantifiers) {
+  EXPECT_TRUE(pattern("ab*c").full_match("ac"));
+  EXPECT_TRUE(pattern("ab*c").full_match("abbbc"));
+  EXPECT_FALSE(pattern("ab+c").full_match("ac"));
+  EXPECT_TRUE(pattern("ab+c").full_match("abc"));
+  EXPECT_TRUE(pattern("ab?c").full_match("ac"));
+  EXPECT_TRUE(pattern("ab?c").full_match("abc"));
+  EXPECT_FALSE(pattern("ab?c").full_match("abbc"));
+}
+
+TEST(Pattern, ClassesAndEscapes) {
+  EXPECT_TRUE(pattern("[a-c]+").full_match("abcba"));
+  EXPECT_FALSE(pattern("[a-c]+").full_match("abd"));
+  EXPECT_TRUE(pattern("[^0-9]+").full_match("abc"));
+  EXPECT_FALSE(pattern("[^0-9]+").full_match("a1c"));
+  EXPECT_TRUE(pattern("\\d+").full_match("123"));
+  EXPECT_TRUE(pattern("\\w+").full_match("ab_1"));
+  EXPECT_TRUE(pattern("a\\.b").full_match("a.b"));
+  EXPECT_FALSE(pattern("a\\.b").full_match("axb"));
+}
+
+TEST(Pattern, AnchorsAndAlternation) {
+  EXPECT_TRUE(pattern("^Mozilla").search("Mozilla/5.0"));
+  EXPECT_FALSE(pattern("^Mozilla").search("x Mozilla"));
+  EXPECT_TRUE(pattern("gif|jpe?g|png").full_match("jpeg"));
+  EXPECT_TRUE(pattern("gif|jpe?g|png").full_match("jpg"));
+  EXPECT_TRUE(pattern("gif|jpe?g|png").full_match("png"));
+  EXPECT_FALSE(pattern("gif|jpe?g|png").full_match("bmp"));
+  EXPECT_TRUE(pattern("(ab)+c$").search("zababc"));
+}
+
+TEST(Pattern, FindReportsPositionAndLength) {
+  pattern p("b+");
+  std::size_t len = 0;
+  EXPECT_EQ(p.find("aabbba", &len), 2u);
+  EXPECT_EQ(len, 3u);
+  EXPECT_EQ(p.find("xyz"), std::string_view::npos);
+}
+
+TEST(Pattern, RejectsMalformed) {
+  EXPECT_THROW(pattern("a("), std::invalid_argument);
+  EXPECT_THROW(pattern("[a"), std::invalid_argument);
+  EXPECT_THROW(pattern("*a"), std::invalid_argument);
+  EXPECT_THROW(pattern("a\\"), std::invalid_argument);
+  EXPECT_THROW(pattern("[z-a]"), std::invalid_argument);
+}
+
+TEST(Pattern, ZeroWidthRepeatTerminates) {
+  // (a?)* could loop forever without the zero-width guard.
+  pattern p("(a?)*b");
+  EXPECT_TRUE(p.full_match("aaab"));
+  EXPECT_TRUE(p.full_match("b"));
+  EXPECT_FALSE(p.full_match("c"));
+}
+
+// Property sweep: glob star subsumes any infix.
+class GlobProperty : public ::testing::TestWithParam<const char*> {};
+TEST_P(GlobProperty, StarMatchesAnyInfix) {
+  const std::string text = GetParam();
+  EXPECT_TRUE(glob_match("*", text));
+  EXPECT_TRUE(glob_match(("*" + text).c_str(), text));
+  EXPECT_TRUE(glob_match((text + "*").c_str(), text));
+}
+INSTANTIATE_TEST_SUITE_P(Texts, GlobProperty,
+                         ::testing::Values("", "a", "nakika", "a.b.c", "xyz123"));
+
+}  // namespace
+}  // namespace nakika::util
