@@ -1,0 +1,96 @@
+// Multi-threaded throughput of the sharded http_cache: aggregate get/put
+// ops/sec at 1/2/4/8 worker threads. The cache shards by URL hash with one
+// mutex per shard, so aggregate throughput should scale with threads until
+// core count or shard contention bounds it. Reports per-workload ops/sec and
+// speedup relative to one thread.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cache/http_cache.hpp"
+#include "util/random.hpp"
+
+namespace nakika {
+namespace {
+
+constexpr std::size_t k_url_space = 4096;
+constexpr std::size_t k_ops_per_thread = 200'000;
+constexpr std::size_t k_capacity = 64 * 1024 * 1024;
+constexpr std::size_t k_shards = 64;
+
+std::string url_for(std::size_t i) { return "http://bench.example/obj/" + std::to_string(i); }
+
+http::response small_body() {
+  return http::make_response(200, "application/octet-stream",
+                             util::make_body(std::string(1024, 'x')));
+}
+
+// Runs `threads` workers each doing k_ops_per_thread ops with `put_fraction`
+// of puts (rest gets), returns aggregate ops/sec.
+double run_workload(std::size_t threads, double put_fraction) {
+  cache::http_cache c(k_capacity, k_shards);
+  // Warm the cache so the get path mostly hits.
+  for (std::size_t i = 0; i < k_url_space; ++i) {
+    c.put_with_expiry(url_for(i), small_body(), 1'000'000'000, 0);
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::rng rng{0x853c49e6748fea9bull + t * 0x9e3779b9ull};
+      const http::response body = small_body();
+      for (std::size_t op = 0; op < k_ops_per_thread; ++op) {
+        const std::string url = url_for(rng.next(k_url_space));
+        if (rng.next_double() < put_fraction) {
+          c.put_with_expiry(url, body, 1'000'000'000, 0);
+        } else {
+          (void)c.get(url, 1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(threads * k_ops_per_thread) / elapsed.count();
+}
+
+}  // namespace
+}  // namespace nakika
+
+int main() {
+  using namespace nakika;
+  bench::print_header(
+      "Sharded HTTP cache: concurrent throughput",
+      "scaling harness for the ROADMAP north star (no paper counterpart)");
+  std::printf("%zu shards, %zu URLs, %zu ops/thread, %u hardware threads\n\n", k_shards,
+              k_url_space, k_ops_per_thread, std::thread::hardware_concurrency());
+
+  struct workload {
+    const char* name;
+    double put_fraction;
+  };
+  const workload workloads[] = {{"get-heavy (95/5)", 0.05},
+                                {"mixed (70/30)", 0.30},
+                                {"put-heavy (30/70)", 0.70}};
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+
+  bench::print_row("threads", {"ops/sec", "Mops/s", "vs 1 thread"});
+  for (const auto& w : workloads) {
+    std::printf("-- %s\n", w.name);
+    double base = 0.0;
+    for (const std::size_t threads : thread_counts) {
+      const double ops = run_workload(threads, w.put_fraction);
+      if (threads == 1) base = ops;
+      bench::print_row(std::to_string(threads),
+                       {bench::num(ops, 0), bench::num(ops / 1e6, 2),
+                        bench::num(ops / base, 2) + "x"});
+    }
+  }
+  return 0;
+}

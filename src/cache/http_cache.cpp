@@ -1,85 +1,184 @@
 #include "cache/http_cache.hpp"
 
+#include <algorithm>
+#include <functional>
+
 namespace nakika::cache {
 
-http_cache::http_cache(std::size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+namespace {
+
+std::size_t pick_shard_count(std::size_t capacity_bytes, std::size_t requested) {
+  if (requested != 0) return requested;
+  if (capacity_bytes == 0) return 16;  // unlimited: shard purely for locking
+  // Generous slices: an entry must fit one shard's capacity share, and LRU
+  // order is per-shard, so more shards trade cacheable-object size and
+  // global-LRU fidelity for lock spreading. 16 MiB slices keep the default
+  // 256 MiB cache at 16 shards.
+  constexpr std::size_t min_bytes_per_shard = 16 * 1024 * 1024;
+  return std::clamp<std::size_t>(capacity_bytes / min_bytes_per_shard, 1, 16);
+}
+
+}  // namespace
+
+http_cache::http_cache(std::size_t capacity_bytes, std::size_t shard_count)
+    : capacity_bytes_(capacity_bytes),
+      shard_count_(pick_shard_count(capacity_bytes, shard_count)),
+      // Floor at 1 so a bounded cache with an oversubscribed shard count
+      // degenerates to rejecting puts, never to unlimited growth.
+      shard_capacity_bytes_(
+          capacity_bytes_ == 0
+              ? 0
+              : std::max<std::size_t>(capacity_bytes_ / shard_count_, 1)),
+      shards_(std::make_unique<shard[]>(shard_count_)) {}
+
+http_cache::shard& http_cache::shard_for(const std::string& url) {
+  return shards_[std::hash<std::string>{}(url) % shard_count_];
+}
 
 std::optional<http::response> http_cache::get(const std::string& url, std::int64_t now) {
-  const auto it = entries_.find(url);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  shard& s = shard_for(url);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.entries.find(url);
+  if (it == s.entries.end()) {
+    s.misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   if (it->second.expires_at <= now) {
-    ++stats_.expirations;
-    ++stats_.misses;
-    drop(url);
+    s.expirations.fetch_add(1, std::memory_order_relaxed);
+    s.misses.fetch_add(1, std::memory_order_relaxed);
+    drop_locked(s, it);
     return std::nullopt;
   }
-  touch(url, it->second);
-  ++stats_.hits;
+  touch_locked(s, url, it->second);
+  s.hits.fetch_add(1, std::memory_order_relaxed);
   return it->second.response;
 }
 
 bool http_cache::put(const std::string& url, const http::response& r, std::int64_t now) {
   const http::freshness f = http::compute_freshness(r, now);
   if (!f.cacheable) return false;
-  put_with_expiry(url, r, f.expires_at, now);
-  return true;
+  return put_with_expiry(url, r, f.expires_at, now);
 }
 
-void http_cache::put_with_expiry(const std::string& url, const http::response& r,
+bool http_cache::put_with_expiry(const std::string& url, const http::response& r,
                                  std::int64_t expires_at, std::int64_t now) {
-  if (expires_at <= now) return;
+  if (expires_at <= now) return false;
+  shard& s = shard_for(url);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return put_locked(s, url, r, expires_at);
+}
+
+bool http_cache::put_locked(shard& s, const std::string& url, const http::response& r,
+                            std::int64_t expires_at) {
   const std::size_t body_bytes = r.body_size() + 256;  // headers overhead estimate
-  if (capacity_bytes_ != 0 && body_bytes > capacity_bytes_) return;
+  if (shard_capacity_bytes_ != 0 && body_bytes > shard_capacity_bytes_) {
+    s.oversized_rejections.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
 
-  drop(url);  // replace any existing entry
-  evict_for(body_bytes);
+  drop_locked(s, url);  // replace any existing entry
+  evict_for_locked(s, body_bytes);
 
-  lru_.push_front(url);
+  s.lru.push_front(url);
   entry e;
   e.response = r;
   e.expires_at = expires_at;
   e.charged_bytes = body_bytes;
-  e.lru_it = lru_.begin();
-  bytes_used_ += body_bytes;
-  entries_.emplace(url, std::move(e));
-  ++stats_.insertions;
+  e.lru_it = s.lru.begin();
+  s.bytes_used += body_bytes;
+  s.entries.emplace(url, std::move(e));
+  s.insertions.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 bool http_cache::remove(const std::string& url) {
-  if (!entries_.contains(url)) return false;
-  drop(url);
+  shard& s = shard_for(url);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.entries.find(url);
+  if (it == s.entries.end()) return false;
+  drop_locked(s, it);
   return true;
 }
 
 void http_cache::clear() {
-  entries_.clear();
-  lru_.clear();
-  bytes_used_ = 0;
-}
-
-void http_cache::touch(const std::string& url, entry& e) {
-  lru_.erase(e.lru_it);
-  lru_.push_front(url);
-  e.lru_it = lru_.begin();
-}
-
-void http_cache::evict_for(std::size_t incoming_bytes) {
-  if (capacity_bytes_ == 0) return;
-  while (bytes_used_ + incoming_bytes > capacity_bytes_ && !lru_.empty()) {
-    ++stats_.evictions;
-    drop(lru_.back());
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    shard& s = shards_[i];
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.entries.clear();
+    s.lru.clear();
+    s.bytes_used = 0;
   }
 }
 
-void http_cache::drop(const std::string& url) {
-  const auto it = entries_.find(url);
-  if (it == entries_.end()) return;
-  bytes_used_ -= it->second.charged_bytes;
-  lru_.erase(it->second.lru_it);
-  entries_.erase(it);
+std::size_t http_cache::entry_count() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].entries.size();
+  }
+  return total;
+}
+
+std::size_t http_cache::bytes_used() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].bytes_used;
+  }
+  return total;
+}
+
+cache_stats http_cache::stats() const {
+  cache_stats total;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const shard& s = shards_[i];
+    total.hits += s.hits.load(std::memory_order_relaxed);
+    total.misses += s.misses.load(std::memory_order_relaxed);
+    total.insertions += s.insertions.load(std::memory_order_relaxed);
+    total.evictions += s.evictions.load(std::memory_order_relaxed);
+    total.expirations += s.expirations.load(std::memory_order_relaxed);
+    total.oversized_rejections += s.oversized_rejections.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<http_cache::shard_snapshot> http_cache::snapshot_shards() const {
+  std::vector<shard_snapshot> out(shard_count_);
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const shard& s = shards_[i];
+    const std::lock_guard<std::mutex> lock(s.mu);
+    out[i].entries = s.entries.size();
+    out[i].lru_length = s.lru.size();
+    out[i].bytes_used = s.bytes_used;
+    for (const auto& [url, e] : s.entries) out[i].charged_bytes += e.charged_bytes;
+  }
+  return out;
+}
+
+void http_cache::touch_locked(shard& s, const std::string& url, entry& e) {
+  s.lru.erase(e.lru_it);
+  s.lru.push_front(url);
+  e.lru_it = s.lru.begin();
+}
+
+void http_cache::evict_for_locked(shard& s, std::size_t incoming_bytes) {
+  if (shard_capacity_bytes_ == 0) return;
+  while (s.bytes_used + incoming_bytes > shard_capacity_bytes_ && !s.lru.empty()) {
+    s.evictions.fetch_add(1, std::memory_order_relaxed);
+    drop_locked(s, s.lru.back());
+  }
+}
+
+void http_cache::drop_locked(shard& s, const std::string& url) {
+  const auto it = s.entries.find(url);
+  if (it == s.entries.end()) return;
+  drop_locked(s, it);
+}
+
+void http_cache::drop_locked(shard& s, entry_map::iterator it) {
+  s.bytes_used -= it->second.charged_bytes;
+  s.lru.erase(it->second.lru_it);
+  s.entries.erase(it);
 }
 
 }  // namespace nakika::cache

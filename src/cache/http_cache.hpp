@@ -3,13 +3,25 @@
 // capacity is bounded with LRU eviction. The same cache stores original and
 // processed content — the paper's pipeline caches transformed responses by
 // rewritten URL.
+//
+// The cache is sharded for concurrent execution: URLs hash to one of N
+// shards, each with its own mutex, LRU list, and byte accounting, so worker
+// threads hitting different shards never contend. Statistics are per-shard
+// atomic counters aggregated on read. Capacity is split evenly across
+// shards; an entry must fit within a single shard's slice, and LRU ordering
+// is per-shard (global LRU semantics hold exactly when shard_count == 1,
+// which auto-sizing picks for small capacities).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "http/cache_control.hpp"
 #include "http/message.hpp"
@@ -22,6 +34,9 @@ struct cache_stats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t expirations = 0;
+  // Puts dropped because the body exceeded one shard's capacity slice. A
+  // large-object workload that never hits shows up here, not as a silent miss.
+  std::uint64_t oversized_rejections = 0;
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -32,27 +47,46 @@ struct cache_stats {
 class http_cache {
  public:
   // `capacity_bytes` bounds the sum of cached body sizes (0 = unlimited).
-  explicit http_cache(std::size_t capacity_bytes = 256 * 1024 * 1024);
+  // `shard_count` of 0 auto-sizes: one shard per 16 MiB of capacity, clamped
+  // to [1, 16], so small caches keep exact global-LRU behavior while large
+  // ones spread lock pressure without shrinking the slice an entry must fit.
+  explicit http_cache(std::size_t capacity_bytes = 256 * 1024 * 1024,
+                      std::size_t shard_count = 0);
 
   // Fresh entry for `url` at virtual time `now`, or nullopt. Expired entries
   // are dropped on access.
   [[nodiscard]] std::optional<http::response> get(const std::string& url, std::int64_t now);
 
   // Stores if the response is cacheable per its headers. Returns true when
-  // stored. Oversized bodies (> capacity) are never stored.
+  // stored. Oversized bodies (> shard capacity) are never stored.
   bool put(const std::string& url, const http::response& r, std::int64_t now);
 
-  // Stores unconditionally with an explicit expiry (used for processed
-  // content whose lifetime the script chooses).
-  void put_with_expiry(const std::string& url, const http::response& r,
+  // Stores with an explicit expiry regardless of cacheability headers (used
+  // for processed content whose lifetime the script chooses). Returns true
+  // when stored; past expiries and oversized bodies are rejected.
+  bool put_with_expiry(const std::string& url, const http::response& r,
                        std::int64_t expires_at, std::int64_t now);
 
   bool remove(const std::string& url);
   void clear();
 
-  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
-  [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
-  [[nodiscard]] const cache_stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t entry_count() const;
+  [[nodiscard]] std::size_t bytes_used() const;
+  [[nodiscard]] cache_stats stats() const;
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
+  [[nodiscard]] std::size_t shard_capacity_bytes() const { return shard_capacity_bytes_; }
+
+  // Consistent per-shard view for tests and monitoring: locks each shard in
+  // turn and recomputes `charged_bytes` by walking its entries, so accounting
+  // drift shows up as charged_bytes != bytes_used.
+  struct shard_snapshot {
+    std::size_t entries = 0;
+    std::size_t lru_length = 0;
+    std::size_t bytes_used = 0;
+    std::size_t charged_bytes = 0;
+  };
+  [[nodiscard]] std::vector<shard_snapshot> snapshot_shards() const;
 
  private:
   struct entry {
@@ -62,15 +96,37 @@ class http_cache {
     std::list<std::string>::iterator lru_it;
   };
 
-  void touch(const std::string& url, entry& e);
-  void evict_for(std::size_t incoming_bytes);
-  void drop(const std::string& url);
+  using entry_map = std::unordered_map<std::string, entry>;
+
+  // Cache-line aligned so neighboring shards' mutexes and counters never
+  // false-share.
+  struct alignas(64) shard {
+    mutable std::mutex mu;
+    // Guarded by `mu`.
+    entry_map entries;
+    std::list<std::string> lru;  // front = most recent
+    std::size_t bytes_used = 0;
+    // Monotonic; incremented under `mu`, read lock-free by stats().
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> insertions{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> expirations{0};
+    std::atomic<std::uint64_t> oversized_rejections{0};
+  };
+
+  [[nodiscard]] shard& shard_for(const std::string& url);
+  bool put_locked(shard& s, const std::string& url, const http::response& r,
+                  std::int64_t expires_at);
+  static void touch_locked(shard& s, const std::string& url, entry& e);
+  void evict_for_locked(shard& s, std::size_t incoming_bytes);
+  static void drop_locked(shard& s, const std::string& url);
+  static void drop_locked(shard& s, entry_map::iterator it);
 
   std::size_t capacity_bytes_;
-  std::size_t bytes_used_ = 0;
-  std::unordered_map<std::string, entry> entries_;
-  std::list<std::string> lru_;  // front = most recent
-  cache_stats stats_;
+  std::size_t shard_count_;
+  std::size_t shard_capacity_bytes_;  // capacity_bytes_ / shard_count_ (0 = unlimited)
+  std::unique_ptr<shard[]> shards_;
 };
 
 }  // namespace nakika::cache

@@ -90,8 +90,8 @@ void install_state_vocabulary(js::context& ctx, exec_binding_ptr binding) {
                            ttl.is_number() ? static_cast<std::int64_t>(ttl.as_number())
                                            : 300;
                        if (ttl_s <= 0) throw_js("Cache.put: ttl must be positive");
-                       exec.http_cache->put_with_expiry(url, r, exec.now + ttl_s, exec.now);
-                       return value::boolean(true);
+                       return value::boolean(exec.http_cache->put_with_expiry(
+                           url, r, exec.now + ttl_s, exec.now));
                      })));
   cache_obj->set("remove",
                  value::object(make_native_function(

@@ -15,6 +15,7 @@ nakika_node::nakika_node(sim::network& net, sim::node_id host,
       config_(std::move(config)),
       pipeline_(config_.pipeline),
       resources_(config_.capacities),
+      content_cache_(config_.content_cache_bytes, config_.content_cache_shards),
       rng_(config_.rng_seed) {}
 
 void nakika_node::set_wall_sources(std::string clientwall, std::string serverwall) {

@@ -44,6 +44,11 @@ struct node_config {
   bool enable_pages = true;       // Na Kika Pages (.nkp) rendering
   std::int64_t default_script_ttl = 300;
 
+  // Content-cache sizing. Shards spread lock pressure across worker threads;
+  // 0 auto-sizes from capacity (see cache::http_cache).
+  std::size_t content_cache_bytes = 256 * 1024 * 1024;
+  std::size_t content_cache_shards = 0;
+
   // Administrative control scripts; empty = no-op stage. Node administrators
   // may override these to enforce location-specific policy (paper §3.1).
   std::string clientwall_source;

@@ -18,7 +18,8 @@ class plain_proxy : public http_endpoint {
   [[nodiscard]] sim::node_id host() const override { return host_; }
 
   [[nodiscard]] cache::http_cache& cache() { return cache_; }
-  [[nodiscard]] const cache::cache_stats& cache_stats() const { return cache_.stats(); }
+  // By value: the sharded cache aggregates per-shard counters on read.
+  [[nodiscard]] cache::cache_stats cache_stats() const { return cache_.stats(); }
 
  private:
   sim::network& net_;

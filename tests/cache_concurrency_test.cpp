@@ -1,0 +1,145 @@
+// Multi-threaded stress over the sharded http_cache: 8 workers × 100k mixed
+// get/put/remove ops against a capacity-bounded cache, with a concurrent
+// observer thread. Run under -DNAKIKA_SANITIZE=thread this is the data-race
+// gate for the cache; the assertions here are the accounting invariants —
+// no lost bytes (per-shard bytes_used equals the sum of resident entries'
+// charged_bytes), capacity never violated, and monotonic stats counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/http_cache.hpp"
+#include "util/random.hpp"
+
+namespace nakika::cache {
+namespace {
+
+constexpr std::size_t k_threads = 8;
+constexpr std::size_t k_ops_per_thread = 100'000;
+constexpr std::size_t k_url_space = 512;
+constexpr std::size_t k_capacity = 2 * 1024 * 1024;
+constexpr std::size_t k_shards = 16;
+
+std::string url_for(std::size_t i) { return "http://stress.example/obj/" + std::to_string(i); }
+
+http::response body_of(std::size_t size) {
+  return http::make_response(200, "application/octet-stream",
+                             util::make_body(std::string(size, 'x')));
+}
+
+TEST(CacheConcurrency, EightThreadStressKeepsAccountingExact) {
+  http_cache c(k_capacity, k_shards);
+  ASSERT_EQ(c.shard_count(), k_shards);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> puts{0};
+
+  // Observer: while workers mutate, stats counters must only grow and the
+  // capacity bound must hold (each shard enforces its slice under lock).
+  std::thread observer([&] {
+    cache_stats prev;
+    while (!done.load(std::memory_order_acquire)) {
+      const cache_stats cur = c.stats();
+      EXPECT_GE(cur.hits, prev.hits);
+      EXPECT_GE(cur.misses, prev.misses);
+      EXPECT_GE(cur.insertions, prev.insertions);
+      EXPECT_GE(cur.evictions, prev.evictions);
+      EXPECT_GE(cur.expirations, prev.expirations);
+      EXPECT_LE(c.bytes_used(), k_capacity);
+      prev = cur;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(k_threads);
+  for (std::size_t t = 0; t < k_threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::rng rng{0x9e3779b97f4a7c15ull ^ (t * 0x100000001b3ull + 7)};
+      std::uint64_t local_gets = 0;
+      std::uint64_t local_puts = 0;
+      for (std::size_t op = 0; op < k_ops_per_thread; ++op) {
+        const std::string url = url_for(rng.next(k_url_space));
+        const std::int64_t now = static_cast<std::int64_t>(op);
+        const double action = rng.next_double();
+        if (action < 0.5) {
+          (void)c.get(url, now);
+          ++local_gets;
+        } else if (action < 0.9) {
+          // Some entries expire mid-run to exercise the drop-on-access path.
+          const std::int64_t ttl = rng.chance(0.1) ? 1 : 1'000'000;
+          c.put_with_expiry(url, body_of(1 + rng.next(4000)), now + ttl, now);
+          ++local_puts;
+        } else {
+          (void)c.remove(url);
+        }
+      }
+      gets.fetch_add(local_gets);
+      puts.fetch_add(local_puts);
+    });
+  }
+  for (auto& w : workers) w.join();
+  done.store(true, std::memory_order_release);
+  observer.join();
+
+  // No lost byte accounting: per shard, the running bytes_used must equal
+  // the recomputed sum of resident entries' charged_bytes, and the LRU list
+  // must track the map exactly.
+  std::size_t bytes_total = 0;
+  std::size_t entries_total = 0;
+  for (const auto& s : c.snapshot_shards()) {
+    EXPECT_EQ(s.bytes_used, s.charged_bytes);
+    EXPECT_EQ(s.entries, s.lru_length);
+    bytes_total += s.bytes_used;
+    entries_total += s.entries;
+  }
+  EXPECT_EQ(bytes_total, c.bytes_used());
+  EXPECT_EQ(entries_total, c.entry_count());
+  EXPECT_LE(c.bytes_used(), k_capacity);
+
+  // Every op is accounted for exactly once in the aggregated stats.
+  const cache_stats st = c.stats();
+  EXPECT_EQ(st.hits + st.misses, gets.load());
+  // All puts used small bodies and future expiries, so each one inserted.
+  EXPECT_EQ(st.insertions, puts.load());
+  EXPECT_LE(st.evictions, st.insertions);
+  EXPECT_LE(st.expirations, st.misses);
+
+  // remove/clear leave accounting at zero.
+  c.clear();
+  EXPECT_EQ(c.entry_count(), 0u);
+  EXPECT_EQ(c.bytes_used(), 0u);
+}
+
+// Writers racing on the SAME key from all threads: replacement must never
+// double-charge or leak bytes.
+TEST(CacheConcurrency, SingleKeyReplacementRaceKeepsBytesExact) {
+  http_cache c(1024 * 1024, 8);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < k_threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::rng rng{t * 1000003ull + 1};
+      for (std::size_t op = 0; op < 20'000; ++op) {
+        c.put_with_expiry("http://hot/key", body_of(1 + rng.next(512)), 1'000'000, 0);
+        if (rng.chance(0.2)) (void)c.remove("http://hot/key");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto shards = c.snapshot_shards();
+  std::size_t resident = 0;
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.bytes_used, s.charged_bytes);
+    resident += s.entries;
+  }
+  EXPECT_LE(resident, 1u);  // at most the one key survives
+  EXPECT_EQ(c.entry_count(), resident);
+}
+
+}  // namespace
+}  // namespace nakika::cache

@@ -160,6 +160,113 @@ TEST_P(CacheInvariant, NeverExceedsCapacityUnderRandomMix) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheInvariant, ::testing::Range(0, 6));
 
+// ----- sharded cache LRU invariants ---------------------------------------------------
+
+// Same random mix, but against an explicitly multi-shard cache, checking the
+// structural invariants after every op: the public entry_count matches the
+// per-shard maps, each shard's LRU list tracks its map, byte accounting is
+// exact, the capacity bound holds, and evictions never exceed insertions.
+class ShardedCacheInvariant : public Seeded {};
+
+TEST_P(ShardedCacheInvariant, StructuralInvariantsHoldAfterEveryOp) {
+  const std::size_t capacity = 16 * 1024;
+  const std::size_t shards = 8;
+  cache::http_cache c(capacity, shards);
+  ASSERT_EQ(c.shard_count(), shards);
+  std::int64_t now = 0;
+  for (int op = 0; op < 400; ++op) {
+    now += static_cast<std::int64_t>(rng.next(20));
+    const std::string url = "http://x/" + std::to_string(rng.next(40));
+    const double action = rng.next_double();
+    if (action < 0.55) {
+      const std::size_t size = 1 + rng.next(1500);
+      c.put_with_expiry(url,
+                        http::make_response(200, "t",
+                                            util::make_body(std::string(size, 'b'))),
+                        now + 1 + static_cast<std::int64_t>(rng.next(200)), now);
+    } else if (action < 0.85) {
+      (void)c.get(url, now);
+    } else if (action < 0.95) {
+      (void)c.remove(url);
+    } else {
+      c.clear();
+    }
+
+    std::size_t map_entries = 0;
+    std::size_t map_bytes = 0;
+    for (const auto& s : c.snapshot_shards()) {
+      ASSERT_EQ(s.entries, s.lru_length) << "after op " << op;
+      ASSERT_EQ(s.bytes_used, s.charged_bytes) << "after op " << op;
+      ASSERT_LE(s.bytes_used, capacity / shards) << "after op " << op;
+      map_entries += s.entries;
+      map_bytes += s.bytes_used;
+    }
+    ASSERT_EQ(c.entry_count(), map_entries) << "after op " << op;
+    ASSERT_EQ(c.bytes_used(), map_bytes) << "after op " << op;
+    ASSERT_LE(c.bytes_used(), capacity) << "after op " << op;
+    ASSERT_LE(c.stats().evictions, c.stats().insertions) << "after op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedCacheInvariant, ::testing::Range(0, 6));
+
+// A get must refresh LRU order within the touched entry's shard: fill one
+// shard to capacity, touch the older entry, add a third — the touched entry
+// survives and the untouched peer is the eviction victim. URLs are bucketed
+// with the same `std::hash % shard_count` mapping the cache documents.
+TEST(ShardedCacheLru, TouchRefreshesOrderWithinItsShard) {
+  constexpr std::size_t shards = 4;
+  // 1 KiB per shard; each entry charges 256 (body) + 256 (overhead) = 512,
+  // so exactly two entries fit in a shard and a third forces one eviction.
+  cache::http_cache c(4 * 1024, shards);
+  ASSERT_EQ(c.shard_count(), shards);
+  const auto shard_of = [](const std::string& url) {
+    return std::hash<std::string>{}(url) % shards;
+  };
+  // Three URLs that land in the same shard.
+  std::vector<std::string> same_shard;
+  for (int i = 0; same_shard.size() < 3 && i < 1000; ++i) {
+    const std::string url = "http://t/" + std::to_string(i);
+    if (same_shard.empty() || shard_of(url) == shard_of(same_shard.front())) {
+      same_shard.push_back(url);
+    }
+  }
+  ASSERT_EQ(same_shard.size(), 3u);
+
+  const http::response body =
+      http::make_response(200, "t", util::make_body(std::string(256, 'a')));
+  c.put_with_expiry(same_shard[0], body, 10'000, 0);  // oldest
+  c.put_with_expiry(same_shard[1], body, 10'000, 0);
+  ASSERT_TRUE(c.get(same_shard[0], 1).has_value());  // refresh the oldest
+  c.put_with_expiry(same_shard[2], body, 10'000, 1);  // forces one eviction
+
+  EXPECT_TRUE(c.get(same_shard[0], 2).has_value());   // touched: survives
+  EXPECT_FALSE(c.get(same_shard[1], 2).has_value());  // untouched peer: victim
+  EXPECT_TRUE(c.get(same_shard[2], 2).has_value());
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+// Oversized puts are rejected with an explicit counter, and a bounded cache
+// with an oversubscribed shard count degenerates to rejecting puts — never
+// to unlimited growth.
+TEST(ShardedCacheLru, OversizedPutsAreCountedNotSilent) {
+  cache::http_cache small(4 * 1024, 4);  // 1 KiB per shard
+  small.put_with_expiry("http://big/1",
+                        http::make_response(200, "t", util::make_body(std::string(2048, 'x'))),
+                        10'000, 0);
+  EXPECT_EQ(small.entry_count(), 0u);
+  EXPECT_EQ(small.stats().oversized_rejections, 1u);
+
+  cache::http_cache oversubscribed(1024, 2048);  // capacity / shards rounds to 0
+  for (int i = 0; i < 100; ++i) {
+    oversubscribed.put_with_expiry("http://o/" + std::to_string(i),
+                                   http::make_response(200, "t", util::make_body("x")),
+                                   10'000, 0);
+  }
+  EXPECT_EQ(oversubscribed.bytes_used(), 0u);  // bounded stays bounded
+  EXPECT_EQ(oversubscribed.stats().oversized_rejections, 100u);
+}
+
 // ----- SHA-256 chunking invariance ----------------------------------------------------
 
 class ShaChunking : public Seeded {};
