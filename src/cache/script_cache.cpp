@@ -4,13 +4,15 @@
 
 namespace nakika::cache {
 
-negative_cache::negative_cache(std::int64_t ttl_seconds) : ttl_seconds_(ttl_seconds) {
+negative_cache::negative_cache(std::int64_t ttl_seconds, std::size_t max_entries)
+    : ttl_seconds_(ttl_seconds), max_entries_(max_entries == 0 ? 1 : max_entries) {
   if (ttl_seconds <= 0) {
     throw std::invalid_argument("negative_cache: ttl must be positive");
   }
 }
 
 bool negative_cache::contains(const std::string& key, std::int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return false;
   if (it->second <= now) {
@@ -21,9 +23,40 @@ bool negative_cache::contains(const std::string& key, std::int64_t now) {
 }
 
 void negative_cache::insert(const std::string& key, std::int64_t now) {
-  entries_[key] = now + ttl_seconds_;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second = now + ttl_seconds_;
+    return;
+  }
+  if (entries_.size() >= max_entries_) {
+    detail::evict_nearest_expiry(entries_, [](std::int64_t expiry) { return expiry; });
+  }
+  entries_.emplace(key, now + ttl_seconds_);
 }
 
-bool negative_cache::remove(const std::string& key) { return entries_.erase(key) > 0; }
+bool negative_cache::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.erase(key) > 0;
+}
+
+std::size_t negative_cache::purge_expired(std::int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t purged = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second <= now) {
+      it = entries_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+std::size_t negative_cache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
 
 }  // namespace nakika::cache

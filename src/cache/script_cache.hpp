@@ -1,22 +1,54 @@
-// Caches around script loading. Two pieces:
-//   - ttl_cache<T>: generic expiring cache; core uses it for compiled
-//     programs and decision trees ("decision trees are cached in a dedicated
-//     in-memory cache", paper §4).
+// Caches around script loading. Three pieces:
+//   - ttl_cache<T>: generic expiring cache; core uses it for script sources
+//     and decision trees ("decision trees are cached in a dedicated
+//     in-memory cache", paper §4). Bounded (max_entries with
+//     nearest-expiry eviction) and mutex-guarded so the multi-worker node
+//     path can share one instance across threads.
 //   - negative_cache: remembers that a site publishes no nakika.js, "thus
 //     avoiding repeated checks for the nakika.js resource" (paper §4).
+//   - lru_cache<T>: bounded string-keyed LRU; the node keys it by content
+//     hash to cache compiled bytecode chunks so repeat requests skip
+//     lex/parse/compile entirely.
 #pragma once
 
 #include <cstdint>
+#include <list>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 namespace nakika::cache {
+
+namespace detail {
+// Evicts the map entry closest to expiry (the least valuable one to keep).
+// `expiry_of` projects a mapped value to its expiry instant. The scan is
+// bounded (Redis-style sampling): exact for small maps, approximate for
+// large ones, so an insert into a full cache never pays an O(n) walk while
+// holding the mutex the request path's get() also needs.
+template <typename Map, typename ExpiryOf>
+void evict_nearest_expiry(Map& entries, ExpiryOf expiry_of) {
+  if (entries.empty()) return;
+  constexpr std::size_t max_scan = 16;
+  auto victim = entries.begin();
+  std::size_t scanned = 0;
+  for (auto it = entries.begin(); it != entries.end() && scanned < max_scan;
+       ++it, ++scanned) {
+    if (expiry_of(it->second) < expiry_of(victim->second)) victim = it;
+  }
+  entries.erase(victim);
+}
+}  // namespace detail
 
 template <typename T>
 class ttl_cache {
  public:
+  explicit ttl_cache(std::size_t max_entries = 4096)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
   [[nodiscard]] std::optional<T> get(const std::string& key, std::int64_t now) {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(key);
     if (it == entries_.end()) {
       ++misses_;
@@ -32,21 +64,68 @@ class ttl_cache {
   }
 
   void put(const std::string& key, T item, std::int64_t expires_at) {
-    entries_[key] = {std::move(item), expires_at};
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second = {std::move(item), expires_at};
+      return;
+    }
+    if (entries_.size() >= max_entries_) evict_one_locked();
+    entries_.emplace(key, entry{std::move(item), expires_at});
   }
 
-  bool remove(const std::string& key) { return entries_.erase(key) > 0; }
-  void clear() { entries_.clear(); }
+  // Sweeps every entry whose TTL has elapsed; returns how many were dropped.
+  // Without this, an expired key that is never re-queried would linger until
+  // capacity eviction happens to pick it.
+  std::size_t purge_expired(std::int64_t now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t purged = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.expires_at <= now) {
+        it = entries_.erase(it);
+        ++purged;
+      } else {
+        ++it;
+      }
+    }
+    return purged;
+  }
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] std::uint64_t hits() const { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  bool remove(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.erase(key) > 0;
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
+  [[nodiscard]] std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
   struct entry {
     T item;
     std::int64_t expires_at = 0;
   };
+
+  void evict_one_locked() {
+    detail::evict_nearest_expiry(entries_, [](const entry& e) { return e.expires_at; });
+  }
+
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
   std::unordered_map<std::string, entry> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
@@ -55,16 +134,85 @@ class ttl_cache {
 // Remembers "this URL does not exist" verdicts with a TTL.
 class negative_cache {
  public:
-  explicit negative_cache(std::int64_t ttl_seconds = 300);
+  explicit negative_cache(std::int64_t ttl_seconds = 300, std::size_t max_entries = 4096);
 
   [[nodiscard]] bool contains(const std::string& key, std::int64_t now);
   void insert(const std::string& key, std::int64_t now);
   bool remove(const std::string& key);
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  std::size_t purge_expired(std::int64_t now);
+  [[nodiscard]] std::size_t size() const;
 
  private:
+  mutable std::mutex mu_;
   std::int64_t ttl_seconds_;
+  std::size_t max_entries_;
   std::unordered_map<std::string, std::int64_t> entries_;  // key -> expiry
+};
+
+// Bounded LRU keyed by string. Values are copied out under the lock, so T is
+// typically a shared_ptr to an immutable payload (compiled chunks).
+template <typename T>
+class lru_cache {
+ public:
+  explicit lru_cache(std::size_t max_entries = 256)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  [[nodiscard]] std::optional<T> get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return it->second->second;
+  }
+
+  void put(const std::string& key, T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(item);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(item));
+    index_[key] = order_.begin();
+    if (index_.size() > max_entries_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_.clear();
+    order_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
+  [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
+  [[nodiscard]] std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  std::list<std::pair<std::string, T>> order_;  // front = most recent
+  std::unordered_map<std::string, typename std::list<std::pair<std::string, T>>::iterator>
+      index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace nakika::cache

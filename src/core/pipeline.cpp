@@ -95,8 +95,12 @@ void pipeline_executor::step_forward(const std::shared_ptr<run>& r) {
       fail(r, e);
       return;
     }
-    r->result.script_cpu_seconds +=
-        stats.parse_seconds + stats.execute_seconds + stats.tree_seconds;
+    r->result.script_cpu_seconds += stats.parse_seconds + stats.compile_seconds +
+                                    stats.execute_seconds + stats.tree_seconds;
+    r->result.script_compile_seconds +=
+        stats.parse_seconds + stats.compile_seconds + stats.tree_seconds;
+    r->result.script_execute_seconds += stats.execute_seconds;
+    if (stats.chunk_cache_hit) ++r->result.chunk_cache_hits;
     ++r->result.stages_executed;
 
     // FIND-CLOSEST-MATCH on the (possibly rewritten) request.
@@ -156,13 +160,17 @@ bool pipeline_executor::run_handler(const std::shared_ptr<run>& r, const js::val
     // Request.terminate(): generated response is already in exec state.
   } catch (const js::script_error& e) {
     ok = false;
-    r->result.script_cpu_seconds += seconds_since(start);
+    const double spent = seconds_since(start);
+    r->result.script_cpu_seconds += spent;
+    r->result.script_execute_seconds += spent;
     sb.binding()->current = nullptr;
     fail(r, e);
   }
   if (!ok) return false;
 
-  r->result.script_cpu_seconds += seconds_since(start);
+  const double spent = seconds_since(start);
+  r->result.script_cpu_seconds += spent;
+  r->result.script_execute_seconds += spent;
   ++r->result.handlers_run;
 
   // Mirror script-side mutations back into the native message.

@@ -63,6 +63,12 @@ struct pipeline_result {
   double virtual_delay_seconds = 0.0;  // network time owed (stage + resource
                                        // fetches + script subrequests)
   double script_cpu_seconds = 0.0;     // real time in handlers + stage loads
+  // Split of script_cpu_seconds: time spent getting code runnable
+  // (lex/parse/bytecode-compile/decision-tree build) vs time spent running it
+  // (stage evaluation + handlers). compile + execute == script_cpu.
+  double script_compile_seconds = 0.0;
+  double script_execute_seconds = 0.0;
+  int chunk_cache_hits = 0;            // stage loads served from compiled-chunk cache
   int stages_executed = 0;
   int handlers_run = 0;
   std::vector<std::string> log_lines;

@@ -1,6 +1,9 @@
 #include "core/sandbox.hpp"
 
+#include "integrity/sha256.hpp"
+#include "js/compiler.hpp"
 #include "js/parser.hpp"
+#include "js/vm.hpp"
 
 namespace nakika::core {
 
@@ -10,7 +13,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }
 }  // namespace
 
-sandbox::sandbox(js::context_limits limits) {
+sandbox::sandbox(js::context_limits limits, js::engine_kind engine) : engine_(engine) {
   const auto start = std::chrono::steady_clock::now();
   ctx_ = std::make_unique<js::context>(limits);
   binding_ = std::make_shared<exec_binding>();
@@ -35,16 +38,49 @@ const sandbox::loaded_stage& sandbox::load_stage(const std::string& url,
     return *cached;
   }
 
+  // Stage evaluation, engine-dependent. The bytecode path checks the shared
+  // chunk cache first: a content-hash hit skips lex/parse/compile entirely,
+  // which is what makes warm stage loads cheap across a node's sandbox pool.
+  double parse_s = 0.0;
+  double compile_s = 0.0;
+  bool chunk_hit = false;
+  js::program_ptr prog;
+  js::compiled_program_ptr chunk;
   auto t0 = std::chrono::steady_clock::now();
-  const js::program_ptr prog = js::parse_program(source, url);
-  const double parse_s = seconds_since(t0);
+
+  if (engine_ == js::engine_kind::bytecode) {
+    std::string content_key;
+    if (chunk_cache_ != nullptr) {
+      content_key = integrity::sha256_hex(source);
+      if (auto cached = chunk_cache_->get(content_key)) {
+        chunk = std::move(*cached);
+        chunk_hit = true;
+      }
+    }
+    if (!chunk) {
+      t0 = std::chrono::steady_clock::now();
+      prog = js::parse_program(source, url);
+      parse_s = seconds_since(t0);
+      t0 = std::chrono::steady_clock::now();
+      chunk = js::compile_program(prog);
+      compile_s = seconds_since(t0);
+      if (chunk_cache_ != nullptr) chunk_cache_->put(content_key, chunk);
+    }
+  } else {
+    prog = js::parse_program(source, url);
+    parse_s = seconds_since(t0);
+  }
 
   policy_registry registry;
   sink_->current = &registry;
   t0 = std::chrono::steady_clock::now();
   try {
-    js::interpreter in(*ctx_);
-    in.run(prog);
+    if (engine_ == js::engine_kind::bytecode) {
+      js::run_program(*ctx_, chunk);
+    } else {
+      js::interpreter in(*ctx_);
+      in.run(prog);
+    }
   } catch (...) {
     sink_->current = nullptr;
     throw;
@@ -65,9 +101,11 @@ const sandbox::loaded_stage& sandbox::load_stage(const std::string& url,
 
   if (stats != nullptr) {
     stats->parse_seconds = parse_s;
+    stats->compile_seconds = compile_s;
     stats->execute_seconds = exec_s;
     stats->tree_seconds = tree_s;
     stats->from_cache = false;
+    stats->chunk_cache_hit = chunk_hit;
   }
   return it->second;
 }

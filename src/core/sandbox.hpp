@@ -11,22 +11,32 @@
 #include <string>
 #include <unordered_map>
 
+#include "cache/script_cache.hpp"
 #include "core/decision_tree.hpp"
 #include "core/vocabulary.hpp"
+#include "js/bytecode.hpp"
 #include "js/interpreter.hpp"
 
 namespace nakika::core {
 
 struct stage_load_stats {
   double parse_seconds = 0.0;     // real time spent parsing
+  double compile_seconds = 0.0;   // real time lowering to bytecode (VM engine)
   double execute_seconds = 0.0;   // real time evaluating + registering
   double tree_seconds = 0.0;      // real time building the decision tree
-  bool from_cache = false;
+  bool from_cache = false;        // evaluated stage reused (per-sandbox)
+  bool chunk_cache_hit = false;   // compiled chunk reused (cross-sandbox)
 };
+
+// Shared cache of compiled chunks keyed by source content hash. Chunks are
+// immutable, so one cache instance can feed every sandbox of a node (and,
+// later, every worker thread).
+using chunk_cache = cache::lru_cache<js::compiled_program_ptr>;
 
 class sandbox {
  public:
-  explicit sandbox(js::context_limits limits = {});
+  explicit sandbox(js::context_limits limits = {},
+                   js::engine_kind engine = js::engine_kind::bytecode);
 
   struct loaded_stage {
     std::shared_ptr<const decision_tree> tree;
@@ -46,6 +56,11 @@ class sandbox {
 
   void evict_stage(const std::string& url);
 
+  // Attaches a (node-owned, shared) compiled-chunk cache; only consulted by
+  // the bytecode engine.
+  void set_chunk_cache(chunk_cache* cache) { chunk_cache_ = cache; }
+
+  [[nodiscard]] js::engine_kind engine() const { return engine_; }
   [[nodiscard]] js::context& ctx() { return *ctx_; }
   [[nodiscard]] const exec_binding_ptr& binding() const { return binding_; }
 
@@ -72,6 +87,8 @@ class sandbox {
   std::unique_ptr<js::context> ctx_;
   exec_binding_ptr binding_;
   policy_sink_ptr sink_;
+  js::engine_kind engine_;
+  chunk_cache* chunk_cache_ = nullptr;  // non-owning; the node outlives pools
   std::unordered_map<std::string, loaded_stage> stages_;
   double creation_seconds_ = 0.0;
 };

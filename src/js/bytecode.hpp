@@ -1,0 +1,167 @@
+// Compiled form of a script: compact opcode streams with constant pools and
+// resolved local slots. Chunks are immutable after compilation and hold no
+// pointers into the AST or into any scripting context, so one compiled program
+// can be shared across sandboxes (and, later, across worker threads) and
+// cached by content hash.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "js/value.hpp"
+
+namespace nakika::js {
+
+// Which execution engine evaluates scripts. The tree-walker is kept as the
+// reference oracle for differential testing; the bytecode VM is the fast path.
+enum class engine_kind { tree_walker, bytecode };
+
+[[nodiscard]] inline const char* to_string(engine_kind e) {
+  return e == engine_kind::tree_walker ? "tree_walker" : "bytecode";
+}
+
+enum class opcode : std::uint8_t {
+  // --- literals / constants -------------------------------------------------
+  push_const,       // a = constant index
+  push_undefined,
+  push_null,
+  push_true,
+  push_false,
+
+  // --- stack shuffling ------------------------------------------------------
+  pop,
+  dup,
+  swap,
+
+  // --- locals, cells, captures, globals ------------------------------------
+  load_local,       // a = slot
+  store_local,      // a = slot; keeps value on stack
+  store_local_pop,  // a = slot; pops the value (statement-position store)
+  store_cell_pop,   // a = cell slot; pops the value
+  update_local,     // a = slot, b = flags (bit1 decrement); ++/-- with result discarded
+  update_cell,      // a = cell slot, b = flags; same for boxed bindings
+  make_cell,        // a = cell slot; allocates a fresh boxed binding
+  load_cell,        // a = cell slot (this frame's boxed locals)
+  store_cell,       // a = cell slot; keeps value
+  load_capture,     // a = capture index (from the closure object)
+  store_capture,    // a = capture index; keeps value
+  load_global,      // a = name const; missing name is a runtime error
+  load_global_soft, // a = name const; missing name yields undefined
+  store_global,     // a = name const; creates/overwrites, keeps value
+  typeof_global,    // a = name const; typeof with undeclared tolerance
+
+  // --- objects and properties ----------------------------------------------
+  make_array,       // a = element count (popped)
+  make_object,      // a = entry count (pops key/value pairs)
+  make_closure,     // a = nested fn index
+  get_prop,         // a = name const; pops base
+  set_prop,         // a = name const; pops base+value, keeps value
+  get_index,        // pops base+index
+  set_index,        // pops base+index+value, keeps value
+  get_method,       // a = name const; keeps base, pushes callee (method-call error on undefined)
+  get_index_method, // pops index, keeps base, pushes callee via get_property
+  delete_prop,      // a = name const; pops base, pushes bool
+  delete_index,     // pops base+index, pushes bool
+  update_prop,      // a = name const, b = flags (bit0 prefix, bit1 decrement); pops base
+  update_index,     // b = flags; pops base+index
+  keys,             // pops a value, pushes its for-in key list as an array
+  forin_next,       // a = exit target, b = keys slot, c = index slot; pushes
+                    // the next key and advances, or jumps to a when done
+
+  // --- operators ------------------------------------------------------------
+  binary,           // a = js::binop; pops two, pushes result
+  compound,         // a = js::binop; compound-assignment flavor of `binary`
+  // Fused operand forms: the compiler emits these when an operand is a local
+  // slot or a constant, eliminating the push/pop traffic that dominates tight
+  // loops. Semantics are identical to `binary` (same apply_binop kernel).
+  binary_ll,        // a = binop, b = left slot, c = right slot
+  binary_lc,        // a = binop, b = left slot, c = right const
+  binary_cl,        // a = binop, b = left const, c = right slot
+  binary_sl,        // a = binop, b = right slot; left popped from stack
+  binary_sc,        // a = binop, b = right const; left popped from stack
+  binary_ls,        // a = binop, b = left slot; right popped from stack
+                    // (emitted only when the right operand is side-effect
+                    // free, so reading the slot late is unobservable)
+  not_op,
+  negate,
+  to_number,        // unary + / numeric coercion for ++ and --
+  bit_not,
+  typeof_op,
+
+  // --- control flow ---------------------------------------------------------
+  jump,             // a = target instruction index
+  jump_if_false,    // a = target; pops condition
+  jump_if_true,     // a = target; pops condition
+  jump_if_false_keep, // a = target; jumps keeping value, else pops
+  jump_if_true_keep,  // a = target; jumps keeping value, else pops
+  loop_back,        // a = target; flushes fuel + checks the kill flag
+
+  // --- calls ----------------------------------------------------------------
+  call,             // a = argc; stack: callee, args... (this = undefined)
+  call_method,      // a = argc; stack: this, callee, args...
+  check_ctor,       // peeks the would-be constructor; fails if not callable
+                    // (tree-walker order: `new` checks before evaluating args)
+  call_new,         // a = argc; stack: ctor, args...
+  ret,              // pops return value, leaves the frame
+  ret_undefined,
+
+  // --- exceptions -----------------------------------------------------------
+  push_handler,     // a = handler target
+  pop_handler,
+  throw_op,         // pops value, raises it as a script exception
+};
+
+struct bc_instr {
+  opcode op;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  std::int32_t line = 0;
+};
+
+// Where a closure capture comes from when the closure is created: either a
+// boxed local (cell) of the enclosing frame, or a capture the enclosing
+// closure itself carries (transitive capture).
+struct capture_src {
+  bool from_parent_cell = true;
+  std::uint32_t index = 0;
+};
+
+// A variable binding inside a frame: plain slot or boxed cell. Boxed bindings
+// are used for everything captured by a nested function.
+struct bc_binding {
+  bool is_cell = false;
+  std::uint32_t index = 0;
+};
+
+// One compiled function (the top-level script compiles to one of these too).
+struct compiled_fn {
+  std::string name;                 // diagnostic name; empty for anonymous
+  std::vector<bc_binding> params;
+  bc_binding this_binding;          // invalid (unused) for top-level chunks
+  bc_binding arguments_binding;
+  bool is_toplevel = false;
+
+  std::uint32_t num_slots = 0;
+  std::uint32_t num_cells = 0;
+
+  std::vector<bc_instr> code;
+  std::vector<value> consts;        // numbers and strings only: shareable
+  std::vector<std::shared_ptr<const compiled_fn>> fns;  // nested functions
+  std::vector<capture_src> captures;
+};
+
+using compiled_fn_ptr = std::shared_ptr<const compiled_fn>;
+
+struct compiled_program {
+  std::string name;           // source name (usually the script URL)
+  compiled_fn_ptr top;        // top-level code
+  std::size_t source_bytes = 0;
+  std::size_t instruction_count = 0;  // across all functions, for stats
+};
+
+using compiled_program_ptr = std::shared_ptr<const compiled_program>;
+
+}  // namespace nakika::js

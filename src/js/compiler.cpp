@@ -1,0 +1,1543 @@
+#include "js/compiler.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "js/errors.hpp"
+#include "js/ops.hpp"
+
+namespace nakika::js {
+
+namespace {
+
+// ----- capture pre-scan --------------------------------------------------------
+//
+// A local must be boxed (allocated as a cell) when any nested function might
+// reference it. We over-approximate by name: before compiling a function, we
+// collect every identifier mentioned inside nested function literals; locals
+// with those names are boxed. Boxing is semantically identical to a plain
+// slot, so over-approximation only costs an indirection, never correctness.
+
+void collect_names_stmt(const stmt& s, std::set<std::string>& out);
+
+void collect_names_expr(const expr& e, std::set<std::string>& out) {
+  switch (e.kind) {
+    case expr_kind::identifier:
+      out.insert(static_cast<const identifier&>(e).name);
+      return;
+    case expr_kind::array_lit:
+      for (const auto& el : static_cast<const array_lit&>(e).elements) {
+        collect_names_expr(*el, out);
+      }
+      return;
+    case expr_kind::object_lit:
+      for (const auto& [key, val] : static_cast<const object_lit&>(e).entries) {
+        collect_names_expr(*val, out);
+      }
+      return;
+    case expr_kind::function_lit:
+      for (const auto& st : static_cast<const function_lit&>(e).body) {
+        collect_names_stmt(*st, out);
+      }
+      return;
+    case expr_kind::member:
+      collect_names_expr(*static_cast<const member_expr&>(e).object, out);
+      return;
+    case expr_kind::index: {
+      const auto& ix = static_cast<const index_expr&>(e);
+      collect_names_expr(*ix.object, out);
+      collect_names_expr(*ix.index, out);
+      return;
+    }
+    case expr_kind::call: {
+      const auto& c = static_cast<const call_expr&>(e);
+      collect_names_expr(*c.callee, out);
+      for (const auto& a : c.args) collect_names_expr(*a, out);
+      return;
+    }
+    case expr_kind::new_call: {
+      const auto& n = static_cast<const new_expr&>(e);
+      collect_names_expr(*n.callee, out);
+      for (const auto& a : n.args) collect_names_expr(*a, out);
+      return;
+    }
+    case expr_kind::unary:
+      collect_names_expr(*static_cast<const unary_expr&>(e).operand, out);
+      return;
+    case expr_kind::binary: {
+      const auto& b = static_cast<const binary_expr&>(e);
+      collect_names_expr(*b.left, out);
+      collect_names_expr(*b.right, out);
+      return;
+    }
+    case expr_kind::logical: {
+      const auto& l = static_cast<const logical_expr&>(e);
+      collect_names_expr(*l.left, out);
+      collect_names_expr(*l.right, out);
+      return;
+    }
+    case expr_kind::conditional: {
+      const auto& c = static_cast<const conditional_expr&>(e);
+      collect_names_expr(*c.condition, out);
+      collect_names_expr(*c.if_true, out);
+      collect_names_expr(*c.if_false, out);
+      return;
+    }
+    case expr_kind::assign: {
+      const auto& a = static_cast<const assign_expr&>(e);
+      collect_names_expr(*a.target, out);
+      collect_names_expr(*a.value, out);
+      return;
+    }
+    case expr_kind::update:
+      collect_names_expr(*static_cast<const update_expr&>(e).target, out);
+      return;
+    default:
+      return;  // literals, this
+  }
+}
+
+void collect_names_stmt(const stmt& s, std::set<std::string>& out) {
+  switch (s.kind) {
+    case stmt_kind::expr_stmt:
+      collect_names_expr(*static_cast<const expr_stmt&>(s).expression, out);
+      return;
+    case stmt_kind::var_decl:
+      for (const auto& [name, init] : static_cast<const var_decl&>(s).declarations) {
+        out.insert(name);
+        if (init) collect_names_expr(*init, out);
+      }
+      return;
+    case stmt_kind::block:
+      for (const auto& st : static_cast<const block_stmt&>(s).body) {
+        collect_names_stmt(*st, out);
+      }
+      return;
+    case stmt_kind::if_stmt: {
+      const auto& n = static_cast<const if_stmt&>(s);
+      collect_names_expr(*n.condition, out);
+      collect_names_stmt(*n.then_branch, out);
+      if (n.else_branch) collect_names_stmt(*n.else_branch, out);
+      return;
+    }
+    case stmt_kind::while_stmt: {
+      const auto& n = static_cast<const while_stmt&>(s);
+      collect_names_expr(*n.condition, out);
+      collect_names_stmt(*n.body, out);
+      return;
+    }
+    case stmt_kind::do_while_stmt: {
+      const auto& n = static_cast<const do_while_stmt&>(s);
+      collect_names_stmt(*n.body, out);
+      collect_names_expr(*n.condition, out);
+      return;
+    }
+    case stmt_kind::for_stmt: {
+      const auto& n = static_cast<const for_stmt&>(s);
+      if (n.init) collect_names_stmt(*n.init, out);
+      if (n.condition) collect_names_expr(*n.condition, out);
+      if (n.step) collect_names_expr(*n.step, out);
+      collect_names_stmt(*n.body, out);
+      return;
+    }
+    case stmt_kind::for_in_stmt: {
+      const auto& n = static_cast<const for_in_stmt&>(s);
+      out.insert(n.variable);
+      collect_names_expr(*n.object, out);
+      collect_names_stmt(*n.body, out);
+      return;
+    }
+    case stmt_kind::return_stmt: {
+      const auto& n = static_cast<const return_stmt&>(s);
+      if (n.value) collect_names_expr(*n.value, out);
+      return;
+    }
+    case stmt_kind::function_decl: {
+      const auto& n = static_cast<const function_decl&>(s);
+      out.insert(n.function->name);
+      for (const auto& st : n.function->body) collect_names_stmt(*st, out);
+      return;
+    }
+    case stmt_kind::throw_stmt:
+      collect_names_expr(*static_cast<const throw_stmt&>(s).value, out);
+      return;
+    case stmt_kind::try_stmt: {
+      const auto& n = static_cast<const try_stmt&>(s);
+      collect_names_stmt(*n.try_block, out);
+      if (!n.catch_name.empty()) out.insert(n.catch_name);
+      if (n.catch_block) collect_names_stmt(*n.catch_block, out);
+      if (n.finally_block) collect_names_stmt(*n.finally_block, out);
+      return;
+    }
+    case stmt_kind::switch_stmt: {
+      const auto& n = static_cast<const switch_stmt&>(s);
+      collect_names_expr(*n.discriminant, out);
+      for (const auto& c : n.cases) {
+        if (c.test) collect_names_expr(*c.test, out);
+        for (const auto& st : c.body) collect_names_stmt(*st, out);
+      }
+      return;
+    }
+    default:
+      return;  // break, continue, empty
+  }
+}
+
+// Names referenced anywhere inside nested function literals of `body`.
+void collect_inner_refs_stmt(const stmt& s, std::set<std::string>& out);
+
+void collect_inner_refs_expr(const expr& e, std::set<std::string>& out) {
+  switch (e.kind) {
+    case expr_kind::function_lit:
+      // Everything mentioned inside a nested function (at any depth) might be
+      // a capture of the current function's locals.
+      for (const auto& st : static_cast<const function_lit&>(e).body) {
+        collect_names_stmt(*st, out);
+      }
+      return;
+    case expr_kind::array_lit:
+      for (const auto& el : static_cast<const array_lit&>(e).elements) {
+        collect_inner_refs_expr(*el, out);
+      }
+      return;
+    case expr_kind::object_lit:
+      for (const auto& [key, val] : static_cast<const object_lit&>(e).entries) {
+        collect_inner_refs_expr(*val, out);
+      }
+      return;
+    case expr_kind::member:
+      collect_inner_refs_expr(*static_cast<const member_expr&>(e).object, out);
+      return;
+    case expr_kind::index: {
+      const auto& ix = static_cast<const index_expr&>(e);
+      collect_inner_refs_expr(*ix.object, out);
+      collect_inner_refs_expr(*ix.index, out);
+      return;
+    }
+    case expr_kind::call: {
+      const auto& c = static_cast<const call_expr&>(e);
+      collect_inner_refs_expr(*c.callee, out);
+      for (const auto& a : c.args) collect_inner_refs_expr(*a, out);
+      return;
+    }
+    case expr_kind::new_call: {
+      const auto& n = static_cast<const new_expr&>(e);
+      collect_inner_refs_expr(*n.callee, out);
+      for (const auto& a : n.args) collect_inner_refs_expr(*a, out);
+      return;
+    }
+    case expr_kind::unary:
+      collect_inner_refs_expr(*static_cast<const unary_expr&>(e).operand, out);
+      return;
+    case expr_kind::binary: {
+      const auto& b = static_cast<const binary_expr&>(e);
+      collect_inner_refs_expr(*b.left, out);
+      collect_inner_refs_expr(*b.right, out);
+      return;
+    }
+    case expr_kind::logical: {
+      const auto& l = static_cast<const logical_expr&>(e);
+      collect_inner_refs_expr(*l.left, out);
+      collect_inner_refs_expr(*l.right, out);
+      return;
+    }
+    case expr_kind::conditional: {
+      const auto& c = static_cast<const conditional_expr&>(e);
+      collect_inner_refs_expr(*c.condition, out);
+      collect_inner_refs_expr(*c.if_true, out);
+      collect_inner_refs_expr(*c.if_false, out);
+      return;
+    }
+    case expr_kind::assign: {
+      const auto& a = static_cast<const assign_expr&>(e);
+      collect_inner_refs_expr(*a.target, out);
+      collect_inner_refs_expr(*a.value, out);
+      return;
+    }
+    case expr_kind::update:
+      collect_inner_refs_expr(*static_cast<const update_expr&>(e).target, out);
+      return;
+    default:
+      return;
+  }
+}
+
+void collect_inner_refs_stmt(const stmt& s, std::set<std::string>& out) {
+  switch (s.kind) {
+    case stmt_kind::expr_stmt:
+      collect_inner_refs_expr(*static_cast<const expr_stmt&>(s).expression, out);
+      return;
+    case stmt_kind::var_decl:
+      for (const auto& [name, init] : static_cast<const var_decl&>(s).declarations) {
+        if (init) collect_inner_refs_expr(*init, out);
+      }
+      return;
+    case stmt_kind::block:
+      for (const auto& st : static_cast<const block_stmt&>(s).body) {
+        collect_inner_refs_stmt(*st, out);
+      }
+      return;
+    case stmt_kind::if_stmt: {
+      const auto& n = static_cast<const if_stmt&>(s);
+      collect_inner_refs_expr(*n.condition, out);
+      collect_inner_refs_stmt(*n.then_branch, out);
+      if (n.else_branch) collect_inner_refs_stmt(*n.else_branch, out);
+      return;
+    }
+    case stmt_kind::while_stmt: {
+      const auto& n = static_cast<const while_stmt&>(s);
+      collect_inner_refs_expr(*n.condition, out);
+      collect_inner_refs_stmt(*n.body, out);
+      return;
+    }
+    case stmt_kind::do_while_stmt: {
+      const auto& n = static_cast<const do_while_stmt&>(s);
+      collect_inner_refs_stmt(*n.body, out);
+      collect_inner_refs_expr(*n.condition, out);
+      return;
+    }
+    case stmt_kind::for_stmt: {
+      const auto& n = static_cast<const for_stmt&>(s);
+      if (n.init) collect_inner_refs_stmt(*n.init, out);
+      if (n.condition) collect_inner_refs_expr(*n.condition, out);
+      if (n.step) collect_inner_refs_expr(*n.step, out);
+      collect_inner_refs_stmt(*n.body, out);
+      return;
+    }
+    case stmt_kind::for_in_stmt: {
+      const auto& n = static_cast<const for_in_stmt&>(s);
+      collect_inner_refs_expr(*n.object, out);
+      collect_inner_refs_stmt(*n.body, out);
+      return;
+    }
+    case stmt_kind::return_stmt: {
+      const auto& n = static_cast<const return_stmt&>(s);
+      if (n.value) collect_inner_refs_expr(*n.value, out);
+      return;
+    }
+    case stmt_kind::function_decl:
+      // A nested function declaration: everything inside it may capture.
+      for (const auto& st : static_cast<const function_decl&>(s).function->body) {
+        collect_names_stmt(*st, out);
+      }
+      return;
+    case stmt_kind::throw_stmt:
+      collect_inner_refs_expr(*static_cast<const throw_stmt&>(s).value, out);
+      return;
+    case stmt_kind::try_stmt: {
+      const auto& n = static_cast<const try_stmt&>(s);
+      collect_inner_refs_stmt(*n.try_block, out);
+      if (n.catch_block) collect_inner_refs_stmt(*n.catch_block, out);
+      if (n.finally_block) collect_inner_refs_stmt(*n.finally_block, out);
+      return;
+    }
+    case stmt_kind::switch_stmt: {
+      const auto& n = static_cast<const switch_stmt&>(s);
+      collect_inner_refs_expr(*n.discriminant, out);
+      for (const auto& c : n.cases) {
+        if (c.test) collect_inner_refs_expr(*c.test, out);
+        for (const auto& st : c.body) collect_inner_refs_stmt(*st, out);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// A side-effect-free expression: evaluating it cannot modify any binding (no
+// calls, no `new`, no assignments, no updates). Used to justify reading a
+// fused slot operand after instead of before such an expression.
+bool is_pure(const expr& e) {
+  switch (e.kind) {
+    case expr_kind::number_lit:
+    case expr_kind::string_lit:
+    case expr_kind::bool_lit:
+    case expr_kind::null_lit:
+    case expr_kind::undefined_lit:
+    case expr_kind::identifier:
+    case expr_kind::this_expr:
+    case expr_kind::function_lit:  // creating a closure runs no user code
+      return true;
+    case expr_kind::member:
+      return is_pure(*static_cast<const member_expr&>(e).object);
+    case expr_kind::index: {
+      const auto& ix = static_cast<const index_expr&>(e);
+      return is_pure(*ix.object) && is_pure(*ix.index);
+    }
+    case expr_kind::unary:
+      return is_pure(*static_cast<const unary_expr&>(e).operand);
+    case expr_kind::binary: {
+      const auto& b = static_cast<const binary_expr&>(e);
+      return is_pure(*b.left) && is_pure(*b.right);
+    }
+    case expr_kind::logical: {
+      const auto& l = static_cast<const logical_expr&>(e);
+      return is_pure(*l.left) && is_pure(*l.right);
+    }
+    case expr_kind::conditional: {
+      const auto& c = static_cast<const conditional_expr&>(e);
+      return is_pure(*c.condition) && is_pure(*c.if_true) && is_pure(*c.if_false);
+    }
+    case expr_kind::array_lit: {
+      const auto& a = static_cast<const array_lit&>(e);
+      for (const auto& el : a.elements) {
+        if (!is_pure(*el)) return false;
+      }
+      return true;
+    }
+    case expr_kind::object_lit: {
+      const auto& o = static_cast<const object_lit&>(e);
+      for (const auto& [key, val] : o.entries) {
+        if (!is_pure(*val)) return false;
+      }
+      return true;
+    }
+    default:
+      return false;  // call, new_call, assign, update
+  }
+}
+
+// ----- the compiler ------------------------------------------------------------
+
+[[noreturn]] void compile_fail(const std::string& message, int line) {
+  throw script_error(script_error_kind::runtime, "compiler: " + message, line);
+}
+
+class fn_compiler {
+ public:
+  struct reference {
+    enum class kind { slot, cell, capture, global } k;
+    std::uint32_t index = 0;  // unused for global
+  };
+
+  fn_compiler(compiled_fn* fn, fn_compiler* parent, bool global_backed_base)
+      : fn_(fn), parent_(parent) {
+    scopes_.push_back(scope{{}, 0, 0, global_backed_base});
+  }
+
+  compiled_fn* fn() { return fn_; }
+
+  // --- emission ----------------------------------------------------------------
+  std::size_t emit(opcode op, std::int32_t a, std::int32_t b, int line) {
+    fn_->code.push_back(bc_instr{op, a, b, 0, line});
+    return fn_->code.size() - 1;
+  }
+  std::size_t emit_c(opcode op, std::int32_t a, std::int32_t b, std::int32_t c, int line) {
+    fn_->code.push_back(bc_instr{op, a, b, c, line});
+    return fn_->code.size() - 1;
+  }
+  std::size_t here() const { return fn_->code.size(); }
+  void patch(std::size_t instr_index, std::size_t target) {
+    bc_instr& ins = fn_->code[instr_index];
+    ins.a = static_cast<std::int32_t>(target);
+    // A `jump` that lands at or before itself is a loop back-edge and must
+    // flush fuel / check the kill flag.
+    if (ins.op == opcode::jump && target <= instr_index) ins.op = opcode::loop_back;
+  }
+
+  std::int32_t const_string(const std::string& s) {
+    auto [it, inserted] = string_consts_.try_emplace(s, fn_->consts.size());
+    if (inserted) fn_->consts.push_back(value::string(s));
+    return static_cast<std::int32_t>(it->second);
+  }
+  std::int32_t const_number(double d) {
+    auto [it, inserted] = number_consts_.try_emplace(d, fn_->consts.size());
+    if (inserted) fn_->consts.push_back(value::number(d));
+    return static_cast<std::int32_t>(it->second);
+  }
+
+  // --- scopes and locals -------------------------------------------------------
+  void begin_scope(bool global_backed = false) {
+    scopes_.push_back(scope{{}, next_slot_, next_cell_, global_backed});
+  }
+  void end_scope() {
+    next_slot_ = scopes_.back().slot_mark;
+    next_cell_ = scopes_.back().cell_mark;
+    scopes_.pop_back();
+  }
+
+  [[nodiscard]] bool in_global_scope() const { return scopes_.back().global_backed; }
+  [[nodiscard]] bool is_toplevel() const { return fn_->is_toplevel; }
+
+  // Declares a named local in the current scope; emits make_cell for boxed
+  // bindings. Redeclaration in the same scope reuses the existing binding
+  // (matching environment::declare's overwrite semantics).
+  bc_binding declare_local(const std::string& name, int line) {
+    for (const auto& l : scopes_.back().locals) {
+      if (l.name == name) return l.b;
+    }
+    bc_binding b;
+    b.is_cell = inner_refs_.count(name) > 0;
+    if (b.is_cell) {
+      b.index = next_cell_++;
+      if (next_cell_ > fn_->num_cells) fn_->num_cells = next_cell_;
+      emit(opcode::make_cell, static_cast<std::int32_t>(b.index), 0, line);
+    } else {
+      b.index = next_slot_++;
+      if (next_slot_ > fn_->num_slots) fn_->num_slots = next_slot_;
+    }
+    scopes_.back().locals.push_back(local{name, b});
+    return b;
+  }
+
+  // A compiler-internal slot (never resolvable by name).
+  std::uint32_t hidden_slot() {
+    const std::uint32_t idx = next_slot_++;
+    if (next_slot_ > fn_->num_slots) fn_->num_slots = next_slot_;
+    scopes_.back().locals.push_back(local{std::string(), bc_binding{false, idx}});
+    return idx;
+  }
+
+  void set_inner_refs(std::set<std::string> refs) { inner_refs_ = std::move(refs); }
+  [[nodiscard]] bool is_captured_name(const std::string& name) const {
+    return inner_refs_.count(name) > 0;
+  }
+
+  std::optional<bc_binding> resolve_local(const std::string& name) const {
+    for (auto s = scopes_.rbegin(); s != scopes_.rend(); ++s) {
+      if (s->global_backed) continue;  // top-level base scope holds globals
+      for (auto l = s->locals.rbegin(); l != s->locals.rend(); ++l) {
+        if (!l->name.empty() && l->name == name) return l->b;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::uint32_t add_capture(capture_src src) {
+    for (std::size_t i = 0; i < fn_->captures.size(); ++i) {
+      if (fn_->captures[i].from_parent_cell == src.from_parent_cell &&
+          fn_->captures[i].index == src.index) {
+        return static_cast<std::uint32_t>(i);
+      }
+    }
+    fn_->captures.push_back(src);
+    return static_cast<std::uint32_t>(fn_->captures.size() - 1);
+  }
+
+  // Resolves `name` as a capture from enclosing functions, threading the
+  // capture through every intermediate function (Lua-style upvalues).
+  std::optional<std::uint32_t> resolve_capture(const std::string& name) {
+    if (parent_ == nullptr) return std::nullopt;
+    if (auto b = parent_->resolve_local(name)) {
+      if (!b->is_cell) return std::nullopt;  // pre-scan missed it; treat as global
+      return add_capture(capture_src{true, b->index});
+    }
+    if (auto idx = parent_->resolve_capture(name)) {
+      return add_capture(capture_src{false, *idx});
+    }
+    return std::nullopt;
+  }
+
+  reference resolve(const std::string& name) {
+    if (auto b = resolve_local(name)) {
+      return reference{b->is_cell ? reference::kind::cell : reference::kind::slot, b->index};
+    }
+    if (auto idx = resolve_capture(name)) {
+      return reference{reference::kind::capture, *idx};
+    }
+    return reference{reference::kind::global, 0};
+  }
+
+  // --- loop / try bookkeeping --------------------------------------------------
+  struct loop_ctx {
+    bool is_switch = false;
+    std::size_t try_depth = 0;               // try_stack_.size() at entry
+    std::size_t continue_target = 0;         // valid when continue_known
+    bool continue_known = false;
+    std::vector<std::size_t> break_jumps;
+    std::vector<std::size_t> continue_jumps;
+  };
+  struct try_ctx {
+    const stmt* finally_ast = nullptr;  // one runtime handler per entry
+  };
+
+  std::vector<loop_ctx> loops_;
+  std::vector<try_ctx> try_stack_;
+
+  std::uint32_t retval_slot() const { return retval_slot_; }
+  void set_retval_slot(std::uint32_t s) { retval_slot_ = s; }
+
+ private:
+  struct local {
+    std::string name;
+    bc_binding b;
+  };
+  struct scope {
+    std::vector<local> locals;
+    std::uint32_t slot_mark = 0;
+    std::uint32_t cell_mark = 0;
+    bool global_backed = false;
+  };
+
+  compiled_fn* fn_;
+  fn_compiler* parent_;
+  std::vector<scope> scopes_;
+  std::uint32_t next_slot_ = 0;
+  std::uint32_t next_cell_ = 0;
+  std::set<std::string> inner_refs_;
+  std::map<std::string, std::size_t> string_consts_;
+  std::map<double, std::size_t> number_consts_;
+  std::uint32_t retval_slot_ = 0;
+};
+
+class program_compiler {
+ public:
+  compiled_program_ptr compile(const program_ptr& prog) {
+    auto out = std::make_shared<compiled_program>();
+    out->name = prog->name;
+
+    auto top = std::make_shared<compiled_fn>();
+    top->name = prog->name;
+    top->is_toplevel = true;
+
+    fn_compiler fc(top.get(), nullptr, /*global_backed_base=*/true);
+    std::set<std::string> refs;
+    for (const auto& s : prog->body) collect_inner_refs_stmt(*s, refs);
+    fc.set_inner_refs(std::move(refs));
+
+    current_ = &fc;
+    hoist_functions(prog->body);
+    for (const auto& s : prog->body) compile_stmt(*s);
+    fc.emit(opcode::ret_undefined, 0, 0, 0);
+    current_ = nullptr;
+
+    out->top = top;
+    out->instruction_count = count_instructions(*top);
+    return out;
+  }
+
+ private:
+  fn_compiler* current_ = nullptr;
+
+  static std::size_t count_instructions(const compiled_fn& fn) {
+    std::size_t n = fn.code.size();
+    for (const auto& nested : fn.fns) n += count_instructions(*nested);
+    return n;
+  }
+
+  fn_compiler& cur() { return *current_; }
+
+  // ----- function compilation ---------------------------------------------------
+
+  std::int32_t compile_function(const function_lit& lit) {
+    auto nested = std::make_shared<compiled_fn>();
+    nested->name = lit.name;
+
+    fn_compiler fc(nested.get(), current_, /*global_backed_base=*/false);
+    std::set<std::string> refs;
+    for (const auto& s : lit.body) collect_inner_refs_stmt(*s, refs);
+    fc.set_inner_refs(std::move(refs));
+
+    fn_compiler* saved = current_;
+    current_ = &fc;
+
+    // Frame layout: hidden return-value slot first (used by
+    // return-through-finally), then this/params/arguments bindings.
+    fc.set_retval_slot(fc.hidden_slot());
+    nested->this_binding = fc.declare_local("this", lit.line);
+    for (const auto& p : lit.params) {
+      nested->params.push_back(fc.declare_local(p, lit.line));
+    }
+    nested->arguments_binding = fc.declare_local("arguments", lit.line);
+
+    // NOTE: declare_local emits make_cell for boxed bindings, but the VM
+    // prologue allocates cells for this/params/arguments itself, so strip any
+    // prologue-emitted instructions.
+    nested->code.clear();
+
+    hoist_functions(lit.body);
+    for (const auto& s : lit.body) compile_stmt(*s);
+    fc.emit(opcode::ret_undefined, 0, 0, lit.line);
+
+    current_ = saved;
+    cur().fn()->fns.push_back(std::move(nested));
+    return static_cast<std::int32_t>(cur().fn()->fns.size() - 1);
+  }
+
+  void hoist_functions(const std::vector<stmt_ptr>& body) {
+    // Captured (boxed) vars declared in this block are pre-declared at block
+    // entry so a closure created BEFORE the var statement executes captures
+    // the same cell the later declaration initializes. The tree-walker gets
+    // this for free by resolving through the environment chain at call time;
+    // without this, `var f = function() { return x; }; var x = 5; f();`
+    // would mis-bind x to a global. Non-captured names stay declared at their
+    // statement (so earlier reads still see outer bindings, matching the
+    // oracle), and the cell is per-block-entry, preserving per-iteration
+    // capture semantics in loops.
+    if (!cur().in_global_scope()) {
+      for (const auto& s : body) {
+        if (s->kind != stmt_kind::var_decl) continue;
+        for (const auto& [name, init] : static_cast<const var_decl&>(*s).declarations) {
+          if (cur().is_captured_name(name)) cur().declare_local(name, s->line);
+        }
+      }
+    }
+    for (const auto& s : body) {
+      if (s->kind != stmt_kind::function_decl) continue;
+      const auto& decl = static_cast<const function_decl&>(*s);
+      const std::string& name = decl.function->name;
+      if (cur().in_global_scope()) {
+        cur().emit(opcode::push_undefined, 0, 0, s->line);
+        cur().emit(opcode::store_global, cur().const_string(name), 0, s->line);
+        cur().emit(opcode::pop, 0, 0, s->line);
+      } else {
+        const bc_binding b = cur().declare_local(name, s->line);
+        cur().emit(opcode::push_undefined, 0, 0, s->line);
+        emit_store_discard(b, s->line);
+      }
+    }
+  }
+
+  // ----- identifier access ------------------------------------------------------
+
+  void load_reference(const fn_compiler::reference& ref, const std::string& name, int line,
+                      bool soft = false) {
+    using K = fn_compiler::reference::kind;
+    switch (ref.k) {
+      case K::slot:
+        cur().emit(opcode::load_local, static_cast<std::int32_t>(ref.index), 0, line);
+        return;
+      case K::cell:
+        cur().emit(opcode::load_cell, static_cast<std::int32_t>(ref.index), 0, line);
+        return;
+      case K::capture:
+        cur().emit(opcode::load_capture, static_cast<std::int32_t>(ref.index), 0, line);
+        return;
+      case K::global:
+        cur().emit(soft ? opcode::load_global_soft : opcode::load_global,
+                   cur().const_string(name), 0, line);
+        return;
+    }
+  }
+
+  void store_reference(const fn_compiler::reference& ref, const std::string& name, int line) {
+    using K = fn_compiler::reference::kind;
+    switch (ref.k) {
+      case K::slot:
+        cur().emit(opcode::store_local, static_cast<std::int32_t>(ref.index), 0, line);
+        return;
+      case K::cell:
+        cur().emit(opcode::store_cell, static_cast<std::int32_t>(ref.index), 0, line);
+        return;
+      case K::capture:
+        cur().emit(opcode::store_capture, static_cast<std::int32_t>(ref.index), 0, line);
+        return;
+      case K::global:
+        cur().emit(opcode::store_global, cur().const_string(name), 0, line);
+        return;
+    }
+  }
+
+  // Statement-position store: the value is discarded, so slot/cell targets
+  // use the fused popping form instead of store + pop.
+  void emit_store_discard(const bc_binding& b, int line) {
+    cur().emit(b.is_cell ? opcode::store_cell_pop : opcode::store_local_pop,
+               static_cast<std::int32_t>(b.index), 0, line);
+  }
+
+  // ----- operand classification for fused binary forms --------------------------
+
+  struct operand_class {
+    enum class kind { slot, constant, other } k = kind::other;
+    std::int32_t index = 0;
+  };
+
+  operand_class classify(const expr& e) {
+    operand_class out;
+    if (e.kind == expr_kind::number_lit) {
+      out.k = operand_class::kind::constant;
+      out.index = cur().const_number(static_cast<const number_lit&>(e).value);
+      return out;
+    }
+    if (e.kind == expr_kind::string_lit) {
+      out.k = operand_class::kind::constant;
+      out.index = cur().const_string(static_cast<const string_lit&>(e).value);
+      return out;
+    }
+    if (e.kind == expr_kind::identifier) {
+      const auto& id = static_cast<const identifier&>(e);
+      const auto ref = cur().resolve(id.name);
+      if (ref.k == fn_compiler::reference::kind::slot) {
+        out.k = operand_class::kind::slot;
+        out.index = static_cast<std::int32_t>(ref.index);
+        return out;
+      }
+    }
+    return out;
+  }
+
+  // ----- statements -------------------------------------------------------------
+
+  // Compiles an expression whose value is discarded (expression statements,
+  // for-loop steps). Assignments and updates targeting plain locals use the
+  // fused stack-free forms.
+  void compile_expr_discard(const expr& e) {
+    using K = fn_compiler::reference::kind;
+    if (e.kind == expr_kind::update) {
+      const auto& u = static_cast<const update_expr&>(e);
+      if (u.target->kind == expr_kind::identifier) {
+        const auto& id = static_cast<const identifier&>(*u.target);
+        const auto ref = cur().resolve(id.name);
+        const std::int32_t flags = u.op == "--" ? 2 : 0;
+        if (ref.k == K::slot) {
+          cur().emit(opcode::update_local, static_cast<std::int32_t>(ref.index), flags,
+                     u.line);
+          return;
+        }
+        if (ref.k == K::cell) {
+          cur().emit(opcode::update_cell, static_cast<std::int32_t>(ref.index), flags,
+                     u.line);
+          return;
+        }
+      }
+    }
+    if (e.kind == expr_kind::assign) {
+      const auto& a = static_cast<const assign_expr&>(e);
+      if (a.target->kind == expr_kind::identifier) {
+        const auto& id = static_cast<const identifier&>(*a.target);
+        const auto ref = cur().resolve(id.name);
+        if (ref.k == K::slot || ref.k == K::cell) {
+          compile_expr(*a.value);
+          if (a.op != "=") {
+            load_reference(ref, id.name, a.line, /*soft=*/true);
+            cur().emit(opcode::swap, 0, 0, a.line);
+            cur().emit(opcode::compound,
+                       static_cast<std::int32_t>(compound_op(a.op, a.line)), 0, a.line);
+          }
+          emit_store_discard(bc_binding{ref.k == K::cell, ref.index}, a.line);
+          return;
+        }
+      }
+    }
+    compile_expr(e);
+    cur().emit(opcode::pop, 0, 0, e.line);
+  }
+
+  void compile_stmt(const stmt& s) {
+    switch (s.kind) {
+      case stmt_kind::empty_stmt:
+        return;
+
+      case stmt_kind::expr_stmt:
+        compile_expr_discard(*static_cast<const expr_stmt&>(s).expression);
+        return;
+
+      case stmt_kind::var_decl: {
+        const auto& decl = static_cast<const var_decl&>(s);
+        for (const auto& [name, init] : decl.declarations) {
+          // The initializer is evaluated before the name is declared, so
+          // `var x = x;` resolves the right-hand x to the outer binding.
+          if (init) {
+            compile_expr(*init);
+          } else {
+            cur().emit(opcode::push_undefined, 0, 0, s.line);
+          }
+          if (cur().in_global_scope()) {
+            cur().emit(opcode::store_global, cur().const_string(name), 0, s.line);
+            cur().emit(opcode::pop, 0, 0, s.line);
+          } else {
+            emit_store_discard(cur().declare_local(name, s.line), s.line);
+          }
+        }
+        return;
+      }
+
+      case stmt_kind::block: {
+        const auto& block = static_cast<const block_stmt&>(s);
+        cur().begin_scope();
+        hoist_functions(block.body);
+        for (const auto& st : block.body) compile_stmt(*st);
+        cur().end_scope();
+        return;
+      }
+
+      case stmt_kind::if_stmt: {
+        const auto& node = static_cast<const if_stmt&>(s);
+        compile_expr(*node.condition);
+        const std::size_t jf = cur().emit(opcode::jump_if_false, 0, 0, s.line);
+        compile_stmt(*node.then_branch);
+        if (node.else_branch) {
+          const std::size_t je = cur().emit(opcode::jump, 0, 0, s.line);
+          cur().patch(jf, cur().here());
+          compile_stmt(*node.else_branch);
+          cur().patch(je, cur().here());
+        } else {
+          cur().patch(jf, cur().here());
+        }
+        return;
+      }
+
+      case stmt_kind::while_stmt: {
+        const auto& node = static_cast<const while_stmt&>(s);
+        const std::size_t test = cur().here();
+        compile_expr(*node.condition);
+        const std::size_t jf = cur().emit(opcode::jump_if_false, 0, 0, s.line);
+        begin_loop(test);
+        compile_stmt(*node.body);
+        cur().emit(opcode::loop_back, static_cast<std::int32_t>(test), 0, s.line);
+        cur().patch(jf, cur().here());
+        end_loop(cur().here(), test);
+        return;
+      }
+
+      case stmt_kind::do_while_stmt: {
+        const auto& node = static_cast<const do_while_stmt&>(s);
+        const std::size_t body_start = cur().here();
+        begin_loop_deferred();
+        compile_stmt(*node.body);
+        const std::size_t cond_at = cur().here();
+        compile_expr(*node.condition);
+        const std::size_t jf = cur().emit(opcode::jump_if_false, 0, 0, s.line);
+        cur().emit(opcode::loop_back, static_cast<std::int32_t>(body_start), 0, s.line);
+        cur().patch(jf, cur().here());
+        end_loop(cur().here(), cond_at);
+        return;
+      }
+
+      case stmt_kind::for_stmt: {
+        const auto& node = static_cast<const for_stmt&>(s);
+        cur().begin_scope();
+        if (node.init) compile_stmt(*node.init);
+        const std::size_t test = cur().here();
+        std::size_t jf = 0;
+        bool has_cond = node.condition != nullptr;
+        if (has_cond) {
+          compile_expr(*node.condition);
+          jf = cur().emit(opcode::jump_if_false, 0, 0, s.line);
+        }
+        begin_loop_deferred();
+        compile_stmt(*node.body);
+        const std::size_t step_at = cur().here();
+        if (node.step) compile_expr_discard(*node.step);
+        cur().emit(opcode::loop_back, static_cast<std::int32_t>(test), 0, s.line);
+        if (has_cond) cur().patch(jf, cur().here());
+        end_loop(cur().here(), step_at);
+        cur().end_scope();
+        return;
+      }
+
+      case stmt_kind::for_in_stmt:
+        compile_for_in(static_cast<const for_in_stmt&>(s));
+        return;
+
+      case stmt_kind::return_stmt: {
+        const auto& node = static_cast<const return_stmt&>(s);
+        if (cur().is_toplevel()) {
+          cur().emit(opcode::push_const,
+                     cur().const_string("illegal top-level break/continue/return"), 0, s.line);
+          cur().emit(opcode::throw_op, /*engine_error=*/1, 0, s.line);
+          return;
+        }
+        if (node.value) {
+          compile_expr(*node.value);
+        } else {
+          cur().emit(opcode::push_undefined, 0, 0, s.line);
+        }
+        if (cur().try_stack_.empty()) {
+          cur().emit(opcode::ret, 0, 0, s.line);
+          return;
+        }
+        // Unwind every enclosing try: stash the value, run the finallys,
+        // then return the stashed value.
+        cur().emit(opcode::store_local_pop, static_cast<std::int32_t>(cur().retval_slot()), 0,
+                   s.line);
+        unwind_trys(0, s.line);
+        cur().emit(opcode::load_local, static_cast<std::int32_t>(cur().retval_slot()), 0,
+                   s.line);
+        cur().emit(opcode::ret, 0, 0, s.line);
+        return;
+      }
+
+      case stmt_kind::break_stmt:
+      case stmt_kind::continue_stmt: {
+        const bool is_break = s.kind == stmt_kind::break_stmt;
+        fn_compiler::loop_ctx* target = nullptr;
+        for (auto it = cur().loops_.rbegin(); it != cur().loops_.rend(); ++it) {
+          if (is_break || !it->is_switch) {
+            target = &*it;
+            break;
+          }
+        }
+        if (target == nullptr) {
+          const char* msg = cur().is_toplevel() ? "illegal top-level break/continue/return"
+                                                : "break/continue escaped function body";
+          cur().emit(opcode::push_const, cur().const_string(msg), 0, s.line);
+          cur().emit(opcode::throw_op, /*engine_error=*/1, 0, s.line);
+          return;
+        }
+        unwind_trys(target->try_depth, s.line);
+        const std::size_t j = cur().emit(opcode::jump, 0, 0, s.line);
+        if (is_break) {
+          target->break_jumps.push_back(j);
+        } else if (target->continue_known) {
+          cur().patch(j, target->continue_target);
+        } else {
+          target->continue_jumps.push_back(j);
+        }
+        return;
+      }
+
+      case stmt_kind::function_decl: {
+        const auto& decl = static_cast<const function_decl&>(s);
+        const std::int32_t idx = compile_function(*decl.function);
+        cur().emit(opcode::make_closure, idx, 0, s.line);
+        const std::string& name = decl.function->name;
+        using K = fn_compiler::reference::kind;
+        const auto ref =
+            cur().in_global_scope() ? fn_compiler::reference{K::global, 0} : cur().resolve(name);
+        if (ref.k == K::slot || ref.k == K::cell) {
+          emit_store_discard(bc_binding{ref.k == K::cell, ref.index}, s.line);
+        } else {
+          store_reference(ref, name, s.line);
+          cur().emit(opcode::pop, 0, 0, s.line);
+        }
+        return;
+      }
+
+      case stmt_kind::throw_stmt: {
+        const auto& node = static_cast<const throw_stmt&>(s);
+        compile_expr(*node.value);
+        cur().emit(opcode::throw_op, 0, 0, s.line);
+        return;
+      }
+
+      case stmt_kind::try_stmt:
+        compile_try(static_cast<const try_stmt&>(s));
+        return;
+
+      case stmt_kind::switch_stmt:
+        compile_switch(static_cast<const switch_stmt&>(s));
+        return;
+    }
+    compile_fail("unhandled statement kind", s.line);
+  }
+
+  void begin_loop(std::size_t continue_target) {
+    fn_compiler::loop_ctx ctx;
+    ctx.try_depth = cur().try_stack_.size();
+    ctx.continue_target = continue_target;
+    ctx.continue_known = true;
+    cur().loops_.push_back(std::move(ctx));
+  }
+  void begin_loop_deferred() {
+    fn_compiler::loop_ctx ctx;
+    ctx.try_depth = cur().try_stack_.size();
+    cur().loops_.push_back(std::move(ctx));
+  }
+  void end_loop(std::size_t break_target, std::size_t continue_target) {
+    fn_compiler::loop_ctx ctx = std::move(cur().loops_.back());
+    cur().loops_.pop_back();
+    for (const std::size_t j : ctx.break_jumps) cur().patch(j, break_target);
+    for (const std::size_t j : ctx.continue_jumps) cur().patch(j, continue_target);
+  }
+
+  // Emits pop_handler + inline finally blocks for every try context deeper
+  // than `target_depth`. The contexts are temporarily popped while their
+  // finally code compiles so a nested break/return inside the finally does
+  // not unwind the same try again; they are restored afterwards because
+  // compilation continues inside the protected region.
+  void unwind_trys(std::size_t target_depth, int line) {
+    std::vector<fn_compiler::try_ctx> saved;
+    while (cur().try_stack_.size() > target_depth) {
+      fn_compiler::try_ctx ctx = cur().try_stack_.back();
+      cur().try_stack_.pop_back();
+      cur().emit(opcode::pop_handler, 0, 0, line);
+      if (ctx.finally_ast != nullptr) compile_stmt(*ctx.finally_ast);
+      saved.push_back(ctx);
+    }
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+      cur().try_stack_.push_back(*it);
+    }
+  }
+
+  void compile_for_in(const for_in_stmt& node) {
+    cur().begin_scope();
+
+    // Matching the tree-walker: the target object is evaluated first, then a
+    // declaring loop binds its variable (one binding for the whole loop).
+    compile_expr(*node.object);
+    cur().emit(opcode::keys, 0, 0, node.line);
+    const std::uint32_t karr = cur().hidden_slot();
+    cur().emit(opcode::store_local_pop, static_cast<std::int32_t>(karr), 0, node.line);
+
+    if (node.declares) {
+      cur().emit(opcode::push_undefined, 0, 0, node.line);
+      emit_store_discard(cur().declare_local(node.variable, node.line), node.line);
+    }
+
+    const std::uint32_t kidx = cur().hidden_slot();
+    cur().emit(opcode::push_const, cur().const_number(0.0), 0, node.line);
+    cur().emit(opcode::store_local_pop, static_cast<std::int32_t>(kidx), 0, node.line);
+
+    // One fused step per iteration: push the next key (advancing the index)
+    // or exit. `continue` re-enters at the test, so the advance stays
+    // exactly once per iteration.
+    const std::size_t test = cur().here();
+    const std::size_t step = cur().emit_c(opcode::forin_next, 0,
+                                          static_cast<std::int32_t>(karr),
+                                          static_cast<std::int32_t>(kidx), node.line);
+    {
+      using K = fn_compiler::reference::kind;
+      const auto ref = cur().resolve(node.variable);
+      if (ref.k == K::slot || ref.k == K::cell) {
+        emit_store_discard(bc_binding{ref.k == K::cell, ref.index}, node.line);
+      } else {
+        store_reference(ref, node.variable, node.line);
+        cur().emit(opcode::pop, 0, 0, node.line);
+      }
+    }
+
+    begin_loop_deferred();
+    compile_stmt(*node.body);
+    cur().emit(opcode::loop_back, static_cast<std::int32_t>(test), 0, node.line);
+    cur().patch(step, cur().here());
+    end_loop(cur().here(), test);
+
+    cur().end_scope();
+  }
+
+  void compile_try(const try_stmt& node) {
+    const bool has_catch = node.catch_block != nullptr;
+    const bool has_finally = node.finally_block != nullptr;
+
+    std::size_t finally_handler = 0;
+    std::uint32_t exc_slot = 0;
+    if (has_finally) {
+      exc_slot = cur().hidden_slot();
+      finally_handler = cur().emit(opcode::push_handler, 0, 0, node.line);
+      cur().try_stack_.push_back(fn_compiler::try_ctx{node.finally_block.get()});
+    }
+
+    std::size_t catch_handler = 0;
+    if (has_catch) {
+      catch_handler = cur().emit(opcode::push_handler, 0, 0, node.line);
+      cur().try_stack_.push_back(fn_compiler::try_ctx{nullptr});
+    }
+
+    compile_stmt(*node.try_block);
+
+    std::size_t after_catch_jump = 0;
+    if (has_catch) {
+      cur().emit(opcode::pop_handler, 0, 0, node.line);
+      cur().try_stack_.pop_back();
+      after_catch_jump = cur().emit(opcode::jump, 0, 0, node.line);
+
+      cur().patch(catch_handler, cur().here());
+      // Handler entry: the thrown value is on the stack.
+      cur().begin_scope();
+      emit_store_discard(cur().declare_local(node.catch_name, node.line), node.line);
+      compile_stmt(*node.catch_block);
+      cur().end_scope();
+      cur().patch(after_catch_jump, cur().here());
+    }
+
+    if (has_finally) {
+      cur().emit(opcode::pop_handler, 0, 0, node.line);
+      cur().try_stack_.pop_back();
+      compile_stmt(*node.finally_block);  // normal-completion path
+      const std::size_t over = cur().emit(opcode::jump, 0, 0, node.line);
+
+      cur().patch(finally_handler, cur().here());
+      // Handler entry: exception on the stack. Stash it, run the finally,
+      // rethrow (unless the finally itself completed abruptly, in which case
+      // control never reaches the rethrow — "finally overrides").
+      cur().emit(opcode::store_local_pop, static_cast<std::int32_t>(exc_slot), 0, node.line);
+      compile_stmt(*node.finally_block);
+      cur().emit(opcode::load_local, static_cast<std::int32_t>(exc_slot), 0, node.line);
+      cur().emit(opcode::throw_op, 0, 0, node.line);
+      cur().patch(over, cur().here());
+    }
+  }
+
+  void compile_switch(const switch_stmt& node) {
+    cur().begin_scope();
+    compile_expr(*node.discriminant);
+    const std::uint32_t disc = cur().hidden_slot();
+    cur().emit(opcode::store_local_pop, static_cast<std::int32_t>(disc), 0, node.line);
+
+    fn_compiler::loop_ctx ctx;
+    ctx.is_switch = true;
+    ctx.try_depth = cur().try_stack_.size();
+    cur().loops_.push_back(std::move(ctx));
+
+    // First the tests in order (lazy, like the tree-walker's first pass),
+    // then a jump to the default clause (or the end), then the bodies in
+    // order with natural fallthrough.
+    std::vector<std::size_t> case_jumps(node.cases.size(), SIZE_MAX);
+    for (std::size_t i = 0; i < node.cases.size(); ++i) {
+      if (!node.cases[i].test) continue;
+      cur().emit(opcode::load_local, static_cast<std::int32_t>(disc), 0, node.line);
+      compile_expr(*node.cases[i].test);
+      cur().emit(opcode::binary, static_cast<std::int32_t>(binop::seq), 0, node.line);
+      case_jumps[i] = cur().emit(opcode::jump_if_true, 0, 0, node.line);
+    }
+    const std::size_t to_default = cur().emit(opcode::jump, 0, 0, node.line);
+
+    std::size_t default_target = SIZE_MAX;
+    for (std::size_t i = 0; i < node.cases.size(); ++i) {
+      const std::size_t body_start = cur().here();
+      if (case_jumps[i] != SIZE_MAX) cur().patch(case_jumps[i], body_start);
+      if (!node.cases[i].test && default_target == SIZE_MAX) default_target = body_start;
+      for (const auto& st : node.cases[i].body) compile_stmt(*st);
+    }
+    const std::size_t end = cur().here();
+    cur().patch(to_default, default_target == SIZE_MAX ? end : default_target);
+
+    fn_compiler::loop_ctx done = std::move(cur().loops_.back());
+    cur().loops_.pop_back();
+    for (const std::size_t j : done.break_jumps) cur().patch(j, end);
+
+    cur().end_scope();
+  }
+
+  // ----- expressions ------------------------------------------------------------
+
+  void compile_expr(const expr& e) {
+    switch (e.kind) {
+      case expr_kind::number_lit:
+        cur().emit(opcode::push_const,
+                   cur().const_number(static_cast<const number_lit&>(e).value), 0, e.line);
+        return;
+      case expr_kind::string_lit:
+        cur().emit(opcode::push_const,
+                   cur().const_string(static_cast<const string_lit&>(e).value), 0, e.line);
+        return;
+      case expr_kind::bool_lit:
+        cur().emit(static_cast<const bool_lit&>(e).value ? opcode::push_true
+                                                         : opcode::push_false,
+                   0, 0, e.line);
+        return;
+      case expr_kind::null_lit:
+        cur().emit(opcode::push_null, 0, 0, e.line);
+        return;
+      case expr_kind::undefined_lit:
+        cur().emit(opcode::push_undefined, 0, 0, e.line);
+        return;
+
+      case expr_kind::identifier: {
+        const auto& id = static_cast<const identifier&>(e);
+        load_reference(cur().resolve(id.name), id.name, e.line);
+        return;
+      }
+
+      case expr_kind::this_expr: {
+        // Inside functions `this` resolves as a normal local binding; at the
+        // top level it falls back to a (soft) global lookup, matching the
+        // tree-walker's env->find("this").
+        const auto ref = cur().resolve("this");
+        load_reference(ref, "this", e.line, /*soft=*/true);
+        return;
+      }
+
+      case expr_kind::array_lit: {
+        const auto& lit = static_cast<const array_lit&>(e);
+        for (const auto& el : lit.elements) compile_expr(*el);
+        cur().emit(opcode::make_array, static_cast<std::int32_t>(lit.elements.size()), 0,
+                   e.line);
+        return;
+      }
+
+      case expr_kind::object_lit: {
+        const auto& lit = static_cast<const object_lit&>(e);
+        for (const auto& [key, val] : lit.entries) {
+          cur().emit(opcode::push_const, cur().const_string(key), 0, e.line);
+          compile_expr(*val);
+        }
+        cur().emit(opcode::make_object, static_cast<std::int32_t>(lit.entries.size()), 0,
+                   e.line);
+        return;
+      }
+
+      case expr_kind::function_lit: {
+        const std::int32_t idx = compile_function(static_cast<const function_lit&>(e));
+        cur().emit(opcode::make_closure, idx, 0, e.line);
+        return;
+      }
+
+      case expr_kind::member: {
+        const auto& m = static_cast<const member_expr&>(e);
+        compile_expr(*m.object);
+        cur().emit(opcode::get_prop, cur().const_string(m.property), 0, e.line);
+        return;
+      }
+
+      case expr_kind::index: {
+        const auto& ix = static_cast<const index_expr&>(e);
+        compile_expr(*ix.object);
+        compile_expr(*ix.index);
+        cur().emit(opcode::get_index, 0, 0, e.line);
+        return;
+      }
+
+      case expr_kind::call:
+        compile_call(static_cast<const call_expr&>(e));
+        return;
+
+      case expr_kind::new_call: {
+        const auto& n = static_cast<const new_expr&>(e);
+        compile_expr(*n.callee);
+        cur().emit(opcode::check_ctor, 0, 0, e.line);
+        for (const auto& a : n.args) compile_expr(*a);
+        cur().emit(opcode::call_new, static_cast<std::int32_t>(n.args.size()), 0, e.line);
+        return;
+      }
+
+      case expr_kind::unary:
+        compile_unary(static_cast<const unary_expr&>(e));
+        return;
+
+      case expr_kind::binary: {
+        const auto& b = static_cast<const binary_expr&>(e);
+        const auto opt_op = binop_from_string(b.op);
+        if (!opt_op) compile_fail("unknown binary operator " + b.op, e.line);
+        const auto op = static_cast<std::int32_t>(*opt_op);
+        const operand_class lc = classify(*b.left);
+        const operand_class rc = classify(*b.right);
+        using ock = operand_class::kind;
+        if (lc.k == ock::slot && rc.k == ock::slot) {
+          cur().emit_c(opcode::binary_ll, op, lc.index, rc.index, e.line);
+          return;
+        }
+        if (lc.k == ock::slot && rc.k == ock::constant) {
+          cur().emit_c(opcode::binary_lc, op, lc.index, rc.index, e.line);
+          return;
+        }
+        if (lc.k == ock::constant && rc.k == ock::slot) {
+          cur().emit_c(opcode::binary_cl, op, lc.index, rc.index, e.line);
+          return;
+        }
+        if (lc.k == ock::slot && is_pure(*b.right)) {
+          // Reading the left slot after the right operand is unobservable
+          // because the right operand cannot modify any binding.
+          compile_expr(*b.right);
+          cur().emit(opcode::binary_ls, op, lc.index, e.line);
+          return;
+        }
+        compile_expr(*b.left);
+        if (rc.k == ock::slot) {
+          cur().emit(opcode::binary_sl, op, rc.index, e.line);
+          return;
+        }
+        if (rc.k == ock::constant) {
+          cur().emit(opcode::binary_sc, op, rc.index, e.line);
+          return;
+        }
+        compile_expr(*b.right);
+        cur().emit(opcode::binary, op, 0, e.line);
+        return;
+      }
+
+      case expr_kind::logical: {
+        const auto& l = static_cast<const logical_expr&>(e);
+        compile_expr(*l.left);
+        const std::size_t j =
+            cur().emit(l.op == "&&" ? opcode::jump_if_false_keep : opcode::jump_if_true_keep,
+                       0, 0, e.line);
+        compile_expr(*l.right);
+        cur().patch(j, cur().here());
+        return;
+      }
+
+      case expr_kind::conditional: {
+        const auto& c = static_cast<const conditional_expr&>(e);
+        compile_expr(*c.condition);
+        const std::size_t jf = cur().emit(opcode::jump_if_false, 0, 0, e.line);
+        compile_expr(*c.if_true);
+        const std::size_t je = cur().emit(opcode::jump, 0, 0, e.line);
+        cur().patch(jf, cur().here());
+        compile_expr(*c.if_false);
+        cur().patch(je, cur().here());
+        return;
+      }
+
+      case expr_kind::assign:
+        compile_assign(static_cast<const assign_expr&>(e));
+        return;
+
+      case expr_kind::update:
+        compile_update(static_cast<const update_expr&>(e));
+        return;
+    }
+    compile_fail("unhandled expression kind", e.line);
+  }
+
+  void compile_call(const call_expr& c) {
+    if (c.callee->kind == expr_kind::member) {
+      const auto& m = static_cast<const member_expr&>(*c.callee);
+      compile_expr(*m.object);
+      cur().emit(opcode::get_method, cur().const_string(m.property), 0, c.line);
+      for (const auto& a : c.args) compile_expr(*a);
+      cur().emit(opcode::call_method, static_cast<std::int32_t>(c.args.size()), 0, c.line);
+      return;
+    }
+    if (c.callee->kind == expr_kind::index) {
+      const auto& ix = static_cast<const index_expr&>(*c.callee);
+      compile_expr(*ix.object);
+      compile_expr(*ix.index);
+      cur().emit(opcode::get_index_method, 0, 0, c.line);
+      for (const auto& a : c.args) compile_expr(*a);
+      cur().emit(opcode::call_method, static_cast<std::int32_t>(c.args.size()), 0, c.line);
+      return;
+    }
+    compile_expr(*c.callee);
+    for (const auto& a : c.args) compile_expr(*a);
+    cur().emit(opcode::call, static_cast<std::int32_t>(c.args.size()), 0, c.line);
+  }
+
+  void compile_unary(const unary_expr& u) {
+    if (u.op == "typeof") {
+      if (u.operand->kind == expr_kind::identifier) {
+        const auto& id = static_cast<const identifier&>(*u.operand);
+        const auto ref = cur().resolve(id.name);
+        if (ref.k == fn_compiler::reference::kind::global) {
+          cur().emit(opcode::typeof_global, cur().const_string(id.name), 0, u.line);
+          return;
+        }
+        load_reference(ref, id.name, u.line);
+        cur().emit(opcode::typeof_op, 0, 0, u.line);
+        return;
+      }
+      compile_expr(*u.operand);
+      cur().emit(opcode::typeof_op, 0, 0, u.line);
+      return;
+    }
+    if (u.op == "delete") {
+      if (u.operand->kind == expr_kind::member) {
+        const auto& m = static_cast<const member_expr&>(*u.operand);
+        compile_expr(*m.object);
+        cur().emit(opcode::delete_prop, cur().const_string(m.property), 0, u.line);
+        return;
+      }
+      if (u.operand->kind == expr_kind::index) {
+        const auto& ix = static_cast<const index_expr&>(*u.operand);
+        compile_expr(*ix.object);
+        compile_expr(*ix.index);
+        cur().emit(opcode::delete_index, 0, 0, u.line);
+        return;
+      }
+      // The tree-walker does not evaluate other operand kinds.
+      cur().emit(opcode::push_true, 0, 0, u.line);
+      return;
+    }
+    compile_expr(*u.operand);
+    if (u.op == "!") {
+      cur().emit(opcode::not_op, 0, 0, u.line);
+    } else if (u.op == "-") {
+      cur().emit(opcode::negate, 0, 0, u.line);
+    } else if (u.op == "+") {
+      cur().emit(opcode::to_number, 0, 0, u.line);
+    } else if (u.op == "~") {
+      cur().emit(opcode::bit_not, 0, 0, u.line);
+    } else {
+      compile_fail("unknown unary operator " + u.op, u.line);
+    }
+  }
+
+  binop compound_op(const std::string& op, int line) {
+    const auto b = binop_from_string(op.substr(0, op.size() - 1));
+    if (!b) compile_fail("unknown compound operator " + op, line);
+    return *b;
+  }
+
+  void compile_assign(const assign_expr& a) {
+    const bool compound = a.op != "=";
+
+    if (a.target->kind == expr_kind::identifier) {
+      const auto& id = static_cast<const identifier&>(*a.target);
+      // RHS first: its evaluation may declare bindings (tree-walker order).
+      compile_expr(*a.value);
+      const auto ref = cur().resolve(id.name);
+      if (compound) {
+        // current value; an undeclared identifier reads as undefined here.
+        load_reference(ref, id.name, a.line, /*soft=*/true);
+        cur().emit(opcode::swap, 0, 0, a.line);
+        cur().emit(opcode::compound, static_cast<std::int32_t>(compound_op(a.op, a.line)), 0,
+                   a.line);
+      }
+      store_reference(ref, id.name, a.line);
+      return;
+    }
+
+    if (a.target->kind == expr_kind::member) {
+      const auto& m = static_cast<const member_expr&>(*a.target);
+      compile_expr(*m.object);
+      compile_expr(*a.value);
+      const std::int32_t name = cur().const_string(m.property);
+      if (compound) {
+        const std::uint32_t rhs = cur().hidden_slot();
+        cur().emit(opcode::store_local_pop, static_cast<std::int32_t>(rhs), 0, a.line);
+        cur().emit(opcode::dup, 0, 0, a.line);
+        cur().emit(opcode::get_prop, name, 0, a.line);
+        cur().emit(opcode::load_local, static_cast<std::int32_t>(rhs), 0, a.line);
+        cur().emit(opcode::compound, static_cast<std::int32_t>(compound_op(a.op, a.line)), 0,
+                   a.line);
+      }
+      cur().emit(opcode::set_prop, name, 0, a.line);
+      return;
+    }
+
+    const auto& ix = static_cast<const index_expr&>(*a.target);
+    compile_expr(*ix.object);
+    compile_expr(*ix.index);
+    compile_expr(*a.value);
+    if (compound) {
+      const std::uint32_t rhs = cur().hidden_slot();
+      const std::uint32_t idx = cur().hidden_slot();
+      cur().emit(opcode::store_local_pop, static_cast<std::int32_t>(rhs), 0, a.line);
+      cur().emit(opcode::store_local_pop, static_cast<std::int32_t>(idx), 0, a.line);
+      cur().emit(opcode::dup, 0, 0, a.line);
+      cur().emit(opcode::load_local, static_cast<std::int32_t>(idx), 0, a.line);
+      cur().emit(opcode::get_index, 0, 0, a.line);
+      cur().emit(opcode::load_local, static_cast<std::int32_t>(rhs), 0, a.line);
+      cur().emit(opcode::compound, static_cast<std::int32_t>(compound_op(a.op, a.line)), 0,
+                 a.line);
+      cur().emit(opcode::load_local, static_cast<std::int32_t>(idx), 0, a.line);
+      cur().emit(opcode::swap, 0, 0, a.line);
+    }
+    cur().emit(opcode::set_index, 0, 0, a.line);
+  }
+
+  void compile_update(const update_expr& u) {
+    const bool decrement = u.op == "--";
+    const std::int32_t flags =
+        (u.prefix ? 1 : 0) | (decrement ? 2 : 0);
+
+    if (u.target->kind == expr_kind::identifier) {
+      const auto& id = static_cast<const identifier&>(*u.target);
+      const auto ref = cur().resolve(id.name);
+      load_reference(ref, id.name, u.line);  // hard load: undeclared is an error
+      cur().emit(opcode::to_number, 0, 0, u.line);
+      if (!u.prefix) cur().emit(opcode::dup, 0, 0, u.line);
+      cur().emit(opcode::push_const, cur().const_number(1.0), 0, u.line);
+      cur().emit(opcode::binary,
+                 static_cast<std::int32_t>(decrement ? binop::sub : binop::add), 0, u.line);
+      store_reference(ref, id.name, u.line);
+      if (!u.prefix) cur().emit(opcode::pop, 0, 0, u.line);
+      return;
+    }
+
+    if (u.target->kind == expr_kind::member) {
+      const auto& m = static_cast<const member_expr&>(*u.target);
+      compile_expr(*m.object);
+      cur().emit(opcode::update_prop, cur().const_string(m.property), flags, u.line);
+      return;
+    }
+
+    const auto& ix = static_cast<const index_expr&>(*u.target);
+    compile_expr(*ix.object);
+    compile_expr(*ix.index);
+    cur().emit(opcode::update_index, 0, flags, u.line);
+  }
+};
+
+}  // namespace
+
+compiled_program_ptr compile_program(const program_ptr& prog) {
+  program_compiler pc;
+  return pc.compile(prog);
+}
+
+}  // namespace nakika::js

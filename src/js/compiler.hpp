@@ -1,0 +1,18 @@
+// Lowers the AST into bytecode chunks (bytecode.hpp). Identifier references
+// are resolved at compile time: locals become slot indices, variables captured
+// by nested functions become boxed cells, and everything else becomes a named
+// global-object access — replacing the tree-walker's per-access hash walks
+// through environment chains.
+#pragma once
+
+#include "js/ast.hpp"
+#include "js/bytecode.hpp"
+
+namespace nakika::js {
+
+// Compiles a parsed program. Throws script_error on internal lowering errors
+// (malformed ASTs cannot come out of the parser, so this is effectively
+// infallible for parser-produced input).
+[[nodiscard]] compiled_program_ptr compile_program(const program_ptr& prog);
+
+}  // namespace nakika::js

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <utility>
 
+#include "js/ops.hpp"
 #include "js/parser.hpp"
 #include "js/stdlib.hpp"
+#include "js/vm.hpp"
 #include "util/strings.hpp"
 
 namespace nakika::js {
@@ -88,6 +90,18 @@ object_ptr context::make_function(const function_lit* fn, program_ptr owner, env
   o->closure = std::move(closure);
   o->name = fn->name;
   // Script functions can serve as constructors; give them a prototype object.
+  o->set("prototype", value::object(make_plain_object()));
+  o->charge = heap_charge(heap_used_, object_overhead);
+  return o;
+}
+
+object_ptr context::make_compiled_function(std::shared_ptr<const compiled_fn> code,
+                                           std::vector<std::shared_ptr<value>> captures) {
+  auto o = std::make_shared<object>(object_kind::function);
+  o->proto = function_proto;
+  o->code = std::move(code);
+  o->captures = std::move(captures);
+  o->name = o->code->name;
   o->set("prototype", value::object(make_plain_object()));
   o->charge = heap_charge(heap_used_, object_overhead);
   return o;
@@ -190,11 +204,6 @@ class depth_guard {
  private:
   context& ctx_;
 };
-
-double to_int32(double d) {
-  if (std::isnan(d) || std::isinf(d)) return 0.0;
-  return static_cast<double>(static_cast<std::int32_t>(static_cast<std::int64_t>(d)));
-}
 }  // namespace
 
 void interpreter::run(const program_ptr& prog) {
@@ -581,8 +590,8 @@ value interpreter::eval(const expr& e, env_ptr& env) {
       if (u.op == "-") return value::number(-operand.to_number());
       if (u.op == "+") return value::number(operand.to_number());
       if (u.op == "~") {
-        return value::number(
-            static_cast<double>(~static_cast<std::int32_t>(to_int32(operand.to_number()))));
+        return value::number(static_cast<double>(
+            ~static_cast<std::int32_t>(op_to_int32(operand.to_number()))));
       }
       runtime_fail("unknown unary operator " + u.op, e.line);
     }
@@ -613,107 +622,21 @@ value interpreter::eval(const expr& e, env_ptr& env) {
 value interpreter::eval_binary(const binary_expr& b, env_ptr& env) {
   const value left = eval(*b.left, env);
   const value right = eval(*b.right, env);
-  const std::string& op = b.op;
-
-  if (op == "+") {
-    if (left.is_string() || right.is_string() ||
-        (left.is_object() && !right.is_number()) ||
-        (right.is_object() && !left.is_number())) {
-      std::string result = left.to_string() + right.to_string();
-      ctx_.charge_transient(result.size());
-      return value::string(std::move(result));
-    }
-    return value::number(left.to_number() + right.to_number());
-  }
-  if (op == "-") return value::number(left.to_number() - right.to_number());
-  if (op == "*") return value::number(left.to_number() * right.to_number());
-  if (op == "/") return value::number(left.to_number() / right.to_number());
-  if (op == "%") return value::number(std::fmod(left.to_number(), right.to_number()));
-
-  if (op == "==") return value::boolean(left.loose_equals(right));
-  if (op == "!=") return value::boolean(!left.loose_equals(right));
-  if (op == "===") return value::boolean(left.strict_equals(right));
-  if (op == "!==") return value::boolean(!left.strict_equals(right));
-
-  if (op == "<" || op == ">" || op == "<=" || op == ">=") {
-    if (left.is_string() && right.is_string()) {
-      const int cmp = left.as_string().compare(right.as_string());
-      if (op == "<") return value::boolean(cmp < 0);
-      if (op == ">") return value::boolean(cmp > 0);
-      if (op == "<=") return value::boolean(cmp <= 0);
-      return value::boolean(cmp >= 0);
-    }
-    const double l = left.to_number();
-    const double r = right.to_number();
-    if (op == "<") return value::boolean(l < r);
-    if (op == ">") return value::boolean(l > r);
-    if (op == "<=") return value::boolean(l <= r);
-    return value::boolean(l >= r);
-  }
-
-  if (op == "&" || op == "|" || op == "^" || op == "<<" || op == ">>") {
-    const auto l = static_cast<std::int32_t>(to_int32(left.to_number()));
-    const auto r = static_cast<std::int32_t>(to_int32(right.to_number()));
-    if (op == "&") return value::number(l & r);
-    if (op == "|") return value::number(l | r);
-    if (op == "^") return value::number(l ^ r);
-    if (op == "<<") return value::number(l << (r & 31));
-    return value::number(l >> (r & 31));
-  }
-
-  if (op == "in") {
-    if (!right.is_object()) runtime_fail("'in' requires an object", b.line);
-    const auto& obj = right.as_object();
-    if (obj->kind == object_kind::array && left.is_number()) {
-      const auto i = static_cast<std::int64_t>(left.as_number());
-      return value::boolean(i >= 0 && static_cast<std::size_t>(i) < obj->elements.size());
-    }
-    return value::boolean(obj->has(left.to_string()));
-  }
-
-  if (op == "instanceof") {
-    if (!right.is_object() || !right.as_object()->callable()) {
-      runtime_fail("'instanceof' requires a function", b.line);
-    }
-    if (!left.is_object()) return value::boolean(false);
-    const value proto = right.as_object()->get("prototype");
-    if (!proto.is_object()) return value::boolean(false);
-    for (object_ptr p = left.as_object()->proto; p != nullptr; p = p->proto) {
-      if (p == proto.as_object()) return value::boolean(true);
-    }
-    return value::boolean(false);
-  }
-
-  runtime_fail("unknown binary operator " + op, b.line);
+  const auto op = binop_from_string(b.op);
+  if (!op) runtime_fail("unknown binary operator " + b.op, b.line);
+  // Value-level semantics are shared with the bytecode VM (js/ops.hpp).
+  return apply_binop(ctx_, *op, left, right, b.line);
 }
 
 namespace {
 value apply_compound(interpreter& in, const std::string& op, const value& current,
                      const value& operand, context& ctx, int line) {
   (void)in;
-  const std::string base_op = op.substr(0, op.size() - 1);  // strip '='
-  if (base_op == "+") {
-    if (current.is_string() || operand.is_string()) {
-      std::string result = current.to_string() + operand.to_string();
-      ctx.charge_transient(result.size());
-      return value::string(std::move(result));
-    }
-    return value::number(current.to_number() + operand.to_number());
+  const auto base_op = binop_from_string(std::string_view(op).substr(0, op.size() - 1));
+  if (!base_op) {
+    throw script_error(script_error_kind::runtime, "unknown compound operator " + op, line);
   }
-  const double l = current.to_number();
-  const double r = operand.to_number();
-  if (base_op == "-") return value::number(l - r);
-  if (base_op == "*") return value::number(l * r);
-  if (base_op == "/") return value::number(l / r);
-  if (base_op == "%") return value::number(std::fmod(l, r));
-  const auto li = static_cast<std::int32_t>(to_int32(l));
-  const auto ri = static_cast<std::int32_t>(to_int32(r));
-  if (base_op == "&") return value::number(li & ri);
-  if (base_op == "|") return value::number(li | ri);
-  if (base_op == "^") return value::number(li ^ ri);
-  if (base_op == "<<") return value::number(li << (ri & 31));
-  if (base_op == ">>") return value::number(li >> (ri & 31));
-  throw script_error(script_error_kind::runtime, "unknown compound operator " + op, line);
+  return apply_compound_binop(ctx, *base_op, current, operand, line);
 }
 }  // namespace
 
@@ -886,11 +809,21 @@ value interpreter::eval_new(const new_expr& n, env_ptr& env) {
   return result.is_object() ? result : value::object(instance);
 }
 
+value interpreter::call_raw(const object_ptr& fn, const value& this_value,
+                            std::vector<value> args, int line) {
+  return call_function_object(fn, this_value, std::move(args), line);
+}
+
 value interpreter::call_function_object(const object_ptr& fn, const value& this_value,
                                         std::vector<value> args, int line) {
   depth_guard guard(ctx_, line);
   if (fn->kind == object_kind::native_function) {
     return fn->native(*this, this_value, std::span<value>(args));
+  }
+  if (fn->code) {
+    // Bytecode-compiled function: hand off to the VM. thrown_value propagates
+    // so surrounding try/catch (in either engine) keeps working.
+    return call_compiled(ctx_, fn, this_value, std::move(args), line);
   }
 
   // Function bodies may create more functions; those belong to this
@@ -983,7 +916,12 @@ void interpreter::set_property(const value& base, std::string_view name, value v
   obj->set(name, std::move(v));
 }
 
-void eval_script(context& ctx, std::string_view source, std::string_view name) {
+void eval_script(context& ctx, std::string_view source, std::string_view name,
+                 engine_kind engine) {
+  if (engine == engine_kind::bytecode) {
+    eval_script_bytecode(ctx, source, name);
+    return;
+  }
   const program_ptr prog = parse_program(source, name);
   interpreter in(ctx);
   in.run(prog);

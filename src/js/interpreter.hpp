@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "js/ast.hpp"
+#include "js/bytecode.hpp"
 #include "js/errors.hpp"
 #include "js/value.hpp"
 #include "util/random.hpp"
@@ -75,6 +76,11 @@ class context {
   [[nodiscard]] object_ptr make_byte_array();
   [[nodiscard]] object_ptr make_function(const function_lit* fn, program_ptr owner,
                                          env_ptr closure);
+  // Bytecode twin of make_function: a callable backed by a compiled chunk and
+  // its captured cells instead of an AST node and an environment chain.
+  [[nodiscard]] object_ptr make_compiled_function(
+      std::shared_ptr<const compiled_fn> code,
+      std::vector<std::shared_ptr<value>> captures);
   // Charges `bytes` against the budget (e.g. string concat results, byte
   // array growth). Throws script_error(out_of_memory) past the limit.
   void charge_transient(std::size_t bytes);
@@ -137,8 +143,15 @@ class interpreter {
   void run(const program_ptr& prog);
 
   // Calls a function value (script or native). Throws script_error(runtime)
-  // if `fn` is not callable.
+  // if `fn` is not callable. Works for both engines: bytecode-compiled
+  // functions are dispatched to the VM transparently.
   value call(const value& fn, const value& this_value, std::vector<value> args);
+
+  // Like call, but takes a callable object directly and lets script-thrown
+  // exceptions propagate as thrown_value (so a surrounding try in either
+  // engine can catch them). Used for engine-to-engine calls.
+  value call_raw(const object_ptr& fn, const value& this_value, std::vector<value> args,
+                 int line);
 
   [[nodiscard]] context& ctx() { return ctx_; }
 
@@ -169,6 +182,9 @@ class interpreter {
 };
 
 // Parses and runs `source` in `ctx` (convenience for tests and simple hosts).
-void eval_script(context& ctx, std::string_view source, std::string_view name = "<script>");
+// The bytecode VM is the default engine; the tree-walker remains available as
+// the reference oracle.
+void eval_script(context& ctx, std::string_view source, std::string_view name = "<script>",
+                 engine_kind engine = engine_kind::bytecode);
 
 }  // namespace nakika::js

@@ -1,0 +1,157 @@
+// Operator semantics shared by the tree-walking interpreter and the bytecode
+// VM. Both engines must agree bit-for-bit on every operator (the differential
+// test depends on it), so the value-level logic lives here exactly once and
+// the engines only differ in how they dispatch to it.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "js/errors.hpp"
+#include "js/interpreter.hpp"
+#include "js/value.hpp"
+
+namespace nakika::js {
+
+enum class binop : std::uint8_t {
+  add, sub, mul, div, mod,
+  eq, ne, seq, sne,
+  lt, gt, le, ge,
+  band, bor, bxor, shl, shr,
+  in_op, instanceof_op,
+};
+
+[[nodiscard]] inline std::optional<binop> binop_from_string(std::string_view op) {
+  if (op == "+") return binop::add;
+  if (op == "-") return binop::sub;
+  if (op == "*") return binop::mul;
+  if (op == "/") return binop::div;
+  if (op == "%") return binop::mod;
+  if (op == "==") return binop::eq;
+  if (op == "!=") return binop::ne;
+  if (op == "===") return binop::seq;
+  if (op == "!==") return binop::sne;
+  if (op == "<") return binop::lt;
+  if (op == ">") return binop::gt;
+  if (op == "<=") return binop::le;
+  if (op == ">=") return binop::ge;
+  if (op == "&") return binop::band;
+  if (op == "|") return binop::bor;
+  if (op == "^") return binop::bxor;
+  if (op == "<<") return binop::shl;
+  if (op == ">>") return binop::shr;
+  if (op == "in") return binop::in_op;
+  if (op == "instanceof") return binop::instanceof_op;
+  return std::nullopt;
+}
+
+[[nodiscard]] inline double op_to_int32(double d) {
+  if (std::isnan(d) || std::isinf(d)) return 0.0;
+  return static_cast<double>(static_cast<std::int32_t>(static_cast<std::int64_t>(d)));
+}
+
+// Full binary-operator semantics (the `a + b` flavor: objects coerce to
+// strings unless paired with a number).
+[[nodiscard]] inline value apply_binop(context& ctx, binop op, const value& left,
+                                       const value& right, int line) {
+  switch (op) {
+    case binop::add:
+      if (left.is_string() || right.is_string() ||
+          (left.is_object() && !right.is_number()) ||
+          (right.is_object() && !left.is_number())) {
+        std::string result = left.to_string() + right.to_string();
+        ctx.charge_transient(result.size());
+        return value::string(std::move(result));
+      }
+      return value::number(left.to_number() + right.to_number());
+    case binop::sub: return value::number(left.to_number() - right.to_number());
+    case binop::mul: return value::number(left.to_number() * right.to_number());
+    case binop::div: return value::number(left.to_number() / right.to_number());
+    case binop::mod: return value::number(std::fmod(left.to_number(), right.to_number()));
+
+    case binop::eq: return value::boolean(left.loose_equals(right));
+    case binop::ne: return value::boolean(!left.loose_equals(right));
+    case binop::seq: return value::boolean(left.strict_equals(right));
+    case binop::sne: return value::boolean(!left.strict_equals(right));
+
+    case binop::lt:
+    case binop::gt:
+    case binop::le:
+    case binop::ge: {
+      if (left.is_string() && right.is_string()) {
+        const int cmp = left.as_string().compare(right.as_string());
+        if (op == binop::lt) return value::boolean(cmp < 0);
+        if (op == binop::gt) return value::boolean(cmp > 0);
+        if (op == binop::le) return value::boolean(cmp <= 0);
+        return value::boolean(cmp >= 0);
+      }
+      const double l = left.to_number();
+      const double r = right.to_number();
+      if (op == binop::lt) return value::boolean(l < r);
+      if (op == binop::gt) return value::boolean(l > r);
+      if (op == binop::le) return value::boolean(l <= r);
+      return value::boolean(l >= r);
+    }
+
+    case binop::band:
+    case binop::bor:
+    case binop::bxor:
+    case binop::shl:
+    case binop::shr: {
+      const auto l = static_cast<std::int32_t>(op_to_int32(left.to_number()));
+      const auto r = static_cast<std::int32_t>(op_to_int32(right.to_number()));
+      if (op == binop::band) return value::number(l & r);
+      if (op == binop::bor) return value::number(l | r);
+      if (op == binop::bxor) return value::number(l ^ r);
+      if (op == binop::shl) return value::number(l << (r & 31));
+      return value::number(l >> (r & 31));
+    }
+
+    case binop::in_op: {
+      if (!right.is_object()) {
+        throw script_error(script_error_kind::runtime, "'in' requires an object", line);
+      }
+      const auto& obj = right.as_object();
+      if (obj->kind == object_kind::array && left.is_number()) {
+        const auto i = static_cast<std::int64_t>(left.as_number());
+        return value::boolean(i >= 0 && static_cast<std::size_t>(i) < obj->elements.size());
+      }
+      return value::boolean(obj->has(left.to_string()));
+    }
+
+    case binop::instanceof_op: {
+      if (!right.is_object() || !right.as_object()->callable()) {
+        throw script_error(script_error_kind::runtime, "'instanceof' requires a function",
+                           line);
+      }
+      if (!left.is_object()) return value::boolean(false);
+      const value proto = right.as_object()->get("prototype");
+      if (!proto.is_object()) return value::boolean(false);
+      for (object_ptr p = left.as_object()->proto; p != nullptr; p = p->proto) {
+        if (p == proto.as_object()) return value::boolean(true);
+      }
+      return value::boolean(false);
+    }
+  }
+  throw script_error(script_error_kind::runtime, "unknown binary operator", line);
+}
+
+// Compound-assignment flavor (`a += b`): the `+` case concatenates only when a
+// string is involved — objects on the left do NOT force concatenation, which
+// is a (faithfully preserved) quirk of the original tree-walker.
+[[nodiscard]] inline value apply_compound_binop(context& ctx, binop op, const value& current,
+                                                const value& operand, int line) {
+  if (op == binop::add) {
+    if (current.is_string() || operand.is_string()) {
+      std::string result = current.to_string() + operand.to_string();
+      ctx.charge_transient(result.size());
+      return value::string(std::move(result));
+    }
+    return value::number(current.to_number() + operand.to_number());
+  }
+  return apply_binop(ctx, op, current, operand, line);
+}
+
+}  // namespace nakika::js

@@ -23,6 +23,7 @@ using object_ptr = std::shared_ptr<object>;
 class interpreter;
 class environment;
 using env_ptr = std::shared_ptr<environment>;
+struct compiled_fn;  // bytecode.hpp: compiled (VM) function payload
 
 class value {
  public:
@@ -165,10 +166,17 @@ class object : public std::enable_shared_from_this<object> {
   // --- array payload ---
   std::vector<value> elements;
 
-  // --- function payload ---
+  // --- function payload (tree-walker flavor) ---
   const function_lit* fn = nullptr;  // borrowed from `owner`'s AST
   program_ptr owner;                 // keeps the AST alive
   env_ptr closure;
+
+  // --- function payload (bytecode flavor) ---
+  // Exactly one of `fn` / `code` is set for kind == function. Compiled
+  // functions carry their captured bindings as shared cells instead of an
+  // environment chain.
+  std::shared_ptr<const compiled_fn> code;
+  std::vector<std::shared_ptr<value>> captures;
 
   // --- native function payload ---
   native_fn native;

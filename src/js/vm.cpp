@@ -1,0 +1,660 @@
+#include "js/vm.hpp"
+
+#include <span>
+#include <utility>
+
+#include "js/compiler.hpp"
+#include "js/ops.hpp"
+#include "js/parser.hpp"
+
+namespace nakika::js {
+
+namespace {
+
+// RAII guard for script call depth (same semantics as the tree-walker's).
+class depth_guard {
+ public:
+  depth_guard(context& ctx, int line) : ctx_(ctx) {
+    if (++ctx_.call_depth > ctx_.limits().call_depth) {
+      --ctx_.call_depth;
+      throw script_error(script_error_kind::runtime, "maximum call depth exceeded", line);
+    }
+  }
+  ~depth_guard() { --ctx_.call_depth; }
+  depth_guard(const depth_guard&) = delete;
+  depth_guard& operator=(const depth_guard&) = delete;
+
+ private:
+  context& ctx_;
+};
+
+class machine {
+ public:
+  explicit machine(context& ctx) : ctx_(ctx), host_(ctx) {}
+
+  value invoke(const compiled_fn& fn, const std::vector<std::shared_ptr<value>>* captures,
+               const value& this_value, std::vector<value>&& args, int line);
+
+ private:
+  struct handler {
+    std::size_t ip;
+    std::size_t stack_depth;
+  };
+
+  value do_call(value callee, const value& this_v, std::vector<value>&& args, int line);
+  value do_new(value callee, std::vector<value>&& args, int line);
+  [[nodiscard]] value index_get(const value& base, const value& idx, int line);
+  void index_set(const value& base, const value& idx, const value& v, int line);
+  [[nodiscard]] value forin_keys(const value& target);
+
+  context& ctx_;
+  interpreter host_;  // shared property/runtime helpers + native-call bridge
+};
+
+value machine::index_get(const value& base, const value& idx, int line) {
+  if (base.is_object()) {
+    const auto& obj = base.as_object();
+    if (obj->kind == object_kind::array && idx.is_number()) {
+      const double d = idx.as_number();
+      const auto i = static_cast<std::int64_t>(d);
+      if (i >= 0 && static_cast<std::size_t>(i) < obj->elements.size()) {
+        return obj->elements[static_cast<std::size_t>(i)];
+      }
+      return value::undefined();
+    }
+    if (obj->kind == object_kind::byte_array && idx.is_number()) {
+      const auto i = static_cast<std::int64_t>(idx.as_number());
+      if (i >= 0 && static_cast<std::size_t>(i) < obj->bytes.size()) {
+        return value::number(obj->bytes[static_cast<std::size_t>(i)]);
+      }
+      return value::undefined();
+    }
+  }
+  if (base.is_string() && idx.is_number()) {
+    const auto i = static_cast<std::int64_t>(idx.as_number());
+    if (i >= 0 && static_cast<std::size_t>(i) < base.as_string().size()) {
+      return value::string(std::string(1, base.as_string()[static_cast<std::size_t>(i)]));
+    }
+    return value::undefined();
+  }
+  return host_.get_property(base, idx.to_string(), line);
+}
+
+void machine::index_set(const value& base, const value& idx, const value& v, int line) {
+  if (base.is_object()) {
+    const auto& obj = base.as_object();
+    if (obj->kind == object_kind::array && idx.is_number()) {
+      const auto i = static_cast<std::int64_t>(idx.as_number());
+      if (i < 0) host_.runtime_fail("negative array index", line);
+      if (static_cast<std::size_t>(i) >= obj->elements.size()) {
+        const std::size_t grown = static_cast<std::size_t>(i) + 1 - obj->elements.size();
+        ctx_.charge_object(*obj, grown * 16);
+        obj->elements.resize(static_cast<std::size_t>(i) + 1);
+      }
+      obj->elements[static_cast<std::size_t>(i)] = v;
+      return;
+    }
+    if (obj->kind == object_kind::byte_array && idx.is_number()) {
+      const auto i = static_cast<std::int64_t>(idx.as_number());
+      if (i < 0 || static_cast<std::size_t>(i) >= obj->bytes.size()) {
+        host_.runtime_fail("byte array index out of range", line);
+      }
+      obj->bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(static_cast<std::int64_t>(v.to_number()) & 0xff);
+      return;
+    }
+  }
+  host_.set_property(base, idx.to_string(), v, line);
+}
+
+value machine::forin_keys(const value& target) {
+  // Engine-internal key list (never script-allocated, so uncharged — the
+  // tree-walker's std::vector<std::string> equivalent).
+  auto arr = make_array_object();
+  if (target.is_object()) {
+    const auto& obj = target.as_object();
+    if (obj->kind == object_kind::array) {
+      for (std::size_t i = 0; i < obj->elements.size(); ++i) {
+        arr->elements.push_back(value::string(std::to_string(i)));
+      }
+    }
+    for (const auto& p : obj->props) arr->elements.push_back(value::string(p.key));
+  }
+  return value::object(std::move(arr));
+}
+
+value machine::do_call(value callee, const value& this_v, std::vector<value>&& args,
+                       int line) {
+  if (!callee.is_object() || !callee.as_object()->callable()) {
+    host_.runtime_fail("attempted to call a non-function", line);
+  }
+  const object_ptr& fn = callee.as_object();
+  if (fn->kind == object_kind::native_function) {
+    depth_guard guard(ctx_, line);
+    return fn->native(host_, this_v, std::span<value>(args));
+  }
+  if (fn->code) {
+    depth_guard guard(ctx_, line);
+    return invoke(*fn->code, &fn->captures, this_v, std::move(args), line);
+  }
+  // AST-compiled function (created by the tree-walker in this context):
+  // delegate; call_raw guards depth and propagates thrown_value.
+  return host_.call_raw(fn, this_v, std::move(args), line);
+}
+
+value machine::do_new(value callee, std::vector<value>&& args, int line) {
+  if (!callee.is_object() || !callee.as_object()->callable()) {
+    host_.runtime_fail("'new' applied to a non-function", line);
+  }
+  const object_ptr ctor = callee.as_object();
+  object_ptr instance = ctx_.make_object();
+  const value proto = ctor->get("prototype");
+  if (proto.is_object()) instance->proto = proto.as_object();
+  const value result = do_call(std::move(callee), value::object(instance), std::move(args), line);
+  return result.is_object() ? result : value::object(instance);
+}
+
+value machine::invoke(const compiled_fn& fn,
+                      const std::vector<std::shared_ptr<value>>* captures,
+                      const value& this_value, std::vector<value>&& args,
+                      [[maybe_unused]] int line) {
+  std::vector<value> stack;
+  std::vector<value> slots(fn.num_slots);
+  std::vector<std::shared_ptr<value>> cells(fn.num_cells);
+  std::vector<handler> handlers;
+  std::size_t ip = 0;
+  stack.reserve(16);
+
+  const auto bind = [&](const bc_binding& b, value v) {
+    if (b.is_cell) {
+      cells[b.index] = std::make_shared<value>(std::move(v));
+    } else {
+      slots[b.index] = std::move(v);
+    }
+  };
+
+  if (!fn.is_toplevel) {
+    bind(fn.this_binding, this_value);
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      bind(fn.params[i], i < args.size() ? std::move(args[i]) : value::undefined());
+    }
+    // `arguments` holds the extras beyond the named parameters, exactly like
+    // the tree-walker (including its heap charge).
+    auto args_array = ctx_.make_array();
+    for (std::size_t i = fn.params.size(); i < args.size(); ++i) {
+      args_array->elements.push_back(std::move(args[i]));
+    }
+    bind(fn.arguments_binding, value::object(std::move(args_array)));
+  }
+
+  // Fuel accumulates per opcode and is flushed into the context (which
+  // enforces the ops budget and the resource manager's kill flag) at loop
+  // back-edges, call boundaries, throws, and frame exit.
+  std::uint64_t fuel = 0;
+  const auto flush_fuel = [&](int ln) {
+    if (fuel != 0) {
+      ctx_.add_ops(fuel, ln);
+      fuel = 0;
+    }
+  };
+
+  const auto pop = [&]() {
+    value v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+  const auto cell_at = [&](std::size_t i) -> std::shared_ptr<value>& {
+    auto& c = cells[i];
+    if (!c) c = std::make_shared<value>();  // defensive: jump skipped make_cell
+    return c;
+  };
+
+  for (;;) {
+    try {
+      for (;;) {
+        const bc_instr& ins = fn.code[ip++];
+        ++fuel;
+        switch (ins.op) {
+          case opcode::push_const:
+            stack.push_back(fn.consts[static_cast<std::size_t>(ins.a)]);
+            break;
+          case opcode::push_undefined:
+            stack.push_back(value::undefined());
+            break;
+          case opcode::push_null:
+            stack.push_back(value::null());
+            break;
+          case opcode::push_true:
+            stack.push_back(value::boolean(true));
+            break;
+          case opcode::push_false:
+            stack.push_back(value::boolean(false));
+            break;
+
+          case opcode::pop:
+            stack.pop_back();
+            break;
+          case opcode::dup:
+            stack.push_back(stack.back());
+            break;
+          case opcode::swap:
+            std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+            break;
+
+          case opcode::load_local:
+            stack.push_back(slots[static_cast<std::size_t>(ins.a)]);
+            break;
+          case opcode::store_local:
+            slots[static_cast<std::size_t>(ins.a)] = stack.back();
+            break;
+          case opcode::store_local_pop:
+            slots[static_cast<std::size_t>(ins.a)] = std::move(stack.back());
+            stack.pop_back();
+            break;
+          case opcode::store_cell_pop:
+            *cell_at(static_cast<std::size_t>(ins.a)) = std::move(stack.back());
+            stack.pop_back();
+            break;
+          case opcode::update_local: {
+            value& slot = slots[static_cast<std::size_t>(ins.a)];
+            slot = value::number(slot.to_number() + ((ins.b & 2) != 0 ? -1.0 : 1.0));
+            break;
+          }
+          case opcode::update_cell: {
+            value& slot = *cell_at(static_cast<std::size_t>(ins.a));
+            slot = value::number(slot.to_number() + ((ins.b & 2) != 0 ? -1.0 : 1.0));
+            break;
+          }
+          case opcode::make_cell:
+            cells[static_cast<std::size_t>(ins.a)] = std::make_shared<value>();
+            break;
+          case opcode::load_cell:
+            stack.push_back(*cell_at(static_cast<std::size_t>(ins.a)));
+            break;
+          case opcode::store_cell:
+            *cell_at(static_cast<std::size_t>(ins.a)) = stack.back();
+            break;
+          case opcode::load_capture:
+            stack.push_back(*(*captures)[static_cast<std::size_t>(ins.a)]);
+            break;
+          case opcode::store_capture:
+            *(*captures)[static_cast<std::size_t>(ins.a)] = stack.back();
+            break;
+
+          case opcode::load_global: {
+            const std::string& name =
+                fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+            if (const value* v = ctx_.global()->find_own(name)) {
+              stack.push_back(*v);
+            } else {
+              host_.runtime_fail("'" + name + "' is not defined", ins.line);
+            }
+            break;
+          }
+          case opcode::load_global_soft: {
+            const std::string& name =
+                fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+            const value* v = ctx_.global()->find_own(name);
+            stack.push_back(v != nullptr ? *v : value::undefined());
+            break;
+          }
+          case opcode::store_global:
+            ctx_.global()->set(fn.consts[static_cast<std::size_t>(ins.a)].as_string(),
+                               stack.back());
+            break;
+          case opcode::typeof_global: {
+            const value* v = ctx_.global()->find_own(
+                fn.consts[static_cast<std::size_t>(ins.a)].as_string());
+            stack.push_back(value::string(v != nullptr ? v->type_name() : "undefined"));
+            break;
+          }
+
+          case opcode::make_array: {
+            const auto n = static_cast<std::size_t>(ins.a);
+            auto arr = ctx_.make_array();
+            arr->elements.reserve(n);
+            const std::size_t base = stack.size() - n;
+            for (std::size_t i = 0; i < n; ++i) {
+              arr->elements.push_back(std::move(stack[base + i]));
+            }
+            stack.resize(base);
+            ctx_.charge_object(*arr, n * 16);
+            stack.push_back(value::object(std::move(arr)));
+            break;
+          }
+          case opcode::make_object: {
+            const auto n = static_cast<std::size_t>(ins.a);
+            auto obj = ctx_.make_object();
+            const std::size_t base = stack.size() - 2 * n;
+            for (std::size_t i = 0; i < n; ++i) {
+              obj->set(stack[base + 2 * i].as_string(), std::move(stack[base + 2 * i + 1]));
+            }
+            stack.resize(base);
+            ctx_.charge_object(*obj, n * 32);
+            stack.push_back(value::object(std::move(obj)));
+            break;
+          }
+          case opcode::make_closure: {
+            const auto& proto = fn.fns[static_cast<std::size_t>(ins.a)];
+            std::vector<std::shared_ptr<value>> caps;
+            caps.reserve(proto->captures.size());
+            for (const capture_src& src : proto->captures) {
+              std::shared_ptr<value> cell =
+                  src.from_parent_cell ? cells[src.index] : (*captures)[src.index];
+              if (!cell) cell = std::make_shared<value>();
+              caps.push_back(std::move(cell));
+            }
+            stack.push_back(value::object(ctx_.make_compiled_function(proto, std::move(caps))));
+            break;
+          }
+
+          case opcode::get_prop: {
+            const value base = pop();
+            stack.push_back(host_.get_property(
+                base, fn.consts[static_cast<std::size_t>(ins.a)].as_string(), ins.line));
+            break;
+          }
+          case opcode::set_prop: {
+            value v = pop();
+            const value base = pop();
+            host_.set_property(base, fn.consts[static_cast<std::size_t>(ins.a)].as_string(),
+                               v, ins.line);
+            stack.push_back(std::move(v));
+            break;
+          }
+          case opcode::get_index: {
+            const value idx = pop();
+            const value base = pop();
+            stack.push_back(index_get(base, idx, ins.line));
+            break;
+          }
+          case opcode::set_index: {
+            value v = pop();
+            const value idx = pop();
+            const value base = pop();
+            index_set(base, idx, v, ins.line);
+            stack.push_back(std::move(v));
+            break;
+          }
+          case opcode::get_method: {
+            const value& base = stack.back();
+            const std::string& name =
+                fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+            value callee = host_.get_property(base, name, ins.line);
+            if (callee.is_undefined()) {
+              host_.runtime_fail("method '" + name + "' is not defined on " +
+                                     std::string(base.type_name()),
+                                 ins.line);
+            }
+            stack.push_back(std::move(callee));
+            break;
+          }
+          case opcode::get_index_method: {
+            const value idx = pop();
+            const value& base = stack.back();
+            stack.push_back(host_.get_property(base, idx.to_string(), ins.line));
+            break;
+          }
+          case opcode::delete_prop: {
+            const value base = pop();
+            stack.push_back(value::boolean(
+                base.is_object() &&
+                base.as_object()->erase(
+                    fn.consts[static_cast<std::size_t>(ins.a)].as_string())));
+            break;
+          }
+          case opcode::delete_index: {
+            const value idx = pop();
+            const value base = pop();
+            stack.push_back(value::boolean(base.is_object() &&
+                                           base.as_object()->erase(idx.to_string())));
+            break;
+          }
+          case opcode::update_prop: {
+            const value base = pop();
+            const std::string& name =
+                fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+            const double delta = (ins.b & 2) != 0 ? -1.0 : 1.0;
+            const double old_value = host_.get_property(base, name, ins.line).to_number();
+            host_.set_property(base, name, value::number(old_value + delta), ins.line);
+            stack.push_back(
+                value::number((ins.b & 1) != 0 ? old_value + delta : old_value));
+            break;
+          }
+          case opcode::update_index: {
+            const value idx = pop();
+            const value base = pop();
+            const double delta = (ins.b & 2) != 0 ? -1.0 : 1.0;
+            double old_value = 0.0;
+            if (base.is_object() && base.as_object()->kind == object_kind::array &&
+                idx.is_number()) {
+              const auto& obj = base.as_object();
+              const auto i = static_cast<std::size_t>(idx.as_number());
+              if (i >= obj->elements.size()) {
+                host_.runtime_fail("array index out of range", ins.line);
+              }
+              old_value = obj->elements[i].to_number();
+              obj->elements[i] = value::number(old_value + delta);
+            } else {
+              const std::string key = idx.to_string();
+              old_value = host_.get_property(base, key, ins.line).to_number();
+              host_.set_property(base, key, value::number(old_value + delta), ins.line);
+            }
+            stack.push_back(
+                value::number((ins.b & 1) != 0 ? old_value + delta : old_value));
+            break;
+          }
+          case opcode::keys: {
+            const value target = pop();
+            stack.push_back(forin_keys(target));
+            break;
+          }
+          case opcode::forin_next: {
+            // The compiler guarantees slots[b] is the engine-built key array
+            // and slots[c] the numeric cursor.
+            const auto& arr = slots[static_cast<std::size_t>(ins.b)].as_object();
+            value& cursor = slots[static_cast<std::size_t>(ins.c)];
+            const auto i = static_cast<std::size_t>(cursor.as_number());
+            if (i >= arr->elements.size()) {
+              ip = static_cast<std::size_t>(ins.a);
+            } else {
+              stack.push_back(arr->elements[i]);
+              cursor = value::number(static_cast<double>(i + 1));
+            }
+            break;
+          }
+
+          case opcode::binary: {
+            const value r = pop();
+            const value l = pop();
+            stack.push_back(
+                apply_binop(ctx_, static_cast<binop>(ins.a), l, r, ins.line));
+            break;
+          }
+          case opcode::compound: {
+            const value r = pop();
+            const value l = pop();
+            stack.push_back(
+                apply_compound_binop(ctx_, static_cast<binop>(ins.a), l, r, ins.line));
+            break;
+          }
+          case opcode::binary_ll:
+            stack.push_back(apply_binop(ctx_, static_cast<binop>(ins.a),
+                                        slots[static_cast<std::size_t>(ins.b)],
+                                        slots[static_cast<std::size_t>(ins.c)], ins.line));
+            break;
+          case opcode::binary_lc:
+            stack.push_back(apply_binop(ctx_, static_cast<binop>(ins.a),
+                                        slots[static_cast<std::size_t>(ins.b)],
+                                        fn.consts[static_cast<std::size_t>(ins.c)],
+                                        ins.line));
+            break;
+          case opcode::binary_cl:
+            stack.push_back(apply_binop(ctx_, static_cast<binop>(ins.a),
+                                        fn.consts[static_cast<std::size_t>(ins.b)],
+                                        slots[static_cast<std::size_t>(ins.c)], ins.line));
+            break;
+          case opcode::binary_sl: {
+            value result =
+                apply_binop(ctx_, static_cast<binop>(ins.a), stack.back(),
+                            slots[static_cast<std::size_t>(ins.b)], ins.line);
+            stack.back() = std::move(result);
+            break;
+          }
+          case opcode::binary_sc: {
+            value result =
+                apply_binop(ctx_, static_cast<binop>(ins.a), stack.back(),
+                            fn.consts[static_cast<std::size_t>(ins.b)], ins.line);
+            stack.back() = std::move(result);
+            break;
+          }
+          case opcode::binary_ls: {
+            value result =
+                apply_binop(ctx_, static_cast<binop>(ins.a),
+                            slots[static_cast<std::size_t>(ins.b)], stack.back(), ins.line);
+            stack.back() = std::move(result);
+            break;
+          }
+          case opcode::not_op:
+            stack.back() = value::boolean(!stack.back().truthy());
+            break;
+          case opcode::negate:
+            stack.back() = value::number(-stack.back().to_number());
+            break;
+          case opcode::to_number:
+            stack.back() = value::number(stack.back().to_number());
+            break;
+          case opcode::bit_not:
+            stack.back() = value::number(static_cast<double>(
+                ~static_cast<std::int32_t>(op_to_int32(stack.back().to_number()))));
+            break;
+          case opcode::typeof_op:
+            stack.back() = value::string(stack.back().type_name());
+            break;
+
+          case opcode::jump:
+            ip = static_cast<std::size_t>(ins.a);
+            break;
+          case opcode::jump_if_false:
+            if (!pop().truthy()) ip = static_cast<std::size_t>(ins.a);
+            break;
+          case opcode::jump_if_true:
+            if (pop().truthy()) ip = static_cast<std::size_t>(ins.a);
+            break;
+          case opcode::jump_if_false_keep:
+            if (!stack.back().truthy()) {
+              ip = static_cast<std::size_t>(ins.a);
+            } else {
+              stack.pop_back();
+            }
+            break;
+          case opcode::jump_if_true_keep:
+            if (stack.back().truthy()) {
+              ip = static_cast<std::size_t>(ins.a);
+            } else {
+              stack.pop_back();
+            }
+            break;
+          case opcode::loop_back:
+            flush_fuel(ins.line);
+            ip = static_cast<std::size_t>(ins.a);
+            break;
+
+          case opcode::check_ctor:
+            if (!stack.back().is_object() || !stack.back().as_object()->callable()) {
+              host_.runtime_fail("'new' applied to a non-function", ins.line);
+            }
+            break;
+
+          case opcode::call:
+          case opcode::call_method:
+          case opcode::call_new: {
+            const auto argc = static_cast<std::size_t>(ins.a);
+            std::vector<value> cargs;
+            cargs.reserve(argc);
+            const std::size_t args_base = stack.size() - argc;
+            for (std::size_t i = 0; i < argc; ++i) {
+              cargs.push_back(std::move(stack[args_base + i]));
+            }
+            value callee = std::move(stack[args_base - 1]);
+            value result;
+            flush_fuel(ins.line);
+            if (ins.op == opcode::call) {
+              stack.resize(args_base - 1);
+              result = do_call(std::move(callee), value::undefined(), std::move(cargs),
+                               ins.line);
+            } else if (ins.op == opcode::call_method) {
+              value this_v = std::move(stack[args_base - 2]);
+              stack.resize(args_base - 2);
+              result = do_call(std::move(callee), this_v, std::move(cargs), ins.line);
+            } else {
+              stack.resize(args_base - 1);
+              result = do_new(std::move(callee), std::move(cargs), ins.line);
+            }
+            stack.push_back(std::move(result));
+            break;
+          }
+
+          case opcode::ret: {
+            flush_fuel(ins.line);
+            return pop();
+          }
+          case opcode::ret_undefined:
+            flush_fuel(ins.line);
+            return value::undefined();
+
+          case opcode::push_handler:
+            handlers.push_back(handler{static_cast<std::size_t>(ins.a), stack.size()});
+            break;
+          case opcode::pop_handler:
+            handlers.pop_back();
+            break;
+          case opcode::throw_op: {
+            if (ins.a == 1) {
+              // Engine-level error compiled in place (illegal break/return):
+              // not catchable by script code.
+              const value msg = pop();
+              host_.runtime_fail(msg.to_string(), ins.line);
+            }
+            value v = pop();
+            flush_fuel(ins.line);
+            throw thrown_value{std::move(v)};
+          }
+        }
+      }
+    } catch (thrown_value& t) {
+      if (handlers.empty()) throw;
+      const handler h = handlers.back();
+      handlers.pop_back();
+      stack.resize(h.stack_depth);
+      stack.push_back(std::move(t.v));
+      ip = h.ip;
+    }
+  }
+}
+
+}  // namespace
+
+void run_program(context& ctx, const compiled_program_ptr& prog) {
+  machine m(ctx);
+  try {
+    (void)m.invoke(*prog->top, nullptr, value::undefined(), {}, 0);
+  } catch (const thrown_value& t) {
+    throw script_error(script_error_kind::thrown,
+                       prog->name + ": uncaught exception: " + t.v.to_string());
+  }
+}
+
+value call_compiled(context& ctx, const object_ptr& fn, const value& this_value,
+                    std::vector<value> args, int line) {
+  machine m(ctx);
+  return m.invoke(*fn->code, &fn->captures, this_value, std::move(args), line);
+}
+
+void eval_script_bytecode(context& ctx, std::string_view source, std::string_view name) {
+  const program_ptr prog = parse_program(source, name);
+  const compiled_program_ptr compiled = compile_program(prog);
+  run_program(ctx, compiled);
+}
+
+}  // namespace nakika::js

@@ -1,0 +1,33 @@
+// Stack-based virtual machine for compiled chunks (bytecode.hpp). One
+// dispatch loop charges fuel per opcode and checks the resource manager's
+// kill flag at loop back-edges and call boundaries — replacing the
+// tree-walker's per-AST-node accounting. Script semantics (property access,
+// operators, heap charging) are shared with the tree-walker through
+// js/ops.hpp and the interpreter's property helpers, so both engines stay
+// behaviorally identical.
+#pragma once
+
+#include <vector>
+
+#include "js/bytecode.hpp"
+#include "js/interpreter.hpp"
+
+namespace nakika::js {
+
+// Executes a compiled top-level chunk in `ctx`'s global scope. Uncaught
+// script exceptions surface as script_error(thrown), mirroring
+// interpreter::run.
+void run_program(context& ctx, const compiled_program_ptr& prog);
+
+// Calls a VM-compiled function object. Script exceptions propagate as
+// thrown_value so an enclosing try (in either engine) can catch them; the
+// interpreter's cross-engine dispatch relies on this.
+[[nodiscard]] value call_compiled(context& ctx, const object_ptr& fn, const value& this_value,
+                                  std::vector<value> args, int line);
+
+// Parse + compile + run in one step (bytecode twin of the tree-walking
+// eval_script path; used by the engine-selectable eval_script helper).
+void eval_script_bytecode(context& ctx, std::string_view source,
+                          std::string_view name = "<script>");
+
+}  // namespace nakika::js

@@ -16,6 +16,10 @@ nakika_node::nakika_node(sim::network& net, sim::node_id host,
       pipeline_(config_.pipeline),
       resources_(config_.capacities),
       content_cache_(config_.content_cache_bytes, config_.content_cache_shards),
+      script_cache_(config_.script_cache_entries),
+      no_script_(config_.default_script_ttl > 0 ? config_.default_script_ttl : 300,
+                 config_.script_cache_entries),
+      chunk_cache_(config_.chunk_cache_entries),
       rng_(config_.rng_seed) {}
 
 void nakika_node::set_wall_sources(std::string clientwall, std::string serverwall) {
@@ -59,7 +63,8 @@ core::sandbox* nakika_node::acquire_sandbox(const std::string& site, double& cpu
   }
   ++sandboxes_created_;
   cpu_cost += config_.costs.context_create;
-  auto sb = std::make_unique<core::sandbox>(config_.script_limits);
+  auto sb = std::make_unique<core::sandbox>(config_.script_limits, config_.script_engine);
+  sb->set_chunk_cache(&chunk_cache_);
   return sb.release();
 }
 
@@ -430,6 +435,11 @@ void nakika_node::handle(const http::request& original,
                           static_cast<double>(result.bytes_read + result.bytes_written) +
                               response_bytes);
 
+        script_times_.compile_seconds += result.script_compile_seconds;
+        script_times_.execute_seconds += result.script_execute_seconds;
+        script_times_.chunk_cache_hits += static_cast<std::uint64_t>(result.chunk_cache_hits);
+        script_times_.stages_executed += static_cast<std::uint64_t>(result.stages_executed);
+
         if (result.terminated) {
           ++counters_.terminated;
         } else if (result.failed) {
@@ -493,6 +503,12 @@ void nakika_node::monitor_tick(std::size_t /*kind_index*/) {
   // control timeout ("note that our implementation does not block but
   // rather polls"), then phase 2.
   net_.loop().schedule(config_.control_interval, [this]() {
+    // Housekeeping alongside the resource sweep: drop expired script sources
+    // and negative verdicts so they don't sit resident until capacity
+    // eviction happens to pick them.
+    const auto now = static_cast<std::int64_t>(net_.loop().now());
+    script_cache_.purge_expired(now);
+    no_script_.purge_expired(now);
     for (std::size_t k = 0; k < core::resource_kind_count; ++k) {
       resources_.control_phase1(static_cast<core::resource_kind>(k), net_.loop().now());
     }

@@ -32,6 +32,16 @@ struct node_config {
   core::resource_capacities capacities;
   js::context_limits script_limits;
 
+  // Script execution engine. The bytecode VM is the production path; the
+  // tree-walker remains selectable as the reference oracle (differential
+  // testing, debugging suspected VM issues).
+  js::engine_kind script_engine = js::engine_kind::bytecode;
+  // Compiled-chunk cache (content-hash keyed, shared across the node's
+  // sandbox pools): entries, not bytes — chunks are small relative to bodies.
+  std::size_t chunk_cache_entries = 512;
+  // Bound on cached script sources / negative verdicts (ttl_cache).
+  std::size_t script_cache_entries = 4096;
+
   bool resource_controls = true;
   double control_interval = 1.0;  // seconds between CONTROL phase-1 runs
   double control_timeout = 0.5;   // WAIT(TIMEOUT) before phase 2
@@ -100,6 +110,18 @@ class nakika_node : public http_endpoint {
   [[nodiscard]] const node_config& config() const { return config_; }
   [[nodiscard]] std::size_t sandboxes_created() const { return sandboxes_created_; }
 
+  // Cumulative script-time split across all pipelines: how much real time
+  // went into making code runnable (parse + bytecode compile + decision-tree
+  // build) vs running it (stage evaluation + handlers).
+  struct script_time_stats {
+    double compile_seconds = 0.0;
+    double execute_seconds = 0.0;
+    std::uint64_t chunk_cache_hits = 0;
+    std::uint64_t stages_executed = 0;
+  };
+  [[nodiscard]] const script_time_stats& script_times() const { return script_times_; }
+  [[nodiscard]] core::chunk_cache& chunks() { return chunk_cache_; }
+
  private:
   struct script_entry {
     std::string source;
@@ -130,6 +152,8 @@ class nakika_node : public http_endpoint {
   cache::http_cache content_cache_;
   cache::ttl_cache<script_entry> script_cache_;
   cache::negative_cache no_script_;
+  core::chunk_cache chunk_cache_;  // compiled bytecode, shared by all sandboxes
+  script_time_stats script_times_;
   state::local_store store_;
   std::map<std::string, state::replica*> replicas_;
 

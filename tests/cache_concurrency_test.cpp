@@ -8,11 +8,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cache/http_cache.hpp"
+#include "cache/script_cache.hpp"
 #include "util/random.hpp"
 
 namespace nakika::cache {
@@ -139,6 +141,55 @@ TEST(CacheConcurrency, SingleKeyReplacementRaceKeepsBytesExact) {
   }
   EXPECT_LE(resident, 1u);  // at most the one key survives
   EXPECT_EQ(c.entry_count(), resident);
+}
+
+// The script-loading caches are shared by every worker on the multi-worker
+// node path: hammer ttl_cache, negative_cache, and the compiled-chunk LRU
+// from 8 threads. Bounds must hold throughout; under TSan this is the
+// data-race gate for cache/script_cache.hpp.
+TEST(CacheConcurrency, ScriptCachesAreThreadSafeAndBounded) {
+  constexpr std::size_t k_bound = 64;
+  ttl_cache<std::string> sources(k_bound);
+  negative_cache negatives(100, k_bound);
+  lru_cache<std::shared_ptr<const std::string>> chunks(k_bound);
+
+  std::vector<std::thread> workers;
+  workers.reserve(k_threads);
+  for (std::size_t t = 0; t < k_threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::rng rng{0xabcdef12345ull + t * 977};
+      for (std::size_t op = 0; op < 50'000; ++op) {
+        const std::string key = "k" + std::to_string(rng.next(256));
+        const auto now = static_cast<std::int64_t>(op % 1000);
+        const double action = rng.next_double();
+        if (action < 0.35) {
+          (void)sources.get(key, now);
+          (void)chunks.get(key);
+        } else if (action < 0.7) {
+          sources.put(key, "src-" + key, now + static_cast<std::int64_t>(rng.next(500)) + 1);
+          chunks.put(key, std::make_shared<const std::string>("chunk-" + key));
+        } else if (action < 0.85) {
+          (void)negatives.contains(key, now);
+          negatives.insert(key, now);
+        } else if (action < 0.95) {
+          (void)sources.remove(key);
+          (void)negatives.remove(key);
+        } else {
+          (void)sources.purge_expired(now);
+          (void)negatives.purge_expired(now);
+        }
+        EXPECT_LE(sources.size(), k_bound);
+        EXPECT_LE(negatives.size(), k_bound);
+        EXPECT_LE(chunks.size(), k_bound);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_LE(sources.size(), k_bound);
+  EXPECT_LE(chunks.size(), k_bound);
+  EXPECT_GT(sources.hits() + sources.misses(), 0u);
+  EXPECT_GT(chunks.hits() + chunks.misses(), 0u);
 }
 
 }  // namespace

@@ -147,5 +147,78 @@ TEST(NegativeCache, RemoveRevalidates) {
   EXPECT_THROW(negative_cache(0), std::invalid_argument);
 }
 
+TEST(TtlCache, BoundedEvictsNearestExpiry) {
+  ttl_cache<int> c(3);
+  c.put("soon", 1, 100);
+  c.put("later", 2, 500);
+  c.put("latest", 3, 900);
+  c.put("overflow", 4, 700);  // evicts "soon" (closest to expiry)
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_FALSE(c.get("soon", 0).has_value());
+  EXPECT_EQ(c.get("later", 0), 2);
+  EXPECT_EQ(c.get("latest", 0), 3);
+  EXPECT_EQ(c.get("overflow", 0), 4);
+}
+
+TEST(TtlCache, OverwriteDoesNotEvict) {
+  ttl_cache<int> c(2);
+  c.put("a", 1, 100);
+  c.put("b", 2, 200);
+  c.put("a", 3, 300);  // update in place, no eviction
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.get("a", 0), 3);
+  EXPECT_EQ(c.get("b", 0), 2);
+}
+
+TEST(TtlCache, PurgeExpiredSweepsStaleKeys) {
+  // The bug this guards against: expired entries were only erased when their
+  // exact key was re-queried, so never-requeried keys leaked forever.
+  ttl_cache<int> c(64);
+  for (int i = 0; i < 10; ++i) c.put("stale" + std::to_string(i), i, 100);
+  for (int i = 0; i < 5; ++i) c.put("fresh" + std::to_string(i), i, 1000);
+  EXPECT_EQ(c.size(), 15u);
+  EXPECT_EQ(c.purge_expired(500), 10u);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.get("fresh0", 500), 0);
+}
+
+TEST(NegativeCache, BoundedAndPurgeable) {
+  negative_cache nc(100, 2);
+  nc.insert("a", 0);   // expires 100
+  nc.insert("b", 50);  // expires 150
+  nc.insert("c", 60);  // evicts "a"
+  EXPECT_EQ(nc.size(), 2u);
+  EXPECT_FALSE(nc.contains("a", 61));
+  EXPECT_TRUE(nc.contains("b", 61));
+  EXPECT_TRUE(nc.contains("c", 61));
+  EXPECT_EQ(nc.purge_expired(155), 1u);  // "b" swept
+  EXPECT_EQ(nc.size(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  lru_cache<int> c(2);
+  c.put("a", 1);
+  c.put("b", 2);
+  EXPECT_EQ(c.get("a"), 1);  // a is now most recent
+  c.put("c", 3);                        // evicts b
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_FALSE(c.get("b").has_value());
+  EXPECT_EQ(c.get("a"), 1);
+  EXPECT_EQ(c.get("c"), 3);
+  EXPECT_EQ(c.hits(), 3u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(LruCache, OverwriteRefreshes) {
+  lru_cache<std::string> c(2);
+  c.put("a", "v1");
+  c.put("b", "v2");
+  c.put("a", "v3");  // refresh, a becomes most recent
+  c.put("c", "v4");  // evicts b
+  EXPECT_EQ(c.get("a"), "v3");
+  EXPECT_FALSE(c.get("b").has_value());
+  EXPECT_EQ(c.get("c"), "v4");
+}
+
 }  // namespace
 }  // namespace nakika::cache

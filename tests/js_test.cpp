@@ -8,11 +8,45 @@
 namespace nakika::js {
 namespace {
 
-// Evaluates a script and returns the global `result`.
+// Evaluates a script under BOTH engines — the tree-walker as the reference
+// oracle and the bytecode VM as the production path — asserts they agree, and
+// returns the VM's global `result`. Every test in this file is therefore also
+// a differential test. If either engine throws, both must throw the same
+// script_error kind (rethrown so EXPECT_THROW-style tests keep working).
 value eval_result(const std::string& source, context_limits limits = {}) {
+  bool tree_threw = false;
+  script_error tree_err(script_error_kind::runtime, "");
+  value tree_val;
+  {
+    context ctx(limits);
+    try {
+      eval_script(ctx, source, "<script>", engine_kind::tree_walker);
+      tree_val = ctx.global()->get("result");
+    } catch (const script_error& e) {
+      tree_threw = true;
+      tree_err = e;
+    }
+  }
+
   context ctx(limits);
-  eval_script(ctx, source);
-  return ctx.global()->get("result");
+  try {
+    eval_script(ctx, source, "<script>", engine_kind::bytecode);
+  } catch (const script_error& e) {
+    if (!tree_threw) {
+      ADD_FAILURE() << "VM threw but tree-walker did not: " << e.what();
+    } else {
+      EXPECT_EQ(to_string(tree_err.kind()), to_string(e.kind()))
+          << "engines disagree on error kind for: " << source;
+    }
+    throw;
+  }
+  if (tree_threw) {
+    ADD_FAILURE() << "tree-walker threw but VM did not: " << tree_err.what();
+    throw tree_err;
+  }
+  const value vm_val = ctx.global()->get("result");
+  EXPECT_EQ(tree_val.to_string(), vm_val.to_string()) << "engines disagree for: " << source;
+  return vm_val;
 }
 
 std::string eval_str(const std::string& source) { return eval_result(source).to_string(); }
@@ -430,13 +464,15 @@ TEST(Sandbox, HeapLimitAppliesToByteArrays) {
 }
 
 TEST(Sandbox, KillFlagTerminatesPromptly) {
-  context ctx;
-  ctx.kill_flag()->store(true);
-  try {
-    eval_script(ctx, "var i = 0; while (true) { i++; }");
-    FAIL() << "expected termination";
-  } catch (const script_error& e) {
-    EXPECT_EQ(e.kind(), script_error_kind::terminated);
+  for (const engine_kind engine : {engine_kind::tree_walker, engine_kind::bytecode}) {
+    context ctx;
+    ctx.kill_flag()->store(true);
+    try {
+      eval_script(ctx, "var i = 0; while (true) { i++; }", "<script>", engine);
+      FAIL() << "expected termination under " << to_string(engine);
+    } catch (const script_error& e) {
+      EXPECT_EQ(e.kind(), script_error_kind::terminated) << to_string(engine);
+    }
   }
 }
 
@@ -450,15 +486,17 @@ TEST(Sandbox, EngineErrorsNotCatchableByScript) {
 }
 
 TEST(Sandbox, ContextReuseResetsCounters) {
-  context ctx;
-  eval_script(ctx, "var x = 0; for (var i = 0; i < 1000; i++) x++;");
-  const auto ops_first = ctx.ops_used();
-  EXPECT_GT(ops_first, 1000u);
-  ctx.reset_for_reuse();
-  EXPECT_EQ(ctx.ops_used(), 0u);
-  // Globals survive reuse (that is the point of reuse).
-  eval_script(ctx, "result = x;");
-  EXPECT_DOUBLE_EQ(ctx.global()->get("result").to_number(), 1000);
+  for (const engine_kind engine : {engine_kind::tree_walker, engine_kind::bytecode}) {
+    context ctx;
+    eval_script(ctx, "var x = 0; for (var i = 0; i < 1000; i++) x++;", "<script>", engine);
+    const auto ops_first = ctx.ops_used();
+    EXPECT_GT(ops_first, 1000u) << to_string(engine);
+    ctx.reset_for_reuse();
+    EXPECT_EQ(ctx.ops_used(), 0u) << to_string(engine);
+    // Globals survive reuse (that is the point of reuse).
+    eval_script(ctx, "result = x;", "<script>", engine);
+    EXPECT_DOUBLE_EQ(ctx.global()->get("result").to_number(), 1000) << to_string(engine);
+  }
 }
 
 TEST(Sandbox, RuntimeErrorsCarryKind) {

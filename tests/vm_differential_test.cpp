@@ -1,0 +1,598 @@
+// Differential testing of the two script engines: every program in a curated
+// corpus plus a deterministic generated corpus runs through the tree-walking
+// interpreter (reference oracle) and the bytecode VM, asserting identical
+// results and side-effects. Also proves the VM's fuel metering enforces the
+// same resource limits the tree-walker did (ops budget, kill flag, heap, call
+// depth), and that the compiled-chunk cache shares work across sandboxes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sandbox.hpp"
+#include "js/compiler.hpp"
+#include "js/interpreter.hpp"
+#include "js/vm.hpp"
+
+namespace nakika::js {
+namespace {
+
+struct eval_outcome {
+  bool threw = false;
+  script_error_kind error_kind = script_error_kind::runtime;
+  std::string error_what;
+  std::string result;  // global `result` stringified
+  std::string trace;   // global `trace` stringified (side-effect log)
+};
+
+eval_outcome run_engine(const std::string& source, engine_kind engine,
+                        context_limits limits = {}) {
+  eval_outcome out;
+  context ctx(limits);
+  try {
+    eval_script(ctx, source, "<diff>", engine);
+  } catch (const script_error& e) {
+    out.threw = true;
+    out.error_kind = e.kind();
+    out.error_what = e.what();
+  }
+  // Globals are read even after a throw: side effects up to the failure
+  // point must match across engines too.
+  out.result = ctx.global()->get("result").to_string();
+  out.trace = ctx.global()->get("trace").to_string();
+  return out;
+}
+
+// Runs `source` under both engines and asserts equivalent observable
+// behavior: same result/trace globals, or same error kind.
+void expect_equivalent(const std::string& source, context_limits limits = {}) {
+  const eval_outcome tree = run_engine(source, engine_kind::tree_walker, limits);
+  const eval_outcome vm = run_engine(source, engine_kind::bytecode, limits);
+  ASSERT_EQ(tree.threw, vm.threw)
+      << "one engine threw for:\n"
+      << source << "\ntree: " << (tree.threw ? tree.error_what : tree.result)
+      << "\nvm:   " << (vm.threw ? vm.error_what : vm.result);
+  if (tree.threw) {
+    EXPECT_EQ(to_string(tree.error_kind), to_string(vm.error_kind)) << source;
+  } else {
+    EXPECT_EQ(tree.result, vm.result) << source;
+  }
+  EXPECT_EQ(tree.trace, vm.trace) << source;
+}
+
+// ----- curated corpus: control flow, closures, exceptions ----------------------
+
+TEST(Differential, ClosureCorpus) {
+  expect_equivalent(R"JS(
+    function make(start) {
+      var n = start;
+      return { inc: function() { n++; return n; },
+               dec: function() { n--; return n; } };
+    }
+    var a = make(10); var b = make(100);
+    a.inc(); a.inc(); b.dec();
+    result = '' + a.inc() + ':' + b.dec() + ':' + a.dec();
+  )JS");
+  expect_equivalent(R"JS(
+    var fs = [];
+    for (var i = 0; i < 3; i++) {
+      var x = i * 10;
+      fs.push(function() { return x + i; });
+    }
+    result = '' + fs[0]() + ',' + fs[1]() + ',' + fs[2]();
+  )JS");
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define NAKIKA_TEST_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define NAKIKA_TEST_ASAN 1
+#endif
+#ifndef NAKIKA_TEST_ASAN
+  // Known pre-existing tree-walker limitation: a function DECLARED in a local
+  // scope is stored in the same environment its closure captures, creating an
+  // env<->closure shared_ptr cycle that LeakSanitizer reports. The VM's
+  // cell-based closures do not cycle here. Differential coverage for local
+  // function declarations runs in non-ASan builds only.
+  expect_equivalent(R"JS(
+    function outer() {
+      var total = 0;
+      function add(n) { total += n; }
+      add(1); add(2); add(3);
+      return total;
+    }
+    result = outer();
+  )JS");
+#endif
+  expect_equivalent(R"JS(
+    function counterChain() {
+      var a = 1;
+      return function() {
+        var b = 2;
+        return function() { return a + b; };
+      };
+    }
+    result = counterChain()()();
+  )JS");
+  // Forward references: a closure created BEFORE the var it captures is
+  // declared must still bind that local once the declaration runs (caught by
+  // review: the compiler originally resolved these to globals). The closures
+  // are published through globals — as stage scripts publish handlers — which
+  // also sidesteps the pre-existing tree-walker env<->closure leak cycle.
+  expect_equivalent(R"JS(
+    function outer() { pub = function() { return x; }; var x = 5; return pub(); }
+    result = outer();
+  )JS");
+  expect_equivalent(R"JS(
+    function outer() { pub = function() { x = 9; }; var x = 1; pub(); return x; }
+    result = outer() + typeof x;
+  )JS");
+  expect_equivalent(R"JS(
+    fs = [];
+    function outer() {
+      for (var i = 0; i < 3; i++) {
+        fs.push(function() { return seen; });
+        var seen = i * 11;
+      }
+    }
+    outer();
+    result = fs[0]() + ',' + fs[1]() + ',' + fs[2]();
+  )JS");
+}
+
+TEST(Differential, ExceptionCorpus) {
+  expect_equivalent(R"JS(
+    trace = '';
+    function risky(n) {
+      try {
+        if (n > 1) throw 'big';
+        trace += 'ok' + n;
+        return n;
+      } finally {
+        trace += 'f' + n;
+      }
+    }
+    var got = '';
+    try { got += risky(0); got += risky(2); } catch (e) { got += 'c:' + e; }
+    result = got;
+  )JS");
+  expect_equivalent(R"JS(
+    trace = '';
+    for (var i = 0; i < 4; i++) {
+      try {
+        if (i == 1) continue;
+        if (i == 3) break;
+        trace += 'b' + i;
+      } finally {
+        trace += 'f' + i;
+      }
+    }
+    result = trace;
+  )JS");
+  expect_equivalent(R"JS(
+    function f() {
+      try { return 'tried'; } finally { trace = 'fin-ran'; }
+    }
+    result = f();
+  )JS");
+  expect_equivalent(R"JS(
+    function f() {
+      for (var i = 0; i < 3; i++) {
+        try { return 'first'; } finally { break; }
+      }
+      return 'after-break:' + i;
+    }
+    result = f();
+  )JS");
+  expect_equivalent(R"JS(
+    trace = '';
+    try {
+      try { throw 'inner'; } catch (e) { trace += 'c1:' + e; throw 'rethrown'; }
+    } catch (e2) { trace += '|c2:' + e2; }
+    result = trace;
+  )JS");
+  expect_equivalent("try { null.x; } catch (e) { result = 'engine errors pass'; }");
+  // `new` must reject a non-function BEFORE evaluating arguments (caught by
+  // review: the VM originally evaluated args first).
+  expect_equivalent("trace = 0; try { new 5(trace = 1); } catch (e) {} result = trace;");
+  expect_equivalent("throw {code: 42};");
+  expect_equivalent(R"JS(
+    var depth = 0;
+    function rec(n) { depth = n; if (n > 0) rec(n - 1); }
+    try { rec(5000); } catch (e) { }
+    result = 'done';
+  )JS");
+}
+
+TEST(Differential, StatementCorpus) {
+  expect_equivalent(R"JS(
+    var s = 0;
+    for (var i = 0; i < 5; i++) {
+      for (var j = 0; j < 5; j++) {
+        if (j > i) continue;
+        if (i * j > 6) break;
+        s += i * 10 + j;
+      }
+    }
+    result = s;
+  )JS");
+  expect_equivalent(R"JS(
+    var words = [];
+    var o = {x: 1, y: 2, z: 3};
+    o.y = undefined; delete o.z;
+    for (var k in o) words.push(k + '=' + o[k]);
+    var arr = ['a', 'b'];
+    for (var idx in arr) words.push(idx);
+    result = words.join('|');
+  )JS");
+  expect_equivalent(R"JS(
+    function day(n) {
+      var out = '';
+      switch (n % 3) {
+        case 0: out += 'zero';
+        case 1: out += 'one'; break;
+        case 2: out += 'two'; break;
+        default: out = 'never';
+      }
+      return out;
+    }
+    result = day(0) + ',' + day(1) + ',' + day(2) + ',' + day(3);
+  )JS");
+  expect_equivalent(R"JS(
+    var n = 0; var seen = '';
+    do { seen += n; n++; } while (n < 4);
+    while (n > 0) { n -= 2; seen += '.' + n; }
+    result = seen;
+  )JS");
+  expect_equivalent(R"JS(
+    var x = 5;
+    { var x = 7; result = x; }
+    result = result * 10 + x;
+  )JS");
+}
+
+TEST(Differential, ExpressionCorpus) {
+  expect_equivalent(R"JS(
+    var a = [1, 2, 3];
+    a[1] += 10; a[0] *= 3; a[2] -= 0.5;
+    var o = {n: 'x'};
+    o.n += '!';
+    var i = 0;
+    var post = i++; var pre = ++i;
+    a[0]++; --a[1];
+    result = a.join(',') + '|' + o.n + '|' + post + pre + i;
+  )JS");
+  expect_equivalent(R"JS(
+    var b = new ByteArray('abc');
+    b[0] = 65; b[1] += 1;
+    result = b.toString() + b.length;
+  )JS");
+  expect_equivalent(R"JS(
+    result = '' + (undefined == null) + (NaN1 = 0/0, NaN1 == NaN1) +
+             ('5' * '4') + (true + true) + ('x' || 'y') + (0 && 'z');
+  )JS");
+  expect_equivalent(R"JS(
+    function Vec(x, y) { this.x = x; this.y = y; }
+    Vec.prototype.dot = function(o) { return this.x * o.x + this.y * o.y; };
+    var v = new Vec(2, 3);
+    result = '' + v.dot(new Vec(4, 5)) + (v instanceof Vec) + ('x' in v) + ('z' in v);
+  )JS");
+  expect_equivalent(R"JS(
+    var obj = {f: function() { return typeof this.g; }, g: function() {} };
+    var tbl = {}; tbl['k' + 1] = obj;
+    result = tbl['k1'].f() + typeof missingThing + (typeof obj.f);
+  )JS");
+  expect_equivalent(R"JS(
+    var calls = '';
+    function t(label, v) { calls += label; return v; }
+    var r = t('a', false) && t('b', true);
+    r = t('c', 1) || t('d', 2);
+    r = t('e', 0) ? t('f', 1) : t('g', 2);
+    result = calls;
+  )JS");
+  expect_equivalent(R"JS(
+    var s = 'hello world';
+    result = s.split(' ').map; // undefined member access on natives
+    result = '' + s.toUpperCase() + s.indexOf('o', 5) + s.slice(-3) + s[1];
+  )JS");
+  expect_equivalent(R"JS(
+    var sorted = [5, 1, 4, 2, 3].sort(function(a, b) { return b - a; });
+    result = sorted.join('') + JSON.stringify({k: [1, null, 'two']});
+  )JS");
+  expect_equivalent("var a = []; a[5] = 1; result = '' + a.length + a[3];");
+  expect_equivalent("result = (function(a, b) { return arguments.length + '/' + a; })(7, 8, 9);");
+}
+
+// ----- generated corpus --------------------------------------------------------
+//
+// A deterministic program generator: seeded LCG, bounded loops, arithmetic on
+// a fixed pool of variables, nested conditionals, small functions and
+// closures. Termination is guaranteed by construction (loops have constant
+// trip counts), so every generated program must produce identical output on
+// both engines.
+
+class gen {
+ public:
+  explicit gen(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+  std::uint64_t next(std::uint64_t bound) { return next() % bound; }
+
+  std::string var() { return std::string(1, static_cast<char>('a' + next(4))); }
+
+  std::string expr(int depth) {
+    switch (next(depth <= 0 ? 3 : 7)) {
+      case 0: return std::to_string(next(100));
+      case 1: return var();
+      case 2: return "'s" + std::to_string(next(10)) + "'";
+      case 3: return "(" + expr(depth - 1) + " " + binop() + " " + expr(depth - 1) + ")";
+      case 4: return "(" + expr(depth - 1) + " ? " + expr(depth - 1) + " : " +
+                     expr(depth - 1) + ")";
+      case 5: return "f" + std::to_string(next(2)) + "(" + expr(depth - 1) + ")";
+      default: return "(-" + std::to_string(next(50)) + " + " + var() + ")";
+    }
+  }
+
+  std::string binop() {
+    static const char* ops[] = {"+", "-", "*", "%", "<", ">", "==", "!=", "&", "|", "^"};
+    return ops[next(sizeof(ops) / sizeof(ops[0]))];
+  }
+
+  std::string stmt(int depth) {
+    switch (next(depth <= 0 ? 2 : 7)) {
+      case 0: return var() + " = " + expr(2) + ";\n";
+      case 1: return "trace += '' + (" + expr(2) + ");\n";
+      case 2: {
+        const std::string v = var();
+        return "if (" + expr(1) + ") { " + stmt(depth - 1) + " } else { " + v + " = " +
+               expr(1) + "; }\n";
+      }
+      case 3: {
+        const std::string body = stmt(depth - 1) + stmt(depth - 1);
+        return "for (var q = 0; q < " + std::to_string(1 + next(4)) + "; q++) { " + body +
+               " }\n";
+      }
+      case 4: return var() + " += " + expr(1) + ";\n";
+      case 5: {
+        // Closure created before the var it captures is declared (the
+        // forward-reference class the compiler must bind via cells). Stored
+        // in a global, not a captured local, to avoid the pre-existing
+        // tree-walker env<->closure cycle. NOTE: the closure must only be
+        // CALLED after the `var` executes, and the name must not be touched
+        // before its declaration — accesses above the declaration of a
+        // captured name are a documented engine divergence (see README).
+        return "{ hh = function() { return w + " + var() + "; }; var w = " + expr(1) +
+               "; trace += '#' + hh(); }\n";
+      }
+      default: {
+        return "try { if (" + expr(1) + ") throw " + expr(1) + "; " + stmt(depth - 1) +
+               " } catch (e) { trace += '!' + e; } finally { trace += '.'; }\n";
+      }
+    }
+  }
+
+  std::string program() {
+    std::string src = "var a = 1; var b = 2; var c = 'x'; var d = 0; trace = '';\n";
+    src += "function f0(n) { return (n | 0) % 7; }\n";
+    src += "function f1(n) { var k = 3; return function(m) { return k + (m | 0); }(n); }\n";
+    const std::uint64_t statements = 3 + next(5);
+    for (std::uint64_t i = 0; i < statements; ++i) src += stmt(2);
+    src += "result = '' + a + '|' + b + '|' + c + '|' + d;\n";
+    return src;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+TEST(Differential, GeneratedCorpus) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    gen g(seed * 2654435761ULL);
+    const std::string src = g.program();
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_equivalent(src);
+  }
+}
+
+// ----- fuel metering: the VM enforces the sandbox limits -----------------------
+
+TEST(Fuel, VmKillsRunawayLoopAtOpsBudget) {
+  context_limits limits;
+  limits.ops = 100000;
+  for (const engine_kind engine : {engine_kind::tree_walker, engine_kind::bytecode}) {
+    const eval_outcome out = run_engine("while (true) {}", engine, limits);
+    ASSERT_TRUE(out.threw) << to_string(engine);
+    EXPECT_EQ(to_string(out.error_kind), to_string(script_error_kind::ops_budget))
+        << to_string(engine);
+  }
+}
+
+TEST(Fuel, VmKillsRunawayLoopInsideCalls) {
+  // The runaway loop spins inside a called function: fuel must flow through
+  // frames, not just the top-level chunk.
+  context_limits limits;
+  limits.ops = 100000;
+  const char* src = "function spin() { var i = 0; while (true) { i++; } } spin();";
+  for (const engine_kind engine : {engine_kind::tree_walker, engine_kind::bytecode}) {
+    const eval_outcome out = run_engine(src, engine, limits);
+    ASSERT_TRUE(out.threw) << to_string(engine);
+    EXPECT_EQ(to_string(out.error_kind), to_string(script_error_kind::ops_budget))
+        << to_string(engine);
+  }
+}
+
+TEST(Fuel, VmOpsBudgetNotCatchableByScript) {
+  context_limits limits;
+  limits.ops = 50000;
+  const char* src = "try { while (true) {} } catch (e) { result = 'swallowed'; }";
+  for (const engine_kind engine : {engine_kind::tree_walker, engine_kind::bytecode}) {
+    const eval_outcome out = run_engine(src, engine, limits);
+    ASSERT_TRUE(out.threw) << to_string(engine);
+    EXPECT_EQ(to_string(out.error_kind), to_string(script_error_kind::ops_budget))
+        << to_string(engine);
+  }
+}
+
+TEST(Fuel, KillFlagStopsVmAtBackEdge) {
+  context ctx;
+  ctx.kill_flag()->store(true);
+  try {
+    eval_script(ctx, "var i = 0; for (;;) { i = i + 1; }", "<kill>", engine_kind::bytecode);
+    FAIL() << "expected termination";
+  } catch (const script_error& e) {
+    EXPECT_EQ(e.kind(), script_error_kind::terminated);
+  }
+}
+
+TEST(Fuel, HeapLimitParity) {
+  context_limits limits;
+  limits.heap_bytes = 1 * 1024 * 1024;
+  const char* src = "var s = 'y'; while (true) { s = s + s; }";
+  for (const engine_kind engine : {engine_kind::tree_walker, engine_kind::bytecode}) {
+    const eval_outcome out = run_engine(src, engine, limits);
+    ASSERT_TRUE(out.threw) << to_string(engine);
+    EXPECT_EQ(to_string(out.error_kind), to_string(script_error_kind::out_of_memory))
+        << to_string(engine);
+  }
+}
+
+TEST(Fuel, CallDepthParity) {
+  context_limits limits;
+  limits.call_depth = 40;
+  const char* src = "function f() { return f(); } f();";
+  for (const engine_kind engine : {engine_kind::tree_walker, engine_kind::bytecode}) {
+    const eval_outcome out = run_engine(src, engine, limits);
+    ASSERT_TRUE(out.threw) << to_string(engine);
+    EXPECT_EQ(to_string(out.error_kind), to_string(script_error_kind::runtime))
+        << to_string(engine);
+  }
+}
+
+TEST(Fuel, VmChargesOpsProportionalToWork) {
+  context ctx;
+  eval_script(ctx, "var x = 0; for (var i = 0; i < 1000; i++) x += i;", "<fuel>",
+              engine_kind::bytecode);
+  const std::uint64_t thousand_iters = ctx.ops_used();
+  EXPECT_GT(thousand_iters, 1000u);
+
+  context ctx2;
+  eval_script(ctx2, "var x = 0; for (var i = 0; i < 10000; i++) x += i;", "<fuel>",
+              engine_kind::bytecode);
+  EXPECT_GT(ctx2.ops_used(), 5 * thousand_iters);
+}
+
+// Pins the VM's (intentionally) divergent behavior for accesses to a captured
+// name ABOVE its `var` statement — the documented trade-off of binding
+// forward-referenced captures at block entry (see README "Compile-time
+// resolution note"). These are VM-only assertions, not differential ones: the
+// tree-walker raises "not defined" / creates a global here.
+TEST(Differential, DocumentedEarlyAccessDivergence) {
+  {
+    context ctx;
+    eval_script(ctx,
+                "function o() { pub = function() { return x; }; var early = pub(); "
+                "var x = 5; return '' + early + ':' + pub(); } result = o();",
+                "<pin>", engine_kind::bytecode);
+    EXPECT_EQ(ctx.global()->get("result").to_string(), "undefined:5");
+  }
+  {
+    context ctx;
+    eval_script(ctx,
+                "function o() { pub = function() { return x; }; x = 7; var x = 1; "
+                "return pub(); } result = '' + o() + typeof x;",
+                "<pin>", engine_kind::bytecode);
+    // The early write lands in the pre-declared cell (overwritten by the
+    // declaration), not in a global.
+    EXPECT_EQ(ctx.global()->get("result").to_string(), "1undefined");
+  }
+}
+
+// ----- cross-engine interop ----------------------------------------------------
+
+TEST(Interop, TreeWalkerCallsVmCompiledFunction) {
+  context ctx;
+  eval_script(ctx, "handler = function(n) { return n * 2 + 1; };", "<vm>",
+              engine_kind::bytecode);
+  interpreter in(ctx);
+  const value fn = ctx.global()->get("handler");
+  const value out = in.call(fn, value::undefined(), {value::number(20)});
+  EXPECT_DOUBLE_EQ(out.to_number(), 41);
+}
+
+TEST(Interop, VmCallsTreeWalkerCompiledFunction) {
+  context ctx;
+  eval_script(ctx, "astFn = function(n) { return n + 'ast'; };", "<tree>",
+              engine_kind::tree_walker);
+  eval_script(ctx, "result = astFn('via-vm-');", "<vm>", engine_kind::bytecode);
+  EXPECT_EQ(ctx.global()->get("result").to_string(), "via-vm-ast");
+}
+
+TEST(Interop, VmClosuresSurviveAcrossRuns) {
+  // Handlers registered by one run stay callable later (how stages publish
+  // onRequest/onResponse handlers that pipelines call long after load).
+  context ctx;
+  eval_script(ctx, "var hits = 0; onHit = function() { hits++; return hits; };", "<a>",
+              engine_kind::bytecode);
+  interpreter in(ctx);
+  const value fn = ctx.global()->get("onHit");
+  in.call(fn, value::undefined(), {});
+  in.call(fn, value::undefined(), {});
+  const value out = in.call(fn, value::undefined(), {});
+  EXPECT_DOUBLE_EQ(out.to_number(), 3);
+}
+
+// ----- compiled-chunk sharing --------------------------------------------------
+
+TEST(ChunkCache, SharedAcrossSandboxes) {
+  core::chunk_cache chunks(16);
+  const std::string source = "counter = 0; onRequest = function() { counter++; };";
+
+  core::sandbox sb1(js::context_limits{}, engine_kind::bytecode);
+  sb1.set_chunk_cache(&chunks);
+  core::stage_load_stats stats1;
+  sb1.load_stage("http://site-a/nakika.js", source, 1, &stats1);
+  EXPECT_FALSE(stats1.chunk_cache_hit);
+  EXPECT_GT(stats1.parse_seconds + stats1.compile_seconds, 0.0);
+
+  // A different sandbox, different URL, same content: compile is skipped.
+  core::sandbox sb2(js::context_limits{}, engine_kind::bytecode);
+  sb2.set_chunk_cache(&chunks);
+  core::stage_load_stats stats2;
+  sb2.load_stage("http://site-b/nakika.js", source, 7, &stats2);
+  EXPECT_TRUE(stats2.chunk_cache_hit);
+  EXPECT_DOUBLE_EQ(stats2.parse_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats2.compile_seconds, 0.0);
+  EXPECT_EQ(chunks.hits(), 1u);
+  EXPECT_EQ(chunks.misses(), 1u);
+}
+
+TEST(ChunkCache, PerSandboxStageCacheStillWins) {
+  core::chunk_cache chunks(16);
+  core::sandbox sb(js::context_limits{}, engine_kind::bytecode);
+  sb.set_chunk_cache(&chunks);
+  core::stage_load_stats stats;
+  sb.load_stage("http://s/nakika.js", "x = 1;", 3, &stats);
+  EXPECT_FALSE(stats.from_cache);
+  core::stage_load_stats again;
+  sb.load_stage("http://s/nakika.js", "x = 1;", 3, &again);
+  EXPECT_TRUE(again.from_cache);
+}
+
+TEST(ChunkCache, TreeWalkerEngineIgnoresChunkCache) {
+  core::chunk_cache chunks(16);
+  core::sandbox sb(js::context_limits{}, engine_kind::tree_walker);
+  sb.set_chunk_cache(&chunks);
+  core::stage_load_stats stats;
+  sb.load_stage("http://s/nakika.js", "y = 2;", 1, &stats);
+  EXPECT_FALSE(stats.chunk_cache_hit);
+  EXPECT_EQ(chunks.size(), 0u);
+  EXPECT_EQ(sb.ctx().global()->get("y").to_number(), 2.0);
+}
+
+}  // namespace
+}  // namespace nakika::js
