@@ -1,0 +1,186 @@
+// End-to-end requests/sec of a Na Kika node in worker mode at 1/2/4/8
+// workers, over three workloads:
+//   cache-hit     every request served from the sharded content cache
+//   script-heavy  every request runs the site's onResponse handler (VM)
+//   pages         every request renders an .nkp page (uncacheable, so each
+//                 one compiles + executes the page policy)
+// Reports aggregate req/s and speedup vs one worker. Speedup is only
+// meaningful on multi-core runners; on a single hardware thread the numbers
+// degenerate to ~1x (the harness prints the core count so results are
+// interpretable). `--smoke` shrinks the run for CI: it validates the worker
+// path end to end (every response checked) without measuring.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "proxy/deployment.hpp"
+
+namespace nakika {
+namespace {
+
+constexpr std::size_t k_hot_urls = 256;
+
+struct bench_env {
+  sim::event_loop loop;
+  std::unique_ptr<sim::network> net;
+  std::unique_ptr<proxy::origin_server> origin;
+  std::unique_ptr<proxy::nakika_node> node;
+
+  explicit bench_env(std::size_t workers, std::size_t queue_capacity) {
+    net = std::make_unique<sim::network>(loop);
+    const sim::node_id origin_host = net->add_node("origin");
+    const sim::node_id proxy_host = net->add_node("proxy");
+    net->set_route(origin_host, proxy_host, 0.0005);
+    origin = std::make_unique<proxy::origin_server>(*net, origin_host);
+
+    for (std::size_t i = 0; i < k_hot_urls; ++i) {
+      origin->add_static_text("hot.org", "/obj/" + std::to_string(i), "text/plain",
+                              std::string(1024, 'h'), 36000);
+    }
+    origin->add_static_text("scripted.org", "/nakika.js", "application/javascript", R"JS(
+      var p = new Policy();
+      p.url = [ "scripted.org" ];
+      p.onResponse = function () {
+        var n = 0;
+        for (var i = 0; i < 2000; i++) { n += i * i; }
+        Response.setHeader("X-Work", "" + n);
+      };
+      p.register();
+    )JS",
+                            36000);
+    for (std::size_t i = 0; i < k_hot_urls; ++i) {
+      origin->add_static_text("scripted.org", "/doc/" + std::to_string(i), "text/plain",
+                              std::string(512, 's'), 36000);
+    }
+    // Pages: a dynamic, uncacheable .nkp resource -> rendered per request.
+    origin->add_dynamic("pages.org", "/page", [](const http::request& r) {
+      proxy::origin_server::dynamic_result out;
+      out.response = http::make_response(
+          200, "text/nkp",
+          util::make_body("Rendered: <?nkp var n = 0; for (var i = 0; i < 200; i++) "
+                          "{ n += i; } Response.write(n); ?> for " +
+                          r.url.path()));
+      out.response.headers.set("Cache-Control", "no-store");
+      return out;
+    });
+
+    proxy::node_config cfg;
+    cfg.workers = workers;
+    cfg.queue_capacity = queue_capacity;
+    cfg.resource_controls = false;  // measure the execution path, not admission
+    proxy::origin_server* raw = origin.get();
+    node = std::make_unique<proxy::nakika_node>(
+        *net, proxy_host,
+        [raw](const std::string&) -> proxy::http_endpoint* { return raw; },
+        std::move(cfg));
+  }
+};
+
+enum class workload { cache_hit, script_heavy, pages };
+
+std::string url_for(workload w, std::size_t i) {
+  switch (w) {
+    case workload::cache_hit:
+      return "http://hot.org/obj/" + std::to_string(i % k_hot_urls);
+    case workload::script_heavy:
+      return "http://scripted.org/doc/" + std::to_string(i % k_hot_urls);
+    case workload::pages:
+      return "http://pages.org/page";
+  }
+  return "";
+}
+
+// Submits `total` requests with a bounded in-flight window (so the bench
+// exercises the queue without tripping backpressure rejections) and returns
+// aggregate requests/sec. `ok` counts verified-correct responses.
+double run_workload(workload w, std::size_t workers, std::size_t total, std::size_t* ok) {
+  bench_env env(workers, /*queue_capacity=*/512);
+
+  // Warm: populate the cache (cache-hit) and the script/chunk caches.
+  {
+    std::atomic<std::size_t> warm_done{0};
+    for (std::size_t i = 0; i < k_hot_urls; ++i) {
+      http::request r;
+      r.url = http::url::parse(url_for(w, i));
+      r.client_ip = "10.0.0.1";
+      env.node->handle(r, [&](http::response) { warm_done.fetch_add(1); });
+    }
+    env.node->drain();
+  }
+
+  std::atomic<std::size_t> good{0};
+  std::atomic<std::size_t> done{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t in_flight_cap = 256;
+  for (std::size_t i = 0; i < total; ++i) {
+    while (i - done.load(std::memory_order_acquire) >= in_flight_cap) {
+      std::this_thread::yield();
+    }
+    http::request r;
+    r.url = http::url::parse(url_for(w, i));
+    r.client_ip = "10.0.0.1";
+    env.node->handle(r, [&](http::response resp) {
+      if (resp.status == 200) good.fetch_add(1, std::memory_order_relaxed);
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  env.node->drain();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  if (ok != nullptr) *ok = good.load();
+  return static_cast<double>(total) / elapsed.count();
+}
+
+}  // namespace
+}  // namespace nakika
+
+int main(int argc, char** argv) {
+  using namespace nakika;
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  bench::print_header(
+      "Multi-worker node: end-to-end requests/sec",
+      "scaling harness for the ROADMAP north star (no paper counterpart)");
+  std::printf("%u hardware threads; speedup is only meaningful on multi-core runners\n\n",
+              std::thread::hardware_concurrency());
+
+  struct spec {
+    const char* name;
+    workload w;
+    std::size_t total;
+    std::size_t smoke_total;
+  };
+  const spec specs[] = {
+      {"cache-hit", workload::cache_hit, 40'000, 1'000},
+      {"script-heavy", workload::script_heavy, 8'000, 500},
+      {"pages", workload::pages, 4'000, 300},
+  };
+  const std::size_t worker_counts[] = {1, 2, 4, 8};
+
+  bool all_ok = true;
+  for (const spec& s : specs) {
+    const std::size_t total = smoke ? s.smoke_total : s.total;
+    std::printf("-- %s (%zu requests)\n", s.name, total);
+    bench::print_row("workers", {"req/s", "vs 1 worker", "ok"});
+    double base = 0.0;
+    for (const std::size_t workers : worker_counts) {
+      std::size_t ok = 0;
+      const double rps = run_workload(s.w, workers, total, &ok);
+      if (workers == 1) base = rps;
+      if (ok != total) all_ok = false;
+      bench::print_row(std::to_string(workers),
+                       {bench::num(rps, 0), bench::num(rps / base, 2) + "x",
+                        std::to_string(ok) + "/" + std::to_string(total)});
+    }
+  }
+  if (!all_ok) {
+    std::printf("\nFAIL: some responses were not 200\n");
+    return 1;
+  }
+  std::printf("\nall responses verified\n");
+  return 0;
+}

@@ -4,6 +4,16 @@
 
 namespace nakika::core {
 
+namespace {
+// fetch_add for atomic<double> predates universal libstdc++ support for the
+// C++20 floating-point overload, so spell it as a CAS loop.
+void atomic_add(std::atomic<double>& a, double amount) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + amount, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
 const char* to_string(resource_kind k) {
   switch (k) {
     case resource_kind::cpu: return "cpu";
@@ -22,19 +32,41 @@ resource_manager::resource_manager(resource_capacities capacities, double ewma_a
   throttling_.fill(false);
 }
 
+resource_manager::site_state& resource_manager::site_locked(const std::string& site) {
+  return sites_[site];
+}
+
 void resource_manager::record(const std::string& site, resource_kind kind, double amount) {
   if (amount < 0) return;
-  auto& state = sites_[site];
-  state.interval_use[static_cast<std::size_t>(kind)] += amount;
+  site_state* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state = &site_locked(site);
+  }
+  atomic_add(state->interval_use[static_cast<std::size_t>(kind)], amount);
+}
+
+void resource_manager::record_usage(const std::string& site,
+                                    const std::array<double, resource_kind_count>& amounts) {
+  site_state* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state = &site_locked(site);
+  }
+  for (std::size_t k = 0; k < resource_kind_count; ++k) {
+    if (amounts[k] > 0) atomic_add(state->interval_use[k], amounts[k]);
+  }
 }
 
 void resource_manager::pipeline_started(const std::string& site,
                                         std::shared_ptr<std::atomic<bool>> kill_flag) {
-  sites_[site].active.push_back(kill_flag);
+  std::lock_guard<std::mutex> lock(mu_);
+  site_locked(site).active.push_back(kill_flag);
 }
 
 void resource_manager::pipeline_finished(const std::string& site,
                                          const std::shared_ptr<std::atomic<bool>>& kill_flag) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = sites_.find(site);
   if (it == sites_.end()) return;
   auto& active = it->second.active;
@@ -46,26 +78,33 @@ void resource_manager::pipeline_finished(const std::string& site,
                active.end());
 }
 
-double resource_manager::interval_total(resource_kind kind) const {
-  double total = 0.0;
-  for (const auto& [_, s] : sites_) {
-    total += s.interval_use[static_cast<std::size_t>(kind)];
-  }
-  return total;
-}
-
-void resource_manager::consume_interval(resource_kind kind) {
+// Snapshot-and-reset of the per-site interval counters for one resource.
+// exchange(0) per counter, not load-then-store: a charge racing in from a
+// worker mid-aggregation rolls into the next interval instead of being
+// erased by the reset. Returns (site, consumed) pairs in map order so the
+// share arithmetic stays deterministic on the single-threaded sim path.
+std::vector<std::pair<resource_manager::site_state*, double>>
+resource_manager::consume_interval_locked(resource_kind kind, double* total) {
+  const auto ki = static_cast<std::size_t>(kind);
+  std::vector<std::pair<site_state*, double>> consumed;
+  consumed.reserve(sites_.size());
+  *total = 0.0;
   for (auto& [_, s] : sites_) {
-    s.interval_use[static_cast<std::size_t>(kind)] = 0.0;
+    const double use = s.interval_use[ki].exchange(0.0, std::memory_order_relaxed);
+    consumed.emplace_back(&s, use);
+    *total += use;
   }
+  return consumed;
 }
 
 bool resource_manager::control_phase1(resource_kind kind, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto ki = static_cast<std::size_t>(kind);
   const double interval = std::max(1e-9, now - last_phase1_time_[ki]);
   last_phase1_time_[ki] = now;
 
-  const double total = interval_total(kind);
+  double total = 0.0;
+  const auto consumed = consume_interval_locked(kind, &total);
   double capacity = 0.0;
   switch (kind) {
     case resource_kind::cpu: capacity = capacities_.cpu_seconds_per_second; break;
@@ -85,31 +124,32 @@ bool resource_manager::control_phase1(resource_kind kind, double now) {
     ++consecutive_congested_[ki];
     // "Track usage and throttle": contributions update only under
     // overutilization for renewable resources; throttling is proportional.
-    for (auto& [_, s] : sites_) {
-      const double share = total > 0 ? s.interval_use[ki] / total : 0.0;
-      auto& c = s.contribution[ki];
+    for (const auto& [s, use] : consumed) {
+      const double share = total > 0 ? use / total : 0.0;
+      auto& c = s->contribution[ki];
       if (!c.initialized()) c = util::ewma(ewma_alpha_);
       c.update(share);
-      s.throttle_probability = std::max(s.throttle_probability, c.value());
+      const double prob =
+          std::max(s->throttle_probability.load(std::memory_order_relaxed), c.value());
+      s->throttle_probability.store(prob, std::memory_order_relaxed);
     }
     throttling_[ki] = true;
   } else if (is_renewable(kind)) {
     consecutive_congested_[ki] = 0;
   } else {
     // Nonrenewable: "track usage" unconditionally.
-    const double nr_total = total;
-    for (auto& [_, s] : sites_) {
-      const double share = nr_total > 0 ? s.interval_use[ki] / nr_total : 0.0;
-      auto& c = s.contribution[ki];
+    for (const auto& [s, use] : consumed) {
+      const double share = total > 0 ? use / total : 0.0;
+      auto& c = s->contribution[ki];
       if (!c.initialized()) c = util::ewma(ewma_alpha_);
       c.update(share);
     }
   }
-  consume_interval(kind);
   return congested;
 }
 
 control_outcome resource_manager::control_phase2(resource_kind kind, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto ki = static_cast<std::size_t>(kind);
   control_outcome outcome;
   outcome.congested_before = throttling_[ki];
@@ -118,7 +158,8 @@ control_outcome resource_manager::control_phase2(resource_kind kind, double now)
   // Re-measure over the timeout window: did throttling relieve congestion?
   const double interval = std::max(1e-9, now - last_phase1_time_[ki]);
   last_phase1_time_[ki] = now;
-  const double total = interval_total(kind);
+  double total = 0.0;
+  consume_interval_locked(kind, &total);
   double capacity = 0.0;
   switch (kind) {
     case resource_kind::cpu: capacity = capacities_.cpu_seconds_per_second; break;
@@ -132,7 +173,6 @@ control_outcome resource_manager::control_phase2(resource_kind kind, double now)
       consecutive_congested_[ki] >= capacities_.chronic_congestion_cycles;
   outcome.congested_after =
       last_utilization_[ki] >= capacities_.congestion_threshold || chronic;
-  consume_interval(kind);
 
   if (outcome.congested_after && termination_enabled_) {
     consecutive_congested_[ki] = 0;  // the termination resets the episode
@@ -162,11 +202,12 @@ control_outcome resource_manager::control_phase2(resource_kind kind, double now)
           ++outcome.pipelines_killed;
         }
       }
-      ++terminations_;
+      terminations_.fetch_add(1, std::memory_order_relaxed);
       outcome.terminated_site = worst;
       // A terminated site stays maximally blocked until the penalty expires.
-      s.throttle_probability = 1.0;
-      s.penalty_until = now + capacities_.termination_penalty_seconds;
+      s.throttle_probability.store(1.0, std::memory_order_relaxed);
+      s.penalty_until.store(now + capacities_.termination_penalty_seconds,
+                            std::memory_order_relaxed);
     }
   } else if (!outcome.congested_after) {
     // UNTHROTTLE(resource): restore normal operation.
@@ -175,7 +216,7 @@ control_outcome resource_manager::control_phase2(resource_kind kind, double now)
     for (bool t : throttling_) any_throttling |= t;
     if (!any_throttling) {
       for (auto& [_, s] : sites_) {
-        s.throttle_probability = 0.0;
+        s.throttle_probability.store(0.0, std::memory_order_relaxed);
       }
     }
   }
@@ -183,51 +224,64 @@ control_outcome resource_manager::control_phase2(resource_kind kind, double now)
 }
 
 bool resource_manager::admit(const std::string& site, util::rng& rng, double now) {
-  const auto it = sites_.find(site);
-  if (it == sites_.end()) return true;
-  if (now < it->second.penalty_until) {
-    ++throttle_rejections_;
+  site_state* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end()) return true;
+    state = &it->second;
+  }
+  if (now < state->penalty_until.load(std::memory_order_relaxed)) {
+    throttle_rejections_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  if (it->second.throttle_probability <= 0.0) return true;
-  if (rng.chance(it->second.throttle_probability)) {
-    ++throttle_rejections_;
+  const double probability = state->throttle_probability.load(std::memory_order_relaxed);
+  if (probability <= 0.0) return true;
+  if (rng.chance(probability)) {
+    throttle_rejections_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   return true;
 }
 
 bool resource_manager::is_throttled(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = sites_.find(site);
-  return it != sites_.end() && it->second.throttle_probability > 0.0;
+  return it != sites_.end() &&
+         it->second.throttle_probability.load(std::memory_order_relaxed) > 0.0;
 }
 
 double resource_manager::contribution(const std::string& site, resource_kind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = sites_.find(site);
   if (it == sites_.end()) return 0.0;
   return it->second.contribution[static_cast<std::size_t>(kind)].value();
 }
 
 double resource_manager::utilization(resource_kind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return last_utilization_[static_cast<std::size_t>(kind)];
 }
 
 resource_view resource_manager::view_for(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   resource_view v;
-  v.cpu_congestion = utilization(resource_kind::cpu);
-  v.memory_congestion = utilization(resource_kind::memory);
-  v.bandwidth_congestion = utilization(resource_kind::bandwidth);
+  v.cpu_congestion = last_utilization_[static_cast<std::size_t>(resource_kind::cpu)];
+  v.memory_congestion = last_utilization_[static_cast<std::size_t>(resource_kind::memory)];
+  v.bandwidth_congestion =
+      last_utilization_[static_cast<std::size_t>(resource_kind::bandwidth)];
   double best = 0.0;
   const auto it = sites_.find(site);
   if (it != sites_.end()) {
     for (const auto& c : it->second.contribution) best = std::max(best, c.value());
-    v.throttled = it->second.throttle_probability > 0.0;
+    v.throttled = it->second.throttle_probability.load(std::memory_order_relaxed) > 0.0;
   }
   v.site_contribution = best;
   return v;
 }
 
 std::size_t resource_manager::active_pipelines(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = sites_.find(site);
   if (it == sites_.end()) return 0;
   std::size_t n = 0;

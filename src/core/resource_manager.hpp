@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,12 +62,25 @@ struct control_outcome {
   std::size_t pipelines_killed = 0;
 };
 
+// Thread-safety: every public method may be called from any thread. The hot
+// accounting path (record / admit, called per request by every worker) only
+// takes the mutex to locate the site entry and then updates lock-free atomic
+// counters; the periodic CONTROL phases aggregate those atomics under the
+// mutex, so EWMAs, throttling state, and termination decisions stay
+// consistent while workers keep charging. Kill flags are shared
+// atomic<bool>s the VM polls at loop back-edges, so phase-2 terminations
+// reach pipelines running on other threads without any handshake.
 class resource_manager {
  public:
   explicit resource_manager(resource_capacities capacities = {}, double ewma_alpha = 0.5);
 
   // --- accounting (called by the node around pipeline executions) ---
   void record(const std::string& site, resource_kind kind, double amount);
+  // Batched per-pipeline variant: one site lookup (one lock acquisition)
+  // covering every resource kind — the per-request hot path on worker
+  // threads. Negative amounts are ignored per element, like record().
+  void record_usage(const std::string& site,
+                    const std::array<double, resource_kind_count>& amounts);
   void pipeline_started(const std::string& site,
                         std::shared_ptr<std::atomic<bool>> kill_flag);
   void pipeline_finished(const std::string& site,
@@ -93,8 +107,12 @@ class resource_manager {
   [[nodiscard]] resource_view view_for(const std::string& site) const;
 
   [[nodiscard]] std::size_t active_pipelines(const std::string& site) const;
-  [[nodiscard]] std::uint64_t terminations() const { return terminations_; }
-  [[nodiscard]] std::uint64_t throttle_rejections() const { return throttle_rejections_; }
+  [[nodiscard]] std::uint64_t terminations() const {
+    return terminations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t throttle_rejections() const {
+    return throttle_rejections_.load(std::memory_order_relaxed);
+  }
 
   // Testing/ablation hook: disable termination, keep throttling.
   void set_termination_enabled(bool enabled) { termination_enabled_ = enabled; }
@@ -102,27 +120,37 @@ class resource_manager {
  private:
   struct site_state {
     // Consumption accumulated in the current control interval, per resource.
-    std::array<double, resource_kind_count> interval_use{};
-    // EWMA contribution (share of total), per resource.
+    // Workers fetch_add lock-free; the CONTROL phases read-and-reset under
+    // the manager mutex.
+    std::array<std::atomic<double>, resource_kind_count> interval_use{};
+    // EWMA contribution (share of total), per resource (guarded by mu_).
     std::array<util::ewma, resource_kind_count> contribution;
-    double throttle_probability = 0.0;
-    double penalty_until = 0.0;  // terminated sites stay blocked until then
-    std::vector<std::weak_ptr<std::atomic<bool>>> active;
+    // Read by admit() without the full control-state lock.
+    std::atomic<double> throttle_probability{0.0};
+    std::atomic<double> penalty_until{0.0};  // terminated sites blocked until then
+    std::vector<std::weak_ptr<std::atomic<bool>>> active;  // guarded by mu_
   };
 
-  [[nodiscard]] double interval_total(resource_kind kind) const;
-  void consume_interval(resource_kind kind);
+  // std::map never invalidates element references, so record() can drop the
+  // lock after locating a site and update its atomics contention-free.
+  [[nodiscard]] site_state& site_locked(const std::string& site);
+  // Drains every site's interval counter for `kind` (exchange(0), so racing
+  // charges defer to the next interval rather than being lost) and returns
+  // the per-site consumption alongside the sum in *total.
+  std::vector<std::pair<site_state*, double>> consume_interval_locked(resource_kind kind,
+                                                                      double* total);
 
   resource_capacities capacities_;
   double ewma_alpha_;
+  mutable std::mutex mu_;
   std::map<std::string, site_state> sites_;
   std::array<double, resource_kind_count> last_phase1_time_{};
   std::array<double, resource_kind_count> last_utilization_{};
   std::array<bool, resource_kind_count> throttling_{};
   std::array<int, resource_kind_count> consecutive_congested_{};
   bool termination_enabled_ = true;
-  std::uint64_t terminations_ = 0;
-  std::uint64_t throttle_rejections_ = 0;
+  std::atomic<std::uint64_t> terminations_{0};
+  std::atomic<std::uint64_t> throttle_rejections_{0};
 };
 
 }  // namespace nakika::core

@@ -114,4 +114,32 @@ void sandbox::evict_stage(const std::string& url) { stages_.erase(url); }
 
 void sandbox::begin_run() { ctx_->reset_for_reuse(); }
 
+// ----- sandbox_pool ------------------------------------------------------------
+
+sandbox* sandbox_pool::acquire(const std::string& site, const js::context_limits& limits,
+                               js::engine_kind engine, chunk_cache* chunks,
+                               bool* created) {
+  auto& pool = pools_[site];
+  if (!pool.empty()) {
+    sandbox* sb = pool.back().release();
+    pool.pop_back();
+    if (created != nullptr) *created = false;
+    return sb;
+  }
+  created_.fetch_add(1, std::memory_order_relaxed);
+  if (created != nullptr) *created = true;
+  auto sb = std::make_unique<sandbox>(limits, engine);
+  sb->set_chunk_cache(chunks);
+  return sb.release();
+}
+
+void sandbox_pool::release(const std::string& site, sandbox* sb, bool poisoned) {
+  std::unique_ptr<sandbox> owned(sb);
+  if (poisoned) return;  // a killed/corrupted context is discarded, not reused
+  // A kill that raced in after the pipeline deregistered targeted the
+  // finished run; rearm so the next pipeline doesn't inherit it.
+  owned->clear_kill();
+  pools_[site].push_back(std::move(owned));
+}
+
 }  // namespace nakika::core

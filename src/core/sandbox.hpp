@@ -5,11 +5,14 @@
 // — so nodes pool sandboxes per site.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cache/script_cache.hpp"
 #include "core/decision_tree.hpp"
@@ -75,6 +78,11 @@ class sandbox {
   // Termination hook for the resource manager (checked at op boundaries,
   // so it also stops native vocabulary loops between charges).
   void kill() { ctx_->kill_flag()->store(true); }
+  // Rearms the flag after a run. Only safe once the pipeline has been
+  // deregistered (pipeline_finished) so the monitor can no longer target it —
+  // clearing any earlier (e.g. at run start) would erase a concurrent
+  // monitor-thread termination.
+  void clear_kill() { ctx_->kill_flag()->store(false); }
   [[nodiscard]] std::shared_ptr<std::atomic<bool>> kill_flag() const {
     return ctx_->kill_flag();
   }
@@ -91,6 +99,32 @@ class sandbox {
   chunk_cache* chunk_cache_ = nullptr;  // non-owning; the node outlives pools
   std::unordered_map<std::string, loaded_stage> stages_;
   double creation_seconds_ = 0.0;
+};
+
+// Per-site pool of reusable sandboxes. Single-owner (no locking): the node's
+// sim path owns one, and in worker mode each worker thread owns its own —
+// the paper's context-reuse optimization without cross-thread sharing of
+// scripting state. Poisoned (killed/corrupted) contexts are discarded;
+// healthy ones return with their kill flag rearmed.
+class sandbox_pool {
+ public:
+  // Pops a pooled sandbox for `site` or creates one; `created` reports which
+  // happened so the caller can charge the matching cost-model amount.
+  [[nodiscard]] sandbox* acquire(const std::string& site, const js::context_limits& limits,
+                                 js::engine_kind engine, chunk_cache* chunks,
+                                 bool* created = nullptr);
+  void release(const std::string& site, sandbox* sb, bool poisoned);
+
+  // Relaxed atomic: the pool itself is single-owner, but aggregate
+  // introspection (nakika_node::sandboxes_created) reads counters of
+  // worker-owned pools from other threads.
+  [[nodiscard]] std::size_t created() const {
+    return created_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::map<std::string, std::vector<std::unique_ptr<sandbox>>> pools_;
+  std::atomic<std::size_t> created_{0};
 };
 
 }  // namespace nakika::core

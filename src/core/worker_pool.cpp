@@ -1,0 +1,130 @@
+#include "core/worker_pool.hpp"
+
+namespace nakika::core {
+
+// ----- worker_context ---------------------------------------------------------
+
+sandbox* worker_context::acquire(const std::string& site, const js::context_limits& limits,
+                                 js::engine_kind engine, chunk_cache* chunks,
+                                 bool* created) {
+  return pool_.acquire(site, limits, engine, chunks, created);
+}
+
+void worker_context::release(const std::string& site, sandbox* sb, bool poisoned) {
+  pool_.release(site, sb, poisoned);
+}
+
+// ----- worker_pool ------------------------------------------------------------
+
+worker_pool::worker_pool(worker_pool_config config) : config_(config) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  contexts_.reserve(config_.workers);
+  threads_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    contexts_.push_back(std::make_unique<worker_context>(
+        i, config_.rng_seed + static_cast<std::uint64_t>(i)));
+  }
+  // Contexts are fully built before any thread starts, so worker_main never
+  // observes a partially constructed vector.
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(*contexts_[i]); });
+  }
+}
+
+worker_pool::~worker_pool() { stop(); }
+
+bool worker_pool::try_submit(job j) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= config_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    queue_.push_back(std::move(j));
+    std::size_t depth = queue_.size();
+    std::size_t seen = high_watermark_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !high_watermark_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void worker_pool::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void worker_pool::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t worker_pool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t worker_pool::sandboxes_created() const {
+  std::size_t total = 0;
+  for (const auto& wc : contexts_) total += wc->sandboxes_created();
+  return total;
+}
+
+void worker_pool::worker_main(worker_context& wc) {
+  // Jobs are popped in small batches: one lock acquisition amortizes over up
+  // to k_batch short jobs (a cache-hit request is a few microseconds), so the
+  // queue mutex doesn't become the serialization point at high request rates.
+  constexpr std::size_t k_batch = 8;
+  std::vector<job> batch;
+  batch.reserve(k_batch);
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      // Fair share first: with a shallow queue every worker should get work
+      // rather than one worker hoarding the whole burst.
+      std::size_t take = queue_.size() / contexts_.size();
+      if (take < 1) take = 1;
+      if (take > k_batch) take = k_batch;
+      while (!queue_.empty() && batch.size() < take) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      running_ += batch.size();
+      // More work left and siblings may be parked on the same notify_one that
+      // woke us — pass the baton.
+      if (!queue_.empty()) not_empty_.notify_one();
+    }
+    for (job& j : batch) {
+      try {
+        j(wc);
+      } catch (...) {
+        // An exception escaping a job (a throwing completion callback, OOM
+        // mid-response) must not unwind out of the thread function — that
+        // would std::terminate the whole process. Count it and keep serving.
+        job_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      executed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    bool now_idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_ -= batch.size();
+      now_idle = queue_.empty() && running_ == 0;
+    }
+    if (now_idle) idle_.notify_all();
+  }
+}
+
+}  // namespace nakika::core

@@ -1,5 +1,6 @@
 #include "js/interpreter.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -40,12 +41,66 @@ value* environment::find(std::string_view name) {
   return nullptr;
 }
 
+void environment::break_dead_closure_cycles(std::size_t live_refs) {
+  if (backing_ != nullptr) return;  // the global scope is never torn down
+  // Distinct function objects in our slots that close over this scope; each
+  // contributes exactly one strong reference back to us via `closure`.
+  std::vector<object*> fns;
+  for (auto& [key, val] : slots_) {
+    if (!val.is_object()) continue;
+    const object_ptr& o = val.as_object();
+    if (o == nullptr || o->kind != object_kind::function || o->closure.get() != this) {
+      continue;
+    }
+    if (std::find(fns.begin(), fns.end(), o.get()) == fns.end()) fns.push_back(o.get());
+  }
+  if (fns.empty()) return;
+  // A candidate referenced from anywhere besides our slots has escaped (was
+  // returned, stored, or thrown) and may still be called — leave the whole
+  // scope intact in that case.
+  for (object* f : fns) {
+    long slot_refs = 0;
+    for (auto& [key, val] : slots_) {
+      if (val.is_object() && val.as_object().get() == f) ++slot_refs;
+    }
+    if (f->weak_from_this().use_count() != slot_refs) return;
+  }
+  // The scope itself must be owned only by the caller's live references plus
+  // the candidates' closure pointers; any other owner (an escaped anonymous
+  // closure, a captured child scope) means the scope outlives this teardown.
+  if (weak_from_this().use_count() != static_cast<long>(live_refs + fns.size())) return;
+  for (object* f : fns) f->closure.reset();
+}
+
 // ----- context ----------------------------------------------------------------
 
 context::context(context_limits limits) : limits_(limits) {
   global_ = make_plain_object();
   global_env_ = std::make_shared<environment>(nullptr, global_.get());
   install_stdlib(*this);
+}
+
+context::~context() {
+  // A function surviving to context teardown is either cached by the host
+  // (already being torn down with us) or trapped in a reference cycle an
+  // escaped closure formed. Nothing can execute in this context anymore, so
+  // severing the cycle-forming edges — the tree-walker's environment link and
+  // the VM's capture cells — unwinds every such group.
+  for (const auto& w : fn_registry_) {
+    if (const object_ptr f = w.lock()) {
+      f->closure.reset();
+      f->captures.clear();
+    }
+  }
+}
+
+void context::register_function(const object_ptr& fn) {
+  if (fn_registry_.size() >= fn_registry_prune_at_) {
+    std::erase_if(fn_registry_,
+                  [](const std::weak_ptr<object>& w) { return w.expired(); });
+    fn_registry_prune_at_ = std::max<std::size_t>(64, fn_registry_.size() * 2);
+  }
+  fn_registry_.push_back(fn);
 }
 
 namespace {
@@ -92,6 +147,7 @@ object_ptr context::make_function(const function_lit* fn, program_ptr owner, env
   // Script functions can serve as constructors; give them a prototype object.
   o->set("prototype", value::object(make_plain_object()));
   o->charge = heap_charge(heap_used_, object_overhead);
+  register_function(o);
   return o;
 }
 
@@ -104,6 +160,7 @@ object_ptr context::make_compiled_function(std::shared_ptr<const compiled_fn> co
   o->name = o->code->name;
   o->set("prototype", value::object(make_plain_object()));
   o->charge = heap_charge(heap_used_, object_overhead);
+  register_function(o);
   return o;
 }
 
@@ -153,7 +210,11 @@ void context::add_ops(std::uint64_t n, int line) {
 void context::reset_for_reuse() {
   ops_used_ = 0;
   transient_run_ = 0;
-  kill_flag_->store(false, std::memory_order_relaxed);
+  // Deliberately NOT clearing the kill flag: the resource manager may have
+  // set it from another thread after this pipeline registered but before the
+  // run reset — erasing that would un-kill a targeted pipeline. The flag is
+  // rearmed when a healthy sandbox returns to its pool (sandbox_pool::release
+  // / sandbox::clear_kill), after the pipeline has deregistered.
   call_depth = 0;
 }
 
@@ -203,6 +264,19 @@ class depth_guard {
 
  private:
   context& ctx_;
+};
+
+// Owns a scope environment for the duration of its block and runs the
+// closure-cycle breaker when the scope is dropped — including on exception
+// unwind, where escaped closures riding the thrown value stay protected by
+// the use_count checks.
+struct scope_reaper {
+  explicit scope_reaper(env_ptr e) : env(std::move(e)) {}
+  ~scope_reaper() { env->break_dead_closure_cycles(/*live_refs=*/1); }
+  scope_reaper(const scope_reaper&) = delete;
+  scope_reaper& operator=(const scope_reaper&) = delete;
+
+  env_ptr env;
 };
 }  // namespace
 
@@ -284,7 +358,8 @@ interpreter::completion interpreter::exec_stmt(const stmt& s, env_ptr& env) {
 
     case stmt_kind::block: {
       const auto& block = static_cast<const block_stmt&>(s);
-      return exec_block(block.body, std::make_shared<environment>(env));
+      scope_reaper scope(std::make_shared<environment>(env));
+      return exec_block(block.body, scope.env);
     }
 
     case stmt_kind::if_stmt: {
@@ -320,7 +395,8 @@ interpreter::completion interpreter::exec_stmt(const stmt& s, env_ptr& env) {
 
     case stmt_kind::for_stmt: {
       const auto& node = static_cast<const for_stmt&>(s);
-      env_ptr loop_env = std::make_shared<environment>(env);
+      scope_reaper scope(std::make_shared<environment>(env));
+      env_ptr& loop_env = scope.env;
       if (node.init) {
         completion c = exec_stmt(*node.init, loop_env);
         if (c.abrupt()) return c;
@@ -338,7 +414,8 @@ interpreter::completion interpreter::exec_stmt(const stmt& s, env_ptr& env) {
     case stmt_kind::for_in_stmt: {
       const auto& node = static_cast<const for_in_stmt&>(s);
       const value target = eval(*node.object, env);
-      env_ptr loop_env = std::make_shared<environment>(env);
+      scope_reaper scope(std::make_shared<environment>(env));
+      env_ptr& loop_env = scope.env;
       if (node.declares) loop_env->declare(node.variable, value::undefined());
 
       std::vector<std::string> keys;
@@ -399,7 +476,8 @@ interpreter::completion interpreter::exec_stmt(const stmt& s, env_ptr& env) {
         result = exec_stmt(*node.try_block, env);
       } catch (const thrown_value& t) {
         if (node.catch_block) {
-          env_ptr catch_env = std::make_shared<environment>(env);
+          scope_reaper scope(std::make_shared<environment>(env));
+          env_ptr& catch_env = scope.env;
           catch_env->declare(node.catch_name, t.v);
           try {
             result = exec_stmt(*node.catch_block, catch_env);
@@ -423,7 +501,8 @@ interpreter::completion interpreter::exec_stmt(const stmt& s, env_ptr& env) {
     case stmt_kind::switch_stmt: {
       const auto& node = static_cast<const switch_stmt&>(s);
       const value disc = eval(*node.discriminant, env);
-      env_ptr switch_env = std::make_shared<environment>(env);
+      scope_reaper scope(std::make_shared<environment>(env));
+      env_ptr& switch_env = scope.env;
       bool matched = false;
       // Two passes: cases first, then fall back to default, with fallthrough.
       std::size_t start = node.cases.size();
@@ -835,7 +914,9 @@ value interpreter::call_function_object(const object_ptr& fn, const value& this_
     ~restore() { self->active_program_ = std::move(saved); }
   } restorer{this, saved};
 
-  env_ptr fn_env = std::make_shared<environment>(fn->closure ? fn->closure : ctx_.global_env());
+  scope_reaper frame(
+      std::make_shared<environment>(fn->closure ? fn->closure : ctx_.global_env()));
+  env_ptr& fn_env = frame.env;
   fn_env->declare("this", this_value);
   const auto& params = fn->fn->params;
   for (std::size_t i = 0; i < params.size(); ++i) {

@@ -44,6 +44,20 @@ class environment : public std::enable_shared_from_this<environment> {
   [[nodiscard]] value* find_local(std::string_view name);
   [[nodiscard]] const env_ptr& parent() const { return parent_; }
 
+  // Cycle breaker for scope teardown. A function declared in a local scope
+  // holds its environment via `closure` while the environment's slot holds
+  // the function — a shared_ptr cycle that reference counting alone never
+  // reclaims. Called when a scope is about to be dropped with `live_refs`
+  // remaining env_ptr owners (usually 1, the interpreter's local). If the
+  // scope's only other owners are function slots that nothing external
+  // references, those functions can never be called again, so their closure
+  // pointers are reset and the whole group frees when the last env_ptr
+  // drops. Escaped closures (returned, stored in objects, thrown) keep
+  // everything intact — detectable because their use_count exceeds the slot
+  // count; cycles they form persist until the owning context is destroyed
+  // (context::~context sweeps every surviving scope).
+  void break_dead_closure_cycles(std::size_t live_refs);
+
  private:
   env_ptr parent_;
   object* backing_;  // non-owning; the context outlives its environments
@@ -66,6 +80,9 @@ struct context_limits {
 class context {
  public:
   explicit context(context_limits limits = {});
+  ~context();
+  context(const context&) = delete;
+  context& operator=(const context&) = delete;
 
   [[nodiscard]] const object_ptr& global() const { return global_; }
   [[nodiscard]] const env_ptr& global_env() const { return global_env_; }
@@ -123,9 +140,19 @@ class context {
   std::size_t call_depth = 0;
 
  private:
+  // Weak registry of every script function object this context created. The
+  // destructor severs the two reference-cycle edges closures can form —
+  // tree-walker `closure` (env slot -> function -> closure -> env) and VM
+  // `captures` (self-capturing cell -> value -> function -> cell) — so
+  // escaped-closure cycles are reclaimed no later than context teardown.
+  // Compacted geometrically: amortized O(1) per function creation.
+  void register_function(const object_ptr& fn);
+
   context_limits limits_;
   object_ptr global_;
   env_ptr global_env_;
+  std::vector<std::weak_ptr<object>> fn_registry_;
+  std::size_t fn_registry_prune_at_ = 64;
   std::shared_ptr<std::size_t> heap_used_ = std::make_shared<std::size_t>(0);
   std::size_t transient_run_ = 0;
   std::uint64_t ops_used_ = 0;

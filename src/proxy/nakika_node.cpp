@@ -7,6 +7,14 @@
 
 namespace nakika::proxy {
 
+using counter_field = util::sharded_run_counters::field;
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+}  // namespace
+
 nakika_node::nakika_node(sim::network& net, sim::node_id host,
                          endpoint_resolver resolve_origin, node_config config)
     : net_(net),
@@ -20,7 +28,38 @@ nakika_node::nakika_node(sim::network& net, sim::node_id host,
       no_script_(config_.default_script_ttl > 0 ? config_.default_script_ttl : 300,
                  config_.script_cache_entries),
       chunk_cache_(config_.chunk_cache_entries),
-      rng_(config_.rng_seed) {}
+      counters_(config_.workers + 1),
+      rng_(config_.rng_seed) {
+  if (config_.workers > 0) {
+    core::worker_pool_config wp;
+    wp.workers = config_.workers;
+    wp.queue_capacity = config_.queue_capacity;
+    // Offset so worker admission draws differ from the sim-path stream.
+    wp.rng_seed = config_.rng_seed + 0x9e3779b97f4a7c15ULL;
+    pool_ = std::make_unique<core::worker_pool>(wp);
+  }
+}
+
+nakika_node::~nakika_node() {
+  if (pool_ != nullptr) pool_->stop();
+  if (monitor_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(monitor_mu_);
+      monitor_stop_ = true;
+    }
+    monitor_cv_.notify_all();
+    monitor_thread_.join();
+  }
+}
+
+void nakika_node::drain() {
+  if (pool_ != nullptr) pool_->drain();
+}
+
+double nakika_node::virtual_now() const {
+  if (pool_ != nullptr) return seconds_since(start_time_);
+  return net_.loop().now();
+}
 
 void nakika_node::set_wall_sources(std::string clientwall, std::string serverwall) {
   config_.clientwall_source = std::move(clientwall);
@@ -45,40 +84,40 @@ std::optional<http::response> nakika_node::lookup_cache_only(const std::string& 
   return content_cache_.get(url, now);
 }
 
-const std::vector<std::string>& nakika_node::site_log(const std::string& site) const {
-  static const std::vector<std::string> empty;
+std::vector<std::string> nakika_node::site_log(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   const auto it = site_logs_.find(site);
-  return it == site_logs_.end() ? empty : it->second;
+  return it == site_logs_.end() ? std::vector<std::string>{} : it->second;
+}
+
+nakika_node::script_time_stats nakika_node::script_times() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return script_times_;
+}
+
+std::size_t nakika_node::sandboxes_created() const {
+  return sandbox_pool_.created() + (pool_ != nullptr ? pool_->sandboxes_created() : 0);
 }
 
 // ----- sandbox pool -----------------------------------------------------------
 
 core::sandbox* nakika_node::acquire_sandbox(const std::string& site, double& cpu_cost) {
-  auto& pool = sandbox_pool_[site];
-  if (!pool.empty()) {
-    core::sandbox* sb = pool.back().release();
-    pool.pop_back();
-    cpu_cost += config_.costs.context_reuse;
-    return sb;
-  }
-  ++sandboxes_created_;
-  cpu_cost += config_.costs.context_create;
-  auto sb = std::make_unique<core::sandbox>(config_.script_limits, config_.script_engine);
-  sb->set_chunk_cache(&chunk_cache_);
-  return sb.release();
+  bool created = false;
+  core::sandbox* sb = sandbox_pool_.acquire(site, config_.script_limits,
+                                            config_.script_engine, &chunk_cache_, &created);
+  cpu_cost += created ? config_.costs.context_create : config_.costs.context_reuse;
+  return sb;
 }
 
 void nakika_node::release_sandbox(const std::string& site, core::sandbox* sb,
                                   bool poisoned) {
-  std::unique_ptr<core::sandbox> owned(sb);
-  if (poisoned) return;  // a killed/corrupted context is discarded, not reused
-  sandbox_pool_[site].push_back(std::move(owned));
+  sandbox_pool_.release(site, sb, poisoned);
 }
 
 // ----- stage script loading ------------------------------------------------------
 
-void nakika_node::load_stage_script(const std::string& url,
-                                    std::function<void(core::stage_fetch_result)> cb) {
+std::optional<core::stage_fetch_result> nakika_node::probe_stage_script(
+    const std::string& url, std::int64_t now) {
   core::stage_fetch_result out;
 
   // Administrative walls come from node configuration (the paper fetches
@@ -87,28 +126,21 @@ void nakika_node::load_stage_script(const std::string& url,
     out.found = !config_.clientwall_source.empty();
     out.source = config_.clientwall_source;
     out.version = 1;
-    cb(std::move(out));
-    return;
+    return out;
   }
   if (url == config_.pipeline.serverwall_url) {
     out.found = !config_.serverwall_source.empty();
     out.source = config_.serverwall_source;
     out.version = 1;
-    cb(std::move(out));
-    return;
+    return out;
   }
 
-  const auto now = static_cast<std::int64_t>(net_.loop().now());
-  if (no_script_.contains(url, now)) {
-    cb(std::move(out));  // cached "no such script"
-    return;
-  }
+  if (no_script_.contains(url, now)) return out;  // cached "no such script"
   if (auto cached = script_cache_.get(url, now)) {
     out.found = true;
     out.source = std::move(cached->source);
     out.version = cached->version;
-    cb(std::move(out));
-    return;
+    return out;
   }
   // Scripts are ordinary HTTP resources subject to ordinary caching (§3.1);
   // dynamically generated stage code (e.g. the blacklist extension) lands in
@@ -120,9 +152,39 @@ void nakika_node::load_stage_script(const std::string& url,
       // Content-hash versioning: identical generated code reuses the
       // compiled stage; regenerated code reloads.
       out.version = std::hash<std::string>{}(out.source) | 1;
-      cb(std::move(out));
-      return;
+      return out;
     }
+  }
+  return std::nullopt;  // needs an origin fetch
+}
+
+core::stage_fetch_result nakika_node::finish_stage_script_fetch(const std::string& url,
+                                                                http::response* resp,
+                                                                std::int64_t later) {
+  core::stage_fetch_result out;
+  if (resp == nullptr || !resp->ok() || !resp->body) {
+    no_script_.insert(url, later);
+    return out;
+  }
+  script_entry entry;
+  entry.source = resp->body->str();
+  entry.version = next_script_version_.fetch_add(1, std::memory_order_relaxed);
+  const http::freshness f = http::compute_freshness(*resp, later);
+  const std::int64_t expiry =
+      f.cacheable ? f.expires_at : later + config_.default_script_ttl;
+  script_cache_.put(url, entry, expiry);
+  out.found = true;
+  out.source = std::move(entry.source);
+  out.version = entry.version;
+  return out;
+}
+
+void nakika_node::load_stage_script(const std::string& url,
+                                    std::function<void(core::stage_fetch_result)> cb) {
+  const auto now = static_cast<std::int64_t>(net_.loop().now());
+  if (auto probed = probe_stage_script(url, now)) {
+    cb(std::move(*probed));
+    return;
   }
 
   http::request script_request;
@@ -130,7 +192,7 @@ void nakika_node::load_stage_script(const std::string& url,
     script_request.url = http::url::parse(url);
   } catch (const std::invalid_argument&) {
     no_script_.insert(url, now);
-    cb(std::move(out));
+    cb(core::stage_fetch_result{});
     return;
   }
   script_request.client_ip = "0.0.0.0";
@@ -138,36 +200,46 @@ void nakika_node::load_stage_script(const std::string& url,
   http_endpoint* origin = resolve_origin_(script_request.url.host());
   if (origin == nullptr) {
     no_script_.insert(url, now);
-    cb(std::move(out));
+    cb(core::stage_fetch_result{});
     return;
   }
   forward_request(net_, host_, *origin, script_request,
                   [this, url, cb = std::move(cb)](http::response resp) mutable {
-                    core::stage_fetch_result out;
                     const auto later = static_cast<std::int64_t>(net_.loop().now());
-                    if (!resp.ok() || !resp.body) {
-                      no_script_.insert(url, later);
-                      cb(std::move(out));
-                      return;
-                    }
-                    script_entry entry;
-                    entry.source = resp.body->str();
-                    entry.version = next_script_version_++;
-                    const http::freshness f = http::compute_freshness(resp, later);
-                    const std::int64_t expiry =
-                        f.cacheable ? f.expires_at : later + config_.default_script_ttl;
-                    script_cache_.put(url, entry, expiry);
-                    out.found = true;
-                    out.source = std::move(entry.source);
-                    out.version = entry.version;
-                    cb(std::move(out));
+                    cb(finish_stage_script_fetch(url, &resp, later));
                   });
+}
+
+// Synchronous twin of load_stage_script for the worker path: identical cache
+// discipline (shared helpers above), but origin access goes through
+// origin_server::serve_now instead of the (single-threaded) event loop.
+core::stage_fetch_result nakika_node::load_stage_script_direct(const std::string& url) {
+  const auto now = static_cast<std::int64_t>(virtual_now());
+  if (auto probed = probe_stage_script(url, now)) return std::move(*probed);
+
+  http::request script_request;
+  try {
+    script_request.url = http::url::parse(url);
+  } catch (const std::invalid_argument&) {
+    no_script_.insert(url, now);
+    return core::stage_fetch_result{};
+  }
+  script_request.client_ip = "0.0.0.0";
+
+  auto* origin = dynamic_cast<origin_server*>(resolve_origin_(script_request.url.host()));
+  if (origin == nullptr) {
+    no_script_.insert(url, now);
+    return core::stage_fetch_result{};
+  }
+  auto resp = origin->serve_now(script_request);
+  const auto later = static_cast<std::int64_t>(virtual_now());
+  return finish_stage_script_fetch(url, resp ? &*resp : nullptr, later);
 }
 
 // ----- resource fetching -----------------------------------------------------------
 
 http::response nakika_node::maybe_render_nkp(const std::string& site, const http::request& r,
-                                             http::response resp) {
+                                             http::response resp, core::worker_context* wc) {
   if (!config_.enable_pages || !resp.ok() || !resp.body) return resp;
   const std::string content_type = resp.headers.get_or("Content-Type", "");
   if (!core::is_nkp_resource(r.url.path(), content_type)) return resp;
@@ -182,18 +254,26 @@ http::response nakika_node::maybe_render_nkp(const std::string& site, const http
   }
 
   double cpu = 0.0;
-  core::sandbox* sb = acquire_sandbox(site, cpu);
+  core::sandbox* sb = nullptr;
+  if (wc != nullptr) {
+    bool created = false;
+    sb = wc->acquire(site, config_.script_limits, config_.script_engine, &chunk_cache_,
+                     &created);
+  } else {
+    sb = acquire_sandbox(site, cpu);
+  }
   bool poisoned = false;
   http::response rendered = std::move(resp);
   try {
     sb->begin_run();
-    const core::sandbox::loaded_stage& stage =
-        sb->load_stage(r.url.str() + "#nkp", script, next_script_version_++);
+    const core::sandbox::loaded_stage& stage = sb->load_stage(
+        r.url.str() + "#nkp", script,
+        next_script_version_.fetch_add(1, std::memory_order_relaxed));
     const core::match_result match = stage.tree->match(r);
     if (match.found() && match.matched->has_on_response()) {
       core::exec_state exec;
       exec.site = site;
-      exec.now = static_cast<std::int64_t>(net_.loop().now());
+      exec.now = static_cast<std::int64_t>(virtual_now());
       exec.request = const_cast<http::request*>(&r);
       exec.response = &rendered;
       exec.store = &store_;
@@ -212,7 +292,11 @@ http::response nakika_node::maybe_render_nkp(const std::string& site, const http
   } catch (const core::request_terminated_signal&) {
     sb->binding()->current = nullptr;
   }
-  release_sandbox(site, sb, poisoned);
+  if (wc != nullptr) {
+    wc->release(site, sb, poisoned);
+  } else {
+    release_sandbox(site, sb, poisoned);
+  }
   return rendered;
 }
 
@@ -240,7 +324,7 @@ void nakika_node::fetch_resource(const std::string& site, const http::request& r
   }
 
   auto finish_with = [this, site, r, key, cb](http::response resp) mutable {
-    resp = maybe_render_nkp(site, r, std::move(resp));
+    resp = maybe_render_nkp(site, r, std::move(resp), nullptr);
     const auto later = static_cast<std::int64_t>(net_.loop().now());
     const bool stored = content_cache_.put(key, resp, later);
     if (stored && overlay_ != nullptr) {
@@ -312,6 +396,30 @@ void nakika_node::fetch_resource(const std::string& site, const http::request& r
   });
 }
 
+// Synchronous twin of fetch_resource for the worker path: cache, then origin
+// via serve_now. No overlay (worker mode serves a single node) and no
+// virtual-delay accounting — workers burn real time instead.
+http::response nakika_node::fetch_resource_direct(const std::string& site,
+                                                  const http::request& r,
+                                                  core::worker_context* wc) {
+  const std::string key = r.url.str();
+  const auto now = static_cast<std::int64_t>(virtual_now());
+
+  if (auto hit = content_cache_.get(key, now)) return std::move(*hit);
+
+  auto* origin = dynamic_cast<origin_server*>(resolve_origin_(r.url.host()));
+  if (origin == nullptr) {
+    return http::make_error_response(502, "cannot resolve " + r.url.host());
+  }
+  auto resp = origin->serve_now(r);
+  if (!resp) {
+    return http::make_error_response(502, "origin failure for " + key);
+  }
+  http::response out = maybe_render_nkp(site, r, std::move(*resp), wc);
+  content_cache_.put(key, out, static_cast<std::int64_t>(virtual_now()));
+  return out;
+}
+
 // ----- script subrequests (Fetch vocabulary) ----------------------------------------
 
 core::fetch_result nakika_node::sub_fetch(const http::request& r) {
@@ -349,11 +457,90 @@ core::fetch_result nakika_node::sub_fetch(const http::request& r) {
   return out;
 }
 
+core::fetch_result nakika_node::sub_fetch_direct(const http::request& r) {
+  core::fetch_result out;
+  const std::string key = r.url.str();
+  const auto now = static_cast<std::int64_t>(virtual_now());
+
+  if (auto hit = content_cache_.get(key, now)) {
+    out.ok = true;
+    out.response = std::move(*hit);
+    return out;
+  }
+  auto* concrete = dynamic_cast<origin_server*>(resolve_origin_(r.url.host()));
+  if (concrete == nullptr) return out;
+  auto resp = concrete->serve_now(r);
+  if (!resp) return out;
+  out.ok = true;
+  out.response = std::move(*resp);
+  content_cache_.put(key, out.response, static_cast<std::int64_t>(virtual_now()));
+  return out;
+}
+
+// ----- shared per-pipeline accounting ------------------------------------------------
+
+void nakika_node::account_pipeline(const std::string& site,
+                                   const core::pipeline_result& result,
+                                   double elapsed_seconds, std::size_t counter_slot,
+                                   bool record_resources) {
+  if (record_resources) {
+    const double response_bytes = static_cast<double>(result.response.body_size());
+    const double io_bytes =
+        static_cast<double>(result.bytes_read + result.bytes_written) + response_bytes;
+    std::array<double, core::resource_kind_count> usage{};
+    usage[static_cast<std::size_t>(core::resource_kind::cpu)] = result.script_cpu_seconds;
+    usage[static_cast<std::size_t>(core::resource_kind::memory)] =
+        static_cast<double>(result.heap_bytes);
+    usage[static_cast<std::size_t>(core::resource_kind::bandwidth)] = io_bytes;
+    usage[static_cast<std::size_t>(core::resource_kind::running_time)] =
+        elapsed_seconds + result.script_cpu_seconds;
+    usage[static_cast<std::size_t>(core::resource_kind::total_bytes)] = io_bytes;
+    resources_.record_usage(site, usage);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    script_times_.compile_seconds += result.script_compile_seconds;
+    script_times_.execute_seconds += result.script_execute_seconds;
+    script_times_.chunk_cache_hits += static_cast<std::uint64_t>(result.chunk_cache_hits);
+    script_times_.stages_executed += static_cast<std::uint64_t>(result.stages_executed);
+    if (!result.log_lines.empty()) {
+      auto& log = site_logs_[site];
+      log.insert(log.end(), result.log_lines.begin(), result.log_lines.end());
+    }
+  }
+
+  if (result.terminated) {
+    counters_.add(counter_slot, counter_field::terminated);
+  } else if (result.failed) {
+    counters_.add(counter_slot, counter_field::failed);
+  } else {
+    counters_.add(counter_slot, counter_field::completed);
+  }
+}
+
 // ----- request handling ---------------------------------------------------------------
 
 void nakika_node::handle(const http::request& original,
                          std::function<void(http::response)> done) {
-  ++counters_.offered;
+  if (pool_ != nullptr) {
+    // Worker mode: enqueue onto the bounded MPMC queue; a full queue is the
+    // backpressure signal and rejects immediately on the caller's thread.
+    auto done_shared =
+        std::make_shared<std::function<void(http::response)>>(std::move(done));
+    const bool accepted =
+        pool_->try_submit([this, r = original, done_shared](core::worker_context& wc) {
+          execute_on_worker(r, wc, *done_shared);
+        });
+    if (!accepted) {
+      counters_.add(0, counter_field::offered);
+      counters_.add(0, counter_field::rejected);
+      (*done_shared)(http::make_error_response(503, "server busy (queue full)"));
+    }
+    return;
+  }
+
+  counters_.add(0, counter_field::offered);
 
   http::request r = original;
   if (overlay::is_nakika_host(r.url.host())) {
@@ -364,7 +551,7 @@ void nakika_node::handle(const http::request& original,
   if (config_.resource_controls && !resources_.admit(site, rng_, net_.loop().now())) {
     // Throttled rejection is a shared-memory flag check in the paper's
     // implementation — far cheaper than full request processing.
-    ++counters_.throttled;
+    counters_.add(0, counter_field::throttled);
     net_.run_cpu(host_, 0.0001, [done = std::move(done)]() mutable {
       done(http::make_error_response(503, "server busy (throttled)"));
     });
@@ -377,7 +564,7 @@ void nakika_node::handle(const http::request& original,
                  [this, site, r, done = std::move(done)]() mutable {
                    fetch_resource(site, r, [this, done = std::move(done)](
                                                http::response resp, double cpu) mutable {
-                     ++counters_.completed;
+                     counters_.add(0, counter_field::completed);
                      net_.run_cpu(host_, cpu + config_.costs.dht_processing,
                                   [done = std::move(done), resp = std::move(resp)]() mutable {
                                     done(std::move(resp));
@@ -422,35 +609,8 @@ void nakika_node::handle(const http::request& original,
         release_sandbox(site, sb, poisoned);
 
         const double elapsed = net_.loop().now() - start_time;
-        const double response_bytes = static_cast<double>(result.response.body_size());
-        resources_.record(site, core::resource_kind::cpu, result.script_cpu_seconds);
-        resources_.record(site, core::resource_kind::memory,
-                          static_cast<double>(result.heap_bytes));
-        resources_.record(site, core::resource_kind::bandwidth,
-                          static_cast<double>(result.bytes_read + result.bytes_written) +
-                              response_bytes);
-        resources_.record(site, core::resource_kind::running_time,
-                          elapsed + result.script_cpu_seconds);
-        resources_.record(site, core::resource_kind::total_bytes,
-                          static_cast<double>(result.bytes_read + result.bytes_written) +
-                              response_bytes);
-
-        script_times_.compile_seconds += result.script_compile_seconds;
-        script_times_.execute_seconds += result.script_execute_seconds;
-        script_times_.chunk_cache_hits += static_cast<std::uint64_t>(result.chunk_cache_hits);
-        script_times_.stages_executed += static_cast<std::uint64_t>(result.stages_executed);
-
-        if (result.terminated) {
-          ++counters_.terminated;
-        } else if (result.failed) {
-          ++counters_.failed;
-        } else {
-          ++counters_.completed;
-        }
-        if (!result.log_lines.empty()) {
-          auto& log = site_logs_[site];
-          log.insert(log.end(), result.log_lines.begin(), result.log_lines.end());
-        }
+        account_pipeline(site, result, elapsed, /*counter_slot=*/0,
+                         /*record_resources=*/true);
 
         note_churn(static_cast<double>(result.heap_bytes));
         const double cpu = (setup_cpu + result.script_cpu_seconds +
@@ -469,6 +629,97 @@ void nakika_node::handle(const http::request& original,
           }
         });
       });
+}
+
+// Worker-mode request execution: the synchronous pipeline run on a pool
+// thread. Stage loads and resource fetches resolve immediately (the pipeline
+// executor composes with immediate callbacks), so the whole request completes
+// before this function returns and `done` fires on the worker thread.
+void nakika_node::execute_on_worker(http::request r, core::worker_context& wc,
+                                    std::function<void(http::response)> done) {
+  const std::size_t slot = wc.index() + 1;
+  counters_.add(slot, counter_field::offered);
+
+  if (overlay::is_nakika_host(r.url.host())) {
+    r.url.set_host(overlay::from_nakika_host(r.url.host()));
+  }
+  const std::string site = r.url.site();
+
+  if (config_.resource_controls && !resources_.admit(site, wc.rng(), virtual_now())) {
+    counters_.add(slot, counter_field::throttled);
+    done(http::make_error_response(503, "server busy (throttled)"));
+    return;
+  }
+
+  core::sandbox* sb = nullptr;
+  bool finished = false;
+  try {
+    if (!config_.scripting) {
+      http::response resp = fetch_resource_direct(site, r, &wc);
+      counters_.add(slot, counter_field::completed);
+      finished = true;
+      done(std::move(resp));
+      return;
+    }
+
+    sb = wc.acquire(site, config_.script_limits, config_.script_engine, &chunk_cache_,
+                    nullptr);
+    resources_.pipeline_started(site, sb->kill_flag());
+
+    core::exec_state base;
+    base.site = site;
+    base.local_specs = config_.local_specs;
+    base.now = static_cast<std::int64_t>(virtual_now());
+    base.http_cache = &content_cache_;
+    base.store = &store_;
+    // replicas_ is wired at deployment time, before serving starts.
+    const auto rep = replicas_.find(site);
+    base.replica = rep == replicas_.end() ? nullptr : rep->second;
+    base.fetch = [this](const http::request& sub) { return sub_fetch_direct(sub); };
+    base.resources = resources_.view_for(site);
+
+    const std::string site_script_url = site + "/nakika.js";
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    // The loaders below resolve synchronously, so the completion lambda runs
+    // before execute() returns; `done` is captured by value so the callback
+    // owns everything it touches except the long-lived wc/node state.
+    pipeline_.execute(
+        std::move(r), *sb, site_script_url,
+        [this](const std::string& url, std::function<void(core::stage_fetch_result)> cb) {
+          cb(load_stage_script_direct(url));
+        },
+        [this, site, &wc](const http::request& req,
+                          std::function<void(http::response, double)> cb) {
+          cb(fetch_resource_direct(site, req, &wc), 0.0);
+        },
+        std::move(base),
+        [this, site, sb, slot, &wc, wall_start, done, &finished](
+            core::pipeline_result result) {
+          resources_.pipeline_finished(site, sb->kill_flag());
+          const bool poisoned = result.terminated || result.failed;
+          wc.release(site, sb, poisoned);
+          // With resource controls off nothing reads the usage counters, so
+          // skip the (shared-lock) recording on the fast path.
+          account_pipeline(site, result, seconds_since(wall_start), slot,
+                           /*record_resources=*/config_.resource_controls);
+          finished = true;
+          done(std::move(result.response));
+        });
+  } catch (...) {
+    // The pipeline itself converts script failures into responses; landing
+    // here means host code threw (an origin handler, allocation failure).
+    // The request must still be answered and the sandbox/registration must
+    // not leak. A throw from `done` after completion is not ours to answer —
+    // rethrow so the pool's backstop counts it.
+    if (finished) throw;
+    if (sb != nullptr) {
+      resources_.pipeline_finished(site, sb->kill_flag());
+      wc.release(site, sb, /*poisoned=*/true);
+    }
+    counters_.add(slot, counter_field::failed);
+    done(http::make_error_response(500, "internal error on worker"));
+  }
 }
 
 // ----- memory-pressure model ---------------------------------------------------------
@@ -495,6 +746,13 @@ double nakika_node::thrash_factor() const {
 void nakika_node::start_monitor() {
   if (monitor_running_ || !config_.resource_controls) return;
   monitor_running_ = true;
+  if (pool_ != nullptr) {
+    // Worker mode: a real background thread runs CONTROL against wall-clock
+    // time; phase-2 terminations set kill flags that VM loops on worker
+    // threads observe at back-edges.
+    monitor_thread_ = std::thread([this] { monitor_main(); });
+    return;
+  }
   monitor_tick(0);
 }
 
@@ -524,6 +782,36 @@ void nakika_node::monitor_tick(std::size_t /*kind_index*/) {
       monitor_tick(0);
     });
   });
+}
+
+void nakika_node::monitor_main() {
+  const auto interval =
+      std::chrono::duration<double>(std::max(config_.control_interval, 1e-3));
+  const auto timeout =
+      std::chrono::duration<double>(std::max(config_.control_timeout, 1e-3));
+  std::unique_lock<std::mutex> lock(monitor_mu_);
+  while (!monitor_stop_) {
+    if (monitor_cv_.wait_for(lock, interval, [this] { return monitor_stop_; })) return;
+    lock.unlock();
+    const auto now_epoch = static_cast<std::int64_t>(virtual_now());
+    script_cache_.purge_expired(now_epoch);
+    no_script_.purge_expired(now_epoch);
+    for (std::size_t k = 0; k < core::resource_kind_count; ++k) {
+      resources_.control_phase1(static_cast<core::resource_kind>(k), virtual_now());
+    }
+    lock.lock();
+    if (monitor_cv_.wait_for(lock, timeout, [this] { return monitor_stop_; })) return;
+    lock.unlock();
+    for (std::size_t k = 0; k < core::resource_kind_count; ++k) {
+      const core::control_outcome outcome =
+          resources_.control_phase2(static_cast<core::resource_kind>(k), virtual_now());
+      if (!outcome.terminated_site.empty()) {
+        NAKIKA_LOG(info, "monitor")
+            << "terminated pipelines of " << outcome.terminated_site;
+      }
+    }
+    lock.lock();
+  }
 }
 
 }  // namespace nakika::proxy

@@ -5,10 +5,15 @@
 // periodic monitor.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/http_cache.hpp"
@@ -18,6 +23,7 @@
 #include "core/pipeline.hpp"
 #include "core/resource_manager.hpp"
 #include "core/sandbox.hpp"
+#include "core/worker_pool.hpp"
 #include "overlay/clusters.hpp"
 #include "proxy/origin_server.hpp"
 #include "state/local_store.hpp"
@@ -73,15 +79,38 @@ struct node_config {
   double stage_overhead = 0.00095;
 
   std::uint64_t rng_seed = 42;
+
+  // --- multi-worker execution -------------------------------------------------
+  // 0 (default): the deterministic single-threaded path driven by the sim
+  // event loop — every experiment and fixed-seed run behaves exactly as
+  // before. N > 0: the node runs N OS threads, each with a private sandbox
+  // pool and RNG, pulling requests from a bounded MPMC queue; handle() then
+  // executes pipelines synchronously on worker threads (real wall-clock
+  // accounting, no virtual delays) and completion callbacks fire on those
+  // threads. Worker mode requires a thread-safe resolve_origin and skips the
+  // overlay (single-node serving); configure walls/content before the first
+  // request.
+  std::size_t workers = 0;
+  // Queue bound; a full queue rejects with 503 "server busy" (the paper's
+  // congestion signal applied to admission, counters().rejected counts them).
+  std::size_t queue_capacity = 1024;
 };
 
 class nakika_node : public http_endpoint {
  public:
   nakika_node(sim::network& net, sim::node_id host, endpoint_resolver resolve_origin,
               node_config config = {});
+  ~nakika_node() override;
 
   void handle(const http::request& r, std::function<void(http::response)> done) override;
   [[nodiscard]] sim::node_id host() const override { return host_; }
+
+  // --- multi-worker mode ---
+  [[nodiscard]] bool using_workers() const { return pool_ != nullptr; }
+  // Blocks until every queued request has completed (worker mode only; no-op
+  // for the sim path, where loop.run() plays this role).
+  void drain();
+  [[nodiscard]] core::worker_pool* pool() { return pool_.get(); }
 
   // --- cooperative caching ---
   // Resolves a peer node name (as stored in the DHT) to its endpoint.
@@ -104,11 +133,13 @@ class nakika_node : public http_endpoint {
   void set_wall_sources(std::string clientwall, std::string serverwall);
 
   // --- introspection ---
+  // Snapshots merge per-worker accumulators, so they are safe to take while
+  // workers are serving (and cheap: a handful of relaxed loads per slot).
   [[nodiscard]] cache::http_cache& content_cache() { return content_cache_; }
-  [[nodiscard]] const util::run_counters& counters() const { return counters_; }
-  [[nodiscard]] const std::vector<std::string>& site_log(const std::string& site) const;
+  [[nodiscard]] util::run_counters counters() const { return counters_.snapshot(); }
+  [[nodiscard]] std::vector<std::string> site_log(const std::string& site) const;
   [[nodiscard]] const node_config& config() const { return config_; }
-  [[nodiscard]] std::size_t sandboxes_created() const { return sandboxes_created_; }
+  [[nodiscard]] std::size_t sandboxes_created() const;
 
   // Cumulative script-time split across all pipelines: how much real time
   // went into making code runnable (parse + bytecode compile + decision-tree
@@ -119,7 +150,7 @@ class nakika_node : public http_endpoint {
     std::uint64_t chunk_cache_hits = 0;
     std::uint64_t stages_executed = 0;
   };
-  [[nodiscard]] const script_time_stats& script_times() const { return script_times_; }
+  [[nodiscard]] script_time_stats script_times() const;
   [[nodiscard]] core::chunk_cache& chunks() { return chunk_cache_; }
 
  private:
@@ -133,14 +164,42 @@ class nakika_node : public http_endpoint {
 
   void load_stage_script(const std::string& url,
                          std::function<void(core::stage_fetch_result)> cb);
+  // Shared cache discipline for stage scripts (sim + worker paths): probe
+  // walls/negative/script/content caches — nullopt means an origin fetch is
+  // required — and store a fetched response (or negative verdict) afterwards.
+  std::optional<core::stage_fetch_result> probe_stage_script(const std::string& url,
+                                                             std::int64_t now);
+  core::stage_fetch_result finish_stage_script_fetch(const std::string& url,
+                                                     http::response* resp,
+                                                     std::int64_t later);
   void fetch_resource(const std::string& site, const http::request& r,
                       std::function<void(http::response, double)> cb);
   void fetch_from_origin(const http::request& r,
                          std::function<void(http::response, double)> cb);
   http::response maybe_render_nkp(const std::string& site, const http::request& r,
-                                  http::response resp);
+                                  http::response resp, core::worker_context* wc);
   core::fetch_result sub_fetch(const http::request& r);
   void monitor_tick(std::size_t kind_index);
+
+  // --- worker-mode request path (synchronous, runs on pool threads) ---
+  // The stage loader / resource fetcher / monitor equivalents of the sim
+  // path, with origin access through origin_server::serve_now instead of the
+  // event loop. Every piece of node state they touch is locked or sharded.
+  void execute_on_worker(http::request r, core::worker_context& wc,
+                         std::function<void(http::response)> done);
+  core::stage_fetch_result load_stage_script_direct(const std::string& url);
+  http::response fetch_resource_direct(const std::string& site, const http::request& r,
+                                       core::worker_context* wc);
+  core::fetch_result sub_fetch_direct(const http::request& r);
+  void monitor_main();  // background CONTROL thread (worker mode)
+  // Virtual-epoch clock: event-loop time on the sim path, wall-clock seconds
+  // since construction in worker mode.
+  [[nodiscard]] double virtual_now() const;
+  // Merges one pipeline's outcome into counters/resources/script_times;
+  // shared between the sim completion callback and the worker path.
+  void account_pipeline(const std::string& site, const core::pipeline_result& result,
+                        double elapsed_seconds, std::size_t counter_slot,
+                        bool record_resources);
 
   sim::network& net_;
   sim::node_id host_;
@@ -157,20 +216,31 @@ class nakika_node : public http_endpoint {
   state::local_store store_;
   std::map<std::string, state::replica*> replicas_;
 
-  // Sandbox pool per site: paper isolates pipelines and reuses contexts.
-  std::map<std::string, std::vector<std::unique_ptr<core::sandbox>>> sandbox_pool_;
-  std::size_t sandboxes_created_ = 0;
+  // Sandbox pool per site (sim path only; workers own private pools): paper
+  // isolates pipelines and reuses contexts.
+  core::sandbox_pool sandbox_pool_;
 
   overlay::coral_overlay* overlay_ = nullptr;
   overlay::coral_overlay::member_id overlay_member_ = 0;
   std::string self_name_;
   peer_resolver peers_;
 
+  // Guarded by stats_mu_: low-rate merge targets written by every worker.
+  mutable std::mutex stats_mu_;
   std::map<std::string, std::vector<std::string>> site_logs_;
-  util::run_counters counters_;
+  // Slot 0 = sim/caller thread, slot w+1 = worker w.
+  util::sharded_run_counters counters_;
   util::rng rng_;
-  std::uint64_t next_script_version_ = 1;
+  std::atomic<std::uint64_t> next_script_version_{1};
   bool monitor_running_ = false;
+
+  // --- worker mode ---
+  std::unique_ptr<core::worker_pool> pool_;
+  std::thread monitor_thread_;
+  std::mutex monitor_mu_;
+  std::condition_variable monitor_cv_;
+  bool monitor_stop_ = false;
+  std::chrono::steady_clock::time_point start_time_ = std::chrono::steady_clock::now();
 
   // Memory-pressure model: when script allocation churn exceeds the node's
   // memory capacity (possible only when per-context limits are disabled and

@@ -65,7 +65,7 @@ http::response origin_server::build_response(const http::request& r, double* cpu
 void origin_server::handle(const http::request& r, std::function<void(http::response)> done) {
   double cpu = 0.0;
   http::response resp = build_response(r, &cpu);
-  ++served_;
+  served_.fetch_add(1, std::memory_order_relaxed);
   net_.run_cpu(host_, cpu, [done = std::move(done), resp = std::move(resp)]() mutable {
     done(std::move(resp));
   });
@@ -73,7 +73,7 @@ void origin_server::handle(const http::request& r, std::function<void(http::resp
 
 std::optional<http::response> origin_server::serve_now(const http::request& r,
                                                        double* cpu_seconds) {
-  ++served_;
+  served_.fetch_add(1, std::memory_order_relaxed);
   return build_response(r, cpu_seconds);
 }
 

@@ -4,6 +4,7 @@
 // compose freely.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -58,12 +59,15 @@ class origin_server : public http_endpoint {
   void handle(const http::request& r, std::function<void(http::response)> done) override;
   [[nodiscard]] sim::node_id host() const override { return host_; }
 
-  // Synchronous variant for script subrequests (Fetch vocabulary): returns
-  // the response plus the virtual delay a network round trip would cost.
+  // Synchronous variant for script subrequests (Fetch vocabulary) and the
+  // multi-worker node's direct fetch path. Safe to call from any thread once
+  // the site map is built (content registration is setup-time only).
   [[nodiscard]] std::optional<http::response> serve_now(const http::request& r,
                                                         double* cpu_seconds = nullptr);
 
-  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct static_entry {
@@ -82,7 +86,7 @@ class origin_server : public http_endpoint {
   sim::node_id host_;
   double base_cpu_seconds_ = 0.0029;  // paper: 2.9 ms to load the page
   std::map<std::string, site> sites_;
-  std::uint64_t served_ = 0;
+  std::atomic<std::uint64_t> served_{0};
 };
 
 }  // namespace nakika::proxy

@@ -6,6 +6,7 @@ local_store::local_store(std::size_t per_site_quota_bytes) : quota_(per_site_quo
 
 bool local_store::put(const std::string& site, const std::string& key,
                       const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
   partition& p = partitions_[site];
   const std::size_t incoming = key.size() + value.size();
   std::size_t released = 0;
@@ -23,6 +24,7 @@ bool local_store::put(const std::string& site, const std::string& key,
 
 std::optional<std::string> local_store::get(const std::string& site,
                                             const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto pit = partitions_.find(site);
   if (pit == partitions_.end()) return std::nullopt;
   const auto it = pit->second.entries.find(key);
@@ -31,6 +33,7 @@ std::optional<std::string> local_store::get(const std::string& site,
 }
 
 bool local_store::remove(const std::string& site, const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto pit = partitions_.find(site);
   if (pit == partitions_.end()) return false;
   const auto it = pit->second.entries.find(key);
@@ -41,17 +44,20 @@ bool local_store::remove(const std::string& site, const std::string& key) {
 }
 
 std::size_t local_store::site_bytes(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto pit = partitions_.find(site);
   return pit == partitions_.end() ? 0 : pit->second.bytes;
 }
 
 std::size_t local_store::site_keys(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto pit = partitions_.find(site);
   return pit == partitions_.end() ? 0 : pit->second.entries.size();
 }
 
 std::vector<std::pair<std::string, std::string>> local_store::scan(
     const std::string& site, const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, std::string>> out;
   const auto pit = partitions_.find(site);
   if (pit == partitions_.end()) return out;
@@ -62,6 +68,9 @@ std::vector<std::pair<std::string, std::string>> local_store::scan(
   return out;
 }
 
-void local_store::clear_site(const std::string& site) { partitions_.erase(site); }
+void local_store::clear_site(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.erase(site);
+}
 
 }  // namespace nakika::state

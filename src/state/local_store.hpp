@@ -6,12 +6,17 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace nakika::state {
 
+// Thread-safe: one mutex guards the partition map. HardState scripts running
+// on different workers of a multi-worker node share the store; operations are
+// individually atomic (per-site quota checks included), while cross-operation
+// ordering is whatever the replication layer imposes.
 class local_store {
  public:
   // `per_site_quota_bytes` bounds sum(key+value sizes) per site (0 = none).
@@ -39,6 +44,7 @@ class local_store {
     std::size_t bytes = 0;
   };
   std::size_t quota_;
+  mutable std::mutex mu_;
   std::map<std::string, partition> partitions_;
 };
 

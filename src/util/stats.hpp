@@ -3,6 +3,8 @@
 // weighted moving averages used by the congestion controller (paper Fig. 6).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -67,6 +69,7 @@ struct run_counters {
   std::size_t throttled = 0;
   std::size_t terminated = 0;
   std::size_t failed = 0;
+  std::size_t rejected = 0;  // bounced at the worker queue (backpressure 503)
 
   [[nodiscard]] double throttled_fraction() const {
     return offered == 0 ? 0.0 : static_cast<double>(throttled) / static_cast<double>(offered);
@@ -74,6 +77,54 @@ struct run_counters {
   [[nodiscard]] double terminated_fraction() const {
     return offered == 0 ? 0.0 : static_cast<double>(terminated) / static_cast<double>(offered);
   }
+};
+
+// Per-worker sharded run counters. Each worker increments its own slot
+// (relaxed atomics on a dedicated cache line, so the hot path never shares a
+// line across threads); snapshot() merges all slots into a plain
+// run_counters. Slot 0 conventionally belongs to the caller/sim thread.
+class sharded_run_counters {
+ public:
+  enum class field : std::size_t {
+    offered = 0,
+    completed,
+    throttled,
+    terminated,
+    failed,
+    rejected,
+  };
+  static constexpr std::size_t field_count = 6;
+
+  explicit sharded_run_counters(std::size_t slots = 1) : slots_(slots == 0 ? 1 : slots) {}
+
+  void add(std::size_t slot, field f, std::size_t n = 1) {
+    slots_[slot].v[static_cast<std::size_t>(f)].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] run_counters snapshot() const {
+    std::array<std::size_t, field_count> sum{};
+    for (const auto& s : slots_) {
+      for (std::size_t i = 0; i < field_count; ++i) {
+        sum[i] += s.v[i].load(std::memory_order_relaxed);
+      }
+    }
+    run_counters out;
+    out.offered = sum[0];
+    out.completed = sum[1];
+    out.throttled = sum[2];
+    out.terminated = sum[3];
+    out.failed = sum[4];
+    out.rejected = sum[5];
+    return out;
+  }
+
+  [[nodiscard]] std::size_t slots() const { return slots_.size(); }
+
+ private:
+  struct alignas(64) slot_counters {
+    std::array<std::atomic<std::size_t>, field_count> v{};
+  };
+  std::vector<slot_counters> slots_;
 };
 
 // Formats a number with fixed decimals without dragging <iomanip> everywhere.

@@ -530,5 +530,103 @@ INSTANTIATE_TEST_SUITE_P(
                       num_case{"1e2 + 1", 101},
                       num_case{"0x10 + 1", 17}));
 
+// ----- closure lifetime (tree-walker env<->closure cycle fix) -------------------
+// A function declared in a local scope holds its environment via `closure`
+// while the environment's slot holds the function — a shared_ptr cycle the
+// tree-walker used to strand on every scope exit. The context heap counter is
+// charged per live object, so a leak shows up as heap_used never returning to
+// baseline. Run these under ASan/LSan (CI sanitize-engines job) to catch the
+// raw memory too.
+
+TEST(TreeWalkerClosures, LocalScopeClosuresDoNotLeak) {
+  context ctx;
+  eval_script(ctx, "var warm = 0;", "<warm>", engine_kind::tree_walker);
+  const std::size_t baseline = ctx.heap_used();
+  eval_script(ctx, R"JS(
+    for (var i = 0; i < 200; i++) {
+      (function () {
+        function helper(n) { return n <= 1 ? 1 : n * helper(n - 1); }
+        helper(6);
+      })();
+    }
+  )JS",
+              "<leak>", engine_kind::tree_walker);
+  // 200 stranded closures would hold 200 * object_overhead of charged heap.
+  EXPECT_LE(ctx.heap_used(), baseline + 512);
+}
+
+TEST(TreeWalkerClosures, MutuallyRecursiveLocalClosuresDoNotLeak) {
+  context ctx;
+  eval_script(ctx, "var warm = 0;", "<warm>", engine_kind::tree_walker);
+  const std::size_t baseline = ctx.heap_used();
+  eval_script(ctx, R"JS(
+    for (var i = 0; i < 100; i++) {
+      (function () {
+        function even(n) { return n == 0 ? true : odd(n - 1); }
+        function odd(n) { return n == 0 ? false : even(n - 1); }
+        if (!even(8)) { throw "wrong answer"; }
+      })();
+    }
+  )JS",
+              "<leak>", engine_kind::tree_walker);
+  EXPECT_LE(ctx.heap_used(), baseline + 512);
+}
+
+TEST(TreeWalkerClosures, BlockScopedClosuresDoNotLeak) {
+  context ctx;
+  eval_script(ctx, "var warm = 0;", "<warm>", engine_kind::tree_walker);
+  const std::size_t baseline = ctx.heap_used();
+  eval_script(ctx, R"JS(
+    for (var i = 0; i < 100; i++) {
+      {
+        function shadowed(x) { return x + 1; }
+        shadowed(i);
+      }
+    }
+  )JS",
+              "<leak>", engine_kind::tree_walker);
+  EXPECT_LE(ctx.heap_used(), baseline + 512);
+}
+
+// The cycle breaker must never fire for closures that escape their scope:
+// escaped functions keep their environment (and stay callable), verified
+// through both engines by the differential harness.
+
+TEST(TreeWalkerClosures, EscapingClosureKeepsCaptures) {
+  EXPECT_DOUBLE_EQ(eval_num(R"JS(
+    function make(n) {
+      var extra = 10;
+      return function (m) { return n + extra + m; };
+    }
+    var f = make(5);
+    result = f(1) + f(2);
+  )JS"),
+                   33.0);
+}
+
+TEST(TreeWalkerClosures, EscapedNamedHelperStaysRecursive) {
+  EXPECT_DOUBLE_EQ(eval_num(R"JS(
+    function make() {
+      function helper(n) { return n <= 1 ? 1 : n * helper(n - 1); }
+      return helper;
+    }
+    var f = make();
+    result = f(5);
+  )JS"),
+                   120.0);
+}
+
+TEST(TreeWalkerClosures, ClosureStoredInObjectSurvives) {
+  EXPECT_EQ(eval_str(R"JS(
+    var holder = {};
+    (function () {
+      function tag(s) { return "[" + s + "]"; }
+      holder.tag = tag;
+    })();
+    result = holder.tag("kept");
+  )JS"),
+            "[kept]");
+}
+
 }  // namespace
 }  // namespace nakika::js

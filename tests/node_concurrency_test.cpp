@@ -1,0 +1,379 @@
+// Concurrency tier for the multi-worker node (run under TSan in CI):
+//   - 8-worker x 10k-request stress over mixed cache-hit/miss + script
+//     workloads, asserting no lost or duplicated responses and per-URL
+//     response correctness,
+//   - stats totals equal between the 8-worker and 1-worker runs,
+//   - queue-full backpressure rejecting with 503,
+//   - throttling penalties enforced across workers,
+//   - and the workers=0 determinism regression: a fixed-seed sim run is
+//     byte-identical across repetitions (the oracle path the worker mode is
+//     measured against).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "proxy/deployment.hpp"
+#include "sim/topology.hpp"
+
+namespace nakika::proxy {
+namespace {
+
+constexpr std::size_t k_static_urls = 64;
+
+const char* k_site_script = R"JS(
+  var p = new Policy();
+  p.url = [ "scripted.org" ];
+  p.onResponse = function () {
+    var n = 0;
+    for (var i = 0; i < 500; i++) { n += i; }
+    Response.setHeader("X-Work", "" + n);
+    HardState.put("seen:" + Request.url, "1");
+  };
+  p.register();
+)JS";
+
+// A self-contained single-node serving environment. The sim network exists
+// only to satisfy construction; in worker mode all traffic goes through the
+// synchronous direct path.
+struct serving_env {
+  sim::event_loop loop;
+  std::unique_ptr<sim::network> net;
+  std::unique_ptr<origin_server> origin;
+  std::unique_ptr<nakika_node> node;
+
+  explicit serving_env(node_config cfg) {
+    net = std::make_unique<sim::network>(loop);
+    const sim::node_id origin_host = net->add_node("origin");
+    const sim::node_id proxy_host = net->add_node("proxy");
+    net->set_route(origin_host, proxy_host, 0.0005);
+    origin = std::make_unique<origin_server>(*net, origin_host);
+
+    for (std::size_t i = 0; i < k_static_urls; ++i) {
+      origin->add_static_text("static.org", "/obj/" + std::to_string(i), "text/plain",
+                              "body-" + std::to_string(i), 3600);
+    }
+    origin->add_dynamic("static.org", "/uniq/", [](const http::request& r) {
+      origin_server::dynamic_result out;
+      out.response =
+          http::make_response(200, "text/plain", util::make_body("uniq:" + r.url.path()));
+      return out;
+    });
+    origin->add_static_text("scripted.org", "/nakika.js", "application/javascript",
+                            k_site_script, 3600);
+    for (std::size_t i = 0; i < k_static_urls; ++i) {
+      origin->add_static_text("scripted.org", "/doc/" + std::to_string(i), "text/plain",
+                              "doc-" + std::to_string(i), 3600);
+    }
+
+    origin_server* raw = origin.get();
+    node = std::make_unique<nakika_node>(
+        *net, proxy_host, [raw](const std::string&) -> http_endpoint* { return raw; },
+        std::move(cfg));
+  }
+};
+
+std::string url_for(std::size_t i) {
+  switch (i % 3) {
+    case 0: return "http://static.org/obj/" + std::to_string(i % k_static_urls);
+    case 1: return "http://static.org/uniq/" + std::to_string(i);
+    default: return "http://scripted.org/doc/" + std::to_string(i % k_static_urls);
+  }
+}
+
+bool response_matches(std::size_t i, const http::response& resp) {
+  if (resp.status != 200 || !resp.body) return false;
+  switch (i % 3) {
+    case 0:
+      return resp.body->view() == "body-" + std::to_string(i % k_static_urls);
+    case 1:
+      return resp.body->view() == "uniq:/uniq/" + std::to_string(i);
+    default:
+      return resp.body->view() == "doc-" + std::to_string(i % k_static_urls) &&
+             resp.headers.get("X-Work") == "124750";
+  }
+}
+
+// Runs `total` mixed requests through a node with `workers` workers, driven
+// by two producer threads (the queue is MPMC on both ends). Returns the
+// node's counters snapshot after everything drained.
+util::run_counters run_stress(std::size_t workers, std::size_t total,
+                              std::size_t* sandboxes_created = nullptr) {
+  node_config cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = total + 16;  // no backpressure in this test
+  cfg.resource_controls = false;    // counts must be exact, not probabilistic
+  serving_env env(std::move(cfg));
+
+  std::vector<std::atomic<int>> completions(total);
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> done_count{0};
+
+  const auto produce = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      http::request r;
+      r.url = http::url::parse(url_for(i));
+      r.client_ip = "10.0.0.1";
+      env.node->handle(r, [&, i](http::response resp) {
+        if (!response_matches(i, resp)) mismatches.fetch_add(1);
+        completions[i].fetch_add(1);
+        done_count.fetch_add(1);
+      });
+    }
+  };
+  std::thread producer_a(produce, 0, total / 2);
+  std::thread producer_b(produce, total / 2, total);
+  producer_a.join();
+  producer_b.join();
+  env.node->drain();
+
+  EXPECT_EQ(done_count.load(), total) << "lost responses";
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(completions[i].load(), 1) << "lost or duplicated response for request " << i;
+  }
+  EXPECT_EQ(mismatches.load(), 0u);
+  // Cross-worker HardState writes must all have landed (store is locked).
+  EXPECT_GT(env.node->store().site_keys("http://scripted.org"), 0u);
+  EXPECT_EQ(env.node->pool()->job_exceptions(), 0u);
+  if (sandboxes_created != nullptr) *sandboxes_created = env.node->sandboxes_created();
+  return env.node->counters();
+}
+
+TEST(NodeConcurrency, EightWorkerStressNoLostOrDuplicatedResponses) {
+  constexpr std::size_t k_total = 10'000;
+  std::size_t sandboxes = 0;
+  const util::run_counters c = run_stress(8, k_total, &sandboxes);
+  EXPECT_EQ(c.offered, k_total);
+  EXPECT_EQ(c.completed, k_total);
+  EXPECT_EQ(c.rejected, 0u);
+  EXPECT_EQ(c.throttled, 0u);
+  EXPECT_EQ(c.failed, 0u);
+  EXPECT_EQ(c.terminated, 0u);
+  // Per-worker pools reuse sandboxes: at most a handful per worker per site,
+  // not one per request.
+  EXPECT_GE(sandboxes, 1u);
+  EXPECT_LE(sandboxes, 8u * 4u);
+}
+
+TEST(NodeConcurrency, StatsTotalsEqualSingleWorkerRun) {
+  constexpr std::size_t k_total = 3'000;
+  const util::run_counters one = run_stress(1, k_total);
+  const util::run_counters eight = run_stress(8, k_total);
+  EXPECT_EQ(one.offered, eight.offered);
+  EXPECT_EQ(one.completed, eight.completed);
+  EXPECT_EQ(one.failed, eight.failed);
+  EXPECT_EQ(one.terminated, eight.terminated);
+  EXPECT_EQ(one.rejected, eight.rejected);
+}
+
+TEST(NodeConcurrency, QueueFullRejectsWith503) {
+  node_config cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 2;
+  cfg.resource_controls = false;
+  serving_env env(std::move(cfg));
+  // Make each request slow enough that the single worker cannot drain a
+  // burst: a busy loop in the site script.
+  env.origin->add_static_text("slow.org", "/nakika.js", "application/javascript", R"JS(
+    var p = new Policy();
+    p.url = [ "slow.org" ];
+    p.onResponse = function () {
+      var n = 0;
+      for (var i = 0; i < 200000; i++) { n += i; }
+      Response.setHeader("X-N", "" + n);
+    };
+    p.register();
+  )JS",
+                              3600);
+  env.origin->add_static_text("slow.org", "/page", "text/plain", "slow", 0);
+
+  constexpr std::size_t k_burst = 40;
+  std::atomic<std::size_t> done_count{0};
+  std::atomic<std::size_t> busy_503{0};
+  for (std::size_t i = 0; i < k_burst; ++i) {
+    http::request r;
+    r.url = http::url::parse("http://slow.org/page?i=" + std::to_string(i));
+    r.client_ip = "10.0.0.1";
+    env.node->handle(r, [&](http::response resp) {
+      if (resp.status == 503) busy_503.fetch_add(1);
+      done_count.fetch_add(1);
+    });
+  }
+  env.node->drain();
+
+  EXPECT_EQ(done_count.load(), k_burst);  // rejected requests still answered
+  const util::run_counters c = env.node->counters();
+  EXPECT_EQ(c.offered, k_burst);
+  EXPECT_GT(c.rejected, 0u) << "burst never hit the queue bound";
+  EXPECT_EQ(c.rejected, busy_503.load());
+  EXPECT_EQ(c.completed + c.rejected + c.failed + c.terminated + c.throttled, k_burst);
+  EXPECT_EQ(env.node->pool()->rejected(), c.rejected);
+}
+
+TEST(NodeConcurrency, ThrottlePenaltyAppliesAcrossWorkers) {
+  node_config cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 256;
+  cfg.resource_controls = true;
+  serving_env env(std::move(cfg));
+  env.origin->add_static_text("bad.org", "/x", "text/plain", "never served", 3600);
+
+  // Terminate bad.org via the CONTROL procedure before serving: the penalty
+  // blocks admission on every worker (shared atomic state).
+  auto& rm = env.node->resources();
+  rm.record("http://bad.org", core::resource_kind::cpu, 10.0);
+  ASSERT_TRUE(rm.control_phase1(core::resource_kind::cpu, 1.0));
+  rm.record("http://bad.org", core::resource_kind::cpu, 10.0);
+  const core::control_outcome outcome =
+      rm.control_phase2(core::resource_kind::cpu, 1.5);
+  ASSERT_EQ(outcome.terminated_site, "http://bad.org");
+
+  constexpr std::size_t k_requests = 100;
+  std::atomic<std::size_t> rejected_503{0};
+  std::atomic<std::size_t> done_count{0};
+  for (std::size_t i = 0; i < k_requests; ++i) {
+    http::request r;
+    r.url = http::url::parse("http://bad.org/x");
+    r.client_ip = "10.0.0.1";
+    env.node->handle(r, [&](http::response resp) {
+      if (resp.status == 503) rejected_503.fetch_add(1);
+      done_count.fetch_add(1);
+    });
+  }
+  env.node->drain();
+  EXPECT_EQ(done_count.load(), k_requests);
+  EXPECT_EQ(rejected_503.load(), k_requests);
+  EXPECT_EQ(env.node->counters().throttled, k_requests);
+}
+
+// ----- worker mode vs sim oracle -----------------------------------------------
+
+// Runs one URL through a workers=0 node on the event loop (the oracle path).
+http::response sim_fetch(sim::event_loop& loop, sim::network& net, sim::node_id client,
+                         nakika_node& node, const std::string& url) {
+  http::request r;
+  r.url = http::url::parse(url);
+  r.client_ip = "10.0.0.1";
+  http::response out;
+  forward_request(net, client, node, r, [&](http::response resp) { out = std::move(resp); });
+  loop.run();
+  return out;
+}
+
+TEST(NodeConcurrency, WorkerResponsesMatchSimOracle) {
+  std::vector<std::string> urls;
+  for (std::size_t i = 0; i < 30; ++i) urls.push_back(url_for(i));
+
+  // Oracle: deterministic single-threaded sim path.
+  std::vector<std::pair<int, std::string>> oracle;
+  {
+    node_config cfg;
+    cfg.resource_controls = false;
+    serving_env env(std::move(cfg));
+    const sim::node_id client = env.net->add_node("client");
+    env.net->set_route(client, env.node->host(), 0.0005);
+    for (const auto& url : urls) {
+      const http::response resp =
+          sim_fetch(env.loop, *env.net, client, *env.node, url);
+      oracle.emplace_back(resp.status, std::string(resp.body ? resp.body->view() : ""));
+    }
+  }
+
+  // Worker mode must serve byte-identical bodies for the same URLs.
+  node_config cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 256;
+  cfg.resource_controls = false;
+  serving_env env(std::move(cfg));
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> done_count{0};
+  for (std::size_t i = 0; i < urls.size(); ++i) {
+    http::request r;
+    r.url = http::url::parse(urls[i]);
+    r.client_ip = "10.0.0.1";
+    env.node->handle(r, [&, i](http::response resp) {
+      const std::string body(resp.body ? resp.body->view() : "");
+      if (resp.status != oracle[i].first || body != oracle[i].second) {
+        mismatches.fetch_add(1);
+      }
+      done_count.fetch_add(1);
+    });
+  }
+  env.node->drain();
+  EXPECT_EQ(done_count.load(), urls.size());
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+// ----- workers=0 determinism regression ----------------------------------------
+
+// Digest of a full fixed-seed sim run: every response byte plus the final
+// counter state. Two runs must agree exactly — this locks the oracle path's
+// behavior before (and after) any parallel-path change.
+std::string sim_run_digest() {
+  sim::event_loop loop;
+  sim::network net{loop};
+  sim::three_tier topo = sim::build_lan(net);
+  deployment dep(net);
+  origin_server& origin = dep.create_origin(topo.origin);
+  dep.map_host("static.org", origin);
+  dep.map_host("scripted.org", origin);
+  for (std::size_t i = 0; i < k_static_urls; ++i) {
+    origin.add_static_text("static.org", "/obj/" + std::to_string(i), "text/plain",
+                           "body-" + std::to_string(i), 3600);
+  }
+  origin.add_static_text("scripted.org", "/nakika.js", "application/javascript",
+                         k_site_script, 3600);
+  for (std::size_t i = 0; i < k_static_urls; ++i) {
+    origin.add_static_text("scripted.org", "/doc/" + std::to_string(i), "text/plain",
+                           "doc-" + std::to_string(i), 3600);
+  }
+
+  node_config cfg;
+  cfg.rng_seed = 1234;
+  cfg.capacities.cpu_seconds_per_second = 0.001;  // force throttling activity
+  cfg.control_interval = 0.05;
+  cfg.control_timeout = 0.02;
+  nakika_node& node = dep.create_node(topo.proxy, std::move(cfg));
+  node.start_monitor();
+
+  std::string digest;
+  for (std::size_t i = 0; i < 300; ++i) {
+    http::request r;
+    r.url = http::url::parse(url_for(i % 90));
+    r.client_ip = "10.0.0.1";
+    http::response out;
+    forward_request(net, topo.client, node, r, [&](http::response resp) {
+      out = std::move(resp);
+    });
+    loop.run_until(loop.now() + 0.2);
+    digest += std::to_string(out.status);
+    digest += '|';
+    digest += out.headers.get_or("X-Work", "-");
+    digest += '|';
+    if (out.body) digest += out.body->str();
+    digest += '\n';
+  }
+  const util::run_counters c = node.counters();
+  digest += "offered=" + std::to_string(c.offered);
+  digest += " completed=" + std::to_string(c.completed);
+  digest += " throttled=" + std::to_string(c.throttled);
+  digest += " terminated=" + std::to_string(c.terminated);
+  digest += " failed=" + std::to_string(c.failed);
+  digest += " terminations=" + std::to_string(node.resources().terminations());
+  digest += " rejections=" + std::to_string(node.resources().throttle_rejections());
+  return digest;
+}
+
+TEST(NodeConcurrency, SimPathDeterministicWithWorkersDisabled) {
+  const std::string first = sim_run_digest();
+  const std::string second = sim_run_digest();
+  EXPECT_EQ(first, second);
+  // The run exercised real traffic, not a degenerate empty loop.
+  EXPECT_GT(first.size(), 300u * 3u);
+}
+
+}  // namespace
+}  // namespace nakika::proxy

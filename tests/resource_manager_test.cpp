@@ -1,9 +1,16 @@
 // Tests for the congestion controller (paper Fig. 6): congestion detection,
 // proportional throttling, termination of the top offender, renewable vs
-// nonrenewable accounting, and EWMA contributions.
+// nonrenewable accounting, EWMA contributions, and — since the node grew a
+// worker pool — cross-thread accounting and kill-flag delivery.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "core/resource_manager.hpp"
+#include "js/errors.hpp"
+#include "js/interpreter.hpp"
 
 namespace nakika::core {
 namespace {
@@ -169,6 +176,120 @@ TEST(ResourceManager, NegativeAmountsIgnored) {
   resource_manager rm(small_caps());
   rm.record("a", resource_kind::cpu, -5.0);
   EXPECT_FALSE(rm.control_phase1(resource_kind::cpu, 1.0));
+}
+
+// ----- cross-thread accounting (multi-worker node) ------------------------------
+
+TEST(ResourceManagerConcurrent, ChargesFromManyThreadsAggregateExactly) {
+  resource_manager rm(small_caps());
+  constexpr int k_threads = 8;
+  constexpr int k_charges = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(k_threads);
+  for (int t = 0; t < k_threads; ++t) {
+    workers.emplace_back([&rm, t] {
+      const std::string site = (t % 2 == 0) ? "even.org" : "odd.org";
+      for (int i = 0; i < k_charges; ++i) {
+        rm.record(site, resource_kind::cpu, 0.001);
+        rm.record(site, resource_kind::total_bytes, 100.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // 8 threads x 1000 x 1ms = 8 CPU-seconds over a 1-second interval: the
+  // monitor's aggregation must see every charge (no lost updates).
+  EXPECT_TRUE(rm.control_phase1(resource_kind::cpu, 1.0));
+  EXPECT_NEAR(rm.utilization(resource_kind::cpu), 8.0, 1e-6);
+  rm.control_phase1(resource_kind::total_bytes, 1.0);
+  EXPECT_NEAR(rm.contribution("even.org", resource_kind::total_bytes), 0.5, 1e-9);
+  EXPECT_NEAR(rm.contribution("odd.org", resource_kind::total_bytes), 0.5, 1e-9);
+}
+
+TEST(ResourceManagerConcurrent, AdmitAndChargeRaceStaysConsistent) {
+  resource_manager rm(small_caps());
+  // Pre-throttle the site so concurrent admits exercise the rejection path.
+  rm.record("busy.org", resource_kind::cpu, 5.0);
+  rm.control_phase1(resource_kind::cpu, 1.0);
+  ASSERT_TRUE(rm.is_throttled("busy.org"));
+
+  constexpr int k_threads = 8;
+  std::atomic<int> admitted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < k_threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::rng rng(100 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 500; ++i) {
+        if (rm.admit("busy.org", rng)) {
+          admitted.fetch_add(1);
+          rm.record("busy.org", resource_kind::cpu, 0.0001);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(admitted.load() + rejected.load(), k_threads * 500);
+  EXPECT_EQ(rm.throttle_rejections(), static_cast<std::uint64_t>(rejected.load()));
+  // Contribution ~1.0: rejections must dominate for the sole hot site.
+  EXPECT_GT(rejected.load(), admitted.load());
+}
+
+TEST(ResourceManagerConcurrent, PipelineRegistrationFromManyThreads) {
+  resource_manager rm(small_caps());
+  constexpr int k_threads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < k_threads; ++t) {
+    workers.emplace_back([&rm] {
+      for (int i = 0; i < 200; ++i) {
+        auto flag = std::make_shared<std::atomic<bool>>(false);
+        rm.pipeline_started("s.org", flag);
+        rm.pipeline_finished("s.org", flag);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(rm.active_pipelines("s.org"), 0u);
+}
+
+TEST(ResourceManagerConcurrent, MonitorKillFlagStopsVmLoopOnAnotherThread) {
+  resource_manager rm(small_caps());
+
+  // A VM spinning `while (true) {}` on a worker thread, registered with the
+  // manager exactly like a node pipeline. Ops are unlimited so only the kill
+  // flag (checked at loop back-edges) can stop it.
+  js::context_limits limits;
+  limits.ops = 0;
+  js::context ctx(limits);
+  rm.pipeline_started("hog.org", ctx.kill_flag());
+
+  std::atomic<bool> script_ended{false};
+  js::script_error_kind observed = js::script_error_kind::runtime;
+  std::thread vm_thread([&] {
+    try {
+      js::eval_script(ctx, "while (true) {}", "<spin>", js::engine_kind::bytecode);
+    } catch (const js::script_error& e) {
+      observed = e.kind();
+    }
+    script_ended.store(true);
+  });
+
+  // Drive CONTROL from this thread: congestion at phase 1, still congested at
+  // phase 2 -> terminate the top offender, setting its kill flag.
+  rm.record("hog.org", resource_kind::cpu, 5.0);
+  ASSERT_TRUE(rm.control_phase1(resource_kind::cpu, 1.0));
+  rm.record("hog.org", resource_kind::cpu, 5.0);
+  const control_outcome outcome = rm.control_phase2(resource_kind::cpu, 1.5);
+  EXPECT_EQ(outcome.terminated_site, "hog.org");
+  EXPECT_EQ(outcome.pipelines_killed, 1u);
+
+  vm_thread.join();
+  EXPECT_TRUE(script_ended.load());
+  EXPECT_EQ(observed, js::script_error_kind::terminated);
+  rm.pipeline_finished("hog.org", ctx.kill_flag());
+  EXPECT_EQ(rm.active_pipelines("hog.org"), 0u);
 }
 
 TEST(ResourceManager, TerminatedSiteStaysThrottled) {
