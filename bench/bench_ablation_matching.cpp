@@ -4,7 +4,9 @@
 // prefix sharing should flatten the growth that the linear matcher pays.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_json.hpp"
 #include "core/decision_tree.hpp"
+#include "core/match_compiler.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -57,6 +59,24 @@ void tree_match(benchmark::State& state) {
 }
 BENCHMARK(tree_match)->Arg(10)->Arg(50)->Arg(100)->Arg(500)->Unit(benchmark::kMicrosecond);
 
+// The decision tree's predicates compiled to bytecode and evaluated by the
+// script VM (the production match path for the bytecode engine).
+void compiled_match(benchmark::State& state) {
+  const core::policy_set set = build_policies(static_cast<int>(state.range(0)));
+  const core::decision_tree tree = core::decision_tree::build(set);
+  const auto matcher = core::compiled_matcher::build(tree);
+  js::context_limits limits;
+  limits.heap_bytes = 0;
+  limits.ops = 0;
+  js::context ctx(limits, js::context::bare_t{});
+  const http::request r = probe_request();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher->match(ctx, r));
+  }
+  state.SetLabel(std::to_string(matcher->instruction_count()) + " instructions");
+}
+BENCHMARK(compiled_match)->Arg(10)->Arg(50)->Arg(100)->Arg(500)->Unit(benchmark::kMicrosecond);
+
 void tree_build(benchmark::State& state) {
   const core::policy_set set = build_policies(static_cast<int>(state.range(0)));
   for (auto _ : state) {
@@ -67,4 +87,6 @@ BENCHMARK(tree_build)->Arg(10)->Arg(100)->Arg(500)->Unit(benchmark::kMicrosecond
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nakika::bench::run_gbench_with_json("bench_ablation_matching", argc, argv);
+}

@@ -63,8 +63,9 @@ double run_workload(std::size_t threads, double put_fraction) {
 }  // namespace
 }  // namespace nakika
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nakika;
+  bench::json_reporter json("bench_cache_concurrent", argc, argv);
   bench::print_header(
       "Sharded HTTP cache: concurrent throughput",
       "scaling harness for the ROADMAP north star (no paper counterpart)");
@@ -90,6 +91,8 @@ int main() {
       bench::print_row(std::to_string(threads),
                        {bench::num(ops, 0), bench::num(ops / 1e6, 2),
                         bench::num(ops / base, 2) + "x"});
+      json.add(std::string(w.name) + "/threads=" + std::to_string(threads), "ops_per_second",
+               ops);
     }
   }
   return 0;

@@ -74,8 +74,9 @@ double run_capacity(bool nakika, std::size_t clients, double duration_s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nakika::bench;
+  json_reporter json("bench_capacity", argc, argv);
   print_header("Capacity — plain proxy vs Na Kika Match-1 (warm cache)",
                "Na Kika (NSDI '06) §5.1 (paper: Match-1 294 rps @30 clients, "
                "plain proxy 603 rps @90 clients)");
@@ -90,15 +91,18 @@ int main() {
     const double rps = run_capacity(false, clients, duration);
     if (clients == 90) proxy_90 = rps;
     print_row("Proxy", {std::to_string(clients), num(rps, 0)});
+    json.add("proxy/clients=" + std::to_string(clients), "requests_per_second", rps);
   }
   for (const std::size_t clients : {30u, 90u}) {
     const double rps = run_capacity(true, clients, duration);
     if (clients == 30) nakika_30 = rps;
     print_row("Match-1", {std::to_string(clients), num(rps, 0)});
+    json.add("match1/clients=" + std::to_string(clients), "requests_per_second", rps);
   }
 
   std::printf("\nNa Kika/proxy capacity ratio: %.2f (paper: 294/603 = 0.49)\n",
               proxy_90 > 0 ? nakika_30 / proxy_90 : 0.0);
+  json.add("summary", "nakika_proxy_capacity_ratio", proxy_90 > 0 ? nakika_30 / proxy_90 : 0.0);
   std::printf("shape check: the scripting pipeline costs roughly half the\n"
               "plain proxy's single-node throughput.\n");
   return 0;

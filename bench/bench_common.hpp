@@ -1,12 +1,87 @@
-// Shared helpers for the evaluation harness: table printing and the
-// paper-vs-measured framing every bench reports.
+// Shared helpers for the evaluation harness: table printing, the
+// paper-vs-measured framing every bench reports, and the machine-readable
+// `--json <path>` output that feeds the checked-in perf baselines
+// (BENCH_vm.json) so the perf trajectory is tracked across PRs.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace nakika::bench {
+
+// True when `flag` appears anywhere on the command line.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+// Accumulates {bench, config, metric, value} records and, when the bench was
+// invoked with `--json <path>`, writes them as a JSON array on destruction.
+// With no --json flag it is a no-op, so benches call add() unconditionally.
+class json_reporter {
+ public:
+  json_reporter(std::string bench, int argc, char** argv) : bench_(std::move(bench)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
+    }
+  }
+  json_reporter(const json_reporter&) = delete;
+  json_reporter& operator=(const json_reporter&) = delete;
+  ~json_reporter() { flush(); }
+
+  void add(const std::string& config, const std::string& metric, double value) {
+    if (path_.empty()) return;
+    records_.push_back(record{config, metric, value});
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void flush() {
+    if (path_.empty() || flushed_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json_reporter: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const record& r = records_[i];
+      std::fprintf(f, "  {\"bench\": \"%s\", \"config\": \"%s\", \"metric\": \"%s\", "
+                      "\"value\": %.9g}%s\n",
+                   bench_.c_str(), escape(r.config).c_str(), escape(r.metric).c_str(),
+                   r.value, i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    flushed_ = true;
+  }
+
+ private:
+  struct record {
+    std::string config;
+    std::string metric;
+    double value;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<record> records_;
+  bool flushed_ = false;
+};
 
 inline void print_header(const char* experiment, const char* paper_reference) {
   std::printf("\n============================================================\n");

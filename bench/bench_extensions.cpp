@@ -230,8 +230,9 @@ bool check_annotations() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nakika::bench;
+  json_reporter json("bench_extensions", argc, argv);
   print_header("Extensions — annotations, transcoding, blacklist blocking",
                "Na Kika (NSDI '06) §5.4 (paper LoC: annotations 50 (+180 "
                "reused), transcoding 80, blacklist 70)");
@@ -249,6 +250,9 @@ int main() {
             {std::to_string(count_loc(blacklist_generator_script)),
              blacklist_ok ? "yes" : "NO"});
 
+  json.add("annotations", "works", annotations_ok ? 1.0 : 0.0);
+  json.add("transcoding", "works", transcode_ok ? 1.0 : 0.0);
+  json.add("blacklist", "works", blacklist_ok ? 1.0 : 0.0);
   std::printf(
       "\nshape checks: each extension is a few dozen lines of script, uses\n"
       "predicate selection + dynamically scheduled stages, and runs without\n"

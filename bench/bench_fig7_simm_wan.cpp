@@ -148,8 +148,9 @@ void print_cdf(const char* label, util::sample_set& samples) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nakika::bench;
+  json_reporter json("bench_fig7_simm_wan", argc, argv);
   print_header("Figure 7 — SIMM wide-area latency CDFs (12 client sites, origin in NY)",
                "Na Kika (NSDI '06) Fig. 7 + §5.2 "
                "(paper @240: p90 60.1s single / 31.6s cold / 9.7s warm; "
@@ -170,18 +171,26 @@ int main() {
     print_row("single server",
               {std::to_string(clients), num(single.html_latency.percentile(90), 2),
                pct(single.video_ok_fraction), pct(single.video_failures)});
+    json.add("single/clients=" + std::to_string(clients), "p90_html_seconds",
+             single.html_latency.percentile(90));
     series.push_back({"single/" + std::to_string(clients), std::move(single.html_latency)});
 
     run_output cold = run_nakika(clients, /*warm=*/false);
     print_row("Na Kika (cold)",
               {std::to_string(clients), num(cold.html_latency.percentile(90), 2),
                pct(cold.video_ok_fraction), pct(cold.video_failures)});
+    json.add("cold/clients=" + std::to_string(clients), "p90_html_seconds",
+             cold.html_latency.percentile(90));
     series.push_back({"cold/" + std::to_string(clients), std::move(cold.html_latency)});
 
     run_output warm = run_nakika(clients, /*warm=*/true);
     print_row("Na Kika (warm)",
               {std::to_string(clients), num(warm.html_latency.percentile(90), 2),
                pct(warm.video_ok_fraction), pct(warm.video_failures)});
+    json.add("warm/clients=" + std::to_string(clients), "p90_html_seconds",
+             warm.html_latency.percentile(90));
+    json.add("warm/clients=" + std::to_string(clients), "video_ok_fraction",
+             warm.video_ok_fraction);
     series.push_back({"warm/" + std::to_string(clients), std::move(warm.html_latency)});
   }
 

@@ -1,0 +1,69 @@
+// google-benchmark bridge for the shared `--json <path>` output mode
+// (bench_common.hpp): a drop-in main body that strips --json from the
+// command line (google-benchmark rejects unknown flags), runs the registered
+// benchmarks with a console reporter, and mirrors every run into
+// {bench, config, metric, value} records.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace nakika::bench {
+
+namespace detail {
+
+class json_bridge_reporter : public benchmark::ConsoleReporter {
+ public:
+  explicit json_bridge_reporter(json_reporter& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      out_.add(r.benchmark_name(), "real_time_" + unit_suffix(r.time_unit),
+               r.GetAdjustedRealTime());
+      out_.add(r.benchmark_name(), "iterations", static_cast<double>(r.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  static std::string unit_suffix(benchmark::TimeUnit u) {
+    switch (u) {
+      case benchmark::kNanosecond: return "ns";
+      case benchmark::kMicrosecond: return "us";
+      case benchmark::kMillisecond: return "ms";
+      case benchmark::kSecond: return "s";
+    }
+    return "ns";
+  }
+
+  json_reporter& out_;
+};
+
+}  // namespace detail
+
+inline int run_gbench_with_json(const char* bench_name, int argc, char** argv) {
+  json_reporter json(bench_name, argc, argv);
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, filtered.data())) return 1;
+  detail::json_bridge_reporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace nakika::bench

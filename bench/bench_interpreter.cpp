@@ -84,6 +84,22 @@ const workload workloads[] = {
         };
         result = onResponse();
     )JS"},
+    // Stable-shape state accessed through globals and repeated property
+    // reads/writes: the inline-cache sweet spot (real stages keep counters
+    // and config objects exactly like this).
+    {"global_prop_heavy", R"JS(
+        var state = {hits: 0, evictions: 0, total: 0};
+        var threshold = 500000;
+        onRequest = function() {
+          for (var i = 0; i < 30000; i++) {
+            state.hits++;
+            state.total = state.total + (i & 127);
+            if (state.total > threshold) { state.evictions++; state.total = 0; }
+          }
+          return state.hits + ':' + state.evictions + ':' + state.total;
+        };
+        result = onRequest();
+    )JS"},
 };
 
 struct engine_measurement {
@@ -138,8 +154,13 @@ engine_measurement run_vm(const workload& w, int reps) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool smoke = nakika::bench::has_flag(argc, argv, "--smoke");
+  // Perf gate for CI: fail outright if call-heavy VM throughput ever drops
+  // below the tree-walker (the regression the frame arena + inline caches
+  // exist to prevent).
+  const bool gate = nakika::bench::has_flag(argc, argv, "--gate");
   const int reps = smoke ? 2 : 12;
+  nakika::bench::json_reporter json("bench_interpreter", argc, argv);
 
   nakika::bench::print_header(
       "Script engine: tree-walking interpreter vs bytecode VM",
@@ -149,6 +170,7 @@ int main(int argc, char** argv) {
 
   bool mismatch = false;
   bool loop_heavy_2x = false;
+  double call_heavy_speedup = 0.0;
   for (const workload& w : workloads) {
     const engine_measurement tree = run_tree(w, reps);
     const engine_measurement vm = run_vm(w, reps);
@@ -159,18 +181,28 @@ int main(int argc, char** argv) {
                  nakika::bench::ms(vm.per_run_seconds, 2),
                  nakika::bench::num(speedup, 2) + "x", nakika::bench::ms(vm.parse_seconds, 2),
                  nakika::bench::ms(vm.compile_seconds, 2)});
+    json.add(w.name, "tree_ms_per_run", tree.per_run_seconds * 1000.0);
+    json.add(w.name, "vm_ms_per_run", vm.per_run_seconds * 1000.0);
+    json.add(w.name, "vm_speedup", speedup);
+    json.add(w.name, "compile_ms", vm.compile_seconds * 1000.0);
     if (tree.result != vm.result) {
       std::printf("ENGINE MISMATCH on %s: tree='%s' vm='%s'\n", w.name, tree.result.c_str(),
                   vm.result.c_str());
       mismatch = true;
     }
     if (std::strcmp(w.name, "loop_heavy") == 0 && speedup >= 2.0) loop_heavy_2x = true;
+    if (std::strcmp(w.name, "call_heavy") == 0) call_heavy_speedup = speedup;
   }
 
   std::printf("\nchunk compile is one-time per content hash; the node's chunk cache\n"
               "amortizes it across sandboxes, so steady-state cost is the vm ms/run column.\n");
   if (mismatch) {
     std::printf("FAIL: engines disagree\n");
+    return 1;
+  }
+  if (gate && call_heavy_speedup < 1.0) {
+    std::printf("FAIL: call_heavy VM throughput below the tree-walker (%.2fx)\n",
+                call_heavy_speedup);
     return 1;
   }
   if (!smoke && !loop_heavy_2x) {

@@ -8,6 +8,8 @@
 // predicate evaluation < 38 us for up to 100 policies.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_json.hpp"
+
 #include "cache/script_cache.hpp"
 #include "core/pipeline.hpp"
 
@@ -110,4 +112,6 @@ BENCHMARK(empty_handler_invocation)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nakika::bench::run_gbench_with_json("bench_micro_costs", argc, argv);
+}

@@ -140,7 +140,8 @@ double run_workload(workload w, std::size_t workers, std::size_t total, std::siz
 
 int main(int argc, char** argv) {
   using namespace nakika;
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  bench::json_reporter json("bench_node_concurrent", argc, argv);
 
   bench::print_header(
       "Multi-worker node: end-to-end requests/sec",
@@ -175,6 +176,9 @@ int main(int argc, char** argv) {
       bench::print_row(std::to_string(workers),
                        {bench::num(rps, 0), bench::num(rps / base, 2) + "x",
                         std::to_string(ok) + "/" + std::to_string(total)});
+      const std::string config = std::string(s.name) + "/workers=" + std::to_string(workers);
+      json.add(config, "requests_per_second", rps);
+      json.add(config, "speedup_vs_1_worker", base > 0 ? rps / base : 0.0);
     }
   }
   if (!all_ok) {

@@ -137,8 +137,9 @@ run_result run(bool controls, bool with_hog, std::size_t clients, double duratio
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nakika::bench;
+  json_reporter json("bench_resource_controls", argc, argv);
   print_header("Resource controls — throughput under load and under attack",
                "Na Kika (NSDI '06) §5.1 Resource Controls "
                "(paper: 30 gen 294→396 rps, 90 gen 229→356 rps, "
@@ -156,6 +157,8 @@ int main() {
       print_row(std::to_string(clients) + " generators",
                 {controls ? "on" : "off", num(r.rps, 0), pct(r.throttled_fraction, 2),
                  pct(r.terminated_fraction, 3)});
+      json.add(std::to_string(clients) + "gen/controls=" + (controls ? "on" : "off"),
+               "requests_per_second", r.rps);
     }
   }
   for (const bool controls : {false, true}) {
@@ -165,6 +168,8 @@ int main() {
     print_row("30 gen + misbehaving",
               {controls ? "on" : "off", num(r.rps, 0), pct(r.throttled_fraction, 2),
                pct(r.terminated_fraction, 3)});
+    json.add(std::string("30gen+hog/controls=") + (controls ? "on" : "off"),
+             "requests_per_second", r.rps);
   }
 
   std::printf(

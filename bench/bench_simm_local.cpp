@@ -91,8 +91,9 @@ run_output run(bool constrained, bool nakika, int clients) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nakika::bench;
+  json_reporter json("bench_simm_local", argc, argv);
   print_header("SIMM local experiments — single server vs one Na Kika proxy",
                "Na Kika (NSDI '06) §5.2 local "
                "(paper LAN: 904ms vs 964ms p90; constrained WAN: 8.88s vs "
@@ -114,6 +115,11 @@ int main() {
   print_row("80ms/8Mbps WAN",
             {"nakika", num(wan_nakika.html_p90, 3), pct(wan_nakika.video_ok)});
 
+  json.add("lan/single", "p90_html_seconds", lan_single.html_p90);
+  json.add("lan/nakika", "p90_html_seconds", lan_nakika.html_p90);
+  json.add("wan/single", "p90_html_seconds", wan_single.html_p90);
+  json.add("wan/nakika", "p90_html_seconds", wan_nakika.html_p90);
+  json.add("wan/nakika", "video_ok_fraction", wan_nakika.video_ok);
   std::printf(
       "\nshape checks: on the LAN the two are comparable (the proxy may trail\n"
       "slightly, as in the paper); behind the bandwidth cap the Na Kika proxy\n"

@@ -129,8 +129,9 @@ run_output run_nakika() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nakika::bench;
+  json_reporter json("bench_specweb_hardstate", argc, argv);
   print_header("SPECweb99-like — PHP single server vs Na Kika with hard state",
                "Na Kika (NSDI '06) §5.3 "
                "(paper: PHP 13.7s mean / 10.8 rps; Na Kika 4.3s / 34.3 rps)");
@@ -143,6 +144,10 @@ int main() {
   const run_output nk = run_nakika();
   print_row("Na Kika (5 nodes)", {num(nk.mean_response, 2), num(nk.rps, 1)});
 
+  json.add("php", "mean_response_seconds", php.mean_response);
+  json.add("php", "requests_per_second", php.rps);
+  json.add("nakika", "mean_response_seconds", nk.mean_response);
+  json.add("nakika", "requests_per_second", nk.rps);
   std::printf("\nreplicated user registrations visible on every node: %zu\n",
               nk.replicated_registrations);
   std::printf(

@@ -136,8 +136,9 @@ config_run run_config(const std::string& name, bool use_dht, bool admin_stages,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nakika::bench;
+  json_reporter json("bench_table2_micro", argc, argv);
 
   print_header("Table 1 — micro-benchmark configurations",
                "Na Kika (NSDI '06), Table 1");
@@ -180,6 +181,8 @@ int main() {
   for (const spec& s : specs) {
     const config_run r = run_config(s.name, s.dht, s.admin, s.site_script);
     print_row(s.name, {num(r.cold_ms, 1), num(r.warm_ms, 1)});
+    json.add(s.name, "cold_ms", r.cold_ms);
+    json.add(s.name, "warm_ms", r.warm_ms);
   }
 
   std::printf(

@@ -20,6 +20,8 @@
 
 namespace nakika::core {
 
+class matcher_compiler;  // match_compiler.cpp: lowers the tree to bytecode
+
 class decision_tree {
  public:
   decision_tree() : root_(std::make_unique<node>()) {}
@@ -35,6 +37,10 @@ class decision_tree {
   [[nodiscard]] std::size_t policy_count() const { return policy_count_; }
 
  private:
+  // The matcher compiler walks the built tree to emit an equivalent bytecode
+  // chunk (shared prefixes become shared code paths).
+  friend class matcher_compiler;
+
   struct node;
   using node_ptr = std::unique_ptr<node>;
 

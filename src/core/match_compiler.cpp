@@ -1,0 +1,305 @@
+#include "core/match_compiler.hpp"
+
+#include <map>
+#include <span>
+#include <utility>
+
+#include "js/ops.hpp"
+#include "js/vm.hpp"
+#include "util/strings.hpp"
+
+namespace nakika::core {
+
+namespace {
+
+// Specificity packing: the 4-component vector becomes one exactly-
+// representable double so the generated code compares ranks with a single
+// numeric comparison. Lexicographic order is preserved while every component
+// stays below the base; 4096^4 = 2^48 < 2^53.
+constexpr int pack_base = 4096;
+
+[[nodiscard]] bool packable(const specificity& s) {
+  for (const int c : s) {
+    if (c < 0 || c >= pack_base) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] double pack_score(const specificity& s) {
+  double packed = 0.0;
+  for (const int c : s) packed = packed * pack_base + c;
+  return packed;
+}
+
+}  // namespace
+
+// Friend of decision_tree: walks the private node structure and emits the
+// equivalent chunk. One instance per build() call.
+class matcher_compiler {
+ public:
+  [[nodiscard]] std::shared_ptr<const compiled_matcher> compile(const decision_tree& tree) {
+    auto out = std::shared_ptr<compiled_matcher>(new compiled_matcher());
+    out_ = out.get();
+    fn_ = std::make_shared<js::compiled_fn>();
+    fn_->name = "<matcher>";
+    fn_->is_toplevel = false;
+    fn_->uses_arguments = false;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      fn_->params.push_back(js::bc_binding{false, i});
+    }
+    fn_->this_binding = js::bc_binding{false, 6};
+    fn_->arguments_binding = js::bc_binding{false, 7};
+    next_slot_ = slot_tmp_base;
+
+    // best = -1; bestS = -1; bestOrd = 0
+    emit_const_store(cnum(-1.0), slot_best);
+    emit_const_store(cnum(-1.0), slot_best_score);
+    emit_const_store(cnum(0.0), slot_best_order);
+
+    if (!emit_node(*tree.root_, 0, 0)) return nullptr;
+
+    emit(js::opcode::load_local, slot_best);
+    emit(js::opcode::ret);
+
+    fn_->num_slots = next_slot_;
+    out->fn_ = fn_;
+    return out;
+  }
+
+ private:
+  // Frame layout: 0..5 = params (hostRev, port, path, method, clientOk,
+  // headerOk), 6 = this, 7 = arguments (never materialized), 8..10 = best
+  // tracking, 11+ = per-node temporaries.
+  static constexpr std::int32_t slot_host = 0;
+  static constexpr std::int32_t slot_port = 1;
+  static constexpr std::int32_t slot_path = 2;
+  static constexpr std::int32_t slot_method = 3;
+  static constexpr std::int32_t slot_client_ok = 4;
+  static constexpr std::int32_t slot_header_ok = 5;
+  static constexpr std::int32_t slot_best = 8;
+  static constexpr std::int32_t slot_best_score = 9;
+  static constexpr std::int32_t slot_best_order = 10;
+  static constexpr std::uint32_t slot_tmp_base = 11;
+
+  std::size_t emit(js::opcode op, std::int32_t a = 0, std::int32_t b = 0,
+                   std::int32_t c = 0) {
+    fn_->code.push_back(js::bc_instr{op, a, b, c, 0});
+    return fn_->code.size() - 1;
+  }
+  void patch(std::size_t at) {
+    fn_->code[at].a = static_cast<std::int32_t>(fn_->code.size());
+  }
+  std::int32_t cnum(double d) {
+    auto [it, inserted] = num_consts_.try_emplace(d, fn_->consts.size());
+    if (inserted) fn_->consts.push_back(js::value::number(d));
+    return static_cast<std::int32_t>(it->second);
+  }
+  std::int32_t cstr(const std::string& s) {
+    auto [it, inserted] = str_consts_.try_emplace(s, fn_->consts.size());
+    if (inserted) fn_->consts.push_back(js::value::string(s));
+    return static_cast<std::int32_t>(it->second);
+  }
+  void emit_const_store(std::int32_t const_index, std::int32_t slot) {
+    emit(js::opcode::push_const, const_index);
+    emit(js::opcode::store_local_pop, slot);
+  }
+  // `binary` pops right then left, so operands are pushed left-first.
+  void emit_compare(std::int32_t left_slot, std::int32_t value_const, js::binop op) {
+    emit(js::opcode::load_local, left_slot);
+    emit(js::opcode::push_const, value_const);
+    emit(js::opcode::binary, static_cast<std::int32_t>(op));
+  }
+
+  // if (best < 0 || S > bestS || (S == bestS && ord < bestOrd)) take;
+  // — the exact `better` test decision_tree::walk applies per terminal.
+  void emit_terminal(std::size_t terminal_index, double packed_score, double order) {
+    const std::int32_t s_const = cnum(packed_score);
+    const std::int32_t ord_const = cnum(order);
+
+    std::vector<std::size_t> to_take;
+    emit_compare(slot_best, cnum(0.0), js::binop::lt);
+    to_take.push_back(emit(js::opcode::jump_if_true));
+    emit(js::opcode::push_const, s_const);
+    emit(js::opcode::load_local, slot_best_score);
+    emit(js::opcode::binary, static_cast<std::int32_t>(js::binop::gt));
+    to_take.push_back(emit(js::opcode::jump_if_true));
+    emit(js::opcode::push_const, s_const);
+    emit(js::opcode::load_local, slot_best_score);
+    emit(js::opcode::binary, static_cast<std::int32_t>(js::binop::sne));
+    std::vector<std::size_t> to_skip;
+    to_skip.push_back(emit(js::opcode::jump_if_true));
+    emit(js::opcode::push_const, ord_const);
+    emit(js::opcode::load_local, slot_best_order);
+    emit(js::opcode::binary, static_cast<std::int32_t>(js::binop::lt));
+    to_skip.push_back(emit(js::opcode::jump_if_false));
+
+    for (const std::size_t j : to_take) patch(j);
+    emit_const_store(cnum(static_cast<double>(terminal_index)), slot_best);
+    emit_const_store(s_const, slot_best_score);
+    emit_const_store(ord_const, slot_best_order);
+    for (const std::size_t j : to_skip) patch(j);
+  }
+
+  // Guarded call: <predicate fn slot>(index) — falsy skips the subtree.
+  template <typename EmitBody>
+  bool emit_native_guard(std::int32_t fn_slot, std::size_t index, EmitBody&& body) {
+    emit(js::opcode::load_local, fn_slot);
+    emit(js::opcode::push_const, cnum(static_cast<double>(index)));
+    emit(js::opcode::call, 1);
+    const std::size_t jf = emit(js::opcode::jump_if_false);
+    if (!body()) return false;
+    patch(jf);
+    return true;
+  }
+
+  bool emit_node(const decision_tree::node& n, std::size_t host_index,
+                 std::size_t path_index) {
+    for (const auto& [p, score] : n.terminals) {
+      if (!packable(score)) return false;
+      out_->terminals_.push_back({p, score});
+      emit_terminal(out_->terminals_.size() - 1, pack_score(score),
+                    static_cast<double>(p->registration_order));
+    }
+
+    // Host / path component levels read the component once into a fresh
+    // temporary (get_index past the end yields undefined, which fails every
+    // string equality — the walk's bounds check, for free).
+    if (!n.host_children.empty()) {
+      const auto tmp = static_cast<std::int32_t>(next_slot_++);
+      emit(js::opcode::load_local, slot_host);
+      emit(js::opcode::push_const, cnum(static_cast<double>(host_index)));
+      emit(js::opcode::get_index);
+      emit(js::opcode::store_local_pop, tmp);
+      for (const auto& [comp, child] : n.host_children) {
+        emit_compare(tmp, cstr(comp), js::binop::seq);
+        const std::size_t jf = emit(js::opcode::jump_if_false);
+        if (!emit_node(*child, host_index + 1, path_index)) return false;
+        patch(jf);
+      }
+    }
+    for (const auto& [port, child] : n.port_children) {
+      emit_compare(slot_port, cnum(static_cast<double>(port)), js::binop::seq);
+      const std::size_t jf = emit(js::opcode::jump_if_false);
+      if (!emit_node(*child, host_index, path_index)) return false;
+      patch(jf);
+    }
+    if (!n.path_children.empty()) {
+      const auto tmp = static_cast<std::int32_t>(next_slot_++);
+      emit(js::opcode::load_local, slot_path);
+      emit(js::opcode::push_const, cnum(static_cast<double>(path_index)));
+      emit(js::opcode::get_index);
+      emit(js::opcode::store_local_pop, tmp);
+      for (const auto& [comp, child] : n.path_children) {
+        emit_compare(tmp, cstr(comp), js::binop::seq);
+        const std::size_t jf = emit(js::opcode::jump_if_false);
+        if (!emit_node(*child, host_index, path_index + 1)) return false;
+        patch(jf);
+      }
+    }
+    for (const auto& cc : n.client_children) {
+      out_->client_specs_.push_back(cc.spec);
+      const bool ok = emit_native_guard(
+          slot_client_ok, out_->client_specs_.size() - 1,
+          [&] { return emit_node(*cc.next, host_index, path_index); });
+      if (!ok) return false;
+    }
+    for (const auto& [m, child] : n.method_children) {
+      emit_compare(slot_method, cnum(static_cast<double>(static_cast<int>(m))),
+                   js::binop::seq);
+      const std::size_t jf = emit(js::opcode::jump_if_false);
+      if (!emit_node(*child, host_index, path_index)) return false;
+      patch(jf);
+    }
+    for (const auto& hc : n.header_children) {
+      out_->header_preds_.push_back(hc.pred);
+      const bool ok = emit_native_guard(
+          slot_header_ok, out_->header_preds_.size() - 1,
+          [&] { return emit_node(*hc.next, host_index, path_index); });
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  compiled_matcher* out_ = nullptr;
+  std::shared_ptr<js::compiled_fn> fn_;
+  std::uint32_t next_slot_ = slot_tmp_base;
+  std::map<double, std::size_t> num_consts_;
+  std::map<std::string, std::size_t> str_consts_;
+};
+
+std::shared_ptr<const compiled_matcher> compiled_matcher::build(const decision_tree& tree) {
+  matcher_compiler mc;
+  return mc.compile(tree);
+}
+
+void compiled_matcher::bind(js::context& ctx) const {
+  bound_ctx_ = &ctx;
+  fn_obj_ = ctx.make_compiled_function(fn_, {});
+  client_ok_ = js::value::object(js::make_native_function(
+      "matchClient",
+      [this](js::interpreter&, const js::value&, std::span<js::value> args) {
+        const auto i = static_cast<std::size_t>(args[0].as_number());
+        return js::value::boolean(
+            current_ != nullptr &&
+            match_client_value(client_specs_[i], current_->client_ip,
+                               current_->client_host)
+                .has_value());
+      }));
+  header_ok_ = js::value::object(js::make_native_function(
+      "matchHeader",
+      [this](js::interpreter&, const js::value&, std::span<js::value> args) {
+        const auto i = static_cast<std::size_t>(args[0].as_number());
+        const header_predicate& pred = header_preds_[i];
+        const auto v = current_->headers.get(pred.name);
+        return js::value::boolean(v.has_value() && pred.pattern->search(*v));
+      }));
+}
+
+match_result compiled_matcher::match(js::context& ctx, const http::request& r) const {
+  if (bound_ctx_ != &ctx) bind(ctx);
+  // The matcher context's counters restart per match so engine-internal fuel
+  // and transient bytes never accumulate (and never touch the sandbox's own
+  // accounting — determinism of the scripted path is untouched).
+  ctx.reset_for_reuse();
+  current_ = &r;
+
+  auto host_arr = js::make_array_object();
+  {
+    auto host_rev = r.url.host_components_reversed();
+    host_arr->elements.reserve(host_rev.size());
+    for (auto& comp : host_rev) {
+      host_arr->elements.push_back(js::value::string(util::to_lower(comp)));
+    }
+  }
+  auto path_arr = js::make_array_object();
+  {
+    auto path = r.url.path_components();
+    path_arr->elements.reserve(path.size());
+    for (auto& comp : path) {
+      path_arr->elements.push_back(js::value::string(std::move(comp)));
+    }
+  }
+
+  std::vector<js::value> args;
+  args.reserve(6);
+  args.push_back(js::value::object(std::move(host_arr)));
+  args.push_back(js::value::number(static_cast<double>(r.url.port())));
+  args.push_back(js::value::object(std::move(path_arr)));
+  args.push_back(js::value::number(static_cast<double>(static_cast<int>(r.method))));
+  args.push_back(client_ok_);
+  args.push_back(header_ok_);
+
+  const js::value ret =
+      js::call_compiled(ctx, fn_obj_, js::value::undefined(), std::move(args), 0);
+  current_ = nullptr;
+
+  const auto idx = static_cast<std::int64_t>(ret.as_number());
+  match_result out;
+  if (idx < 0) return out;
+  const terminal& t = terminals_[static_cast<std::size_t>(idx)];
+  out.matched = t.policy;
+  out.score = t.score;
+  return out;
+}
+
+}  // namespace nakika::core

@@ -1,0 +1,65 @@
+// Compiles a stage's decision tree into a bytecode chunk evaluated by the
+// script VM at match time. The generated function mirrors decision_tree::walk
+// exactly — terminals update a best-(specificity, registration-order) triple,
+// children become guarded comparisons (host/path/port/method inline, client
+// and header predicates through two native callbacks) — so its verdicts agree
+// with the tree walk on every request; the walk stays as the differential
+// oracle. Matching runs in a dedicated BARE js::context (no stdlib, no
+// limits, its own ops/heap counters), so compiled matching never perturbs the
+// script sandbox's resource accounting, fuel, or determinism.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/decision_tree.hpp"
+#include "core/policy.hpp"
+#include "js/bytecode.hpp"
+#include "js/interpreter.hpp"
+
+namespace nakika::core {
+
+class compiled_matcher {
+ public:
+  // Lowers `tree` to bytecode. Returns nullptr when the tree is not
+  // compilable (a specificity component overflows the packed encoding); the
+  // caller then keeps using the tree walk.
+  [[nodiscard]] static std::shared_ptr<const compiled_matcher> build(
+      const decision_tree& tree);
+
+  // Evaluates the compiled predicate chunk against `r` inside `ctx` (a bare
+  // matcher context owned by the calling sandbox; see sandbox::match_stage).
+  // Not thread-safe: one matcher instance belongs to one sandbox, matching
+  // the single-owner discipline of sandboxes themselves.
+  [[nodiscard]] match_result match(js::context& ctx, const http::request& r) const;
+
+  [[nodiscard]] std::size_t instruction_count() const { return fn_->code.size(); }
+  [[nodiscard]] std::size_t terminal_count() const { return terminals_.size(); }
+
+ private:
+  friend class matcher_compiler;
+  compiled_matcher() = default;
+
+  struct terminal {
+    policy_ptr policy;
+    specificity score;
+  };
+
+  void bind(js::context& ctx) const;
+
+  std::vector<terminal> terminals_;        // chunk returns an index into this
+  std::vector<std::string> client_specs_;  // referenced by the clientOk native
+  std::vector<header_predicate> header_preds_;  // referenced by headerOk
+  js::compiled_fn_ptr fn_;
+
+  // Per-context binding, created lazily on first match (sandboxes are
+  // single-owner, so plain mutables are safe).
+  mutable js::context* bound_ctx_ = nullptr;
+  mutable js::object_ptr fn_obj_;
+  mutable js::value client_ok_;
+  mutable js::value header_ok_;
+  mutable const http::request* current_ = nullptr;
+};
+
+}  // namespace nakika::core

@@ -104,7 +104,7 @@ void pipeline_executor::step_forward(const std::shared_ptr<run>& r) {
     ++r->result.stages_executed;
 
     // FIND-CLOSEST-MATCH on the (possibly rewritten) request.
-    const match_result match = stage->tree->match(r->request);
+    const match_result match = r->sb->match_stage(*stage, r->request);
     if (match.found()) {
       r->backward.push_back(match.matched);
       if (match.matched->has_on_request()) {
@@ -187,6 +187,8 @@ void pipeline_executor::finish(const std::shared_ptr<run>& r) {
   r->finished = true;
   r->result.ops = r->sb->ops_used();
   r->result.heap_bytes = r->sb->allocation_churn();
+  r->result.ic_hits = r->sb->ic_hits();
+  r->result.ic_misses = r->sb->ic_misses();
   r->result.bytes_read = r->exec.bytes_read;
   r->result.bytes_written = r->exec.bytes_written;
   r->result.virtual_delay_seconds += r->exec.accumulated_delay;

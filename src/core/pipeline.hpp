@@ -69,6 +69,9 @@ struct pipeline_result {
   double script_compile_seconds = 0.0;
   double script_execute_seconds = 0.0;
   int chunk_cache_hits = 0;            // stage loads served from compiled-chunk cache
+  // Inline-cache effectiveness of this run's script execution (VM engine).
+  std::uint64_t ic_hits = 0;
+  std::uint64_t ic_misses = 0;
   int stages_executed = 0;
   int handlers_run = 0;
   std::vector<std::string> log_lines;

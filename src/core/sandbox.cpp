@@ -32,7 +32,8 @@ const sandbox::loaded_stage* sandbox::find_stage(const std::string& url,
 const sandbox::loaded_stage& sandbox::load_stage(const std::string& url,
                                                  const std::string& source,
                                                  std::uint64_t version,
-                                                 stage_load_stats* stats) {
+                                                 stage_load_stats* stats,
+                                                 bool compile_matcher) {
   if (const loaded_stage* cached = find_stage(url, version)) {
     if (stats != nullptr) stats->from_cache = true;
     return *cached;
@@ -90,9 +91,15 @@ const sandbox::loaded_stage& sandbox::load_stage(const std::string& url,
 
   t0 = std::chrono::steady_clock::now();
   auto tree = std::make_shared<decision_tree>(decision_tree::build(registry.set));
-  const double tree_s = seconds_since(t0);
 
   loaded_stage stage;
+  // The bytecode engine also lowers the tree's predicates to a chunk the VM
+  // evaluates per request (tree walk kept as oracle and fallback).
+  if (compile_matcher && engine_ == js::engine_kind::bytecode) {
+    stage.matcher = compiled_matcher::build(*tree);
+  }
+  const double tree_s = seconds_since(t0);
+
   stage.tree = std::move(tree);
   stage.version = version;
   stage.policy_count = registry.set.policies.size();
@@ -112,7 +119,24 @@ const sandbox::loaded_stage& sandbox::load_stage(const std::string& url,
 
 void sandbox::evict_stage(const std::string& url) { stages_.erase(url); }
 
+match_result sandbox::match_stage(const loaded_stage& stage, const http::request& r) {
+  if (stage.matcher) {
+    if (!matcher_ctx_) {
+      // Unlimited bare context: matching is engine-internal work, not script
+      // work, so it carries no budgets and no stdlib.
+      js::context_limits limits;
+      limits.heap_bytes = 0;
+      limits.ops = 0;
+      matcher_ctx_ = std::make_unique<js::context>(limits, js::context::bare_t{});
+    }
+    return stage.matcher->match(*matcher_ctx_, r);
+  }
+  return stage.tree->match(r);
+}
+
 void sandbox::begin_run() { ctx_->reset_for_reuse(); }
+
+void sandbox::trim_vm_arena() { ctx_->vm_frames().trim(4); }
 
 // ----- sandbox_pool ------------------------------------------------------------
 
@@ -139,6 +163,8 @@ void sandbox_pool::release(const std::string& site, sandbox* sb, bool poisoned) 
   // A kill that raced in after the pipeline deregistered targeted the
   // finished run; rearm so the next pipeline doesn't inherit it.
   owned->clear_kill();
+  // Keep a small warm set of VM frames, drop deep-recursion capacity.
+  owned->trim_vm_arena();
   pools_[site].push_back(std::move(owned));
 }
 

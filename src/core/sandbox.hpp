@@ -16,6 +16,7 @@
 
 #include "cache/script_cache.hpp"
 #include "core/decision_tree.hpp"
+#include "core/match_compiler.hpp"
 #include "core/vocabulary.hpp"
 #include "js/bytecode.hpp"
 #include "js/interpreter.hpp"
@@ -43,6 +44,9 @@ class sandbox {
 
   struct loaded_stage {
     std::shared_ptr<const decision_tree> tree;
+    // Bytecode form of the tree's predicates (bytecode engine only; null when
+    // the tree wasn't compilable or the sandbox runs the tree-walker).
+    std::shared_ptr<const compiled_matcher> matcher;
     std::uint64_t version = 0;
     std::size_t policy_count = 0;
   };
@@ -53,11 +57,21 @@ class sandbox {
 
   // Parses + evaluates `source` in this sandbox (policies register during
   // evaluation), builds the decision tree, and caches it under (url,
-  // version). Throws js::script_error on script failure.
+  // version). Throws js::script_error on script failure. `compile_matcher`
+  // lowers the tree's predicates to bytecode too (bytecode engine only) —
+  // callers that reload a stage per request (the nkp path) pass false, since
+  // a matcher that is never reused can't amortize its build.
   const loaded_stage& load_stage(const std::string& url, const std::string& source,
-                                 std::uint64_t version, stage_load_stats* stats = nullptr);
+                                 std::uint64_t version, stage_load_stats* stats = nullptr,
+                                 bool compile_matcher = true);
 
   void evict_stage(const std::string& url);
+
+  // FIND-CLOSEST-MATCH for one loaded stage: the compiled predicate chunk
+  // when available (evaluated in this sandbox's bare matcher context, so the
+  // script context's accounting is untouched), the tree walk otherwise. Both
+  // agree exactly (predicate-parity suite in tests/policy_test.cpp).
+  [[nodiscard]] match_result match_stage(const loaded_stage& stage, const http::request& r);
 
   // Attaches a (node-owned, shared) compiled-chunk cache; only consulted by
   // the bytecode engine.
@@ -74,6 +88,14 @@ class sandbox {
   [[nodiscard]] std::size_t allocation_churn() const {
     return ctx_->heap_used() + ctx_->transient_used();
   }
+  // Inline-cache effectiveness of the current run (reset by begin_run).
+  [[nodiscard]] std::uint64_t ic_hits() const { return ctx_->ic_hits(); }
+  [[nodiscard]] std::uint64_t ic_misses() const { return ctx_->ic_misses(); }
+
+  // Frees pooled VM frames beyond a small working set; sandbox_pool calls
+  // this when the sandbox returns to the pool so idle sandboxes don't retain
+  // deep-recursion stack capacity.
+  void trim_vm_arena();
 
   // Termination hook for the resource manager (checked at op boundaries,
   // so it also stops native vocabulary loops between charges).
@@ -93,6 +115,10 @@ class sandbox {
 
  private:
   std::unique_ptr<js::context> ctx_;
+  // Bare context for compiled decision-tree matching, created on first use.
+  // Separate from ctx_ so matcher fuel/heap never count against the script's
+  // budgets (or the resource manager's view of the pipeline).
+  std::unique_ptr<js::context> matcher_ctx_;
   exec_binding_ptr binding_;
   policy_sink_ptr sink_;
   js::engine_kind engine_;

@@ -47,24 +47,26 @@ enum class opcode : std::uint8_t {
   store_cell,       // a = cell slot; keeps value
   load_capture,     // a = capture index (from the closure object)
   store_capture,    // a = capture index; keeps value
-  load_global,      // a = name const; missing name is a runtime error
-  load_global_soft, // a = name const; missing name yields undefined
-  store_global,     // a = name const; creates/overwrites, keeps value
+  load_global,      // a = name const, b = ic slot; missing name is a runtime error
+  load_global_soft, // a = name const, b = ic slot; missing name yields undefined
+  store_global,     // a = name const, b = ic slot; creates/overwrites, keeps value
   typeof_global,    // a = name const; typeof with undeclared tolerance
 
   // --- objects and properties ----------------------------------------------
   make_array,       // a = element count (popped)
   make_object,      // a = entry count (pops key/value pairs)
   make_closure,     // a = nested fn index
-  get_prop,         // a = name const; pops base
-  set_prop,         // a = name const; pops base+value, keeps value
+  get_prop,         // a = name const, b = ic slot; pops base
+  set_prop,         // a = name const, b = ic slot; pops base+value, keeps value
   get_index,        // pops base+index
   set_index,        // pops base+index+value, keeps value
-  get_method,       // a = name const; keeps base, pushes callee (method-call error on undefined)
-  get_index_method, // pops index, keeps base, pushes callee via get_property
+  get_method,       // a = name const, b = ic slot; keeps base, pushes callee
+                    // (method-call error on undefined)
+  get_index_method, // a = ic slot; pops index, keeps base, pushes callee
   delete_prop,      // a = name const; pops base, pushes bool
   delete_index,     // pops base+index, pushes bool
-  update_prop,      // a = name const, b = flags (bit0 prefix, bit1 decrement); pops base
+  update_prop,      // a = name const, b = flags (bit0 prefix, bit1 decrement),
+                    // c = ic slot; pops base
   update_index,     // b = flags; pops base+index
   keys,             // pops a value, pushes its for-in key list as an array
   forin_next,       // a = exit target, b = keys slot, c = index slot; pushes
@@ -136,6 +138,18 @@ struct bc_binding {
   std::uint32_t index = 0;
 };
 
+// One monomorphic inline-cache entry. Chunks are immutable and shared across
+// sandboxes (and worker threads), so the mutable cache state lives in a
+// per-context side table (context::ic_slots) indexed by the instruction's ic
+// slot; only the slot COUNT lives in the chunk. An entry is valid while the
+// accessed object's unique id and shape generation both still match — then
+// props[prop_index] is the right property without any name comparison.
+struct ic_entry {
+  std::uint64_t obj_id = 0;  // 0 = empty (object ids start at 1)
+  std::uint32_t shape_gen = 0;
+  std::uint32_t prop_index = 0;
+};
+
 // One compiled function (the top-level script compiles to one of these too).
 struct compiled_fn {
   std::string name;                 // diagnostic name; empty for anonymous
@@ -143,9 +157,14 @@ struct compiled_fn {
   bc_binding this_binding;          // invalid (unused) for top-level chunks
   bc_binding arguments_binding;
   bool is_toplevel = false;
+  // Whether the body ever mentions `arguments`. When false the VM skips
+  // materializing the per-call extras array entirely (the tree-walker always
+  // builds it, but an unreferenced array is unobservable).
+  bool uses_arguments = false;
 
   std::uint32_t num_slots = 0;
   std::uint32_t num_cells = 0;
+  std::uint32_t num_ics = 0;        // inline-cache slots referenced by `code`
 
   std::vector<bc_instr> code;
   std::vector<value> consts;        // numbers and strings only: shareable

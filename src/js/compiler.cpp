@@ -443,6 +443,10 @@ class fn_compiler {
     if (inserted) fn_->consts.push_back(value::string(s));
     return static_cast<std::int32_t>(it->second);
   }
+  // A fresh inline-cache slot. Every global/property access site gets its own
+  // slot (monomorphic per-site caches); the VM's per-context side table is
+  // sized by the resulting num_ics.
+  std::int32_t next_ic() { return static_cast<std::int32_t>(fn_->num_ics++); }
   std::int32_t const_number(double d) {
     auto [it, inserted] = number_consts_.try_emplace(d, fn_->consts.size());
     if (inserted) fn_->consts.push_back(value::number(d));
@@ -631,6 +635,19 @@ class program_compiler {
     for (const auto& s : lit.body) collect_inner_refs_stmt(*s, refs);
     fc.set_inner_refs(std::move(refs));
 
+    // The `arguments` extras array is only materialized when some code could
+    // read it (directly or from a nested closure). Statement-granular early
+    // exit: most bodies never mention the name, and ones that do usually
+    // mention it early.
+    std::set<std::string> all_names;
+    for (const auto& s : lit.body) {
+      collect_names_stmt(*s, all_names);
+      if (all_names.count("arguments") > 0) {
+        nested->uses_arguments = true;
+        break;
+      }
+    }
+
     fn_compiler* saved = current_;
     current_ = &fc;
 
@@ -681,7 +698,7 @@ class program_compiler {
       const std::string& name = decl.function->name;
       if (cur().in_global_scope()) {
         cur().emit(opcode::push_undefined, 0, 0, s->line);
-        cur().emit(opcode::store_global, cur().const_string(name), 0, s->line);
+        cur().emit(opcode::store_global, cur().const_string(name), cur().next_ic(), s->line);
         cur().emit(opcode::pop, 0, 0, s->line);
       } else {
         const bc_binding b = cur().declare_local(name, s->line);
@@ -708,7 +725,7 @@ class program_compiler {
         return;
       case K::global:
         cur().emit(soft ? opcode::load_global_soft : opcode::load_global,
-                   cur().const_string(name), 0, line);
+                   cur().const_string(name), cur().next_ic(), line);
         return;
     }
   }
@@ -726,7 +743,7 @@ class program_compiler {
         cur().emit(opcode::store_capture, static_cast<std::int32_t>(ref.index), 0, line);
         return;
       case K::global:
-        cur().emit(opcode::store_global, cur().const_string(name), 0, line);
+        cur().emit(opcode::store_global, cur().const_string(name), cur().next_ic(), line);
         return;
     }
   }
@@ -836,7 +853,8 @@ class program_compiler {
             cur().emit(opcode::push_undefined, 0, 0, s.line);
           }
           if (cur().in_global_scope()) {
-            cur().emit(opcode::store_global, cur().const_string(name), 0, s.line);
+            cur().emit(opcode::store_global, cur().const_string(name), cur().next_ic(),
+                       s.line);
             cur().emit(opcode::pop, 0, 0, s.line);
           } else {
             emit_store_discard(cur().declare_local(name, s.line), s.line);
@@ -1260,7 +1278,8 @@ class program_compiler {
       case expr_kind::member: {
         const auto& m = static_cast<const member_expr&>(e);
         compile_expr(*m.object);
-        cur().emit(opcode::get_prop, cur().const_string(m.property), 0, e.line);
+        cur().emit(opcode::get_prop, cur().const_string(m.property), cur().next_ic(),
+                   e.line);
         return;
       }
 
@@ -1368,7 +1387,8 @@ class program_compiler {
     if (c.callee->kind == expr_kind::member) {
       const auto& m = static_cast<const member_expr&>(*c.callee);
       compile_expr(*m.object);
-      cur().emit(opcode::get_method, cur().const_string(m.property), 0, c.line);
+      cur().emit(opcode::get_method, cur().const_string(m.property), cur().next_ic(),
+                 c.line);
       for (const auto& a : c.args) compile_expr(*a);
       cur().emit(opcode::call_method, static_cast<std::int32_t>(c.args.size()), 0, c.line);
       return;
@@ -1377,7 +1397,7 @@ class program_compiler {
       const auto& ix = static_cast<const index_expr&>(*c.callee);
       compile_expr(*ix.object);
       compile_expr(*ix.index);
-      cur().emit(opcode::get_index_method, 0, 0, c.line);
+      cur().emit(opcode::get_index_method, cur().next_ic(), 0, c.line);
       for (const auto& a : c.args) compile_expr(*a);
       cur().emit(opcode::call_method, static_cast<std::int32_t>(c.args.size()), 0, c.line);
       return;
@@ -1470,12 +1490,12 @@ class program_compiler {
         const std::uint32_t rhs = cur().hidden_slot();
         cur().emit(opcode::store_local_pop, static_cast<std::int32_t>(rhs), 0, a.line);
         cur().emit(opcode::dup, 0, 0, a.line);
-        cur().emit(opcode::get_prop, name, 0, a.line);
+        cur().emit(opcode::get_prop, name, cur().next_ic(), a.line);
         cur().emit(opcode::load_local, static_cast<std::int32_t>(rhs), 0, a.line);
         cur().emit(opcode::compound, static_cast<std::int32_t>(compound_op(a.op, a.line)), 0,
                    a.line);
       }
-      cur().emit(opcode::set_prop, name, 0, a.line);
+      cur().emit(opcode::set_prop, name, cur().next_ic(), a.line);
       return;
     }
 
@@ -1522,7 +1542,8 @@ class program_compiler {
     if (u.target->kind == expr_kind::member) {
       const auto& m = static_cast<const member_expr&>(*u.target);
       compile_expr(*m.object);
-      cur().emit(opcode::update_prop, cur().const_string(m.property), flags, u.line);
+      cur().emit_c(opcode::update_prop, cur().const_string(m.property), flags,
+                   cur().next_ic(), u.line);
       return;
     }
 

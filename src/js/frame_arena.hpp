@@ -1,0 +1,84 @@
+// Frame arena for the bytecode VM. Each `machine::invoke` used to allocate
+// four fresh std::vectors (value stack, local slots, cells, handler stack);
+// on call-heavy scripts those allocations dominated the per-call cost. The
+// arena keeps one pooled frame record per active call depth: frames are
+// acquired/released strictly LIFO (C++ unwinding guarantees it, including
+// across cross-engine calls and script exceptions), each record retains its
+// vectors' capacity between calls, and released frames are cleared so they
+// hold no value references (heap charges drop exactly when they did before).
+// The value stack is segmented — one retained segment per frame record — so
+// deep frames never reallocate under shallow ones. The arena lives on the
+// js::context and therefore survives sandbox reuse; sandbox_pool trims it
+// back to a few frames when a sandbox returns to the pool.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "js/value.hpp"
+
+namespace nakika::js {
+
+struct vm_handler {
+  std::size_t ip;
+  std::size_t stack_depth;
+};
+
+struct vm_frame {
+  std::vector<value> stack;
+  std::vector<value> slots;
+  std::vector<std::shared_ptr<value>> cells;
+  std::vector<vm_handler> handlers;
+};
+
+class frame_arena {
+ public:
+  // Returns a cleared frame for the next call depth (reusing capacity when
+  // this depth has been reached before). References stay valid while deeper
+  // frames are pushed: records are heap-allocated and never move.
+  [[nodiscard]] vm_frame& push() {
+    if (depth_ == frames_.size()) frames_.push_back(std::make_unique<vm_frame>());
+    return *frames_[depth_++];
+  }
+
+  // Releases the most recent frame (LIFO). Clears values so object references
+  // (and their heap charges) die now, but keeps the vectors' capacity.
+  void pop() {
+    vm_frame& f = *frames_[--depth_];
+    f.stack.clear();
+    f.slots.clear();
+    f.cells.clear();
+    f.handlers.clear();
+  }
+
+  // Frees pooled frames beyond `keep` (called when a sandbox returns to its
+  // pool, so idle sandboxes don't sit on deep-recursion capacity).
+  void trim(std::size_t keep) {
+    if (depth_ == 0 && frames_.size() > keep) frames_.resize(keep);
+  }
+
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] std::size_t pooled() const { return frames_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<vm_frame>> frames_;
+  std::size_t depth_ = 0;
+};
+
+// RAII frame ownership for machine::invoke: releases on every exit path.
+class frame_guard {
+ public:
+  explicit frame_guard(frame_arena& arena) : arena_(arena), frame_(arena.push()) {}
+  ~frame_guard() { arena_.pop(); }
+  frame_guard(const frame_guard&) = delete;
+  frame_guard& operator=(const frame_guard&) = delete;
+
+  [[nodiscard]] vm_frame& frame() { return frame_; }
+
+ private:
+  frame_arena& arena_;
+  vm_frame& frame_;
+};
+
+}  // namespace nakika::js

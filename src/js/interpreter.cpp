@@ -80,6 +80,11 @@ context::context(context_limits limits) : limits_(limits) {
   install_stdlib(*this);
 }
 
+context::context(context_limits limits, bare_t) : limits_(limits) {
+  global_ = make_plain_object();
+  global_env_ = std::make_shared<environment>(nullptr, global_.get());
+}
+
 context::~context() {
   // A function surviving to context teardown is either cached by the host
   // (already being torn down with us) or trapped in a reference cycle an
@@ -210,6 +215,16 @@ void context::add_ops(std::uint64_t n, int line) {
 void context::reset_for_reuse() {
   ops_used_ = 0;
   transient_run_ = 0;
+  ic_hits_ = 0;
+  ic_misses_ = 0;
+  // Bound the IC side tables: drop entries whose pinned chunk has no other
+  // owner (its script was republished / evicted — it can never execute here
+  // again). Only safe between runs: no VM frame or machine memo can hold a
+  // table pointer across reset, and any chunk still reachable from a live
+  // function object or cache keeps use_count > 1.
+  if (ic_tables_.size() > 32) {
+    std::erase_if(ic_tables_, [](const auto& kv) { return kv.second.pin.use_count() == 1; });
+  }
   // Deliberately NOT clearing the kill flag: the resource manager may have
   // set it from another thread after this pipeline registered but before the
   // run reset — erasing that would un-kill a targeted pipeline. The flag is
@@ -423,7 +438,7 @@ interpreter::completion interpreter::exec_stmt(const stmt& s, env_ptr& env) {
         const auto& obj = target.as_object();
         if (obj->kind == object_kind::array) {
           for (std::size_t i = 0; i < obj->elements.size(); ++i) {
-            keys.push_back(std::to_string(i));
+            keys.push_back(small_index_string(i));
           }
         }
         for (const auto& p : obj->props) keys.push_back(p.key);

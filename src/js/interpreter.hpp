@@ -10,11 +10,13 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "js/ast.hpp"
 #include "js/bytecode.hpp"
 #include "js/errors.hpp"
+#include "js/frame_arena.hpp"
 #include "js/value.hpp"
 #include "util/random.hpp"
 
@@ -80,6 +82,11 @@ struct context_limits {
 class context {
  public:
   explicit context(context_limits limits = {});
+  // Bare context: global object + environment only, no standard library. Used
+  // for engine-internal evaluation (compiled decision-tree matchers) where
+  // stdlib installation cost and script-visible state would both be wrong.
+  struct bare_t {};
+  context(context_limits limits, bare_t);
   ~context();
   context(const context&) = delete;
   context& operator=(const context&) = delete;
@@ -123,8 +130,33 @@ class context {
   }
 
   // Resets per-run counters while keeping the (expensive) global state —
-  // the paper's "scripting contexts are reused" optimization.
+  // the paper's "scripting contexts are reused" optimization. Inline caches
+  // and the frame arena deliberately survive: they ARE the reuse win.
   void reset_for_reuse();
+
+  // --- VM hot-path state -------------------------------------------------------
+  // Pooled call frames (see frame_arena.hpp).
+  [[nodiscard]] frame_arena& vm_frames() { return vm_frames_; }
+
+  // Per-chunk inline-cache side table. Chunks are immutable and shared across
+  // contexts/threads, so the mutable cache slots live here, keyed by chunk
+  // identity; the chunk is pinned so its address can never be recycled under
+  // a live table. Returns nullptr when the chunk has no cache sites.
+  [[nodiscard]] ic_entry* ic_slots(const std::shared_ptr<const compiled_fn>& fn) {
+    if (fn->num_ics == 0) return nullptr;
+    ic_block& block = ic_tables_[fn.get()];
+    if (block.slots.empty()) {
+      block.pin = fn;
+      block.slots.resize(fn->num_ics);
+    }
+    return block.slots.data();
+  }
+
+  // Inline-cache effectiveness, reset per run (reset_for_reuse) so hosts can
+  // attribute hits/misses to individual pipeline executions.
+  void note_ic(bool hit) { hit ? ++ic_hits_ : ++ic_misses_; }
+  [[nodiscard]] std::uint64_t ic_hits() const { return ic_hits_; }
+  [[nodiscard]] std::uint64_t ic_misses() const { return ic_misses_; }
 
   // Prototype objects for primitive method dispatch.
   object_ptr object_proto;
@@ -148,9 +180,18 @@ class context {
   // Compacted geometrically: amortized O(1) per function creation.
   void register_function(const object_ptr& fn);
 
+  struct ic_block {
+    std::shared_ptr<const compiled_fn> pin;  // keeps the keyed chunk alive
+    std::vector<ic_entry> slots;
+  };
+
   context_limits limits_;
   object_ptr global_;
   env_ptr global_env_;
+  frame_arena vm_frames_;
+  std::unordered_map<const compiled_fn*, ic_block> ic_tables_;
+  std::uint64_t ic_hits_ = 0;
+  std::uint64_t ic_misses_ = 0;
   std::vector<std::weak_ptr<object>> fn_registry_;
   std::size_t fn_registry_prune_at_ = 64;
   std::shared_ptr<std::size_t> heap_used_ = std::make_shared<std::size_t>(0);

@@ -4,9 +4,11 @@
 // the engines only differ in how they dispatch to it.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "js/errors.hpp"
@@ -14,6 +16,25 @@
 #include "js/value.hpp"
 
 namespace nakika::js {
+
+// Decimal string for an array index. For-in enumeration stringifies every
+// element index; formatting ("0", "1", ...) with std::to_string per element
+// was the hot spot, so small indices come from a precomputed table shared by
+// both engines (the strings are short enough for SSO, so the copy the caller
+// takes never allocates). Thread-safe: magic-static initialization, then
+// read-only.
+[[nodiscard]] inline const std::string& small_index_string(std::size_t i) {
+  constexpr std::size_t table_size = 1024;
+  static const std::array<std::string, table_size> table = [] {
+    std::array<std::string, table_size> t;
+    for (std::size_t n = 0; n < table_size; ++n) t[n] = std::to_string(n);
+    return t;
+  }();
+  if (i < table_size) return table[i];
+  thread_local std::string big;
+  big = std::to_string(i);
+  return big;
+}
 
 enum class binop : std::uint8_t {
   add, sub, mul, div, mod,

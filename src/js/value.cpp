@@ -1,5 +1,6 @@
 #include "js/value.hpp"
 
+#include <atomic>
 #include <cmath>
 
 #include "util/strings.hpp"
@@ -117,6 +118,30 @@ bool value::loose_equals(const value& other) const {
 
 // ----- object ---------------------------------------------------------------
 
+namespace {
+// Process-wide: ids must stay unique across every context so a per-context
+// inline cache can never be fooled by an address (or counter) being reused by
+// a different object. Object construction is the hottest allocation path and
+// worker threads each allocate constantly, so threads draw ids from a
+// thread-local block and touch the shared atomic only once per block — no
+// cross-core cache-line bouncing per object. Relaxed is enough: uniqueness,
+// not ordering.
+constexpr std::uint64_t id_block_size = 1 << 20;
+std::atomic<std::uint64_t> next_id_block{1};
+
+std::uint64_t next_object_id() {
+  thread_local std::uint64_t cursor = 0;
+  thread_local std::uint64_t block_end = 0;
+  if (cursor == block_end) {
+    cursor = next_id_block.fetch_add(id_block_size, std::memory_order_relaxed);
+    block_end = cursor + id_block_size;
+  }
+  return cursor++;
+}
+}  // namespace
+
+object::object(object_kind k) : kind(k), id(next_object_id()) {}
+
 value* object::find_own(std::string_view key) {
   for (auto& p : props) {
     if (p.key == key) return &p.val;
@@ -129,6 +154,13 @@ const value* object::find_own(std::string_view key) const {
     if (p.key == key) return &p.val;
   }
   return nullptr;
+}
+
+int object::own_index(std::string_view key) const {
+  for (std::size_t i = 0; i < props.size(); ++i) {
+    if (props[i].key == key) return static_cast<int>(i);
+  }
+  return -1;
 }
 
 value object::get(std::string_view key) const {
@@ -150,12 +182,14 @@ void object::set(std::string_view key, value v) {
     *existing = std::move(v);
     return;
   }
+  ++shape_gen;  // new own property: indices of everything after it are fresh
   props.push_back({std::string(key), std::move(v)});
 }
 
 bool object::erase(std::string_view key) {
   for (auto it = props.begin(); it != props.end(); ++it) {
     if (it->key == key) {
+      ++shape_gen;  // erasure shifts later property indices
       props.erase(it);
       return true;
     }

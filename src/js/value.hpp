@@ -4,6 +4,7 @@
 // and per-kind payloads.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -140,10 +141,20 @@ struct heap_charge {
 
 class object : public std::enable_shared_from_this<object> {
  public:
-  explicit object(object_kind k) : kind(k) {}
+  explicit object(object_kind k);
 
   object_kind kind;
   object_ptr proto;  // prototype chain; may be null
+
+  // --- inline-cache identity ---
+  // `id` never repeats across the process (so a cache entry can never alias a
+  // recycled address) and `shape_gen` bumps on every structural change (own
+  // property inserted or erased). A VM inline cache that recorded (id,
+  // shape_gen, prop index) may read/write props[index].val directly while
+  // both still match: indices only move when the shape changes. In-place
+  // value writes deliberately do NOT bump the generation.
+  std::uint64_t id = 0;
+  std::uint32_t shape_gen = 0;
 
   // --- property storage (insertion-ordered; scripts' objects are small) ---
   struct property {
@@ -155,6 +166,8 @@ class object : public std::enable_shared_from_this<object> {
   // Finds an own property; nullptr if absent.
   [[nodiscard]] value* find_own(std::string_view key);
   [[nodiscard]] const value* find_own(std::string_view key) const;
+  // Index of an own property, or -1 (for inline-cache fills).
+  [[nodiscard]] int own_index(std::string_view key) const;
   // Walks the prototype chain; returns undefined if absent anywhere.
   [[nodiscard]] value get(std::string_view key) const;
   [[nodiscard]] bool has(std::string_view key) const;

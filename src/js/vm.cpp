@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "js/compiler.hpp"
+#include "js/frame_arena.hpp"
 #include "js/ops.hpp"
 #include "js/parser.hpp"
 
@@ -28,27 +29,59 @@ class depth_guard {
   context& ctx_;
 };
 
+// Object kinds eligible for property inline caching. Arrays and byte arrays
+// are excluded because get/set_property give their "length" (and arrays'
+// numeric keys) special meaning that an own-property index can't represent.
+inline bool ic_cacheable(const object& o) {
+  return o.kind != object_kind::array && o.kind != object_kind::byte_array;
+}
+
+// The single-sourced cache invariant: an entry is valid while the object's
+// unique id and shape generation both still match (then prop_index addresses
+// the same own property), and is (re)filled only from an own-property index.
+inline bool ic_hit(const ic_entry& ic, const object& o) {
+  return ic.obj_id == o.id && ic.shape_gen == o.shape_gen;
+}
+inline void ic_fill(ic_entry& ic, const object& o, int own_index) {
+  if (own_index >= 0) {
+    ic = ic_entry{o.id, o.shape_gen, static_cast<std::uint32_t>(own_index)};
+  }
+}
+// Probe-with-accounting: the cached property slot on a hit, nullptr on a
+// miss (callers then take the shared slow path and ic_fill afterwards).
+inline value* ic_probe(context& ctx, ic_entry& ic, object& o) {
+  if (ic_hit(ic, o)) {
+    ctx.note_ic(true);
+    return &o.props[ic.prop_index].val;
+  }
+  ctx.note_ic(false);
+  return nullptr;
+}
+
 class machine {
  public:
   explicit machine(context& ctx) : ctx_(ctx), host_(ctx) {}
 
-  value invoke(const compiled_fn& fn, const std::vector<std::shared_ptr<value>>* captures,
-               const value& this_value, std::vector<value>&& args, int line);
+  // `args` refers to caller-owned storage (usually the caller frame's stack
+  // segment); invoke moves the values out but never grows or frees it.
+  value invoke(const compiled_fn_ptr& fn, const std::vector<std::shared_ptr<value>>* captures,
+               const value& this_value, std::span<value> args, int line);
 
  private:
-  struct handler {
-    std::size_t ip;
-    std::size_t stack_depth;
-  };
-
-  value do_call(value callee, const value& this_v, std::vector<value>&& args, int line);
-  value do_new(value callee, std::vector<value>&& args, int line);
+  value do_call(value callee, const value& this_v, std::span<value> args, int line);
+  value do_new(value callee, std::span<value> args, int line);
   [[nodiscard]] value index_get(const value& base, const value& idx, int line);
   void index_set(const value& base, const value& idx, const value& v, int line);
   [[nodiscard]] value forin_keys(const value& target);
 
   context& ctx_;
   interpreter host_;  // shared property/runtime helpers + native-call bridge
+  // Single-entry memo for the per-chunk IC-table lookup: recursion and tight
+  // call loops re-enter the same chunk, so this skips the context's hash map
+  // on almost every call. Safe to cache raw pointers — the context pins the
+  // chunk and never moves a table once created.
+  const compiled_fn* memo_fn_ = nullptr;
+  ic_entry* memo_ics_ = nullptr;
 };
 
 value machine::index_get(const value& base, const value& idx, int line) {
@@ -114,8 +147,9 @@ value machine::forin_keys(const value& target) {
   if (target.is_object()) {
     const auto& obj = target.as_object();
     if (obj->kind == object_kind::array) {
+      arr->elements.reserve(obj->elements.size() + obj->props.size());
       for (std::size_t i = 0; i < obj->elements.size(); ++i) {
-        arr->elements.push_back(value::string(std::to_string(i)));
+        arr->elements.push_back(value::string(small_index_string(i)));
       }
     }
     for (const auto& p : obj->props) arr->elements.push_back(value::string(p.key));
@@ -123,26 +157,28 @@ value machine::forin_keys(const value& target) {
   return value::object(std::move(arr));
 }
 
-value machine::do_call(value callee, const value& this_v, std::vector<value>&& args,
-                       int line) {
+value machine::do_call(value callee, const value& this_v, std::span<value> args, int line) {
   if (!callee.is_object() || !callee.as_object()->callable()) {
     host_.runtime_fail("attempted to call a non-function", line);
   }
   const object_ptr& fn = callee.as_object();
   if (fn->kind == object_kind::native_function) {
     depth_guard guard(ctx_, line);
-    return fn->native(host_, this_v, std::span<value>(args));
+    return fn->native(host_, this_v, args);
   }
   if (fn->code) {
     depth_guard guard(ctx_, line);
-    return invoke(*fn->code, &fn->captures, this_v, std::move(args), line);
+    return invoke(fn->code, &fn->captures, this_v, args, line);
   }
   // AST-compiled function (created by the tree-walker in this context):
   // delegate; call_raw guards depth and propagates thrown_value.
-  return host_.call_raw(fn, this_v, std::move(args), line);
+  return host_.call_raw(fn, this_v,
+                        std::vector<value>(std::make_move_iterator(args.begin()),
+                                           std::make_move_iterator(args.end())),
+                        line);
 }
 
-value machine::do_new(value callee, std::vector<value>&& args, int line) {
+value machine::do_new(value callee, std::span<value> args, int line) {
   if (!callee.is_object() || !callee.as_object()->callable()) {
     host_.runtime_fail("'new' applied to a non-function", line);
   }
@@ -150,20 +186,39 @@ value machine::do_new(value callee, std::vector<value>&& args, int line) {
   object_ptr instance = ctx_.make_object();
   const value proto = ctor->get("prototype");
   if (proto.is_object()) instance->proto = proto.as_object();
-  const value result = do_call(std::move(callee), value::object(instance), std::move(args), line);
+  const value result = do_call(std::move(callee), value::object(instance), args, line);
   return result.is_object() ? result : value::object(instance);
 }
 
-value machine::invoke(const compiled_fn& fn,
+value machine::invoke(const compiled_fn_ptr& fnp,
                       const std::vector<std::shared_ptr<value>>* captures,
-                      const value& this_value, std::vector<value>&& args,
+                      const value& this_value, std::span<value> args,
                       [[maybe_unused]] int line) {
-  std::vector<value> stack;
-  std::vector<value> slots(fn.num_slots);
-  std::vector<std::shared_ptr<value>> cells(fn.num_cells);
-  std::vector<handler> handlers;
+  const compiled_fn& fn = *fnp;
+
+  // The whole frame — segmented value stack, local slots, cells, handler
+  // stack — comes from the context's arena: zero heap allocations per call
+  // once this call depth has been warmed up.
+  frame_guard fg(ctx_.vm_frames());
+  vm_frame& frame = fg.frame();
+  std::vector<value>& stack = frame.stack;
+  std::vector<value>& slots = frame.slots;
+  std::vector<std::shared_ptr<value>>& cells = frame.cells;
+  std::vector<vm_handler>& handlers = frame.handlers;
+  slots.resize(fn.num_slots);
+  cells.resize(fn.num_cells);
+  if (stack.capacity() < 16) stack.reserve(16);
   std::size_t ip = 0;
-  stack.reserve(16);
+
+  // Per-site inline caches for this chunk, owned by the context (the chunk is
+  // immutable and may be shared across sandboxes/threads).
+  if (fnp.get() != memo_fn_) {
+    memo_ics_ = ctx_.ic_slots(fnp);
+    memo_fn_ = fnp.get();
+  }
+  ic_entry* const ics = memo_ics_;
+  // The global object's identity is fixed for the context's lifetime.
+  object* const global_obj = ctx_.global().get();
 
   const auto bind = [&](const bc_binding& b, value v) {
     if (b.is_cell) {
@@ -179,12 +234,15 @@ value machine::invoke(const compiled_fn& fn,
       bind(fn.params[i], i < args.size() ? std::move(args[i]) : value::undefined());
     }
     // `arguments` holds the extras beyond the named parameters, exactly like
-    // the tree-walker (including its heap charge).
-    auto args_array = ctx_.make_array();
-    for (std::size_t i = fn.params.size(); i < args.size(); ++i) {
-      args_array->elements.push_back(std::move(args[i]));
+    // the tree-walker (including its heap charge) — but only when the body
+    // can observe it; an unread extras array is dead weight on every call.
+    if (fn.uses_arguments) {
+      auto args_array = ctx_.make_array();
+      for (std::size_t i = fn.params.size(); i < args.size(); ++i) {
+        args_array->elements.push_back(std::move(args[i]));
+      }
+      bind(fn.arguments_binding, value::object(std::move(args_array)));
     }
-    bind(fn.arguments_binding, value::object(std::move(args_array)));
   }
 
   // Fuel accumulates per opcode and is flushed into the context (which
@@ -282,26 +340,53 @@ value machine::invoke(const compiled_fn& fn,
             break;
 
           case opcode::load_global: {
+            object* const g = global_obj;
+            ic_entry& ic = ics[static_cast<std::size_t>(ins.b)];
+            if (const value* v = ic_probe(ctx_, ic, *g)) {
+              stack.push_back(*v);
+              break;
+            }
             const std::string& name =
                 fn.consts[static_cast<std::size_t>(ins.a)].as_string();
-            if (const value* v = ctx_.global()->find_own(name)) {
-              stack.push_back(*v);
-            } else {
+            const int idx = g->own_index(name);
+            if (idx < 0) {
               host_.runtime_fail("'" + name + "' is not defined", ins.line);
             }
+            ic_fill(ic, *g, idx);
+            stack.push_back(g->props[static_cast<std::size_t>(idx)].val);
             break;
           }
           case opcode::load_global_soft: {
+            object* const g = global_obj;
+            ic_entry& ic = ics[static_cast<std::size_t>(ins.b)];
+            if (const value* v = ic_probe(ctx_, ic, *g)) {
+              stack.push_back(*v);
+              break;
+            }
             const std::string& name =
                 fn.consts[static_cast<std::size_t>(ins.a)].as_string();
-            const value* v = ctx_.global()->find_own(name);
-            stack.push_back(v != nullptr ? *v : value::undefined());
+            const int idx = g->own_index(name);
+            if (idx < 0) {
+              stack.push_back(value::undefined());
+              break;
+            }
+            ic_fill(ic, *g, idx);
+            stack.push_back(g->props[static_cast<std::size_t>(idx)].val);
             break;
           }
-          case opcode::store_global:
-            ctx_.global()->set(fn.consts[static_cast<std::size_t>(ins.a)].as_string(),
-                               stack.back());
+          case opcode::store_global: {
+            object* const g = global_obj;
+            ic_entry& ic = ics[static_cast<std::size_t>(ins.b)];
+            if (value* v = ic_probe(ctx_, ic, *g)) {
+              *v = stack.back();
+              break;
+            }
+            const std::string& name =
+                fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+            g->set(name, stack.back());
+            ic_fill(ic, *g, g->own_index(name));
             break;
+          }
           case opcode::typeof_global: {
             const value* v = ctx_.global()->find_own(
                 fn.consts[static_cast<std::size_t>(ins.a)].as_string());
@@ -350,6 +435,22 @@ value machine::invoke(const compiled_fn& fn,
 
           case opcode::get_prop: {
             const value base = pop();
+            if (base.is_object() && ic_cacheable(*base.as_object())) {
+              object* o = base.as_object().get();
+              ic_entry& ic = ics[static_cast<std::size_t>(ins.b)];
+              if (const value* cached = ic_probe(ctx_, ic, *o)) {
+                stack.push_back(*cached);
+                break;
+              }
+              const std::string& name =
+                  fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+              value v = host_.get_property(base, name, ins.line);
+              // Only own-property hits are cacheable: a prototype-chain read
+              // has no stable (object, index) to come back to.
+              ic_fill(ic, *o, o->own_index(name));
+              stack.push_back(std::move(v));
+              break;
+            }
             stack.push_back(host_.get_property(
                 base, fn.consts[static_cast<std::size_t>(ins.a)].as_string(), ins.line));
             break;
@@ -357,6 +458,23 @@ value machine::invoke(const compiled_fn& fn,
           case opcode::set_prop: {
             value v = pop();
             const value base = pop();
+            if (base.is_object() && ic_cacheable(*base.as_object())) {
+              object* o = base.as_object().get();
+              ic_entry& ic = ics[static_cast<std::size_t>(ins.b)];
+              const std::string& name =
+                  fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+              if (value* cached = ic_probe(ctx_, ic, *o)) {
+                // Same charge the uncached path applies for every set.
+                ctx_.charge_object(*o, 32 + name.size());
+                *cached = v;
+                stack.push_back(std::move(v));
+                break;
+              }
+              host_.set_property(base, name, v, ins.line);
+              ic_fill(ic, *o, o->own_index(name));
+              stack.push_back(std::move(v));
+              break;
+            }
             host_.set_property(base, fn.consts[static_cast<std::size_t>(ins.a)].as_string(),
                                v, ins.line);
             stack.push_back(std::move(v));
@@ -378,11 +496,27 @@ value machine::invoke(const compiled_fn& fn,
           }
           case opcode::get_method: {
             const value& base = stack.back();
-            const std::string& name =
-                fn.consts[static_cast<std::size_t>(ins.a)].as_string();
-            value callee = host_.get_property(base, name, ins.line);
+            const std::string* name = nullptr;
+            value callee;
+            if (base.is_object() && ic_cacheable(*base.as_object())) {
+              object* o = base.as_object().get();
+              ic_entry& ic = ics[static_cast<std::size_t>(ins.b)];
+              if (const value* cached = ic_probe(ctx_, ic, *o)) {
+                callee = *cached;
+              } else {
+                name = &fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+                callee = host_.get_property(base, *name, ins.line);
+                ic_fill(ic, *o, o->own_index(*name));
+              }
+            } else {
+              name = &fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+              callee = host_.get_property(base, *name, ins.line);
+            }
             if (callee.is_undefined()) {
-              host_.runtime_fail("method '" + name + "' is not defined on " +
+              if (name == nullptr) {
+                name = &fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+              }
+              host_.runtime_fail("method '" + *name + "' is not defined on " +
                                      std::string(base.type_name()),
                                  ins.line);
             }
@@ -392,6 +526,23 @@ value machine::invoke(const compiled_fn& fn,
           case opcode::get_index_method: {
             const value idx = pop();
             const value& base = stack.back();
+            if (base.is_object() && idx.is_string() && ic_cacheable(*base.as_object())) {
+              object* o = base.as_object().get();
+              const std::string& key = idx.as_string();
+              ic_entry& ic = ics[static_cast<std::size_t>(ins.a)];
+              // Dynamic key: the cached index is only right if the key at
+              // that index still equals this access's key.
+              if (ic_hit(ic, *o) && o->props[ic.prop_index].key == key) {
+                ctx_.note_ic(true);
+                stack.push_back(o->props[ic.prop_index].val);
+                break;
+              }
+              ctx_.note_ic(false);
+              value v = host_.get_property(base, key, ins.line);
+              ic_fill(ic, *o, o->own_index(key));
+              stack.push_back(std::move(v));
+              break;
+            }
             stack.push_back(host_.get_property(base, idx.to_string(), ins.line));
             break;
           }
@@ -415,8 +566,23 @@ value machine::invoke(const compiled_fn& fn,
             const std::string& name =
                 fn.consts[static_cast<std::size_t>(ins.a)].as_string();
             const double delta = (ins.b & 2) != 0 ? -1.0 : 1.0;
-            const double old_value = host_.get_property(base, name, ins.line).to_number();
-            host_.set_property(base, name, value::number(old_value + delta), ins.line);
+            double old_value = 0.0;
+            if (base.is_object() && ic_cacheable(*base.as_object())) {
+              object* o = base.as_object().get();
+              ic_entry& ic = ics[static_cast<std::size_t>(ins.c)];
+              if (value* cached = ic_probe(ctx_, ic, *o)) {
+                old_value = cached->to_number();
+                ctx_.charge_object(*o, 32 + name.size());
+                *cached = value::number(old_value + delta);
+              } else {
+                old_value = host_.get_property(base, name, ins.line).to_number();
+                host_.set_property(base, name, value::number(old_value + delta), ins.line);
+                ic_fill(ic, *o, o->own_index(name));
+              }
+            } else {
+              old_value = host_.get_property(base, name, ins.line).to_number();
+              host_.set_property(base, name, value::number(old_value + delta), ins.line);
+            }
             stack.push_back(
                 value::number((ins.b & 1) != 0 ? old_value + delta : old_value));
             break;
@@ -570,26 +736,26 @@ value machine::invoke(const compiled_fn& fn,
           case opcode::call_method:
           case opcode::call_new: {
             const auto argc = static_cast<std::size_t>(ins.a);
-            std::vector<value> cargs;
-            cargs.reserve(argc);
             const std::size_t args_base = stack.size() - argc;
-            for (std::size_t i = 0; i < argc; ++i) {
-              cargs.push_back(std::move(stack[args_base + i]));
-            }
-            value callee = std::move(stack[args_base - 1]);
+            // The callee consumes its arguments directly from this frame's
+            // stack segment (it moves the values out); no per-call argument
+            // vector exists anymore. The segment stays valid for the whole
+            // call because the callee runs on its own arena frame.
+            const std::span<value> cargs(stack.data() + args_base, argc);
             value result;
             flush_fuel(ins.line);
             if (ins.op == opcode::call) {
+              value callee = std::move(stack[args_base - 1]);
+              result = do_call(std::move(callee), value::undefined(), cargs, ins.line);
               stack.resize(args_base - 1);
-              result = do_call(std::move(callee), value::undefined(), std::move(cargs),
-                               ins.line);
             } else if (ins.op == opcode::call_method) {
-              value this_v = std::move(stack[args_base - 2]);
+              value callee = std::move(stack[args_base - 1]);
+              result = do_call(std::move(callee), stack[args_base - 2], cargs, ins.line);
               stack.resize(args_base - 2);
-              result = do_call(std::move(callee), this_v, std::move(cargs), ins.line);
             } else {
+              value callee = std::move(stack[args_base - 1]);
+              result = do_new(std::move(callee), cargs, ins.line);
               stack.resize(args_base - 1);
-              result = do_new(std::move(callee), std::move(cargs), ins.line);
             }
             stack.push_back(std::move(result));
             break;
@@ -604,7 +770,7 @@ value machine::invoke(const compiled_fn& fn,
             return value::undefined();
 
           case opcode::push_handler:
-            handlers.push_back(handler{static_cast<std::size_t>(ins.a), stack.size()});
+            handlers.push_back(vm_handler{static_cast<std::size_t>(ins.a), stack.size()});
             break;
           case opcode::pop_handler:
             handlers.pop_back();
@@ -624,7 +790,7 @@ value machine::invoke(const compiled_fn& fn,
       }
     } catch (thrown_value& t) {
       if (handlers.empty()) throw;
-      const handler h = handlers.back();
+      const vm_handler h = handlers.back();
       handlers.pop_back();
       stack.resize(h.stack_depth);
       stack.push_back(std::move(t.v));
@@ -638,7 +804,7 @@ value machine::invoke(const compiled_fn& fn,
 void run_program(context& ctx, const compiled_program_ptr& prog) {
   machine m(ctx);
   try {
-    (void)m.invoke(*prog->top, nullptr, value::undefined(), {}, 0);
+    (void)m.invoke(prog->top, nullptr, value::undefined(), {}, 0);
   } catch (const thrown_value& t) {
     throw script_error(script_error_kind::thrown,
                        prog->name + ": uncaught exception: " + t.v.to_string());
@@ -648,7 +814,7 @@ void run_program(context& ctx, const compiled_program_ptr& prog) {
 value call_compiled(context& ctx, const object_ptr& fn, const value& this_value,
                     std::vector<value> args, int line) {
   machine m(ctx);
-  return m.invoke(*fn->code, &fn->captures, this_value, std::move(args), line);
+  return m.invoke(fn->code, &fn->captures, this_value, std::span<value>(args), line);
 }
 
 void eval_script_bytecode(context& ctx, std::string_view source, std::string_view name) {

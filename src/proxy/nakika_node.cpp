@@ -92,7 +92,20 @@ std::vector<std::string> nakika_node::site_log(const std::string& site) const {
 
 nakika_node::script_time_stats nakika_node::script_times() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  return script_times_;
+  script_time_stats out = script_times_;
+  // Chunk-cache probes are counted by the (node-wide, thread-safe) cache
+  // itself; snapshot BOTH sides from it so hits and misses describe the same
+  // probe population (pipeline stage loads + nkp renders alike) and
+  // hits/(hits+misses) is a real hit rate.
+  out.chunk_cache_hits = chunk_cache_.hits();
+  out.chunk_cache_misses = chunk_cache_.misses();
+  return out;
+}
+
+nakika_node::site_cache_stats nakika_node::site_cache(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  const auto it = site_cache_.find(site);
+  return it == site_cache_.end() ? site_cache_stats{} : it->second;
 }
 
 std::size_t nakika_node::sandboxes_created() const {
@@ -266,10 +279,13 @@ http::response nakika_node::maybe_render_nkp(const std::string& site, const http
   http::response rendered = std::move(resp);
   try {
     sb->begin_run();
+    // The version bump forces a reload per render, so a compiled matcher
+    // could never be reused — keep the tree walk for this one-shot stage.
     const core::sandbox::loaded_stage& stage = sb->load_stage(
         r.url.str() + "#nkp", script,
-        next_script_version_.fetch_add(1, std::memory_order_relaxed));
-    const core::match_result match = stage.tree->match(r);
+        next_script_version_.fetch_add(1, std::memory_order_relaxed),
+        /*stats=*/nullptr, /*compile_matcher=*/false);
+    const core::match_result match = sb->match_stage(stage, r);
     if (match.found() && match.matched->has_on_response()) {
       core::exec_state exec;
       exec.site = site;
@@ -502,8 +518,14 @@ void nakika_node::account_pipeline(const std::string& site,
     std::lock_guard<std::mutex> lock(stats_mu_);
     script_times_.compile_seconds += result.script_compile_seconds;
     script_times_.execute_seconds += result.script_execute_seconds;
-    script_times_.chunk_cache_hits += static_cast<std::uint64_t>(result.chunk_cache_hits);
+    script_times_.ic_hits += result.ic_hits;
+    script_times_.ic_misses += result.ic_misses;
     script_times_.stages_executed += static_cast<std::uint64_t>(result.stages_executed);
+    if (result.ic_hits != 0 || result.ic_misses != 0) {
+      site_cache_stats& sc = site_cache_[site];
+      sc.ic_hits += result.ic_hits;
+      sc.ic_misses += result.ic_misses;
+    }
     if (!result.log_lines.empty()) {
       auto& log = site_logs_[site];
       log.insert(log.end(), result.log_lines.begin(), result.log_lines.end());

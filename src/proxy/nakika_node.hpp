@@ -143,14 +143,29 @@ class nakika_node : public http_endpoint {
 
   // Cumulative script-time split across all pipelines: how much real time
   // went into making code runnable (parse + bytecode compile + decision-tree
-  // build) vs running it (stage evaluation + handlers).
+  // build) vs running it (stage evaluation + handlers), plus cache
+  // effectiveness: compiled-chunk cache probes (node-wide, shared across
+  // sandbox pools) and VM inline-cache hits/misses (summed over pipelines).
   struct script_time_stats {
     double compile_seconds = 0.0;
     double execute_seconds = 0.0;
+    // Snapshotted together from the node-wide chunk cache, so the pair
+    // describes one probe population and yields a real hit rate.
     std::uint64_t chunk_cache_hits = 0;
+    std::uint64_t chunk_cache_misses = 0;
+    std::uint64_t ic_hits = 0;
+    std::uint64_t ic_misses = 0;
     std::uint64_t stages_executed = 0;
   };
   [[nodiscard]] script_time_stats script_times() const;
+  // Per-site inline-cache effectiveness (the per-site twin of the aggregate
+  // ic_hits/ic_misses above), so a misbehaving or cache-hostile site's
+  // scripts are observable in isolation.
+  struct site_cache_stats {
+    std::uint64_t ic_hits = 0;
+    std::uint64_t ic_misses = 0;
+  };
+  [[nodiscard]] site_cache_stats site_cache(const std::string& site) const;
   [[nodiscard]] core::chunk_cache& chunks() { return chunk_cache_; }
 
  private:
@@ -228,6 +243,7 @@ class nakika_node : public http_endpoint {
   // Guarded by stats_mu_: low-rate merge targets written by every worker.
   mutable std::mutex stats_mu_;
   std::map<std::string, std::vector<std::string>> site_logs_;
+  std::map<std::string, site_cache_stats> site_cache_;
   // Slot 0 = sim/caller thread, slot w+1 = worker w.
   util::sharded_run_counters counters_;
   util::rng rng_;

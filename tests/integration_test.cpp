@@ -69,6 +69,43 @@ TEST_F(integration_fixture, ServerWallBlocksOutboundTargets) {
   EXPECT_EQ(blocked.status, 403);  // the wall saw the rewritten request
 }
 
+// --- cache observability: IC + chunk-cache counters surface per node/site ---------
+
+TEST_F(integration_fixture, CacheCountersObservableThroughNodeStats) {
+  dep->map_host("stats-site.example", *origin);
+  origin->add_static_text("stats-site.example", "/page", "text/plain", "body");
+  origin->add_static_text("stats-site.example", "/nakika.js", "application/javascript", R"JS(
+    var state = {seen: 0};
+    var p = new Policy();
+    p.url = [ "stats-site.example" ];
+    p.onRequest = function() {
+      for (var i = 0; i < 200; i++) state.seen = state.seen + 1;
+    };
+    p.register();
+  )JS");
+  proxy::nakika_node& node = dep->create_node(topo.proxy);
+
+  for (int i = 0; i < 3; ++i) {
+    const http::response r = fetch(node, "http://stats-site.example/page");
+    ASSERT_EQ(r.status, 200);
+  }
+
+  const auto times = node.script_times();
+  EXPECT_GT(times.stages_executed, 0u);
+  // The handler's global/property loop runs through warm inline caches...
+  EXPECT_GT(times.ic_hits, 200u);
+  EXPECT_GT(times.ic_misses, 0u);  // ...after first-touch misses
+  // ...and the same numbers are attributable to the site (keyed the way the
+  // node keys all per-site state: url::site(), scheme://host).
+  const auto site = node.site_cache("http://stats-site.example");
+  EXPECT_EQ(site.ic_hits, times.ic_hits);
+  EXPECT_EQ(site.ic_misses, times.ic_misses);
+  EXPECT_EQ(node.site_cache("http://other.example").ic_hits, 0u);
+  // Chunk-cache probes: first load misses, per-sandbox stage cache absorbs
+  // repeats, so misses are non-zero and tracked next to hits.
+  EXPECT_GT(times.chunk_cache_misses, 0u);
+}
+
 // --- content integrity through the pipeline ----------------------------------------
 
 TEST_F(integration_fixture, SignedContentSurvivesPassThrough) {

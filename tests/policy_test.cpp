@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/decision_tree.hpp"
+#include "core/match_compiler.hpp"
 #include "core/policy.hpp"
 #include "util/random.hpp"
 
@@ -278,6 +281,160 @@ TEST_P(TreeEquivalence, RandomizedAgreement) {
   }
 }
 INSTANTIATE_TEST_SUITE_P(Seeds, TreeEquivalence, ::testing::Range(0, 20));
+
+// ----- compiled matcher (decision tree lowered to bytecode) ---------------------
+//
+// The VM-evaluated predicate chunk must agree with the tree walk — which in
+// turn agrees with match_linear — on the chosen policy AND its specificity.
+
+class matcher_fixture {
+ public:
+  matcher_fixture() {
+    js::context_limits limits;
+    limits.heap_bytes = 0;
+    limits.ops = 0;
+    ctx_ = std::make_unique<js::context>(limits, js::context::bare_t{});
+  }
+
+  void check_parity(const policy_set& set, const http::request& r,
+                    const std::string& label) {
+    const decision_tree tree = decision_tree::build(set);
+    const auto matcher = compiled_matcher::build(tree);
+    ASSERT_NE(matcher, nullptr) << label;
+    const match_result walked = tree.match(r);
+    const match_result compiled = matcher->match(*ctx_, r);
+    ASSERT_EQ(walked.found(), compiled.found()) << label << " url=" << r.url.str();
+    if (walked.found()) {
+      EXPECT_EQ(walked.matched->registration_order, compiled.matched->registration_order)
+          << label << " url=" << r.url.str();
+      EXPECT_EQ(walked.score, compiled.score) << label << " url=" << r.url.str();
+    }
+  }
+
+ private:
+  std::unique_ptr<js::context> ctx_;
+};
+
+TEST(CompiledMatcher, CuratedParity) {
+  matcher_fixture fx;
+  policy_set set;
+  set.policies.push_back(make_policy({"med.nyu.edu", "medschool.pitt.edu"},
+                                     {"nyu.edu", "pitt.edu"}, {}, {}, 0));
+  set.policies.push_back(make_policy({"med.nyu.edu/simms"}, {}, {}, {}, 1));
+  set.policies.push_back(
+      make_policy({}, {}, {}, {{"User-Agent", "Nokia|SonyEricsson"}}, 2));
+  set.policies.push_back(make_policy({}, {"192.168.0.0/16"}, {http::method::post}, {}, 3));
+  set.policies.push_back(make_policy({}, {}, {}, {}, 4));  // catch-all at the root
+
+  std::vector<http::request> requests;
+  requests.push_back(make_request("http://med.nyu.edu/simms/1", "1.1.1.1", "cs.nyu.edu"));
+  requests.push_back(make_request("http://www.med.nyu.edu/", "1.1.1.1", "cs.pitt.edu"));
+  requests.push_back(
+      make_request("http://other.org/", "192.168.3.4", "", http::method::post));
+  requests.push_back(make_request("http://other.org/", "10.0.0.1"));
+  requests.push_back(make_request("http://MED.NYU.EDU/simms", "1.1.1.1", "x.nyu.edu"));
+  http::request nokia = make_request("http://any.org/pic.png");
+  nokia.headers.set("User-Agent", "Nokia6600");
+  requests.push_back(nokia);
+
+  for (const auto& r : requests) fx.check_parity(set, r, "curated");
+}
+
+TEST(CompiledMatcher, TieBreaksAndEmptySets) {
+  matcher_fixture fx;
+  {
+    policy_set ties;
+    ties.policies.push_back(make_policy({"a.org"}, {}, {}, {}, 0));
+    ties.policies.push_back(make_policy({"a.org"}, {}, {}, {}, 1));
+    fx.check_parity(ties, make_request("http://a.org/"), "tie");
+  }
+  {
+    policy_set empty;
+    fx.check_parity(empty, make_request("http://a.org/"), "empty");
+  }
+}
+
+TEST(CompiledMatcher, ReusableAcrossRequestsAndStages) {
+  // One matcher instance, many requests (the per-sandbox usage pattern), and
+  // a second matcher bound to the same context (multiple loaded stages).
+  js::context_limits limits;
+  limits.heap_bytes = 0;
+  limits.ops = 0;
+  js::context ctx(limits, js::context::bare_t{});
+
+  policy_set a;
+  a.policies.push_back(make_policy({"a.org/x"}, {}, {}, {}, 0));
+  a.policies.push_back(make_policy({"a.org"}, {}, {}, {}, 1));
+  const decision_tree tree_a = decision_tree::build(a);
+  const auto matcher_a = compiled_matcher::build(tree_a);
+  ASSERT_NE(matcher_a, nullptr);
+
+  policy_set b;
+  b.policies.push_back(make_policy({}, {"10.0.0.0/8"}, {}, {}, 0));
+  const decision_tree tree_b = decision_tree::build(b);
+  const auto matcher_b = compiled_matcher::build(tree_b);
+  ASSERT_NE(matcher_b, nullptr);
+
+  for (int i = 0; i < 200; ++i) {
+    const http::request r1 =
+        make_request(i % 2 == 0 ? "http://a.org/x/deep" : "http://a.org/other");
+    const match_result w1 = tree_a.match(r1);
+    const match_result c1 = matcher_a->match(ctx, r1);
+    ASSERT_EQ(w1.matched->registration_order, c1.matched->registration_order) << i;
+
+    const http::request r2 = make_request("http://b.net/", i % 3 == 0 ? "10.1.1.1" : "9.9.9.9");
+    const match_result w2 = tree_b.match(r2);
+    const match_result c2 = matcher_b->match(ctx, r2);
+    ASSERT_EQ(w2.found(), c2.found()) << i;
+  }
+}
+
+// Property test: compiled matcher vs tree walk on the randomized generator
+// the tree-vs-linear suite uses.
+class MatcherEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherEquivalence, RandomizedAgreement) {
+  util::rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  matcher_fixture fx;
+
+  const std::vector<std::string> hosts = {"a.org", "www.a.org", "b.a.org", "x.net",
+                                          "deep.x.net"};
+  const std::vector<std::string> paths = {"", "/p", "/p/q", "/r"};
+  const std::vector<std::string> clients = {"10.0.0.0/8", "192.168.1.0/24", "1.2.3.4",
+                                            "nyu.edu", "cs.nyu.edu"};
+  const std::vector<http::method> methods = {http::method::get, http::method::post,
+                                             http::method::head};
+
+  policy_set set;
+  const std::size_t policy_count = 1 + rng.next(12);
+  for (std::size_t i = 0; i < policy_count; ++i) {
+    std::vector<std::string> urls;
+    const std::size_t url_count = rng.next(3);
+    for (std::size_t u = 0; u < url_count; ++u) {
+      urls.push_back(hosts[rng.next(hosts.size())] + paths[rng.next(paths.size())]);
+    }
+    std::vector<std::string> client_specs;
+    const std::size_t client_count = rng.next(3);
+    for (std::size_t c = 0; c < client_count; ++c) {
+      client_specs.push_back(clients[rng.next(clients.size())]);
+    }
+    std::vector<http::method> method_list;
+    if (rng.chance(0.3)) method_list.push_back(methods[rng.next(methods.size())]);
+    std::vector<std::pair<std::string, std::string>> headers;
+    if (rng.chance(0.3)) headers.emplace_back("User-Agent", "Nokia|Moto");
+    set.policies.push_back(make_policy(urls, client_specs, method_list, headers, i));
+  }
+
+  for (int t = 0; t < 40; ++t) {
+    http::request r = make_request(
+        "http://" + hosts[rng.next(hosts.size())] + paths[rng.next(paths.size())] + "/leaf",
+        rng.chance(0.5) ? "10.1.2.3" : (rng.chance(0.5) ? "192.168.1.9" : "1.2.3.4"),
+        rng.chance(0.5) ? "dialup.cs.nyu.edu" : "", methods[rng.next(methods.size())]);
+    if (rng.chance(0.3)) r.headers.set("User-Agent", "Nokia123");
+    fx.check_parity(set, r, "seed=" + std::to_string(GetParam()) + " t=" + std::to_string(t));
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherEquivalence, ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace nakika::core

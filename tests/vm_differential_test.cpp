@@ -14,6 +14,7 @@
 #include "core/sandbox.hpp"
 #include "js/compiler.hpp"
 #include "js/interpreter.hpp"
+#include "js/parser.hpp"
 #include "js/vm.hpp"
 
 namespace nakika::js {
@@ -400,6 +401,147 @@ TEST(Differential, GeneratedCorpus) {
 }
 
 // ----- fuel metering: the VM enforces the sandbox limits -----------------------
+
+// ----- inline-cache invalidation ----------------------------------------------
+//
+// The VM's monomorphic caches short-circuit global and property lookups after
+// the first access through a site. Every test here re-executes a site AFTER a
+// structural change (delete, shadowing store, global redefinition) and
+// asserts the cached path still agrees with the uncached tree-walker — i.e.
+// the shape-generation / global-generation invalidation actually fires.
+
+TEST(InlineCache, PropertyDeletionInvalidates) {
+  expect_equivalent(R"JS(
+    var o = {a: 1, b: 2, c: 3};
+    function readB() { return o.b; }
+    var before = 0;
+    for (var i = 0; i < 50; i++) before += readB();  // cache o.b
+    delete o.a;                                      // shifts b's index
+    var after = 0;
+    for (var j = 0; j < 50; j++) after += readB();
+    delete o.b;                                      // b now comes from nowhere
+    var gone = o.b === undefined;
+    result = before + ':' + after + ':' + gone;
+  )JS");
+}
+
+TEST(InlineCache, PrototypeShadowingInvalidates) {
+  expect_equivalent(R"JS(
+    function C() {}
+    C.prototype.x = 'proto';
+    var o = new C();
+    function readX() { return o.x; }
+    var first = readX();   // prototype hit (uncacheable)
+    for (var i = 0; i < 20; i++) readX();
+    o.x = 'own';           // shadowing own store changes the shape
+    var second = readX();  // must see the own property now
+    delete o.x;            // un-shadow: back to the prototype
+    var third = readX();
+    result = first + ':' + second + ':' + third;
+  )JS");
+}
+
+TEST(InlineCache, GlobalRedefinitionInvalidates) {
+  expect_equivalent(R"JS(
+    var mode = 'a';
+    function f() { return 1; }
+    function probe() { return mode + f(); }
+    var out = '';
+    for (var i = 0; i < 30; i++) out = probe();  // cache the globals
+    mode = 'b';                                  // in-place write (no reshape)
+    out += probe();
+    f = function() { return 2; };                // redefinition through the cache
+    out += probe();
+    shadow = 'new-global';                       // inserting a global reshapes
+    out += probe() + shadow;
+    result = out;
+  )JS");
+}
+
+TEST(InlineCache, SetThroughCacheAfterReshape) {
+  expect_equivalent(R"JS(
+    var o = {n: 0, pad: 1};
+    function bump() { o.n = o.n + 1; return o.n; }
+    for (var i = 0; i < 25; i++) bump();  // cache the o.n set site
+    delete o.pad;                         // reshape shifts n
+    for (var j = 0; j < 25; j++) bump();
+    o.extra = 'x';                        // reshape by insertion
+    for (var k = 0; k < 25; k++) bump();
+    result = o.n + ':' + o.extra;
+  )JS");
+}
+
+TEST(InlineCache, DynamicIndexMethodKeyChanges) {
+  expect_equivalent(R"JS(
+    var dispatch = {
+      inc: function(v) { return v + 1; },
+      dec: function(v) { return v - 1; }
+    };
+    var total = 0;
+    for (var i = 0; i < 40; i++) {
+      var op = (i % 2 === 0) ? 'inc' : 'dec';
+      total = dispatch[op](total) + (i % 3);
+    }
+    result = total;
+  )JS");
+}
+
+TEST(InlineCache, PerContextIsolation) {
+  // One chunk, two contexts: caches filled in the first context must not
+  // leak results into the second (the side table is per-context).
+  const program_ptr prog = parse_program(
+      "result = '' + answer + ':' + obj.tag;", "<shared>");
+  const compiled_program_ptr chunk = compile_program(prog);
+
+  context a;
+  eval_script(a, "var answer = 1; var obj = {pad: 0, tag: 'A'};", "<seed-a>",
+              engine_kind::bytecode);
+  run_program(a, chunk);
+  run_program(a, chunk);  // second run goes through warm caches
+  EXPECT_EQ(a.global()->get("result").to_string(), "1:A");
+
+  context b;
+  eval_script(b, "var pad2 = 0; var answer = 2; var obj = {tag: 'B'};", "<seed-b>",
+              engine_kind::bytecode);
+  run_program(b, chunk);
+  EXPECT_EQ(b.global()->get("result").to_string(), "2:B");
+  EXPECT_EQ(a.global()->get("result").to_string(), "1:A");
+}
+
+TEST(InlineCache, CountersReportHitsAndMisses) {
+  context ctx;
+  eval_script(ctx,
+              "var state = {n: 0}; for (var i = 0; i < 100; i++) state.n = state.n + 1; "
+              "result = state.n;",
+              "<counters>", engine_kind::bytecode);
+  EXPECT_EQ(ctx.global()->get("result").to_string(), "100");
+  EXPECT_GT(ctx.ic_hits(), 100u);  // the loop's global + property sites stay hot
+  EXPECT_GT(ctx.ic_misses(), 0u);  // first touch of every site misses
+  ctx.reset_for_reuse();
+  EXPECT_EQ(ctx.ic_hits(), 0u);
+  EXPECT_EQ(ctx.ic_misses(), 0u);
+}
+
+// Frame-arena regression: deep recursion followed by shallow calls must reuse
+// pooled frames without leaking values between calls.
+TEST(FrameArena, RecursionReusesFramesCleanly) {
+  context ctx;
+  eval_script(ctx,
+              "function down(n) { var local = 'x' + n; "
+              "  return n === 0 ? 0 : local.length + down(n - 1); } "
+              "var deep = down(150); var shallow = down(3); "
+              "result = deep + ':' + shallow;",
+              "<arena>", engine_kind::bytecode);
+  const std::string deep_then_shallow = ctx.global()->get("result").to_string();
+  context ctx2;
+  eval_script(ctx2,
+              "function down(n) { var local = 'x' + n; "
+              "  return n === 0 ? 0 : local.length + down(n - 1); } "
+              "var shallow = down(3); var deep = down(150); "
+              "result = deep + ':' + shallow;",
+              "<arena>", engine_kind::bytecode);
+  EXPECT_EQ(deep_then_shallow, ctx2.global()->get("result").to_string());
+}
 
 TEST(Fuel, VmKillsRunawayLoopAtOpsBudget) {
   context_limits limits;
