@@ -1,0 +1,175 @@
+// Aggregate throughput of an N-node worker cluster cooperating through the
+// thread-safe peer transport: 1/2/4 nodes x 1/4 workers over one hot URL set.
+// Each node's request stream is phase-shifted, so a node's early misses are
+// content other nodes already cached — the measure of interest is how much
+// of the miss traffic the cluster serves from peer caches instead of the
+// origin (peer-hit ratio) alongside aggregate req/s. Also reports
+// single-flight coalescing and the accounted virtual network cost of the
+// threaded transport's overlay walks. `--smoke` shrinks the run for CI and
+// verifies every response byte.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "proxy/deployment.hpp"
+
+namespace nakika {
+namespace {
+
+constexpr std::size_t k_hot_urls = 256;
+
+struct cluster_env {
+  sim::event_loop loop;
+  std::unique_ptr<sim::network> net;
+  std::unique_ptr<proxy::deployment> dep;
+  proxy::origin_server* origin = nullptr;
+  std::vector<proxy::nakika_node*> nodes;
+
+  cluster_env(std::size_t n_nodes, std::size_t workers) {
+    net = std::make_unique<sim::network>(loop);
+    const sim::node_id origin_host = net->add_node("origin");
+    std::vector<sim::node_id> hosts;
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      hosts.push_back(net->add_node("p" + std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      net->set_route(hosts[i], origin_host, 0.005);
+      for (std::size_t j = i + 1; j < n_nodes; ++j) {
+        net->set_route(hosts[i], hosts[j], 0.002);  // one tight Coral cluster
+      }
+    }
+    dep = std::make_unique<proxy::deployment>(*net);
+    origin = &dep->create_origin(origin_host);
+    dep->map_host("hot.org", *origin);
+    for (std::size_t i = 0; i < k_hot_urls; ++i) {
+      origin->add_static_text("hot.org", "/obj/" + std::to_string(i), "text/plain",
+                              std::string(1024, static_cast<char>('a' + i % 26)), 36000);
+    }
+    dep->enable_overlay();
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      proxy::node_config cfg;
+      cfg.workers = workers;
+      cfg.queue_capacity = 4096;
+      cfg.resource_controls = false;
+      nodes.push_back(&dep->create_node(hosts[i], std::move(cfg)));
+    }
+    loop.run();  // settle overlay joins before concurrent serving
+  }
+};
+
+std::string url_for(std::size_t i) {
+  return "http://hot.org/obj/" + std::to_string(i % k_hot_urls);
+}
+
+struct cluster_result {
+  double requests_per_second = 0.0;
+  double peer_hit_ratio = 0.0;  // of overlay-consulted misses
+  std::size_t peer_hits = 0;
+  std::size_t coalesced = 0;
+  double peer_latency_seconds = 0.0;
+  std::size_t bad = 0;  // responses that failed verification
+};
+
+// One producer thread per node with a bounded in-flight window; every node
+// serves total/n_nodes requests, phase-shifted by node index.
+cluster_result run_cluster(std::size_t n_nodes, std::size_t workers, std::size_t total) {
+  cluster_env env(n_nodes, workers);
+  const std::size_t per_node = total / n_nodes;
+  std::atomic<std::size_t> bad{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    producers.emplace_back([&, n] {
+      std::atomic<std::size_t> done{0};
+      constexpr std::size_t k_in_flight = 128;
+      for (std::size_t i = 0; i < per_node; ++i) {
+        while (i - done.load(std::memory_order_acquire) >= k_in_flight) {
+          std::this_thread::yield();
+        }
+        const std::size_t idx = i + n * (k_hot_urls / n_nodes);
+        http::request r;
+        r.url = http::url::parse(url_for(idx));
+        r.client_ip = "10.0.0.1";
+        const char expected = static_cast<char>('a' + idx % k_hot_urls % 26);
+        env.nodes[n]->handle(r, [&, expected](http::response resp) {
+          if (resp.status != 200 || !resp.body || resp.body->view()[0] != expected) {
+            bad.fetch_add(1, std::memory_order_relaxed);
+          }
+          done.fetch_add(1, std::memory_order_release);
+        });
+      }
+      env.nodes[n]->drain();
+    });
+  }
+  for (auto& t : producers) t.join();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+  cluster_result out;
+  std::size_t misses = 0;
+  for (auto* node : env.nodes) {
+    const util::run_counters c = node->counters();
+    out.peer_hits += c.peer_hits;
+    misses += c.peer_hits + c.peer_misses;
+    out.coalesced += c.coalesced;
+    out.peer_latency_seconds += node->peer_latency_seconds();
+  }
+  out.requests_per_second = static_cast<double>(per_node * n_nodes) / elapsed.count();
+  out.peer_hit_ratio =
+      misses == 0 ? 0.0 : static_cast<double>(out.peer_hits) / static_cast<double>(misses);
+  out.bad = bad.load();
+  return out;
+}
+
+}  // namespace
+}  // namespace nakika
+
+int main(int argc, char** argv) {
+  using namespace nakika;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  bench::json_reporter json("bench_cluster", argc, argv);
+
+  bench::print_header(
+      "Worker cluster: cooperative caching over the threaded peer transport",
+      "multi-node composition (paper SS2) on the ROADMAP scaling path");
+  std::printf("%u hardware threads; aggregate req/s is only meaningful on "
+              "multi-core runners\n\n",
+              std::thread::hardware_concurrency());
+
+  const std::size_t node_counts[] = {1, 2, 4};
+  const std::size_t worker_counts[] = {1, 4};
+  const std::size_t total = smoke ? 2'000 : 40'000;
+
+  bool all_ok = true;
+  bench::print_row("nodes x workers",
+                   {"req/s", "peer-hit%", "coalesced", "net-lat(s)", "ok"});
+  for (const std::size_t nodes : node_counts) {
+    for (const std::size_t workers : worker_counts) {
+      const cluster_result r = run_cluster(nodes, workers, total);
+      if (r.bad != 0) all_ok = false;
+      if (nodes > 1 && r.peer_hits == 0) all_ok = false;
+      bench::print_row(std::to_string(nodes) + " x " + std::to_string(workers),
+                       {bench::num(r.requests_per_second, 0), bench::pct(r.peer_hit_ratio),
+                        std::to_string(r.coalesced), bench::num(r.peer_latency_seconds, 3),
+                        r.bad == 0 ? "yes" : "NO"});
+      const std::string config =
+          "nodes=" + std::to_string(nodes) + "/workers=" + std::to_string(workers);
+      json.add(config, "requests_per_second", r.requests_per_second);
+      json.add(config, "peer_hit_ratio", r.peer_hit_ratio);
+      json.add(config, "peer_hits", static_cast<double>(r.peer_hits));
+      json.add(config, "coalesced_requests", static_cast<double>(r.coalesced));
+      json.add(config, "accounted_network_latency_seconds", r.peer_latency_seconds);
+    }
+  }
+  if (!all_ok) {
+    std::printf("\nFAIL: bad responses or a multi-node run with zero peer hits\n");
+    return 1;
+  }
+  std::printf("\nall responses verified; every multi-node run hit peer caches\n");
+  return 0;
+}

@@ -97,8 +97,11 @@ std::string url_for(workload w, std::size_t i) {
 
 // Submits `total` requests with a bounded in-flight window (so the bench
 // exercises the queue without tripping backpressure rejections) and returns
-// aggregate requests/sec. `ok` counts verified-correct responses.
-double run_workload(workload w, std::size_t workers, std::size_t total, std::size_t* ok) {
+// aggregate requests/sec. `ok` counts verified-correct responses;
+// `counters_out` (optional) receives the node's final counter snapshot so
+// the harness can report single-flight coalescing.
+double run_workload(workload w, std::size_t workers, std::size_t total, std::size_t* ok,
+                    util::run_counters* counters_out = nullptr) {
   bench_env env(workers, /*queue_capacity=*/512);
 
   // Warm: populate the cache (cache-hit) and the script/chunk caches.
@@ -132,6 +135,7 @@ double run_workload(workload w, std::size_t workers, std::size_t total, std::siz
   env.node->drain();
   const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
   if (ok != nullptr) *ok = good.load();
+  if (counters_out != nullptr) *counters_out = env.node->counters();
   return static_cast<double>(total) / elapsed.count();
 }
 
@@ -170,7 +174,8 @@ int main(int argc, char** argv) {
     double base = 0.0;
     for (const std::size_t workers : worker_counts) {
       std::size_t ok = 0;
-      const double rps = run_workload(s.w, workers, total, &ok);
+      util::run_counters counters;
+      const double rps = run_workload(s.w, workers, total, &ok, &counters);
       if (workers == 1) base = rps;
       if (ok != total) all_ok = false;
       bench::print_row(std::to_string(workers),
@@ -179,6 +184,9 @@ int main(int argc, char** argv) {
       const std::string config = std::string(s.name) + "/workers=" + std::to_string(workers);
       json.add(config, "requests_per_second", rps);
       json.add(config, "speedup_vs_1_worker", base > 0 ? rps / base : 0.0);
+      // Single-flight effectiveness on the warm-up misses: how many requests
+      // coalesced onto an in-flight fetch instead of refetching.
+      json.add(config, "coalesced_requests", static_cast<double>(counters.coalesced));
     }
   }
   if (!all_ok) {

@@ -1,0 +1,106 @@
+#include "net/peer_transport.hpp"
+
+#include "http/wire.hpp"
+
+namespace nakika::net {
+
+// ----- sim transport -----------------------------------------------------------
+
+sim_peer_transport::sim_peer_transport(sim::network& net, overlay::coral_overlay& overlay,
+                                       overlay::coral_overlay::member_id member,
+                                       std::string self_name, peer_directory peers,
+                                       sim::node_id self_host, double peer_serve_cpu_seconds)
+    : net_(net),
+      overlay_(overlay),
+      member_(member),
+      self_name_(std::move(self_name)),
+      peers_(std::move(peers)),
+      host_(self_host),
+      peer_serve_cpu_(peer_serve_cpu_seconds) {}
+
+void sim_peer_transport::advertise(const std::string& key, std::int64_t expires_at) {
+  overlay_.put(member_, key, self_name_, expires_at, []() {});
+}
+
+void sim_peer_transport::fetch_from_peers(const http::request& r, fetch_callback done) {
+  const std::string key = r.url.str();
+  auto shared_done = std::make_shared<fetch_callback>(std::move(done));
+  overlay_.get(
+      member_, key,
+      [this, r, key, shared_done](std::vector<std::string> holders, int /*level*/) {
+        peer_endpoint* peer = nullptr;
+        for (const auto& name : holders) {
+          if (name == self_name_) continue;
+          if (peer_endpoint* p = peers_(name)) {
+            peer = p;
+            break;
+          }
+        }
+        if (peer == nullptr) {
+          (*shared_done)(result{});  // no holder: caller falls back to origin
+          return;
+        }
+        // Ask the peer's cache; a miss (stale hint) sends a short "not here"
+        // reply and the caller falls back to origin.
+        net_.transfer(
+            host_, peer->peer_host(), http::wire_size(r), [this, peer, key, shared_done]() {
+              auto hit = peer->peer_cache_lookup(key);
+              if (!hit) {
+                net_.transfer(peer->peer_host(), host_, 64,
+                              [shared_done]() { (*shared_done)(result{}); });
+                return;
+              }
+              const std::size_t bytes = http::wire_size(*hit);
+              net_.run_cpu(peer->peer_host(), peer_serve_cpu_,
+                           [this, peer, bytes, resp = std::move(*hit),
+                            shared_done]() mutable {
+                             net_.transfer(peer->peer_host(), host_, bytes,
+                                           [resp = std::move(resp), shared_done]() mutable {
+                                             result out;
+                                             out.response = std::move(resp);
+                                             (*shared_done)(std::move(out));
+                                           });
+                           });
+            });
+      });
+}
+
+// ----- threaded transport ------------------------------------------------------
+
+threaded_peer_transport::threaded_peer_transport(
+    sim::network& net, overlay::coral_overlay& overlay,
+    overlay::coral_overlay::member_id member, std::string self_name, peer_directory peers,
+    sim::node_id self_host, clock now)
+    : net_(net),
+      overlay_(overlay),
+      member_(member),
+      self_name_(std::move(self_name)),
+      peers_(std::move(peers)),
+      host_(self_host),
+      now_(std::move(now)) {}
+
+void threaded_peer_transport::advertise(const std::string& key, std::int64_t expires_at) {
+  overlay_.put_now(member_, key, self_name_, expires_at, now_());
+}
+
+void threaded_peer_transport::fetch_from_peers(const http::request& r, fetch_callback done) {
+  const std::string key = r.url.str();
+  result out;
+  overlay::coral_overlay::sync_result found = overlay_.get_now(member_, key, now_());
+  out.hops = found.hops;
+  out.latency_seconds = found.latency_seconds;
+  for (const auto& name : found.values) {
+    if (name == self_name_) continue;
+    peer_endpoint* peer = peers_(name);
+    if (peer == nullptr) continue;
+    // Account the round-trip the sim would have charged for the probe.
+    out.latency_seconds += net_.route_latency_or(host_, peer->peer_host(), 0.0) * 2.0;
+    if (auto hit = peer->peer_cache_lookup(key)) {
+      out.response = std::move(hit);
+      break;
+    }
+  }
+  done(std::move(out));
+}
+
+}  // namespace nakika::net

@@ -1,0 +1,125 @@
+// Peer transport: the seam between a Na Kika node and the overlay network.
+// A node's cooperative-caching path (miss → who else holds this URL? → fetch
+// the copy from that peer) used to hard-code the deterministic sim loop;
+// this abstraction lets the same node code run over either
+//
+//   sim_peer_transport      the original behavior, byte-identical: overlay
+//                           lookups and peer copies travel as virtual-time
+//                           events on the single-threaded sim::network
+//                           (locked by the fixed-seed determinism digest),
+//   threaded_peer_transport a thread-safe implementation for multi-node
+//                           worker clusters: overlay lookups run through the
+//                           DHT's synchronous mutex-guarded API and peer
+//                           cache probes call straight into the peer node
+//                           from the requesting worker's thread, with the
+//                           route latency the sim would have charged
+//                           accounted (not slept) so benches can still
+//                           report virtual network cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "http/message.hpp"
+#include "overlay/clusters.hpp"
+#include "sim/network.hpp"
+
+namespace nakika::net {
+
+// What a transport needs from a peer: a thread-safe cache-only probe (no
+// origin fallback — a stale overlay hint must not trigger a second origin
+// fetch from the peer's side) and the simulated host for latency accounting.
+// nakika_node implements this.
+class peer_endpoint {
+ public:
+  virtual ~peer_endpoint() = default;
+  [[nodiscard]] virtual std::optional<http::response> peer_cache_lookup(
+      const std::string& url) = 0;
+  [[nodiscard]] virtual sim::node_id peer_host() const = 0;
+};
+
+// Resolves an overlay-advertised node name to the peer serving it.
+using peer_directory = std::function<peer_endpoint*(const std::string& name)>;
+
+class peer_transport {
+ public:
+  struct result {
+    // Engaged when some peer's cache held the URL; empty means the caller
+    // falls back to its origin fetch.
+    std::optional<http::response> response;
+    // Virtual network latency the threaded path accounted for the overlay
+    // lookup plus the peer round-trip (the sim path bills real virtual time
+    // on the event loop instead, so it reports 0 here).
+    double latency_seconds = 0.0;
+    int hops = 0;  // DHT hops walked by the overlay lookup
+  };
+  using fetch_callback = std::function<void(result)>;
+
+  virtual ~peer_transport() = default;
+
+  // Advertise that this node caches `key` until `expires_at`.
+  virtual void advertise(const std::string& key, std::int64_t expires_at) = 0;
+
+  // Locate `r.url` in the overlay and fetch the copy from a holder's cache.
+  // `done` fires exactly once: on the event loop for the sim transport,
+  // synchronously on the calling thread for the threaded transport.
+  virtual void fetch_from_peers(const http::request& r, fetch_callback done) = 0;
+};
+
+// --- deterministic sim implementation ------------------------------------------
+
+// Wraps the coral overlay's event-driven API plus explicit sim::network
+// transfers for the peer round-trip. All callbacks run on the event loop;
+// the event sequence is exactly what nakika_node used to inline, so the
+// fixed-seed sim path stays byte-identical.
+class sim_peer_transport : public peer_transport {
+ public:
+  sim_peer_transport(sim::network& net, overlay::coral_overlay& overlay,
+                     overlay::coral_overlay::member_id member, std::string self_name,
+                     peer_directory peers, sim::node_id self_host,
+                     double peer_serve_cpu_seconds);
+
+  void advertise(const std::string& key, std::int64_t expires_at) override;
+  void fetch_from_peers(const http::request& r, fetch_callback done) override;
+
+ private:
+  sim::network& net_;
+  overlay::coral_overlay& overlay_;
+  overlay::coral_overlay::member_id member_;
+  std::string self_name_;
+  peer_directory peers_;
+  sim::node_id host_;
+  double peer_serve_cpu_;  // CPU charged on the peer for serving its copy
+};
+
+// --- thread-safe implementation for worker-mode clusters ------------------------
+
+// Dispatches overlay lookups through the DHT's synchronous API (sloppy_dht /
+// coral_overlay state is mutex-guarded) and probes peer caches directly from
+// the calling worker thread. Route latencies are read from the (frozen,
+// read-only once serving starts) sim topology and accumulated into
+// result::latency_seconds rather than slept.
+class threaded_peer_transport : public peer_transport {
+ public:
+  using clock = std::function<std::int64_t()>;  // the owning node's epoch seconds
+
+  threaded_peer_transport(sim::network& net, overlay::coral_overlay& overlay,
+                          overlay::coral_overlay::member_id member, std::string self_name,
+                          peer_directory peers, sim::node_id self_host, clock now);
+
+  void advertise(const std::string& key, std::int64_t expires_at) override;
+  void fetch_from_peers(const http::request& r, fetch_callback done) override;
+
+ private:
+  sim::network& net_;
+  overlay::coral_overlay& overlay_;
+  overlay::coral_overlay::member_id member_;
+  std::string self_name_;
+  peer_directory peers_;
+  sim::node_id host_;
+  clock now_;
+};
+
+}  // namespace nakika::net

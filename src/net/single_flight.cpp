@@ -1,0 +1,80 @@
+#include "net/single_flight.hpp"
+
+namespace nakika::net {
+
+namespace {
+// Flights this thread is currently leading (across all single_flight
+// instances); a leading thread must never park on another flight.
+thread_local std::size_t t_leading_depth = 0;
+
+struct leading_scope {
+  leading_scope() { ++t_leading_depth; }
+  ~leading_scope() { --t_leading_depth; }
+};
+}  // namespace
+
+std::size_t single_flight::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flights_.size();
+}
+
+void single_flight::finish(const std::string& key, const std::shared_ptr<flight>& f,
+                           http::response response) {
+  {
+    std::lock_guard<std::mutex> lock(f->mu);
+    f->response = std::move(response);
+    f->done = true;
+  }
+  f->cv.notify_all();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = flights_.find(key);
+  // Only retire our own flight: a late miss may have started a fresh one.
+  if (it != flights_.end() && it->second == f) flights_.erase(it);
+}
+
+http::response single_flight::run(const std::string& key,
+                                  const std::function<http::response()>& fetch,
+                                  bool* coalesced) {
+  std::shared_ptr<flight> f;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = flights_.find(key);
+    if (it == flights_.end()) {
+      f = std::make_shared<flight>();
+      flights_[key] = f;
+      leader = true;
+    } else if (t_leading_depth > 0) {
+      // This thread already leads a flight (this key's, or another whose
+      // leader may transitively wait on us): never park, fetch directly.
+      if (coalesced != nullptr) *coalesced = false;
+      return fetch();
+    } else {
+      f = it->second;
+    }
+  }
+
+  if (leader) {
+    if (coalesced != nullptr) *coalesced = false;
+    leaders_.fetch_add(1, std::memory_order_relaxed);
+    http::response response;
+    try {
+      const leading_scope scope;
+      response = fetch();
+    } catch (...) {
+      finish(key, f, http::make_error_response(502, "upstream fetch failed"));
+      throw;
+    }
+    http::response out = response;  // copy before waiters see (and may move) it
+    finish(key, f, std::move(response));
+    return out;
+  }
+
+  if (coalesced != nullptr) *coalesced = true;
+  waiters_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(f->mu);
+  f->cv.wait(lock, [&] { return f->done; });
+  return f->response;  // copy; the flight may have other waiters
+}
+
+}  // namespace nakika::net

@@ -1,0 +1,69 @@
+// Single-flight fetch coalescing: concurrent misses for the same key collapse
+// onto one in-flight upstream fetch. The first caller for a key becomes the
+// flight's leader and runs the fetch; every other caller parks on the flight
+// and receives a copy of the leader's response. This kills the thundering
+// herd on a hot miss — N workers racing for one cold URL perform exactly one
+// peer/origin fetch instead of N.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "http/message.hpp"
+
+namespace nakika::net {
+
+class single_flight {
+ public:
+  struct stats {
+    std::uint64_t leaders = 0;  // flights executed (one upstream fetch each)
+    std::uint64_t waiters = 0;  // callers that coalesced onto an existing flight
+  };
+
+  // Runs `fetch` under single-flight discipline for `key`. Exactly one
+  // concurrent caller per key executes `fetch`; the rest block until the
+  // leader finishes and get a copy of its response. `coalesced` (optional)
+  // reports whether this caller waited instead of fetching.
+  //
+  // Re-entrancy: a thread that is currently leading any flight never parks —
+  // a sub-fetch for its own key, or for a key another leader is fetching
+  // (which could cycle: A leads X and wants Y, B leads Y and wants X), runs
+  // the fetch directly. The guard trades an occasional duplicate fetch for
+  // freedom from cross-flight deadlock.
+  //
+  // A leader that throws propagates the exception; parked waiters receive a
+  // 502 so they never hang on a flight that produced no response.
+  http::response run(const std::string& key, const std::function<http::response()>& fetch,
+                     bool* coalesced = nullptr);
+
+  [[nodiscard]] stats snapshot() const {
+    return {leaders_.load(std::memory_order_relaxed),
+            waiters_.load(std::memory_order_relaxed)};
+  }
+  // In-flight fetches right now (introspection for tests).
+  [[nodiscard]] std::size_t in_flight() const;
+
+ private:
+  struct flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    http::response response;
+  };
+
+  void finish(const std::string& key, const std::shared_ptr<flight>& f,
+              http::response response);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<flight>> flights_;
+  std::atomic<std::uint64_t> leaders_{0};
+  std::atomic<std::uint64_t> waiters_{0};
+};
+
+}  // namespace nakika::net

@@ -17,6 +17,7 @@ coral_overlay::coral_overlay(sim::network& net, cluster_config config)
 }
 
 coral_overlay::member_id coral_overlay::join(sim::node_id host, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   member m;
   m.host = host;
   m.name = name;
@@ -43,57 +44,129 @@ coral_overlay::member_id coral_overlay::join(sim::node_id host, const std::strin
   return members_.size() - 1;
 }
 
+std::size_t coral_overlay::level_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return levels_.size();
+}
+
 std::size_t coral_overlay::cluster_count(std::size_t level) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (level >= levels_.size()) throw std::invalid_argument("coral_overlay: bad level");
   return levels_[level].clusters.size();
 }
 
 std::size_t coral_overlay::cluster_of(member_id m, std::size_t level) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (m >= members_.size()) throw std::invalid_argument("coral_overlay: bad member");
   if (level >= levels_.size()) throw std::invalid_argument("coral_overlay: bad level");
   return members_[m].rings[level].first;
 }
 
-void coral_overlay::put(member_id m, const std::string& key, const std::string& value,
-                        std::int64_t expires_at, std::function<void()> done) {
-  if (m >= members_.size()) throw std::invalid_argument("coral_overlay::put: bad member");
-  auto remaining = std::make_shared<std::size_t>(levels_.size());
-  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+std::vector<std::pair<sloppy_dht*, sloppy_dht::member_id>> coral_overlay::rings_of(
+    member_id m) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (m >= members_.size()) throw std::invalid_argument("coral_overlay: bad member");
+  std::vector<std::pair<sloppy_dht*, sloppy_dht::member_id>> out;
+  out.reserve(members_[m].rings.size());
   for (std::size_t l = 0; l < levels_.size(); ++l) {
     const auto [cluster, rid] = members_[m].rings[l];
-    levels_[l].clusters[cluster]->put(rid, key, value, expires_at,
-                                      [remaining, shared_done](int) {
-                                        if (--*remaining == 0) (*shared_done)();
-                                      });
+    out.emplace_back(levels_[l].clusters[cluster].get(), rid);
+  }
+  return out;
+}
+
+// ----- event-driven path (single-threaded sim) ---------------------------------
+
+void coral_overlay::put(member_id m, const std::string& key, const std::string& value,
+                        std::int64_t expires_at, std::function<void()> done) {
+  const auto rings = rings_of(m);
+  auto remaining = std::make_shared<std::size_t>(rings.size());
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (const auto& [ring, rid] : rings) {
+    ring->put(rid, key, value, expires_at, [remaining, shared_done](int) {
+      if (--*remaining == 0) (*shared_done)();
+    });
   }
 }
 
 void coral_overlay::get(member_id m, const std::string& key,
                         std::function<void(std::vector<std::string>, int)> done) {
-  if (m >= members_.size()) throw std::invalid_argument("coral_overlay::get: bad member");
+  std::size_t top = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (m >= members_.size()) throw std::invalid_argument("coral_overlay::get: bad member");
+    top = levels_.size() - 1;
+  }
   auto shared =
       std::make_shared<std::function<void(std::vector<std::string>, int)>>(std::move(done));
   // Start at the tightest level (highest index) and fall outward to global.
-  get_from_level(m, levels_.size() - 1, key, shared);
+  get_from_level(m, top, key, shared);
 }
 
 void coral_overlay::get_from_level(
     member_id m, std::size_t level_index, const std::string& key,
     std::shared_ptr<std::function<void(std::vector<std::string>, int)>> done) {
-  const auto [cluster, rid] = members_[m].rings[level_index];
-  levels_[level_index].clusters[cluster]->get(
-      rid, key,
-      [this, m, level_index, key, done](std::vector<std::string> values, int) {
-        if (!values.empty()) {
-          (*done)(std::move(values), static_cast<int>(level_index));
-          return;
-        }
-        if (level_index == 0) {
-          (*done)({}, -1);
-          return;
-        }
-        get_from_level(m, level_index - 1, key, done);
-      });
+  sloppy_dht* ring = nullptr;
+  sloppy_dht::member_id rid = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto [cluster, r] = members_[m].rings[level_index];
+    ring = levels_[level_index].clusters[cluster].get();
+    rid = r;
+  }
+  ring->get(rid, key,
+            [this, m, level_index, key, done](std::vector<std::string> values, int) {
+              if (!values.empty()) {
+                (*done)(std::move(values), static_cast<int>(level_index));
+                return;
+              }
+              if (level_index == 0) {
+                (*done)({}, -1);
+                return;
+              }
+              get_from_level(m, level_index - 1, key, done);
+            });
+}
+
+// ----- synchronous path (thread-safe) ------------------------------------------
+
+coral_overlay::sync_result coral_overlay::get_now(member_id m, const std::string& key,
+                                                  std::int64_t now) {
+  const auto rings = rings_of(m);
+  sync_result out;
+  // Tightest ring first, falling outward — same order as the async walk.
+  for (std::size_t l = rings.size(); l-- > 0;) {
+    sloppy_dht::sync_result r = rings[l].first->get_now(rings[l].second, key, now);
+    out.hops += r.hops;
+    out.latency_seconds += r.latency_seconds;
+    if (!r.values.empty()) {
+      out.values = std::move(r.values);
+      out.level = static_cast<int>(l);
+      return out;
+    }
+  }
+  return out;
+}
+
+int coral_overlay::put_now(member_id m, const std::string& key, const std::string& value,
+                           std::int64_t expires_at, std::int64_t now) {
+  const auto rings = rings_of(m);
+  int hops = 0;
+  for (const auto& [ring, rid] : rings) {
+    hops += ring->put_now(rid, key, value, expires_at, now);
+  }
+  return hops;
+}
+
+void coral_overlay::purge_expired(std::int64_t now) {
+  std::vector<sloppy_dht*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& lvl : levels_) {
+      for (auto& c : lvl.clusters) rings.push_back(c.get());
+    }
+  }
+  for (sloppy_dht* ring : rings) ring->purge_expired(now);
 }
 
 }  // namespace nakika::overlay

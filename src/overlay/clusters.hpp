@@ -2,12 +2,19 @@
 // (~30 ms, ~100 ms, global). A node belongs to one cluster per level; gets
 // prefer the smallest-diameter ring and fall back outward, so content is
 // found nearby when possible.
+//
+// Mirrors sloppy_dht's two access paths: the event-driven put/get drive the
+// deterministic sim loop; put_now/get_now run the same level walk inline for
+// concurrent worker threads (membership is guarded here, ring state by each
+// cluster's own mutex).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "overlay/dht.hpp"
@@ -31,6 +38,8 @@ class coral_overlay {
   // cluster within each level's threshold (or founds a new one).
   member_id join(sim::node_id host, const std::string& name);
 
+  // --- event-driven API (single-threaded sim path) -----------------------------
+
   // Stores in every level's ring (Coral inserts at each level).
   void put(member_id m, const std::string& key, const std::string& value,
            std::int64_t expires_at, std::function<void()> done);
@@ -40,7 +49,25 @@ class coral_overlay {
   void get(member_id m, const std::string& key,
            std::function<void(std::vector<std::string>, int level)> done);
 
-  [[nodiscard]] std::size_t level_count() const { return levels_.size(); }
+  // --- synchronous API (thread-safe, for worker-mode transports) ---------------
+
+  struct sync_result {
+    std::vector<std::string> values;
+    int level = -1;  // level the values were found at, -1 when absent
+    int hops = 0;
+    double latency_seconds = 0.0;  // accounted virtual cost of every ring walked
+  };
+
+  // The level walk of get (tightest ring first) performed inline; `now` is
+  // the caller's epoch for TTL filtering.
+  [[nodiscard]] sync_result get_now(member_id m, const std::string& key, std::int64_t now);
+  // Stores in every level's ring; returns total hops walked.
+  int put_now(member_id m, const std::string& key, const std::string& value,
+              std::int64_t expires_at, std::int64_t now);
+  // Sweeps TTL-expired values out of every ring.
+  void purge_expired(std::int64_t now);
+
+  [[nodiscard]] std::size_t level_count() const;
   [[nodiscard]] std::size_t cluster_count(std::size_t level) const;
   // Which cluster member `m` belongs to at `level` (for tests).
   [[nodiscard]] std::size_t cluster_of(member_id m, std::size_t level) const;
@@ -62,9 +89,14 @@ class coral_overlay {
 
   void get_from_level(member_id m, std::size_t level_index, const std::string& key,
                       std::shared_ptr<std::function<void(std::vector<std::string>, int)>> done);
+  // Snapshot of a member's (ring, member-id) pairs per level, taken under the
+  // membership mutex so the sync path can walk rings without holding it.
+  [[nodiscard]] std::vector<std::pair<sloppy_dht*, sloppy_dht::member_id>> rings_of(
+      member_id m) const;
 
   sim::network& net_;
   cluster_config config_;
+  mutable std::mutex mu_;      // guards levels_/members_ membership
   std::vector<level> levels_;  // index 0 = global
   std::vector<member> members_;
 };

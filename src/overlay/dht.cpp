@@ -25,46 +25,56 @@ struct sloppy_dht::lookup_state {
 };
 
 sloppy_dht::member_id sloppy_dht::join(sim::node_id host, const std::string& name) {
-  member m;
-  m.self.id = node_id::hash_of(name);
-  m.self.host = host;
-  m.host = host;
-  m.table = std::make_unique<routing_table>(m.self.id, config_.k);
+  member_id id = 0;
+  bool lone = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    member m;
+    m.self.id = node_id::hash_of(name);
+    m.self.host = host;
+    m.host = host;
+    m.table = std::make_unique<routing_table>(m.self.id, config_.k);
 
-  // Bootstrap: seed with a few existing members, then the new node becomes
-  // discoverable as others hear from it over RPC traffic.
-  std::size_t seeds = 0;
-  for (std::size_t i = 0; i < members_.size() && seeds < 3; ++i) {
-    if (!members_[i].alive) continue;
-    m.table->observe(members_[i].self);
-    ++seeds;
+    // Bootstrap: seed with a few existing members, then the new node becomes
+    // discoverable as others hear from it over RPC traffic.
+    std::size_t seeds = 0;
+    for (std::size_t i = 0; i < members_.size() && seeds < 3; ++i) {
+      if (!members_[i].alive) continue;
+      m.table->observe(members_[i].self);
+      ++seeds;
+    }
+    members_.push_back(std::move(m));
+    id = members_.size() - 1;
+
+    // Existing members learn about the newcomer lazily; give the seeds a
+    // direct pointer so early lookups can route at all.
+    std::size_t told = 0;
+    for (std::size_t i = 0; i < members_.size() - 1 && told < 3; ++i) {
+      if (!members_[i].alive) continue;
+      members_[i].table->observe(members_[id].self);
+      ++told;
+    }
+    lone = members_.size() == 1;
   }
-  members_.push_back(std::move(m));
-  const member_id id = members_.size() - 1;
 
-  // Existing members learn about the newcomer lazily; give the seeds a
-  // direct pointer so early lookups can route at all.
-  std::size_t told = 0;
-  for (std::size_t i = 0; i < members_.size() - 1 && told < 3; ++i) {
-    if (!members_[i].alive) continue;
-    members_[i].table->observe(members_[id].self);
-    ++told;
-  }
-
-  // Iterative self-lookup fills more distant buckets.
-  if (members_.size() > 1) {
+  // Iterative self-lookup fills more distant buckets. Runs outside the ring
+  // lock: it is event-driven sim traffic (join happens at deployment setup,
+  // before concurrent serving starts).
+  if (!lone) {
     lookup(id, members_[id].self.id, [](std::vector<contact>, int) {});
   }
   return id;
 }
 
 void sloppy_dht::leave(member_id m) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (m >= members_.size()) throw std::invalid_argument("sloppy_dht::leave: bad member");
   members_[m].alive = false;
   members_[m].store.clear();
 }
 
 std::size_t sloppy_dht::member_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const auto& m : members_) {
     if (m.alive) ++n;
@@ -73,6 +83,7 @@ std::size_t sloppy_dht::member_count() const {
 }
 
 const contact& sloppy_dht::member_contact(member_id m) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (m >= members_.size()) {
     throw std::invalid_argument("sloppy_dht::member_contact: bad member");
   }
@@ -81,6 +92,7 @@ const contact& sloppy_dht::member_contact(member_id m) const {
 
 std::vector<std::string> sloppy_dht::stored_at(member_id m, const std::string& key,
                                                std::int64_t now) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   if (m >= members_.size()) return out;
   const auto it = members_[m].store.find(key);
@@ -89,6 +101,12 @@ std::vector<std::string> sloppy_dht::stored_at(member_id m, const std::string& k
     if (sv.expires_at > now) out.push_back(sv.value);
   }
   return out;
+}
+
+std::size_t sloppy_dht::stored_keys(member_id m) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (m >= members_.size()) return 0;
+  return members_[m].store.size();
 }
 
 sloppy_dht::member* sloppy_dht::find_member(const node_id& id) {
@@ -102,16 +120,78 @@ std::int64_t sloppy_dht::now_seconds() const {
   return static_cast<std::int64_t>(net_.loop().now());
 }
 
-void sloppy_dht::prune_expired(member& m, const std::string& key) {
+double sloppy_dht::rpc_cost(sim::node_id from, sim::node_id to) const {
+  return 2.0 * net_.route_latency_or(from, to, 0.0) + config_.rpc_cpu_seconds;
+}
+
+// ----- store hygiene -----------------------------------------------------------
+
+void sloppy_dht::prune_expired(member& m, const std::string& key, std::int64_t now) {
   const auto it = m.store.find(key);
   if (it == m.store.end()) return;
-  const std::int64_t now = now_seconds();
   auto& values = it->second;
   values.erase(std::remove_if(values.begin(), values.end(),
                               [&](const stored_value& sv) { return sv.expires_at <= now; }),
                values.end());
   if (values.empty()) m.store.erase(it);
 }
+
+void sloppy_dht::sweep_member(member& m, std::int64_t now) {
+  for (auto it = m.store.begin(); it != m.store.end();) {
+    auto& values = it->second;
+    values.erase(
+        std::remove_if(values.begin(), values.end(),
+                       [&](const stored_value& sv) { return sv.expires_at <= now; }),
+        values.end());
+    // Defensive bound (a shrunk max_values_per_key must still converge):
+    // drop the soonest-to-expire extras.
+    while (values.size() > config_.max_values_per_key) {
+      values.erase(std::min_element(values.begin(), values.end(),
+                                    [](const stored_value& a, const stored_value& b) {
+                                      return a.expires_at < b.expires_at;
+                                    }));
+    }
+    it = values.empty() ? m.store.erase(it) : std::next(it);
+  }
+}
+
+void sloppy_dht::touch_for_sweep(member& m, std::int64_t now) {
+  if (config_.sweep_interval == 0) return;
+  if (++m.ops_since_sweep < config_.sweep_interval) return;
+  m.ops_since_sweep = 0;
+  sweep_member(m, now);
+}
+
+void sloppy_dht::store_value(member& m, const std::string& key, const std::string& value,
+                             std::int64_t expires_at, std::int64_t now) {
+  prune_expired(m, key, now);
+  touch_for_sweep(m, now);
+  auto& values = m.store[key];
+  // Refresh an existing copy of the same value.
+  for (auto& sv : values) {
+    if (sv.value == value) {
+      sv.expires_at = std::max(sv.expires_at, expires_at);
+      return;
+    }
+  }
+  if (values.size() >= config_.max_values_per_key) {
+    // Displace the soonest-to-expire value.
+    auto oldest = std::min_element(values.begin(), values.end(),
+                                   [](const stored_value& a, const stored_value& b) {
+                                     return a.expires_at < b.expires_at;
+                                   });
+    *oldest = {value, expires_at};
+    return;
+  }
+  values.push_back({value, expires_at});
+}
+
+void sloppy_dht::purge_expired(std::int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& m : members_) sweep_member(m, now);
+}
+
+// ----- event-driven path (single-threaded sim) ---------------------------------
 
 void sloppy_dht::rpc(member_id from, const contact& to, std::function<void(member*)> handler,
                      std::function<void()> on_unreachable) {
@@ -182,7 +262,7 @@ void sloppy_dht::lookup_step(const std::shared_ptr<lookup_state>& state) {
         // Get-style lookups return early when the contacted node holds
         // values for the key (Coral answers from the lookup path).
         if (state->is_get && !state->key.empty()) {
-          prune_expired(*m, state->key);
+          prune_expired(*m, state->key, now_seconds());
           const auto it = m->store.find(state->key);
           if (it != m->store.end() && !it->second.empty()) {
             state->finished = true;
@@ -226,35 +306,12 @@ void sloppy_dht::put(member_id via, const std::string& key, const std::string& v
   lookup(via, target, [this, via, key, value, expires_at, done = std::move(done)](
                           std::vector<contact> path, int hops) {
     // Sloppy store: prefer the closest node, but spill outward past nodes
-    // already holding spill_threshold values for this key. Captures by value:
-    // this closure outlives the lookup callback (it runs after another RPC).
-    auto store_into = [this, key, value, expires_at](member& m) {
-      prune_expired(m, key);
-      auto& values = m.store[key];
-      // Refresh an existing copy of the same value.
-      for (auto& sv : values) {
-        if (sv.value == value) {
-          sv.expires_at = std::max(sv.expires_at, expires_at);
-          return;
-        }
-      }
-      if (values.size() >= config_.max_values_per_key) {
-        // Displace the soonest-to-expire value.
-        auto oldest = std::min_element(values.begin(), values.end(),
-                                       [](const stored_value& a, const stored_value& b) {
-                                         return a.expires_at < b.expires_at;
-                                       });
-        *oldest = {value, expires_at};
-        return;
-      }
-      values.push_back({value, expires_at});
-    };
-
+    // already holding spill_threshold values for this key.
     member* chosen = nullptr;
     for (const auto& c : path) {
       member* m = find_member(c.id);
       if (m == nullptr) continue;
-      prune_expired(*m, key);
+      prune_expired(*m, key, now_seconds());
       const auto it = m->store.find(key);
       const std::size_t held = it == m->store.end() ? 0 : it->second.size();
       if (held < config_.spill_threshold) {
@@ -269,8 +326,8 @@ void sloppy_dht::put(member_id via, const std::string& key, const std::string& v
     if (chosen != nullptr) {
       const contact dest = chosen->self;
       rpc(via, dest,
-          [store_into, done, hops](member* m) {
-            store_into(*m);
+          [this, key, value, expires_at, done, hops](member* m) {
+            store_value(*m, key, value, expires_at, now_seconds());
             done(hops + 1);
           },
           [done, hops]() { done(hops + 1); });
@@ -286,7 +343,8 @@ void sloppy_dht::get(member_id via, const std::string& key,
     throw std::invalid_argument("sloppy_dht::get: bad member");
   }
   // Local store first: zero hops.
-  prune_expired(members_[via], key);
+  touch_for_sweep(members_[via], now_seconds());
+  prune_expired(members_[via], key, now_seconds());
   const auto it = members_[via].store.find(key);
   if (it != members_[via].store.end() && !it->second.empty()) {
     std::vector<std::string> values;
@@ -307,6 +365,110 @@ void sloppy_dht::get(member_id via, const std::string& key,
   state->shortlist = members_[via].table->closest(state->target, config_.k);
   state->queried.insert(members_[via].self.id);
   lookup_step(state);
+}
+
+// ----- synchronous path (thread-safe) ------------------------------------------
+
+void sloppy_dht::walk_now(member& via, const std::string& key, std::int64_t now,
+                          bool collect_values, sync_result& out,
+                          std::vector<contact>& path) {
+  const node_id target = node_id::hash_of(key);
+  path = via.table->closest(target, config_.k);
+  std::set<node_id> queried{via.self.id};
+  int budget = static_cast<int>(config_.k) * 3;
+
+  while (budget-- > 0) {
+    const contact* next = nullptr;
+    for (const auto& c : path) {
+      if (!queried.contains(c.id)) {
+        next = &c;
+        break;
+      }
+    }
+    if (next == nullptr) break;
+    const contact to = *next;
+    queried.insert(to.id);
+    ++out.hops;
+    out.latency_seconds += rpc_cost(via.host, to.host);
+
+    member* m = find_member(to.id);
+    if (m == nullptr) {
+      via.table->remove(to.id);
+      continue;
+    }
+    m->table->observe(via.self);
+    if (collect_values) {
+      prune_expired(*m, key, now);
+      touch_for_sweep(*m, now);
+      const auto it = m->store.find(key);
+      if (it != m->store.end() && !it->second.empty()) {
+        for (const auto& sv : it->second) out.values.push_back(sv.value);
+        return;
+      }
+    }
+    std::vector<contact> more = m->table->closest(target, config_.k);
+    more.push_back(m->self);
+    for (const auto& c : more) {
+      const bool known = std::any_of(path.begin(), path.end(),
+                                     [&](const contact& s) { return s.id == c.id; });
+      if (!known) path.push_back(c);
+      via.table->observe(c);
+    }
+    std::sort(path.begin(), path.end(), [&](const contact& a, const contact& b) {
+      return a.id.distance_to(target) < b.id.distance_to(target);
+    });
+    if (path.size() > config_.k * 2) path.resize(config_.k * 2);
+  }
+}
+
+sloppy_dht::sync_result sloppy_dht::get_now(member_id via, const std::string& key,
+                                            std::int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (via >= members_.size() || !members_[via].alive) {
+    throw std::invalid_argument("sloppy_dht::get_now: bad member");
+  }
+  sync_result out;
+  member& origin = members_[via];
+  touch_for_sweep(origin, now);
+  prune_expired(origin, key, now);
+  const auto it = origin.store.find(key);
+  if (it != origin.store.end() && !it->second.empty()) {
+    for (const auto& sv : it->second) out.values.push_back(sv.value);
+    return out;  // zero hops: answered from the local store
+  }
+  std::vector<contact> path;
+  walk_now(origin, key, now, /*collect_values=*/true, out, path);
+  return out;
+}
+
+int sloppy_dht::put_now(member_id via, const std::string& key, const std::string& value,
+                        std::int64_t expires_at, std::int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (via >= members_.size() || !members_[via].alive) {
+    throw std::invalid_argument("sloppy_dht::put_now: bad member");
+  }
+  member& origin = members_[via];
+  sync_result walk;
+  std::vector<contact> path;
+  walk_now(origin, key, now, /*collect_values=*/false, walk, path);
+
+  // Same sloppy-store placement as the event-driven put.
+  member* chosen = nullptr;
+  for (const auto& c : path) {
+    member* m = find_member(c.id);
+    if (m == nullptr) continue;
+    prune_expired(*m, key, now);
+    const auto held_it = m->store.find(key);
+    const std::size_t held = held_it == m->store.end() ? 0 : held_it->second.size();
+    if (held < config_.spill_threshold) {
+      chosen = m;
+      break;
+    }
+    if (chosen == nullptr) chosen = m;
+  }
+  if (chosen == nullptr) chosen = &origin;  // degenerate ring: store locally
+  store_value(*chosen, key, value, expires_at, now);
+  return walk.hops + 1;
 }
 
 }  // namespace nakika::overlay

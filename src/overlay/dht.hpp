@@ -2,14 +2,28 @@
 // map to multiple values (node addresses caching a URL), stores may stop
 // early at intermediate nodes when the path toward the key is loaded
 // ("sloppiness"), and lookups return as soon as any values are found along
-// the path. RPCs travel over the simulated network, so lookups cost real
-// virtual-time hops.
+// the path.
+//
+// Two access paths share one store:
+//   - The event-driven API (put/get) drives RPCs over the simulated network,
+//     so lookups cost real virtual-time hops. It is the deterministic
+//     single-threaded sim path and must only be used from the event loop.
+//   - The synchronous API (put_now/get_now) performs the same iterative
+//     Kademlia walk inline under the ring mutex, for callers on concurrent
+//     worker threads (the threaded peer transport). It never touches the
+//     event loop; the virtual network cost the sim would have charged is
+//     returned as accounted latency instead.
+// Membership, per-member stores, and routing tables are guarded by one ring
+// mutex, so concurrent put_now/get_now/purge_expired/leave are TSan-clean.
+// join is setup-time only: its bootstrap self-lookup is event-driven sim
+// traffic, so complete every join before concurrent serving starts.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -26,6 +40,10 @@ struct dht_config {
   std::size_t max_values_per_key = 8;
   double rpc_cpu_seconds = 50e-6;    // per-RPC processing cost
   std::size_t rpc_bytes = 120;       // request/response wire size
+  // Amortized store hygiene: after this many stores/lookups touching one
+  // member, its whole store is swept for TTL-expired values (so keys that
+  // are never queried again cannot accumulate dead entries).
+  std::size_t sweep_interval = 64;
 };
 
 // One logical ring. Multiple rings coexist (Coral levels / clusters).
@@ -40,6 +58,8 @@ class sloppy_dht {
   member_id join(sim::node_id host, const std::string& name);
   void leave(member_id m);
 
+  // --- event-driven API (single-threaded sim path) -----------------------------
+
   // Stores `value` under `key` with an absolute expiry, starting at member
   // `via`. `done(hops)` fires when the store lands.
   void put(member_id via, const std::string& key, const std::string& value,
@@ -50,11 +70,36 @@ class sloppy_dht {
   void get(member_id via, const std::string& key,
            std::function<void(std::vector<std::string> values, int hops)> done);
 
+  // --- synchronous API (thread-safe, for worker-mode transports) ---------------
+
+  struct sync_result {
+    std::vector<std::string> values;
+    int hops = 0;
+    // Virtual latency of the walk (per-hop RTT + RPC CPU), what the sim path
+    // would have billed to the event loop.
+    double latency_seconds = 0.0;
+  };
+
+  // The iterative walk of get/put performed inline under the ring mutex.
+  // `now` is the caller's epoch (worker mode runs on wall-clock epochs, not
+  // event-loop time, so the clock is explicit here).
+  [[nodiscard]] sync_result get_now(member_id via, const std::string& key,
+                                    std::int64_t now);
+  // Returns the hop count of the store walk.
+  int put_now(member_id via, const std::string& key, const std::string& value,
+              std::int64_t expires_at, std::int64_t now);
+
+  // Sweeps every member's store, dropping TTL-expired values and empty keys.
+  void purge_expired(std::int64_t now);
+
   [[nodiscard]] std::size_t member_count() const;
   [[nodiscard]] const contact& member_contact(member_id m) const;
   // Introspection for tests: values stored at one member for a key.
   [[nodiscard]] std::vector<std::string> stored_at(member_id m, const std::string& key,
                                                    std::int64_t now) const;
+  // Number of keys resident in one member's store (including any whose
+  // values have expired but have not been swept yet).
+  [[nodiscard]] std::size_t stored_keys(member_id m) const;
   [[nodiscard]] sim::network& net() { return net_; }
 
  private:
@@ -68,6 +113,7 @@ class sloppy_dht {
     sim::node_id host = 0;
     std::unique_ptr<routing_table> table;
     std::map<std::string, std::vector<stored_value>> store;
+    std::size_t ops_since_sweep = 0;
   };
 
   // Iterative lookup driving closure. alpha = 1 outstanding RPC.
@@ -81,10 +127,30 @@ class sloppy_dht {
 
   [[nodiscard]] member* find_member(const node_id& id);
   [[nodiscard]] std::int64_t now_seconds() const;
-  void prune_expired(member& m, const std::string& key);
+  // Virtual cost of one RPC exchange between two hosts (RTT + CPU).
+  [[nodiscard]] double rpc_cost(sim::node_id from, sim::node_id to) const;
+
+  // Store hygiene (callers hold mu_ on the sync path; the async path runs
+  // single-threaded): drop expired values of `key`, then amortized-sweep the
+  // member's whole store every sweep_interval ops.
+  void prune_expired(member& m, const std::string& key, std::int64_t now);
+  void sweep_member(member& m, std::int64_t now);
+  void touch_for_sweep(member& m, std::int64_t now);
+  // Sloppy insert honoring max_values_per_key: refresh a duplicate value,
+  // else displace the soonest-to-expire when the per-key list is full.
+  void store_value(member& m, const std::string& key, const std::string& value,
+                   std::int64_t expires_at, std::int64_t now);
+
+  // The synchronous iterative walk shared by get_now/put_now. Walks toward
+  // hash(key); when `collect_values` is set, stops early at the first member
+  // holding non-expired values for `key` (filling out.values). Always fills
+  // `path` with the walked shortlist sorted by distance.
+  void walk_now(member& via, const std::string& key, std::int64_t now,
+                bool collect_values, sync_result& out, std::vector<contact>& path);
 
   sim::network& net_;
   dht_config config_;
+  mutable std::mutex mu_;  // guards members_ (stores, routing tables, liveness)
   std::vector<member> members_;
 };
 

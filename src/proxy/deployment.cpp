@@ -1,5 +1,6 @@
 #include "proxy/deployment.hpp"
 
+#include "net/peer_transport.hpp"
 #include "util/strings.hpp"
 
 namespace nakika::proxy {
@@ -48,8 +49,24 @@ void deployment::enable_overlay(overlay::cluster_config cfg) {
 void deployment::join_overlay(nakika_node& node) {
   const std::string name = "nakika-" + net_.node_name(node.host());
   const auto member = overlay_->join(node.host(), name);
-  node.attach_overlay(overlay_.get(), member, name,
-                      [this](const std::string& peer) { return node_by_name(peer); });
+  // Peer-name resolution reads nodes_by_name_, which is frozen once every
+  // node is created — create all nodes before worker-mode serving starts.
+  net::peer_directory peers = [this](const std::string& peer) -> net::peer_endpoint* {
+    return node_by_name(peer);
+  };
+  if (node.using_workers()) {
+    // Worker-mode nodes run concurrently, so peer lookups and fetches go
+    // through the thread-safe transport (synchronous DHT walk + direct
+    // cross-thread cache probes) instead of the single-threaded event loop.
+    nakika_node* self = &node;
+    node.attach_peer_transport(std::make_unique<net::threaded_peer_transport>(
+        net_, *overlay_, member, name, std::move(peers), node.host(),
+        [self] { return static_cast<std::int64_t>(self->virtual_now()); }));
+  } else {
+    node.attach_peer_transport(std::make_unique<net::sim_peer_transport>(
+        net_, *overlay_, member, name, std::move(peers), node.host(),
+        node.config().costs.cache_hit_serve));
+  }
 }
 
 nakika_node* deployment::node_by_name(const std::string& name) {

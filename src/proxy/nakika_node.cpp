@@ -1,5 +1,7 @@
 #include "proxy/nakika_node.hpp"
 
+#include <stdexcept>
+
 #include "http/wire.hpp"
 #include "overlay/redirector.hpp"
 #include "proxy/plain_proxy.hpp"
@@ -66,13 +68,8 @@ void nakika_node::set_wall_sources(std::string clientwall, std::string serverwal
   config_.serverwall_source = std::move(serverwall);
 }
 
-void nakika_node::attach_overlay(overlay::coral_overlay* ov,
-                                 overlay::coral_overlay::member_id member,
-                                 std::string self_name, peer_resolver peers) {
-  overlay_ = ov;
-  overlay_member_ = member;
-  self_name_ = std::move(self_name);
-  peers_ = std::move(peers);
+void nakika_node::attach_peer_transport(std::unique_ptr<net::peer_transport> transport) {
+  transport_ = std::move(transport);
 }
 
 void nakika_node::attach_replica(const std::string& site, state::replica* r) {
@@ -80,7 +77,9 @@ void nakika_node::attach_replica(const std::string& site, state::replica* r) {
 }
 
 std::optional<http::response> nakika_node::lookup_cache_only(const std::string& url) {
-  const auto now = static_cast<std::int64_t>(net_.loop().now());
+  // virtual_now (not the raw loop clock) so the probe is safe and fresh when
+  // a foreign node's worker thread calls in while we serve in worker mode.
+  const auto now = static_cast<std::int64_t>(virtual_now());
   return content_cache_.get(url, now);
 }
 
@@ -343,11 +342,11 @@ void nakika_node::fetch_resource(const std::string& site, const http::request& r
     resp = maybe_render_nkp(site, r, std::move(resp), nullptr);
     const auto later = static_cast<std::int64_t>(net_.loop().now());
     const bool stored = content_cache_.put(key, resp, later);
-    if (stored && overlay_ != nullptr) {
+    if (stored && transport_ != nullptr) {
       // Advertise our copy: "one cached copy ... is sufficient for avoiding
       // origin server accesses".
       const http::freshness f = http::compute_freshness(resp, later);
-      overlay_->put(overlay_member_, key, self_name_, f.expires_at, []() {});
+      transport_->advertise(key, f.expires_at);
     }
     cb(std::move(resp), 0.0);
   };
@@ -356,54 +355,19 @@ void nakika_node::fetch_resource(const std::string& site, const http::request& r
   // cached; query-bearing URLs are dynamic/personalized and go straight to
   // the origin (as CoralCDN does for uncacheable content).
   const bool overlay_worthwhile = r.url.query().empty();
-  if (overlay_ != nullptr && peers_ && overlay_worthwhile) {
-    overlay_->get(overlay_member_, key,
-                  [this, r, finish_with, cb](std::vector<std::string> holders,
-                                             int /*level*/) mutable {
-                    nakika_node* peer = nullptr;
-                    for (const auto& name : holders) {
-                      if (name == self_name_) continue;
-                      if (nakika_node* p = peers_(name)) {
-                        peer = p;
-                        break;
-                      }
-                    }
-                    if (peer == nullptr) {
-                      fetch_from_origin(r, [finish_with](http::response resp, double) mutable {
-                        finish_with(std::move(resp));
-                      });
-                      return;
-                    }
-                    // Ask the peer's cache; fall back to origin on a miss.
-                    const std::string key = r.url.str();
-                    net_.transfer(
-                        host_, peer->host(), http::wire_size(r),
-                        [this, peer, key, r, finish_with]() mutable {
-                          auto hit = peer->lookup_cache_only(key);
-                          if (!hit) {
-                            // Miss at the peer (stale hint): back to origin.
-                            net_.transfer(peer->host(), host_, 64, [this, r,
-                                                                    finish_with]() mutable {
-                              fetch_from_origin(
-                                  r, [finish_with](http::response resp, double) mutable {
-                                    finish_with(std::move(resp));
-                                  });
-                            });
-                            return;
-                          }
-                          const std::size_t bytes = http::wire_size(*hit);
-                          net_.run_cpu(
-                              peer->host(), config_.costs.cache_hit_serve,
-                              [this, peer, bytes, resp = std::move(*hit),
-                               finish_with]() mutable {
-                                net_.transfer(peer->host(), host_, bytes,
-                                              [resp = std::move(resp),
-                                               finish_with]() mutable {
-                                                finish_with(std::move(resp));
-                                              });
-                              });
-                        });
-                  });
+  if (transport_ != nullptr && overlay_worthwhile) {
+    transport_->fetch_from_peers(
+        r, [this, r, finish_with](net::peer_transport::result res) mutable {
+          if (res.response) {
+            counters_.add(0, counter_field::peer_hits);
+            finish_with(std::move(*res.response));
+            return;
+          }
+          counters_.add(0, counter_field::peer_misses);
+          fetch_from_origin(r, [finish_with](http::response resp, double) mutable {
+            finish_with(std::move(resp));
+          });
+        });
     return;
   }
 
@@ -412,9 +376,10 @@ void nakika_node::fetch_resource(const std::string& site, const http::request& r
   });
 }
 
-// Synchronous twin of fetch_resource for the worker path: cache, then origin
-// via serve_now. No overlay (worker mode serves a single node) and no
-// virtual-delay accounting — workers burn real time instead.
+// Synchronous twin of fetch_resource for the worker path: cache, then the
+// single-flight miss path (peer transport, then origin via serve_now). No
+// virtual-delay sleeping — workers burn real time; the transport's virtual
+// network cost is accounted in peer_latency_seconds instead.
 http::response nakika_node::fetch_resource_direct(const std::string& site,
                                                   const http::request& r,
                                                   core::worker_context* wc) {
@@ -422,6 +387,56 @@ http::response nakika_node::fetch_resource_direct(const std::string& site,
   const auto now = static_cast<std::int64_t>(virtual_now());
 
   if (auto hit = content_cache_.get(key, now)) return std::move(*hit);
+
+  // Query-bearing URLs are dynamic/personalized: each request must reach the
+  // origin itself, so they bypass coalescing (same rule as the overlay).
+  if (!r.url.query().empty()) return fetch_miss_direct(site, r, wc);
+
+  bool coalesced = false;
+  http::response out = flights_.run(
+      key, [&] { return fetch_miss_direct(site, r, wc); }, &coalesced);
+  if (coalesced) {
+    const std::size_t slot = wc != nullptr ? wc->index() + 1 : 0;
+    counters_.add(slot, counter_field::coalesced);
+  }
+  return out;
+}
+
+http::response nakika_node::fetch_miss_direct(const std::string& site,
+                                              const http::request& r,
+                                              core::worker_context* wc) {
+  const std::string key = r.url.str();
+  const std::size_t slot = wc != nullptr ? wc->index() + 1 : 0;
+
+  // A flight that completed between our miss and taking leadership may have
+  // filled the cache already; serve that instead of refetching.
+  if (auto hit = content_cache_.get(key, static_cast<std::int64_t>(virtual_now()))) {
+    return std::move(*hit);
+  }
+
+  auto finish_with = [&](http::response resp) {
+    resp = maybe_render_nkp(site, r, std::move(resp), wc);
+    const auto later = static_cast<std::int64_t>(virtual_now());
+    const bool stored = content_cache_.put(key, resp, later);
+    if (stored && transport_ != nullptr) {
+      const http::freshness f = http::compute_freshness(resp, later);
+      transport_->advertise(key, f.expires_at);
+    }
+    return resp;
+  };
+
+  if (transport_ != nullptr && r.url.query().empty()) {
+    net::peer_transport::result res;
+    transport_->fetch_from_peers(
+        r, [&res](net::peer_transport::result found) { res = std::move(found); });
+    peer_latency_micros_.fetch_add(static_cast<std::uint64_t>(res.latency_seconds * 1e6),
+                                   std::memory_order_relaxed);
+    if (res.response) {
+      counters_.add(slot, counter_field::peer_hits);
+      return finish_with(std::move(*res.response));
+    }
+    counters_.add(slot, counter_field::peer_misses);
+  }
 
   auto* origin = dynamic_cast<origin_server*>(resolve_origin_(r.url.host()));
   if (origin == nullptr) {
@@ -431,9 +446,7 @@ http::response nakika_node::fetch_resource_direct(const std::string& site,
   if (!resp) {
     return http::make_error_response(502, "origin failure for " + key);
   }
-  http::response out = maybe_render_nkp(site, r, std::move(*resp), wc);
-  content_cache_.put(key, out, static_cast<std::int64_t>(virtual_now()));
-  return out;
+  return finish_with(std::move(*resp));
 }
 
 // ----- script subrequests (Fetch vocabulary) ----------------------------------------
@@ -485,11 +498,37 @@ core::fetch_result nakika_node::sub_fetch_direct(const http::request& r) {
   }
   auto* concrete = dynamic_cast<origin_server*>(resolve_origin_(r.url.host()));
   if (concrete == nullptr) return out;
-  auto resp = concrete->serve_now(r);
-  if (!resp) return out;
+
+  // Failure travels in-band (not as an exception) so a coalesced waiter and
+  // the flight's leader reach the same verdict: both see the marked response
+  // and report ok=false, matching the sim path's "origin produced nothing".
+  auto fetch = [&]() -> http::response {
+    if (auto hit = content_cache_.get(key, static_cast<std::int64_t>(virtual_now()))) {
+      return std::move(*hit);
+    }
+    auto resp = concrete->serve_now(r);
+    if (!resp) {
+      http::response err = http::make_error_response(502, "sub-fetch origin failure");
+      err.headers.set("X-Nakika-Fetch-Failed", "1");
+      return err;
+    }
+    content_cache_.put(key, *resp, static_cast<std::int64_t>(virtual_now()));
+    return std::move(*resp);
+  };
+
+  if (r.url.query().empty()) {
+    // Sub-fetches coalesce in their own flight table (never shared with
+    // top-level misses, whose leaders additionally render + advertise); a
+    // sub-fetch for a URL this worker is already fetching runs directly
+    // (leader re-entrancy) instead of deadlocking.
+    bool coalesced = false;
+    out.response = sub_flights_.run(key, fetch, &coalesced);
+    if (coalesced) counters_.add(0, counter_field::coalesced);
+  } else {
+    out.response = fetch();
+  }
+  if (out.response.headers.has("X-Nakika-Fetch-Failed")) return out;  // ok stays false
   out.ok = true;
-  out.response = std::move(*resp);
-  content_cache_.put(key, out.response, static_cast<std::int64_t>(virtual_now()));
   return out;
 }
 

@@ -24,6 +24,8 @@
 #include "core/resource_manager.hpp"
 #include "core/sandbox.hpp"
 #include "core/worker_pool.hpp"
+#include "net/peer_transport.hpp"
+#include "net/single_flight.hpp"
 #include "overlay/clusters.hpp"
 #include "proxy/origin_server.hpp"
 #include "state/local_store.hpp"
@@ -87,16 +89,17 @@ struct node_config {
   // pool and RNG, pulling requests from a bounded MPMC queue; handle() then
   // executes pipelines synchronously on worker threads (real wall-clock
   // accounting, no virtual delays) and completion callbacks fire on those
-  // threads. Worker mode requires a thread-safe resolve_origin and skips the
-  // overlay (single-node serving); configure walls/content before the first
-  // request.
+  // threads. Worker mode requires a thread-safe resolve_origin; attach a
+  // threaded_peer_transport (deployment does this automatically when the
+  // overlay is enabled) for multi-node cooperative caching. Configure
+  // walls/content before the first request.
   std::size_t workers = 0;
   // Queue bound; a full queue rejects with 503 "server busy" (the paper's
   // congestion signal applied to admission, counters().rejected counts them).
   std::size_t queue_capacity = 1024;
 };
 
-class nakika_node : public http_endpoint {
+class nakika_node : public http_endpoint, public net::peer_endpoint {
  public:
   nakika_node(sim::network& net, sim::node_id host, endpoint_resolver resolve_origin,
               node_config config = {});
@@ -113,12 +116,21 @@ class nakika_node : public http_endpoint {
   [[nodiscard]] core::worker_pool* pool() { return pool_.get(); }
 
   // --- cooperative caching ---
-  // Resolves a peer node name (as stored in the DHT) to its endpoint.
-  using peer_resolver = std::function<nakika_node*(const std::string& name)>;
-  void attach_overlay(overlay::coral_overlay* ov, overlay::coral_overlay::member_id member,
-                      std::string self_name, peer_resolver peers);
-  // Cache-only lookup used by peers (no origin fallback).
+  // Attaches the peer transport this node locates and fetches peer copies
+  // through: a sim_peer_transport on the deterministic event-loop path, a
+  // threaded_peer_transport for worker-mode clusters (deployment picks the
+  // right one). The node owns the transport.
+  void attach_peer_transport(std::unique_ptr<net::peer_transport> transport);
+  // Cache-only lookup used by peers (no origin fallback). Thread-safe: the
+  // content cache is sharded and the clock is the node's own epoch, so
+  // foreign worker threads may probe while this node is serving.
   [[nodiscard]] std::optional<http::response> lookup_cache_only(const std::string& url);
+  // net::peer_endpoint: what a peer transport needs from the remote side.
+  [[nodiscard]] std::optional<http::response> peer_cache_lookup(
+      const std::string& url) override {
+    return lookup_cache_only(url);
+  }
+  [[nodiscard]] sim::node_id peer_host() const override { return host_; }
 
   // --- hard state ---
   void attach_replica(const std::string& site, state::replica* r);
@@ -168,6 +180,25 @@ class nakika_node : public http_endpoint {
   [[nodiscard]] site_cache_stats site_cache(const std::string& site) const;
   [[nodiscard]] core::chunk_cache& chunks() { return chunk_cache_; }
 
+  // Single-flight effectiveness across both flight tables (top-level misses
+  // + script sub-fetches): leaders = upstream fetches executed, waiters =
+  // requests that coalesced onto one (== counters().coalesced).
+  [[nodiscard]] net::single_flight::stats flight_stats() const {
+    const net::single_flight::stats top = flights_.snapshot();
+    const net::single_flight::stats sub = sub_flights_.snapshot();
+    return {top.leaders + sub.leaders, top.waiters + sub.waiters};
+  }
+  // Virtual network latency the threaded peer transport accounted (overlay
+  // walks + peer round-trips); 0 on the sim path, which bills the event loop
+  // instead.
+  [[nodiscard]] double peer_latency_seconds() const {
+    return static_cast<double>(peer_latency_micros_.load(std::memory_order_relaxed)) * 1e-6;
+  }
+
+  // Virtual-epoch clock: event-loop time on the sim path, wall-clock seconds
+  // since construction in worker mode. Safe from any thread.
+  [[nodiscard]] double virtual_now() const;
+
  private:
   struct script_entry {
     std::string source;
@@ -205,11 +236,12 @@ class nakika_node : public http_endpoint {
   core::stage_fetch_result load_stage_script_direct(const std::string& url);
   http::response fetch_resource_direct(const std::string& site, const http::request& r,
                                        core::worker_context* wc);
+  // The miss side of fetch_resource_direct, run under single-flight: peer
+  // transport first (when attached), then origin via serve_now.
+  http::response fetch_miss_direct(const std::string& site, const http::request& r,
+                                   core::worker_context* wc);
   core::fetch_result sub_fetch_direct(const http::request& r);
   void monitor_main();  // background CONTROL thread (worker mode)
-  // Virtual-epoch clock: event-loop time on the sim path, wall-clock seconds
-  // since construction in worker mode.
-  [[nodiscard]] double virtual_now() const;
   // Merges one pipeline's outcome into counters/resources/script_times;
   // shared between the sim completion callback and the worker path.
   void account_pipeline(const std::string& site, const core::pipeline_result& result,
@@ -235,10 +267,18 @@ class nakika_node : public http_endpoint {
   // isolates pipelines and reuses contexts.
   core::sandbox_pool sandbox_pool_;
 
-  overlay::coral_overlay* overlay_ = nullptr;
-  overlay::coral_overlay::member_id overlay_member_ = 0;
-  std::string self_name_;
-  peer_resolver peers_;
+  // Cooperative caching: the transport encapsulates overlay membership and
+  // how peer copies travel (virtual-time sim events vs direct cross-thread
+  // calls). Null until attached; the miss path then goes straight to origin.
+  std::unique_ptr<net::peer_transport> transport_;
+  // Single-flight tables for worker-mode misses: concurrent requests for one
+  // URL collapse onto one upstream (peer or origin) fetch. Top-level misses
+  // and script sub-fetches coalesce separately — a top-level leader renders
+  // NKP pages and advertises its copy, a sub-fetch leader must not — so a
+  // waiter never receives a response that skipped its path's side effects.
+  net::single_flight flights_;
+  net::single_flight sub_flights_;
+  std::atomic<std::uint64_t> peer_latency_micros_{0};
 
   // Guarded by stats_mu_: low-rate merge targets written by every worker.
   mutable std::mutex stats_mu_;

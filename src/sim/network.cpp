@@ -79,6 +79,12 @@ double network::route_latency(node_id a, node_id b) const {
   return it->second.latency;
 }
 
+double network::route_latency_or(node_id a, node_id b, double fallback) const {
+  if (a == b) return 0.0;
+  const auto it = routes_.find(route_key(a, b));
+  return it == routes_.end() ? fallback : it->second.latency;
+}
+
 bool network::has_route(node_id a, node_id b) const {
   return a == b || routes_.contains(route_key(a, b));
 }

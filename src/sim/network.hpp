@@ -43,7 +43,14 @@ class network {
 
   // One-way latency of the route (ignoring bandwidth); used by the overlay's
   // RTT-based clustering. Throws std::logic_error when no route exists.
+  //
+  // Thread-safety: once the topology is built (no more add_node / add_link /
+  // set_route), the route queries below are read-only and safe to call from
+  // concurrent worker threads — the threaded peer transport and the DHT's
+  // synchronous walk use them to account virtual latency without the loop.
   [[nodiscard]] double route_latency(node_id a, node_id b) const;
+  // Non-throwing variant for latency *accounting*: `fallback` when unrouted.
+  [[nodiscard]] double route_latency_or(node_id a, node_id b, double fallback = 0.0) const;
   [[nodiscard]] bool has_route(node_id a, node_id b) const;
 
   [[nodiscard]] const std::string& node_name(node_id n) const;

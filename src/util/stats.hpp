@@ -70,6 +70,13 @@ struct run_counters {
   std::size_t terminated = 0;
   std::size_t failed = 0;
   std::size_t rejected = 0;  // bounced at the worker queue (backpressure 503)
+  // Cooperative caching: misses served from a peer node's cache vs misses
+  // where the overlay was consulted but the origin had to answer.
+  std::size_t peer_hits = 0;
+  std::size_t peer_misses = 0;
+  // Single-flight coalescing: requests that parked on another request's
+  // in-flight fetch of the same URL instead of fetching upstream themselves.
+  std::size_t coalesced = 0;
 
   [[nodiscard]] double throttled_fraction() const {
     return offered == 0 ? 0.0 : static_cast<double>(throttled) / static_cast<double>(offered);
@@ -92,8 +99,11 @@ class sharded_run_counters {
     terminated,
     failed,
     rejected,
+    peer_hits,
+    peer_misses,
+    coalesced,
   };
-  static constexpr std::size_t field_count = 6;
+  static constexpr std::size_t field_count = 9;
 
   explicit sharded_run_counters(std::size_t slots = 1) : slots_(slots == 0 ? 1 : slots) {}
 
@@ -115,6 +125,9 @@ class sharded_run_counters {
     out.terminated = sum[3];
     out.failed = sum[4];
     out.rejected = sum[5];
+    out.peer_hits = sum[6];
+    out.peer_misses = sum[7];
+    out.coalesced = sum[8];
     return out;
   }
 

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "overlay/clusters.hpp"
 #include "overlay/dht.hpp"
 #include "overlay/node_id.hpp"
@@ -219,6 +223,218 @@ TEST_F(dht_fixture, DeadNodeDoesNotWedgeLookups) {
   loop.run();
   EXPECT_TRUE(called);
   EXPECT_EQ(dht.member_count(), 6u);
+}
+
+// ----- synchronous (thread-safe) dht api --------------------------------------------
+
+TEST_F(dht_fixture, SyncPutThenGetFindsValue) {
+  build_mesh(12);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();  // settle joins
+
+  const int put_hops = dht.put_now(members[0], "http://a/x", "holder-0", 1000, 0);
+  EXPECT_GE(put_hops, 1);
+
+  const sloppy_dht::sync_result found = dht.get_now(members[7], "http://a/x", 0);
+  ASSERT_EQ(found.values.size(), 1u);
+  EXPECT_EQ(found.values[0], "holder-0");
+  EXPECT_GE(found.hops, 0);
+  // The walk accounts the virtual cost the sim would have billed (5 ms
+  // one-way mesh routes), unless the value happened to land locally.
+  if (found.hops > 0) EXPECT_GT(found.latency_seconds, 0.0);
+}
+
+TEST_F(dht_fixture, SyncGetHonorsTtl) {
+  build_mesh(6);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  dht.put_now(members[0], "k", "v", /*expires_at=*/10, /*now=*/0);
+  EXPECT_FALSE(dht.get_now(members[1], "k", 5).values.empty());
+  EXPECT_TRUE(dht.get_now(members[1], "k", 20).values.empty());
+}
+
+TEST_F(dht_fixture, SyncBoundsPerKeyValueLists) {
+  build_mesh(8);
+  dht_config cfg;
+  cfg.max_values_per_key = 3;
+  sloppy_dht dht(net, cfg);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  for (int i = 0; i < 40; ++i) {
+    dht.put_now(members[static_cast<std::size_t>(i) % members.size()], "hot",
+                "holder-" + std::to_string(i), 1000 + i, 0);
+  }
+  for (auto m : members) {
+    EXPECT_LE(dht.stored_at(m, "hot", 0).size(), cfg.max_values_per_key)
+        << "per-key value list exceeded its bound at member " << m;
+  }
+}
+
+// Expired entries are dropped by the amortized sweep during ordinary
+// inserts — stores of keys that are never queried again cannot accumulate.
+TEST(SloppyDhtHygiene, InsertSweepDropsExpiredKeys) {
+  sim::event_loop loop;
+  sim::network net{loop};
+  const sim::node_id host = net.add_node("solo");
+  dht_config cfg;
+  cfg.sweep_interval = 4;
+  sloppy_dht dht(net, cfg);
+  const auto m = dht.join(host, "solo");
+
+  for (int i = 0; i < 10; ++i) {
+    dht.put_now(m, "dead-" + std::to_string(i), "v", /*expires_at=*/5, /*now=*/0);
+  }
+  EXPECT_EQ(dht.stored_keys(m), 10u);
+  // Four more inserts after expiry: the interval sweep fires mid-stream and
+  // clears every dead key without any lookup touching them.
+  for (int i = 0; i < 4; ++i) {
+    dht.put_now(m, "live-" + std::to_string(i), "v", /*expires_at=*/4000, /*now=*/100);
+  }
+  EXPECT_EQ(dht.stored_keys(m), 4u);
+}
+
+TEST_F(dht_fixture, PurgeExpiredEmptiesStores) {
+  build_mesh(6);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  for (int i = 0; i < 30; ++i) {
+    dht.put_now(members[static_cast<std::size_t>(i) % members.size()],
+                "k" + std::to_string(i), "v", /*expires_at=*/50, /*now=*/0);
+  }
+  std::size_t resident = 0;
+  for (auto m : members) resident += dht.stored_keys(m);
+  EXPECT_GT(resident, 0u);
+
+  dht.purge_expired(/*now=*/100);
+  resident = 0;
+  for (auto m : members) resident += dht.stored_keys(m);
+  EXPECT_EQ(resident, 0u);
+}
+
+// 8 threads x insert/lookup/introspect/purge on one ring: must be TSan-clean
+// and every per-key list must respect its bound afterwards.
+TEST_F(dht_fixture, ConcurrentSyncOpsAreRaceFree) {
+  build_mesh(12);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  constexpr int k_threads = 8;
+  constexpr int k_ops = 1'500;
+  constexpr int k_keys = 23;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < k_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < k_ops; ++i) {
+        const std::string key = "k" + std::to_string((i * 7 + t) % k_keys);
+        const auto via = members[static_cast<std::size_t>(t + i) % members.size()];
+        const std::int64_t now = i / 50;
+        switch (i % 4) {
+          case 0:
+            dht.put_now(via, key, "h" + std::to_string(t), now + 30, now);
+            break;
+          case 1:
+            (void)dht.get_now(via, key, now);
+            break;
+          case 2:
+            (void)dht.stored_at(via, key, now);
+            break;
+          default:
+            if (i % 256 == 3) {
+              dht.purge_expired(now);
+            } else {
+              (void)dht.get_now(via, key, now);
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(dht.member_count(), members.size());
+  const dht_config defaults;
+  for (auto m : members) {
+    for (int k = 0; k < k_keys; ++k) {
+      EXPECT_LE(dht.stored_at(m, "k" + std::to_string(k), 0).size(),
+                defaults.max_values_per_key);
+    }
+  }
+}
+
+// ----- synchronous coral api ---------------------------------------------------------
+
+TEST(Clusters, SyncGetPrefersTightCluster) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::geo_deployment g = sim::build_geo(net, 3);
+
+  coral_overlay coral(net);
+  std::vector<coral_overlay::member_id> members;
+  for (std::size_t i = 0; i < g.sites.size(); ++i) {
+    members.push_back(coral.join(g.sites[i].proxy, "p" + std::to_string(i)));
+  }
+  loop.run();
+
+  coral.put_now(members[0], "key", "holder", 10000, 0);
+
+  // A same-region member finds it at the tightest level.
+  const coral_overlay::sync_result near = coral.get_now(members[1], "key", 0);
+  ASSERT_FALSE(near.values.empty());
+  EXPECT_EQ(near.level, 2);
+
+  // A remote-region member still finds it via a wider ring.
+  const coral_overlay::sync_result far = coral.get_now(members[6], "key", 0);
+  ASSERT_FALSE(far.values.empty());
+  EXPECT_LE(far.level, 1);
+  EXPECT_TRUE(coral.get_now(members[3], "absent", 0).values.empty());
+}
+
+TEST(Clusters, ConcurrentSyncOpsAreRaceFree) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::geo_deployment g = sim::build_geo(net, 3);
+
+  coral_overlay coral(net);
+  std::vector<coral_overlay::member_id> members;
+  for (std::size_t i = 0; i < g.sites.size(); ++i) {
+    members.push_back(coral.join(g.sites[i].proxy, "p" + std::to_string(i)));
+  }
+  loop.run();
+
+  constexpr int k_threads = 8;
+  constexpr int k_ops = 600;
+  std::atomic<std::size_t> found{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < k_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < k_ops; ++i) {
+        const std::string key = "u" + std::to_string((i + t * 3) % 17);
+        const auto via = members[static_cast<std::size_t>(t + i) % members.size()];
+        const std::int64_t now = i / 40;
+        if (i % 3 == 0) {
+          coral.put_now(via, key, "holder-" + std::to_string(t), now + 60, now);
+        } else if (i % 97 == 1) {
+          coral.purge_expired(now);
+        } else {
+          if (!coral.get_now(via, key, now).values.empty()) found.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(found.load(), 0u) << "concurrent lookups should observe concurrent inserts";
 }
 
 // ----- clusters ---------------------------------------------------------------------
