@@ -17,6 +17,7 @@
 
 #include "bench_common.hpp"
 #include "proxy/deployment.hpp"
+#include "workload/scenario.hpp"
 
 namespace nakika {
 namespace {
@@ -126,6 +127,188 @@ cluster_result run_cluster(std::size_t n_nodes, std::size_t workers, std::size_t
   return out;
 }
 
+// --- scenario tier: adversarial families over workload::cluster_scenario ---
+
+struct timed_batch {
+  workload::batch_metrics metrics;
+  double seconds = 0.0;
+};
+
+timed_batch timed(workload::cluster_scenario& s, const std::vector<workload::request_ref>& reqs) {
+  const auto start = std::chrono::steady_clock::now();
+  timed_batch out;
+  out.metrics = s.run_batch(reqs);
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
+// Flash crowd: a Zipf burst against a cold 4-node cluster. Gate: lossless AND
+// origin fetches <= distinct hot objects (the O(1) collapse invariant).
+bool run_flash_crowd(bool smoke, bench::json_reporter& json) {
+  workload::scenario_config cfg;
+  cfg.nodes = 4;
+  cfg.workers = 2;
+  cfg.seed = 1097;
+  workload::tenant_spec hot;
+  hot.site = "flash.org";
+  hot.objects = 32;
+  hot.object_bytes = 1024;
+  cfg.tenants.push_back(hot);
+  workload::cluster_scenario s(cfg);
+  s.warm_script_probes();
+
+  const std::size_t burst_size = smoke ? 256 : 8192;
+  const std::vector<workload::request_ref> burst = s.zipf_batch(0, burst_size);
+  std::size_t distinct = 0;
+  {
+    std::vector<bool> seen(hot.objects, false);
+    for (const workload::request_ref& ref : burst) {
+      if (!seen[ref.object]) { seen[ref.object] = true; ++distinct; }
+    }
+  }
+  const timed_batch t = timed(s, burst);
+  const bool o1 = t.metrics.origin_fetches <= distinct;
+  const bool ok = t.metrics.lossless() && o1;
+
+  bench::print_row("flash-crowd " + std::to_string(burst_size) + " reqs",
+                   {bench::num(static_cast<double>(burst_size) / t.seconds, 0),
+                    bench::pct(t.metrics.peer_hit_ratio()),
+                    std::to_string(t.metrics.coalesced),
+                    std::to_string(t.metrics.origin_fetches) + "/" + std::to_string(distinct),
+                    ok ? "yes" : "NO"});
+  const std::string config = "flash_crowd/nodes=4/workers=2";
+  json.add(config, "requests_per_second", static_cast<double>(burst_size) / t.seconds);
+  json.add(config, "origin_fetches", static_cast<double>(t.metrics.origin_fetches));
+  json.add(config, "distinct_objects", static_cast<double>(distinct));
+  json.add(config, "coalesced_requests", static_cast<double>(t.metrics.coalesced));
+  json.add(config, "peer_hit_ratio", t.metrics.peer_hit_ratio());
+  return ok;
+}
+
+// Churn: crash the warm node mid-workload, then recover it. Gates: every
+// phase lossless with zero 503s, origin fallback bounded by the objects that
+// died with the node, and the peer-hit ratio back at its pre-crash level.
+bool run_churn(bool smoke, bench::json_reporter& json) {
+  workload::scenario_config cfg;
+  cfg.nodes = 4;
+  cfg.workers = 2;
+  cfg.seed = 2221;
+  workload::tenant_spec warm;
+  warm.site = "warm.org";
+  warm.objects = smoke ? 32 : 128;
+  cfg.tenants.push_back(warm);
+  workload::tenant_spec solo;
+  solo.site = "solo.org";
+  solo.objects = smoke ? 16 : 64;
+  cfg.tenants.push_back(solo);
+  workload::cluster_scenario s(cfg);
+  s.warm_script_probes();
+
+  bool ok = s.run_batch(s.all_objects(0), 0).lossless();
+  ok = ok && s.run_batch(s.all_objects(1), 0).lossless();
+
+  std::size_t pre_hits = 0;
+  std::size_t pre_misses = 0;
+  for (std::size_t n = 1; n < s.node_count(); ++n) {
+    const workload::batch_metrics m = s.run_batch(s.all_objects(0), n);
+    ok = ok && m.lossless();
+    pre_hits += m.peer_hits;
+    pre_misses += m.peer_misses;
+  }
+  const double ratio_pre = pre_hits + pre_misses == 0
+                               ? 0.0
+                               : static_cast<double>(pre_hits) /
+                                     static_cast<double>(pre_hits + pre_misses);
+
+  s.crash_node(0);
+  std::vector<workload::request_ref> during = s.all_objects(0);
+  const std::vector<workload::request_ref> lost = s.all_objects(1);
+  during.insert(during.end(), lost.begin(), lost.end());
+  const timed_batch t = timed(s, during);
+  ok = ok && t.metrics.lossless() && t.metrics.busy == 0 &&
+       t.metrics.origin_fetches <= lost.size();
+
+  s.recover_node(0);
+  std::vector<workload::request_ref> rewarm = s.all_objects(0);
+  rewarm.insert(rewarm.end(), lost.begin(), lost.end());
+  ok = ok && s.run_batch(rewarm, 0).lossless();
+
+  std::size_t post_hits = 0;
+  std::size_t post_misses = 0;
+  for (std::size_t n = 1; n < s.node_count(); ++n) {
+    const workload::batch_metrics m = s.run_batch(s.all_objects(1), n);
+    ok = ok && m.lossless();
+    post_hits += m.peer_hits;
+    post_misses += m.peer_misses;
+  }
+  const double ratio_post = post_hits + post_misses == 0
+                                ? 0.0
+                                : static_cast<double>(post_hits) /
+                                      static_cast<double>(post_hits + post_misses);
+  ok = ok && ratio_post >= ratio_pre;
+
+  bench::print_row("churn crash+recover",
+                   {bench::num(static_cast<double>(during.size()) / t.seconds, 0),
+                    bench::pct(ratio_post), std::to_string(t.metrics.coalesced),
+                    std::to_string(t.metrics.origin_fetches) + "/" +
+                        std::to_string(lost.size()),
+                    ok ? "yes" : "NO"});
+  const std::string config = "churn/nodes=4/workers=2";
+  json.add(config, "peer_hit_ratio_pre_crash", ratio_pre);
+  json.add(config, "peer_hit_ratio_post_recovery", ratio_post);
+  json.add(config, "outage_origin_fetches", static_cast<double>(t.metrics.origin_fetches));
+  json.add(config, "outage_requests_per_second",
+           static_cast<double>(during.size()) / t.seconds);
+  return ok;
+}
+
+// Multi-tenant: an adversarial storm sweeps a small cache while a polite
+// quota-protected tenant holds its working set. Gate: the polite tenant's
+// re-read never touches origin (no starvation) and the storm stays inside
+// its own quota.
+bool run_multi_tenant(bool smoke, bench::json_reporter& json) {
+  workload::scenario_config cfg;
+  cfg.nodes = 1;
+  cfg.workers = 2;
+  cfg.seed = 3331;
+  cfg.cache_bytes = 64 * 1024;
+  workload::tenant_spec polite;
+  polite.site = "polite.org";
+  polite.objects = 16;
+  polite.object_bytes = 512;
+  polite.cache_quota_bytes = 16 * 1024;
+  cfg.tenants.push_back(polite);
+  workload::tenant_spec storm;
+  storm.site = "storm.org";
+  storm.objects = smoke ? 400 : 4000;
+  storm.object_bytes = 512;
+  storm.cache_quota_bytes = 32 * 1024;
+  cfg.tenants.push_back(storm);
+  workload::cluster_scenario s(cfg);
+  s.warm_script_probes();
+
+  bool ok = s.run_batch(s.all_objects(0), 0).lossless();
+  const timed_batch t = timed(s, s.all_objects(1));
+  ok = ok && t.metrics.lossless();
+  const std::size_t storm_bytes = s.node(0).content_cache().tenant_bytes("storm.org");
+  ok = ok && storm_bytes <= storm.cache_quota_bytes;
+
+  const workload::batch_metrics reread = s.run_batch(s.all_objects(0), 0);
+  ok = ok && reread.lossless() && reread.origin_fetches == 0;
+
+  bench::print_row("multi-tenant storm",
+                   {bench::num(static_cast<double>(storm.objects) / t.seconds, 0),
+                    bench::pct(reread.peer_hit_ratio()), std::to_string(t.metrics.coalesced),
+                    std::to_string(reread.origin_fetches) + "/0", ok ? "yes" : "NO"});
+  const std::string config = "multi_tenant/nodes=1/workers=2";
+  json.add(config, "storm_requests_per_second",
+           static_cast<double>(storm.objects) / t.seconds);
+  json.add(config, "storm_tenant_bytes", static_cast<double>(storm_bytes));
+  json.add(config, "polite_reread_origin_fetches",
+           static_cast<double>(reread.origin_fetches));
+  return ok;
+}
+
 }  // namespace
 }  // namespace nakika
 
@@ -166,10 +349,23 @@ int main(int argc, char** argv) {
       json.add(config, "accounted_network_latency_seconds", r.peer_latency_seconds);
     }
   }
+  // Scenario tier: the three adversarial families, each with a hard
+  // invariant gate folded into the exit code (CI runs --smoke).
+  std::printf("\nscenario tier (last column gates the exit code):\n");
+  bench::print_row("scenario", {"req/s", "peer-hit%", "coalesced", "origin/bound", "ok"});
+  const bool flash_ok = run_flash_crowd(smoke, json);
+  const bool churn_ok = run_churn(smoke, json);
+  const bool tenant_ok = run_multi_tenant(smoke, json);
+  all_ok = all_ok && flash_ok && churn_ok && tenant_ok;
+
   if (!all_ok) {
-    std::printf("\nFAIL: bad responses or a multi-node run with zero peer hits\n");
+    std::printf("\nFAIL: bad responses, a multi-node run with zero peer hits, "
+                "or a violated scenario invariant (flash=%s churn=%s tenant=%s)\n",
+                flash_ok ? "ok" : "FAIL", churn_ok ? "ok" : "FAIL",
+                tenant_ok ? "ok" : "FAIL");
     return 1;
   }
-  std::printf("\nall responses verified; every multi-node run hit peer caches\n");
+  std::printf("\nall responses verified; every multi-node run hit peer caches; "
+              "scenario invariants held (O(1) origin, lossless churn, tenant isolation)\n");
   return 0;
 }

@@ -10,17 +10,34 @@ namespace {
 std::size_t pick_shard_count(std::size_t capacity_bytes, std::size_t requested) {
   if (requested != 0) return requested;
   if (capacity_bytes == 0) return 16;  // unlimited: shard purely for locking
-  // Generous slices: an entry must fit one shard's capacity share, and LRU
-  // order is per-shard, so more shards trade cacheable-object size and
-  // global-LRU fidelity for lock spreading. 16 MiB slices keep the default
-  // 256 MiB cache at 16 shards.
+  // Generous slices: LRU order is per-shard, so more shards trade global-LRU
+  // fidelity for lock spreading. 16 MiB slices keep the default 256 MiB
+  // cache at 16 shards.
   constexpr std::size_t min_bytes_per_shard = 16 * 1024 * 1024;
   return std::clamp<std::size_t>(capacity_bytes / min_bytes_per_shard, 1, 16);
 }
 
+// CAS-reserves `amount` against `used <= limit`. The reservation becomes the
+// entry's charge on success and must be released with fetch_sub on failure
+// of a later step.
+bool try_reserve(std::atomic<std::size_t>& used, std::size_t limit, std::size_t amount) {
+  std::size_t cur = used.load(std::memory_order_relaxed);
+  while (cur + amount <= limit) {
+    if (used.compare_exchange_weak(cur, cur + amount, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// How many tail entries an eviction scan inspects before giving up. Bounds
+// the worst case where the LRU tail is a long run of protected entries.
+constexpr std::size_t k_evict_scan_limit = 64;
+
 }  // namespace
 
-http_cache::http_cache(std::size_t capacity_bytes, std::size_t shard_count)
+http_cache::http_cache(std::size_t capacity_bytes, std::size_t shard_count,
+                       bool shard_borrowing)
     : capacity_bytes_(capacity_bytes),
       shard_count_(pick_shard_count(capacity_bytes, shard_count)),
       // Floor at 1 so a bounded cache with an oversubscribed shard count
@@ -29,10 +46,39 @@ http_cache::http_cache(std::size_t capacity_bytes, std::size_t shard_count)
           capacity_bytes_ == 0
               ? 0
               : std::max<std::size_t>(capacity_bytes_ / shard_count_, 1)),
+      borrowing_(shard_borrowing),
       shards_(std::make_unique<shard[]>(shard_count_)) {}
 
 http_cache::shard& http_cache::shard_for(const std::string& url) {
   return shards_[std::hash<std::string>{}(url) % shard_count_];
+}
+
+std::string http_cache::tenant_of(const std::string& url) {
+  const auto scheme = url.find("://");
+  const std::size_t host_begin = scheme == std::string::npos ? 0 : scheme + 3;
+  const auto host_end = url.find_first_of("/:?", host_begin);
+  return url.substr(host_begin,
+                    host_end == std::string::npos ? std::string::npos : host_end - host_begin);
+}
+
+http_cache::tenant_state* http_cache::tenant_for(const std::string& url) {
+  if (tenants_.empty()) return nullptr;
+  const auto it = tenants_.find(tenant_of(url));
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+void http_cache::set_tenant_quota(const std::string& tenant, std::size_t quota_bytes) {
+  tenants_[tenant].quota = std::max<std::size_t>(quota_bytes, 1);
+}
+
+std::size_t http_cache::tenant_bytes(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.bytes.load(std::memory_order_relaxed);
+}
+
+std::size_t http_cache::tenant_quota(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.quota;
 }
 
 std::optional<http::response> http_cache::get(const std::string& url, std::int64_t now) {
@@ -71,19 +117,69 @@ bool http_cache::put_with_expiry(const std::string& url, const http::response& r
 bool http_cache::put_locked(shard& s, const std::string& url, const http::response& r,
                             std::int64_t expires_at) {
   const std::size_t body_bytes = r.body_size() + 256;  // headers overhead estimate
-  if (shard_capacity_bytes_ != 0 && body_bytes > shard_capacity_bytes_) {
+  const std::size_t max_charge = borrowing_ ? capacity_bytes_ : shard_capacity_bytes_;
+  if (max_charge != 0 && body_bytes > max_charge) {
     s.oversized_rejections.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
   drop_locked(s, url);  // replace any existing entry
-  evict_for_locked(s, body_bytes);
+
+  tenant_state* t = tenant_for(url);
+  if (t != nullptr) {
+    if (body_bytes > t->quota) {
+      s.quota_rejections.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Quota crunch: only this tenant's own entries may be evicted to make
+    // room for its insert — the cap never spills onto other tenants.
+    std::size_t attempts = 0;
+    while (!try_reserve(t->bytes, t->quota, body_bytes)) {
+      if (++attempts > shard_count_ * 8 || !evict_one(s, t, /*only=*/t)) {
+        s.quota_rejections.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+  }
+
+  if (capacity_bytes_ == 0) {
+    total_bytes_.fetch_add(body_bytes, std::memory_order_relaxed);
+  } else if (borrowing_) {
+    // Global bound: reserve against the atomic total, evicting (own shard
+    // first, then stealing cold shards) until the reservation fits.
+    std::size_t attempts = 0;
+    bool reserved = true;
+    while (!try_reserve(total_bytes_, capacity_bytes_, body_bytes)) {
+      if (++attempts > shard_count_ * 8 || !evict_one(s, t, /*only=*/nullptr)) {
+        reserved = false;
+        break;
+      }
+    }
+    if (!reserved) {
+      if (t != nullptr) t->bytes.fetch_sub(body_bytes, std::memory_order_relaxed);
+      s.quota_rejections.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  } else {
+    // Strict mode: the historical per-slice bound, but eviction skips other
+    // configured tenants' entries so the starvation bound holds here too.
+    while (s.bytes_used + body_bytes > shard_capacity_bytes_) {
+      if (evict_one_from(s, t, /*only=*/nullptr) == 0) break;
+    }
+    if (s.bytes_used + body_bytes > shard_capacity_bytes_) {
+      if (t != nullptr) t->bytes.fetch_sub(body_bytes, std::memory_order_relaxed);
+      s.quota_rejections.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    total_bytes_.fetch_add(body_bytes, std::memory_order_relaxed);
+  }
 
   s.lru.push_front(url);
   entry e;
   e.response = r;
   e.expires_at = expires_at;
   e.charged_bytes = body_bytes;
+  e.tenant = t;
   e.lru_it = s.lru.begin();
   s.bytes_used += body_bytes;
   s.entries.emplace(url, std::move(e));
@@ -104,6 +200,12 @@ void http_cache::clear() {
   for (std::size_t i = 0; i < shard_count_; ++i) {
     shard& s = shards_[i];
     const std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& [url, e] : s.entries) {
+      total_bytes_.fetch_sub(e.charged_bytes, std::memory_order_relaxed);
+      if (e.tenant != nullptr) {
+        e.tenant->bytes.fetch_sub(e.charged_bytes, std::memory_order_relaxed);
+      }
+    }
     s.entries.clear();
     s.lru.clear();
     s.bytes_used = 0;
@@ -138,6 +240,7 @@ cache_stats http_cache::stats() const {
     total.evictions += s.evictions.load(std::memory_order_relaxed);
     total.expirations += s.expirations.load(std::memory_order_relaxed);
     total.oversized_rejections += s.oversized_rejections.load(std::memory_order_relaxed);
+    total.quota_rejections += s.quota_rejections.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -161,12 +264,40 @@ void http_cache::touch_locked(shard& s, const std::string& url, entry& e) {
   e.lru_it = s.lru.begin();
 }
 
-void http_cache::evict_for_locked(shard& s, std::size_t incoming_bytes) {
-  if (shard_capacity_bytes_ == 0) return;
-  while (s.bytes_used + incoming_bytes > shard_capacity_bytes_ && !s.lru.empty()) {
+std::size_t http_cache::evict_one_from(shard& s, const tenant_state* inserting,
+                                       const tenant_state* only) {
+  std::size_t scanned = 0;
+  for (auto it = s.lru.rbegin(); it != s.lru.rend() && scanned < k_evict_scan_limit;
+       ++it, ++scanned) {
+    const auto e = s.entries.find(*it);
+    const tenant_state* et = e->second.tenant;
+    // `only` set: quota crunch, evict only that tenant's entries. Otherwise
+    // a capacity crunch: any entry is fair game except those owned by a
+    // *different* configured tenant (its quota is a reservation).
+    const bool eligible = only != nullptr ? et == only : (et == nullptr || et == inserting);
+    if (!eligible) continue;
+    const std::size_t freed = e->second.charged_bytes;
     s.evictions.fetch_add(1, std::memory_order_relaxed);
-    drop_locked(s, s.lru.back());
+    drop_locked(s, e);
+    return freed;
   }
+  return 0;
+}
+
+bool http_cache::evict_one(shard& home, const tenant_state* inserting,
+                           const tenant_state* only) {
+  if (evict_one_from(home, inserting, only) > 0) return true;
+  // Steal from another shard. try_lock only: a contended shard is skipped
+  // rather than blocked on, so two inserters stealing from each other's
+  // shards cannot deadlock.
+  const auto home_index = static_cast<std::size_t>(&home - shards_.get());
+  for (std::size_t off = 1; off < shard_count_; ++off) {
+    shard& other = shards_[(home_index + off) % shard_count_];
+    if (!other.mu.try_lock()) continue;
+    const std::lock_guard<std::mutex> lock(other.mu, std::adopt_lock);
+    if (evict_one_from(other, inserting, only) > 0) return true;
+  }
+  return false;
 }
 
 void http_cache::drop_locked(shard& s, const std::string& url) {
@@ -177,6 +308,10 @@ void http_cache::drop_locked(shard& s, const std::string& url) {
 
 void http_cache::drop_locked(shard& s, entry_map::iterator it) {
   s.bytes_used -= it->second.charged_bytes;
+  total_bytes_.fetch_sub(it->second.charged_bytes, std::memory_order_relaxed);
+  if (it->second.tenant != nullptr) {
+    it->second.tenant->bytes.fetch_sub(it->second.charged_bytes, std::memory_order_relaxed);
+  }
   s.lru.erase(it->second.lru_it);
   s.entries.erase(it);
 }

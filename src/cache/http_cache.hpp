@@ -7,10 +7,23 @@
 // The cache is sharded for concurrent execution: URLs hash to one of N
 // shards, each with its own mutex, LRU list, and byte accounting, so worker
 // threads hitting different shards never contend. Statistics are per-shard
-// atomic counters aggregated on read. Capacity is split evenly across
-// shards; an entry must fit within a single shard's slice, and LRU ordering
-// is per-shard (global LRU semantics hold exactly when shard_count == 1,
-// which auto-sizing picks for small capacities).
+// atomic counters aggregated on read.
+//
+// Capacity has two modes. With shard borrowing (the default), the bound is
+// global: an insert reserves bytes against an atomic total via CAS, and when
+// the cache is full it evicts its own shard's LRU tail first, then steals
+// cold capacity from other shards (try_lock only — never blocks on another
+// shard, so no lock-order deadlock). A hot shard can therefore use the whole
+// cache instead of thrashing inside its 1/N slice. In strict mode
+// (borrowing off), capacity is split evenly and an entry must fit within a
+// single shard's slice — the historical behavior some invariant tests pin.
+//
+// Multi-tenant isolation: a tenant is the URL's host. set_tenant_quota gives
+// a tenant a byte budget that is both a cap (its inserts evict its own
+// entries once the budget is full, never other tenants') and a reservation
+// (other tenants' inserts never evict a configured tenant's entries). This
+// is the cache half of the scenario tier's starvation bound: one tenant's
+// object storm cannot push another tenant's working set out.
 #pragma once
 
 #include <atomic>
@@ -34,9 +47,15 @@ struct cache_stats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t expirations = 0;
-  // Puts dropped because the body exceeded one shard's capacity slice. A
-  // large-object workload that never hits shows up here, not as a silent miss.
+  // Puts dropped because the body exceeded the largest charge a single entry
+  // may take (one shard's slice in strict mode, the whole cache with
+  // borrowing). A large-object workload that never hits shows up here, not
+  // as a silent miss.
   std::uint64_t oversized_rejections = 0;
+  // Puts dropped by tenant isolation: the inserting tenant's quota could not
+  // be freed (all its resident entries already gone), or every eviction
+  // candidate belonged to a protected tenant.
+  std::uint64_t quota_rejections = 0;
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -49,16 +68,17 @@ class http_cache {
   // `capacity_bytes` bounds the sum of cached body sizes (0 = unlimited).
   // `shard_count` of 0 auto-sizes: one shard per 16 MiB of capacity, clamped
   // to [1, 16], so small caches keep exact global-LRU behavior while large
-  // ones spread lock pressure without shrinking the slice an entry must fit.
+  // ones spread lock pressure. `shard_borrowing` selects the global-bound
+  // mode described above; pass false for strict per-shard slices.
   explicit http_cache(std::size_t capacity_bytes = 256 * 1024 * 1024,
-                      std::size_t shard_count = 0);
+                      std::size_t shard_count = 0, bool shard_borrowing = true);
 
   // Fresh entry for `url` at virtual time `now`, or nullopt. Expired entries
   // are dropped on access.
   [[nodiscard]] std::optional<http::response> get(const std::string& url, std::int64_t now);
 
   // Stores if the response is cacheable per its headers. Returns true when
-  // stored. Oversized bodies (> shard capacity) are never stored.
+  // stored. Oversized bodies are never stored.
   bool put(const std::string& url, const http::response& r, std::int64_t now);
 
   // Stores with an explicit expiry regardless of cacheability headers (used
@@ -70,12 +90,25 @@ class http_cache {
   bool remove(const std::string& url);
   void clear();
 
+  // Gives `tenant` (a URL host, e.g. "a.example.org") a byte budget: cap and
+  // eviction protection as documented above. Setup-time only — must be
+  // called before the cache is used concurrently; quotas cannot be changed
+  // while workers are serving.
+  void set_tenant_quota(const std::string& tenant, std::size_t quota_bytes);
+  // Bytes currently charged to a configured tenant (0 for unknown tenants).
+  [[nodiscard]] std::size_t tenant_bytes(const std::string& tenant) const;
+  [[nodiscard]] std::size_t tenant_quota(const std::string& tenant) const;
+
   [[nodiscard]] std::size_t entry_count() const;
   [[nodiscard]] std::size_t bytes_used() const;
   [[nodiscard]] cache_stats stats() const;
   [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
   [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
   [[nodiscard]] std::size_t shard_capacity_bytes() const { return shard_capacity_bytes_; }
+  [[nodiscard]] bool shard_borrowing() const { return borrowing_; }
+
+  // The host a cache key is charged to (public for tests).
+  [[nodiscard]] static std::string tenant_of(const std::string& url);
 
   // Consistent per-shard view for tests and monitoring: locks each shard in
   // turn and recomputes `charged_bytes` by walking its entries, so accounting
@@ -89,10 +122,18 @@ class http_cache {
   [[nodiscard]] std::vector<shard_snapshot> snapshot_shards() const;
 
  private:
+  struct tenant_state {
+    std::size_t quota = 0;
+    // Resident + in-flight reserved bytes; CAS-reserved so the quota is a
+    // strict bound even under concurrent inserts.
+    std::atomic<std::size_t> bytes{0};
+  };
+
   struct entry {
     http::response response;
     std::int64_t expires_at = 0;
     std::size_t charged_bytes = 0;
+    tenant_state* tenant = nullptr;  // nullptr = unconfigured tenant
     std::list<std::string>::iterator lru_it;
   };
 
@@ -113,20 +154,35 @@ class http_cache {
     std::atomic<std::uint64_t> evictions{0};
     std::atomic<std::uint64_t> expirations{0};
     std::atomic<std::uint64_t> oversized_rejections{0};
+    std::atomic<std::uint64_t> quota_rejections{0};
   };
 
   [[nodiscard]] shard& shard_for(const std::string& url);
+  [[nodiscard]] tenant_state* tenant_for(const std::string& url);
   bool put_locked(shard& s, const std::string& url, const http::response& r,
                   std::int64_t expires_at);
   static void touch_locked(shard& s, const std::string& url, entry& e);
-  void evict_for_locked(shard& s, std::size_t incoming_bytes);
-  static void drop_locked(shard& s, const std::string& url);
-  static void drop_locked(shard& s, entry_map::iterator it);
+  // Evicts the least-recent eligible entry of `s` (lock held): entries of
+  // `only` when set, otherwise any entry not protected by another tenant's
+  // quota. Returns bytes freed (0 = nothing eligible).
+  std::size_t evict_one_from(shard& s, const tenant_state* inserting,
+                             const tenant_state* only);
+  // Same, but falls back to stealing from other shards via try_lock when the
+  // home shard has nothing eligible.
+  bool evict_one(shard& home, const tenant_state* inserting, const tenant_state* only);
+  void drop_locked(shard& s, const std::string& url);
+  void drop_locked(shard& s, entry_map::iterator it);
 
   std::size_t capacity_bytes_;
   std::size_t shard_count_;
   std::size_t shard_capacity_bytes_;  // capacity_bytes_ / shard_count_ (0 = unlimited)
+  bool borrowing_;
+  // Resident + in-flight reserved bytes across all shards; the CAS bound in
+  // borrowing mode, a statistic in strict mode.
+  std::atomic<std::size_t> total_bytes_{0};
   std::unique_ptr<shard[]> shards_;
+  // Frozen after setup (set_tenant_quota); read lock-free while serving.
+  std::unordered_map<std::string, tenant_state> tenants_;
 };
 
 }  // namespace nakika::cache

@@ -120,12 +120,19 @@ bool resource_manager::control_phase1(resource_kind kind, double now) {
   const bool congested =
       is_renewable(kind) && last_utilization_[ki] >= capacities_.congestion_threshold;
 
+  // Weighted shares: a site's contribution is its usage normalized by its
+  // scheduling weight, so heavily weighted (paying/trusted) tenants are
+  // throttled and terminated last at equal raw usage. All weights 1.0
+  // reduces exactly to the unweighted share arithmetic.
+  double weighted_total = 0.0;
+  for (const auto& [s, use] : consumed) weighted_total += use / s->weight;
+
   if (congested) {
     ++consecutive_congested_[ki];
     // "Track usage and throttle": contributions update only under
     // overutilization for renewable resources; throttling is proportional.
     for (const auto& [s, use] : consumed) {
-      const double share = total > 0 ? use / total : 0.0;
+      const double share = weighted_total > 0 ? (use / s->weight) / weighted_total : 0.0;
       auto& c = s->contribution[ki];
       if (!c.initialized()) c = util::ewma(ewma_alpha_);
       c.update(share);
@@ -139,7 +146,7 @@ bool resource_manager::control_phase1(resource_kind kind, double now) {
   } else {
     // Nonrenewable: "track usage" unconditionally.
     for (const auto& [s, use] : consumed) {
-      const double share = total > 0 ? use / total : 0.0;
+      const double share = weighted_total > 0 ? (use / s->weight) / weighted_total : 0.0;
       auto& c = s->contribution[ki];
       if (!c.initialized()) c = util::ewma(ewma_alpha_);
       c.update(share);
@@ -221,6 +228,17 @@ control_outcome resource_manager::control_phase2(resource_kind kind, double now)
     }
   }
   return outcome;
+}
+
+void resource_manager::set_site_weight(const std::string& site, double weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  site_locked(site).weight = std::max(weight, 1e-6);
+}
+
+double resource_manager::site_weight(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 1.0 : it->second.weight;
 }
 
 bool resource_manager::admit(const std::string& site, util::rng& rng, double now) {

@@ -117,14 +117,26 @@ class resource_manager {
   // Testing/ablation hook: disable termination, keep throttling.
   void set_termination_enabled(bool enabled) { termination_enabled_ = enabled; }
 
+  // --- multi-tenant scheduling weights ---
+  // A site with weight w is entitled to w relative shares of a congested
+  // resource: contributions (and hence throttle probability and termination
+  // order) are computed from usage normalized by weight, so a weight-4 site
+  // consuming 4x what a weight-1 site does contributes equally. Default 1.0;
+  // values are clamped to a small positive floor.
+  void set_site_weight(const std::string& site, double weight);
+  [[nodiscard]] double site_weight(const std::string& site) const;
+
  private:
   struct site_state {
     // Consumption accumulated in the current control interval, per resource.
     // Workers fetch_add lock-free; the CONTROL phases read-and-reset under
     // the manager mutex.
     std::array<std::atomic<double>, resource_kind_count> interval_use{};
-    // EWMA contribution (share of total), per resource (guarded by mu_).
+    // EWMA contribution (weighted share of total), per resource (guarded by
+    // mu_).
     std::array<util::ewma, resource_kind_count> contribution;
+    // Scheduling weight (guarded by mu_; read only by the CONTROL phases).
+    double weight = 1.0;
     // Read by admit() without the full control-state lock.
     std::atomic<double> throttle_probability{0.0};
     std::atomic<double> penalty_until{0.0};  // terminated sites blocked until then

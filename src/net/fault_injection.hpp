@@ -1,0 +1,91 @@
+// Fault injection for the scenario tier's churn family: a shared, thread-safe
+// fault plan the peer transports and the deployment's peer directory consult
+// on every cooperative-caching step. Faults model an open edge network where
+// nodes crash mid-workload and peer fetches fail or slow down:
+//
+//   - crashed nodes: a crashed name is unresolvable (the directory returns no
+//     endpoint) and transports skip it as a holder, burning the probe timeout
+//     as accounted latency;
+//   - probabilistic fetch failures: each peer fetch independently fails with
+//     a configured probability (deterministic seeded rng), modeling lossy or
+//     partitioned links without touching the frozen sim topology;
+//   - added latency: extra virtual seconds accounted on every peer fetch
+//     (and every failed probe), modeling congested paths.
+//
+// All methods are safe to call from worker threads while a workload runs —
+// that is the point: faults are injected mid-flight.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "util/random.hpp"
+
+namespace nakika::net {
+
+class fault_injector {
+ public:
+  explicit fault_injector(std::uint64_t seed = 0xfa017ULL) : rng_(seed) {}
+
+  // --- node crash/recovery (names as the overlay advertises them) ---
+  void crash(const std::string& node_name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    crashed_.insert(node_name);
+  }
+  void revive(const std::string& node_name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    crashed_.erase(node_name);
+  }
+  [[nodiscard]] bool crashed(const std::string& node_name) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return crashed_.contains(node_name);
+  }
+
+  // --- lossy peer fetches ---
+  // Probability in [0, 1] that any single peer fetch fails.
+  void set_fetch_failure_rate(double p) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fetch_failure_rate_ = p;
+  }
+  // Extra virtual latency accounted per peer fetch attempt, seconds.
+  void set_added_fetch_latency(double seconds) {
+    added_latency_.store(seconds, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double added_fetch_latency() const {
+    return added_latency_.load(std::memory_order_relaxed);
+  }
+
+  // Decides one fetch's fate (deterministic given the seed and call order
+  // under a single-threaded caller); counts injected failures.
+  [[nodiscard]] bool should_fail_fetch() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (fetch_failure_rate_ <= 0.0) return false;
+    if (!rng_.chance(fetch_failure_rate_)) return false;
+    injected_failures_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t injected_failures() const {
+    return injected_failures_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t skipped_crashed_probes() const {
+    return skipped_crashed_.load(std::memory_order_relaxed);
+  }
+  void count_skipped_crashed_probe() {
+    skipped_crashed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;  // guards crashed_, rng_, fetch_failure_rate_
+  std::set<std::string> crashed_;
+  util::rng rng_;
+  double fetch_failure_rate_ = 0.0;
+  std::atomic<double> added_latency_{0.0};
+  std::atomic<std::uint64_t> injected_failures_{0};
+  std::atomic<std::uint64_t> skipped_crashed_{0};
+};
+
+}  // namespace nakika::net

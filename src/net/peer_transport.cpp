@@ -70,14 +70,15 @@ void sim_peer_transport::fetch_from_peers(const http::request& r, fetch_callback
 threaded_peer_transport::threaded_peer_transport(
     sim::network& net, overlay::coral_overlay& overlay,
     overlay::coral_overlay::member_id member, std::string self_name, peer_directory peers,
-    sim::node_id self_host, clock now)
+    sim::node_id self_host, clock now, fault_injector* faults)
     : net_(net),
       overlay_(overlay),
       member_(member),
       self_name_(std::move(self_name)),
       peers_(std::move(peers)),
       host_(self_host),
-      now_(std::move(now)) {}
+      now_(std::move(now)),
+      faults_(faults) {}
 
 void threaded_peer_transport::advertise(const std::string& key, std::int64_t expires_at) {
   overlay_.put_now(member_, key, self_name_, expires_at, now_());
@@ -91,10 +92,25 @@ void threaded_peer_transport::fetch_from_peers(const http::request& r, fetch_cal
   out.latency_seconds = found.latency_seconds;
   for (const auto& name : found.values) {
     if (name == self_name_) continue;
+    // A crashed holder never answers: skip it, burn the probe timeout.
+    if (faults_ != nullptr && faults_->crashed(name)) {
+      faults_->count_skipped_crashed_probe();
+      out.latency_seconds += faults_->added_fetch_latency();
+      ++out.failed_probes;
+      continue;
+    }
     peer_endpoint* peer = peers_(name);
     if (peer == nullptr) continue;
     // Account the round-trip the sim would have charged for the probe.
     out.latency_seconds += net_.route_latency_or(host_, peer->peer_host(), 0.0) * 2.0;
+    if (faults_ != nullptr) {
+      out.latency_seconds += faults_->added_fetch_latency();
+      // Lossy link: this fetch attempt fails; try the next holder.
+      if (faults_->should_fail_fetch()) {
+        ++out.failed_probes;
+        continue;
+      }
+    }
     if (auto hit = peer->peer_cache_lookup(key)) {
       out.response = std::move(hit);
       break;

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "http/message.hpp"
+#include "net/fault_injection.hpp"
 #include "overlay/clusters.hpp"
 #include "sim/network.hpp"
 
@@ -54,6 +55,9 @@ class peer_transport {
     // on the event loop instead, so it reports 0 here).
     double latency_seconds = 0.0;
     int hops = 0;  // DHT hops walked by the overlay lookup
+    // Holder probes that failed (crashed peer, injected fetch failure) before
+    // this result was produced.
+    int failed_probes = 0;
   };
   using fetch_callback = std::function<void(result)>;
 
@@ -105,9 +109,13 @@ class threaded_peer_transport : public peer_transport {
  public:
   using clock = std::function<std::int64_t()>;  // the owning node's epoch seconds
 
+  // `faults` is optional (nullptr = no fault injection); when set it must
+  // outlive the transport. The deployment passes its shared injector so churn
+  // scenarios can fail fetches and crash peers mid-workload.
   threaded_peer_transport(sim::network& net, overlay::coral_overlay& overlay,
                           overlay::coral_overlay::member_id member, std::string self_name,
-                          peer_directory peers, sim::node_id self_host, clock now);
+                          peer_directory peers, sim::node_id self_host, clock now,
+                          fault_injector* faults = nullptr);
 
   void advertise(const std::string& key, std::int64_t expires_at) override;
   void fetch_from_peers(const http::request& r, fetch_callback done) override;
@@ -120,6 +128,7 @@ class threaded_peer_transport : public peer_transport {
   peer_directory peers_;
   sim::node_id host_;
   clock now_;
+  fault_injector* faults_;
 };
 
 }  // namespace nakika::net

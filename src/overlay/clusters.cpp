@@ -158,6 +158,18 @@ int coral_overlay::put_now(member_id m, const std::string& key, const std::strin
   return hops;
 }
 
+void coral_overlay::crash_member(member_id m) {
+  for (const auto& [ring, rid] : rings_of(m)) ring->leave(rid);
+}
+
+void coral_overlay::revive_member(member_id m) {
+  for (const auto& [ring, rid] : rings_of(m)) ring->revive(rid);
+}
+
+void coral_overlay::purge_member_store(member_id m) {
+  for (const auto& [ring, rid] : rings_of(m)) ring->purge_store(rid);
+}
+
 void coral_overlay::purge_expired(std::int64_t now) {
   std::vector<sloppy_dht*> rings;
   {

@@ -67,6 +67,18 @@ class coral_overlay {
   // Sweeps TTL-expired values out of every ring.
   void purge_expired(std::int64_t now);
 
+  // --- churn fault injection (thread-safe) -------------------------------------
+  // Crash: the member leaves every level's ring — marked dead, stores
+  // dropped, and its advertised values become dangling (filtered out of
+  // lookups by each ring).
+  void crash_member(member_id m);
+  // Recovery: alive again in every ring with empty stores; routing repairs
+  // itself as walks re-observe the member.
+  void revive_member(member_id m);
+  // Drops everything stored AT the member in every ring, without marking it
+  // dead (models state loss alone).
+  void purge_member_store(member_id m);
+
   [[nodiscard]] std::size_t level_count() const;
   [[nodiscard]] std::size_t cluster_count(std::size_t level) const;
   // Which cluster member `m` belongs to at `level` (for tests).

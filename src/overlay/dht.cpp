@@ -73,6 +73,48 @@ void sloppy_dht::leave(member_id m) {
   members_[m].store.clear();
 }
 
+void sloppy_dht::revive(member_id m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (m >= members_.size()) throw std::invalid_argument("sloppy_dht::revive: bad member");
+  member& self = members_[m];
+  if (self.alive) return;
+  self.alive = true;
+  // Same minimal re-seeding as join: mutual pointers with a few live members
+  // so the revived node can route; walks refill the rest lazily (observe()
+  // on RPC traffic re-announces it ring-wide).
+  std::size_t seeds = 0;
+  for (std::size_t i = 0; i < members_.size() && seeds < 3; ++i) {
+    if (i == m || !members_[i].alive) continue;
+    self.table->observe(members_[i].self);
+    members_[i].table->observe(self.self);
+    ++seeds;
+  }
+}
+
+void sloppy_dht::purge_store(member_id m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (m >= members_.size()) throw std::invalid_argument("sloppy_dht::purge_store: bad member");
+  members_[m].store.clear();
+}
+
+bool sloppy_dht::holder_is_dead(const std::string& value) const {
+  const node_id id = node_id::hash_of(value);
+  for (const auto& m : members_) {
+    if (m.self.id == id) return !m.alive;
+  }
+  return false;  // not a member name: nothing to judge, keep the value
+}
+
+void sloppy_dht::drop_dangling(member& m, const std::string& key) {
+  const auto it = m.store.find(key);
+  if (it == m.store.end()) return;
+  auto& values = it->second;
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [&](const stored_value& sv) { return holder_is_dead(sv.value); }),
+               values.end());
+  if (values.empty()) m.store.erase(it);
+}
+
 std::size_t sloppy_dht::member_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
@@ -263,6 +305,7 @@ void sloppy_dht::lookup_step(const std::shared_ptr<lookup_state>& state) {
         // values for the key (Coral answers from the lookup path).
         if (state->is_get && !state->key.empty()) {
           prune_expired(*m, state->key, now_seconds());
+          drop_dangling(*m, state->key);
           const auto it = m->store.find(state->key);
           if (it != m->store.end() && !it->second.empty()) {
             state->finished = true;
@@ -345,6 +388,7 @@ void sloppy_dht::get(member_id via, const std::string& key,
   // Local store first: zero hops.
   touch_for_sweep(members_[via], now_seconds());
   prune_expired(members_[via], key, now_seconds());
+  drop_dangling(members_[via], key);
   const auto it = members_[via].store.find(key);
   if (it != members_[via].store.end() && !it->second.empty()) {
     std::vector<std::string> values;
@@ -399,6 +443,7 @@ void sloppy_dht::walk_now(member& via, const std::string& key, std::int64_t now,
     m->table->observe(via.self);
     if (collect_values) {
       prune_expired(*m, key, now);
+      drop_dangling(*m, key);
       touch_for_sweep(*m, now);
       const auto it = m->store.find(key);
       if (it != m->store.end() && !it->second.empty()) {
@@ -431,6 +476,7 @@ sloppy_dht::sync_result sloppy_dht::get_now(member_id via, const std::string& ke
   member& origin = members_[via];
   touch_for_sweep(origin, now);
   prune_expired(origin, key, now);
+  drop_dangling(origin, key);
   const auto it = origin.store.find(key);
   if (it != origin.store.end() && !it->second.empty()) {
     for (const auto& sv : it->second) out.values.push_back(sv.value);

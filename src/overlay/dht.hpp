@@ -57,6 +57,13 @@ class sloppy_dht {
   // existing members (iterative self-lookup, as in Kademlia join).
   member_id join(sim::node_id host, const std::string& name);
   void leave(member_id m);
+  // Brings a left member back: alive again with an EMPTY store (state died
+  // with the process) and re-seeded routing pointers, as if it had re-joined
+  // under the same name. Thread-safe like leave.
+  void revive(member_id m);
+  // Drops every key stored at one member mid-run (fault injection: models
+  // losing a node's DHT state without marking it dead).
+  void purge_store(member_id m);
 
   // --- event-driven API (single-threaded sim path) -----------------------------
 
@@ -134,6 +141,11 @@ class sloppy_dht {
   // single-threaded): drop expired values of `key`, then amortized-sweep the
   // member's whole store every sweep_interval ops.
   void prune_expired(member& m, const std::string& key, std::int64_t now);
+  // Values name cache-holding members; one whose member has left the ring is
+  // a dangling holder. Dropped at read time so a lookup never hands a dead
+  // peer back to the transport — the caller re-replicates via origin instead.
+  [[nodiscard]] bool holder_is_dead(const std::string& value) const;
+  void drop_dangling(member& m, const std::string& key);
   void sweep_member(member& m, std::int64_t now);
   void touch_for_sweep(member& m, std::int64_t now);
   // Sloppy insert honoring max_values_per_key: refresh a duplicate value,

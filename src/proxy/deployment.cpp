@@ -49,9 +49,13 @@ void deployment::enable_overlay(overlay::cluster_config cfg) {
 void deployment::join_overlay(nakika_node& node) {
   const std::string name = "nakika-" + net_.node_name(node.host());
   const auto member = overlay_->join(node.host(), name);
+  overlay_members_[name] = member;
   // Peer-name resolution reads nodes_by_name_, which is frozen once every
   // node is created — create all nodes before worker-mode serving starts.
+  // Crashed nodes resolve to nothing, so a stale overlay hint for a dead
+  // peer falls through to the next holder or the origin.
   net::peer_directory peers = [this](const std::string& peer) -> net::peer_endpoint* {
+    if (faults_.crashed(peer)) return nullptr;
     return node_by_name(peer);
   };
   if (node.using_workers()) {
@@ -61,12 +65,41 @@ void deployment::join_overlay(nakika_node& node) {
     nakika_node* self = &node;
     node.attach_peer_transport(std::make_unique<net::threaded_peer_transport>(
         net_, *overlay_, member, name, std::move(peers), node.host(),
-        [self] { return static_cast<std::int64_t>(self->virtual_now()); }));
+        [self] { return static_cast<std::int64_t>(self->virtual_now()); }, &faults_));
   } else {
     node.attach_peer_transport(std::make_unique<net::sim_peer_transport>(
         net_, *overlay_, member, name, std::move(peers), node.host(),
         node.config().costs.cache_hit_serve));
   }
+}
+
+std::string deployment::node_name_of(const nakika_node& node) const {
+  return "nakika-" + net_.node_name(node.host());
+}
+
+void deployment::fail_node(nakika_node& node) {
+  const std::string name = node_name_of(node);
+  faults_.crash(name);
+  if (overlay_ != nullptr) {
+    const auto it = overlay_members_.find(name);
+    if (it != overlay_members_.end()) overlay_->crash_member(it->second);
+  }
+  redirector_.remove_proxy(node.host());
+}
+
+void deployment::recover_node(nakika_node& node) {
+  const std::string name = node_name_of(node);
+  if (!faults_.crashed(name)) return;
+  faults_.revive(name);
+  if (overlay_ != nullptr) {
+    const auto it = overlay_members_.find(name);
+    if (it != overlay_members_.end()) overlay_->revive_member(it->second);
+  }
+  redirector_.add_proxy(node.host());
+}
+
+bool deployment::node_failed(const nakika_node& node) const {
+  return faults_.crashed(node_name_of(node));
 }
 
 nakika_node* deployment::node_by_name(const std::string& name) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault_injection.hpp"
 #include "overlay/clusters.hpp"
 #include "overlay/redirector.hpp"
 #include "proxy/nakika_node.hpp"
@@ -44,6 +45,21 @@ class deployment {
   [[nodiscard]] nakika_node* node_by_name(const std::string& name);
   [[nodiscard]] sim::network& net() { return net_; }
 
+  // --- churn fault injection (thread-safe; callable mid-workload) --------------
+  // Crashes a node: its overlay member leaves every ring (stored keys dropped,
+  // its advertised values dangle and are filtered from lookups), the peer
+  // directory stops resolving it, and the DNS redirector fails clients over
+  // to the surviving nodes. The node object itself stays alive — the caller
+  // decides whether to also clear its caches (a real crash loses them).
+  void fail_node(nakika_node& node);
+  // Brings a crashed node back: resolvable and redirector-visible again,
+  // alive in every ring with empty stores (state died with the process).
+  void recover_node(nakika_node& node);
+  [[nodiscard]] bool node_failed(const nakika_node& node) const;
+  [[nodiscard]] net::fault_injector& faults() { return faults_; }
+  // The overlay-advertised name of a node ("nakika-<host>").
+  [[nodiscard]] std::string node_name_of(const nakika_node& node) const;
+
  private:
   void join_overlay(nakika_node& node);
 
@@ -54,7 +70,11 @@ class deployment {
   std::map<std::string, nakika_node*> nodes_by_name_;
   std::vector<std::unique_ptr<plain_proxy>> plain_proxies_;
   std::unique_ptr<overlay::coral_overlay> overlay_;
+  // Overlay member ids by node name, filled at join time (setup; frozen while
+  // serving, like nodes_by_name_).
+  std::map<std::string, overlay::coral_overlay::member_id> overlay_members_;
   overlay::dns_redirector redirector_;
+  net::fault_injector faults_;
 };
 
 }  // namespace nakika::proxy

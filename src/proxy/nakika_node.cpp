@@ -25,13 +25,21 @@ nakika_node::nakika_node(sim::network& net, sim::node_id host,
       config_(std::move(config)),
       pipeline_(config_.pipeline),
       resources_(config_.capacities),
-      content_cache_(config_.content_cache_bytes, config_.content_cache_shards),
+      content_cache_(config_.content_cache_bytes, config_.content_cache_shards,
+                     config_.content_cache_borrowing),
       script_cache_(config_.script_cache_entries),
       no_script_(config_.default_script_ttl > 0 ? config_.default_script_ttl : 300,
                  config_.script_cache_entries),
       chunk_cache_(config_.chunk_cache_entries),
       counters_(config_.workers + 1),
       rng_(config_.rng_seed) {
+  // Tenant isolation wiring (setup-time: before any request is served).
+  for (const auto& [tenant, quota] : config_.tenant_cache_quota_bytes) {
+    content_cache_.set_tenant_quota(tenant, quota);
+  }
+  for (const auto& [site, weight] : config_.site_weights) {
+    resources_.set_site_weight(site, weight);
+  }
   if (config_.workers > 0) {
     core::worker_pool_config wp;
     wp.workers = config_.workers;

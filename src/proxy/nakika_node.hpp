@@ -63,9 +63,20 @@ struct node_config {
   std::int64_t default_script_ttl = 300;
 
   // Content-cache sizing. Shards spread lock pressure across worker threads;
-  // 0 auto-sizes from capacity (see cache::http_cache).
+  // 0 auto-sizes from capacity (see cache::http_cache). Borrowing lets a hot
+  // shard use the whole cache instead of thrashing in its 1/N slice.
   std::size_t content_cache_bytes = 256 * 1024 * 1024;
   std::size_t content_cache_shards = 0;
+  bool content_cache_borrowing = true;
+
+  // --- multi-tenant isolation (scenario tier) ---------------------------------
+  // Per-tenant (URL host) content-cache quotas: a configured tenant's cached
+  // bytes are capped at its quota AND its entries are protected from other
+  // tenants' evictions (cache::http_cache::set_tenant_quota).
+  std::map<std::string, std::size_t> tenant_cache_quota_bytes;
+  // Per-site congestion-control scheduling weights
+  // (core::resource_manager::set_site_weight).
+  std::map<std::string, double> site_weights;
 
   // Administrative control scripts; empty = no-op stage. Node administrators
   // may override these to enforce location-specific policy (paper §3.1).

@@ -1,0 +1,46 @@
+#include "workload/arrivals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nakika::workload {
+
+zipf_stream::zipf_stream(std::size_t objects, double exponent, std::uint64_t seed)
+    : objects_(objects), exponent_(exponent), harmonic_(0.0),
+      dist_(objects, exponent), rng_(seed) {
+  if (objects == 0) throw std::invalid_argument("zipf_stream: objects must be > 0");
+  for (std::size_t j = 1; j <= objects_; ++j) {
+    harmonic_ += 1.0 / std::pow(static_cast<double>(j), exponent_);
+  }
+}
+
+std::size_t zipf_stream::next() { return dist_.sample(rng_); }
+
+double zipf_stream::probability(std::size_t i) const {
+  if (i >= objects_) return 0.0;
+  return (1.0 / std::pow(static_cast<double>(i + 1), exponent_)) / harmonic_;
+}
+
+burst_arrivals::burst_arrivals(burst_config cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.base_rate <= 0.0) throw std::invalid_argument("burst_arrivals: base_rate must be > 0");
+}
+
+bool burst_arrivals::in_burst(double t) const {
+  return cfg_.burst_rate > 0.0 && t >= cfg_.burst_start &&
+         t < cfg_.burst_start + cfg_.burst_duration;
+}
+
+double burst_arrivals::next() {
+  const double rate = in_burst(now_) ? cfg_.burst_rate : cfg_.base_rate;
+  now_ += rng_.exponential(1.0 / rate);
+  return now_;
+}
+
+std::vector<double> burst_arrivals::take(std::size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace nakika::workload

@@ -1,0 +1,65 @@
+// Fixed-seed adversarial arrival generators for the scenario tier: a Zipf
+// object stream (flash crowds concentrate on few hot objects) and an
+// open-loop burst arrival schedule (Poisson baseline with a rate spike),
+// reusable by scenario tests and benches. Everything is deterministic given
+// the seed so scenario assertions are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace nakika::workload {
+
+// Zipf-skewed object index stream over [0, objects). next() draws the next
+// index; probability() exposes the exact pmf for distribution-shape checks
+// (chi-squared in the unit tests).
+class zipf_stream {
+ public:
+  zipf_stream(std::size_t objects, double exponent, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t next();
+  [[nodiscard]] std::size_t objects() const { return objects_; }
+  [[nodiscard]] double exponent() const { return exponent_; }
+  // P(next() == i): (1/(i+1)^s) / H_n.
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::size_t objects_;
+  double exponent_;
+  double harmonic_;  // normalizer H_n = sum_{j=1..n} j^-s
+  util::zipf_distribution dist_;
+  util::rng rng_;
+};
+
+// Open-loop arrival schedule: exponential inter-arrivals at base_rate, with
+// burst_rate inside the [burst_start, burst_start + burst_duration) window —
+// the flash-crowd spike. Timestamps are absolute seconds, nondecreasing.
+struct burst_config {
+  double base_rate = 50.0;     // arrivals/second outside the burst
+  double burst_rate = 0.0;     // arrivals/second inside the burst (0 = none)
+  double burst_start = 0.0;
+  double burst_duration = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class burst_arrivals {
+ public:
+  explicit burst_arrivals(burst_config cfg);
+
+  // Absolute time of the next arrival.
+  [[nodiscard]] double next();
+  // The next `count` arrival times in order.
+  [[nodiscard]] std::vector<double> take(std::size_t count);
+
+ private:
+  [[nodiscard]] bool in_burst(double t) const;
+
+  burst_config cfg_;
+  util::rng rng_;
+  double now_ = 0.0;
+};
+
+}  // namespace nakika::workload

@@ -1,0 +1,245 @@
+#include "workload/scenario.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+namespace nakika::workload {
+
+cluster_scenario::cluster_scenario(scenario_config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.nodes == 0) throw std::invalid_argument("cluster_scenario: nodes must be > 0");
+  if (cfg_.workers == 0) {
+    throw std::invalid_argument("cluster_scenario: the scenario tier is worker-mode (workers >= 1)");
+  }
+  if (cfg_.tenants.empty()) {
+    throw std::invalid_argument("cluster_scenario: need at least one tenant");
+  }
+
+  const sim::node_id origin_host = net_.add_node("origin");
+  std::vector<sim::node_id> hosts;
+  hosts.reserve(cfg_.nodes);
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    hosts.push_back(net_.add_node("p" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    net_.set_route(hosts[i], origin_host, 0.005);
+    for (std::size_t j = i + 1; j < cfg_.nodes; ++j) {
+      net_.set_route(hosts[i], hosts[j], 0.002);  // one tight Coral cluster
+    }
+  }
+
+  dep_ = std::make_unique<proxy::deployment>(net_);
+  origin_ = &dep_->create_origin(origin_host);
+  for (std::size_t t = 0; t < cfg_.tenants.size(); ++t) {
+    const tenant_spec& spec = cfg_.tenants[t];
+    dep_->map_host(spec.site, *origin_);
+    for (std::size_t obj = 0; obj < spec.objects; ++obj) {
+      origin_->add_static_text(spec.site, "/obj/" + std::to_string(obj), "text/plain",
+                               expected_body(t, obj), spec.ttl_seconds);
+    }
+    // Per-node warmup objects (see warm_script_probes).
+    for (std::size_t n = 0; n < cfg_.nodes; ++n) {
+      origin_->add_static_text(spec.site, "/warm/" + std::to_string(n), "text/plain",
+                               "warm-" + std::to_string(n), spec.ttl_seconds);
+    }
+    if (!spec.site_script.empty()) {
+      origin_->add_static_text(spec.site, "/nakika.js", "application/javascript",
+                               spec.site_script, spec.ttl_seconds);
+    }
+  }
+
+  dep_->enable_overlay();
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    proxy::node_config nc;
+    nc.workers = cfg_.workers;
+    nc.queue_capacity = cfg_.queue_capacity;
+    nc.resource_controls = cfg_.resource_controls;
+    nc.scripting = cfg_.scripting;
+    nc.content_cache_bytes = cfg_.cache_bytes;
+    nc.content_cache_shards = cfg_.cache_shards;
+    nc.content_cache_borrowing = cfg_.cache_borrowing;
+    nc.rng_seed = cfg_.seed + i;
+    for (const tenant_spec& spec : cfg_.tenants) {
+      if (spec.cache_quota_bytes > 0) {
+        nc.tenant_cache_quota_bytes[spec.site] = spec.cache_quota_bytes;
+      }
+      if (spec.weight != 1.0) nc.site_weights[spec.site] = spec.weight;
+    }
+    nodes_.push_back(&dep_->create_node(hosts[i], std::move(nc)));
+  }
+  alive_.assign(cfg_.nodes, true);
+  // Settle the overlay joins' bootstrap traffic (single-threaded, before any
+  // concurrent serving starts).
+  loop_.run();
+
+  streams_.reserve(cfg_.tenants.size());
+  for (std::size_t t = 0; t < cfg_.tenants.size(); ++t) {
+    streams_.emplace_back(cfg_.tenants[t].objects, cfg_.zipf_exponent,
+                          cfg_.seed * 1000003ULL + t);
+  }
+}
+
+std::string cluster_scenario::url_of(std::size_t tenant, std::size_t object) const {
+  return "http://" + cfg_.tenants[tenant].site + "/obj/" + std::to_string(object);
+}
+
+std::string cluster_scenario::expected_body(std::size_t tenant, std::size_t object) const {
+  const tenant_spec& spec = cfg_.tenants[tenant];
+  std::string body = spec.site + "|" + std::to_string(object) + "|";
+  if (body.size() < spec.object_bytes) body.resize(spec.object_bytes, 'x');
+  return body;
+}
+
+std::vector<request_ref> cluster_scenario::all_objects(std::size_t tenant) const {
+  std::vector<request_ref> out;
+  out.reserve(cfg_.tenants[tenant].objects);
+  for (std::size_t obj = 0; obj < cfg_.tenants[tenant].objects; ++obj) {
+    out.push_back({tenant, obj});
+  }
+  return out;
+}
+
+std::vector<request_ref> cluster_scenario::zipf_batch(std::size_t tenant, std::size_t count) {
+  std::vector<request_ref> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back({tenant, streams_[tenant].next()});
+  return out;
+}
+
+std::size_t cluster_scenario::live_nodes() const {
+  std::size_t n = 0;
+  for (const bool a : alive_) n += a ? 1 : 0;
+  return n;
+}
+
+std::size_t cluster_scenario::route_index(const std::string& url) {
+  std::vector<std::size_t> live;
+  live.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i]) live.push_back(i);
+  }
+  if (live.empty()) throw std::runtime_error("cluster_scenario: no live nodes to route to");
+  if (cfg_.route == route_policy::round_robin) return live[rr_next_++ % live.size()];
+  return live[std::hash<std::string>{}(url) % live.size()];
+}
+
+util::run_counters cluster_scenario::counters_sum() const {
+  util::run_counters sum;
+  for (const auto* nd : nodes_) {
+    const util::run_counters c = nd->counters();
+    sum.offered += c.offered;
+    sum.completed += c.completed;
+    sum.rejected += c.rejected;
+    sum.failed += c.failed;
+    sum.peer_hits += c.peer_hits;
+    sum.peer_misses += c.peer_misses;
+    sum.coalesced += c.coalesced;
+  }
+  return sum;
+}
+
+batch_metrics cluster_scenario::run_batch(const std::vector<request_ref>& reqs,
+                                          std::optional<std::size_t> node_index,
+                                          const std::vector<double>* arrivals,
+                                          double time_scale) {
+  const util::run_counters before = counters_sum();
+  const std::uint64_t origin_before = origin_->requests_served();
+
+  std::atomic<std::size_t> answered{0};
+  std::atomic<std::size_t> ok{0};
+  std::atomic<std::size_t> busy{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> bad_body{0};
+
+  double last_arrival = 0.0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (arrivals != nullptr && time_scale > 0.0 && i < arrivals->size()) {
+      const double gap = (*arrivals)[i] - last_arrival;
+      last_arrival = (*arrivals)[i];
+      if (gap > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(gap * time_scale));
+      }
+    }
+    const request_ref ref = reqs[i];
+    const std::string url = url_of(ref.tenant, ref.object);
+    proxy::nakika_node* target =
+        node_index.has_value() ? nodes_[*node_index] : nodes_[route_index(url)];
+    http::request r;
+    r.url = http::url::parse(url);
+    r.client_ip = "10.0.0.1";
+    target->handle(r, [&answered, &ok, &busy, &failed, &bad_body,
+                       want = expected_body(ref.tenant, ref.object)](http::response resp) {
+      if (resp.status == 200) {
+        if (resp.body != nullptr && resp.body->str() == want) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          bad_body.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (resp.status == 503) {
+        busy.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      answered.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // Drain every node (crashed ones too: their queued work must still
+  // complete — zero lost requests includes requests in flight at crash time).
+  for (auto* nd : nodes_) nd->drain();
+
+  batch_metrics m;
+  m.issued = reqs.size();
+  m.answered = answered.load();
+  m.ok = ok.load();
+  m.busy = busy.load();
+  m.failed = failed.load();
+  m.bad_body = bad_body.load();
+  const util::run_counters after = counters_sum();
+  m.peer_hits = after.peer_hits - before.peer_hits;
+  m.peer_misses = after.peer_misses - before.peer_misses;
+  m.coalesced = after.coalesced - before.coalesced;
+  m.origin_fetches = origin_->requests_served() - origin_before;
+  return m;
+}
+
+void cluster_scenario::warm_script_probes() {
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (!alive_[n]) continue;
+    for (const tenant_spec& spec : cfg_.tenants) {
+      http::request r;
+      r.url = http::url::parse("http://" + spec.site + "/warm/" + std::to_string(n));
+      r.client_ip = "10.0.0.1";
+      nodes_[n]->handle(r, [](http::response) {});
+    }
+  }
+  for (auto* nd : nodes_) nd->drain();
+}
+
+void cluster_scenario::crash_node(std::size_t i) {
+  dep_->fail_node(*nodes_[i]);
+  alive_[i] = false;
+  // Process death loses the caches; requests already queued keep draining
+  // (the zombie answers model a node dying *after* accepting work).
+  nodes_[i]->content_cache().clear();
+}
+
+void cluster_scenario::recover_node(std::size_t i) {
+  dep_->recover_node(*nodes_[i]);
+  alive_[i] = true;
+}
+
+cluster_scenario::flash_crowd_result cluster_scenario::run_flash_crowd(
+    std::size_t tenant, std::size_t burst_size) {
+  const std::vector<request_ref> reqs = zipf_batch(tenant, burst_size);
+  std::set<std::size_t> distinct;
+  for (const request_ref& ref : reqs) distinct.insert(ref.object);
+  flash_crowd_result out;
+  out.distinct_objects = distinct.size();
+  out.metrics = run_batch(reqs);
+  return out;
+}
+
+}  // namespace nakika::workload

@@ -1,0 +1,165 @@
+// Scenario tier (ROADMAP open item 5): reusable harness for adversarial
+// cluster workloads, shared by the scenario gtest suites and bench_cluster.
+// A cluster_scenario owns one simulated experiment — origin + N worker-mode
+// Na Kika nodes on a tight proxy mesh with the overlay enabled — and opens
+// three adversarial families end to end:
+//
+//   multi-tenant  per-tenant cache quotas and scheduling weights (tenant_spec)
+//                 wired into every node, so isolation invariants can be
+//                 asserted across a storm;
+//   churn         crash_node / recover_node inject mid-workload node failure
+//                 through the deployment's fault injector (overlay rings,
+//                 peer directory, DNS redirector), losing the node's caches
+//                 like a real process death;
+//   flash crowd   Zipf-skewed open-loop bursts via zipf_batch /
+//                 run_flash_crowd, with the O(1)-origin-fetches-per-object
+//                 invariant computed from origin-side counters.
+//
+// Requests are issued open-loop from the calling thread and completions are
+// verified against deterministic per-object bodies, so "zero lost requests"
+// and "no wrong bytes" are directly measurable per batch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proxy/deployment.hpp"
+#include "workload/arrivals.hpp"
+
+namespace nakika::workload {
+
+struct tenant_spec {
+  std::string site;                   // URL host, e.g. "flash.org"
+  std::size_t objects = 64;           // distinct cacheable objects
+  std::size_t object_bytes = 512;     // body size per object
+  std::size_t cache_quota_bytes = 0;  // 0 = no per-tenant cache quota
+  double weight = 1.0;                // congestion-control scheduling weight
+  std::string site_script;            // optional nakika.js body
+  std::int64_t ttl_seconds = 3600;
+};
+
+// How run_batch spreads requests across live nodes. url_affinity hashes the
+// URL to one node, which makes the flash-crowd O(1) origin bound exact
+// (single-flight coalescing is per node); round_robin spreads blindly.
+enum class route_policy { url_affinity, round_robin };
+
+struct scenario_config {
+  std::size_t nodes = 4;
+  std::size_t workers = 2;  // must be >= 1: the scenario tier is worker-mode
+  std::size_t queue_capacity = 16384;
+  std::size_t cache_bytes = 64 * 1024 * 1024;
+  std::size_t cache_shards = 0;
+  bool cache_borrowing = true;
+  bool resource_controls = false;
+  bool scripting = true;
+  route_policy route = route_policy::url_affinity;
+  std::uint64_t seed = 42;
+  double zipf_exponent = 1.1;
+  std::vector<tenant_spec> tenants;
+};
+
+// Deltas over one run_batch call (counters are snapshotted before/after, so
+// overlapping phases stay separable).
+struct batch_metrics {
+  std::size_t issued = 0;
+  std::size_t answered = 0;   // completion callbacks fired
+  std::size_t ok = 0;         // 200 with the exact expected body
+  std::size_t busy = 0;       // 503 (queue/backpressure/throttle)
+  std::size_t failed = 0;     // any other status
+  std::size_t bad_body = 0;   // 200 with wrong bytes
+  std::size_t peer_hits = 0;
+  std::size_t peer_misses = 0;
+  std::size_t coalesced = 0;
+  std::uint64_t origin_fetches = 0;
+
+  [[nodiscard]] double peer_hit_ratio() const {
+    const std::size_t total = peer_hits + peer_misses;
+    return total == 0 ? 0.0 : static_cast<double>(peer_hits) / static_cast<double>(total);
+  }
+  // Zero lost requests: every issued request answered, nothing wrong or
+  // errored (503s count separately — churn runs assert busy == 0 too).
+  [[nodiscard]] bool lossless() const {
+    return answered == issued && failed == 0 && bad_body == 0;
+  }
+};
+
+struct request_ref {
+  std::size_t tenant = 0;
+  std::size_t object = 0;
+};
+
+class cluster_scenario {
+ public:
+  explicit cluster_scenario(scenario_config cfg);
+
+  // --- naming ---
+  [[nodiscard]] std::string url_of(std::size_t tenant, std::size_t object) const;
+  [[nodiscard]] std::string expected_body(std::size_t tenant, std::size_t object) const;
+
+  // --- batches ---
+  // Every object of one tenant, in order (deterministic warm sweeps).
+  [[nodiscard]] std::vector<request_ref> all_objects(std::size_t tenant) const;
+  // `count` Zipf-skewed draws over one tenant's objects (fixed-seed stream).
+  [[nodiscard]] std::vector<request_ref> zipf_batch(std::size_t tenant, std::size_t count);
+
+  // Issues the batch open-loop and drains to completion. `node_index` pins
+  // every request to one node (warm phases); nullopt routes per the policy
+  // over live nodes. `arrivals`/`time_scale` optionally pace submissions by
+  // a burst_arrivals schedule (sleeping scaled inter-arrival gaps).
+  batch_metrics run_batch(const std::vector<request_ref>& reqs,
+                          std::optional<std::size_t> node_index = std::nullopt,
+                          const std::vector<double>* arrivals = nullptr,
+                          double time_scale = 0.0);
+
+  // Fetches one warmup object per (live node, tenant) so each node's one-time
+  // site-script probe is done; later origin deltas are then pure content
+  // fetches, which the O(1) flash-crowd invariant needs.
+  void warm_script_probes();
+
+  // --- churn ---
+  // Process death: fault-injected out of the overlay/directory/redirector
+  // AND all cached state lost. In-flight requests keep draining.
+  void crash_node(std::size_t i);
+  void recover_node(std::size_t i);
+  [[nodiscard]] bool node_alive(std::size_t i) const { return alive_[i]; }
+  [[nodiscard]] std::size_t live_nodes() const;
+
+  // --- flash crowd ---
+  struct flash_crowd_result {
+    batch_metrics metrics;
+    std::size_t distinct_objects = 0;
+    // The paper's collapse claim: a whole burst costs the origin at most one
+    // fetch per distinct hot object.
+    [[nodiscard]] bool origin_o1() const {
+      return metrics.origin_fetches <= distinct_objects;
+    }
+  };
+  flash_crowd_result run_flash_crowd(std::size_t tenant, std::size_t burst_size);
+
+  // --- accessors ---
+  [[nodiscard]] proxy::deployment& dep() { return *dep_; }
+  [[nodiscard]] proxy::nakika_node& node(std::size_t i) { return *nodes_[i]; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] proxy::origin_server& origin() { return *origin_; }
+  [[nodiscard]] const scenario_config& config() const { return cfg_; }
+  // Which node a URL routes to right now (over live nodes).
+  [[nodiscard]] std::size_t route_index(const std::string& url);
+
+ private:
+  [[nodiscard]] util::run_counters counters_sum() const;
+
+  scenario_config cfg_;
+  sim::event_loop loop_;
+  sim::network net_{loop_};
+  std::unique_ptr<proxy::deployment> dep_;
+  proxy::origin_server* origin_ = nullptr;
+  std::vector<proxy::nakika_node*> nodes_;
+  std::vector<bool> alive_;
+  std::size_t rr_next_ = 0;
+  std::vector<zipf_stream> streams_;  // one fixed-seed stream per tenant
+};
+
+}  // namespace nakika::workload

@@ -42,7 +42,8 @@ TEST(CacheConcurrency, EightThreadStressKeepsAccountingExact) {
   std::atomic<std::uint64_t> puts{0};
 
   // Observer: while workers mutate, stats counters must only grow and the
-  // capacity bound must hold (each shard enforces its slice under lock).
+  // capacity bound must hold (borrowing mode CAS-reserves against the
+  // global atomic total, so the bound is strict even across shards).
   std::thread observer([&] {
     cache_stats prev;
     while (!done.load(std::memory_order_acquire)) {

@@ -243,7 +243,9 @@ TEST_F(dht_fixture, SyncPutThenGetFindsValue) {
   EXPECT_GE(found.hops, 0);
   // The walk accounts the virtual cost the sim would have billed (5 ms
   // one-way mesh routes), unless the value happened to land locally.
-  if (found.hops > 0) EXPECT_GT(found.latency_seconds, 0.0);
+  if (found.hops > 0) {
+    EXPECT_GT(found.latency_seconds, 0.0);
+  }
 }
 
 TEST_F(dht_fixture, SyncGetHonorsTtl) {
@@ -569,6 +571,219 @@ TEST(Redirector, HostnameRewriting) {
   EXPECT_FALSE(is_nakika_host("a.nakika.org"));
   // Idempotent.
   EXPECT_EQ(to_nakika_host(to_nakika_host("x.org")), "x.org.nakika.net");
+}
+
+// ----- churn: crash, re-replication, and dangling-holder hygiene --------------------
+
+TEST_F(dht_fixture, GetNeverReturnsDeadHolders) {
+  build_mesh(8);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  // Two holders advertise the same key; holder h2 then dies. Lookups must
+  // return only the live holder — a dangling advertisement would send the
+  // transport to a dead endpoint.
+  ASSERT_GE(dht.put_now(members[0], "http://a/x", "h2", 1000, 0), 0);
+  ASSERT_GE(dht.put_now(members[1], "http://a/x", "h5", 1000, 0), 0);
+  dht.leave(members[2]);  // members[i] is named "h<i>" by the mesh builder
+
+  const sloppy_dht::sync_result r = dht.get_now(members[6], "http://a/x", 0);
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_EQ(r.values[0], "h5");
+}
+
+TEST_F(dht_fixture, PurgedHolderFallsToLiveReplicaOrEmpty) {
+  build_mesh(10);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  // Several nodes advertise themselves for the key (sloppy replication
+  // spreads the values), then one advertiser crashes AND its store is purged.
+  // Every remaining lookup result must name a live member — never the dead
+  // one — or come back empty (caller falls to origin); a dangling holder is
+  // the one unacceptable outcome.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_GE(dht.put_now(members[i], "http://b/y", "h" + std::to_string(i), 1000, 0), 0);
+  }
+  dht.leave(members[3]);
+  dht.purge_store(members[3]);
+
+  for (int via = 4; via < 10; ++via) {
+    const sloppy_dht::sync_result r = dht.get_now(members[via], "http://b/y", 0);
+    for (const std::string& holder : r.values) {
+      EXPECT_NE(holder, "h3") << "lookup via member " << via
+                              << " returned the dead holder";
+    }
+  }
+}
+
+TEST_F(dht_fixture, ReviveRestoresAdvertisementVisibility) {
+  build_mesh(8);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  // Pick a key whose replica is NOT stored at the member we will crash
+  // (leave() drops the leaver's store, which would conflate two effects —
+  // that path is covered by ReReplicationAfterCrashMakesKeyFindableAgain).
+  std::string key;
+  for (int k = 0; k < 32 && key.empty(); ++k) {
+    const std::string cand = "http://c/z" + std::to_string(k);
+    ASSERT_GE(dht.put_now(members[0], cand, "h1", 1000, 0), 0);
+    if (dht.stored_at(members[1], cand, 0).empty()) key = cand;
+  }
+  ASSERT_FALSE(key.empty());
+
+  // Leave then revive with NO lookup in between: the advertisement is still
+  // stored elsewhere, so it becomes visible again as soon as the holder is
+  // back.
+  dht.leave(members[1]);
+  dht.revive(members[1]);
+  const sloppy_dht::sync_result back = dht.get_now(members[5], key, 0);
+  ASSERT_EQ(back.values.size(), 1u);
+  EXPECT_EQ(back.values[0], "h1");
+
+  // But a lookup DURING the outage scrubs the dangling value permanently:
+  // after that, only a fresh re-advertisement (re-replication) restores it.
+  dht.leave(members[1]);
+  EXPECT_TRUE(dht.get_now(members[5], key, 0).values.empty())
+      << "sole holder is dead: the value must be filtered";
+  dht.revive(members[1]);
+  EXPECT_TRUE(dht.get_now(members[5], key, 0).values.empty())
+      << "the scrub is destructive: revival alone must not resurrect it";
+  ASSERT_GE(dht.put_now(members[1], key, "h1", 1000, 0), 0);
+  EXPECT_FALSE(dht.get_now(members[5], key, 0).values.empty());
+
+  // And a revived member routes: it can find other keys again.
+  ASSERT_GE(dht.put_now(members[4], "http://c/w", "h4", 1000, 0), 0);
+  EXPECT_FALSE(dht.get_now(members[1], "http://c/w", 0).values.empty());
+}
+
+TEST_F(dht_fixture, ReReplicationAfterCrashMakesKeyFindableAgain) {
+  build_mesh(8);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  // Sole holder dies with its DHT state; a survivor re-fetches from origin
+  // and re-advertises itself — exactly what nakika_node's miss path does.
+  ASSERT_GE(dht.put_now(members[0], "http://d/q", "h2", 1000, 0), 0);
+  dht.leave(members[2]);
+  dht.purge_store(members[2]);
+  ASSERT_TRUE(dht.get_now(members[6], "http://d/q", 0).values.empty());
+
+  ASSERT_GE(dht.put_now(members[6], "http://d/q", "h6", 1000, 0), 0);
+  const sloppy_dht::sync_result r = dht.get_now(members[7], "http://d/q", 0);
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_EQ(r.values[0], "h6");
+}
+
+TEST_F(dht_fixture, ConcurrentChurnOpsAreRaceFree) {
+  build_mesh(10);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+
+  // put/get traffic racing crash/revive of one member: no crashes, no
+  // lost writes to live members, and (checked under TSan in CI) no races.
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    for (int i = 0; i < 60; ++i) {
+      dht.leave(members[9]);
+      dht.purge_store(members[9]);
+      dht.revive(members[9]);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> workers;
+  std::atomic<std::size_t> found{0};
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      int i = 0;
+      while (!stop.load() || i < 50) {
+        const std::string key = "k" + std::to_string(i % 7);
+        const auto via = members[static_cast<std::size_t>(t * 3 + i) % 9];  // live members
+        if (i % 2 == 0) {
+          (void)dht.put_now(via, key, "h" + std::to_string(t), 1000, 0);
+        } else if (!dht.get_now(via, key, 0).values.empty()) {
+          found.fetch_add(1);
+        }
+        ++i;
+      }
+    });
+  }
+  churner.join();
+  for (auto& w : workers) w.join();
+  EXPECT_GT(found.load(), 0u);
+  EXPECT_EQ(dht.member_count(), members.size());
+}
+
+TEST(Clusters, CrashAndReviveMemberAcrossRings) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::geo_deployment g = sim::build_geo(net, 3);
+
+  coral_overlay coral(net);
+  std::vector<coral_overlay::member_id> members;
+  for (std::size_t i = 0; i < g.sites.size(); ++i) {
+    members.push_back(coral.join(g.sites[i].proxy, "p" + std::to_string(i)));
+  }
+  loop.run();
+
+  coral.put_now(members[0], "key", "p0", 10000, 0);
+  ASSERT_FALSE(coral.get_now(members[1], "key", 0).values.empty());
+
+  // Crash the sole holder at every ring level: the advertisement vanishes
+  // from all of them, near and far (and the lookups scrub the dangling
+  // values from whatever stores they touched).
+  coral.crash_member(members[0]);
+  EXPECT_TRUE(coral.get_now(members[1], "key", 0).values.empty());
+  EXPECT_TRUE(coral.get_now(members[6], "key", 0).values.empty());
+
+  // Revive and re-advertise (the node's miss path would do this on its next
+  // serve): the key is findable again.
+  coral.revive_member(members[0]);
+  coral.put_now(members[0], "key", "p0", 10000, 0);
+  EXPECT_FALSE(coral.get_now(members[1], "key", 0).values.empty());
+
+  // A revived member participates again: it can read a fresh put.
+  coral.put_now(members[4], "other", "p4", 10000, 0);
+  EXPECT_FALSE(coral.get_now(members[0], "other", 0).values.empty());
+}
+
+TEST(Clusters, PurgeMemberStoreDropsItsReplicas) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  const sim::geo_deployment g = sim::build_geo(net, 2);
+
+  coral_overlay coral(net);
+  std::vector<coral_overlay::member_id> members;
+  for (std::size_t i = 0; i < g.sites.size(); ++i) {
+    members.push_back(coral.join(g.sites[i].proxy, "p" + std::to_string(i)));
+  }
+  loop.run();
+
+  coral.put_now(members[2], "k", "p2", 10000, 0);
+  coral.crash_member(members[2]);
+  coral.purge_member_store(members[2]);
+  coral.revive_member(members[2]);
+  // The member is back but its stores died with the process: whatever any
+  // lookup returns, it must not be served from the purged member's stores
+  // naming only itself... the value may have spilled to other members, but
+  // a fresh re-advertisement must always win.
+  coral.put_now(members[3], "k", "p3", 10000, 0);
+  const coral_overlay::sync_result r = coral.get_now(members[1], "k", 0);
+  ASSERT_FALSE(r.values.empty());
+  bool has_live = false;
+  for (const std::string& v : r.values) has_live |= (v == "p3");
+  EXPECT_TRUE(has_live);
 }
 
 }  // namespace

@@ -171,7 +171,9 @@ class ShardedCacheInvariant : public Seeded {};
 TEST_P(ShardedCacheInvariant, StructuralInvariantsHoldAfterEveryOp) {
   const std::size_t capacity = 16 * 1024;
   const std::size_t shards = 8;
-  cache::http_cache c(capacity, shards);
+  // Strict mode: these invariants pin the historical per-slice bound. The
+  // borrowing-mode twin below checks the global bound instead.
+  cache::http_cache c(capacity, shards, /*shard_borrowing=*/false);
   ASSERT_EQ(c.shard_count(), shards);
   std::int64_t now = 0;
   for (int op = 0; op < 400; ++op) {
@@ -210,6 +212,86 @@ TEST_P(ShardedCacheInvariant, StructuralInvariantsHoldAfterEveryOp) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardedCacheInvariant, ::testing::Range(0, 6));
 
+// Borrowing-mode twin: the per-shard slice bound is deliberately gone, but
+// the *global* capacity bound and all structural/accounting invariants must
+// still hold after every op.
+class BorrowingCacheInvariant : public Seeded {};
+
+TEST_P(BorrowingCacheInvariant, GlobalBoundAndAccountingHoldAfterEveryOp) {
+  const std::size_t capacity = 16 * 1024;
+  const std::size_t shards = 8;
+  cache::http_cache c(capacity, shards, /*shard_borrowing=*/true);
+  std::int64_t now = 0;
+  for (int op = 0; op < 400; ++op) {
+    now += static_cast<std::int64_t>(rng.next(20));
+    const std::string url = "http://x/" + std::to_string(rng.next(40));
+    const double action = rng.next_double();
+    if (action < 0.55) {
+      const std::size_t size = 1 + rng.next(3000);  // up to > one slice
+      c.put_with_expiry(url,
+                        http::make_response(200, "t",
+                                            util::make_body(std::string(size, 'b'))),
+                        now + 1 + static_cast<std::int64_t>(rng.next(200)), now);
+    } else if (action < 0.85) {
+      (void)c.get(url, now);
+    } else if (action < 0.95) {
+      (void)c.remove(url);
+    } else {
+      c.clear();
+    }
+
+    std::size_t map_entries = 0;
+    std::size_t map_bytes = 0;
+    for (const auto& s : c.snapshot_shards()) {
+      ASSERT_EQ(s.entries, s.lru_length) << "after op " << op;
+      ASSERT_EQ(s.bytes_used, s.charged_bytes) << "after op " << op;
+      map_entries += s.entries;
+      map_bytes += s.bytes_used;
+    }
+    ASSERT_EQ(c.entry_count(), map_entries) << "after op " << op;
+    ASSERT_EQ(c.bytes_used(), map_bytes) << "after op " << op;
+    ASSERT_LE(c.bytes_used(), capacity) << "after op " << op;
+    ASSERT_LE(c.stats().evictions, c.stats().insertions) << "after op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BorrowingCacheInvariant, ::testing::Range(0, 6));
+
+// The ROADMAP item-1 regression: a workload concentrated on one hot shard
+// must be able to borrow the other shards' idle capacity instead of
+// thrashing inside its 1/N slice.
+TEST(ShardedCacheBorrowing, HotShardBorrowsIdleCapacity) {
+  constexpr std::size_t shards = 4;
+  constexpr std::size_t capacity = 64 * 1024;  // 16 KiB per slice
+  cache::http_cache c(capacity, shards, /*shard_borrowing=*/true);
+  const auto shard_of = [](const std::string& url) {
+    return std::hash<std::string>{}(url) % shards;
+  };
+  // 20 entries × (2048 + 256) bytes ≈ 45 KiB, all hashed to one shard:
+  // nearly 3× the slice, comfortably under the whole cache.
+  std::vector<std::string> hot;
+  for (int i = 0; hot.size() < 20 && i < 100000; ++i) {
+    const std::string url = "http://hot/" + std::to_string(i);
+    if (hot.empty() || shard_of(url) == shard_of(hot.front())) hot.push_back(url);
+  }
+  ASSERT_EQ(hot.size(), 20u);
+  const http::response body =
+      http::make_response(200, "t", util::make_body(std::string(2048, 'h')));
+  for (const auto& url : hot) ASSERT_TRUE(c.put_with_expiry(url, body, 10'000, 0));
+  // No thrash: every hot entry is resident and nothing was evicted.
+  EXPECT_EQ(c.stats().evictions, 0u);
+  for (const auto& url : hot) EXPECT_TRUE(c.get(url, 1).has_value());
+  // The global bound still binds: keep inserting into the hot shard until
+  // past capacity, and the cache evicts instead of growing.
+  for (int i = 0; i < 40000; ++i) {
+    const std::string url = "http://hot2/" + std::to_string(i);
+    if (shard_of(url) != shard_of(hot.front())) continue;
+    c.put_with_expiry(url, body, 10'000, 0);
+  }
+  EXPECT_GT(c.stats().evictions, 0u);
+  EXPECT_LE(c.bytes_used(), capacity);
+}
+
 // A get must refresh LRU order within the touched entry's shard: fill one
 // shard to capacity, touch the older entry, add a third — the touched entry
 // survives and the untouched peer is the eviction victim. URLs are bucketed
@@ -218,7 +300,8 @@ TEST(ShardedCacheLru, TouchRefreshesOrderWithinItsShard) {
   constexpr std::size_t shards = 4;
   // 1 KiB per shard; each entry charges 256 (body) + 256 (overhead) = 512,
   // so exactly two entries fit in a shard and a third forces one eviction.
-  cache::http_cache c(4 * 1024, shards);
+  // Strict mode: with borrowing the third entry would fit the global bound.
+  cache::http_cache c(4 * 1024, shards, /*shard_borrowing=*/false);
   ASSERT_EQ(c.shard_count(), shards);
   const auto shard_of = [](const std::string& url) {
     return std::hash<std::string>{}(url) % shards;
@@ -250,14 +333,16 @@ TEST(ShardedCacheLru, TouchRefreshesOrderWithinItsShard) {
 // with an oversubscribed shard count degenerates to rejecting puts — never
 // to unlimited growth.
 TEST(ShardedCacheLru, OversizedPutsAreCountedNotSilent) {
-  cache::http_cache small(4 * 1024, 4);  // 1 KiB per shard
+  // 1 KiB per shard, strict: the entry bound is the slice, not the cache.
+  cache::http_cache small(4 * 1024, 4, /*shard_borrowing=*/false);
   small.put_with_expiry("http://big/1",
                         http::make_response(200, "t", util::make_body(std::string(2048, 'x'))),
                         10'000, 0);
   EXPECT_EQ(small.entry_count(), 0u);
   EXPECT_EQ(small.stats().oversized_rejections, 1u);
 
-  cache::http_cache oversubscribed(1024, 2048);  // capacity / shards rounds to 0
+  // capacity / shards rounds to 0
+  cache::http_cache oversubscribed(1024, 2048, /*shard_borrowing=*/false);
   for (int i = 0; i < 100; ++i) {
     oversubscribed.put_with_expiry("http://o/" + std::to_string(i),
                                    http::make_response(200, "t", util::make_body("x")),

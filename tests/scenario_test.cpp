@@ -1,0 +1,367 @@
+// Scenario tier: churn fault injection and flash-crowd adversarial workloads
+// driven through workload::cluster_scenario (multi-tenant isolation scenarios
+// live in tenant_isolation_test.cpp). These are end-to-end cluster tests:
+// worker-mode nodes, the real overlay, real peer transports, and the
+// deployment's fault injector.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "net/single_flight.hpp"
+#include "util/bytes.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace nakika;
+using workload::batch_metrics;
+using workload::cluster_scenario;
+using workload::request_ref;
+using workload::scenario_config;
+using workload::tenant_spec;
+
+scenario_config base_config(std::size_t nodes, std::size_t workers, std::uint64_t seed) {
+  scenario_config cfg;
+  cfg.nodes = nodes;
+  cfg.workers = workers;
+  cfg.seed = seed;
+  return cfg;
+}
+
+tenant_spec make_tenant(std::string site, std::size_t objects, std::size_t object_bytes = 512) {
+  tenant_spec t;
+  t.site = std::move(site);
+  t.objects = objects;
+  t.object_bytes = object_bytes;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Flash crowd: a Zipf burst against a cold cluster must cost the origin at
+// most ONE fetch per distinct hot object (single-flight coalescing per node +
+// URL-affinity routing + cooperative peer caching). This is the paper's
+// flash-crowd collapse claim, stated as an exact invariant.
+// ---------------------------------------------------------------------------
+
+TEST(FlashCrowd, ZipfBurstOnColdClusterIsO1PerObject) {
+  scenario_config cfg = base_config(4, 2, 7);
+  cfg.tenants.push_back(make_tenant("flash.org", 16, 600));
+  cluster_scenario s(cfg);
+  s.warm_script_probes();
+
+  const std::vector<request_ref> burst = s.zipf_batch(/*tenant=*/0, /*count=*/64);
+  std::set<std::size_t> distinct;
+  for (const request_ref& ref : burst) distinct.insert(ref.object);
+  ASSERT_GT(distinct.size(), 1u);
+  ASSERT_LT(distinct.size(), 64u) << "Zipf draw should repeat hot objects";
+
+  const batch_metrics m = s.run_batch(burst);
+  EXPECT_TRUE(m.lossless()) << "answered=" << m.answered << " failed=" << m.failed
+                            << " bad_body=" << m.bad_body;
+  EXPECT_EQ(m.busy, 0u);
+  EXPECT_LE(m.origin_fetches, distinct.size())
+      << "origin saw " << m.origin_fetches << " fetches for " << distinct.size()
+      << " distinct objects";
+
+  // Replaying the exact same burst against the now-warm cluster is absorbed
+  // entirely by the caches: the origin must not be touched at all.
+  const batch_metrics m2 = s.run_batch(burst);
+  EXPECT_TRUE(m2.lossless());
+  EXPECT_EQ(m2.origin_fetches, 0u)
+      << "warm cluster should never re-fetch a cached hot object";
+}
+
+TEST(FlashCrowd, PacedBurstScheduleStaysO1) {
+  // Same invariant with arrivals paced by the burst schedule instead of
+  // submitted back-to-back — open-loop timing must not change the bound.
+  scenario_config cfg = base_config(3, 2, 11);
+  cfg.tenants.push_back(make_tenant("spike.net", 8, 256));
+  cluster_scenario s(cfg);
+  s.warm_script_probes();
+
+  workload::burst_config bc;
+  bc.base_rate = 200.0;
+  bc.burst_rate = 4000.0;
+  bc.burst_start = 0.05;
+  bc.burst_duration = 0.2;
+  bc.seed = 3;
+  workload::burst_arrivals schedule(bc);
+  const std::vector<double> times = schedule.take(48);
+
+  const std::vector<request_ref> reqs = s.zipf_batch(0, 48);
+  std::set<std::size_t> distinct;
+  for (const request_ref& ref : reqs) distinct.insert(ref.object);
+
+  // Scale virtual seconds down hard so the test stays fast.
+  const batch_metrics m = s.run_batch(reqs, std::nullopt, &times, /*time_scale=*/0.01);
+  EXPECT_TRUE(m.lossless());
+  EXPECT_LE(m.origin_fetches, distinct.size());
+}
+
+// ---------------------------------------------------------------------------
+// Churn: crash a node mid-workload. Every request completes (zero lost), the
+// cluster falls back to origin only for objects the dead node exclusively
+// held, and after recovery the peer-hit ratio is back at its pre-crash level.
+// ---------------------------------------------------------------------------
+
+TEST(Churn, CrashRecoveryLosesNoRequestsAndPeerRatioRecovers) {
+  scenario_config cfg = base_config(4, 2, 13);
+  cfg.tenants.push_back(make_tenant("warm.org", 24));  // tenant 0: replicated
+  cfg.tenants.push_back(make_tenant("solo.org", 12));  // tenant 1: node 0 only
+  cluster_scenario s(cfg);
+  s.warm_script_probes();
+
+  // Warm node 0 with both tenants' full object sets from origin.
+  ASSERT_TRUE(s.run_batch(s.all_objects(0), 0).lossless());
+  ASSERT_TRUE(s.run_batch(s.all_objects(1), 0).lossless());
+
+  // Pre-crash: every other node pulls warm.org cooperatively. All misses must
+  // resolve via peers (node 0 holds and advertises everything).
+  std::size_t pre_hits = 0;
+  std::size_t pre_misses = 0;
+  for (std::size_t n = 1; n < s.node_count(); ++n) {
+    const batch_metrics m = s.run_batch(s.all_objects(0), n);
+    ASSERT_TRUE(m.lossless());
+    pre_hits += m.peer_hits;
+    pre_misses += m.peer_misses;
+  }
+  ASSERT_GT(pre_hits, 0u);
+  const double ratio_pre =
+      static_cast<double>(pre_hits) / static_cast<double>(pre_hits + pre_misses);
+  EXPECT_EQ(pre_misses, 0u) << "warm objects should always be found at a peer";
+
+  // Crash node 0: overlay rings, peer directory, and redirector all drop it;
+  // its caches are gone like a real process death.
+  s.crash_node(0);
+  ASSERT_FALSE(s.node_alive(0));
+  ASSERT_EQ(s.live_nodes(), s.node_count() - 1);
+
+  // During the outage: warm.org is served from the survivors' caches and
+  // solo.org — whose only replica died — falls through to origin. The DHT
+  // still advertises the dead node as a holder; those dangling entries must
+  // be scrubbed, not probed forever, and nothing may be lost or wrong.
+  std::vector<request_ref> during = s.all_objects(0);
+  const std::vector<request_ref> lost = s.all_objects(1);
+  during.insert(during.end(), lost.begin(), lost.end());
+  const batch_metrics m_during = s.run_batch(during);
+  EXPECT_TRUE(m_during.lossless())
+      << "failed=" << m_during.failed << " bad_body=" << m_during.bad_body;
+  EXPECT_EQ(m_during.busy, 0u);
+  EXPECT_LE(m_during.origin_fetches, lost.size())
+      << "origin fallback must be bounded by the objects that died with node 0";
+
+  // Recover node 0 and re-warm it: its cold cache refills from live peers
+  // (and origin for anything the DHT lost with the crash).
+  s.recover_node(0);
+  ASSERT_TRUE(s.node_alive(0));
+  std::vector<request_ref> rewarm = s.all_objects(0);
+  rewarm.insert(rewarm.end(), lost.begin(), lost.end());
+  ASSERT_TRUE(s.run_batch(rewarm, 0).lossless());
+
+  // Post-recovery measurement, symmetric with the pre-crash one: the other
+  // nodes sweep solo.org. Every object now has at least one live advertised
+  // holder (its during-crash fetcher plus the recovered node 0), so the
+  // peer-hit ratio must be back at the pre-crash level.
+  std::size_t post_hits = 0;
+  std::size_t post_misses = 0;
+  for (std::size_t n = 1; n < s.node_count(); ++n) {
+    const batch_metrics m = s.run_batch(s.all_objects(1), n);
+    ASSERT_TRUE(m.lossless());
+    post_hits += m.peer_hits;
+    post_misses += m.peer_misses;
+  }
+  ASSERT_GT(post_hits + post_misses, 0u);
+  const double ratio_post =
+      static_cast<double>(post_hits) / static_cast<double>(post_hits + post_misses);
+  EXPECT_GE(ratio_post, ratio_pre)
+      << "peer-hit ratio must recover: pre=" << ratio_pre << " post=" << ratio_post;
+}
+
+TEST(Churn, MidBatchCrashIsLossless) {
+  // Crash the holder node from another thread WHILE a survivor is pulling its
+  // objects: fetches race the crash, some resolve via the peer before it
+  // dies, the rest fall back to origin. Every request must still complete
+  // with the right bytes.
+  scenario_config cfg = base_config(3, 2, 17);
+  cfg.tenants.push_back(make_tenant("race.org", 32));
+  cluster_scenario s(cfg);
+  s.warm_script_probes();
+  ASSERT_TRUE(s.run_batch(s.all_objects(0), 0).lossless());
+
+  std::thread crasher([&s] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    s.crash_node(0);
+  });
+  const batch_metrics m = s.run_batch(s.all_objects(0), 1);
+  crasher.join();
+
+  EXPECT_TRUE(m.lossless()) << "failed=" << m.failed << " bad_body=" << m.bad_body;
+  EXPECT_EQ(m.busy, 0u);
+  EXPECT_EQ(m.ok, 32u);
+}
+
+TEST(Churn, InjectedFetchFailuresFallBackToOrigin) {
+  // Force every peer fetch to fail (probabilistically, rate 1.0) and slow the
+  // path down: the cluster must degrade to origin fetches, never to errors.
+  scenario_config cfg = base_config(2, 2, 19);
+  cfg.tenants.push_back(make_tenant("lossy.io", 16));
+  cluster_scenario s(cfg);
+  s.warm_script_probes();
+  ASSERT_TRUE(s.run_batch(s.all_objects(0), 0).lossless());
+
+  s.dep().faults().set_fetch_failure_rate(1.0);
+  s.dep().faults().set_added_fetch_latency(0.010);
+  const batch_metrics m = s.run_batch(s.all_objects(0), 1);
+  s.dep().faults().set_fetch_failure_rate(0.0);
+  s.dep().faults().set_added_fetch_latency(0.0);
+
+  EXPECT_TRUE(m.lossless());
+  EXPECT_EQ(m.peer_hits, 0u) << "every peer fetch was told to fail";
+  EXPECT_EQ(m.origin_fetches, 16u) << "each object falls through to origin exactly once";
+  EXPECT_GT(s.dep().faults().injected_failures(), 0u);
+}
+
+TEST(Churn, TransportSkipsCrashedHolderAndFallsBack) {
+  // Crash the holder at the fault-injector level ONLY (no overlay leave), so
+  // the DHT still names it as a holder: the threaded transport must skip the
+  // crashed peer instead of probing a dead endpoint, and the request falls
+  // back to origin.
+  scenario_config cfg = base_config(2, 2, 23);
+  cfg.tenants.push_back(make_tenant("dead-peer.org", 8));
+  cluster_scenario s(cfg);
+  s.warm_script_probes();
+  ASSERT_TRUE(s.run_batch(s.all_objects(0), 0).lossless());
+
+  s.dep().faults().crash(s.dep().node_name_of(s.node(0)));
+  const batch_metrics m = s.run_batch(s.all_objects(0), 1);
+  s.dep().faults().revive(s.dep().node_name_of(s.node(0)));
+
+  EXPECT_TRUE(m.lossless());
+  EXPECT_EQ(m.peer_hits, 0u);
+  EXPECT_EQ(m.origin_fetches, 8u);
+  EXPECT_GT(s.dep().faults().skipped_crashed_probes(), 0u)
+      << "the transport should have skipped the crashed holder explicitly";
+}
+
+TEST(Churn, RecoverIsIdempotentAndCrashedRoutingAvoidsDeadNodes) {
+  scenario_config cfg = base_config(3, 1, 29);
+  cfg.tenants.push_back(make_tenant("tiny.org", 4));
+  cluster_scenario s(cfg);
+
+  // recover on a live node is a no-op (no duplicate redirector entries).
+  s.recover_node(1);
+  EXPECT_TRUE(s.node_alive(1));
+
+  s.crash_node(2);
+  // URL-affinity routing must only ever pick live nodes.
+  for (std::size_t obj = 0; obj < 4; ++obj) {
+    EXPECT_NE(s.route_index(s.url_of(0, obj)), 2u);
+  }
+  s.recover_node(2);
+  EXPECT_EQ(s.live_nodes(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight leader failure (satellite: the coalescing layer under churn).
+// The leader's upstream fetch dies while followers are parked on its flight:
+// every follower must be released with a 502 — never hang — and the key must
+// be immediately usable for a fresh, successful flight.
+// ---------------------------------------------------------------------------
+
+TEST(SingleFlightChurn, LeaderFailureReleasesParkedWaitersWith502) {
+  net::single_flight sf;
+  constexpr int k_followers = 4;
+  const std::uint64_t waiters_before = sf.snapshot().waiters;
+
+  std::atomic<int> got_502{0};
+  std::atomic<int> got_other{0};
+  std::atomic<bool> leader_threw{false};
+
+  std::thread leader([&] {
+    try {
+      (void)sf.run("http://hot/obj", [&]() -> http::response {
+        // Hold the flight until all followers are parked (bounded wait), then
+        // die. This makes "followers were parked when the leader failed"
+        // deterministic rather than timing-dependent.
+        for (int spin = 0; spin < 20000; ++spin) {
+          if (sf.snapshot().waiters >= waiters_before + k_followers) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        throw std::runtime_error("upstream died mid-flight");
+      });
+      ADD_FAILURE() << "leader must propagate its fetch exception";
+    } catch (const std::runtime_error&) {
+      leader_threw.store(true);
+    }
+  });
+
+  // Don't start followers until the leader owns the flight.
+  while (sf.in_flight() == 0) std::this_thread::yield();
+
+  std::vector<std::thread> followers;
+  followers.reserve(k_followers);
+  for (int i = 0; i < k_followers; ++i) {
+    followers.emplace_back([&] {
+      bool coalesced = false;
+      const http::response r = sf.run(
+          "http://hot/obj",
+          [] { return http::make_response(200, "text/plain", util::make_body("late")); },
+          &coalesced);
+      if (coalesced && r.status == 502) {
+        got_502.fetch_add(1);
+      } else {
+        got_other.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : followers) t.join();
+  leader.join();
+
+  EXPECT_TRUE(leader_threw.load());
+  EXPECT_EQ(got_502.load(), k_followers)
+      << "every parked follower must get the leader's 502, got_other="
+      << got_other.load();
+  EXPECT_EQ(sf.in_flight(), 0u) << "the failed flight must be retired";
+
+  // The key is not poisoned: the next run leads a fresh, successful flight.
+  const http::response retry = sf.run("http://hot/obj", [] {
+    return http::make_response(200, "text/plain", util::make_body("fresh"));
+  });
+  EXPECT_EQ(retry.status, 200);
+  ASSERT_NE(retry.body, nullptr);
+  EXPECT_EQ(retry.body->str(), "fresh");
+}
+
+// ---------------------------------------------------------------------------
+// Harness self-checks.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioHarness, RejectsDegenerateConfigs) {
+  scenario_config no_tenants = base_config(2, 1, 1);
+  EXPECT_THROW(cluster_scenario{no_tenants}, std::invalid_argument);
+
+  scenario_config no_workers = base_config(2, 0, 1);
+  no_workers.tenants.push_back(make_tenant("a.org", 1));
+  EXPECT_THROW(cluster_scenario{no_workers}, std::invalid_argument);
+
+  scenario_config no_nodes = base_config(0, 1, 1);
+  no_nodes.tenants.push_back(make_tenant("a.org", 1));
+  EXPECT_THROW(cluster_scenario{no_nodes}, std::invalid_argument);
+}
+
+TEST(ScenarioHarness, BodiesAreDeterministicAndSized) {
+  scenario_config cfg = base_config(1, 1, 3);
+  cfg.tenants.push_back(make_tenant("det.org", 3, 128));
+  cluster_scenario s(cfg);
+  EXPECT_EQ(s.expected_body(0, 1).size(), 128u);
+  EXPECT_EQ(s.expected_body(0, 1), s.expected_body(0, 1));
+  EXPECT_NE(s.expected_body(0, 1), s.expected_body(0, 2));
+  EXPECT_EQ(s.url_of(0, 2), "http://det.org/obj/2");
+}
+
+}  // namespace

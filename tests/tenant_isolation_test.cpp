@@ -1,0 +1,274 @@
+// Scenario tier: multi-tenant isolation. Per-tenant cache quotas (cap AND
+// eviction protection) in http_cache, weighted congestion-control shares in
+// resource_manager, and the end-to-end starvation bound: an adversarial
+// storm tenant sweeping a cluster cannot evict a polite tenant's working set
+// or starve it back to origin.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cache/http_cache.hpp"
+#include "core/resource_manager.hpp"
+#include "util/bytes.hpp"
+#include "util/random.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace nakika;
+using cache::http_cache;
+
+http::response body_of(std::size_t bytes, char fill = 'x') {
+  return http::make_response(200, "text/plain", util::make_body(std::string(bytes, fill)));
+}
+
+std::string url_for(const std::string& host, int i) {
+  return "http://" + host + "/obj/" + std::to_string(i);
+}
+
+// ---------------------------------------------------------------------------
+// http_cache: quota as a cap.
+// ---------------------------------------------------------------------------
+
+TEST(TenantQuota, TenantOfParsesHost) {
+  EXPECT_EQ(http_cache::tenant_of("http://a.org/x/y?z=1"), "a.org");
+  EXPECT_EQ(http_cache::tenant_of("http://b.example.net:8080/"), "b.example.net");
+}
+
+TEST(TenantQuota, CapsTenantBytesByEvictingItsOwnEntries) {
+  http_cache c(/*capacity=*/64 * 1024);
+  c.set_tenant_quota("a.org", 4 * 1024);
+
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(c.put_with_expiry(url_for("a.org", i), body_of(1024), 100, 0));
+    EXPECT_LE(c.tenant_bytes("a.org"), 4u * 1024) << "after insert " << i;
+  }
+  // The newest entries are resident; the oldest were evicted to make room.
+  EXPECT_TRUE(c.get(url_for("a.org", 19), 0).has_value());
+  EXPECT_FALSE(c.get(url_for("a.org", 0), 0).has_value());
+  EXPECT_GT(c.stats().evictions, 0u);
+  EXPECT_EQ(c.tenant_quota("a.org"), 4u * 1024);
+}
+
+TEST(TenantQuota, QuotaEvictionsNeverTouchOtherTenants) {
+  http_cache c(64 * 1024);
+  c.set_tenant_quota("storm.org", 4 * 1024);
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(c.put_with_expiry(url_for("victim.org", i), body_of(512), 100, 0));
+  }
+  const std::size_t victim_bytes = c.bytes_used();
+
+  // The capped tenant churns far past its quota: only its own entries cycle.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(c.put_with_expiry(url_for("storm.org", i), body_of(1024), 100, 0));
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(c.get(url_for("victim.org", i), 0).has_value()) << "victim entry " << i;
+  }
+  EXPECT_LE(c.tenant_bytes("storm.org"), 4u * 1024);
+  EXPECT_GE(c.bytes_used(), victim_bytes);
+}
+
+TEST(TenantQuota, EntryLargerThanQuotaIsRejectedAndCounted) {
+  // An entry's charge is its body plus a fixed headers-overhead estimate, so
+  // a 4 KiB body can never fit a 2 KiB quota no matter what gets evicted.
+  http_cache c(64 * 1024);
+  c.set_tenant_quota("small.org", 2 * 1024);
+  EXPECT_FALSE(c.put_with_expiry(url_for("small.org", 0), body_of(4096), 100, 0));
+  EXPECT_EQ(c.stats().quota_rejections, 1u);
+  EXPECT_EQ(c.tenant_bytes("small.org"), 0u);
+  // Entries whose charge fits the quota still land.
+  EXPECT_TRUE(c.put_with_expiry(url_for("small.org", 1), body_of(1024), 100, 0));
+}
+
+// ---------------------------------------------------------------------------
+// http_cache: quota as a reservation (eviction protection).
+// ---------------------------------------------------------------------------
+
+TEST(TenantQuota, ReservationProtectsTenantFromCapacityPressure) {
+  // Small cache, one configured tenant holding its working set, then an
+  // unconfigured tenant floods the cache well past capacity. Capacity
+  // evictions must only ever hit the flooder (and unconfigured entries) —
+  // the configured tenant's working set survives byte for byte.
+  http_cache c(/*capacity=*/16 * 1024, /*shard_count=*/2, /*shard_borrowing=*/true);
+  c.set_tenant_quota("polite.org", 8 * 1024);
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(c.put_with_expiry(url_for("polite.org", i), body_of(512), 100, 0));
+  }
+  const std::size_t polite_before = c.tenant_bytes("polite.org");
+  ASSERT_GE(polite_before, 10u * 512);  // charges include per-entry overhead
+  ASSERT_LE(polite_before, 8u * 1024);
+
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(c.put_with_expiry(url_for("storm.org", i), body_of(1024), 100, 0));
+  }
+
+  EXPECT_EQ(c.tenant_bytes("polite.org"), polite_before)
+      << "capacity pressure from another tenant must not evict protected bytes";
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(c.get(url_for("polite.org", i), 0).has_value()) << "polite entry " << i;
+  }
+  EXPECT_LE(c.bytes_used(), 16u * 1024);
+  EXPECT_GT(c.stats().evictions, 0u) << "the storm itself must have been evicted";
+}
+
+TEST(TenantQuota, StrictShardModeAlsoHonorsQuotas) {
+  // Quotas are orthogonal to the borrowing/strict shard mode.
+  http_cache c(16 * 1024, 2, /*shard_borrowing=*/false);
+  c.set_tenant_quota("a.org", 2 * 1024);
+  for (int i = 0; i < 12; ++i) {
+    (void)c.put_with_expiry(url_for("a.org", i), body_of(512), 100, 0);
+  }
+  EXPECT_LE(c.tenant_bytes("a.org"), 2u * 1024);
+}
+
+// ---------------------------------------------------------------------------
+// resource_manager: weighted scheduling shares.
+// ---------------------------------------------------------------------------
+
+core::resource_capacities one_cpu() {
+  core::resource_capacities caps;
+  caps.cpu_seconds_per_second = 1.0;
+  caps.congestion_threshold = 0.9;
+  return caps;
+}
+
+TEST(TenantWeights, DefaultWeightIsOneAndClamped) {
+  core::resource_manager rm(one_cpu());
+  EXPECT_DOUBLE_EQ(rm.site_weight("unknown.org"), 1.0);
+  rm.set_site_weight("a.org", 4.0);
+  EXPECT_DOUBLE_EQ(rm.site_weight("a.org"), 4.0);
+  rm.set_site_weight("b.org", -3.0);  // nonsense weights clamp to a positive floor
+  EXPECT_GT(rm.site_weight("b.org"), 0.0);
+}
+
+TEST(TenantWeights, HighWeightTenantIsThrottledLessAtHigherUsage) {
+  // heavy.org pays for weight 8 and uses 4x the CPU of light.org. Unweighted,
+  // heavy would absorb ~80% of the rejections; weighted, its share is
+  // (1.6/8) / (1.6/8 + 0.4/1) = 1/3 vs light's 2/3 — so the LIGHT tenant is
+  // now the one throttled harder despite using a quarter of the CPU.
+  core::resource_manager rm(one_cpu());
+  rm.set_site_weight("heavy.org", 8.0);
+  rm.record("heavy.org", core::resource_kind::cpu, 1.6);
+  rm.record("light.org", core::resource_kind::cpu, 0.4);
+  ASSERT_TRUE(rm.control_phase1(core::resource_kind::cpu, 1.0));  // 200% busy
+
+  util::rng rng(7);
+  int heavy_rejected = 0;
+  int light_rejected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!rm.admit("heavy.org", rng)) ++heavy_rejected;
+    if (!rm.admit("light.org", rng)) ++light_rejected;
+  }
+  EXPECT_GT(light_rejected, heavy_rejected)
+      << "weighted shares must invert the throttle order: heavy=" << heavy_rejected
+      << " light=" << light_rejected;
+  EXPECT_GT(light_rejected, 450);  // ~2/3 share
+  EXPECT_LT(heavy_rejected, 550);  // ~1/3 share
+}
+
+TEST(TenantWeights, EqualWeightsReduceToUnweightedShares) {
+  // Sanity: with no weights configured the arithmetic is the historical one —
+  // the 90%-contribution hog is rejected far more than the 10% site.
+  core::resource_manager rm(one_cpu());
+  rm.record("hog", core::resource_kind::cpu, 1.8);
+  rm.record("small", core::resource_kind::cpu, 0.2);
+  ASSERT_TRUE(rm.control_phase1(core::resource_kind::cpu, 1.0));
+  util::rng rng(9);
+  int hog_rejected = 0;
+  int small_rejected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!rm.admit("hog", rng)) ++hog_rejected;
+    if (!rm.admit("small", rng)) ++small_rejected;
+  }
+  EXPECT_GT(hog_rejected, 800);
+  EXPECT_LT(small_rejected, 250);
+}
+
+TEST(TenantWeights, Phase2TerminatesTheLowWeightTenantAtEqualUsage) {
+  // Both tenants burn the same raw CPU, but light.org's weighted share is
+  // ~10x heavy.org's — the termination (phase 2) must pick light.org.
+  core::resource_manager rm(one_cpu());
+  rm.set_site_weight("heavy.org", 10.0);
+  auto heavy_flag = std::make_shared<std::atomic<bool>>(false);
+  auto light_flag = std::make_shared<std::atomic<bool>>(false);
+  rm.pipeline_started("heavy.org", heavy_flag);
+  rm.pipeline_started("light.org", light_flag);
+
+  rm.record("heavy.org", core::resource_kind::cpu, 1.0);
+  rm.record("light.org", core::resource_kind::cpu, 1.0);
+  ASSERT_TRUE(rm.control_phase1(core::resource_kind::cpu, 1.0));
+
+  // Still congested while phase 2 re-measures.
+  rm.record("heavy.org", core::resource_kind::cpu, 0.6);
+  rm.record("light.org", core::resource_kind::cpu, 0.6);
+  const core::control_outcome outcome =
+      rm.control_phase2(core::resource_kind::cpu, 1.5);
+  ASSERT_TRUE(outcome.congested_after);
+  EXPECT_EQ(outcome.terminated_site, "light.org");
+  EXPECT_TRUE(light_flag->load());
+  EXPECT_FALSE(heavy_flag->load());
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the starvation bound under an adversarial storm.
+// ---------------------------------------------------------------------------
+
+TEST(TenantIsolationCluster, StormTenantCannotEvictPoliteWorkingSet) {
+  using workload::batch_metrics;
+  workload::scenario_config cfg;
+  cfg.nodes = 1;  // pin everything to one node so cache state is conclusive
+  cfg.workers = 2;
+  cfg.seed = 31;
+  cfg.cache_bytes = 64 * 1024;  // far smaller than the storm's footprint
+
+  workload::tenant_spec polite;
+  polite.site = "polite.org";
+  polite.objects = 16;
+  polite.object_bytes = 512;
+  polite.cache_quota_bytes = 16 * 1024;
+  cfg.tenants.push_back(polite);
+
+  workload::tenant_spec storm;
+  storm.site = "storm.org";
+  storm.objects = 400;  // ~200 KiB sweep through a 64 KiB cache
+  storm.object_bytes = 512;
+  storm.cache_quota_bytes = 32 * 1024;
+  cfg.tenants.push_back(storm);
+
+  workload::cluster_scenario s(cfg);
+  s.warm_script_probes();
+
+  // Polite tenant loads its working set.
+  ASSERT_TRUE(s.run_batch(s.all_objects(0), 0).lossless());
+  const std::size_t polite_bytes =
+      s.node(0).content_cache().tenant_bytes("polite.org");
+  ASSERT_GE(polite_bytes, 16u * 512);  // working set + per-entry overhead
+  ASSERT_LE(polite_bytes, 16u * 1024);  // still inside the quota: no self-eviction
+
+  // The storm sweeps 400 distinct objects — several times the whole cache.
+  const batch_metrics storm_m = s.run_batch(s.all_objects(1), 0);
+  ASSERT_TRUE(storm_m.lossless());
+
+  // Starvation bound: the polite tenant's working set survived untouched.
+  EXPECT_EQ(s.node(0).content_cache().tenant_bytes("polite.org"), polite_bytes);
+  for (std::size_t obj = 0; obj < 16; ++obj) {
+    EXPECT_TRUE(s.node(0).lookup_cache_only(s.url_of(0, obj)).has_value())
+        << "polite object " << obj << " was evicted by the storm";
+  }
+  // The storm stayed inside its own budget...
+  EXPECT_LE(s.node(0).content_cache().tenant_bytes("storm.org"), 32u * 1024);
+  // ...and the cache as a whole inside capacity.
+  EXPECT_LE(s.node(0).content_cache().bytes_used(), cfg.cache_bytes);
+
+  // The polite tenant re-reads its working set without a single origin fetch.
+  const batch_metrics polite_again = s.run_batch(s.all_objects(0), 0);
+  EXPECT_TRUE(polite_again.lossless());
+  EXPECT_EQ(polite_again.origin_fetches, 0u)
+      << "the storm must not have pushed the polite tenant back to origin";
+}
+
+}  // namespace

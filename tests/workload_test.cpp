@@ -2,9 +2,13 @@
 // of the SIMM workload against both deployments.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <stdexcept>
+
 #include "js/parser.hpp"
 #include "media/xsl.hpp"
 #include "sim/topology.hpp"
+#include "workload/arrivals.hpp"
 #include "workload/simm.hpp"
 #include "workload/specweb.hpp"
 
@@ -198,6 +202,100 @@ TEST(EndToEnd, SimmConstrainedWanShape) {
   // The paper's shape: behind an 80 ms / 8 Mbps bottleneck, the edge
   // deployment beats the single server on client-perceived HTML latency.
   EXPECT_LT(nakika_html_p90, server_html_p90);
+}
+
+// --- scenario-tier arrival generators (workload/arrivals.hpp) ---------------
+
+TEST(ZipfStream, PmfIsNormalizedAndMonotone) {
+  zipf_stream z(16, 1.1, 5);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    sum += z.probability(i);
+    if (i > 0) {
+      EXPECT_LT(z.probability(i), z.probability(i - 1));
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(z.probability(16), 0.0);  // out of range
+  EXPECT_THROW(zipf_stream(0, 1.1, 1), std::invalid_argument);
+}
+
+TEST(ZipfStream, SameSeedSameDraws) {
+  zipf_stream a(32, 1.2, 99);
+  zipf_stream b(32, 1.2, 99);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(ZipfStream, ChiSquaredShapeMatchesDeclaredPmf) {
+  // 20k draws over 16 objects vs the exact pmf. With 15 degrees of freedom
+  // the 99.9th-percentile chi-squared critical value is 37.70 — a correct
+  // sampler fails this roughly one run in a thousand, and the seed is fixed,
+  // so the test is deterministic in practice.
+  constexpr std::size_t k_objects = 16;
+  constexpr std::size_t k_draws = 20000;
+  zipf_stream z(k_objects, 1.1, 4242);
+
+  std::array<std::size_t, k_objects> observed{};
+  for (std::size_t i = 0; i < k_draws; ++i) {
+    const std::size_t obj = z.next();
+    ASSERT_LT(obj, k_objects);
+    ++observed[obj];
+  }
+
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < k_objects; ++i) {
+    const double expected = z.probability(i) * static_cast<double>(k_draws);
+    ASSERT_GT(expected, 5.0) << "chi-squared needs expected counts > 5";
+    const double d = static_cast<double>(observed[i]) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 37.70) << "draws do not match the declared Zipf pmf";
+  // And the head really is hot: rank 0 should dominate.
+  EXPECT_GT(observed[0], observed[k_objects - 1] * 4);
+}
+
+TEST(BurstArrivals, TimestampsAreNondecreasingAndDeterministic) {
+  burst_config cfg;
+  cfg.base_rate = 100.0;
+  cfg.seed = 77;
+  burst_arrivals a(cfg);
+  burst_arrivals b(cfg);
+  double prev = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double t = a.next();
+    EXPECT_GE(t, prev);
+    EXPECT_DOUBLE_EQ(t, b.next());
+    prev = t;
+  }
+  burst_config bad;
+  bad.base_rate = 0.0;
+  EXPECT_THROW(burst_arrivals{bad}, std::invalid_argument);
+}
+
+TEST(BurstArrivals, BurstWindowConcentratesArrivals) {
+  // 10 arrivals/s baseline with a 1000/s spike in [1, 2): the burst second
+  // must hold far more arrivals per unit time than the quiet seconds.
+  burst_config cfg;
+  cfg.base_rate = 10.0;
+  cfg.burst_rate = 1000.0;
+  cfg.burst_start = 1.0;
+  cfg.burst_duration = 1.0;
+  cfg.seed = 21;
+  burst_arrivals gen(cfg);
+
+  std::size_t quiet = 0;
+  std::size_t burst = 0;
+  const std::vector<double> times = gen.take(1200);
+  for (const double t : times) {
+    if (t >= 1.0 && t < 2.0) {
+      ++burst;
+    } else if (t < 3.0) {
+      ++quiet;
+    }
+  }
+  ASSERT_GT(burst, 0u);
+  EXPECT_GT(burst, quiet * 10) << "burst window should dominate: burst=" << burst
+                               << " quiet=" << quiet;
 }
 
 }  // namespace
