@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "proxy/deployment.hpp"
 #include "workload/scenario.hpp"
 
@@ -74,6 +75,8 @@ struct cluster_result {
   std::size_t coalesced = 0;
   double peer_latency_seconds = 0.0;
   std::size_t bad = 0;  // responses that failed verification
+  // Wall-clock submit-to-completion latency across all nodes' requests.
+  obs::histogram_summary latency;
 };
 
 // One producer thread per node with a bounded in-flight window; every node
@@ -82,6 +85,8 @@ cluster_result run_cluster(std::size_t n_nodes, std::size_t workers, std::size_t
   cluster_env env(n_nodes, workers);
   const std::size_t per_node = total / n_nodes;
   std::atomic<std::size_t> bad{0};
+  // Relaxed-atomic buckets: safe to share across every producer's completions.
+  obs::latency_histogram latency;
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> producers;
@@ -98,7 +103,11 @@ cluster_result run_cluster(std::size_t n_nodes, std::size_t workers, std::size_t
         r.url = http::url::parse(url_for(idx));
         r.client_ip = "10.0.0.1";
         const char expected = static_cast<char>('a' + idx % k_hot_urls % 26);
-        env.nodes[n]->handle(r, [&, expected](http::response resp) {
+        const auto submitted = std::chrono::steady_clock::now();
+        env.nodes[n]->handle(r, [&, expected, submitted](http::response resp) {
+          latency.record_seconds(
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - submitted)
+                  .count());
           if (resp.status != 200 || !resp.body || resp.body->view()[0] != expected) {
             bad.fetch_add(1, std::memory_order_relaxed);
           }
@@ -124,7 +133,17 @@ cluster_result run_cluster(std::size_t n_nodes, std::size_t workers, std::size_t
   out.peer_hit_ratio =
       misses == 0 ? 0.0 : static_cast<double>(out.peer_hits) / static_cast<double>(misses);
   out.bad = bad.load();
+  out.latency = obs::summarize(latency);
   return out;
+}
+
+// Every config and scenario emits the same three latency percentiles, so the
+// checked-in BENCH_cluster.json baseline tracks tail latency across PRs.
+void add_latency_rows(bench::json_reporter& json, const std::string& config,
+                      const obs::histogram_summary& l) {
+  json.add(config, "latency_p50_ms", l.p50 * 1000.0);
+  json.add(config, "latency_p99_ms", l.p99 * 1000.0);
+  json.add(config, "latency_p999_ms", l.p999 * 1000.0);
 }
 
 // --- scenario tier: adversarial families over workload::cluster_scenario ---
@@ -182,6 +201,7 @@ bool run_flash_crowd(bool smoke, bench::json_reporter& json) {
   json.add(config, "distinct_objects", static_cast<double>(distinct));
   json.add(config, "coalesced_requests", static_cast<double>(t.metrics.coalesced));
   json.add(config, "peer_hit_ratio", t.metrics.peer_hit_ratio());
+  add_latency_rows(json, config, t.metrics.latency);
   return ok;
 }
 
@@ -259,6 +279,7 @@ bool run_churn(bool smoke, bench::json_reporter& json) {
   json.add(config, "outage_origin_fetches", static_cast<double>(t.metrics.origin_fetches));
   json.add(config, "outage_requests_per_second",
            static_cast<double>(during.size()) / t.seconds);
+  add_latency_rows(json, config, t.metrics.latency);
   return ok;
 }
 
@@ -306,6 +327,7 @@ bool run_multi_tenant(bool smoke, bench::json_reporter& json) {
   json.add(config, "storm_tenant_bytes", static_cast<double>(storm_bytes));
   json.add(config, "polite_reread_origin_fetches",
            static_cast<double>(reread.origin_fetches));
+  add_latency_rows(json, config, t.metrics.latency);
   return ok;
 }
 
@@ -330,7 +352,7 @@ int main(int argc, char** argv) {
 
   bool all_ok = true;
   bench::print_row("nodes x workers",
-                   {"req/s", "peer-hit%", "coalesced", "net-lat(s)", "ok"});
+                   {"req/s", "peer-hit%", "p50 ms", "p99 ms", "p999 ms", "ok"});
   for (const std::size_t nodes : node_counts) {
     for (const std::size_t workers : worker_counts) {
       const cluster_result r = run_cluster(nodes, workers, total);
@@ -338,8 +360,8 @@ int main(int argc, char** argv) {
       if (nodes > 1 && r.peer_hits == 0) all_ok = false;
       bench::print_row(std::to_string(nodes) + " x " + std::to_string(workers),
                        {bench::num(r.requests_per_second, 0), bench::pct(r.peer_hit_ratio),
-                        std::to_string(r.coalesced), bench::num(r.peer_latency_seconds, 3),
-                        r.bad == 0 ? "yes" : "NO"});
+                        bench::ms(r.latency.p50, 3), bench::ms(r.latency.p99, 3),
+                        bench::ms(r.latency.p999, 3), r.bad == 0 ? "yes" : "NO"});
       const std::string config =
           "nodes=" + std::to_string(nodes) + "/workers=" + std::to_string(workers);
       json.add(config, "requests_per_second", r.requests_per_second);
@@ -347,6 +369,7 @@ int main(int argc, char** argv) {
       json.add(config, "peer_hits", static_cast<double>(r.peer_hits));
       json.add(config, "coalesced_requests", static_cast<double>(r.coalesced));
       json.add(config, "accounted_network_latency_seconds", r.peer_latency_seconds);
+      add_latency_rows(json, config, r.latency);
     }
   }
   // Scenario tier: the three adversarial families, each with a hard

@@ -4,11 +4,16 @@
 //   script-heavy  every request runs the site's onResponse handler (VM)
 //   pages         every request renders an .nkp page (uncacheable, so each
 //                 one compiles + executes the page policy)
-// Reports aggregate req/s and speedup vs one worker. Speedup is only
-// meaningful on multi-core runners; on a single hardware thread the numbers
-// degenerate to ~1x (the harness prints the core count so results are
-// interpretable). `--smoke` shrinks the run for CI: it validates the worker
-// path end to end (every response checked) without measuring.
+// Reports aggregate req/s, speedup vs one worker, and the node's own
+// telemetry percentiles (p50/p99/p999 end-to-end latency from the span
+// histograms). Speedup is only meaningful on multi-core runners; on a single
+// hardware thread the numbers degenerate to ~1x (the harness prints the core
+// count so results are interpretable). `--smoke` shrinks the run for CI: it
+// validates the worker path end to end (every response checked) without
+// measuring. `--gate` runs the telemetry overhead gate instead: cache-hit
+// throughput with telemetry on must stay within 3% of telemetry off
+// (best of 3 each), the CI bound on the tentpole's hot-path cost.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -18,6 +23,8 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proxy/deployment.hpp"
 
 namespace nakika {
@@ -31,7 +38,7 @@ struct bench_env {
   std::unique_ptr<proxy::origin_server> origin;
   std::unique_ptr<proxy::nakika_node> node;
 
-  explicit bench_env(std::size_t workers, std::size_t queue_capacity) {
+  explicit bench_env(std::size_t workers, std::size_t queue_capacity, bool telemetry = true) {
     net = std::make_unique<sim::network>(loop);
     const sim::node_id origin_host = net->add_node("origin");
     const sim::node_id proxy_host = net->add_node("proxy");
@@ -73,6 +80,7 @@ struct bench_env {
     cfg.workers = workers;
     cfg.queue_capacity = queue_capacity;
     cfg.resource_controls = false;  // measure the execution path, not admission
+    cfg.telemetry = telemetry;
     proxy::origin_server* raw = origin.get();
     node = std::make_unique<proxy::nakika_node>(
         *net, proxy_host,
@@ -101,8 +109,9 @@ std::string url_for(workload w, std::size_t i) {
 // `counters_out` (optional) receives the node's final counter snapshot so
 // the harness can report single-flight coalescing.
 double run_workload(workload w, std::size_t workers, std::size_t total, std::size_t* ok,
-                    util::run_counters* counters_out = nullptr) {
-  bench_env env(workers, /*queue_capacity=*/512);
+                    util::run_counters* counters_out = nullptr,
+                    obs::histogram_summary* latency_out = nullptr, bool telemetry = true) {
+  bench_env env(workers, /*queue_capacity=*/512, telemetry);
 
   // Warm: populate the cache (cache-hit) and the script/chunk caches.
   {
@@ -136,7 +145,25 @@ double run_workload(workload w, std::size_t workers, std::size_t total, std::siz
   const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
   if (ok != nullptr) *ok = good.load();
   if (counters_out != nullptr) *counters_out = env.node->counters();
+  if (latency_out != nullptr) *latency_out = env.node->stage_latency(obs::stage::total);
   return static_cast<double>(total) / elapsed.count();
+}
+
+// Telemetry overhead gate (CI): cache-hit throughput, telemetry on vs off,
+// best of `reps` runs each to damp scheduler noise. Returns the on/off ratio.
+double telemetry_overhead_ratio(std::size_t workers, std::size_t total, int reps) {
+  double best_off = 0.0;
+  double best_on = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    std::size_t ok = 0;
+    best_off = std::max(best_off, run_workload(workload::cache_hit, workers, total, &ok,
+                                               nullptr, nullptr, /*telemetry=*/false));
+    best_on = std::max(best_on, run_workload(workload::cache_hit, workers, total, &ok,
+                                             nullptr, nullptr, /*telemetry=*/true));
+  }
+  std::printf("cache-hit req/s: telemetry off %.0f, on %.0f (best of %d)\n", best_off,
+              best_on, reps);
+  return best_off > 0.0 ? best_on / best_off : 0.0;
 }
 
 }  // namespace
@@ -146,6 +173,20 @@ int main(int argc, char** argv) {
   using namespace nakika;
   const bool smoke = bench::has_flag(argc, argv, "--smoke");
   bench::json_reporter json("bench_node_concurrent", argc, argv);
+
+  if (bench::has_flag(argc, argv, "--gate")) {
+    bench::print_header("Telemetry overhead gate",
+                        "telemetry-on cache-hit throughput within 3% of telemetry-off");
+    const double ratio = telemetry_overhead_ratio(/*workers=*/4, /*total=*/20'000, /*reps=*/3);
+    std::printf("telemetry on/off throughput ratio: %.3f (gate: >= 0.970)\n", ratio);
+    json.add("gate/workers=4", "telemetry_throughput_ratio", ratio);
+    if (ratio < 0.97) {
+      std::printf("FAIL: telemetry overhead exceeds 3%%\n");
+      return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+  }
 
   bench::print_header(
       "Multi-worker node: end-to-end requests/sec",
@@ -170,16 +211,19 @@ int main(int argc, char** argv) {
   for (const spec& s : specs) {
     const std::size_t total = smoke ? s.smoke_total : s.total;
     std::printf("-- %s (%zu requests)\n", s.name, total);
-    bench::print_row("workers", {"req/s", "vs 1 worker", "ok"});
+    bench::print_row("workers", {"req/s", "vs 1 worker", "p50 ms", "p99 ms", "p999 ms", "ok"});
     double base = 0.0;
     for (const std::size_t workers : worker_counts) {
       std::size_t ok = 0;
       util::run_counters counters;
-      const double rps = run_workload(s.w, workers, total, &ok, &counters);
+      obs::histogram_summary latency;
+      const double rps = run_workload(s.w, workers, total, &ok, &counters, &latency);
       if (workers == 1) base = rps;
       if (ok != total) all_ok = false;
       bench::print_row(std::to_string(workers),
                        {bench::num(rps, 0), bench::num(rps / base, 2) + "x",
+                        bench::ms(latency.p50, 3), bench::ms(latency.p99, 3),
+                        bench::ms(latency.p999, 3),
                         std::to_string(ok) + "/" + std::to_string(total)});
       const std::string config = std::string(s.name) + "/workers=" + std::to_string(workers);
       json.add(config, "requests_per_second", rps);
@@ -187,6 +231,11 @@ int main(int argc, char** argv) {
       // Single-flight effectiveness on the warm-up misses: how many requests
       // coalesced onto an in-flight fetch instead of refetching.
       json.add(config, "coalesced_requests", static_cast<double>(counters.coalesced));
+      // End-to-end latency from the node's own span histograms (telemetry
+      // tentpole): the same numbers telemetry_json() exports.
+      json.add(config, "latency_p50_ms", latency.p50 * 1000.0);
+      json.add(config, "latency_p99_ms", latency.p99 * 1000.0);
+      json.add(config, "latency_p999_ms", latency.p999 * 1000.0);
     }
   }
   if (!all_ok) {

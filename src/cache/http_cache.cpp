@@ -81,6 +81,11 @@ std::size_t http_cache::tenant_quota(const std::string& tenant) const {
   return it == tenants_.end() ? 0 : it->second.quota;
 }
 
+std::uint64_t http_cache::tenant_quota_rejections(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.rejections.load(std::memory_order_relaxed);
+}
+
 std::optional<http::response> http_cache::get(const std::string& url, std::int64_t now) {
   shard& s = shard_for(url);
   const std::lock_guard<std::mutex> lock(s.mu);
@@ -129,6 +134,7 @@ bool http_cache::put_locked(shard& s, const std::string& url, const http::respon
   if (t != nullptr) {
     if (body_bytes > t->quota) {
       s.quota_rejections.fetch_add(1, std::memory_order_relaxed);
+      t->rejections.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     // Quota crunch: only this tenant's own entries may be evicted to make
@@ -137,6 +143,7 @@ bool http_cache::put_locked(shard& s, const std::string& url, const http::respon
     while (!try_reserve(t->bytes, t->quota, body_bytes)) {
       if (++attempts > shard_count_ * 8 || !evict_one(s, t, /*only=*/t)) {
         s.quota_rejections.fetch_add(1, std::memory_order_relaxed);
+        t->rejections.fetch_add(1, std::memory_order_relaxed);
         return false;
       }
     }
@@ -156,7 +163,10 @@ bool http_cache::put_locked(shard& s, const std::string& url, const http::respon
       }
     }
     if (!reserved) {
-      if (t != nullptr) t->bytes.fetch_sub(body_bytes, std::memory_order_relaxed);
+      if (t != nullptr) {
+        t->bytes.fetch_sub(body_bytes, std::memory_order_relaxed);
+        t->rejections.fetch_add(1, std::memory_order_relaxed);
+      }
       s.quota_rejections.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -167,7 +177,10 @@ bool http_cache::put_locked(shard& s, const std::string& url, const http::respon
       if (evict_one_from(s, t, /*only=*/nullptr) == 0) break;
     }
     if (s.bytes_used + body_bytes > shard_capacity_bytes_) {
-      if (t != nullptr) t->bytes.fetch_sub(body_bytes, std::memory_order_relaxed);
+      if (t != nullptr) {
+        t->bytes.fetch_sub(body_bytes, std::memory_order_relaxed);
+        t->rejections.fetch_add(1, std::memory_order_relaxed);
+      }
       s.quota_rejections.fetch_add(1, std::memory_order_relaxed);
       return false;
     }

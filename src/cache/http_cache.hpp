@@ -98,6 +98,9 @@ class http_cache {
   // Bytes currently charged to a configured tenant (0 for unknown tenants).
   [[nodiscard]] std::size_t tenant_bytes(const std::string& tenant) const;
   [[nodiscard]] std::size_t tenant_quota(const std::string& tenant) const;
+  // Puts of this tenant dropped by quota/capacity pressure (the per-tenant
+  // split of cache_stats::quota_rejections; 0 for unconfigured tenants).
+  [[nodiscard]] std::uint64_t tenant_quota_rejections(const std::string& tenant) const;
 
   [[nodiscard]] std::size_t entry_count() const;
   [[nodiscard]] std::size_t bytes_used() const;
@@ -127,6 +130,8 @@ class http_cache {
     // Resident + in-flight reserved bytes; CAS-reserved so the quota is a
     // strict bound even under concurrent inserts.
     std::atomic<std::size_t> bytes{0};
+    // This tenant's share of quota_rejections (telemetry per-tenant rows).
+    std::atomic<std::uint64_t> rejections{0};
   };
 
   struct entry {

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.hpp"
+
 namespace nakika::core {
 
 namespace {
@@ -79,8 +81,16 @@ void pipeline_executor::step_forward(const std::shared_ptr<run>& r) {
   r->forward.pop_front();
   ++r->stages_started;
 
-  r->load_stage(url, [this, r, url](stage_fetch_result fetched) {
+  obs::trace_context* trace = r->exec.trace;
+  const double load_begin =
+      trace != nullptr && trace->enabled() ? trace->now() : 0.0;
+  r->load_stage(url, [this, r, url, trace, load_begin](stage_fetch_result fetched) {
     if (r->finished) return;
+    // Trace-clock time from dispatch to script-in-hand: async origin fetches
+    // on the sim path (virtual seconds), synchronous loads in worker mode.
+    if (trace != nullptr && trace->enabled()) {
+      trace->add(obs::stage::stage_load, trace->now() - load_begin);
+    }
     r->result.virtual_delay_seconds += fetched.virtual_delay_seconds;
     if (!fetched.found) {
       step_forward(r);  // stage without a script is a no-op
@@ -95,6 +105,12 @@ void pipeline_executor::step_forward(const std::shared_ptr<run>& r) {
       fail(r, e);
       return;
     }
+    // Script time for the span comes from the stats the sandbox already
+    // measures for billing — no extra clock reads on the hot path.
+    if (trace != nullptr) {
+      trace->add(obs::stage::script_exec, stats.parse_seconds + stats.compile_seconds +
+                                              stats.execute_seconds + stats.tree_seconds);
+    }
     r->result.script_cpu_seconds += stats.parse_seconds + stats.compile_seconds +
                                     stats.execute_seconds + stats.tree_seconds;
     r->result.script_compile_seconds +=
@@ -104,7 +120,9 @@ void pipeline_executor::step_forward(const std::shared_ptr<run>& r) {
     ++r->result.stages_executed;
 
     // FIND-CLOSEST-MATCH on the (possibly rewritten) request.
+    obs::trace_context::scoped match_span(trace, obs::stage::policy_match);
     const match_result match = r->sb->match_stage(*stage, r->request);
+    match_span.stop();
     if (match.found()) {
       r->backward.push_back(match.matched);
       if (match.matched->has_on_request()) {
@@ -163,6 +181,9 @@ bool pipeline_executor::run_handler(const std::shared_ptr<run>& r, const js::val
     const double spent = seconds_since(start);
     r->result.script_cpu_seconds += spent;
     r->result.script_execute_seconds += spent;
+    // The billing measurement doubles as the span's script_exec time — the
+    // trace itself takes no clock reads here.
+    if (r->exec.trace != nullptr) r->exec.trace->add(obs::stage::script_exec, spent);
     sb.binding()->current = nullptr;
     fail(r, e);
   }
@@ -171,6 +192,7 @@ bool pipeline_executor::run_handler(const std::shared_ptr<run>& r, const js::val
   const double spent = seconds_since(start);
   r->result.script_cpu_seconds += spent;
   r->result.script_execute_seconds += spent;
+  if (r->exec.trace != nullptr) r->exec.trace->add(obs::stage::script_exec, spent);
   ++r->result.handlers_run;
 
   // Mirror script-side mutations back into the native message.
@@ -193,6 +215,10 @@ void pipeline_executor::finish(const std::shared_ptr<run>& r) {
   r->result.bytes_written = r->exec.bytes_written;
   r->result.virtual_delay_seconds += r->exec.accumulated_delay;
   r->result.log_lines = std::move(r->exec.log_lines);
+  if (r->exec.trace != nullptr) {
+    r->exec.trace->add_ic(static_cast<std::uint32_t>(r->result.ic_hits),
+                          static_cast<std::uint32_t>(r->result.ic_misses));
+  }
   r->done(std::move(r->result));
 }
 

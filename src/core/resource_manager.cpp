@@ -210,6 +210,7 @@ control_outcome resource_manager::control_phase2(resource_kind kind, double now)
         }
       }
       terminations_.fetch_add(1, std::memory_order_relaxed);
+      s.kills.fetch_add(1, std::memory_order_relaxed);
       outcome.terminated_site = worst;
       // A terminated site stays maximally blocked until the penalty expires.
       s.throttle_probability.store(1.0, std::memory_order_relaxed);
@@ -239,6 +240,12 @@ double resource_manager::site_weight(const std::string& site) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = sites_.find(site);
   return it == sites_.end() ? 1.0 : it->second.weight;
+}
+
+std::uint64_t resource_manager::site_kills(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.kills.load(std::memory_order_relaxed);
 }
 
 bool resource_manager::admit(const std::string& site, util::rng& rng, double now) {

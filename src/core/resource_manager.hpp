@@ -113,6 +113,9 @@ class resource_manager {
   [[nodiscard]] std::uint64_t throttle_rejections() const {
     return throttle_rejections_.load(std::memory_order_relaxed);
   }
+  // Control-phase terminations that selected this site (the per-site split of
+  // terminations(); 0 for sites never killed).
+  [[nodiscard]] std::uint64_t site_kills(const std::string& site) const;
 
   // Testing/ablation hook: disable termination, keep throttling.
   void set_termination_enabled(bool enabled) { termination_enabled_ = enabled; }
@@ -140,6 +143,7 @@ class resource_manager {
     // Read by admit() without the full control-state lock.
     std::atomic<double> throttle_probability{0.0};
     std::atomic<double> penalty_until{0.0};  // terminated sites blocked until then
+    std::atomic<std::uint64_t> kills{0};     // times phase 2 terminated this site
     std::vector<std::weak_ptr<std::atomic<bool>>> active;  // guarded by mu_
   };
 

@@ -29,6 +29,10 @@
 #include "state/local_store.hpp"
 #include "state/replication.hpp"
 
+namespace nakika::obs {
+class trace_context;
+}  // namespace nakika::obs
+
 namespace nakika::core {
 
 // Thrown by Request.terminate(status); aborts the current handler and
@@ -78,6 +82,10 @@ struct exec_state {
   std::function<void(const std::string&, const std::string&)> publish;  // Messages
   std::vector<std::string> log_lines;        // Log.write output
   resource_view resources;
+  // Per-request trace span (telemetry); null when tracing is off. Owned by
+  // the node for the request's lifetime; the pipeline records stage timings
+  // through it.
+  obs::trace_context* trace = nullptr;
 };
 
 // Shared slot the vocabularies capture; the executor retargets it per run.

@@ -13,7 +13,10 @@
 //     (and every failed probe), modeling congested paths.
 //
 // All methods are safe to call from worker threads while a workload runs —
-// that is the point: faults are injected mid-flight.
+// that is the point: faults are injected mid-flight. Activity is counted in
+// an embedded single-slot obs::metrics_registry (faults.* counters) so
+// harnesses and telemetry consumers see injections by name alongside node
+// metrics instead of via bespoke getters.
 #pragma once
 
 #include <atomic>
@@ -22,22 +25,29 @@
 #include <set>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/random.hpp"
 
 namespace nakika::net {
 
 class fault_injector {
  public:
-  explicit fault_injector(std::uint64_t seed = 0xfa017ULL) : rng_(seed) {}
+  explicit fault_injector(std::uint64_t seed = 0xfa017ULL)
+      : rng_(seed), metrics_(/*slots=*/1, /*counter_capacity=*/8, /*histogram_capacity=*/1) {
+    id_injected_failures_ = metrics_.counter("faults.injected_failures");
+    id_skipped_crashed_ = metrics_.counter("faults.skipped_crashed_probes");
+    id_crashes_ = metrics_.counter("faults.crashes");
+    id_revives_ = metrics_.counter("faults.revives");
+  }
 
   // --- node crash/recovery (names as the overlay advertises them) ---
   void crash(const std::string& node_name) {
     const std::lock_guard<std::mutex> lock(mu_);
-    crashed_.insert(node_name);
+    if (crashed_.insert(node_name).second) metrics_.add(0, id_crashes_, 1);
   }
   void revive(const std::string& node_name) {
     const std::lock_guard<std::mutex> lock(mu_);
-    crashed_.erase(node_name);
+    if (crashed_.erase(node_name) > 0) metrics_.add(0, id_revives_, 1);
   }
   [[nodiscard]] bool crashed(const std::string& node_name) const {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -64,19 +74,22 @@ class fault_injector {
     const std::lock_guard<std::mutex> lock(mu_);
     if (fetch_failure_rate_ <= 0.0) return false;
     if (!rng_.chance(fetch_failure_rate_)) return false;
-    injected_failures_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.add(0, id_injected_failures_, 1);
     return true;
   }
 
   [[nodiscard]] std::uint64_t injected_failures() const {
-    return injected_failures_.load(std::memory_order_relaxed);
+    return metrics_.counter_value(id_injected_failures_);
   }
   [[nodiscard]] std::uint64_t skipped_crashed_probes() const {
-    return skipped_crashed_.load(std::memory_order_relaxed);
+    return metrics_.counter_value(id_skipped_crashed_);
   }
-  void count_skipped_crashed_probe() {
-    skipped_crashed_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void count_skipped_crashed_probe() { metrics_.add(0, id_skipped_crashed_, 1); }
+
+  // The embedded registry (faults.injected_failures, faults.skipped_crashed_
+  // probes, faults.crashes, faults.revives) for merging into telemetry views.
+  [[nodiscard]] const obs::metrics_registry& metrics() const { return metrics_; }
+  [[nodiscard]] obs::metrics_snapshot metrics_snapshot() const { return metrics_.snapshot(); }
 
  private:
   mutable std::mutex mu_;  // guards crashed_, rng_, fetch_failure_rate_
@@ -84,8 +97,11 @@ class fault_injector {
   util::rng rng_;
   double fetch_failure_rate_ = 0.0;
   std::atomic<double> added_latency_{0.0};
-  std::atomic<std::uint64_t> injected_failures_{0};
-  std::atomic<std::uint64_t> skipped_crashed_{0};
+  obs::metrics_registry metrics_;
+  obs::metrics_registry::metric_id id_injected_failures_ = 0;
+  obs::metrics_registry::metric_id id_skipped_crashed_ = 0;
+  obs::metrics_registry::metric_id id_crashes_ = 0;
+  obs::metrics_registry::metric_id id_revives_ = 0;
 };
 
 }  // namespace nakika::net

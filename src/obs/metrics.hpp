@@ -1,0 +1,342 @@
+// Telemetry tentpole, layer 1: the lock-free metrics registry. One registry
+// per node holds counters, gauges, and fixed-bucket log-scale latency
+// histograms, each materialized as per-worker slots so the hot-path record is
+// a single relaxed atomic add to a slot no other worker writes — no locks, no
+// shared cache lines between workers. Readers merge all slots into a plain
+// snapshot, so taking telemetry while workers serve costs the workers
+// nothing. This retires the node's stats mutex (ROADMAP: "seqlock or
+// per-worker buffered stats").
+//
+// Registration (counter()/gauge()/histogram()) is setup-time: ids handed out
+// before worker threads start recording are stable offsets into
+// pre-allocated per-slot storage, so record paths never touch the name maps
+// or their mutex.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nakika::obs {
+
+// Log-scale latency histogram over microseconds: 16 exact linear buckets for
+// 0..15 µs, then 8 sub-buckets per power of two (≈ 12% relative resolution)
+// up to 2^40 µs (~13 days), clamped above. Buckets are relaxed atomics, so
+// one histogram instance may be shared by many recording threads; the
+// registry additionally shards instances per worker so the hottest paths
+// never share a line at all. Percentiles are answered from merged counts
+// (histogram_counts below) at bucket-upper-bound precision — conservative,
+// never under-reports.
+class latency_histogram {
+ public:
+  static constexpr std::size_t sub_bits = 3;                   // 8 sub-buckets/octave
+  static constexpr std::size_t linear_buckets = 1u << (sub_bits + 1);  // 16
+  static constexpr std::size_t max_exponent = 40;
+  static constexpr std::size_t bucket_count =
+      linear_buckets + (max_exponent - sub_bits - 1) * (1u << sub_bits);  // 304
+
+  void record_seconds(double seconds) { record_micros(to_micros(seconds)); }
+  void record_micros(std::uint64_t micros) {
+    buckets_[bucket_index(micros)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static std::uint64_t to_micros(double seconds) {
+    if (seconds <= 0.0) return 0;
+    const double m = seconds * 1e6;
+    return m >= 1e18 ? static_cast<std::uint64_t>(1e18) : static_cast<std::uint64_t>(m);
+  }
+
+  // Monotone in `micros`; exact below 16 µs, then leading-one exponent plus
+  // the next `sub_bits` mantissa bits.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t micros) {
+    if (micros < linear_buckets) return static_cast<std::size_t>(micros);
+    std::size_t e = static_cast<std::size_t>(std::bit_width(micros));  // >= 5
+    if (e > max_exponent) {
+      e = max_exponent;
+      micros = (1ULL << max_exponent) - 1;
+    }
+    const std::size_t shift = e - 1 - sub_bits;
+    const std::size_t sub = static_cast<std::size_t>(micros >> shift) & ((1u << sub_bits) - 1);
+    return linear_buckets + (e - sub_bits - 2) * (1u << sub_bits) + sub;
+  }
+
+  // [lower, upper) bucket bounds in microseconds.
+  [[nodiscard]] static std::uint64_t bucket_lower_micros(std::size_t i) {
+    if (i < linear_buckets) return i;
+    const std::size_t block = (i - linear_buckets) >> sub_bits;
+    const std::size_t sub = (i - linear_buckets) & ((1u << sub_bits) - 1);
+    const std::size_t e = block + sub_bits + 2;  // bit_width of values in this octave
+    return (1ULL << (e - 1)) + (static_cast<std::uint64_t>(sub) << (e - 1 - sub_bits));
+  }
+  [[nodiscard]] static std::uint64_t bucket_upper_micros(std::size_t i) {
+    if (i + 1 < bucket_count) return bucket_lower_micros(i + 1);
+    return 1ULL << max_exponent;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, bucket_count> buckets_{};
+};
+
+// Merged (plain, non-atomic) bucket counts from one or more histograms.
+struct histogram_counts {
+  std::array<std::uint64_t, latency_histogram::bucket_count> counts{};
+  std::uint64_t total = 0;
+
+  void add(const latency_histogram& h) {
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const std::uint64_t c = h.bucket(i);
+      counts[i] += c;
+      total += c;
+    }
+  }
+
+  // Nearest-rank quantile (q in [0,1]), reported at the bucket upper bound.
+  [[nodiscard]] double quantile_seconds(double q) const {
+    if (total == 0) return 0.0;
+    const std::uint64_t rank =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      seen += counts[i];
+      if (seen >= rank) {
+        return static_cast<double>(latency_histogram::bucket_upper_micros(i)) * 1e-6;
+      }
+    }
+    return static_cast<double>(latency_histogram::bucket_upper_micros(counts.size() - 1)) * 1e-6;
+  }
+
+  // Bucket-midpoint mean; exact for the linear buckets, <=12% off above.
+  [[nodiscard]] double mean_seconds() const {
+    if (total == 0) return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;
+      const double mid = 0.5 * (static_cast<double>(latency_histogram::bucket_lower_micros(i)) +
+                                static_cast<double>(latency_histogram::bucket_upper_micros(i)));
+      sum += mid * static_cast<double>(counts[i]);
+    }
+    return sum / static_cast<double>(total) * 1e-6;
+  }
+
+  [[nodiscard]] double max_seconds() const {
+    for (std::size_t i = counts.size(); i-- > 0;) {
+      if (counts[i] != 0) {
+        return static_cast<double>(latency_histogram::bucket_upper_micros(i)) * 1e-6;
+      }
+    }
+    return 0.0;
+  }
+};
+
+// The percentile row every surface reports (BENCH json, telemetry_json,
+// stats_report, scenario latency gates).
+struct histogram_summary {
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] inline histogram_summary summarize(const histogram_counts& c) {
+  histogram_summary s;
+  s.count = c.total;
+  s.p50 = c.quantile_seconds(0.50);
+  s.p90 = c.quantile_seconds(0.90);
+  s.p99 = c.quantile_seconds(0.99);
+  s.p999 = c.quantile_seconds(0.999);
+  s.mean = c.mean_seconds();
+  s.max = c.max_seconds();
+  return s;
+}
+
+[[nodiscard]] inline histogram_summary summarize(const latency_histogram& h) {
+  histogram_counts c;
+  c.add(h);
+  return summarize(c);
+}
+
+struct metrics_snapshot {
+  std::map<std::string, std::uint64_t> counters;  // gauges merge in here too
+  std::map<std::string, histogram_summary> histograms;
+};
+
+class metrics_registry {
+ public:
+  using metric_id = std::uint32_t;
+
+  explicit metrics_registry(std::size_t slots, std::size_t counter_capacity = 1024,
+                            std::size_t histogram_capacity = 64)
+      : histogram_capacity_(histogram_capacity) {
+    if (slots == 0) slots = 1;
+    counter_slots_.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      counter_slots_.push_back(std::make_unique<counter_slot>(counter_capacity));
+    }
+    hist_columns_.resize(histogram_capacity);
+  }
+
+  // --- registration (setup-time; idempotent per name) ---
+  metric_id counter(const std::string& name) { return register_word(name); }
+  // A gauge is a counter slot written with set_gauge (last value per slot,
+  // summed across slots on read — each worker owns its share of the value).
+  metric_id gauge(const std::string& name) { return register_word(name); }
+  metric_id histogram(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = hists_by_name_.find(name); it != hists_by_name_.end()) {
+      return it->second;
+    }
+    if (next_hist_ >= histogram_capacity_) {
+      // Out of pre-allocated columns: alias everything else onto the last
+      // one rather than crash — a misconfigured registry degrades, the
+      // serving path does not.
+      return static_cast<metric_id>(histogram_capacity_ - 1);
+    }
+    const metric_id id = static_cast<metric_id>(next_hist_++);
+    hist_columns_[id] = std::make_unique<latency_histogram[]>(counter_slots_.size());
+    hists_by_name_[name] = id;
+    return id;
+  }
+
+  // --- hot path: one relaxed atomic add, slot-private storage ---
+  void add(std::size_t slot, metric_id id, std::uint64_t n = 1) {
+    counter_slots_[slot]->words[id].fetch_add(n, std::memory_order_relaxed);
+  }
+  void set_gauge(std::size_t slot, metric_id id, std::uint64_t v) {
+    counter_slots_[slot]->words[id].store(v, std::memory_order_relaxed);
+  }
+  void record_seconds(std::size_t slot, metric_id hist_id, double seconds) {
+    hist_columns_[hist_id][slot].record_seconds(seconds);
+  }
+  void record_micros(std::size_t slot, metric_id hist_id, std::uint64_t micros) {
+    hist_columns_[hist_id][slot].record_micros(micros);
+  }
+
+  // --- merged reads ---
+  [[nodiscard]] std::uint64_t counter_value(metric_id id) const {
+    std::uint64_t sum = 0;
+    for (const auto& s : counter_slots_) {
+      sum += s->words[id].load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+  [[nodiscard]] histogram_counts histogram_merged(metric_id id) const {
+    histogram_counts out;
+    for (std::size_t s = 0; s < counter_slots_.size(); ++s) {
+      out.add(hist_columns_[id][s]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] metrics_snapshot snapshot() const {
+    std::map<std::string, metric_id> counters;
+    std::map<std::string, metric_id> hists;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      counters = counters_by_name_;
+      hists = hists_by_name_;
+    }
+    metrics_snapshot out;
+    for (const auto& [name, id] : counters) out.counters[name] = counter_value(id);
+    for (const auto& [name, id] : hists) out.histograms[name] = summarize(histogram_merged(id));
+    return out;
+  }
+
+  [[nodiscard]] std::size_t slots() const { return counter_slots_.size(); }
+
+ private:
+  // One worker's counter words, cache-line aligned at both ends so no word
+  // ever shares a line with another slot's.
+  struct counter_slot {
+    explicit counter_slot(std::size_t capacity) : words(capacity) {}
+    alignas(64) std::vector<std::atomic<std::uint64_t>> words;
+  };
+
+  metric_id register_word(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = counters_by_name_.find(name); it != counters_by_name_.end()) {
+      return it->second;
+    }
+    const std::size_t capacity = counter_slots_[0]->words.size();
+    if (next_word_ >= capacity) return static_cast<metric_id>(capacity - 1);  // degrade
+    const metric_id id = static_cast<metric_id>(next_word_++);
+    counters_by_name_[name] = id;
+    return id;
+  }
+
+  std::size_t histogram_capacity_;
+  std::vector<std::unique_ptr<counter_slot>> counter_slots_;
+  // Pre-sized (never reallocated) so record() indexes without the mutex.
+  std::vector<std::unique_ptr<latency_histogram[]>> hist_columns_;
+
+  mutable std::mutex mu_;  // name maps only; never taken on a record path
+  std::map<std::string, metric_id> counters_by_name_;
+  std::map<std::string, metric_id> hists_by_name_;
+  std::size_t next_word_ = 0;
+  std::size_t next_hist_ = 0;
+};
+
+// Per-worker keyed accumulators (site -> stats): each worker mutates its own
+// slot under a slot-local mutex that only snapshot readers ever contend on,
+// so workers never serialize against each other — the replacement for the
+// node-wide stats mutex that used to guard site_logs_/site_cache_.
+template <typename T>
+class per_worker_keyed {
+ public:
+  explicit per_worker_keyed(std::size_t slots) : slots_(slots == 0 ? 1 : slots) {}
+
+  template <typename Fn>
+  void update(std::size_t slot, const std::string& key, Fn&& fn) {
+    slot_state& s = slots_[slot];
+    const std::lock_guard<std::mutex> lock(s.mu);
+    fn(s.entries[key]);
+  }
+
+  // Visits (key, entry) for every slot in slot order (slot 0 — the sim/caller
+  // thread — first, preserving single-threaded insertion order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const slot_state& s : slots_) {
+      const std::lock_guard<std::mutex> lock(s.mu);
+      for (const auto& [key, entry] : s.entries) fn(key, entry);
+    }
+  }
+
+  template <typename Fn>
+  void for_key(const std::string& key, Fn&& fn) const {
+    for (const slot_state& s : slots_) {
+      const std::lock_guard<std::mutex> lock(s.mu);
+      if (const auto it = s.entries.find(key); it != s.entries.end()) fn(it->second);
+    }
+  }
+
+  [[nodiscard]] std::size_t slots() const { return slots_.size(); }
+
+ private:
+  struct alignas(64) slot_state {
+    mutable std::mutex mu;
+    std::map<std::string, T> entries;
+  };
+  std::deque<slot_state> slots_;  // deque: slot_state is not movable
+};
+
+}  // namespace nakika::obs

@@ -1,0 +1,169 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace nakika::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+namespace {
+
+void append_summary(std::ostringstream& os, const histogram_summary& h) {
+  os << "{\"count\":" << h.count << ",\"p50\":" << json_number(h.p50)
+     << ",\"p90\":" << json_number(h.p90) << ",\"p99\":" << json_number(h.p99)
+     << ",\"p999\":" << json_number(h.p999) << ",\"mean\":" << json_number(h.mean)
+     << ",\"max\":" << json_number(h.max) << "}";
+}
+
+std::string ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const telemetry_snapshot& snap) {
+  std::ostringstream os;
+  os << "{\"node\":\"" << json_escape(snap.node) << "\",";
+
+  os << "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << value;
+  }
+  os << "},";
+
+  os << "\"values\":{";
+  first = true;
+  for (const auto& [name, value] : snap.values) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << json_number(value);
+  }
+  os << "},";
+
+  os << "\"stages\":{";
+  first = true;
+  for (const auto& st : snap.stages) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(st.name) << "\":";
+    append_summary(os, st.latency);
+  }
+  os << "},";
+
+  os << "\"tenants\":{";
+  first = true;
+  for (const auto& t : snap.tenants) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(t.site) << "\":{"
+       << "\"requests\":" << t.requests << ",\"ic_hits\":" << t.ic_hits
+       << ",\"ic_misses\":" << t.ic_misses << ",\"log_lines\":" << t.log_lines
+       << ",\"log_dropped\":" << t.log_dropped << ",\"kills\":" << t.kills
+       << ",\"quota_rejections\":" << t.quota_rejections
+       << ",\"cache_bytes\":" << t.cache_bytes << ",\"cache_quota\":" << t.cache_quota
+       << ",\"weight\":" << json_number(t.weight)
+       << ",\"cpu_share\":" << json_number(t.cpu_share) << "}";
+  }
+  os << "},";
+
+  os << "\"spans\":{\"recorded\":" << snap.spans_recorded
+     << ",\"retained\":" << snap.spans_retained << ",\"dropped\":" << snap.spans_dropped
+     << ",\"capacity_per_slot\":" << snap.span_capacity << "}";
+  os << "}";
+  return os.str();
+}
+
+std::string stats_report(const telemetry_snapshot& snap) {
+  std::ostringstream os;
+  os << "=== telemetry";
+  if (!snap.node.empty()) os << " (" << snap.node << ")";
+  os << " ===\n";
+
+  if (!snap.stages.empty()) {
+    os << "stage latency (ms):\n";
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "  %-16s %10s %9s %9s %9s %9s %9s\n", "stage", "count",
+                  "p50", "p90", "p99", "p999", "max");
+    os << buf;
+    for (const auto& st : snap.stages) {
+      if (st.latency.count == 0) continue;
+      std::snprintf(buf, sizeof(buf), "  %-16s %10llu %9s %9s %9s %9s %9s\n", st.name.c_str(),
+                    static_cast<unsigned long long>(st.latency.count), ms(st.latency.p50).c_str(),
+                    ms(st.latency.p90).c_str(), ms(st.latency.p99).c_str(),
+                    ms(st.latency.p999).c_str(), ms(st.latency.max).c_str());
+      os << buf;
+    }
+  }
+
+  if (!snap.tenants.empty()) {
+    os << "tenants:\n";
+    for (const auto& t : snap.tenants) {
+      os << "  " << t.site << ": requests=" << t.requests << " ic=" << t.ic_hits << "/"
+         << (t.ic_hits + t.ic_misses) << " cache_bytes=" << t.cache_bytes;
+      if (t.cache_quota != 0) os << "/" << t.cache_quota;
+      if (t.quota_rejections != 0) os << " quota_rejections=" << t.quota_rejections;
+      if (t.kills != 0) os << " kills=" << t.kills;
+      if (t.log_dropped != 0) os << " log_dropped=" << t.log_dropped;
+      if (t.weight != 0.0) os << " weight=" << json_number(t.weight);
+      if (t.cpu_share != 0.0) os << " cpu_share=" << json_number(t.cpu_share);
+      os << "\n";
+    }
+  }
+
+  if (!snap.counters.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, value] : snap.counters) {
+      if (value == 0) continue;
+      os << "  " << name << "=" << value << "\n";
+    }
+  }
+  if (!snap.values.empty()) {
+    os << "values:\n";
+    for (const auto& [name, value] : snap.values) {
+      os << "  " << name << "=" << json_number(value) << "\n";
+    }
+  }
+
+  os << "spans: recorded=" << snap.spans_recorded << " retained=" << snap.spans_retained
+     << " dropped=" << snap.spans_dropped << " capacity_per_slot=" << snap.span_capacity
+     << "\n";
+  return os.str();
+}
+
+}  // namespace nakika::obs

@@ -1,0 +1,57 @@
+// Telemetry tentpole, layer 3: export. telemetry_snapshot is the merged,
+// plain-data view a node hands out; to_json renders it (no deps, manual
+// escaping) for `nakika_node::telemetry_json()`, and stats_report renders a
+// human-readable text table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace nakika::obs {
+
+// One row of the per-stage latency table.
+struct stage_stats {
+  std::string name;
+  histogram_summary latency;
+};
+
+// One row of the per-tenant table (tenant == URL host == "site").
+struct tenant_stats {
+  std::string site;
+  std::uint64_t requests = 0;
+  std::uint64_t ic_hits = 0;
+  std::uint64_t ic_misses = 0;
+  std::uint64_t log_lines = 0;
+  std::uint64_t log_dropped = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t quota_rejections = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t cache_quota = 0;   // 0 = unlimited
+  double weight = 0.0;             // configured congestion share weight
+  double cpu_share = 0.0;          // observed share of total contribution
+};
+
+struct telemetry_snapshot {
+  std::string node;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> values;  // non-integer gauges (ratios, seconds)
+  std::vector<stage_stats> stages;
+  std::vector<tenant_stats> tenants;
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_retained = 0;
+  std::uint64_t spans_dropped = 0;
+  std::uint64_t span_capacity = 0;  // per worker slot
+};
+
+[[nodiscard]] std::string to_json(const telemetry_snapshot& snap);
+[[nodiscard]] std::string stats_report(const telemetry_snapshot& snap);
+
+// Shared helpers for hand-rolled JSON (also used by bench reporters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace nakika::obs

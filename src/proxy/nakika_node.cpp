@@ -15,6 +15,15 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
+
+// Trace clock: virtual time on the workers=0 sim path (the event loop does
+// not advance during synchronous CPU work, so span stamps are reproducible
+// for a fixed seed), TSC-backed wall seconds since node start in worker
+// mode — a span takes several stamps per request, so the cheap clock is
+// what keeps the telemetry overhead gate honest.
+double trace_clock(void* node) {
+  return static_cast<const nakika_node*>(node)->trace_now();
+}
 }  // namespace
 
 nakika_node::nakika_node(sim::network& net, sim::node_id host,
@@ -31,8 +40,13 @@ nakika_node::nakika_node(sim::network& net, sim::node_id host,
       no_script_(config_.default_script_ttl > 0 ? config_.default_script_ttl : 300,
                  config_.script_cache_entries),
       chunk_cache_(config_.chunk_cache_entries),
+      metrics_(config_.workers + 1),
+      spans_(config_.workers + 1, config_.span_ring_capacity),
+      site_obs_(config_.workers + 1),
+      trace_decim_(config_.workers),
       counters_(config_.workers + 1),
       rng_(config_.rng_seed) {
+  register_metrics();
   // Tenant isolation wiring (setup-time: before any request is served).
   for (const auto& [tenant, quota] : config_.tenant_cache_quota_bytes) {
     content_cache_.set_tenant_quota(tenant, quota);
@@ -71,6 +85,11 @@ double nakika_node::virtual_now() const {
   return net_.loop().now();
 }
 
+double nakika_node::trace_now() const {
+  if (pool_ != nullptr) return obs::fast_clock::now_seconds() - trace_epoch_;
+  return net_.loop().now();
+}
+
 void nakika_node::set_wall_sources(std::string clientwall, std::string serverwall) {
   config_.clientwall_source = std::move(clientwall);
   config_.serverwall_source = std::move(serverwall);
@@ -91,15 +110,46 @@ std::optional<http::response> nakika_node::lookup_cache_only(const std::string& 
   return content_cache_.get(url, now);
 }
 
+void nakika_node::register_metrics() {
+  for (std::size_t i = 0; i < obs::stage_count; ++i) {
+    ids_.stage_hist[i] = metrics_.histogram(
+        std::string("latency.") + obs::to_string(static_cast<obs::stage>(i)));
+  }
+  ids_.compile_nanos = metrics_.counter("script.compile_nanos");
+  ids_.execute_nanos = metrics_.counter("script.execute_nanos");
+  ids_.ic_hits = metrics_.counter("script.ic_hits");
+  ids_.ic_misses = metrics_.counter("script.ic_misses");
+  ids_.stages_executed = metrics_.counter("script.stages_executed");
+  ids_.out_cache_hit = metrics_.counter("outcome.cache_hit");
+  ids_.out_cache_miss = metrics_.counter("outcome.cache_miss");
+  ids_.out_peer_hit = metrics_.counter("outcome.peer_hit");
+  ids_.out_origin = metrics_.counter("outcome.origin_fetch");
+  ids_.out_coalesced = metrics_.counter("outcome.coalesced");
+  ids_.out_throttled = metrics_.counter("outcome.throttled");
+  ids_.out_terminated = metrics_.counter("outcome.terminated");
+  ids_.out_failed = metrics_.counter("outcome.failed");
+  ids_.out_nkp = metrics_.counter("outcome.nkp_render");
+}
+
 std::vector<std::string> nakika_node::site_log(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  const auto it = site_logs_.find(site);
-  return it == site_logs_.end() ? std::vector<std::string>{} : it->second;
+  // Slot 0 (the sim/caller thread) first, then workers in index order, so the
+  // single-threaded sim path preserves exact Log.write ordering.
+  std::vector<std::string> out;
+  site_obs_.for_key(site, [&out](const site_obs& s) {
+    out.insert(out.end(), s.log.begin(), s.log.end());
+  });
+  return out;
 }
 
 nakika_node::script_time_stats nakika_node::script_times() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  script_time_stats out = script_times_;
+  script_time_stats out;
+  out.compile_seconds =
+      static_cast<double>(metrics_.counter_value(ids_.compile_nanos)) * 1e-9;
+  out.execute_seconds =
+      static_cast<double>(metrics_.counter_value(ids_.execute_nanos)) * 1e-9;
+  out.ic_hits = metrics_.counter_value(ids_.ic_hits);
+  out.ic_misses = metrics_.counter_value(ids_.ic_misses);
+  out.stages_executed = metrics_.counter_value(ids_.stages_executed);
   // Chunk-cache probes are counted by the (node-wide, thread-safe) cache
   // itself; snapshot BOTH sides from it so hits and misses describe the same
   // probe population (pipeline stage loads + nkp renders alike) and
@@ -110,9 +160,12 @@ nakika_node::script_time_stats nakika_node::script_times() const {
 }
 
 nakika_node::site_cache_stats nakika_node::site_cache(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  const auto it = site_cache_.find(site);
-  return it == site_cache_.end() ? site_cache_stats{} : it->second;
+  site_cache_stats out;
+  site_obs_.for_key(site, [&out](const site_obs& s) {
+    out.ic_hits += s.ic_hits;
+    out.ic_misses += s.ic_misses;
+  });
+  return out;
 }
 
 std::size_t nakika_node::sandboxes_created() const {
@@ -259,10 +312,13 @@ core::stage_fetch_result nakika_node::load_stage_script_direct(const std::string
 // ----- resource fetching -----------------------------------------------------------
 
 http::response nakika_node::maybe_render_nkp(const std::string& site, const http::request& r,
-                                             http::response resp, core::worker_context* wc) {
+                                             http::response resp, core::worker_context* wc,
+                                             obs::trace_context* trace) {
   if (!config_.enable_pages || !resp.ok() || !resp.body) return resp;
   const std::string content_type = resp.headers.get_or("Content-Type", "");
   if (!core::is_nkp_resource(r.url.path(), content_type)) return resp;
+  obs::trace_context::scoped nkp_span(trace, obs::stage::nkp_render);
+  if (trace != nullptr) trace->flag(obs::span_flag::nkp);
 
   // Compile the page into a one-policy script and run its onResponse in the
   // site's sandbox (the paper layers NKP on the event model the same way).
@@ -337,17 +393,20 @@ void nakika_node::fetch_from_origin(const http::request& r,
 }
 
 void nakika_node::fetch_resource(const std::string& site, const http::request& r,
-                                 std::function<void(http::response, double)> cb) {
+                                 std::function<void(http::response, double)> cb,
+                                 obs::trace_context* trace) {
   const std::string key = r.url.str();
   const auto now = static_cast<std::int64_t>(net_.loop().now());
 
   if (auto hit = content_cache_.get(key, now)) {
+    if (trace != nullptr) trace->flag(obs::span_flag::cache_hit);
     cb(std::move(*hit), config_.costs.cache_hit_serve);
     return;
   }
+  if (trace != nullptr) trace->flag(obs::span_flag::cache_miss);
 
-  auto finish_with = [this, site, r, key, cb](http::response resp) mutable {
-    resp = maybe_render_nkp(site, r, std::move(resp), nullptr);
+  auto finish_with = [this, site, r, key, cb, trace](http::response resp) mutable {
+    resp = maybe_render_nkp(site, r, std::move(resp), nullptr, trace);
     const auto later = static_cast<std::int64_t>(net_.loop().now());
     const bool stored = content_cache_.put(key, resp, later);
     if (stored && transport_ != nullptr) {
@@ -364,22 +423,40 @@ void nakika_node::fetch_resource(const std::string& site, const http::request& r
   // the origin (as CoralCDN does for uncacheable content).
   const bool overlay_worthwhile = r.url.query().empty();
   if (transport_ != nullptr && overlay_worthwhile) {
+    const double peer_begin = trace != nullptr && trace->enabled() ? trace->now() : 0.0;
     transport_->fetch_from_peers(
-        r, [this, r, finish_with](net::peer_transport::result res) mutable {
+        r, [this, r, finish_with, trace, peer_begin](net::peer_transport::result res) mutable {
+          if (trace != nullptr && trace->enabled()) {
+            trace->add(obs::stage::peer_fetch, trace->now() - peer_begin);
+          }
           if (res.response) {
             counters_.add(0, counter_field::peer_hits);
+            if (trace != nullptr) trace->flag(obs::span_flag::peer_hit);
             finish_with(std::move(*res.response));
             return;
           }
           counters_.add(0, counter_field::peer_misses);
-          fetch_from_origin(r, [finish_with](http::response resp, double) mutable {
+          const double origin_begin =
+              trace != nullptr && trace->enabled() ? trace->now() : 0.0;
+          fetch_from_origin(r, [finish_with, trace,
+                                origin_begin](http::response resp, double) mutable {
+            if (trace != nullptr && trace->enabled()) {
+              trace->add(obs::stage::origin_fetch, trace->now() - origin_begin);
+              trace->flag(obs::span_flag::origin);
+            }
             finish_with(std::move(resp));
           });
         });
     return;
   }
 
-  fetch_from_origin(r, [finish_with](http::response resp, double) mutable {
+  const double origin_begin = trace != nullptr && trace->enabled() ? trace->now() : 0.0;
+  fetch_from_origin(r, [finish_with, trace, origin_begin](http::response resp,
+                                                          double) mutable {
+    if (trace != nullptr && trace->enabled()) {
+      trace->add(obs::stage::origin_fetch, trace->now() - origin_begin);
+      trace->flag(obs::span_flag::origin);
+    }
     finish_with(std::move(resp));
   });
 }
@@ -390,29 +467,44 @@ void nakika_node::fetch_resource(const std::string& site, const http::request& r
 // network cost is accounted in peer_latency_seconds instead.
 http::response nakika_node::fetch_resource_direct(const std::string& site,
                                                   const http::request& r,
-                                                  core::worker_context* wc) {
+                                                  core::worker_context* wc,
+                                                  obs::trace_context* trace) {
   const std::string key = r.url.str();
   const auto now = static_cast<std::int64_t>(virtual_now());
 
-  if (auto hit = content_cache_.get(key, now)) return std::move(*hit);
+  {
+    obs::trace_context::scoped lookup_span(trace, obs::stage::cache_lookup);
+    if (auto hit = content_cache_.get(key, now)) {
+      if (trace != nullptr) trace->flag(obs::span_flag::cache_hit);
+      return std::move(*hit);
+    }
+  }
+  if (trace != nullptr) trace->flag(obs::span_flag::cache_miss);
 
   // Query-bearing URLs are dynamic/personalized: each request must reach the
   // origin itself, so they bypass coalescing (same rule as the overlay).
-  if (!r.url.query().empty()) return fetch_miss_direct(site, r, wc);
+  if (!r.url.query().empty()) return fetch_miss_direct(site, r, wc, trace);
 
   bool coalesced = false;
+  const double flight_begin = trace != nullptr && trace->enabled() ? trace->now() : 0.0;
   http::response out = flights_.run(
-      key, [&] { return fetch_miss_direct(site, r, wc); }, &coalesced);
+      key, [&] { return fetch_miss_direct(site, r, wc, trace); }, &coalesced);
   if (coalesced) {
     const std::size_t slot = wc != nullptr ? wc->index() + 1 : 0;
     counters_.add(slot, counter_field::coalesced);
+    if (trace != nullptr && trace->enabled()) {
+      // The whole run() was spent blocked on the flight leader.
+      trace->add(obs::stage::coalesced_wait, trace->now() - flight_begin);
+      trace->flag(obs::span_flag::coalesced);
+    }
   }
   return out;
 }
 
 http::response nakika_node::fetch_miss_direct(const std::string& site,
                                               const http::request& r,
-                                              core::worker_context* wc) {
+                                              core::worker_context* wc,
+                                              obs::trace_context* trace) {
   const std::string key = r.url.str();
   const std::size_t slot = wc != nullptr ? wc->index() + 1 : 0;
 
@@ -423,7 +515,7 @@ http::response nakika_node::fetch_miss_direct(const std::string& site,
   }
 
   auto finish_with = [&](http::response resp) {
-    resp = maybe_render_nkp(site, r, std::move(resp), wc);
+    resp = maybe_render_nkp(site, r, std::move(resp), wc, trace);
     const auto later = static_cast<std::int64_t>(virtual_now());
     const bool stored = content_cache_.put(key, resp, later);
     if (stored && transport_ != nullptr) {
@@ -435,17 +527,28 @@ http::response nakika_node::fetch_miss_direct(const std::string& site,
 
   if (transport_ != nullptr && r.url.query().empty()) {
     net::peer_transport::result res;
-    transport_->fetch_from_peers(
-        r, [&res](net::peer_transport::result found) { res = std::move(found); });
+    {
+      obs::trace_context::scoped peer_span(trace, obs::stage::peer_fetch);
+      transport_->fetch_from_peers(
+          r, [&res](net::peer_transport::result found) { res = std::move(found); });
+    }
     peer_latency_micros_.fetch_add(static_cast<std::uint64_t>(res.latency_seconds * 1e6),
                                    std::memory_order_relaxed);
+    if (trace != nullptr && trace->enabled()) {
+      // Fold in the transport's accounted virtual network cost (overlay walks
+      // + peer round-trips), which wall time on a worker does not include.
+      trace->add(obs::stage::peer_fetch, res.latency_seconds);
+    }
     if (res.response) {
       counters_.add(slot, counter_field::peer_hits);
+      if (trace != nullptr) trace->flag(obs::span_flag::peer_hit);
       return finish_with(std::move(*res.response));
     }
     counters_.add(slot, counter_field::peer_misses);
   }
 
+  obs::trace_context::scoped origin_span(trace, obs::stage::origin_fetch);
+  if (trace != nullptr) trace->flag(obs::span_flag::origin);
   auto* origin = dynamic_cast<origin_server*>(resolve_origin_(r.url.host()));
   if (origin == nullptr) {
     return http::make_error_response(502, "cannot resolve " + r.url.host());
@@ -454,6 +557,7 @@ http::response nakika_node::fetch_miss_direct(const std::string& site,
   if (!resp) {
     return http::make_error_response(502, "origin failure for " + key);
   }
+  origin_span.stop();
   return finish_with(std::move(*resp));
 }
 
@@ -494,7 +598,8 @@ core::fetch_result nakika_node::sub_fetch(const http::request& r) {
   return out;
 }
 
-core::fetch_result nakika_node::sub_fetch_direct(const http::request& r) {
+core::fetch_result nakika_node::sub_fetch_direct(const http::request& r,
+                                                 obs::trace_context* trace) {
   core::fetch_result out;
   const std::string key = r.url.str();
   const auto now = static_cast<std::int64_t>(virtual_now());
@@ -530,8 +635,15 @@ core::fetch_result nakika_node::sub_fetch_direct(const http::request& r) {
     // sub-fetch for a URL this worker is already fetching runs directly
     // (leader re-entrancy) instead of deadlocking.
     bool coalesced = false;
+    const double flight_begin = trace != nullptr && trace->enabled() ? trace->now() : 0.0;
     out.response = sub_flights_.run(key, fetch, &coalesced);
-    if (coalesced) counters_.add(0, counter_field::coalesced);
+    if (coalesced) {
+      counters_.add(0, counter_field::coalesced);
+      if (trace != nullptr && trace->enabled()) {
+        trace->add(obs::stage::coalesced_wait, trace->now() - flight_begin);
+        trace->flag(obs::span_flag::coalesced);
+      }
+    }
   } else {
     out.response = fetch();
   }
@@ -561,23 +673,35 @@ void nakika_node::account_pipeline(const std::string& site,
     resources_.record_usage(site, usage);
   }
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    script_times_.compile_seconds += result.script_compile_seconds;
-    script_times_.execute_seconds += result.script_execute_seconds;
-    script_times_.ic_hits += result.ic_hits;
-    script_times_.ic_misses += result.ic_misses;
-    script_times_.stages_executed += static_cast<std::uint64_t>(result.stages_executed);
-    if (result.ic_hits != 0 || result.ic_misses != 0) {
-      site_cache_stats& sc = site_cache_[site];
-      sc.ic_hits += result.ic_hits;
-      sc.ic_misses += result.ic_misses;
-    }
-    if (!result.log_lines.empty()) {
-      auto& log = site_logs_[site];
-      log.insert(log.end(), result.log_lines.begin(), result.log_lines.end());
-    }
+  // Registry adds: one relaxed atomic add per field into this worker's slot —
+  // the hot path holds no lock (the stats mutex this replaced serialized every
+  // request in the node).
+  metrics_.add(counter_slot, ids_.compile_nanos,
+               static_cast<std::uint64_t>(result.script_compile_seconds * 1e9));
+  metrics_.add(counter_slot, ids_.execute_nanos,
+               static_cast<std::uint64_t>(result.script_execute_seconds * 1e9));
+  if (result.ic_hits != 0) metrics_.add(counter_slot, ids_.ic_hits, result.ic_hits);
+  if (result.ic_misses != 0) metrics_.add(counter_slot, ids_.ic_misses, result.ic_misses);
+  if (result.stages_executed != 0) {
+    metrics_.add(counter_slot, ids_.stages_executed,
+                 static_cast<std::uint64_t>(result.stages_executed));
   }
+
+  // Per-site accumulators: slot-local (only telemetry readers contend).
+  site_obs_.update(counter_slot, site, [&](site_obs& s) {
+    s.requests += 1;
+    s.ic_hits += result.ic_hits;
+    s.ic_misses += result.ic_misses;
+    if (result.terminated) s.terminated += 1;
+    for (const std::string& line : result.log_lines) {
+      if (config_.site_log_capacity != 0 && s.log.size() >= config_.site_log_capacity) {
+        s.log.pop_front();
+        s.log_dropped += 1;
+      }
+      if (config_.site_log_capacity != 0) s.log.push_back(line);
+      s.log_lines_total += 1;
+    }
+  });
 
   if (result.terminated) {
     counters_.add(counter_slot, counter_field::terminated);
@@ -586,6 +710,35 @@ void nakika_node::account_pipeline(const std::string& site,
   } else {
     counters_.add(counter_slot, counter_field::completed);
   }
+}
+
+void nakika_node::finish_span(obs::trace_context& trace, std::uint16_t status,
+                              double total_seconds, std::size_t slot) {
+  trace.add(obs::stage::total, total_seconds);
+  obs::span_record& rec = trace.record();
+  rec.status = status;
+
+  for (std::size_t i = 0; i < obs::stage_count; ++i) {
+    // Total is always recorded (it is the request-latency histogram the
+    // benches report); other stages only when they actually ran, so their
+    // counts mean "requests that touched this stage".
+    if (i == static_cast<std::size_t>(obs::stage::total) || rec.stage_seconds[i] > 0.0) {
+      metrics_.record_seconds(slot, ids_.stage_hist[i], rec.stage_seconds[i]);
+    }
+  }
+
+  using namespace obs::span_flag;
+  if (rec.has(cache_hit)) metrics_.add(slot, ids_.out_cache_hit);
+  if (rec.has(cache_miss)) metrics_.add(slot, ids_.out_cache_miss);
+  if (rec.has(peer_hit)) metrics_.add(slot, ids_.out_peer_hit);
+  if (rec.has(origin)) metrics_.add(slot, ids_.out_origin);
+  if (rec.has(coalesced)) metrics_.add(slot, ids_.out_coalesced);
+  if (rec.has(throttled)) metrics_.add(slot, ids_.out_throttled);
+  if (rec.has(terminated)) metrics_.add(slot, ids_.out_terminated);
+  if (rec.has(failed)) metrics_.add(slot, ids_.out_failed);
+  if (rec.has(nkp)) metrics_.add(slot, ids_.out_nkp);
+
+  spans_.push(slot, std::move(rec));
 }
 
 // ----- request handling ---------------------------------------------------------------
@@ -621,6 +774,14 @@ void nakika_node::handle(const http::request& original,
     // Throttled rejection is a shared-memory flag check in the paper's
     // implementation — far cheaper than full request processing.
     counters_.add(0, counter_field::throttled);
+    if (config_.telemetry) {
+      obs::trace_context trace(trace_clock, this);
+      trace.record().site = site;
+      trace.record().path = r.url.path();
+      trace.record().start = trace.now();
+      trace.flag(obs::span_flag::throttled);
+      finish_span(trace, 503, 0.0, /*slot=*/0);
+    }
     net_.run_cpu(host_, 0.0001, [done = std::move(done)]() mutable {
       done(http::make_error_response(503, "server busy (throttled)"));
     });
@@ -647,6 +808,16 @@ void nakika_node::handle(const http::request& original,
   core::sandbox* sb = acquire_sandbox(site, setup_cpu);
   resources_.pipeline_started(site, sb->kill_flag());
 
+  // The trace rides the sim path's async callbacks via shared_ptr; its clock
+  // is virtual time, so spans are deterministic for a fixed seed.
+  std::shared_ptr<obs::trace_context> trace;
+  if (config_.telemetry) {
+    trace = std::make_shared<obs::trace_context>(trace_clock, this);
+    trace->record().site = site;
+    trace->record().path = r.url.path();
+    trace->record().start = trace->now();
+  }
+
   core::exec_state base;
   base.site = site;
   base.local_specs = config_.local_specs;
@@ -657,6 +828,7 @@ void nakika_node::handle(const http::request& original,
   base.replica = rep == replicas_.end() ? nullptr : rep->second;
   base.fetch = [this](const http::request& sub) { return sub_fetch(sub); };
   base.resources = resources_.view_for(site);
+  base.trace = trace.get();
 
   const std::string site_script_url = site + "/nakika.js";
   const double start_time = net_.loop().now();
@@ -666,12 +838,12 @@ void nakika_node::handle(const http::request& original,
       [this](const std::string& url, std::function<void(core::stage_fetch_result)> cb) {
         load_stage_script(url, std::move(cb));
       },
-      [this, site](const http::request& req,
-                   std::function<void(http::response, double)> cb) {
-        fetch_resource(site, req, std::move(cb));
+      [this, site, trace](const http::request& req,
+                          std::function<void(http::response, double)> cb) {
+        fetch_resource(site, req, std::move(cb), trace.get());
       },
       std::move(base),
-      [this, site, sb, setup_cpu, start_time,
+      [this, site, sb, setup_cpu, start_time, trace,
        done = std::move(done)](core::pipeline_result result) mutable {
         resources_.pipeline_finished(site, sb->kill_flag());
         const bool poisoned = result.terminated || result.failed;
@@ -680,6 +852,12 @@ void nakika_node::handle(const http::request& original,
         const double elapsed = net_.loop().now() - start_time;
         account_pipeline(site, result, elapsed, /*counter_slot=*/0,
                          /*record_resources=*/true);
+        if (trace != nullptr) {
+          if (result.terminated) trace->flag(obs::span_flag::terminated);
+          else if (result.failed) trace->flag(obs::span_flag::failed);
+          finish_span(*trace, static_cast<std::uint16_t>(result.response.status), elapsed,
+                      /*slot=*/0);
+        }
 
         note_churn(static_cast<double>(result.heap_bytes));
         const double cpu = (setup_cpu + result.script_cpu_seconds +
@@ -708,14 +886,42 @@ void nakika_node::execute_on_worker(http::request r, core::worker_context& wc,
                                     std::function<void(http::response)> done) {
   const std::size_t slot = wc.index() + 1;
   counters_.add(slot, counter_field::offered);
+  const auto wall_start = std::chrono::steady_clock::now();
 
   if (overlay::is_nakika_host(r.url.host())) {
     r.url.set_host(overlay::from_nakika_host(r.url.host()));
   }
   const std::string site = r.url.site();
 
+  // Span sampling (node_config::trace_sample_every): every Nth request per
+  // worker gets the full trace — per-stage TSC stamps plus a span-ring
+  // entry. The rest still land in the end-to-end latency histogram below,
+  // which reuses `wall_start` (taken anyway for billing), so p50/p99/p999
+  // stay exact per request while the per-span cost is amortized 1/N.
+  bool sampled = false;
+  if (config_.telemetry) {
+    sampled = config_.trace_sample_every <= 1 ||
+              (trace_decim_[wc.index()].n++ % config_.trace_sample_every) == 0;
+  }
+  // Stack-allocated: the worker path is fully synchronous, so the span lives
+  // exactly as long as the request.
+  obs::trace_context trace =
+      sampled ? obs::trace_context(trace_clock, this) : obs::trace_context();
+  obs::trace_context* const tr = trace.enabled() ? &trace : nullptr;
+  if (tr != nullptr) {
+    trace.record().site = site;
+    trace.record().path = r.url.path();
+    trace.record().start = trace.now();
+  }
+
   if (config_.resource_controls && !resources_.admit(site, wc.rng(), virtual_now())) {
     counters_.add(slot, counter_field::throttled);
+    if (tr != nullptr) {
+      trace.flag(obs::span_flag::throttled);
+      finish_span(trace, 503, seconds_since(wall_start), slot);
+    } else if (config_.telemetry) {
+      record_total_latency(slot, seconds_since(wall_start));
+    }
     done(http::make_error_response(503, "server busy (throttled)"));
     return;
   }
@@ -724,8 +930,14 @@ void nakika_node::execute_on_worker(http::request r, core::worker_context& wc,
   bool finished = false;
   try {
     if (!config_.scripting) {
-      http::response resp = fetch_resource_direct(site, r, &wc);
+      http::response resp = fetch_resource_direct(site, r, &wc, tr);
       counters_.add(slot, counter_field::completed);
+      if (tr != nullptr) {
+        finish_span(trace, static_cast<std::uint16_t>(resp.status),
+                    seconds_since(wall_start), slot);
+      } else if (config_.telemetry) {
+        record_total_latency(slot, seconds_since(wall_start));
+      }
       finished = true;
       done(std::move(resp));
       return;
@@ -744,11 +956,11 @@ void nakika_node::execute_on_worker(http::request r, core::worker_context& wc,
     // replicas_ is wired at deployment time, before serving starts.
     const auto rep = replicas_.find(site);
     base.replica = rep == replicas_.end() ? nullptr : rep->second;
-    base.fetch = [this](const http::request& sub) { return sub_fetch_direct(sub); };
+    base.fetch = [this, tr](const http::request& sub) { return sub_fetch_direct(sub, tr); };
     base.resources = resources_.view_for(site);
+    base.trace = tr;
 
     const std::string site_script_url = site + "/nakika.js";
-    const auto wall_start = std::chrono::steady_clock::now();
 
     // The loaders below resolve synchronously, so the completion lambda runs
     // before execute() returns; `done` is captured by value so the callback
@@ -758,20 +970,29 @@ void nakika_node::execute_on_worker(http::request r, core::worker_context& wc,
         [this](const std::string& url, std::function<void(core::stage_fetch_result)> cb) {
           cb(load_stage_script_direct(url));
         },
-        [this, site, &wc](const http::request& req,
-                          std::function<void(http::response, double)> cb) {
-          cb(fetch_resource_direct(site, req, &wc), 0.0);
+        [this, site, &wc, tr](const http::request& req,
+                              std::function<void(http::response, double)> cb) {
+          cb(fetch_resource_direct(site, req, &wc, tr), 0.0);
         },
         std::move(base),
-        [this, site, sb, slot, &wc, wall_start, done, &finished](
+        [this, site, sb, slot, &wc, wall_start, done, &finished, tr](
             core::pipeline_result result) {
           resources_.pipeline_finished(site, sb->kill_flag());
           const bool poisoned = result.terminated || result.failed;
           wc.release(site, sb, poisoned);
+          const double elapsed = seconds_since(wall_start);
           // With resource controls off nothing reads the usage counters, so
           // skip the (shared-lock) recording on the fast path.
-          account_pipeline(site, result, seconds_since(wall_start), slot,
+          account_pipeline(site, result, elapsed, slot,
                            /*record_resources=*/config_.resource_controls);
+          if (tr != nullptr) {
+            if (result.terminated) tr->flag(obs::span_flag::terminated);
+            else if (result.failed) tr->flag(obs::span_flag::failed);
+            finish_span(*tr, static_cast<std::uint16_t>(result.response.status),
+                        elapsed, slot);
+          } else if (config_.telemetry) {
+            record_total_latency(slot, elapsed);
+          }
           finished = true;
           done(std::move(result.response));
         });
@@ -789,6 +1010,91 @@ void nakika_node::execute_on_worker(http::request r, core::worker_context& wc,
     counters_.add(slot, counter_field::failed);
     done(http::make_error_response(500, "internal error on worker"));
   }
+}
+
+// ----- telemetry export --------------------------------------------------------------
+
+obs::telemetry_snapshot nakika_node::telemetry() const {
+  obs::telemetry_snapshot snap;
+  snap.node = "node-" + std::to_string(host_);
+
+  // Registry counters (script.*, outcome.*) merged across worker slots.
+  obs::metrics_snapshot reg = metrics_.snapshot();
+  snap.counters = std::move(reg.counters);
+
+  const util::run_counters rc = counters_.snapshot();
+  snap.counters["requests.offered"] = rc.offered;
+  snap.counters["requests.completed"] = rc.completed;
+  snap.counters["requests.throttled"] = rc.throttled;
+  snap.counters["requests.terminated"] = rc.terminated;
+  snap.counters["requests.failed"] = rc.failed;
+  snap.counters["requests.rejected"] = rc.rejected;
+  snap.counters["requests.peer_hits"] = rc.peer_hits;
+  snap.counters["requests.peer_misses"] = rc.peer_misses;
+  snap.counters["requests.coalesced"] = rc.coalesced;
+
+  const net::single_flight::stats fs = flight_stats();
+  snap.counters["single_flight.leaders"] = fs.leaders;
+  snap.counters["single_flight.waiters"] = fs.waiters;
+
+  const cache::cache_stats cs = content_cache_.stats();
+  snap.counters["cache.hits"] = cs.hits;
+  snap.counters["cache.misses"] = cs.misses;
+  snap.counters["cache.insertions"] = cs.insertions;
+  snap.counters["cache.evictions"] = cs.evictions;
+  snap.counters["cache.expirations"] = cs.expirations;
+  snap.counters["cache.quota_rejections"] = cs.quota_rejections;
+  snap.counters["cache.oversized_rejections"] = cs.oversized_rejections;
+  snap.counters["cache.bytes_used"] = content_cache_.bytes_used();
+  snap.counters["chunk_cache.hits"] = chunk_cache_.hits();
+  snap.counters["chunk_cache.misses"] = chunk_cache_.misses();
+  snap.counters["resources.terminations"] = resources_.terminations();
+  snap.counters["resources.throttle_rejections"] = resources_.throttle_rejections();
+
+  snap.values["peer.latency_seconds"] = peer_latency_seconds();
+  snap.values["script.compile_seconds"] =
+      static_cast<double>(metrics_.counter_value(ids_.compile_nanos)) * 1e-9;
+  snap.values["script.execute_seconds"] =
+      static_cast<double>(metrics_.counter_value(ids_.execute_nanos)) * 1e-9;
+
+  // Per-stage latency table, in stage order.
+  for (std::size_t i = 0; i < obs::stage_count; ++i) {
+    obs::stage_stats st;
+    st.name = obs::to_string(static_cast<obs::stage>(i));
+    st.latency = obs::summarize(metrics_.histogram_merged(ids_.stage_hist[i]));
+    snap.stages.push_back(std::move(st));
+  }
+
+  // Per-tenant breakdowns: observed request/IC/log state merged across worker
+  // slots, joined with cache quota accounting and resource-manager shares.
+  std::map<std::string, obs::tenant_stats> tenants;
+  site_obs_.for_each([&tenants](const std::string& site, const site_obs& s) {
+    obs::tenant_stats& t = tenants[site];
+    t.site = site;
+    t.requests += s.requests;
+    t.ic_hits += s.ic_hits;
+    t.ic_misses += s.ic_misses;
+    t.log_lines += s.log_lines_total;
+    t.log_dropped += s.log_dropped;
+  });
+  for (auto& [site, t] : tenants) {
+    // Cache tenants are keyed by URL host; resource-manager sites by the
+    // scheme-qualified site string.
+    const std::string host = cache::http_cache::tenant_of(site);
+    t.cache_bytes = content_cache_.tenant_bytes(host);
+    t.cache_quota = content_cache_.tenant_quota(host);
+    t.quota_rejections = content_cache_.tenant_quota_rejections(host);
+    t.kills = resources_.site_kills(site);
+    t.weight = resources_.site_weight(site);
+    t.cpu_share = resources_.contribution(site, core::resource_kind::cpu);
+    snap.tenants.push_back(std::move(t));
+  }
+
+  snap.spans_retained = spans_.size();
+  snap.spans_dropped = spans_.dropped();
+  snap.spans_recorded = snap.spans_retained + snap.spans_dropped;
+  snap.span_capacity = spans_.capacity_per_slot();
+  return snap;
 }
 
 // ----- memory-pressure model ---------------------------------------------------------

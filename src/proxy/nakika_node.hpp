@@ -26,6 +26,9 @@
 #include "core/worker_pool.hpp"
 #include "net/peer_transport.hpp"
 #include "net/single_flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "overlay/clusters.hpp"
 #include "proxy/origin_server.hpp"
 #include "state/local_store.hpp"
@@ -92,6 +95,26 @@ struct node_config {
   double stage_overhead = 0.00095;
 
   std::uint64_t rng_seed = 42;
+
+  // --- telemetry --------------------------------------------------------------
+  // Per-request trace spans + per-stage latency histograms (src/obs). The
+  // metrics registry itself is always on (it replaces the old stats mutex and
+  // costs one relaxed add per event); this flag gates span collection and
+  // stage timing, which is what the bench overhead gate compares.
+  bool telemetry = true;
+  // Worker-mode span sampling: every Nth request per worker gets a full
+  // trace (per-stage stamps + a span-ring entry); the rest still land in the
+  // end-to-end latency histogram, which reuses the wall-clock elapsed time
+  // already measured for billing and so stays exact per request. The sim
+  // path (workers = 0) ignores this and traces every request — its clock is
+  // the event loop's virtual time, so full fidelity is free and
+  // deterministic there. 1 traces everything in worker mode too.
+  std::size_t trace_sample_every = 16;
+  // Finished spans retained per worker slot (oldest dropped, drops counted).
+  std::size_t span_ring_capacity = 256;
+  // Log.write lines retained per site per worker slot (oldest dropped,
+  // drops counted in telemetry) — bounds the formerly unbounded site_logs.
+  std::size_t site_log_capacity = 256;
 
   // --- multi-worker execution -------------------------------------------------
   // 0 (default): the deterministic single-threaded path driven by the sim
@@ -210,6 +233,31 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
   // since construction in worker mode. Safe from any thread.
   [[nodiscard]] double virtual_now() const;
 
+  // Span-stamp clock: same epochs as virtual_now, but worker mode reads the
+  // calibrated TSC (obs::fast_clock) instead of clock_gettime — spans take
+  // several stamps per request, so this is what the <3% overhead gate rides
+  // on. Billing and TTL logic keep virtual_now.
+  [[nodiscard]] double trace_now() const;
+
+  // --- telemetry ---
+  // Merged view of everything above plus per-stage latency histograms and
+  // per-tenant breakdowns. Safe to take while workers serve: counters are
+  // relaxed loads, span/log slots take only slot-local mutexes.
+  [[nodiscard]] obs::telemetry_snapshot telemetry() const;
+  [[nodiscard]] std::string telemetry_json() const { return obs::to_json(telemetry()); }
+  [[nodiscard]] std::string stats_text() const { return obs::stats_report(telemetry()); }
+  // Retained trace spans (slot 0 — the sim/caller thread — first).
+  [[nodiscard]] std::vector<obs::span_record> recent_spans() const {
+    return spans_.snapshot();
+  }
+  [[nodiscard]] std::uint64_t spans_dropped() const { return spans_.dropped(); }
+  [[nodiscard]] const obs::metrics_registry& metrics() const { return metrics_; }
+  // Summary of one request stage's latency histogram.
+  [[nodiscard]] obs::histogram_summary stage_latency(obs::stage s) const {
+    return obs::summarize(
+        metrics_.histogram_merged(ids_.stage_hist[static_cast<std::size_t>(s)]));
+  }
+
  private:
   struct script_entry {
     std::string source;
@@ -230,11 +278,13 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
                                                      http::response* resp,
                                                      std::int64_t later);
   void fetch_resource(const std::string& site, const http::request& r,
-                      std::function<void(http::response, double)> cb);
+                      std::function<void(http::response, double)> cb,
+                      obs::trace_context* trace = nullptr);
   void fetch_from_origin(const http::request& r,
                          std::function<void(http::response, double)> cb);
   http::response maybe_render_nkp(const std::string& site, const http::request& r,
-                                  http::response resp, core::worker_context* wc);
+                                  http::response resp, core::worker_context* wc,
+                                  obs::trace_context* trace = nullptr);
   core::fetch_result sub_fetch(const http::request& r);
   void monitor_tick(std::size_t kind_index);
 
@@ -246,18 +296,35 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
                          std::function<void(http::response)> done);
   core::stage_fetch_result load_stage_script_direct(const std::string& url);
   http::response fetch_resource_direct(const std::string& site, const http::request& r,
-                                       core::worker_context* wc);
+                                       core::worker_context* wc,
+                                       obs::trace_context* trace = nullptr);
   // The miss side of fetch_resource_direct, run under single-flight: peer
   // transport first (when attached), then origin via serve_now.
   http::response fetch_miss_direct(const std::string& site, const http::request& r,
-                                   core::worker_context* wc);
-  core::fetch_result sub_fetch_direct(const http::request& r);
+                                   core::worker_context* wc,
+                                   obs::trace_context* trace = nullptr);
+  core::fetch_result sub_fetch_direct(const http::request& r,
+                                      obs::trace_context* trace = nullptr);
   void monitor_main();  // background CONTROL thread (worker mode)
-  // Merges one pipeline's outcome into counters/resources/script_times;
-  // shared between the sim completion callback and the worker path.
+  // Merges one pipeline's outcome into counters/resources/the metrics
+  // registry; shared between the sim completion callback and the worker path.
   void account_pipeline(const std::string& site, const core::pipeline_result& result,
                         double elapsed_seconds, std::size_t counter_slot,
                         bool record_resources);
+  // Seals a request's trace span: records the total + per-stage histograms at
+  // `slot`, bumps outcome counters from the span's flags, pushes it into the
+  // span ring. `status` is the response code sent to the client.
+  void finish_span(obs::trace_context& trace, std::uint16_t status, double total_seconds,
+                   std::size_t slot);
+  // The non-sampled fast path: only the end-to-end latency histogram, from
+  // the elapsed time the worker measured for billing anyway (no extra clock
+  // reads, no span record).
+  void record_total_latency(std::size_t slot, double seconds) {
+    metrics_.record_seconds(slot, ids_.stage_hist[static_cast<std::size_t>(obs::stage::total)],
+                            seconds);
+  }
+  // Registers the node's counters/histograms (setup-time, before workers).
+  void register_metrics();
 
   sim::network& net_;
   sim::node_id host_;
@@ -270,7 +337,6 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
   cache::ttl_cache<script_entry> script_cache_;
   cache::negative_cache no_script_;
   core::chunk_cache chunk_cache_;  // compiled bytecode, shared by all sandboxes
-  script_time_stats script_times_;
   state::local_store store_;
   std::map<std::string, state::replica*> replicas_;
 
@@ -291,10 +357,51 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
   net::single_flight sub_flights_;
   std::atomic<std::uint64_t> peer_latency_micros_{0};
 
-  // Guarded by stats_mu_: low-rate merge targets written by every worker.
-  mutable std::mutex stats_mu_;
-  std::map<std::string, std::vector<std::string>> site_logs_;
-  std::map<std::string, site_cache_stats> site_cache_;
+  // --- telemetry (lock-free hot path; see src/obs) ---
+  // Script-time splits, IC effectiveness, stage latency histograms, and
+  // outcome counters live in the registry as per-worker slots — one relaxed
+  // atomic add per event, merged on read. This replaced the stats mutex that
+  // used to serialize every request's accounting (ROADMAP open item 1).
+  struct telemetry_ids {
+    std::array<obs::metrics_registry::metric_id, obs::stage_count> stage_hist{};
+    obs::metrics_registry::metric_id compile_nanos = 0;
+    obs::metrics_registry::metric_id execute_nanos = 0;
+    obs::metrics_registry::metric_id ic_hits = 0;
+    obs::metrics_registry::metric_id ic_misses = 0;
+    obs::metrics_registry::metric_id stages_executed = 0;
+    obs::metrics_registry::metric_id out_cache_hit = 0;
+    obs::metrics_registry::metric_id out_cache_miss = 0;
+    obs::metrics_registry::metric_id out_peer_hit = 0;
+    obs::metrics_registry::metric_id out_origin = 0;
+    obs::metrics_registry::metric_id out_coalesced = 0;
+    obs::metrics_registry::metric_id out_throttled = 0;
+    obs::metrics_registry::metric_id out_terminated = 0;
+    obs::metrics_registry::metric_id out_failed = 0;
+    obs::metrics_registry::metric_id out_nkp = 0;
+  };
+  obs::metrics_registry metrics_;
+  telemetry_ids ids_;
+  obs::span_ring spans_;
+  // Per-site accumulators (requests, ICs, bounded Log.write ring): each
+  // worker updates its own slot, so workers never serialize against each
+  // other — only telemetry readers take the slot locks.
+  struct site_obs {
+    std::uint64_t requests = 0;
+    std::uint64_t ic_hits = 0;
+    std::uint64_t ic_misses = 0;
+    std::uint64_t terminated = 0;
+    std::uint64_t log_lines_total = 0;
+    std::uint64_t log_dropped = 0;
+    std::deque<std::string> log;  // bounded by config.site_log_capacity
+  };
+  obs::per_worker_keyed<site_obs> site_obs_;
+  // Span-sampling decimation counters, one per worker (see
+  // node_config::trace_sample_every). Slot-private single-writer state —
+  // only the owning worker ever touches its element — so plain integers.
+  struct alignas(64) trace_decim {
+    std::uint64_t n = 0;
+  };
+  std::vector<trace_decim> trace_decim_;
   // Slot 0 = sim/caller thread, slot w+1 = worker w.
   util::sharded_run_counters counters_;
   util::rng rng_;
@@ -308,6 +415,7 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
   std::condition_variable monitor_cv_;
   bool monitor_stop_ = false;
   std::chrono::steady_clock::time_point start_time_ = std::chrono::steady_clock::now();
+  double trace_epoch_ = obs::fast_clock::now_seconds();  // trace_now()'s zero point
 
   // Memory-pressure model: when script allocation churn exceeds the node's
   // memory capacity (possible only when per-context limits are disabled and

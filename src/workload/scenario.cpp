@@ -153,6 +153,9 @@ batch_metrics cluster_scenario::run_batch(const std::vector<request_ref>& reqs,
   std::atomic<std::size_t> busy{0};
   std::atomic<std::size_t> failed{0};
   std::atomic<std::size_t> bad_body{0};
+  // Shared across worker completion threads; relaxed-atomic buckets make
+  // concurrent records safe without a lock.
+  auto latency = std::make_shared<obs::latency_histogram>();
 
   double last_arrival = 0.0;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
@@ -170,8 +173,11 @@ batch_metrics cluster_scenario::run_batch(const std::vector<request_ref>& reqs,
     http::request r;
     r.url = http::url::parse(url);
     r.client_ip = "10.0.0.1";
-    target->handle(r, [&answered, &ok, &busy, &failed, &bad_body,
+    const auto submitted = std::chrono::steady_clock::now();
+    target->handle(r, [&answered, &ok, &busy, &failed, &bad_body, latency, submitted,
                        want = expected_body(ref.tenant, ref.object)](http::response resp) {
+      latency->record_seconds(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - submitted).count());
       if (resp.status == 200) {
         if (resp.body != nullptr && resp.body->str() == want) {
           ok.fetch_add(1, std::memory_order_relaxed);
@@ -202,6 +208,7 @@ batch_metrics cluster_scenario::run_batch(const std::vector<request_ref>& reqs,
   m.peer_misses = after.peer_misses - before.peer_misses;
   m.coalesced = after.coalesced - before.coalesced;
   m.origin_fetches = origin_->requests_served() - origin_before;
+  m.latency = obs::summarize(*latency);
   return m;
 }
 

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "proxy/deployment.hpp"
 #include "workload/arrivals.hpp"
 
@@ -74,6 +75,9 @@ struct batch_metrics {
   std::size_t peer_misses = 0;
   std::size_t coalesced = 0;
   std::uint64_t origin_fetches = 0;
+  // Wall-clock submit-to-completion latency per request (p50/p99/p999 etc.),
+  // measured at the caller — the number bench_cluster's latency rows report.
+  obs::histogram_summary latency;
 
   [[nodiscard]] double peer_hit_ratio() const {
     const std::size_t total = peer_hits + peer_misses;
