@@ -129,7 +129,7 @@ engine_measurement run_tree(const workload& w, int reps) {
   return m;
 }
 
-engine_measurement run_vm(const workload& w, int reps) {
+engine_measurement run_vm(const workload& w, int reps, std::size_t gc_watermark) {
   engine_measurement m;
   auto t0 = clock_type::now();
   const nakika::js::program_ptr prog = nakika::js::parse_program(w.source, w.name);
@@ -140,6 +140,7 @@ engine_measurement run_vm(const workload& w, int reps) {
 
   nakika::js::context_limits limits;
   limits.ops = 0;
+  limits.gc_watermark = gc_watermark;
   nakika::js::context ctx(limits);
   t0 = clock_type::now();
   for (int i = 0; i < reps; ++i) {
@@ -173,7 +174,7 @@ int main(int argc, char** argv) {
   double call_heavy_speedup = 0.0;
   for (const workload& w : workloads) {
     const engine_measurement tree = run_tree(w, reps);
-    const engine_measurement vm = run_vm(w, reps);
+    const engine_measurement vm = run_vm(w, reps, nakika::js::context_limits{}.gc_watermark);
     const double speedup =
         vm.per_run_seconds > 0 ? tree.per_run_seconds / vm.per_run_seconds : 0.0;
     nakika::bench::print_row(
@@ -204,6 +205,35 @@ int main(int argc, char** argv) {
     std::printf("FAIL: call_heavy VM throughput below the tree-walker (%.2fx)\n",
                 call_heavy_speedup);
     return 1;
+  }
+
+  // Cycle-collector overhead gate: call_heavy with the default watermark must
+  // keep >= 95% of the GC-off throughput. The safepoint check is two loads on
+  // the fuel path; anything worse than 5% here means the collector leaked
+  // work into the hot loop.
+  {
+    const workload* call_heavy = nullptr;
+    for (const workload& cand : workloads) {
+      if (std::strcmp(cand.name, "call_heavy") == 0) call_heavy = &cand;
+    }
+    const workload& w = *call_heavy;
+    const int gc_reps = smoke ? 4 : 20;
+    const engine_measurement gc_off = run_vm(w, gc_reps, /*gc_watermark=*/0);
+    const engine_measurement gc_on =
+        run_vm(w, gc_reps, nakika::js::context_limits{}.gc_watermark);
+    const double ratio =
+        gc_on.per_run_seconds > 0 ? gc_off.per_run_seconds / gc_on.per_run_seconds : 0.0;
+    std::printf("\ngc overhead (call_heavy): off=%s on=%s throughput=%.1f%% of GC-off\n",
+                nakika::bench::ms(gc_off.per_run_seconds, 2).c_str(),
+                nakika::bench::ms(gc_on.per_run_seconds, 2).c_str(), ratio * 100.0);
+    json.add("call_heavy", "gc_on_ms_per_run", gc_on.per_run_seconds * 1000.0);
+    json.add("call_heavy", "gc_off_ms_per_run", gc_off.per_run_seconds * 1000.0);
+    json.add("call_heavy", "gc_throughput_ratio", ratio);
+    if (gate && ratio < 0.95) {
+      std::printf("FAIL: GC-on call_heavy throughput below 95%% of GC-off (%.1f%%)\n",
+                  ratio * 100.0);
+      return 1;
+    }
   }
   if (!smoke && !loop_heavy_2x) {
     std::printf("WARN: VM speedup on loop_heavy below 2x target\n");

@@ -211,6 +211,12 @@ void pipeline_executor::finish(const std::shared_ptr<run>& r) {
   r->result.heap_bytes = r->sb->allocation_churn();
   r->result.ic_hits = r->sb->ic_hits();
   r->result.ic_misses = r->sb->ic_misses();
+  const js::gc_run_stats& gc = r->sb->gc_run_stats();
+  r->result.gc_collections = gc.collections;
+  r->result.gc_objects_collected = gc.objects_collected;
+  r->result.gc_bytes_reclaimed = gc.bytes_reclaimed;
+  r->result.gc_seconds = gc.seconds;
+  r->result.gc_pauses = gc.pauses;
   r->result.bytes_read = r->exec.bytes_read;
   r->result.bytes_written = r->exec.bytes_written;
   r->result.virtual_delay_seconds += r->exec.accumulated_delay;

@@ -75,6 +75,14 @@ struct pipeline_result {
   int stages_executed = 0;
   int handlers_run = 0;
   std::vector<std::string> log_lines;
+  // Cycle-collector work this run triggered (watermark collections inside
+  // handlers). Billed to the owning site as CPU by account_pipeline; pause
+  // samples feed the gc latency histogram.
+  std::uint64_t gc_collections = 0;
+  std::uint64_t gc_objects_collected = 0;
+  std::uint64_t gc_bytes_reclaimed = 0;
+  double gc_seconds = 0.0;
+  std::vector<double> gc_pauses;
 };
 
 class pipeline_executor {

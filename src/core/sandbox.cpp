@@ -138,6 +138,17 @@ void sandbox::begin_run() { ctx_->reset_for_reuse(); }
 
 void sandbox::trim_vm_arena() { ctx_->vm_frames().trim(4); }
 
+js::gc_cycle_result sandbox::reclaim() {
+  js::gc_cycle_result r;
+  if (ctx_->gc().dirty()) r = ctx_->gc().collect();
+  // The matcher context allocates far less (predicate evaluation), but it is
+  // just as pooled — keep it trimmed too. Its time is engine-internal and
+  // unbilled, like the matching work itself.
+  if (matcher_ctx_ != nullptr && matcher_ctx_->gc().dirty()) matcher_ctx_->gc().collect();
+  ctx_->vm_frames().shrink(4);
+  return r;
+}
+
 // ----- sandbox_pool ------------------------------------------------------------
 
 sandbox* sandbox_pool::acquire(const std::string& site, const js::context_limits& limits,
@@ -163,8 +174,10 @@ void sandbox_pool::release(const std::string& site, sandbox* sb, bool poisoned) 
   // A kill that raced in after the pipeline deregistered targeted the
   // finished run; rearm so the next pipeline doesn't inherit it.
   owned->clear_kill();
-  // Keep a small warm set of VM frames, drop deep-recursion capacity.
-  owned->trim_vm_arena();
+  // Reclaim on return-to-pool: collect the request's cyclic garbage and
+  // shrink the frame arena, so idle pooled sandboxes hold only their live
+  // set. A no-op when the node already reclaimed (to bill the GC time).
+  owned->reclaim();
   pools_[site].push_back(std::move(owned));
 }
 

@@ -85,8 +85,16 @@ class sandbox {
   void begin_run();
   [[nodiscard]] std::uint64_t ops_used() const { return ctx_->ops_used(); }
   [[nodiscard]] std::size_t heap_used() const { return ctx_->heap_used(); }
+  // Allocation pressure this run, the memory figure the resource manager
+  // bills. Bytes the cycle collector reclaimed mid-run are added back: the
+  // tenant allocated them either way, and billing must be byte-identical
+  // with the collector on or off (workers=0 determinism digest).
   [[nodiscard]] std::size_t allocation_churn() const {
-    return ctx_->heap_used() + ctx_->transient_used();
+    return ctx_->heap_used() + ctx_->transient_used() + ctx_->gc_reclaimed_run();
+  }
+  // Cycle-collector activity of the current run (reset by begin_run).
+  [[nodiscard]] const js::gc_run_stats& gc_run_stats() const {
+    return ctx_->gc().run_stats();
   }
   // Inline-cache effectiveness of the current run (reset by begin_run).
   [[nodiscard]] std::uint64_t ic_hits() const { return ctx_->ic_hits(); }
@@ -96,6 +104,13 @@ class sandbox {
   // this when the sandbox returns to the pool so idle sandboxes don't retain
   // deep-recursion stack capacity.
   void trim_vm_arena();
+
+  // Pool-return reclamation: runs a full cycle-collection over the script
+  // heap (so an idle pooled sandbox holds only its live set, not the cyclic
+  // garbage of the last request) and shrinks the VM frame arena. Cheap when
+  // nothing was allocated since the last cycle. Returns what the collection
+  // freed so the caller can bill the GC time to the owning site.
+  js::gc_cycle_result reclaim();
 
   // Termination hook for the resource manager (checked at op boundaries,
   // so it also stops native vocabulary loops between charges).

@@ -58,6 +58,20 @@ class frame_arena {
     if (depth_ == 0 && frames_.size() > keep) frames_.resize(keep);
   }
 
+  // Pool-return variant: trim AND release the retained frames' vector
+  // capacity, so an idle pooled sandbox shrinks to its live set instead of
+  // sitting on the high-water stack/slot capacity of its busiest request.
+  void shrink(std::size_t keep) {
+    trim(keep);
+    if (depth_ != 0) return;
+    for (const auto& f : frames_) {
+      f->stack.shrink_to_fit();
+      f->slots.shrink_to_fit();
+      f->cells.shrink_to_fit();
+      f->handlers.shrink_to_fit();
+    }
+  }
+
   [[nodiscard]] std::size_t depth() const { return depth_; }
   [[nodiscard]] std::size_t pooled() const { return frames_.size(); }
 

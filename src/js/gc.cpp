@@ -1,0 +1,308 @@
+#include "js/gc.hpp"
+
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "js/interpreter.hpp"
+
+namespace nakika::js {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+// Bound on retained per-run pause samples; overflow folds into `seconds` only.
+constexpr std::size_t max_pauses = 64;
+}  // namespace
+
+std::size_t gc_heap::watermark() const { return ctx_.limits().gc_watermark; }
+std::size_t gc_heap::slice_budget() const {
+  const std::size_t s = ctx_.limits().gc_slice;
+  return s == 0 ? 512 : s;
+}
+
+void gc_heap::track_env_chain(const env_ptr& closure) {
+  // Stop at the global scope (backed by the global object, never torn down)
+  // and at environments already in the registry — their parents are too.
+  for (environment* e = closure.get();
+       e != nullptr && e->backing_ == nullptr && !e->gc_tracked_; e = e->parent_.get()) {
+    e->gc_tracked_ = true;
+    envs_.push_back(e->weak_from_this());
+  }
+}
+
+void gc_heap::note_allocation() {
+  ++allocs_since_cycle_;
+  const std::size_t mark = watermark();
+  if (mark != 0 && allocs_since_cycle_ >= mark) pending_ = true;
+}
+
+void gc_heap::note_pause(double seconds) {
+  run_.seconds += seconds;
+  if (run_.pauses.size() < max_pauses) run_.pauses.push_back(seconds);
+}
+
+void gc_heap::safepoint() {
+  if (!pending_) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!compacting_) {
+    compacting_ = true;
+    scan_ = 0;
+    keep_ = 0;
+  }
+  // Compaction slice: drop registry entries whose node already died by plain
+  // reference counting. Bounded work per safepoint; the scan picks up where
+  // it left off (entries appended mid-scan are reached before it finishes,
+  // since it runs to the live end of the vector).
+  std::size_t budget = slice_budget();
+  while (scan_ < objects_.size() && budget != 0) {
+    if (!objects_[scan_].expired()) {
+      if (keep_ != scan_) objects_[keep_] = std::move(objects_[scan_]);
+      ++keep_;
+    }
+    ++scan_;
+    --budget;
+  }
+  if (scan_ < objects_.size()) {
+    note_pause(seconds_since(t0));
+    return;  // more slices to come; the kill flag is rechecked before each
+  }
+  objects_.resize(keep_);
+  compacting_ = false;
+  collect_cycle();
+  note_pause(seconds_since(t0));
+}
+
+gc_cycle_result gc_heap::collect() {
+  // Abandon any half-finished scan; collect_cycle compacts everything anyway.
+  compacting_ = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  const gc_cycle_result r = collect_cycle();
+  note_pause(seconds_since(t0));
+  return r;
+}
+
+gc_cycle_result gc_heap::collect_cycle() {
+  const auto t0 = std::chrono::steady_clock::now();
+  gc_cycle_result out;
+  const std::size_t heap_before = *ctx_.heap_used_;
+
+  // --- pin: lock every registry entry; expired ones compact away ----------
+  std::vector<object_ptr> objs;
+  objs.reserve(objects_.size());
+  for (const auto& w : objects_) {
+    if (object_ptr o = w.lock()) objs.push_back(std::move(o));
+  }
+  std::vector<env_ptr> envs;
+  envs.reserve(envs_.size());
+  for (const auto& w : envs_) {
+    if (env_ptr e = w.lock()) envs.push_back(std::move(e));
+  }
+  // Cells may be registered more than once (re-captured by nested closures);
+  // dedup by address now, while the pins keep every address stable.
+  std::vector<std::shared_ptr<value>> cells;
+  cells.reserve(cells_.size());
+  {
+    std::unordered_set<const value*> seen;
+    for (const auto& w : cells_) {
+      if (std::shared_ptr<value> c = w.lock()) {
+        if (seen.insert(c.get()).second) cells.push_back(std::move(c));
+      }
+    }
+  }
+
+  // --- candidate index: objects, then envs, then cells ---------------------
+  const std::size_t n_obj = objs.size();
+  const std::size_t n_env = envs.size();
+  const std::size_t n = n_obj + n_env + cells.size();
+  std::unordered_map<const object*, std::uint32_t> oi(n_obj * 2 + 1);
+  std::unordered_map<const environment*, std::uint32_t> ei(n_env * 2 + 1);
+  std::unordered_map<const value*, std::uint32_t> ci(cells.size() * 2 + 1);
+  for (std::size_t i = 0; i < n_obj; ++i) oi.emplace(objs[i].get(), static_cast<std::uint32_t>(i));
+  for (std::size_t i = 0; i < n_env; ++i) {
+    ei.emplace(envs[i].get(), static_cast<std::uint32_t>(n_obj + i));
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ci.emplace(cells[i].get(), static_cast<std::uint32_t>(n_obj + n_env + i));
+  }
+
+  // Edge visitor: `fn(candidate_index)` for every candidate→candidate edge of
+  // node `idx`, enumerating each owning shared_ptr exactly once (the edge
+  // count below relies on that 1:1 correspondence). Moved-from VM stack slots
+  // can leave null object_ptrs inside values — null-checked throughout.
+  const auto visit_value = [&](const value& v, auto&& fn) {
+    if (!v.is_object()) return;
+    const object_ptr& o = v.as_object();
+    if (o == nullptr) return;
+    if (const auto it = oi.find(o.get()); it != oi.end()) fn(it->second);
+  };
+  const auto visit_edges = [&](std::size_t idx, auto&& fn) {
+    if (idx < n_obj) {
+      const object& o = *objs[idx];
+      if (o.proto != nullptr) {
+        if (const auto it = oi.find(o.proto.get()); it != oi.end()) fn(it->second);
+      }
+      for (const object::property& p : o.props) visit_value(p.val, fn);
+      for (const value& v : o.elements) visit_value(v, fn);
+      if (o.closure != nullptr) {
+        if (const auto it = ei.find(o.closure.get()); it != ei.end()) fn(it->second);
+      }
+      for (const std::shared_ptr<value>& c : o.captures) {
+        if (c == nullptr) continue;
+        if (const auto it = ci.find(c.get()); it != ci.end()) fn(it->second);
+      }
+      // o.native (a std::function) is deliberately not traversed: anything it
+      // captures merely looks externally referenced, which only keeps nodes.
+    } else if (idx < n_obj + n_env) {
+      const environment& e = *envs[idx - n_obj];
+      if (e.parent_ != nullptr) {
+        if (const auto it = ei.find(e.parent_.get()); it != ei.end()) fn(it->second);
+      }
+      for (const auto& slot : e.slots_) visit_value(slot.second, fn);
+    } else {
+      visit_value(*cells[idx - n_obj - n_env], fn);
+    }
+  };
+
+  // --- trial deletion: subtract internal edges, then the remaining count is
+  // external by construction ------------------------------------------------
+  std::vector<std::uint32_t> internal(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    visit_edges(i, [&](std::uint32_t t) { ++internal[t]; });
+  }
+  std::vector<char> marked(n, 0);
+  std::vector<std::uint32_t> work;
+  const auto use_count = [&](std::size_t i) -> long {
+    if (i < n_obj) return objs[i].use_count();
+    if (i < n_obj + n_env) return envs[i - n_obj].use_count();
+    return cells[i - n_obj - n_env].use_count();
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    // One reference is our pin; internal edges can never exceed the rest
+    // (every edge is a live shared_ptr), so this cannot go negative.
+    if (use_count(i) - 1 - static_cast<long>(internal[i]) > 0) {
+      marked[i] = 1;
+      work.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  while (!work.empty()) {
+    const std::uint32_t i = work.back();
+    work.pop_back();
+    visit_edges(i, [&](std::uint32_t t) {
+      if (marked[t] == 0) {
+        marked[t] = 1;
+        work.push_back(t);
+      }
+    });
+  }
+
+  // --- sweep: sever every edge of every unmarked node. The pins keep the
+  // nodes alive until they drop below, so severance order is free; reference
+  // counting then cascades the frees. ---------------------------------------
+  std::unordered_set<std::uint64_t> swept_ids;
+  for (std::size_t i = 0; i < n_obj; ++i) {
+    if (marked[i] != 0) continue;
+    object& o = *objs[i];
+    swept_ids.insert(o.id);
+    o.props.clear();
+    o.elements.clear();
+    o.proto.reset();
+    o.closure.reset();
+    o.captures.clear();
+    o.owner.reset();
+    o.code.reset();
+    ++out.objects_collected;
+  }
+  for (std::size_t i = 0; i < n_env; ++i) {
+    if (marked[n_obj + i] != 0) continue;
+    environment& e = *envs[i];
+    e.slots_.clear();
+    e.parent_.reset();
+    ++out.envs_collected;
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (marked[n_obj + n_env + i] != 0) continue;
+    *cells[i] = value::undefined();
+    ++out.cells_collected;
+  }
+
+  // Swept ids can never be probed again (ids are process-unique), but a
+  // stale entry would pin nothing while still occupying the slot; clearing
+  // now keeps the satellite guarantee that a swept object's IC slot misses.
+  if (!swept_ids.empty()) {
+    for (auto& [chunk, block] : ctx_.ic_tables_) {
+      (void)chunk;
+      for (ic_entry& slot : block.slots) {
+        if (slot.obj_id != 0 && swept_ids.count(slot.obj_id) != 0) {
+          slot = ic_entry{};
+          ++out.ic_entries_cleared;
+        }
+      }
+    }
+  }
+
+  // --- rebuild registries from survivors (deterministic compaction) -------
+  objects_.clear();
+  envs_.clear();
+  cells_.clear();
+  for (std::size_t i = 0; i < n_obj; ++i) {
+    if (marked[i] != 0) objects_.push_back(objs[i]);
+  }
+  for (std::size_t i = 0; i < n_env; ++i) {
+    if (marked[n_obj + i] != 0) envs_.push_back(envs[i]);
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (marked[n_obj + n_env + i] != 0) cells_.push_back(cells[i]);
+  }
+
+  // Drop the pins: severed garbage frees here, releasing its heap charges.
+  objs.clear();
+  envs.clear();
+  cells.clear();
+  const std::size_t heap_after = *ctx_.heap_used_;
+  out.bytes_reclaimed = heap_before > heap_after ? heap_before - heap_after : 0;
+
+  allocs_since_cycle_ = 0;
+  pending_ = false;
+  ++collections_total_;
+  out.seconds = seconds_since(t0);
+
+  run_.collections += 1;
+  run_.objects_collected += out.objects_collected;
+  run_.bytes_reclaimed += out.bytes_reclaimed;
+  run_.ic_entries_cleared += out.ic_entries_cleared;
+  // Billing compensation: the tenant allocated these bytes this run even
+  // though the collector freed them; allocation_churn adds them back so a
+  // run bills identically with the collector on or off.
+  ctx_.gc_reclaimed_run_ += out.bytes_reclaimed;
+  return out;
+}
+
+void gc_heap::sever_all() {
+  for (const auto& w : objects_) {
+    if (const object_ptr o = w.lock()) {
+      o->props.clear();
+      o->elements.clear();
+      o->proto.reset();
+      o->closure.reset();
+      o->captures.clear();
+      o->owner.reset();
+      o->code.reset();
+    }
+  }
+  for (const auto& w : envs_) {
+    if (const env_ptr e = w.lock()) {
+      e->slots_.clear();
+      e->parent_.reset();
+    }
+  }
+  for (const auto& w : cells_) {
+    if (const std::shared_ptr<value> c = w.lock()) *c = value::undefined();
+  }
+  objects_.clear();
+  envs_.clear();
+  cells_.clear();
+}
+
+}  // namespace nakika::js

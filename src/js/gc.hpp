@@ -1,0 +1,141 @@
+// Cycle collector for the script heap. The object graph is shared_ptr-
+// managed, so acyclic garbage dies by reference counting the moment the last
+// owner drops it; what leaks are reference cycles — object↔object property
+// loops, escaped closures whose environment slots point back at them, and
+// VM capture cells holding the function that captured them. Those used to
+// survive until context teardown (ROADMAP open item 4), which is fatal for
+// pooled sandboxes that live for millions of requests.
+//
+// The collector is a trial-deletion ("Python gc") mark-sweep over the set of
+// *tracked* heap nodes: every script-visible object (context::make_*), every
+// environment that became a function's closure, and every capture cell. For
+// each candidate it computes
+//
+//     external_refs = use_count() - 1 (the collector's own pin)
+//                   - (candidate→candidate edges found by traversal)
+//
+// Candidates with external_refs > 0 are referenced from outside the tracked
+// graph — context globals, live frame-arena slots, host bindings, policy
+// registries, C++ locals — and become mark roots; marks propagate through
+// candidate edges; whatever stays unmarked is cyclic garbage. Its outgoing
+// edges are severed (properties, elements, prototype, closure, captures,
+// cell payloads) and plain reference counting cascades the actual frees.
+// Roots therefore never need enumerating and mutators need no write barrier:
+// any reference the traversal cannot see merely *overcounts* external refs,
+// which keeps an object alive — always safe. The count+mark+sweep runs as
+// one atomic step on the context's own thread (contexts are single-threaded
+// by design), so edges cannot move between counting and marking.
+//
+// Incrementality: the registry scan that precedes a cycle (dropping weak_ptr
+// entries whose node already died by refcounting) runs in bounded slices at
+// the interpreter/VM fuel-check safepoints, after the kill flag has been
+// checked — a collection never delays a termination. The final
+// count+mark+sweep is bounded by the *live* candidate set, not by total
+// allocation volume.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "js/value.hpp"
+
+namespace nakika::js {
+
+class context;
+class environment;
+
+// Result of one full collection cycle (for billing and telemetry).
+struct gc_cycle_result {
+  std::uint64_t objects_collected = 0;  // object nodes severed
+  std::uint64_t envs_collected = 0;     // closure environments severed
+  std::uint64_t cells_collected = 0;    // capture cells cleared
+  std::uint64_t bytes_reclaimed = 0;    // live-heap delta across the cycle
+  std::uint64_t ic_entries_cleared = 0; // inline-cache entries for swept ids
+  double seconds = 0.0;                 // wall time of the atomic phase
+};
+
+// Per-run accumulation, reset by context::reset_for_reuse (i.e. per pipeline
+// execution) so GC time can be billed to the tenant whose run triggered it.
+struct gc_run_stats {
+  std::uint64_t collections = 0;
+  std::uint64_t objects_collected = 0;
+  std::uint64_t bytes_reclaimed = 0;
+  std::uint64_t ic_entries_cleared = 0;
+  double seconds = 0.0;
+  // Individual pause durations (slices + atomic phases), bounded; feeds the
+  // node's gc_pause latency histogram.
+  std::vector<double> pauses;
+};
+
+class gc_heap {
+ public:
+  explicit gc_heap(context& ctx) : ctx_(ctx) {}
+  gc_heap(const gc_heap&) = delete;
+  gc_heap& operator=(const gc_heap&) = delete;
+
+  // --- tracking (called from context::make_* at allocation time) ---------
+  void track(const object_ptr& o) { objects_.push_back(o); }
+  // Marks every environment on `closure`'s parent chain as a candidate (the
+  // chain stops at the global scope and at already-tracked environments).
+  void track_env_chain(const env_ptr& closure);
+  void track_cell(const std::shared_ptr<value>& cell) { cells_.push_back(cell); }
+  // Bumps the allocation counter and arms the collector once the watermark
+  // (context_limits::gc_watermark; 0 disables) is crossed.
+  void note_allocation();
+
+  // --- safepoints ---------------------------------------------------------
+  [[nodiscard]] bool pending() const { return pending_; }
+  // One bounded increment: a registry-compaction slice while the scan is in
+  // progress, the atomic count+mark+sweep once it completes. Call only after
+  // the kill flag has been checked.
+  void safepoint();
+  // Runs a whole cycle now (pool return, teardown prep, tests).
+  gc_cycle_result collect();
+  // Anything allocated since the last completed cycle?
+  [[nodiscard]] bool dirty() const { return pending_ || allocs_since_cycle_ != 0; }
+
+  // Severs every edge of every tracked node unconditionally. Called from
+  // ~context so cycles that survive the last cycle (or were never collected
+  // because the watermark is off) free when the context's owners drop.
+  void sever_all();
+
+  // --- accounting ----------------------------------------------------------
+  [[nodiscard]] const gc_run_stats& run_stats() const { return run_; }
+  void begin_run() {
+    run_ = gc_run_stats{};
+  }
+  [[nodiscard]] std::uint64_t collections_total() const { return collections_total_; }
+  // Tracked-registry footprint (objects + envs + cells entries, live or not);
+  // tests assert it stays O(live) across create/drop churn.
+  [[nodiscard]] std::size_t registry_size() const {
+    return objects_.size() + envs_.size() + cells_.size();
+  }
+
+ private:
+  [[nodiscard]] std::size_t watermark() const;
+  [[nodiscard]] std::size_t slice_budget() const;
+  gc_cycle_result collect_cycle();
+  void note_pause(double seconds);
+
+  context& ctx_;
+  std::vector<std::weak_ptr<object>> objects_;
+  std::vector<std::weak_ptr<environment>> envs_;
+  // Capture cells; one closure's cell may be captured again by later
+  // closures, so entries can repeat — deduplicated at collection time (an
+  // address set at track time would be unsound under allocator reuse).
+  std::vector<std::weak_ptr<value>> cells_;
+
+  std::size_t allocs_since_cycle_ = 0;
+  bool pending_ = false;
+  // Incremental registry-compaction scan state (valid while compacting_).
+  bool compacting_ = false;
+  std::size_t scan_ = 0;
+  std::size_t keep_ = 0;
+
+  gc_run_stats run_;
+  std::uint64_t collections_total_ = 0;
+};
+
+}  // namespace nakika::js

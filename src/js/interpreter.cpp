@@ -86,26 +86,13 @@ context::context(context_limits limits, bare_t) : limits_(limits) {
 }
 
 context::~context() {
-  // A function surviving to context teardown is either cached by the host
-  // (already being torn down with us) or trapped in a reference cycle an
-  // escaped closure formed. Nothing can execute in this context anymore, so
-  // severing the cycle-forming edges — the tree-walker's environment link and
-  // the VM's capture cells — unwinds every such group.
-  for (const auto& w : fn_registry_) {
-    if (const object_ptr f = w.lock()) {
-      f->closure.reset();
-      f->captures.clear();
-    }
-  }
-}
-
-void context::register_function(const object_ptr& fn) {
-  if (fn_registry_.size() >= fn_registry_prune_at_) {
-    std::erase_if(fn_registry_,
-                  [](const std::weak_ptr<object>& w) { return w.expired(); });
-    fn_registry_prune_at_ = std::max<std::size_t>(64, fn_registry_.size() * 2);
-  }
-  fn_registry_.push_back(fn);
+  // A node surviving to context teardown is either cached by the host
+  // (already being torn down with us) or trapped in a reference cycle the
+  // watermark collector never ran on (or was configured off for). Nothing
+  // can execute in this context anymore, so the collector severs every edge
+  // of every tracked node — object properties/elements/prototypes, closure
+  // environments, capture cells — and reference counting unwinds the rest.
+  gc_.sever_all();
 }
 
 namespace {
@@ -119,6 +106,8 @@ object_ptr context::make_object() {
   if (limits_.heap_bytes != 0 && *heap_used_ > limits_.heap_bytes) {
     throw script_error(script_error_kind::out_of_memory, "script heap limit exceeded");
   }
+  gc_.track(o);
+  gc_.note_allocation();
   return o;
 }
 
@@ -129,6 +118,8 @@ object_ptr context::make_array() {
   if (limits_.heap_bytes != 0 && *heap_used_ > limits_.heap_bytes) {
     throw script_error(script_error_kind::out_of_memory, "script heap limit exceeded");
   }
+  gc_.track(o);
+  gc_.note_allocation();
   return o;
 }
 
@@ -139,6 +130,8 @@ object_ptr context::make_byte_array() {
   if (limits_.heap_bytes != 0 && *heap_used_ > limits_.heap_bytes) {
     throw script_error(script_error_kind::out_of_memory, "script heap limit exceeded");
   }
+  gc_.track(o);
+  gc_.note_allocation();
   return o;
 }
 
@@ -150,9 +143,16 @@ object_ptr context::make_function(const function_lit* fn, program_ptr owner, env
   o->closure = std::move(closure);
   o->name = fn->name;
   // Script functions can serve as constructors; give them a prototype object.
-  o->set("prototype", value::object(make_plain_object()));
+  // Tracked too: `f.prototype.constructor = f` is a classic two-node cycle.
+  auto proto_obj = make_plain_object();
+  gc_.track(proto_obj);
+  o->set("prototype", value::object(std::move(proto_obj)));
   o->charge = heap_charge(heap_used_, object_overhead);
-  register_function(o);
+  // The closure chain only becomes cycle-capable once a function points into
+  // it, so environments are registered lazily here rather than per scope.
+  gc_.track_env_chain(o->closure);
+  gc_.track(o);
+  gc_.note_allocation();
   return o;
 }
 
@@ -163,9 +163,17 @@ object_ptr context::make_compiled_function(std::shared_ptr<const compiled_fn> co
   o->code = std::move(code);
   o->captures = std::move(captures);
   o->name = o->code->name;
-  o->set("prototype", value::object(make_plain_object()));
+  auto proto_obj = make_plain_object();
+  gc_.track(proto_obj);
+  o->set("prototype", value::object(std::move(proto_obj)));
   o->charge = heap_charge(heap_used_, object_overhead);
-  register_function(o);
+  // Capture cells are the VM's cycle edge (a cell holding the function that
+  // captured it); registered per capture, deduplicated at collection time.
+  for (const std::shared_ptr<value>& cell : o->captures) {
+    if (cell != nullptr) gc_.track_cell(cell);
+  }
+  gc_.track(o);
+  gc_.note_allocation();
   return o;
 }
 
@@ -199,6 +207,10 @@ void context::count_op(int line) {
       throw script_error(script_error_kind::ops_budget, "script operation budget exceeded",
                          line);
     }
+    // GC safepoint, strictly after the kill check so a collection slice can
+    // never delay a termination. Interpreter locals hold strong references,
+    // so any value mid-evaluation is externally referenced and kept.
+    if (gc_.pending()) gc_.safepoint();
   }
 }
 
@@ -210,6 +222,9 @@ void context::add_ops(std::uint64_t n, int line) {
   if (limits_.ops != 0 && ops_used_ > limits_.ops) {
     throw script_error(script_error_kind::ops_budget, "script operation budget exceeded", line);
   }
+  // VM fuel-flush safepoint (loop back-edges, call boundaries, throws):
+  // kill flag first, then at most one bounded collection increment.
+  if (gc_.pending()) gc_.safepoint();
 }
 
 void context::reset_for_reuse() {
@@ -217,6 +232,8 @@ void context::reset_for_reuse() {
   transient_run_ = 0;
   ic_hits_ = 0;
   ic_misses_ = 0;
+  gc_reclaimed_run_ = 0;
+  gc_.begin_run();
   // Bound the IC side tables: drop entries whose pinned chunk has no other
   // owner (its script was republished / evicted — it can never execute here
   // again). Only safe between runs: no VM frame or machine memo can hold a

@@ -17,6 +17,7 @@
 #include "js/bytecode.hpp"
 #include "js/errors.hpp"
 #include "js/frame_arena.hpp"
+#include "js/gc.hpp"
 #include "js/value.hpp"
 #include "util/random.hpp"
 
@@ -61,9 +62,14 @@ class environment : public std::enable_shared_from_this<environment> {
   void break_dead_closure_cycles(std::size_t live_refs);
 
  private:
+  // The cycle collector traverses slots_/parent_ and severs them on sweep;
+  // gc_tracked_ marks environments already in its candidate registry (set
+  // once when a function first closes over this scope, never cleared).
+  friend class gc_heap;
   env_ptr parent_;
   object* backing_;  // non-owning; the context outlives its environments
   std::vector<std::pair<std::string, value>> slots_;
+  bool gc_tracked_ = false;
 };
 
 struct context_limits {
@@ -74,6 +80,13 @@ struct context_limits {
   std::uint64_t ops = 200'000'000;
   // C++ recursion depth for script calls.
   std::size_t call_depth = 200;
+  // --- cycle collector (src/js/gc.hpp) ---
+  // Heap-growth watermark: script allocations between collection cycles
+  // before the collector arms. 0 disables cycle collection entirely (cycles
+  // then persist until context teardown, the pre-GC behavior).
+  std::size_t gc_watermark = 4096;
+  // Registry entries scanned per incremental safepoint slice.
+  std::size_t gc_slice = 512;
 };
 
 // One sandboxed scripting context. Creation is deliberately non-trivial
@@ -134,6 +147,17 @@ class context {
   // and the frame arena deliberately survive: they ARE the reuse win.
   void reset_for_reuse();
 
+  // --- cycle collector -----------------------------------------------------
+  // Trial-deletion mark-sweep over tracked objects / closure environments /
+  // capture cells (see js/gc.hpp). Armed by the allocation watermark, stepped
+  // at the same safepoints that check the kill flag.
+  [[nodiscard]] gc_heap& gc() { return gc_; }
+  [[nodiscard]] const gc_heap& gc() const { return gc_; }
+  // Heap bytes the collector reclaimed this run. allocation-churn billing
+  // adds these back so a tenant's billed memory is identical with the
+  // collector on or off (and the workers=0 determinism digest stays fixed).
+  [[nodiscard]] std::size_t gc_reclaimed_run() const { return gc_reclaimed_run_; }
+
   // --- VM hot-path state -------------------------------------------------------
   // Pooled call frames (see frame_arena.hpp).
   [[nodiscard]] frame_arena& vm_frames() { return vm_frames_; }
@@ -172,13 +196,9 @@ class context {
   std::size_t call_depth = 0;
 
  private:
-  // Weak registry of every script function object this context created. The
-  // destructor severs the two reference-cycle edges closures can form —
-  // tree-walker `closure` (env slot -> function -> closure -> env) and VM
-  // `captures` (self-capturing cell -> value -> function -> cell) — so
-  // escaped-closure cycles are reclaimed no later than context teardown.
-  // Compacted geometrically: amortized O(1) per function creation.
-  void register_function(const object_ptr& fn);
+  // The collector reads heap_used_ for reclaim accounting, sweeps the IC
+  // side tables for swept object ids, and credits gc_reclaimed_run_.
+  friend class gc_heap;
 
   struct ic_block {
     std::shared_ptr<const compiled_fn> pin;  // keeps the keyed chunk alive
@@ -192,8 +212,11 @@ class context {
   std::unordered_map<const compiled_fn*, ic_block> ic_tables_;
   std::uint64_t ic_hits_ = 0;
   std::uint64_t ic_misses_ = 0;
-  std::vector<std::weak_ptr<object>> fn_registry_;
-  std::size_t fn_registry_prune_at_ = 64;
+  // The collector's candidate registry replaced the old fn_registry_: it
+  // tracks every script-visible allocation (not just functions), compacts
+  // deterministically on each cycle, and drives teardown severance.
+  gc_heap gc_{*this};
+  std::size_t gc_reclaimed_run_ = 0;
   std::shared_ptr<std::size_t> heap_used_ = std::make_shared<std::size_t>(0);
   std::size_t transient_run_ = 0;
   std::uint64_t ops_used_ = 0;

@@ -139,6 +139,12 @@ struct heap_charge {
   }
 };
 
+// GC contract (js/gc.hpp): the cycle collector traverses exactly these owning
+// edges — `proto`, `props[i].val`, `elements[i]`, `closure`, `captures[i]` —
+// and severs them when an object is swept. Adding a new field that OWNS other
+// script objects without teaching gc_heap::visit_edges about it is safe but
+// leaky (the referenced objects merely look externally referenced and are
+// kept); counting any edge twice there would be unsound.
 class object : public std::enable_shared_from_this<object> {
  public:
   explicit object(object_kind k);

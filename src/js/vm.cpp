@@ -211,7 +211,11 @@ value machine::invoke(const compiled_fn_ptr& fnp,
   std::size_t ip = 0;
 
   // Per-site inline caches for this chunk, owned by the context (the chunk is
-  // immutable and may be shared across sandboxes/threads).
+  // immutable and may be shared across sandboxes/threads). This raw pointer
+  // is held across GC safepoints: the cycle collector may ZERO entries in
+  // place (swept object ids, at add_ops safepoints) but must never erase an
+  // ic_block or resize its slots while a frame is live — only
+  // reset_for_reuse, which runs strictly between pipeline runs, may do that.
   if (fnp.get() != memo_fn_) {
     memo_ics_ = ctx_.ic_slots(fnp);
     memo_fn_ = fnp.get();

@@ -98,7 +98,9 @@ std::string to_json(const telemetry_snapshot& snap) {
        << ",\"quota_rejections\":" << t.quota_rejections
        << ",\"cache_bytes\":" << t.cache_bytes << ",\"cache_quota\":" << t.cache_quota
        << ",\"weight\":" << json_number(t.weight)
-       << ",\"cpu_share\":" << json_number(t.cpu_share) << "}";
+       << ",\"cpu_share\":" << json_number(t.cpu_share)
+       << ",\"gc_seconds\":" << json_number(t.gc_seconds)
+       << ",\"gc_collections\":" << t.gc_collections << "}";
   }
   os << "},";
 
@@ -142,6 +144,9 @@ std::string stats_report(const telemetry_snapshot& snap) {
       if (t.log_dropped != 0) os << " log_dropped=" << t.log_dropped;
       if (t.weight != 0.0) os << " weight=" << json_number(t.weight);
       if (t.cpu_share != 0.0) os << " cpu_share=" << json_number(t.cpu_share);
+      if (t.gc_collections != 0) {
+        os << " gc=" << t.gc_collections << "x/" << json_number(t.gc_seconds * 1e3) << "ms";
+      }
       os << "\n";
     }
   }

@@ -33,6 +33,11 @@ struct tenant_stats {
   std::uint64_t cache_quota = 0;   // 0 = unlimited
   double weight = 0.0;             // configured congestion share weight
   double cpu_share = 0.0;          // observed share of total contribution
+  // Cycle-collector time this tenant's scripts caused (watermark collections
+  // inside its runs + reclaim when its sandboxes return to the pool). Billed
+  // to the tenant through the resource manager as CPU.
+  double gc_seconds = 0.0;
+  std::uint64_t gc_collections = 0;
 };
 
 struct telemetry_snapshot {

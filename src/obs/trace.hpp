@@ -82,8 +82,9 @@ enum class stage : std::uint8_t {
   peer_fetch,      // DHT probe + peer transfer
   origin_fetch,    // fallthrough to the origin server
   nkp_render,      // Na Kika pipeline-composition rendering
+  gc,              // script-heap cycle collection (watermark + pool-return)
 };
-inline constexpr std::size_t stage_count = 9;
+inline constexpr std::size_t stage_count = 10;
 
 [[nodiscard]] inline const char* to_string(stage s) {
   switch (s) {
@@ -96,6 +97,7 @@ inline constexpr std::size_t stage_count = 9;
     case stage::peer_fetch: return "peer_fetch";
     case stage::origin_fetch: return "origin_fetch";
     case stage::nkp_render: return "nkp_render";
+    case stage::gc: return "gc";
   }
   return "unknown";
 }

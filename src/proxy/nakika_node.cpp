@@ -129,6 +129,10 @@ void nakika_node::register_metrics() {
   ids_.out_terminated = metrics_.counter("outcome.terminated");
   ids_.out_failed = metrics_.counter("outcome.failed");
   ids_.out_nkp = metrics_.counter("outcome.nkp_render");
+  ids_.gc_collections = metrics_.counter("gc.collections");
+  ids_.gc_objects = metrics_.counter("gc.objects_collected");
+  ids_.gc_bytes = metrics_.counter("gc.bytes_reclaimed");
+  ids_.gc_pause = metrics_.histogram("gc_pause");
 }
 
 std::vector<std::string> nakika_node::site_log(const std::string& site) const {
@@ -182,9 +186,39 @@ core::sandbox* nakika_node::acquire_sandbox(const std::string& site, double& cpu
   return sb;
 }
 
-void nakika_node::release_sandbox(const std::string& site, core::sandbox* sb,
-                                  bool poisoned) {
+js::gc_cycle_result nakika_node::release_sandbox(const std::string& site,
+                                                 core::sandbox* sb, bool poisoned) {
+  const js::gc_cycle_result gc =
+      reclaim_sandbox(site, sb, poisoned, /*slot=*/0, config_.resource_controls);
   sandbox_pool_.release(site, sb, poisoned);
+  return gc;
+}
+
+js::gc_cycle_result nakika_node::reclaim_sandbox(const std::string& site,
+                                                 core::sandbox* sb, bool poisoned,
+                                                 std::size_t slot,
+                                                 bool record_resources) {
+  js::gc_cycle_result gc;
+  if (sb == nullptr || poisoned) return gc;  // poisoned sandboxes are destroyed
+  gc = sb->reclaim();
+  if (gc.objects_collected == 0 && gc.envs_collected == 0 && gc.cells_collected == 0 &&
+      gc.seconds == 0.0) {
+    return gc;  // nothing dirty: pool.release's own reclaim() no-ops too
+  }
+  // The tenant whose scripts built the garbage pays for collecting it, even
+  // though the collection runs after its response was sent.
+  if (record_resources && gc.seconds > 0.0) {
+    resources_.record(site, core::resource_kind::cpu, gc.seconds);
+  }
+  metrics_.add(slot, ids_.gc_collections, 1);
+  metrics_.add(slot, ids_.gc_objects, gc.objects_collected);
+  metrics_.add(slot, ids_.gc_bytes, gc.bytes_reclaimed);
+  if (gc.seconds > 0.0) metrics_.record_seconds(slot, ids_.gc_pause, gc.seconds);
+  site_obs_.update(slot, site, [&gc](site_obs& s) {
+    s.gc_seconds += gc.seconds;
+    s.gc_collections += 1;
+  });
+  return gc;
 }
 
 // ----- stage script loading ------------------------------------------------------
@@ -663,7 +697,10 @@ void nakika_node::account_pipeline(const std::string& site,
     const double io_bytes =
         static_cast<double>(result.bytes_read + result.bytes_written) + response_bytes;
     std::array<double, core::resource_kind_count> usage{};
-    usage[static_cast<std::size_t>(core::resource_kind::cpu)] = result.script_cpu_seconds;
+    // Watermark collections run inside the script's own execution, so their
+    // time is part of the CPU this tenant consumed.
+    usage[static_cast<std::size_t>(core::resource_kind::cpu)] =
+        result.script_cpu_seconds + result.gc_seconds;
     usage[static_cast<std::size_t>(core::resource_kind::memory)] =
         static_cast<double>(result.heap_bytes);
     usage[static_cast<std::size_t>(core::resource_kind::bandwidth)] = io_bytes;
@@ -686,12 +723,24 @@ void nakika_node::account_pipeline(const std::string& site,
     metrics_.add(counter_slot, ids_.stages_executed,
                  static_cast<std::uint64_t>(result.stages_executed));
   }
+  if (result.gc_collections != 0) {
+    metrics_.add(counter_slot, ids_.gc_collections, result.gc_collections);
+    metrics_.add(counter_slot, ids_.gc_objects, result.gc_objects_collected);
+    metrics_.add(counter_slot, ids_.gc_bytes, result.gc_bytes_reclaimed);
+    // Individual safepoint pauses (not whole-run totals) feed the gc_pause
+    // histogram — the bounded-increment claim is checked on this data.
+    for (const double pause : result.gc_pauses) {
+      metrics_.record_seconds(counter_slot, ids_.gc_pause, pause);
+    }
+  }
 
   // Per-site accumulators: slot-local (only telemetry readers contend).
   site_obs_.update(counter_slot, site, [&](site_obs& s) {
     s.requests += 1;
     s.ic_hits += result.ic_hits;
     s.ic_misses += result.ic_misses;
+    s.gc_seconds += result.gc_seconds;
+    s.gc_collections += result.gc_collections;
     if (result.terminated) s.terminated += 1;
     for (const std::string& line : result.log_lines) {
       if (config_.site_log_capacity != 0 && s.log.size() >= config_.site_log_capacity) {
@@ -847,12 +896,14 @@ void nakika_node::handle(const http::request& original,
        done = std::move(done)](core::pipeline_result result) mutable {
         resources_.pipeline_finished(site, sb->kill_flag());
         const bool poisoned = result.terminated || result.failed;
-        release_sandbox(site, sb, poisoned);
+        const js::gc_cycle_result pool_gc = release_sandbox(site, sb, poisoned);
 
         const double elapsed = net_.loop().now() - start_time;
         account_pipeline(site, result, elapsed, /*counter_slot=*/0,
                          /*record_resources=*/true);
         if (trace != nullptr) {
+          const double gc_span = result.gc_seconds + pool_gc.seconds;
+          if (gc_span > 0.0) trace->add(obs::stage::gc, gc_span);
           if (result.terminated) trace->flag(obs::span_flag::terminated);
           else if (result.failed) trace->flag(obs::span_flag::failed);
           finish_span(*trace, static_cast<std::uint16_t>(result.response.status), elapsed,
@@ -979,6 +1030,8 @@ void nakika_node::execute_on_worker(http::request r, core::worker_context& wc,
             core::pipeline_result result) {
           resources_.pipeline_finished(site, sb->kill_flag());
           const bool poisoned = result.terminated || result.failed;
+          const js::gc_cycle_result pool_gc =
+              reclaim_sandbox(site, sb, poisoned, slot, config_.resource_controls);
           wc.release(site, sb, poisoned);
           const double elapsed = seconds_since(wall_start);
           // With resource controls off nothing reads the usage counters, so
@@ -986,6 +1039,8 @@ void nakika_node::execute_on_worker(http::request r, core::worker_context& wc,
           account_pipeline(site, result, elapsed, slot,
                            /*record_resources=*/config_.resource_controls);
           if (tr != nullptr) {
+            const double gc_span = result.gc_seconds + pool_gc.seconds;
+            if (gc_span > 0.0) tr->add(obs::stage::gc, gc_span);
             if (result.terminated) tr->flag(obs::span_flag::terminated);
             else if (result.failed) tr->flag(obs::span_flag::failed);
             finish_span(*tr, static_cast<std::uint16_t>(result.response.status),
@@ -1064,6 +1119,15 @@ obs::telemetry_snapshot nakika_node::telemetry() const {
     st.latency = obs::summarize(metrics_.histogram_merged(ids_.stage_hist[i]));
     snap.stages.push_back(std::move(st));
   }
+  {
+    // Individual collection pauses (one sample per safepoint slice / cycle),
+    // distinct from the per-request "gc" stage above which sums a request's
+    // GC time. This is the series that bounds the incremental-pause claim.
+    obs::stage_stats st;
+    st.name = "gc_pause";
+    st.latency = obs::summarize(metrics_.histogram_merged(ids_.gc_pause));
+    snap.stages.push_back(std::move(st));
+  }
 
   // Per-tenant breakdowns: observed request/IC/log state merged across worker
   // slots, joined with cache quota accounting and resource-manager shares.
@@ -1076,6 +1140,8 @@ obs::telemetry_snapshot nakika_node::telemetry() const {
     t.ic_misses += s.ic_misses;
     t.log_lines += s.log_lines_total;
     t.log_dropped += s.log_dropped;
+    t.gc_seconds += s.gc_seconds;
+    t.gc_collections += s.gc_collections;
   });
   for (auto& [site, t] : tenants) {
     // Cache tenants are keyed by URL host; resource-manager sites by the

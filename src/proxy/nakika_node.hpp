@@ -265,7 +265,17 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
   };
 
   core::sandbox* acquire_sandbox(const std::string& site, double& cpu_cost);
-  void release_sandbox(const std::string& site, core::sandbox* sb, bool poisoned);
+  js::gc_cycle_result release_sandbox(const std::string& site, core::sandbox* sb,
+                                      bool poisoned);
+  // Pool-return reclamation with attribution: runs the sandbox's cycle
+  // collection, bills the GC time to `site` through the resource manager
+  // (when `record_resources`), and folds the collection into gc counters,
+  // the gc_pause histogram, and the per-site accumulators at `slot`. Shared
+  // by the sim path (release_sandbox) and the worker path (which returns the
+  // sandbox to its worker-private pool afterwards).
+  js::gc_cycle_result reclaim_sandbox(const std::string& site, core::sandbox* sb,
+                                      bool poisoned, std::size_t slot,
+                                      bool record_resources);
 
   void load_stage_script(const std::string& url,
                          std::function<void(core::stage_fetch_result)> cb);
@@ -378,6 +388,12 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
     obs::metrics_registry::metric_id out_terminated = 0;
     obs::metrics_registry::metric_id out_failed = 0;
     obs::metrics_registry::metric_id out_nkp = 0;
+    // Cycle collector: cumulative counters plus the pause histogram
+    // (individual collection slices/cycles, exported as "gc_pause").
+    obs::metrics_registry::metric_id gc_collections = 0;
+    obs::metrics_registry::metric_id gc_objects = 0;
+    obs::metrics_registry::metric_id gc_bytes = 0;
+    obs::metrics_registry::metric_id gc_pause = 0;
   };
   obs::metrics_registry metrics_;
   telemetry_ids ids_;
@@ -392,6 +408,10 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
     std::uint64_t terminated = 0;
     std::uint64_t log_lines_total = 0;
     std::uint64_t log_dropped = 0;
+    // GC work this tenant caused: watermark collections inside its runs plus
+    // pool-return reclamation of its sandboxes.
+    double gc_seconds = 0.0;
+    std::uint64_t gc_collections = 0;
     std::deque<std::string> log;  // bounded by config.site_log_capacity
   };
   obs::per_worker_keyed<site_obs> site_obs_;

@@ -213,9 +213,12 @@ TEST_F(telemetry_fixture, PerStageAndPerTenantBreakdowns) {
 
   const obs::telemetry_snapshot snap = node->telemetry();
 
-  // Per-stage rows exist for every stage, in stage order; the total histogram
-  // saw both requests and the sim clock gave them nonzero virtual latency.
-  ASSERT_EQ(snap.stages.size(), obs::stage_count);
+  // Per-stage rows exist for every stage, in stage order, plus the collector's
+  // per-pause series ("gc_pause" — samples are individual GC pauses, not
+  // requests) appended after them; the total histogram saw both requests and
+  // the sim clock gave them nonzero virtual latency.
+  ASSERT_EQ(snap.stages.size(), obs::stage_count + 1);
+  EXPECT_EQ(snap.stages.back().name, "gc_pause");
   EXPECT_EQ(snap.stages[0].name, "total");
   EXPECT_EQ(snap.stages[0].latency.count, 2u);
   EXPECT_GT(snap.stages[0].latency.p50, 0.0);
