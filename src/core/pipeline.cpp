@@ -211,6 +211,12 @@ void pipeline_executor::finish(const std::shared_ptr<run>& r) {
   r->result.heap_bytes = r->sb->allocation_churn();
   r->result.ic_hits = r->sb->ic_hits();
   r->result.ic_misses = r->sb->ic_misses();
+  r->result.ic_mono_hits = r->sb->ic_mono_hits();
+  r->result.ic_poly_hits = r->sb->ic_poly_hits();
+  r->result.ic_mega_lookups = r->sb->ic_mega_lookups();
+  r->result.shape_transitions = r->sb->shape_transitions();
+  r->result.shape_dict_fallbacks = r->sb->shape_dict_fallbacks();
+  r->result.shapes_live = r->sb->shapes_live();
   const js::gc_run_stats& gc = r->sb->gc_run_stats();
   r->result.gc_collections = gc.collections;
   r->result.gc_objects_collected = gc.objects_collected;

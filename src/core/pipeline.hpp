@@ -72,6 +72,14 @@ struct pipeline_result {
   // Inline-cache effectiveness of this run's script execution (VM engine).
   std::uint64_t ic_hits = 0;
   std::uint64_t ic_misses = 0;
+  // Polymorphism split (mono = way-0 hits, poly = ways 1-3, mega = lookups
+  // at sites that gave up caching) and shape-system activity of this run.
+  std::uint64_t ic_mono_hits = 0;
+  std::uint64_t ic_poly_hits = 0;
+  std::uint64_t ic_mega_lookups = 0;
+  std::uint64_t shape_transitions = 0;
+  std::uint64_t shape_dict_fallbacks = 0;
+  std::uint64_t shapes_live = 0;  // interned shapes in the sandbox's table
   int stages_executed = 0;
   int handlers_run = 0;
   std::vector<std::string> log_lines;

@@ -99,6 +99,21 @@ class sandbox {
   // Inline-cache effectiveness of the current run (reset by begin_run).
   [[nodiscard]] std::uint64_t ic_hits() const { return ctx_->ic_hits(); }
   [[nodiscard]] std::uint64_t ic_misses() const { return ctx_->ic_misses(); }
+  // Polymorphism split of the above: way-0 hits (monomorphic sites), ways 1-3
+  // (polymorphic), and lookups at sites that went megamorphic (≥5 layouts;
+  // counted under ic_misses).
+  [[nodiscard]] std::uint64_t ic_mono_hits() const { return ctx_->ic_mono_hits(); }
+  [[nodiscard]] std::uint64_t ic_poly_hits() const { return ctx_->ic_poly_hits(); }
+  [[nodiscard]] std::uint64_t ic_mega_lookups() const { return ctx_->ic_mega_lookups(); }
+  // Shape (hidden-class) activity of the current run, and the context's
+  // current interned-shape count.
+  [[nodiscard]] std::uint64_t shape_transitions() const {
+    return ctx_->shape_transitions_run();
+  }
+  [[nodiscard]] std::uint64_t shape_dict_fallbacks() const {
+    return ctx_->shape_dict_fallbacks_run();
+  }
+  [[nodiscard]] std::size_t shapes_live() const { return ctx_->shapes_live(); }
 
   // Frees pooled VM frames beyond a small working set; sandbox_pool calls
   // this when the sandbox returns to the pool so idle sandboxes don't retain

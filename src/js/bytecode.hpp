@@ -113,7 +113,54 @@ enum class opcode : std::uint8_t {
   push_handler,     // a = handler target
   pop_handler,
   throw_op,         // pops value, raises it as a script exception
+
+  // --- fused superinstructions ----------------------------------------------
+  // Emitted by the compiler's fusion pass (compiler.cpp fuse_code) for the
+  // hottest adjacent pairs measured by `bench_interpreter --profile-pairs`.
+  // The second instruction stays in the stream (jump targets keep their
+  // indices; a branch INTO it executes it standalone, which is still
+  // correct); the fused handler executes both halves, charges both halves'
+  // fuel, and skips it. Operands: the fused instruction carries op1's
+  // operands, op2's are read from the next instruction.
+  load_local_get_prop,      // load_local a; then get_prop at pc+1
+  load_global_get_prop,     // load_global a,b; then get_prop at pc+1
+  load_local_load_local,    // load_local a; then load_local at pc+1
+  binary_lc_jump_if_false,  // binary_lc a,b,c; then jump_if_false at pc+1
+  binary_ll_jump_if_false,  // binary_ll a,b,c; then jump_if_false at pc+1
 };
+
+// Number of opcodes (for dispatch tables and pair-profile histograms). Must
+// track the last enumerator above.
+inline constexpr std::size_t opcode_count =
+    static_cast<std::size_t>(opcode::binary_ll_jump_if_false) + 1;
+
+// Human-readable opcode names, enum order (pair-profiler and disassembly
+// output). Keep in sync with the enum; a missing tail entry prints as null.
+[[nodiscard]] inline const char* opcode_name(opcode op) {
+  static constexpr const char* names[opcode_count] = {
+      "push_const", "push_undefined", "push_null", "push_true", "push_false",
+      "pop", "dup", "swap",
+      "load_local", "store_local", "store_local_pop", "store_cell_pop",
+      "update_local", "update_cell", "make_cell", "load_cell", "store_cell",
+      "load_capture", "store_capture", "load_global", "load_global_soft",
+      "store_global", "typeof_global",
+      "make_array", "make_object", "make_closure", "get_prop", "set_prop",
+      "get_index", "set_index", "get_method", "get_index_method",
+      "delete_prop", "delete_index", "update_prop", "update_index", "keys",
+      "forin_next",
+      "binary", "compound", "binary_ll", "binary_lc", "binary_cl", "binary_sl",
+      "binary_sc", "binary_ls", "not_op", "negate", "to_number", "bit_not",
+      "typeof_op",
+      "jump", "jump_if_false", "jump_if_true", "jump_if_false_keep",
+      "jump_if_true_keep", "loop_back",
+      "call", "call_method", "check_ctor", "call_new", "ret", "ret_undefined",
+      "push_handler", "pop_handler", "throw_op",
+      "load_local_get_prop", "load_global_get_prop", "load_local_load_local",
+      "binary_lc_jump_if_false", "binary_ll_jump_if_false",
+  };
+  const auto i = static_cast<std::size_t>(op);
+  return i < opcode_count ? names[i] : "?";
+}
 
 struct bc_instr {
   opcode op;
@@ -138,16 +185,34 @@ struct bc_binding {
   std::uint32_t index = 0;
 };
 
-// One monomorphic inline-cache entry. Chunks are immutable and shared across
-// sandboxes (and worker threads), so the mutable cache state lives in a
-// per-context side table (context::ic_slots) indexed by the instruction's ic
-// slot; only the slot COUNT lives in the chunk. An entry is valid while the
-// accessed object's unique id and shape generation both still match — then
-// props[prop_index] is the right property without any name comparison.
+// One way of a polymorphic inline-cache entry. Shaped objects key on their
+// shape id (one way serves the whole stream of same-layout objects);
+// dictionary-mode objects fall back to the PR-4 identity keying
+// (object id + shape generation). Both id kinds come from the same
+// process-unique allocator, so the two modes can never collide on `key`.
+struct ic_way {
+  std::uint64_t key = 0;        // shape id or object id; 0 only when empty
+  std::uint32_t shape_gen = 0;  // identity mode: structural-change guard
+  std::uint16_t prop_index = 0;
+  std::uint8_t mode = 0;        // way_empty / way_shape / way_identity
+};
+
+inline constexpr std::uint8_t way_empty = 0;
+inline constexpr std::uint8_t way_shape = 1;
+inline constexpr std::uint8_t way_identity = 2;
+
+// One polymorphic inline-cache entry (up to 4 ways, then megamorphic).
+// Chunks are immutable and shared across sandboxes (and worker threads), so
+// the mutable cache state lives in a per-context side table
+// (context::ic_slots) indexed by the instruction's ic slot; only the slot
+// COUNT lives in the chunk. A megamorphic site stops probing and filling
+// entirely (the site sees too many layouts for caching to pay off); `mega`
+// is sticky until the GC or reset clears the entry.
 struct ic_entry {
-  std::uint64_t obj_id = 0;  // 0 = empty (object ids start at 1)
-  std::uint32_t shape_gen = 0;
-  std::uint32_t prop_index = 0;
+  static constexpr unsigned max_ways = 4;
+  ic_way ways[max_ways];
+  std::uint8_t n_ways = 0;
+  bool mega = false;
 };
 
 // One compiled function (the top-level script compiles to one of these too).

@@ -587,8 +587,45 @@ class fn_compiler {
   std::uint32_t retval_slot_ = 0;
 };
 
+// ----- superinstruction fusion -----------------------------------------------
+// Post-pass over a finished function's code (before the chunk freezes into
+// its shared-immutable form): rewrite the hottest adjacent opcode pairs
+// (picked from `bench_interpreter --profile-pairs` on the workload suite)
+// into single fused opcodes. op2 is left in place so every jump target keeps
+// its instruction index — a branch INTO op2 executes it standalone, which is
+// still correct; the fused handler executes both halves, charges both
+// halves' fuel, and skips op2. Fusion is greedy left-to-right and
+// non-overlapping: once a pair fuses, its op2 cannot also start a pair
+// (it is no longer dispatched in straight-line flow).
+void fuse_code(std::vector<bc_instr>& code) {
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    const opcode a = code[i].op;
+    const opcode b = code[i + 1].op;
+    opcode fused = a;
+    if (a == opcode::load_local && b == opcode::get_prop) {
+      fused = opcode::load_local_get_prop;
+    } else if (a == opcode::load_global && b == opcode::get_prop) {
+      fused = opcode::load_global_get_prop;
+    } else if (a == opcode::load_local && b == opcode::load_local &&
+               (i + 2 >= code.size() || code[i + 2].op != opcode::get_prop)) {
+      // Greedy-overlap exception: leave the second load free to fuse with a
+      // following get_prop (the more valuable pair).
+      fused = opcode::load_local_load_local;
+    } else if (a == opcode::binary_lc && b == opcode::jump_if_false) {
+      fused = opcode::binary_lc_jump_if_false;
+    } else if (a == opcode::binary_ll && b == opcode::jump_if_false) {
+      fused = opcode::binary_ll_jump_if_false;
+    }
+    if (fused == a) continue;
+    code[i].op = fused;
+    ++i;  // op2 is consumed by the fused handler; don't start a pair at it
+  }
+}
+
 class program_compiler {
  public:
+  explicit program_compiler(bool fuse) : fuse_(fuse) {}
+
   compiled_program_ptr compile(const program_ptr& prog) {
     auto out = std::make_shared<compiled_program>();
     out->name = prog->name;
@@ -607,6 +644,7 @@ class program_compiler {
     for (const auto& s : prog->body) compile_stmt(*s);
     fc.emit(opcode::ret_undefined, 0, 0, 0);
     current_ = nullptr;
+    if (fuse_) fuse_code(top->code);
 
     out->top = top;
     out->instruction_count = count_instructions(*top);
@@ -614,6 +652,7 @@ class program_compiler {
   }
 
  private:
+  bool fuse_ = true;
   fn_compiler* current_ = nullptr;
 
   static std::size_t count_instructions(const compiled_fn& fn) {
@@ -670,6 +709,7 @@ class program_compiler {
     fc.emit(opcode::ret_undefined, 0, 0, lit.line);
 
     current_ = saved;
+    if (fuse_) fuse_code(nested->code);
     cur().fn()->fns.push_back(std::move(nested));
     return static_cast<std::int32_t>(cur().fn()->fns.size() - 1);
   }
@@ -1557,7 +1597,11 @@ class program_compiler {
 }  // namespace
 
 compiled_program_ptr compile_program(const program_ptr& prog) {
-  program_compiler pc;
+  return compile_program(prog, compile_options{});
+}
+
+compiled_program_ptr compile_program(const program_ptr& prog, const compile_options& opts) {
+  program_compiler pc(opts.fuse);
   return pc.compile(prog);
 }
 

@@ -10,9 +10,20 @@
 
 namespace nakika::js {
 
+struct compile_options {
+  // Superinstruction fusion: rewrite the hottest adjacent opcode pairs
+  // (measured by `bench_interpreter --profile-pairs`) into fused opcodes.
+  // The second instruction of each pair stays in the stream so jump targets
+  // remain valid — the fused handler executes both halves and skips it.
+  // Disabled for profiling runs so the histogram sees the raw pair stream.
+  bool fuse = true;
+};
+
 // Compiles a parsed program. Throws script_error on internal lowering errors
 // (malformed ASTs cannot come out of the parser, so this is effectively
 // infallible for parser-produced input).
 [[nodiscard]] compiled_program_ptr compile_program(const program_ptr& prog);
+[[nodiscard]] compiled_program_ptr compile_program(const program_ptr& prog,
+                                                   const compile_options& opts);
 
 }  // namespace nakika::js

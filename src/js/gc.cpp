@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "js/interpreter.hpp"
+#include "js/shapes.hpp"
 
 namespace nakika::js {
 
@@ -201,10 +202,17 @@ gc_cycle_result gc_heap::collect_cycle() {
   // nodes alive until they drop below, so severance order is free; reference
   // counting then cascades the frees. ---------------------------------------
   std::unordered_set<std::uint64_t> swept_ids;
+  std::unordered_set<std::uint64_t> swept_shapes;
   for (std::size_t i = 0; i < n_obj; ++i) {
     if (marked[i] != 0) continue;
     object& o = *objs[i];
     swept_ids.insert(o.id);
+    if (o.shape_id != 0) swept_shapes.insert(o.shape_id);
+    // A swept shaped object must leave the shape system: its shape id still
+    // describes a props layout that is about to be cleared, and a stale
+    // reference probing a shape-keyed cache way would otherwise index into
+    // the emptied props vector.
+    o.demote_to_dictionary();
     o.props.clear();
     o.elements.clear();
     o.proto.reset();
@@ -228,19 +236,48 @@ gc_cycle_result gc_heap::collect_cycle() {
   }
 
   // Swept ids can never be probed again (ids are process-unique), but a
-  // stale entry would pin nothing while still occupying the slot; clearing
-  // now keeps the satellite guarantee that a swept object's IC slot misses.
+  // stale identity way would pin nothing while still occupying the slot;
+  // clearing now keeps the satellite guarantee that a swept object's IC slot
+  // misses. Shape-keyed ways are object-independent (they describe a layout,
+  // not an object) and stay valid while any object of that shape lives — but
+  // when the sweep killed a shape's LAST object, the way can only ever hit
+  // again if some future object re-derives the same interned id, and the
+  // shape itself is now a compaction candidate that would orphan the way
+  // anyway. Those dead-shape ways are cleared too; surviving ways compact
+  // down so fills keep appending densely.
   if (!swept_ids.empty()) {
     for (auto& [chunk, block] : ctx_.ic_tables_) {
       (void)chunk;
       for (ic_entry& slot : block.slots) {
-        if (slot.obj_id != 0 && swept_ids.count(slot.obj_id) != 0) {
-          slot = ic_entry{};
+        unsigned kept = 0;
+        bool cleared = false;
+        for (unsigned w = 0; w < slot.n_ways; ++w) {
+          const ic_way& way = slot.ways[w];
+          const bool stale_identity =
+              way.mode == way_identity && swept_ids.count(way.key) != 0;
+          const bool dead_shape = way.mode == way_shape &&
+                                  swept_shapes.count(way.key) != 0 &&
+                                  ctx_.shapes_ != nullptr &&
+                                  ctx_.shapes_->shape_is_dead(way.key);
+          if (stale_identity || dead_shape) {
+            cleared = true;
+            continue;
+          }
+          slot.ways[kept++] = slot.ways[w];
+        }
+        if (cleared) {
+          for (unsigned w = kept; w < slot.n_ways; ++w) slot.ways[w] = ic_way{};
+          slot.n_ways = static_cast<std::uint8_t>(kept);
           ++out.ic_entries_cleared;
         }
       }
     }
   }
+
+  // Shape-table compaction (no-op below the pressure threshold): shapes only
+  // referenced by objects that just died can be dropped, keeping the
+  // registry O(live shapes) for shape-churning scripts.
+  if (ctx_.shapes_ != nullptr) ctx_.shapes_->compact();
 
   // --- rebuild registries from survivors (deterministic compaction) -------
   objects_.clear();

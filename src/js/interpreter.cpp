@@ -6,6 +6,7 @@
 
 #include "js/ops.hpp"
 #include "js/parser.hpp"
+#include "js/shapes.hpp"
 #include "js/stdlib.hpp"
 #include "js/vm.hpp"
 #include "util/strings.hpp"
@@ -75,13 +76,24 @@ void environment::break_dead_closure_cycles(std::size_t live_refs) {
 // ----- context ----------------------------------------------------------------
 
 context::context(context_limits limits) : limits_(limits) {
+  if (limits_.shape_table_max != 0) {
+    shapes_ = std::make_shared<shape_table>(limits_.shape_table_max);
+  }
   global_ = make_plain_object();
+  // The global object is shaped too: stdlib installation walks it down one
+  // long transition chain once, after which load_global/store_global sites
+  // hit on the shared shape instead of the global's identity.
+  global_->attach_shape(shapes_);
   global_env_ = std::make_shared<environment>(nullptr, global_.get());
   install_stdlib(*this);
 }
 
 context::context(context_limits limits, bare_t) : limits_(limits) {
+  if (limits_.shape_table_max != 0) {
+    shapes_ = std::make_shared<shape_table>(limits_.shape_table_max);
+  }
   global_ = make_plain_object();
+  global_->attach_shape(shapes_);
   global_env_ = std::make_shared<environment>(nullptr, global_.get());
 }
 
@@ -101,6 +113,7 @@ constexpr std::size_t object_overhead = 64;
 
 object_ptr context::make_object() {
   auto o = make_plain_object();
+  o->attach_shape(shapes_);
   o->proto = object_proto;
   o->charge = heap_charge(heap_used_, object_overhead);
   if (limits_.heap_bytes != 0 && *heap_used_ > limits_.heap_bytes) {
@@ -137,6 +150,7 @@ object_ptr context::make_byte_array() {
 
 object_ptr context::make_function(const function_lit* fn, program_ptr owner, env_ptr closure) {
   auto o = std::make_shared<object>(object_kind::function);
+  o->attach_shape(shapes_);
   o->proto = function_proto;
   o->fn = fn;
   o->owner = std::move(owner);
@@ -159,6 +173,7 @@ object_ptr context::make_function(const function_lit* fn, program_ptr owner, env
 object_ptr context::make_compiled_function(std::shared_ptr<const compiled_fn> code,
                                            std::vector<std::shared_ptr<value>> captures) {
   auto o = std::make_shared<object>(object_kind::function);
+  o->attach_shape(shapes_);
   o->proto = function_proto;
   o->code = std::move(code);
   o->captures = std::move(captures);
@@ -230,8 +245,14 @@ void context::add_ops(std::uint64_t n, int line) {
 void context::reset_for_reuse() {
   ops_used_ = 0;
   transient_run_ = 0;
-  ic_hits_ = 0;
-  ic_misses_ = 0;
+  ic_mono_ = 0;
+  ic_poly_ = 0;
+  ic_mega_ = 0;
+  ic_miss_ = 0;
+  if (shapes_ != nullptr) {
+    shape_transitions_base_ = shapes_->transitions();
+    shape_dict_fallbacks_base_ = shapes_->dict_fallbacks();
+  }
   gc_reclaimed_run_ = 0;
   gc_.begin_run();
   // Bound the IC side tables: drop entries whose pinned chunk has no other
@@ -248,6 +269,22 @@ void context::reset_for_reuse() {
   // rearmed when a healthy sandbox returns to its pool (sandbox_pool::release
   // / sandbox::clear_kill), after the pipeline has deregistered.
   call_depth = 0;
+}
+
+std::uint64_t context::shape_transitions_run() const {
+  return shapes_ != nullptr ? shapes_->transitions() - shape_transitions_base_ : 0;
+}
+
+std::uint64_t context::shape_dict_fallbacks_run() const {
+  return shapes_ != nullptr ? shapes_->dict_fallbacks() - shape_dict_fallbacks_base_ : 0;
+}
+
+std::size_t context::shapes_live() const {
+  return shapes_ != nullptr ? shapes_->live_shapes() : 0;
+}
+
+void context::enable_pair_profile() {
+  pair_profile_.assign(opcode_count * opcode_count, 0);
 }
 
 // ----- interpreter ------------------------------------------------------------

@@ -87,6 +87,12 @@ struct context_limits {
   std::size_t gc_watermark = 4096;
   // Registry entries scanned per incremental safepoint slice.
   std::size_t gc_slice = 512;
+  // --- shapes (hidden classes, src/js/shapes.hpp) ---
+  // Max interned shapes per context; transitions past the bound demote the
+  // object to dictionary mode (identity-keyed caching). 0 disables the shape
+  // layer entirely — every object is dictionary-mode from birth, which is
+  // the pre-shape behavior and must produce identical script results.
+  std::size_t shape_table_max = 4096;
 };
 
 // One sandboxed scripting context. Creation is deliberately non-trivial
@@ -177,10 +183,35 @@ class context {
   }
 
   // Inline-cache effectiveness, reset per run (reset_for_reuse) so hosts can
-  // attribute hits/misses to individual pipeline executions.
-  void note_ic(bool hit) { hit ? ++ic_hits_ : ++ic_misses_; }
-  [[nodiscard]] std::uint64_t ic_hits() const { return ic_hits_; }
-  [[nodiscard]] std::uint64_t ic_misses() const { return ic_misses_; }
+  // attribute hits/misses to individual pipeline executions. Hits are classed
+  // by the way that served them: way 0 = monomorphic, ways 1-3 = polymorphic;
+  // megamorphic sites skip the cache and count lookups separately.
+  void note_ic_hit(unsigned way) { way == 0 ? ++ic_mono_ : ++ic_poly_; }
+  void note_ic_mega() { ++ic_mega_; }
+  void note_ic_miss() { ++ic_miss_; }
+  [[nodiscard]] std::uint64_t ic_mono_hits() const { return ic_mono_; }
+  [[nodiscard]] std::uint64_t ic_poly_hits() const { return ic_poly_; }
+  [[nodiscard]] std::uint64_t ic_mega_lookups() const { return ic_mega_; }
+  // Aggregate views kept for existing consumers: megamorphic lookups take the
+  // slow path, so they count as misses.
+  [[nodiscard]] std::uint64_t ic_hits() const { return ic_mono_ + ic_poly_; }
+  [[nodiscard]] std::uint64_t ic_misses() const { return ic_miss_ + ic_mega_; }
+
+  // --- shapes --------------------------------------------------------------
+  // Per-context hidden-class registry; null when limits.shape_table_max == 0.
+  [[nodiscard]] const std::shared_ptr<shape_table>& shapes() const { return shapes_; }
+  // Per-run shape activity (deltas since reset_for_reuse) and current size.
+  [[nodiscard]] std::uint64_t shape_transitions_run() const;
+  [[nodiscard]] std::uint64_t shape_dict_fallbacks_run() const;
+  [[nodiscard]] std::size_t shapes_live() const;
+
+  // --- opcode-pair profiling (bench_interpreter --profile-pairs) -----------
+  // When enabled, the VM counts executed (opcode, next opcode) pairs into an
+  // opcode_count x opcode_count histogram. Off (null) on the request path.
+  void enable_pair_profile();
+  [[nodiscard]] std::uint64_t* pair_profile_data() {
+    return pair_profile_.empty() ? nullptr : pair_profile_.data();
+  }
 
   // Prototype objects for primitive method dispatch.
   object_ptr object_proto;
@@ -210,8 +241,16 @@ class context {
   env_ptr global_env_;
   frame_arena vm_frames_;
   std::unordered_map<const compiled_fn*, ic_block> ic_tables_;
-  std::uint64_t ic_hits_ = 0;
-  std::uint64_t ic_misses_ = 0;
+  std::uint64_t ic_mono_ = 0;
+  std::uint64_t ic_poly_ = 0;
+  std::uint64_t ic_mega_ = 0;
+  std::uint64_t ic_miss_ = 0;
+  std::shared_ptr<shape_table> shapes_;
+  // Baselines snapshotted at reset_for_reuse: the table's counters are
+  // monotonic, hosts want per-run deltas.
+  std::uint64_t shape_transitions_base_ = 0;
+  std::uint64_t shape_dict_fallbacks_base_ = 0;
+  std::vector<std::uint64_t> pair_profile_;
   // The collector's candidate registry replaced the old fn_registry_: it
   // tracks every script-visible allocation (not just functions), compacts
   // deterministically on each cycle, and drives teardown severance.

@@ -1,0 +1,127 @@
+#include "js/shapes.hpp"
+
+#include <algorithm>
+
+namespace nakika::js {
+
+namespace {
+// A shape's name->index map only pays for itself on shapes that are queried
+// repeatedly (the map build is O(props) and each query object may carry many
+// properties). Below this many queries the caller's linear scan wins.
+constexpr std::uint32_t index_build_after_lookups = 4;
+}  // namespace
+
+shape_table::shape_table(std::size_t max_shapes)
+    : max_shapes_(max_shapes), root_(next_object_id()) {
+  nodes_.emplace(root_, node{});
+}
+
+std::uint64_t shape_table::transition(std::uint64_t parent, std::string_view key) {
+  auto it = nodes_.find(parent);
+  if (it == nodes_.end()) {
+    // Parent was compacted away while an object still carried it (the object
+    // keeps a valid layout; only the tree node is gone). Re-root the walk so
+    // the object can keep transitioning: treat as overflow below if full.
+    if (nodes_.size() >= max_shapes_) {
+      ++dict_fallbacks_;
+      return 0;
+    }
+    it = nodes_.emplace(parent, node{}).first;
+  }
+  for (const auto& [name, child] : it->second.kids) {
+    if (name == key) return child;
+  }
+  if (nodes_.size() >= max_shapes_) {
+    ++dict_fallbacks_;
+    return 0;
+  }
+  const std::uint64_t child_id = next_object_id();
+  node child;
+  child.parent = parent;
+  child.nprops = it->second.nprops + 1;
+  it->second.kids.emplace_back(std::string(key), child_id);
+  nodes_.emplace(child_id, std::move(child));  // invalidates `it`; not reused
+  ++transitions_;
+  return child_id;
+}
+
+std::uint64_t shape_table::parent_of(std::uint64_t id) const {
+  const auto it = nodes_.find(id);
+  return it != nodes_.end() ? it->second.parent : 0;
+}
+
+int shape_table::index_of(std::uint64_t id, std::string_view key,
+                          const std::vector<object::property>& props) {
+  node* np = memo_node_;
+  if (id != memo_id_ || np == nullptr) {
+    const auto it = nodes_.find(id);
+    if (it == nodes_.end()) return -2;
+    np = &it->second;
+    memo_id_ = id;
+    memo_node_ = np;
+  }
+  node& n = *np;
+  if (!n.indexed) {
+    if (++n.lookups < index_build_after_lookups) return -2;
+    n.index.reserve(props.size());
+    for (std::size_t i = 0; i < props.size(); ++i) {
+      n.index.emplace(props[i].key, static_cast<std::uint32_t>(i));
+    }
+    n.indexed = true;
+  }
+  const auto hit = n.index.find(key);
+  return hit != n.index.end() ? static_cast<int>(hit->second) : -1;
+}
+
+void shape_table::retain(std::uint64_t id) {
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) ++it->second.live;
+}
+
+void shape_table::release(std::uint64_t id) {
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end() && it->second.live > 0) --it->second.live;
+}
+
+bool shape_table::shape_is_dead(std::uint64_t id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() || it->second.live == 0;
+}
+
+const object_ptr& shape_table::enum_keys(std::uint64_t id) const {
+  static const object_ptr none;
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? none : it->second.enum_cache;
+}
+
+void shape_table::set_enum_keys(std::uint64_t id, object_ptr keys) {
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.enum_cache = std::move(keys);
+}
+
+void shape_table::compact() {
+  // Under no pressure, keep everything: dropping a dead interior shape means
+  // the next run of the same object literal re-derives a fresh id and every
+  // cache way keyed on the old one goes cold.
+  const std::size_t threshold = std::max<std::size_t>(16, max_shapes_ / 2);
+  if (nodes_.size() <= threshold) return;
+  memo_id_ = 0;
+  memo_node_ = nullptr;
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    if (it->second.live == 0 && it->first != root_) {
+      it = nodes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Drop transition edges to erased children (a surviving child whose parent
+  // was erased simply loses its ancestry: parent_of returns 0, which stops
+  // cache-promotion walks early but never misdirects them).
+  for (auto& [id, n] : nodes_) {
+    (void)id;
+    std::erase_if(n.kids,
+                  [this](const auto& kid) { return nodes_.find(kid.second) == nodes_.end(); });
+  }
+}
+
+}  // namespace nakika::js

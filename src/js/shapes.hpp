@@ -1,0 +1,125 @@
+// Shape (hidden-class) registry. Objects that acquire the same property names
+// in the same order share an interned shape id drawn from a transition tree:
+// the root shape is the empty object, and each child shape is
+// (parent shape, appended name). Because properties are only ever appended
+// while an object stays shaped (deletes demote it to dictionary mode), a
+// shape id fully determines the property layout PREFIX — an inline cache
+// keyed on (shape_id -> prop index) stays valid for every object of that
+// shape, and for every append-descendant of it.
+//
+// One table per context (the sandbox isolation unit). Shape ids are drawn
+// from the same process-unique id space as object ids, so a cache key can
+// never alias an id minted by a different context's table (compiled chunks —
+// and hence IC slot indices — are shared across sandboxes and threads; the
+// mutable tables are not).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "js/value.hpp"
+
+namespace nakika::js {
+
+class shape_table {
+ public:
+  // `max_shapes` bounds the interned-shape count; transitions past the bound
+  // return 0 and the object falls back to dictionary mode (identity-keyed
+  // caching, the pre-shape behavior).
+  explicit shape_table(std::size_t max_shapes);
+
+  // The empty-object shape every freshly created (shaped) object starts at.
+  [[nodiscard]] std::uint64_t root() const { return root_; }
+
+  // Child shape for appending `key` to `parent`; interned on first use.
+  // Returns 0 when the table is full (caller demotes to dictionary mode).
+  [[nodiscard]] std::uint64_t transition(std::uint64_t parent, std::string_view key);
+
+  // Parent shape, or 0 for the root / a shape this table no longer knows
+  // (compacted away) — callers treat 0 as "stop walking".
+  [[nodiscard]] std::uint64_t parent_of(std::uint64_t id) const;
+
+  // Own-property index of `key` under shape `id`, answered from a per-shape
+  // name->index map built lazily from `props` (an exemplar object of that
+  // shape). Returns the index, -1 if the shape has no such property, or -2
+  // when the shape isn't indexed yet (caller falls back to a linear scan;
+  // the map is only built for shapes that keep getting asked).
+  [[nodiscard]] int index_of(std::uint64_t id, std::string_view key,
+                             const std::vector<object::property>& props);
+
+  // Live-object refcounts drive compaction: a shape nothing points at can be
+  // dropped (and re-derived from the root if the same literal runs again).
+  void retain(std::uint64_t id);
+  void release(std::uint64_t id);
+
+  // Records a demotion to dictionary mode (table overflow, property delete,
+  // or GC sweep of a shaped object).
+  void note_dict_fallback() { ++dict_fallbacks_; }
+
+  // True when no live object carries `id` (or the table no longer knows it).
+  // The GC uses this after a sweep: a cache way keyed to a shape whose last
+  // object just died can never pay for itself before compaction drops the
+  // shape, so the sweep clears it eagerly.
+  [[nodiscard]] bool shape_is_dead(std::uint64_t id) const;
+
+  // For-in enumeration cache: a shape fully determines its objects' key
+  // sequence, so the engine-internal key array the VM snapshots at for-in
+  // entry can be built once per shape and shared. The array is never
+  // script-visible (only forin_next reads it), untracked, and uncharged —
+  // identical billing to rebuilding it every loop. Dropped with the shape
+  // on compact().
+  [[nodiscard]] const object_ptr& enum_keys(std::uint64_t id) const;
+  void set_enum_keys(std::uint64_t id, object_ptr keys);
+
+  // Drops shapes with no live objects. Only acts under table pressure
+  // (> half the bound): steady-state workloads keep their interned ids
+  // forever, while shape-churning scripts stay O(live shapes).
+  void compact();
+
+  // --- observability (monotonic; callers snapshot for per-run deltas) ------
+  [[nodiscard]] std::size_t live_shapes() const { return nodes_.size(); }
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+  [[nodiscard]] std::uint64_t dict_fallbacks() const { return dict_fallbacks_; }
+
+ private:
+  // Heterogeneous lookup so index_of can probe with the caller's
+  // string_view key — the map is hit on every indexed property access and a
+  // per-lookup std::string materialization would dominate the probe itself.
+  struct sv_hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  struct node {
+    std::uint64_t parent = 0;
+    std::uint32_t nprops = 0;
+    std::uint32_t live = 0;     // objects currently carrying this shape
+    std::uint32_t lookups = 0;  // index_of calls before the map is built
+    // Transition edges out of this shape. Linear: a shape rarely has more
+    // than a handful of distinct successor names.
+    std::vector<std::pair<std::string, std::uint64_t>> kids;
+    std::unordered_map<std::string, std::uint32_t, sv_hash, std::equal_to<>> index;
+    object_ptr enum_cache;  // shared for-in key array (see enum_keys)
+    bool indexed = false;
+  };
+
+  std::size_t max_shapes_;
+  std::uint64_t root_;
+  std::unordered_map<std::uint64_t, node> nodes_;
+  // One-entry id->node memo for index_of: property-heavy loops probe the same
+  // (large) object thousands of times in a row, and this turns the two chained
+  // hash lookups per probe into one. Node pointers are stable in the
+  // node-based map; only compact() erases nodes, and it resets the memo.
+  std::uint64_t memo_id_ = 0;
+  node* memo_node_ = nullptr;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t dict_fallbacks_ = 0;
+};
+
+}  // namespace nakika::js

@@ -1,8 +1,10 @@
 #include "js/value.hpp"
 
 #include <atomic>
+#include <charconv>
 #include <cmath>
 
+#include "js/shapes.hpp"
 #include "util/strings.hpp"
 
 namespace nakika::js {
@@ -46,11 +48,15 @@ namespace {
 std::string number_to_string(double d) {
   if (std::isnan(d)) return "NaN";
   if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
-  // Integers print without a decimal point, like JS.
+  // Integers print without a decimal point, like JS. to_chars instead of
+  // snprintf: integer formatting is on the hot path of every number-to-key
+  // coercion ('k' + i, obj[n]), and the locale-aware printf machinery costs
+  // ~10x the digit emission.
   if (d == std::floor(d) && std::abs(d) < 1e15) {
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0f", d);
-    return buf;
+    const auto n = static_cast<std::int64_t>(d);
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), n);
+    return std::string(buf, end);
   }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%g", d);
@@ -125,9 +131,14 @@ namespace {
 // worker threads each allocate constantly, so threads draw ids from a
 // thread-local block and touch the shared atomic only once per block — no
 // cross-core cache-line bouncing per object. Relaxed is enough: uniqueness,
-// not ordering.
+// not ordering. Shape tables draw from the same allocator so shape keys and
+// object-id keys occupy one namespace (an inline-cache way can hold either).
 constexpr std::uint64_t id_block_size = 1 << 20;
 std::atomic<std::uint64_t> next_id_block{1};
+
+// Below this many own properties a linear scan beats the per-shape hash map.
+constexpr std::size_t shape_index_min_props = 8;
+}  // namespace
 
 std::uint64_t next_object_id() {
   thread_local std::uint64_t cursor = 0;
@@ -138,11 +149,34 @@ std::uint64_t next_object_id() {
   }
   return cursor++;
 }
-}  // namespace
 
 object::object(object_kind k) : kind(k), id(next_object_id()) {}
 
+object::~object() {
+  if (shapes != nullptr && shape_id != 0) shapes->release(shape_id);
+}
+
+void object::attach_shape(std::shared_ptr<shape_table> table) {
+  if (table == nullptr || !props.empty()) return;
+  shapes = std::move(table);
+  shape_id = shapes->root();
+  shapes->retain(shape_id);
+}
+
+void object::demote_to_dictionary() {
+  if (shape_id == 0) return;
+  ++shape_gen;  // invalidate identity-keyed caches filled while shaped
+  shapes->release(shape_id);
+  shapes->note_dict_fallback();
+  shape_id = 0;
+}
+
 value* object::find_own(std::string_view key) {
+  if (shape_id != 0 && props.size() >= shape_index_min_props) {
+    const int idx = shapes->index_of(shape_id, key, props);
+    if (idx >= 0) return &props[static_cast<std::size_t>(idx)].val;
+    if (idx == -1) return nullptr;
+  }
   for (auto& p : props) {
     if (p.key == key) return &p.val;
   }
@@ -150,6 +184,11 @@ value* object::find_own(std::string_view key) {
 }
 
 const value* object::find_own(std::string_view key) const {
+  if (shape_id != 0 && props.size() >= shape_index_min_props) {
+    const int idx = shapes->index_of(shape_id, key, props);
+    if (idx >= 0) return &props[static_cast<std::size_t>(idx)].val;
+    if (idx == -1) return nullptr;
+  }
   for (const auto& p : props) {
     if (p.key == key) return &p.val;
   }
@@ -157,6 +196,10 @@ const value* object::find_own(std::string_view key) const {
 }
 
 int object::own_index(std::string_view key) const {
+  if (shape_id != 0 && props.size() >= shape_index_min_props) {
+    const int idx = shapes->index_of(shape_id, key, props);
+    if (idx != -2) return idx;
+  }
   for (std::size_t i = 0; i < props.size(); ++i) {
     if (props[i].key == key) return static_cast<int>(i);
   }
@@ -183,6 +226,19 @@ void object::set(std::string_view key, value v) {
     return;
   }
   ++shape_gen;  // new own property: indices of everything after it are fresh
+  if (shape_id != 0) {
+    // Append transition: existing indices are untouched, so shape-keyed
+    // caches filled for the old shape stay valid for this object (they key
+    // an ancestor of its new shape).
+    const std::uint64_t next = shapes->transition(shape_id, key);
+    shapes->release(shape_id);
+    if (next != 0) {
+      shapes->retain(next);
+      shape_id = next;
+    } else {
+      shape_id = 0;  // table full: dictionary mode from here on
+    }
+  }
   props.push_back({std::string(key), std::move(v)});
 }
 
@@ -190,6 +246,7 @@ bool object::erase(std::string_view key) {
   for (auto it = props.begin(); it != props.end(); ++it) {
     if (it->key == key) {
       ++shape_gen;  // erasure shifts later property indices
+      demote_to_dictionary();
       props.erase(it);
       return true;
     }

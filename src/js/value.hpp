@@ -25,6 +25,12 @@ class interpreter;
 class environment;
 using env_ptr = std::shared_ptr<environment>;
 struct compiled_fn;  // bytecode.hpp: compiled (VM) function payload
+class shape_table;   // shapes.hpp: per-context hidden-class registry
+
+// Process-unique id allocator shared by objects and shapes. Never repeats, so
+// a per-context inline cache keyed on either kind of id can never be fooled
+// by an id minted elsewhere (including by a different context's shape table).
+[[nodiscard]] std::uint64_t next_object_id();
 
 class value {
  public:
@@ -148,6 +154,7 @@ struct heap_charge {
 class object : public std::enable_shared_from_this<object> {
  public:
   explicit object(object_kind k);
+  ~object();
 
   object_kind kind;
   object_ptr proto;  // prototype chain; may be null
@@ -161,6 +168,22 @@ class object : public std::enable_shared_from_this<object> {
   // value writes deliberately do NOT bump the generation.
   std::uint64_t id = 0;
   std::uint32_t shape_gen = 0;
+
+  // --- shape (hidden class) ---
+  // Objects allocated through a context share its shape table; each own-prop
+  // append transitions shape_id along the table's tree, so same-literal
+  // objects converge on the same id and a shape-keyed cache hits across the
+  // whole stream. shape_id == 0 is dictionary mode (deleted-from objects,
+  // table overflow, or engine-internal objects built outside any context);
+  // dictionary objects fall back to the (id, shape_gen) identity keying.
+  std::shared_ptr<shape_table> shapes;
+  std::uint64_t shape_id = 0;
+
+  // Adopts `table`'s root shape. Only meaningful on a fresh object (no own
+  // properties yet); called by context::make_* right after construction.
+  void attach_shape(std::shared_ptr<shape_table> table);
+  // Leaves the shape system for good (property delete, GC sweep).
+  void demote_to_dictionary();
 
   // --- property storage (insertion-ordered; scripts' objects are small) ---
   struct property {

@@ -7,6 +7,7 @@
 #include "js/frame_arena.hpp"
 #include "js/ops.hpp"
 #include "js/parser.hpp"
+#include "js/shapes.hpp"
 
 namespace nakika::js {
 
@@ -36,27 +37,152 @@ inline bool ic_cacheable(const object& o) {
   return o.kind != object_kind::array && o.kind != object_kind::byte_array;
 }
 
-// The single-sourced cache invariant: an entry is valid while the object's
-// unique id and shape generation both still match (then prop_index addresses
-// the same own property), and is (re)filled only from an own-property index.
-inline bool ic_hit(const ic_entry& ic, const object& o) {
-  return ic.obj_id == o.id && ic.shape_gen == o.shape_gen;
-}
+// The single-sourced cache invariant: a shape way is valid for every object
+// whose shape id matches (same id => same layout prefix => prop_index
+// addresses the same-named own property); an identity way is valid while the
+// object's unique id and shape generation both still match. Entries are
+// (re)filled only from an own-property index.
 inline void ic_fill(ic_entry& ic, const object& o, int own_index) {
-  if (own_index >= 0) {
-    ic = ic_entry{o.id, o.shape_gen, static_cast<std::uint32_t>(own_index)};
+  // Indices past 16 bits are not worth a way (pathological objects only) and
+  // megamorphic sites have given up on caching.
+  if (own_index < 0 || own_index > 0xFFFF || ic.mega) return;
+  ic_way w;
+  if (o.shape_id != 0) {
+    w.mode = way_shape;
+    w.key = o.shape_id;
+  } else {
+    w.mode = way_identity;
+    w.key = o.id;
+    w.shape_gen = o.shape_gen;
   }
+  w.prop_index = static_cast<std::uint16_t>(own_index);
+  // Refill in place when the key is already cached (an identity way goes
+  // stale whenever its object's generation moves; replacing it keeps the
+  // entry from burning ways on one mutating object).
+  for (unsigned i = 0; i < ic.n_ways; ++i) {
+    if (ic.ways[i].mode == w.mode && ic.ways[i].key == w.key) {
+      ic.ways[i] = w;
+      return;
+    }
+  }
+  if (ic.n_ways < ic_entry::max_ways) {
+    ic.ways[ic.n_ways++] = w;
+    return;
+  }
+  // Megamorphic demotion: a fifth layout at this site. Probing four ways per
+  // access on a site this diverse costs more than the slow path saves, so
+  // the site stops probing and filling entirely.
+  ic = ic_entry{};
+  ic.mega = true;
 }
+
 // Probe-with-accounting: the cached property slot on a hit, nullptr on a
 // miss (callers then take the shared slow path and ic_fill afterwards).
 inline value* ic_probe(context& ctx, ic_entry& ic, object& o) {
-  if (ic_hit(ic, o)) {
-    ctx.note_ic(true);
-    return &o.props[ic.prop_index].val;
+  const std::uint64_t sid = o.shape_id;
+  if (sid != 0) {
+    for (unsigned i = 0; i < ic.n_ways; ++i) {
+      const ic_way& w = ic.ways[i];
+      if (w.mode == way_shape && w.key == sid) {
+        ctx.note_ic_hit(i);
+        return &o.props[w.prop_index].val;
+      }
+    }
+    // Grown-object promotion: append transitions never move existing
+    // properties, so a way cached for an ANCESTOR shape still indexes the
+    // right property. Promote it to a way for the current shape instead of
+    // cold-missing every site the pre-growth object warmed up.
+    if (o.shapes != nullptr && ic.n_ways != 0) {
+      std::uint64_t ancestor = o.shapes->parent_of(sid);
+      for (int depth = 0; ancestor != 0 && depth < 16; ++depth) {
+        for (unsigned i = 0; i < ic.n_ways; ++i) {
+          const ic_way& w = ic.ways[i];
+          if (w.mode == way_shape && w.key == ancestor) {
+            value* v = &o.props[w.prop_index].val;
+            ic_fill(ic, o, static_cast<int>(w.prop_index));
+            ctx.note_ic_hit(1);  // classed as a polymorphic hit
+            return v;
+          }
+        }
+        ancestor = o.shapes->parent_of(ancestor);
+      }
+    }
+  } else {
+    for (unsigned i = 0; i < ic.n_ways; ++i) {
+      const ic_way& w = ic.ways[i];
+      if (w.mode == way_identity && w.key == o.id && w.shape_gen == o.shape_gen) {
+        ctx.note_ic_hit(i);
+        return &o.props[w.prop_index].val;
+      }
+    }
   }
-  ctx.note_ic(false);
+  if (ic.mega) {
+    ctx.note_ic_mega();
+    return nullptr;
+  }
+  ctx.note_ic_miss();
   return nullptr;
 }
+
+
+// --- dispatch strategy -------------------------------------------------------
+// Two interchangeable dispatch strategies share the handler bodies in
+// machine::invoke: computed-goto direct threading on GNU-compatible compilers
+// (each handler jumps straight to the next handler's code, so the indirect
+// branch predicts per-site instead of per-switch), and a portable switch loop
+// everywhere else. Defining NAKIKA_NO_THREADED_DISPATCH forces the switch
+// (CI builds one leg that way to keep the fallback green). Both strategies
+// execute identical bytecode and charge identical fuel, so script results,
+// ops accounting, and the determinism digest cannot differ between them.
+#if defined(__GNUC__) && !defined(NAKIKA_NO_THREADED_DISPATCH)
+#define NAKIKA_THREADED_DISPATCH 1
+#else
+#define NAKIKA_THREADED_DISPATCH 0
+#endif
+
+// Opcode-pair histogram hook (bench_interpreter --profile-pairs): one
+// predictable null check on the request path, a counted (current, next) pair
+// when profiling. `ip` already points at the next instruction here.
+#define VM_PROFILE_PAIR                                                       \
+  do {                                                                        \
+    if (pair_prof != nullptr && insp != nullptr) {                            \
+      ++pair_prof[static_cast<std::size_t>(insp->op) * opcode_count +         \
+                  static_cast<std::size_t>(code_base[ip].op)];                \
+    }                                                                         \
+  } while (0)
+
+#if NAKIKA_THREADED_DISPATCH
+#define VM_CASE(name) L_##name
+// VM_NEXT must be a PLAIN goto, not the computed goto itself: handlers invoke
+// it with destructor-bearing locals (popped values) still in scope, and g++'s
+// `goto*` does not run destructors when it leaves a scope — dispatching
+// directly from handler scope silently leaks one reference per popped value.
+// The plain goto unwinds handler locals correctly; the computed goto then
+// fires from vm_dispatch_next, where only function-scope objects are live
+// (and the jump target is a same-scope label, so nothing is skipped). GCC's
+// duplicate-computed-gotos pass copies the small dispatch block back into
+// each handler tail, so the per-site indirect-branch prediction survives.
+#define VM_NEXT goto vm_dispatch_next
+#define VM_DISPATCH_BEGIN                                                     \
+  vm_dispatch_next:                                                           \
+  VM_PROFILE_PAIR;                                                            \
+  insp = code_base + (ip++);                                                  \
+  ++fuel;                                                                     \
+  goto* vm_dispatch[static_cast<std::size_t>(insp->op)];
+#define VM_DISPATCH_END
+#else
+#define VM_CASE(name) case opcode::name
+#define VM_NEXT break
+#define VM_DISPATCH_BEGIN                                                     \
+  for (;;) {                                                                  \
+    VM_PROFILE_PAIR;                                                          \
+    insp = code_base + (ip++);                                                \
+    ++fuel;                                                                   \
+    switch (insp->op) {
+#define VM_DISPATCH_END                                                       \
+    }                                                                         \
+  }
+#endif
 
 class machine {
  public:
@@ -82,6 +208,13 @@ class machine {
   // chunk and never moves a table once created.
   const compiled_fn* memo_fn_ = nullptr;
   ic_entry* memo_ics_ = nullptr;
+  // Index of the key the most recent forin_next pushed. `table[k]` inside a
+  // for-in loop looks up exactly that key, whose own-property index in the
+  // iterated object equals the enumeration cursor — so index_get first guesses
+  // this position and verifies with one short string compare, skipping the
+  // hash probe. A wrong guess (nested loops, mutated object, unrelated base)
+  // just fails the compare and falls through; correctness never depends on it.
+  std::size_t forin_guess_ = static_cast<std::size_t>(-1);
 };
 
 value machine::index_get(const value& base, const value& idx, int line) {
@@ -110,6 +243,18 @@ value machine::index_get(const value& base, const value& idx, int line) {
     }
     return value::undefined();
   }
+  // String-keyed read on a plain object: resolve own properties directly
+  // (find_own rides the shape index for wide objects), skipping the
+  // idx.to_string() allocation and the generic get_property dispatch that
+  // dominate dictionary-style `table[key]` loops. Misses (prototype-chain
+  // reads, string methods) fall through to the full path.
+  if (base.is_object() && idx.is_string() && ic_cacheable(*base.as_object())) {
+    object& o = *base.as_object();
+    if (forin_guess_ < o.props.size() && o.props[forin_guess_].key == idx.as_string()) {
+      return o.props[forin_guess_].val;
+    }
+    if (const value* v = o.find_own(idx.as_string())) return *v;
+  }
   return host_.get_property(base, idx.to_string(), line);
 }
 
@@ -136,11 +281,42 @@ void machine::index_set(const value& base, const value& idx, const value& v, int
           static_cast<std::uint8_t>(static_cast<std::int64_t>(v.to_number()) & 0xff);
       return;
     }
+    // String-keyed overwrite of an existing own property: same charge the
+    // generic path bills for a set, minus its to_string allocation and
+    // dispatch. New keys (shape transitions, billing for growth) fall
+    // through to the full path.
+    if (idx.is_string() && ic_cacheable(*obj)) {
+      if (value* existing = obj->find_own(idx.as_string())) {
+        ctx_.charge_object(*obj, 32 + idx.as_string().size());
+        *existing = v;
+        return;
+      }
+    }
   }
   host_.set_property(base, idx.to_string(), v, line);
 }
 
 value machine::forin_keys(const value& target) {
+  // Shaped non-array object: the shape pins the key sequence, so serve the
+  // per-shape cached key array instead of rebuilding it (a for-in over a
+  // wide table otherwise copies every key string per loop entry). Sharing
+  // is safe because the array is engine-internal: only forin_next reads it,
+  // and mid-loop mutation of the object demotes the OBJECT's shape without
+  // touching this snapshot — exactly the rebuild path's semantics.
+  if (target.is_object()) {
+    const object_ptr& shaped = target.as_object();
+    if (shaped->shape_id != 0 && shaped->shapes != nullptr &&
+        shaped->kind != object_kind::array) {
+      if (const object_ptr& cached = shaped->shapes->enum_keys(shaped->shape_id)) {
+        return value::object(cached);
+      }
+      auto built = make_array_object();
+      built->elements.reserve(shaped->props.size());
+      for (const auto& p : shaped->props) built->elements.push_back(value::string(p.key));
+      shaped->shapes->set_enum_keys(shaped->shape_id, built);
+      return value::object(std::move(built));
+    }
+  }
   // Engine-internal key list (never script-allocated, so uncharged — the
   // tree-walker's std::vector<std::string> equivalent).
   auto arr = make_array_object();
@@ -271,135 +447,162 @@ value machine::invoke(const compiled_fn_ptr& fnp,
     return c;
   };
 
+  const bc_instr* insp = nullptr;
+  const bc_instr* const code_base = fn.code.data();
+  std::uint64_t* const pair_prof = ctx_.pair_profile_data();
+#if NAKIKA_THREADED_DISPATCH
+  // Handler addresses in exact opcode-enum order (checked by the size
+  // static_assert; keep in sync with bytecode.hpp).
+  static const void* const vm_dispatch[] = {
+      &&L_push_const, &&L_push_undefined, &&L_push_null, &&L_push_true, &&L_push_false,
+      &&L_pop, &&L_dup, &&L_swap,
+      &&L_load_local, &&L_store_local, &&L_store_local_pop, &&L_store_cell_pop,
+      &&L_update_local, &&L_update_cell, &&L_make_cell, &&L_load_cell, &&L_store_cell,
+      &&L_load_capture, &&L_store_capture, &&L_load_global, &&L_load_global_soft,
+      &&L_store_global, &&L_typeof_global,
+      &&L_make_array, &&L_make_object, &&L_make_closure, &&L_get_prop, &&L_set_prop,
+      &&L_get_index, &&L_set_index, &&L_get_method, &&L_get_index_method, &&L_delete_prop,
+      &&L_delete_index, &&L_update_prop, &&L_update_index, &&L_keys, &&L_forin_next,
+      &&L_binary, &&L_compound, &&L_binary_ll, &&L_binary_lc, &&L_binary_cl, &&L_binary_sl,
+      &&L_binary_sc, &&L_binary_ls, &&L_not_op, &&L_negate, &&L_to_number, &&L_bit_not,
+      &&L_typeof_op,
+      &&L_jump, &&L_jump_if_false, &&L_jump_if_true, &&L_jump_if_false_keep,
+      &&L_jump_if_true_keep, &&L_loop_back,
+      &&L_call, &&L_call_method, &&L_check_ctor, &&L_call_new, &&L_ret, &&L_ret_undefined,
+      &&L_push_handler, &&L_pop_handler, &&L_throw_op,
+      &&L_load_local_get_prop, &&L_load_global_get_prop, &&L_load_local_load_local,
+      &&L_binary_lc_jump_if_false, &&L_binary_ll_jump_if_false,
+  };
+  static_assert(sizeof(vm_dispatch) / sizeof(vm_dispatch[0]) == opcode_count,
+                "dispatch table out of sync with the opcode enum");
+#endif
+
   for (;;) {
     try {
-      for (;;) {
-        const bc_instr& ins = fn.code[ip++];
-        ++fuel;
-        switch (ins.op) {
-          case opcode::push_const:
-            stack.push_back(fn.consts[static_cast<std::size_t>(ins.a)]);
-            break;
-          case opcode::push_undefined:
+      VM_DISPATCH_BEGIN
+          VM_CASE(push_const):
+            stack.push_back(fn.consts[static_cast<std::size_t>(insp->a)]);
+            VM_NEXT;
+          VM_CASE(push_undefined):
             stack.push_back(value::undefined());
-            break;
-          case opcode::push_null:
+            VM_NEXT;
+          VM_CASE(push_null):
             stack.push_back(value::null());
-            break;
-          case opcode::push_true:
+            VM_NEXT;
+          VM_CASE(push_true):
             stack.push_back(value::boolean(true));
-            break;
-          case opcode::push_false:
+            VM_NEXT;
+          VM_CASE(push_false):
             stack.push_back(value::boolean(false));
-            break;
+            VM_NEXT;
 
-          case opcode::pop:
+          VM_CASE(pop):
             stack.pop_back();
-            break;
-          case opcode::dup:
+            VM_NEXT;
+          VM_CASE(dup):
             stack.push_back(stack.back());
-            break;
-          case opcode::swap:
+            VM_NEXT;
+          VM_CASE(swap):
             std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
-            break;
+            VM_NEXT;
 
-          case opcode::load_local:
-            stack.push_back(slots[static_cast<std::size_t>(ins.a)]);
-            break;
-          case opcode::store_local:
-            slots[static_cast<std::size_t>(ins.a)] = stack.back();
-            break;
-          case opcode::store_local_pop:
-            slots[static_cast<std::size_t>(ins.a)] = std::move(stack.back());
+          VM_CASE(load_local):
+            stack.push_back(slots[static_cast<std::size_t>(insp->a)]);
+            VM_NEXT;
+          VM_CASE(store_local):
+            slots[static_cast<std::size_t>(insp->a)] = stack.back();
+            VM_NEXT;
+          VM_CASE(store_local_pop):
+            slots[static_cast<std::size_t>(insp->a)] = std::move(stack.back());
             stack.pop_back();
-            break;
-          case opcode::store_cell_pop:
-            *cell_at(static_cast<std::size_t>(ins.a)) = std::move(stack.back());
+            VM_NEXT;
+          VM_CASE(store_cell_pop):
+            *cell_at(static_cast<std::size_t>(insp->a)) = std::move(stack.back());
             stack.pop_back();
-            break;
-          case opcode::update_local: {
-            value& slot = slots[static_cast<std::size_t>(ins.a)];
-            slot = value::number(slot.to_number() + ((ins.b & 2) != 0 ? -1.0 : 1.0));
-            break;
+            VM_NEXT;
+          VM_CASE(update_local): {
+            value& slot = slots[static_cast<std::size_t>(insp->a)];
+            slot = value::number(slot.to_number() + ((insp->b & 2) != 0 ? -1.0 : 1.0));
+            VM_NEXT;
           }
-          case opcode::update_cell: {
-            value& slot = *cell_at(static_cast<std::size_t>(ins.a));
-            slot = value::number(slot.to_number() + ((ins.b & 2) != 0 ? -1.0 : 1.0));
-            break;
+          VM_CASE(update_cell): {
+            value& slot = *cell_at(static_cast<std::size_t>(insp->a));
+            slot = value::number(slot.to_number() + ((insp->b & 2) != 0 ? -1.0 : 1.0));
+            VM_NEXT;
           }
-          case opcode::make_cell:
-            cells[static_cast<std::size_t>(ins.a)] = std::make_shared<value>();
-            break;
-          case opcode::load_cell:
-            stack.push_back(*cell_at(static_cast<std::size_t>(ins.a)));
-            break;
-          case opcode::store_cell:
-            *cell_at(static_cast<std::size_t>(ins.a)) = stack.back();
-            break;
-          case opcode::load_capture:
-            stack.push_back(*(*captures)[static_cast<std::size_t>(ins.a)]);
-            break;
-          case opcode::store_capture:
-            *(*captures)[static_cast<std::size_t>(ins.a)] = stack.back();
-            break;
+          VM_CASE(make_cell):
+            cells[static_cast<std::size_t>(insp->a)] = std::make_shared<value>();
+            VM_NEXT;
+          VM_CASE(load_cell):
+            stack.push_back(*cell_at(static_cast<std::size_t>(insp->a)));
+            VM_NEXT;
+          VM_CASE(store_cell):
+            *cell_at(static_cast<std::size_t>(insp->a)) = stack.back();
+            VM_NEXT;
+          VM_CASE(load_capture):
+            stack.push_back(*(*captures)[static_cast<std::size_t>(insp->a)]);
+            VM_NEXT;
+          VM_CASE(store_capture):
+            *(*captures)[static_cast<std::size_t>(insp->a)] = stack.back();
+            VM_NEXT;
 
-          case opcode::load_global: {
+          VM_CASE(load_global): {
             object* const g = global_obj;
-            ic_entry& ic = ics[static_cast<std::size_t>(ins.b)];
+            ic_entry& ic = ics[static_cast<std::size_t>(insp->b)];
             if (const value* v = ic_probe(ctx_, ic, *g)) {
               stack.push_back(*v);
-              break;
+              VM_NEXT;
             }
             const std::string& name =
-                fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+                fn.consts[static_cast<std::size_t>(insp->a)].as_string();
             const int idx = g->own_index(name);
             if (idx < 0) {
-              host_.runtime_fail("'" + name + "' is not defined", ins.line);
+              host_.runtime_fail("'" + name + "' is not defined", insp->line);
             }
             ic_fill(ic, *g, idx);
             stack.push_back(g->props[static_cast<std::size_t>(idx)].val);
-            break;
+            VM_NEXT;
           }
-          case opcode::load_global_soft: {
+          VM_CASE(load_global_soft): {
             object* const g = global_obj;
-            ic_entry& ic = ics[static_cast<std::size_t>(ins.b)];
+            ic_entry& ic = ics[static_cast<std::size_t>(insp->b)];
             if (const value* v = ic_probe(ctx_, ic, *g)) {
               stack.push_back(*v);
-              break;
+              VM_NEXT;
             }
             const std::string& name =
-                fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+                fn.consts[static_cast<std::size_t>(insp->a)].as_string();
             const int idx = g->own_index(name);
             if (idx < 0) {
               stack.push_back(value::undefined());
-              break;
+              VM_NEXT;
             }
             ic_fill(ic, *g, idx);
             stack.push_back(g->props[static_cast<std::size_t>(idx)].val);
-            break;
+            VM_NEXT;
           }
-          case opcode::store_global: {
+          VM_CASE(store_global): {
             object* const g = global_obj;
-            ic_entry& ic = ics[static_cast<std::size_t>(ins.b)];
+            ic_entry& ic = ics[static_cast<std::size_t>(insp->b)];
             if (value* v = ic_probe(ctx_, ic, *g)) {
               *v = stack.back();
-              break;
+              VM_NEXT;
             }
             const std::string& name =
-                fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+                fn.consts[static_cast<std::size_t>(insp->a)].as_string();
             g->set(name, stack.back());
             ic_fill(ic, *g, g->own_index(name));
-            break;
+            VM_NEXT;
           }
-          case opcode::typeof_global: {
+          VM_CASE(typeof_global): {
             const value* v = ctx_.global()->find_own(
-                fn.consts[static_cast<std::size_t>(ins.a)].as_string());
+                fn.consts[static_cast<std::size_t>(insp->a)].as_string());
             stack.push_back(value::string(v != nullptr ? v->type_name() : "undefined"));
-            break;
+            VM_NEXT;
           }
 
-          case opcode::make_array: {
-            const auto n = static_cast<std::size_t>(ins.a);
+          VM_CASE(make_array): {
+            const auto n = static_cast<std::size_t>(insp->a);
             auto arr = ctx_.make_array();
             arr->elements.reserve(n);
             const std::size_t base = stack.size() - n;
@@ -409,10 +612,10 @@ value machine::invoke(const compiled_fn_ptr& fnp,
             stack.resize(base);
             ctx_.charge_object(*arr, n * 16);
             stack.push_back(value::object(std::move(arr)));
-            break;
+            VM_NEXT;
           }
-          case opcode::make_object: {
-            const auto n = static_cast<std::size_t>(ins.a);
+          VM_CASE(make_object): {
+            const auto n = static_cast<std::size_t>(insp->a);
             auto obj = ctx_.make_object();
             const std::size_t base = stack.size() - 2 * n;
             for (std::size_t i = 0; i < n; ++i) {
@@ -421,10 +624,10 @@ value machine::invoke(const compiled_fn_ptr& fnp,
             stack.resize(base);
             ctx_.charge_object(*obj, n * 32);
             stack.push_back(value::object(std::move(obj)));
-            break;
+            VM_NEXT;
           }
-          case opcode::make_closure: {
-            const auto& proto = fn.fns[static_cast<std::size_t>(ins.a)];
+          VM_CASE(make_closure): {
+            const auto& proto = fn.fns[static_cast<std::size_t>(insp->a)];
             std::vector<std::shared_ptr<value>> caps;
             caps.reserve(proto->captures.size());
             for (const capture_src& src : proto->captures) {
@@ -434,312 +637,332 @@ value machine::invoke(const compiled_fn_ptr& fnp,
               caps.push_back(std::move(cell));
             }
             stack.push_back(value::object(ctx_.make_compiled_function(proto, std::move(caps))));
-            break;
+            VM_NEXT;
           }
 
-          case opcode::get_prop: {
+          VM_CASE(get_prop): {
             const value base = pop();
             if (base.is_object() && ic_cacheable(*base.as_object())) {
               object* o = base.as_object().get();
-              ic_entry& ic = ics[static_cast<std::size_t>(ins.b)];
+              ic_entry& ic = ics[static_cast<std::size_t>(insp->b)];
               if (const value* cached = ic_probe(ctx_, ic, *o)) {
                 stack.push_back(*cached);
-                break;
+                VM_NEXT;
               }
               const std::string& name =
-                  fn.consts[static_cast<std::size_t>(ins.a)].as_string();
-              value v = host_.get_property(base, name, ins.line);
+                  fn.consts[static_cast<std::size_t>(insp->a)].as_string();
+              value v = host_.get_property(base, name, insp->line);
               // Only own-property hits are cacheable: a prototype-chain read
               // has no stable (object, index) to come back to.
               ic_fill(ic, *o, o->own_index(name));
               stack.push_back(std::move(v));
-              break;
+              VM_NEXT;
             }
             stack.push_back(host_.get_property(
-                base, fn.consts[static_cast<std::size_t>(ins.a)].as_string(), ins.line));
-            break;
+                base, fn.consts[static_cast<std::size_t>(insp->a)].as_string(), insp->line));
+            VM_NEXT;
           }
-          case opcode::set_prop: {
+          VM_CASE(set_prop): {
             value v = pop();
             const value base = pop();
             if (base.is_object() && ic_cacheable(*base.as_object())) {
               object* o = base.as_object().get();
-              ic_entry& ic = ics[static_cast<std::size_t>(ins.b)];
+              ic_entry& ic = ics[static_cast<std::size_t>(insp->b)];
               const std::string& name =
-                  fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+                  fn.consts[static_cast<std::size_t>(insp->a)].as_string();
               if (value* cached = ic_probe(ctx_, ic, *o)) {
                 // Same charge the uncached path applies for every set.
                 ctx_.charge_object(*o, 32 + name.size());
                 *cached = v;
                 stack.push_back(std::move(v));
-                break;
+                VM_NEXT;
               }
-              host_.set_property(base, name, v, ins.line);
+              host_.set_property(base, name, v, insp->line);
               ic_fill(ic, *o, o->own_index(name));
               stack.push_back(std::move(v));
-              break;
+              VM_NEXT;
             }
-            host_.set_property(base, fn.consts[static_cast<std::size_t>(ins.a)].as_string(),
-                               v, ins.line);
+            host_.set_property(base, fn.consts[static_cast<std::size_t>(insp->a)].as_string(),
+                               v, insp->line);
             stack.push_back(std::move(v));
-            break;
+            VM_NEXT;
           }
-          case opcode::get_index: {
+          VM_CASE(get_index): {
             const value idx = pop();
             const value base = pop();
-            stack.push_back(index_get(base, idx, ins.line));
-            break;
+            stack.push_back(index_get(base, idx, insp->line));
+            VM_NEXT;
           }
-          case opcode::set_index: {
+          VM_CASE(set_index): {
             value v = pop();
             const value idx = pop();
             const value base = pop();
-            index_set(base, idx, v, ins.line);
+            index_set(base, idx, v, insp->line);
             stack.push_back(std::move(v));
-            break;
+            VM_NEXT;
           }
-          case opcode::get_method: {
+          VM_CASE(get_method): {
             const value& base = stack.back();
             const std::string* name = nullptr;
             value callee;
             if (base.is_object() && ic_cacheable(*base.as_object())) {
               object* o = base.as_object().get();
-              ic_entry& ic = ics[static_cast<std::size_t>(ins.b)];
+              ic_entry& ic = ics[static_cast<std::size_t>(insp->b)];
               if (const value* cached = ic_probe(ctx_, ic, *o)) {
                 callee = *cached;
               } else {
-                name = &fn.consts[static_cast<std::size_t>(ins.a)].as_string();
-                callee = host_.get_property(base, *name, ins.line);
+                name = &fn.consts[static_cast<std::size_t>(insp->a)].as_string();
+                callee = host_.get_property(base, *name, insp->line);
                 ic_fill(ic, *o, o->own_index(*name));
               }
             } else {
-              name = &fn.consts[static_cast<std::size_t>(ins.a)].as_string();
-              callee = host_.get_property(base, *name, ins.line);
+              name = &fn.consts[static_cast<std::size_t>(insp->a)].as_string();
+              callee = host_.get_property(base, *name, insp->line);
             }
             if (callee.is_undefined()) {
               if (name == nullptr) {
-                name = &fn.consts[static_cast<std::size_t>(ins.a)].as_string();
+                name = &fn.consts[static_cast<std::size_t>(insp->a)].as_string();
               }
               host_.runtime_fail("method '" + *name + "' is not defined on " +
                                      std::string(base.type_name()),
-                                 ins.line);
+                                 insp->line);
             }
             stack.push_back(std::move(callee));
-            break;
+            VM_NEXT;
           }
-          case opcode::get_index_method: {
+          VM_CASE(get_index_method): {
             const value idx = pop();
             const value& base = stack.back();
             if (base.is_object() && idx.is_string() && ic_cacheable(*base.as_object())) {
               object* o = base.as_object().get();
               const std::string& key = idx.as_string();
-              ic_entry& ic = ics[static_cast<std::size_t>(ins.a)];
-              // Dynamic key: the cached index is only right if the key at
-              // that index still equals this access's key.
-              if (ic_hit(ic, *o) && o->props[ic.prop_index].key == key) {
-                ctx_.note_ic(true);
-                stack.push_back(o->props[ic.prop_index].val);
-                break;
+              ic_entry& ic = ics[static_cast<std::size_t>(insp->a)];
+              // Dynamic key: a way match additionally requires the key at the
+              // cached index to equal this access's key (the site may probe
+              // the same shape with varying keys).
+              const value* cached = nullptr;
+              for (unsigned wi = 0; wi < ic.n_ways; ++wi) {
+                const ic_way& w = ic.ways[wi];
+                const bool match =
+                    o->shape_id != 0
+                        ? (w.mode == way_shape && w.key == o->shape_id)
+                        : (w.mode == way_identity && w.key == o->id &&
+                           w.shape_gen == o->shape_gen);
+                if (match && o->props[w.prop_index].key == key) {
+                  ctx_.note_ic_hit(wi);
+                  cached = &o->props[w.prop_index].val;
+                  break;  // exits the way scan, not the dispatch
+                }
               }
-              ctx_.note_ic(false);
-              value v = host_.get_property(base, key, ins.line);
+              if (cached != nullptr) {
+                stack.push_back(*cached);
+                VM_NEXT;
+              }
+              if (ic.mega) {
+                ctx_.note_ic_mega();
+                stack.push_back(host_.get_property(base, key, insp->line));
+                VM_NEXT;
+              }
+              ctx_.note_ic_miss();
+              value v = host_.get_property(base, key, insp->line);
               ic_fill(ic, *o, o->own_index(key));
               stack.push_back(std::move(v));
-              break;
+              VM_NEXT;
             }
-            stack.push_back(host_.get_property(base, idx.to_string(), ins.line));
-            break;
+            stack.push_back(host_.get_property(base, idx.to_string(), insp->line));
+            VM_NEXT;
           }
-          case opcode::delete_prop: {
+          VM_CASE(delete_prop): {
             const value base = pop();
             stack.push_back(value::boolean(
                 base.is_object() &&
                 base.as_object()->erase(
-                    fn.consts[static_cast<std::size_t>(ins.a)].as_string())));
-            break;
+                    fn.consts[static_cast<std::size_t>(insp->a)].as_string())));
+            VM_NEXT;
           }
-          case opcode::delete_index: {
+          VM_CASE(delete_index): {
             const value idx = pop();
             const value base = pop();
             stack.push_back(value::boolean(base.is_object() &&
                                            base.as_object()->erase(idx.to_string())));
-            break;
+            VM_NEXT;
           }
-          case opcode::update_prop: {
+          VM_CASE(update_prop): {
             const value base = pop();
             const std::string& name =
-                fn.consts[static_cast<std::size_t>(ins.a)].as_string();
-            const double delta = (ins.b & 2) != 0 ? -1.0 : 1.0;
+                fn.consts[static_cast<std::size_t>(insp->a)].as_string();
+            const double delta = (insp->b & 2) != 0 ? -1.0 : 1.0;
             double old_value = 0.0;
             if (base.is_object() && ic_cacheable(*base.as_object())) {
               object* o = base.as_object().get();
-              ic_entry& ic = ics[static_cast<std::size_t>(ins.c)];
+              ic_entry& ic = ics[static_cast<std::size_t>(insp->c)];
               if (value* cached = ic_probe(ctx_, ic, *o)) {
                 old_value = cached->to_number();
                 ctx_.charge_object(*o, 32 + name.size());
                 *cached = value::number(old_value + delta);
               } else {
-                old_value = host_.get_property(base, name, ins.line).to_number();
-                host_.set_property(base, name, value::number(old_value + delta), ins.line);
+                old_value = host_.get_property(base, name, insp->line).to_number();
+                host_.set_property(base, name, value::number(old_value + delta), insp->line);
                 ic_fill(ic, *o, o->own_index(name));
               }
             } else {
-              old_value = host_.get_property(base, name, ins.line).to_number();
-              host_.set_property(base, name, value::number(old_value + delta), ins.line);
+              old_value = host_.get_property(base, name, insp->line).to_number();
+              host_.set_property(base, name, value::number(old_value + delta), insp->line);
             }
             stack.push_back(
-                value::number((ins.b & 1) != 0 ? old_value + delta : old_value));
-            break;
+                value::number((insp->b & 1) != 0 ? old_value + delta : old_value));
+            VM_NEXT;
           }
-          case opcode::update_index: {
+          VM_CASE(update_index): {
             const value idx = pop();
             const value base = pop();
-            const double delta = (ins.b & 2) != 0 ? -1.0 : 1.0;
+            const double delta = (insp->b & 2) != 0 ? -1.0 : 1.0;
             double old_value = 0.0;
             if (base.is_object() && base.as_object()->kind == object_kind::array &&
                 idx.is_number()) {
               const auto& obj = base.as_object();
               const auto i = static_cast<std::size_t>(idx.as_number());
               if (i >= obj->elements.size()) {
-                host_.runtime_fail("array index out of range", ins.line);
+                host_.runtime_fail("array index out of range", insp->line);
               }
               old_value = obj->elements[i].to_number();
               obj->elements[i] = value::number(old_value + delta);
             } else {
               const std::string key = idx.to_string();
-              old_value = host_.get_property(base, key, ins.line).to_number();
-              host_.set_property(base, key, value::number(old_value + delta), ins.line);
+              old_value = host_.get_property(base, key, insp->line).to_number();
+              host_.set_property(base, key, value::number(old_value + delta), insp->line);
             }
             stack.push_back(
-                value::number((ins.b & 1) != 0 ? old_value + delta : old_value));
-            break;
+                value::number((insp->b & 1) != 0 ? old_value + delta : old_value));
+            VM_NEXT;
           }
-          case opcode::keys: {
+          VM_CASE(keys): {
             const value target = pop();
             stack.push_back(forin_keys(target));
-            break;
+            VM_NEXT;
           }
-          case opcode::forin_next: {
+          VM_CASE(forin_next): {
             // The compiler guarantees slots[b] is the engine-built key array
             // and slots[c] the numeric cursor.
-            const auto& arr = slots[static_cast<std::size_t>(ins.b)].as_object();
-            value& cursor = slots[static_cast<std::size_t>(ins.c)];
+            const auto& arr = slots[static_cast<std::size_t>(insp->b)].as_object();
+            value& cursor = slots[static_cast<std::size_t>(insp->c)];
             const auto i = static_cast<std::size_t>(cursor.as_number());
             if (i >= arr->elements.size()) {
-              ip = static_cast<std::size_t>(ins.a);
+              ip = static_cast<std::size_t>(insp->a);
             } else {
               stack.push_back(arr->elements[i]);
               cursor = value::number(static_cast<double>(i + 1));
+              forin_guess_ = i;  // `table[k]` in the body sits at this index
             }
-            break;
+            VM_NEXT;
           }
 
-          case opcode::binary: {
+          VM_CASE(binary): {
             const value r = pop();
             const value l = pop();
             stack.push_back(
-                apply_binop(ctx_, static_cast<binop>(ins.a), l, r, ins.line));
-            break;
+                apply_binop(ctx_, static_cast<binop>(insp->a), l, r, insp->line));
+            VM_NEXT;
           }
-          case opcode::compound: {
+          VM_CASE(compound): {
             const value r = pop();
             const value l = pop();
             stack.push_back(
-                apply_compound_binop(ctx_, static_cast<binop>(ins.a), l, r, ins.line));
-            break;
+                apply_compound_binop(ctx_, static_cast<binop>(insp->a), l, r, insp->line));
+            VM_NEXT;
           }
-          case opcode::binary_ll:
-            stack.push_back(apply_binop(ctx_, static_cast<binop>(ins.a),
-                                        slots[static_cast<std::size_t>(ins.b)],
-                                        slots[static_cast<std::size_t>(ins.c)], ins.line));
-            break;
-          case opcode::binary_lc:
-            stack.push_back(apply_binop(ctx_, static_cast<binop>(ins.a),
-                                        slots[static_cast<std::size_t>(ins.b)],
-                                        fn.consts[static_cast<std::size_t>(ins.c)],
-                                        ins.line));
-            break;
-          case opcode::binary_cl:
-            stack.push_back(apply_binop(ctx_, static_cast<binop>(ins.a),
-                                        fn.consts[static_cast<std::size_t>(ins.b)],
-                                        slots[static_cast<std::size_t>(ins.c)], ins.line));
-            break;
-          case opcode::binary_sl: {
+          VM_CASE(binary_ll):
+            stack.push_back(apply_binop(ctx_, static_cast<binop>(insp->a),
+                                        slots[static_cast<std::size_t>(insp->b)],
+                                        slots[static_cast<std::size_t>(insp->c)], insp->line));
+            VM_NEXT;
+          VM_CASE(binary_lc):
+            stack.push_back(apply_binop(ctx_, static_cast<binop>(insp->a),
+                                        slots[static_cast<std::size_t>(insp->b)],
+                                        fn.consts[static_cast<std::size_t>(insp->c)],
+                                        insp->line));
+            VM_NEXT;
+          VM_CASE(binary_cl):
+            stack.push_back(apply_binop(ctx_, static_cast<binop>(insp->a),
+                                        fn.consts[static_cast<std::size_t>(insp->b)],
+                                        slots[static_cast<std::size_t>(insp->c)], insp->line));
+            VM_NEXT;
+          VM_CASE(binary_sl): {
             value result =
-                apply_binop(ctx_, static_cast<binop>(ins.a), stack.back(),
-                            slots[static_cast<std::size_t>(ins.b)], ins.line);
+                apply_binop(ctx_, static_cast<binop>(insp->a), stack.back(),
+                            slots[static_cast<std::size_t>(insp->b)], insp->line);
             stack.back() = std::move(result);
-            break;
+            VM_NEXT;
           }
-          case opcode::binary_sc: {
+          VM_CASE(binary_sc): {
             value result =
-                apply_binop(ctx_, static_cast<binop>(ins.a), stack.back(),
-                            fn.consts[static_cast<std::size_t>(ins.b)], ins.line);
+                apply_binop(ctx_, static_cast<binop>(insp->a), stack.back(),
+                            fn.consts[static_cast<std::size_t>(insp->b)], insp->line);
             stack.back() = std::move(result);
-            break;
+            VM_NEXT;
           }
-          case opcode::binary_ls: {
+          VM_CASE(binary_ls): {
             value result =
-                apply_binop(ctx_, static_cast<binop>(ins.a),
-                            slots[static_cast<std::size_t>(ins.b)], stack.back(), ins.line);
+                apply_binop(ctx_, static_cast<binop>(insp->a),
+                            slots[static_cast<std::size_t>(insp->b)], stack.back(), insp->line);
             stack.back() = std::move(result);
-            break;
+            VM_NEXT;
           }
-          case opcode::not_op:
+          VM_CASE(not_op):
             stack.back() = value::boolean(!stack.back().truthy());
-            break;
-          case opcode::negate:
+            VM_NEXT;
+          VM_CASE(negate):
             stack.back() = value::number(-stack.back().to_number());
-            break;
-          case opcode::to_number:
+            VM_NEXT;
+          VM_CASE(to_number):
             stack.back() = value::number(stack.back().to_number());
-            break;
-          case opcode::bit_not:
+            VM_NEXT;
+          VM_CASE(bit_not):
             stack.back() = value::number(static_cast<double>(
                 ~static_cast<std::int32_t>(op_to_int32(stack.back().to_number()))));
-            break;
-          case opcode::typeof_op:
+            VM_NEXT;
+          VM_CASE(typeof_op):
             stack.back() = value::string(stack.back().type_name());
-            break;
+            VM_NEXT;
 
-          case opcode::jump:
-            ip = static_cast<std::size_t>(ins.a);
-            break;
-          case opcode::jump_if_false:
-            if (!pop().truthy()) ip = static_cast<std::size_t>(ins.a);
-            break;
-          case opcode::jump_if_true:
-            if (pop().truthy()) ip = static_cast<std::size_t>(ins.a);
-            break;
-          case opcode::jump_if_false_keep:
+          VM_CASE(jump):
+            ip = static_cast<std::size_t>(insp->a);
+            VM_NEXT;
+          VM_CASE(jump_if_false):
+            if (!pop().truthy()) ip = static_cast<std::size_t>(insp->a);
+            VM_NEXT;
+          VM_CASE(jump_if_true):
+            if (pop().truthy()) ip = static_cast<std::size_t>(insp->a);
+            VM_NEXT;
+          VM_CASE(jump_if_false_keep):
             if (!stack.back().truthy()) {
-              ip = static_cast<std::size_t>(ins.a);
+              ip = static_cast<std::size_t>(insp->a);
             } else {
               stack.pop_back();
             }
-            break;
-          case opcode::jump_if_true_keep:
+            VM_NEXT;
+          VM_CASE(jump_if_true_keep):
             if (stack.back().truthy()) {
-              ip = static_cast<std::size_t>(ins.a);
+              ip = static_cast<std::size_t>(insp->a);
             } else {
               stack.pop_back();
             }
-            break;
-          case opcode::loop_back:
-            flush_fuel(ins.line);
-            ip = static_cast<std::size_t>(ins.a);
-            break;
+            VM_NEXT;
+          VM_CASE(loop_back):
+            flush_fuel(insp->line);
+            ip = static_cast<std::size_t>(insp->a);
+            VM_NEXT;
 
-          case opcode::check_ctor:
+          VM_CASE(check_ctor):
             if (!stack.back().is_object() || !stack.back().as_object()->callable()) {
-              host_.runtime_fail("'new' applied to a non-function", ins.line);
+              host_.runtime_fail("'new' applied to a non-function", insp->line);
             }
-            break;
+            VM_NEXT;
 
-          case opcode::call:
-          case opcode::call_method:
-          case opcode::call_new: {
-            const auto argc = static_cast<std::size_t>(ins.a);
+          VM_CASE(call):
+          VM_CASE(call_method):
+          VM_CASE(call_new): {
+            const auto argc = static_cast<std::size_t>(insp->a);
             const std::size_t args_base = stack.size() - argc;
             // The callee consumes its arguments directly from this frame's
             // stack segment (it moves the values out); no per-call argument
@@ -747,51 +970,145 @@ value machine::invoke(const compiled_fn_ptr& fnp,
             // call because the callee runs on its own arena frame.
             const std::span<value> cargs(stack.data() + args_base, argc);
             value result;
-            flush_fuel(ins.line);
-            if (ins.op == opcode::call) {
+            flush_fuel(insp->line);
+            if (insp->op == opcode::call) {
               value callee = std::move(stack[args_base - 1]);
-              result = do_call(std::move(callee), value::undefined(), cargs, ins.line);
+              result = do_call(std::move(callee), value::undefined(), cargs, insp->line);
               stack.resize(args_base - 1);
-            } else if (ins.op == opcode::call_method) {
+            } else if (insp->op == opcode::call_method) {
               value callee = std::move(stack[args_base - 1]);
-              result = do_call(std::move(callee), stack[args_base - 2], cargs, ins.line);
+              result = do_call(std::move(callee), stack[args_base - 2], cargs, insp->line);
               stack.resize(args_base - 2);
             } else {
               value callee = std::move(stack[args_base - 1]);
-              result = do_new(std::move(callee), cargs, ins.line);
+              result = do_new(std::move(callee), cargs, insp->line);
               stack.resize(args_base - 1);
             }
             stack.push_back(std::move(result));
-            break;
+            VM_NEXT;
           }
 
-          case opcode::ret: {
-            flush_fuel(ins.line);
+          VM_CASE(ret): {
+            flush_fuel(insp->line);
             return pop();
           }
-          case opcode::ret_undefined:
-            flush_fuel(ins.line);
+          VM_CASE(ret_undefined):
+            flush_fuel(insp->line);
             return value::undefined();
 
-          case opcode::push_handler:
-            handlers.push_back(vm_handler{static_cast<std::size_t>(ins.a), stack.size()});
-            break;
-          case opcode::pop_handler:
+          VM_CASE(push_handler):
+            handlers.push_back(vm_handler{static_cast<std::size_t>(insp->a), stack.size()});
+            VM_NEXT;
+          VM_CASE(pop_handler):
             handlers.pop_back();
-            break;
-          case opcode::throw_op: {
-            if (ins.a == 1) {
+            VM_NEXT;
+          VM_CASE(throw_op): {
+            if (insp->a == 1) {
               // Engine-level error compiled in place (illegal break/return):
               // not catchable by script code.
               const value msg = pop();
-              host_.runtime_fail(msg.to_string(), ins.line);
+              host_.runtime_fail(msg.to_string(), insp->line);
             }
             value v = pop();
-            flush_fuel(ins.line);
+            flush_fuel(insp->line);
             throw thrown_value{std::move(v)};
           }
-        }
-      }
+
+          // --- fused superinstructions ------------------------------------
+          // Each handler reads its second half from the stream (`op2`),
+          // advances past it, and charges its fuel with ++fuel, so the fused
+          // program burns exactly the ops budget of the unfused one (the
+          // determinism digest cannot tell them apart). The intermediate
+          // value the unfused pair would push-then-pop never touches the
+          // stack, which also means the stack state at every possible throw
+          // point matches the unfused program's.
+          VM_CASE(load_local_get_prop): {
+            const bc_instr& op2 = code_base[ip++];
+            ++fuel;
+            const value base = slots[static_cast<std::size_t>(insp->a)];
+            if (base.is_object() && ic_cacheable(*base.as_object())) {
+              object* o = base.as_object().get();
+              ic_entry& ic = ics[static_cast<std::size_t>(op2.b)];
+              if (const value* cached = ic_probe(ctx_, ic, *o)) {
+                stack.push_back(*cached);
+                VM_NEXT;
+              }
+              const std::string& name =
+                  fn.consts[static_cast<std::size_t>(op2.a)].as_string();
+              value v = host_.get_property(base, name, op2.line);
+              ic_fill(ic, *o, o->own_index(name));
+              stack.push_back(std::move(v));
+              VM_NEXT;
+            }
+            stack.push_back(host_.get_property(
+                base, fn.consts[static_cast<std::size_t>(op2.a)].as_string(), op2.line));
+            VM_NEXT;
+          }
+          VM_CASE(load_global_get_prop): {
+            const bc_instr& op2 = code_base[ip++];
+            ++fuel;
+            object* const g = global_obj;
+            value base;
+            {
+              ic_entry& gic = ics[static_cast<std::size_t>(insp->b)];
+              if (const value* v = ic_probe(ctx_, gic, *g)) {
+                base = *v;
+              } else {
+                const std::string& gname =
+                    fn.consts[static_cast<std::size_t>(insp->a)].as_string();
+                const int idx = g->own_index(gname);
+                if (idx < 0) {
+                  host_.runtime_fail("'" + gname + "' is not defined", insp->line);
+                }
+                ic_fill(gic, *g, idx);
+                base = g->props[static_cast<std::size_t>(idx)].val;
+              }
+            }
+            if (base.is_object() && ic_cacheable(*base.as_object())) {
+              object* o = base.as_object().get();
+              ic_entry& ic = ics[static_cast<std::size_t>(op2.b)];
+              if (const value* cached = ic_probe(ctx_, ic, *o)) {
+                stack.push_back(*cached);
+                VM_NEXT;
+              }
+              const std::string& name =
+                  fn.consts[static_cast<std::size_t>(op2.a)].as_string();
+              value v = host_.get_property(base, name, op2.line);
+              ic_fill(ic, *o, o->own_index(name));
+              stack.push_back(std::move(v));
+              VM_NEXT;
+            }
+            stack.push_back(host_.get_property(
+                base, fn.consts[static_cast<std::size_t>(op2.a)].as_string(), op2.line));
+            VM_NEXT;
+          }
+          VM_CASE(load_local_load_local): {
+            const bc_instr& op2 = code_base[ip++];
+            ++fuel;
+            stack.push_back(slots[static_cast<std::size_t>(insp->a)]);
+            stack.push_back(slots[static_cast<std::size_t>(op2.a)]);
+            VM_NEXT;
+          }
+          VM_CASE(binary_lc_jump_if_false): {
+            const bc_instr& op2 = code_base[ip++];
+            ++fuel;
+            const value r = apply_binop(ctx_, static_cast<binop>(insp->a),
+                                        slots[static_cast<std::size_t>(insp->b)],
+                                        fn.consts[static_cast<std::size_t>(insp->c)],
+                                        insp->line);
+            if (!r.truthy()) ip = static_cast<std::size_t>(op2.a);
+            VM_NEXT;
+          }
+          VM_CASE(binary_ll_jump_if_false): {
+            const bc_instr& op2 = code_base[ip++];
+            ++fuel;
+            const value r = apply_binop(ctx_, static_cast<binop>(insp->a),
+                                        slots[static_cast<std::size_t>(insp->b)],
+                                        slots[static_cast<std::size_t>(insp->c)], insp->line);
+            if (!r.truthy()) ip = static_cast<std::size_t>(op2.a);
+            VM_NEXT;
+          }
+      VM_DISPATCH_END
     } catch (thrown_value& t) {
       if (handlers.empty()) throw;
       const vm_handler h = handlers.back();

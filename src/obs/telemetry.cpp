@@ -93,7 +93,10 @@ std::string to_json(const telemetry_snapshot& snap) {
     first = false;
     os << "\"" << json_escape(t.site) << "\":{"
        << "\"requests\":" << t.requests << ",\"ic_hits\":" << t.ic_hits
-       << ",\"ic_misses\":" << t.ic_misses << ",\"log_lines\":" << t.log_lines
+       << ",\"ic_misses\":" << t.ic_misses << ",\"ic_mono_hits\":" << t.ic_mono_hits
+       << ",\"ic_poly_hits\":" << t.ic_poly_hits
+       << ",\"ic_mega_lookups\":" << t.ic_mega_lookups
+       << ",\"log_lines\":" << t.log_lines
        << ",\"log_dropped\":" << t.log_dropped << ",\"kills\":" << t.kills
        << ",\"quota_rejections\":" << t.quota_rejections
        << ",\"cache_bytes\":" << t.cache_bytes << ",\"cache_quota\":" << t.cache_quota
@@ -137,7 +140,12 @@ std::string stats_report(const telemetry_snapshot& snap) {
     os << "tenants:\n";
     for (const auto& t : snap.tenants) {
       os << "  " << t.site << ": requests=" << t.requests << " ic=" << t.ic_hits << "/"
-         << (t.ic_hits + t.ic_misses) << " cache_bytes=" << t.cache_bytes;
+         << (t.ic_hits + t.ic_misses);
+      if (t.ic_poly_hits != 0 || t.ic_mega_lookups != 0) {
+        os << " (mono=" << t.ic_mono_hits << " poly=" << t.ic_poly_hits
+           << " mega=" << t.ic_mega_lookups << ")";
+      }
+      os << " cache_bytes=" << t.cache_bytes;
       if (t.cache_quota != 0) os << "/" << t.cache_quota;
       if (t.quota_rejections != 0) os << " quota_rejections=" << t.quota_rejections;
       if (t.kills != 0) os << " kills=" << t.kills;

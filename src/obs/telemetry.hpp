@@ -25,6 +25,11 @@ struct tenant_stats {
   std::uint64_t requests = 0;
   std::uint64_t ic_hits = 0;
   std::uint64_t ic_misses = 0;
+  // Inline-cache hit-state split: mono (way 0) + poly (ways 1-3) == ic_hits;
+  // mega_lookups count accesses at sites that overflowed past 4 layouts.
+  std::uint64_t ic_mono_hits = 0;
+  std::uint64_t ic_poly_hits = 0;
+  std::uint64_t ic_mega_lookups = 0;
   std::uint64_t log_lines = 0;
   std::uint64_t log_dropped = 0;
   std::uint64_t kills = 0;

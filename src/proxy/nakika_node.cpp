@@ -119,6 +119,12 @@ void nakika_node::register_metrics() {
   ids_.execute_nanos = metrics_.counter("script.execute_nanos");
   ids_.ic_hits = metrics_.counter("script.ic_hits");
   ids_.ic_misses = metrics_.counter("script.ic_misses");
+  ids_.ic_mono_hits = metrics_.counter("script.ic_mono_hits");
+  ids_.ic_poly_hits = metrics_.counter("script.ic_poly_hits");
+  ids_.ic_mega_lookups = metrics_.counter("script.ic_mega_lookups");
+  ids_.shape_transitions = metrics_.counter("shapes.transitions");
+  ids_.shape_dict_fallbacks = metrics_.counter("shapes.dict_fallbacks");
+  ids_.shapes_live = metrics_.gauge("shapes.live");
   ids_.stages_executed = metrics_.counter("script.stages_executed");
   ids_.out_cache_hit = metrics_.counter("outcome.cache_hit");
   ids_.out_cache_miss = metrics_.counter("outcome.cache_miss");
@@ -153,6 +159,11 @@ nakika_node::script_time_stats nakika_node::script_times() const {
       static_cast<double>(metrics_.counter_value(ids_.execute_nanos)) * 1e-9;
   out.ic_hits = metrics_.counter_value(ids_.ic_hits);
   out.ic_misses = metrics_.counter_value(ids_.ic_misses);
+  out.ic_mono_hits = metrics_.counter_value(ids_.ic_mono_hits);
+  out.ic_poly_hits = metrics_.counter_value(ids_.ic_poly_hits);
+  out.ic_mega_lookups = metrics_.counter_value(ids_.ic_mega_lookups);
+  out.shape_transitions = metrics_.counter_value(ids_.shape_transitions);
+  out.shape_dict_fallbacks = metrics_.counter_value(ids_.shape_dict_fallbacks);
   out.stages_executed = metrics_.counter_value(ids_.stages_executed);
   // Chunk-cache probes are counted by the (node-wide, thread-safe) cache
   // itself; snapshot BOTH sides from it so hits and misses describe the same
@@ -168,6 +179,9 @@ nakika_node::site_cache_stats nakika_node::site_cache(const std::string& site) c
   site_obs_.for_key(site, [&out](const site_obs& s) {
     out.ic_hits += s.ic_hits;
     out.ic_misses += s.ic_misses;
+    out.ic_mono_hits += s.ic_mono_hits;
+    out.ic_poly_hits += s.ic_poly_hits;
+    out.ic_mega_lookups += s.ic_mega_lookups;
   });
   return out;
 }
@@ -719,6 +733,24 @@ void nakika_node::account_pipeline(const std::string& site,
                static_cast<std::uint64_t>(result.script_execute_seconds * 1e9));
   if (result.ic_hits != 0) metrics_.add(counter_slot, ids_.ic_hits, result.ic_hits);
   if (result.ic_misses != 0) metrics_.add(counter_slot, ids_.ic_misses, result.ic_misses);
+  if (result.ic_mono_hits != 0) {
+    metrics_.add(counter_slot, ids_.ic_mono_hits, result.ic_mono_hits);
+  }
+  if (result.ic_poly_hits != 0) {
+    metrics_.add(counter_slot, ids_.ic_poly_hits, result.ic_poly_hits);
+  }
+  if (result.ic_mega_lookups != 0) {
+    metrics_.add(counter_slot, ids_.ic_mega_lookups, result.ic_mega_lookups);
+  }
+  if (result.shape_transitions != 0) {
+    metrics_.add(counter_slot, ids_.shape_transitions, result.shape_transitions);
+  }
+  if (result.shape_dict_fallbacks != 0) {
+    metrics_.add(counter_slot, ids_.shape_dict_fallbacks, result.shape_dict_fallbacks);
+  }
+  // Gauge: size of the shape table the request's sandbox holds — a rough
+  // "how interned is the fleet" signal (not a sum; latest writer wins).
+  metrics_.set_gauge(counter_slot, ids_.shapes_live, result.shapes_live);
   if (result.stages_executed != 0) {
     metrics_.add(counter_slot, ids_.stages_executed,
                  static_cast<std::uint64_t>(result.stages_executed));
@@ -739,6 +771,9 @@ void nakika_node::account_pipeline(const std::string& site,
     s.requests += 1;
     s.ic_hits += result.ic_hits;
     s.ic_misses += result.ic_misses;
+    s.ic_mono_hits += result.ic_mono_hits;
+    s.ic_poly_hits += result.ic_poly_hits;
+    s.ic_mega_lookups += result.ic_mega_lookups;
     s.gc_seconds += result.gc_seconds;
     s.gc_collections += result.gc_collections;
     if (result.terminated) s.terminated += 1;
@@ -1138,6 +1173,9 @@ obs::telemetry_snapshot nakika_node::telemetry() const {
     t.requests += s.requests;
     t.ic_hits += s.ic_hits;
     t.ic_misses += s.ic_misses;
+    t.ic_mono_hits += s.ic_mono_hits;
+    t.ic_poly_hits += s.ic_poly_hits;
+    t.ic_mega_lookups += s.ic_mega_lookups;
     t.log_lines += s.log_lines_total;
     t.log_dropped += s.log_dropped;
     t.gc_seconds += s.gc_seconds;

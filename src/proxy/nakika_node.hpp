@@ -201,6 +201,17 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
     std::uint64_t chunk_cache_misses = 0;
     std::uint64_t ic_hits = 0;
     std::uint64_t ic_misses = 0;
+    // Hit-state split: way-0 hits (monomorphic sites), way-1..3 hits
+    // (polymorphic), and lookups at sites that overflowed to megamorphic.
+    // mono+poly == ic_hits; mega lookups are neither hits nor misses.
+    std::uint64_t ic_mono_hits = 0;
+    std::uint64_t ic_poly_hits = 0;
+    std::uint64_t ic_mega_lookups = 0;
+    // Shape (hidden-class) registry health, summed over runs: transition-tree
+    // growth and objects that fell back to dictionary mode (deletes, table
+    // overflow).
+    std::uint64_t shape_transitions = 0;
+    std::uint64_t shape_dict_fallbacks = 0;
     std::uint64_t stages_executed = 0;
   };
   [[nodiscard]] script_time_stats script_times() const;
@@ -210,6 +221,9 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
   struct site_cache_stats {
     std::uint64_t ic_hits = 0;
     std::uint64_t ic_misses = 0;
+    std::uint64_t ic_mono_hits = 0;
+    std::uint64_t ic_poly_hits = 0;
+    std::uint64_t ic_mega_lookups = 0;
   };
   [[nodiscard]] site_cache_stats site_cache(const std::string& site) const;
   [[nodiscard]] core::chunk_cache& chunks() { return chunk_cache_; }
@@ -378,6 +392,12 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
     obs::metrics_registry::metric_id execute_nanos = 0;
     obs::metrics_registry::metric_id ic_hits = 0;
     obs::metrics_registry::metric_id ic_misses = 0;
+    obs::metrics_registry::metric_id ic_mono_hits = 0;
+    obs::metrics_registry::metric_id ic_poly_hits = 0;
+    obs::metrics_registry::metric_id ic_mega_lookups = 0;
+    obs::metrics_registry::metric_id shape_transitions = 0;
+    obs::metrics_registry::metric_id shape_dict_fallbacks = 0;
+    obs::metrics_registry::metric_id shapes_live = 0;  // gauge: latest run's table size
     obs::metrics_registry::metric_id stages_executed = 0;
     obs::metrics_registry::metric_id out_cache_hit = 0;
     obs::metrics_registry::metric_id out_cache_miss = 0;
@@ -405,6 +425,9 @@ class nakika_node : public http_endpoint, public net::peer_endpoint {
     std::uint64_t requests = 0;
     std::uint64_t ic_hits = 0;
     std::uint64_t ic_misses = 0;
+    std::uint64_t ic_mono_hits = 0;
+    std::uint64_t ic_poly_hits = 0;
+    std::uint64_t ic_mega_lookups = 0;
     std::uint64_t terminated = 0;
     std::uint64_t log_lines_total = 0;
     std::uint64_t log_dropped = 0;

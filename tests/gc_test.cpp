@@ -260,6 +260,34 @@ TEST(GcRegistry, StaysBoundedOverTenThousandCreateDropIterations) {
   EXPECT_LT(ctx.gc().registry_size(), 64u);
 }
 
+TEST(GcRegistry, ShapeTableStaysBoundedUnderLayoutChurn) {
+  // Every iteration builds an object with a DISTINCT property sequence, so a
+  // naive transition tree would intern one chain per iteration and grow
+  // without bound. The table cap + post-sweep compaction must keep the
+  // interned-shape count at O(bound), not O(iterations).
+  context_limits limits;
+  limits.gc_watermark = 256;
+  limits.gc_slice = 64;
+  limits.shape_table_max = 128;
+  context ctx(limits);
+  eval_script(ctx, R"JS(
+    for (var i = 0; i < 3000; i++) {
+      var o = {};
+      o['u' + i] = i;      // unique first key: a fresh transition chain
+      o['w' + i] = i + 1;
+      o.last = i;
+    }
+    result = 1;
+  )JS",
+              "<gc>", engine_kind::bytecode);
+  EXPECT_GE(ctx.gc().collections_total(), 1u);
+  EXPECT_LE(ctx.shapes_live(), limits.shape_table_max);
+  // The cap was actually hit (the workload was shape-hostile, and overflowing
+  // objects recorded their fall back to dictionary mode).
+  EXPECT_GT(ctx.shape_dict_fallbacks_run(), 0u);
+  EXPECT_EQ(ctx.global()->get("result").to_number(), 1.0);
+}
+
 // ----- pooled-sandbox soak -------------------------------------------------------
 
 TEST(GcPool, TenThousandRequestSoakHeapPlateaus) {

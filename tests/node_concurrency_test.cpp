@@ -312,7 +312,7 @@ TEST(NodeConcurrency, WorkerResponsesMatchSimOracle) {
 // Digest of a full fixed-seed sim run: every response byte plus the final
 // counter state. Two runs must agree exactly — this locks the oracle path's
 // behavior before (and after) any parallel-path change.
-std::string sim_run_digest() {
+std::string sim_run_digest(std::size_t shape_table_max = js::context_limits{}.shape_table_max) {
   sim::event_loop loop;
   sim::network net{loop};
   sim::three_tier topo = sim::build_lan(net);
@@ -336,6 +336,7 @@ std::string sim_run_digest() {
   cfg.capacities.cpu_seconds_per_second = 0.001;  // force throttling activity
   cfg.control_interval = 0.05;
   cfg.control_timeout = 0.02;
+  cfg.script_limits.shape_table_max = shape_table_max;
   nakika_node& node = dep.create_node(topo.proxy, std::move(cfg));
   node.start_monitor();
 
@@ -373,6 +374,16 @@ TEST(NodeConcurrency, SimPathDeterministicWithWorkersDisabled) {
   EXPECT_EQ(first, second);
   // The run exercised real traffic, not a degenerate empty loop.
   EXPECT_GT(first.size(), 300u * 3u);
+}
+
+// The shape/IC layer is an accelerator, never semantics: the same fixed-seed
+// run with the shape tables disabled (dictionary mode everywhere, the
+// pre-shape caching behavior) must produce a byte-identical digest — every
+// response byte, billing counter, and throttle decision included.
+TEST(NodeConcurrency, ShapesOnVsOffDigestByteIdentical) {
+  const std::string shaped = sim_run_digest();
+  const std::string dictionary = sim_run_digest(/*shape_table_max=*/0);
+  EXPECT_EQ(shaped, dictionary);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/sandbox.hpp"
@@ -734,6 +735,219 @@ TEST(ChunkCache, TreeWalkerEngineIgnoresChunkCache) {
   EXPECT_FALSE(stats.chunk_cache_hit);
   EXPECT_EQ(chunks.size(), 0u);
   EXPECT_EQ(sb.ctx().global()->get("y").to_number(), 2.0);
+}
+
+// ----- shapes + polymorphic inline caches --------------------------------------
+// The shape layer and the 4-way ICs are pure accelerators: every program here
+// must produce identical results with shapes on, shapes off (dictionary mode,
+// shape_table_max = 0), and on the tree-walker oracle.
+
+namespace {
+
+// Source of a handler that streams `nlayouts` distinct object layouts through
+// one hot access site (.v is at a different property index per layout).
+std::string poly_site_source(int nlayouts, int nobjects, int rounds) {
+  std::string src = "var make = [];\n";
+  for (int l = 0; l < nlayouts; ++l) {
+    src += "make.push(function(i) { return {";
+    for (int p = 0; p < l; ++p) {
+      src += "pad" + std::to_string(p) + ": " + std::to_string(p) + ", ";
+    }
+    src += "v: i, tag: " + std::to_string(l) + "}; });\n";
+  }
+  src += "var objs = [];\n";
+  // `var mk = ...; mk(i)` rather than `make[...](i)`: direct calls of an
+  // indexed element are not part of the dialect (both engines reject them).
+  src += "for (var i = 0; i < " + std::to_string(nobjects) + "; i++) { var mk = make[i % " +
+         std::to_string(nlayouts) + "]; objs.push(mk(i)); }\n";
+  src += "var total = 0;\n";
+  src += "for (var r = 0; r < " + std::to_string(rounds) + "; r++) {\n";
+  src += "  for (var j = 0; j < objs.length; j++) {\n";
+  src += "    var o = objs[j];\n";
+  src += "    total = total + o.v + o.tag;\n";
+  src += "    o.v = o.v + 1;\n";
+  src += "  }\n";
+  src += "}\n";
+  src += "result = total;\n";
+  return src;
+}
+
+// Runs `source` on the bytecode VM and returns the context's IC counters.
+struct ic_run_stats {
+  std::uint64_t mono = 0;
+  std::uint64_t poly = 0;
+  std::uint64_t mega = 0;
+  std::uint64_t misses = 0;
+  std::string result;
+};
+
+ic_run_stats run_vm_ic_stats(const std::string& source, context_limits limits = {}) {
+  ic_run_stats out;
+  context ctx(limits);
+  eval_script(ctx, source, "<ic-stats>", engine_kind::bytecode);
+  out.mono = ctx.ic_mono_hits();
+  out.poly = ctx.ic_poly_hits();
+  out.mega = ctx.ic_mega_lookups();
+  out.misses = ctx.ic_misses();
+  out.result = ctx.global()->get("result").to_string();
+  return out;
+}
+
+}  // namespace
+
+TEST(ShapePolymorphism, MonoToMegaSitesMatchOracle) {
+  // 1 layout = monomorphic, 2 and 4 fit the ways, 6 overflows to megamorphic.
+  for (const int layouts : {1, 2, 4, 6}) {
+    expect_equivalent(poly_site_source(layouts, 24, 6));
+  }
+}
+
+TEST(ShapePolymorphism, IcStateMatchesLayoutCount) {
+  const ic_run_stats mono = run_vm_ic_stats(poly_site_source(1, 24, 6));
+  EXPECT_GT(mono.mono, 0u);
+  EXPECT_EQ(mono.mega, 0u);
+
+  const ic_run_stats poly = run_vm_ic_stats(poly_site_source(4, 24, 6));
+  EXPECT_GT(poly.poly, 0u);
+  EXPECT_EQ(poly.mega, 0u);
+
+  // 6 layouts through one site: the 4 ways overflow and the site goes (and
+  // stays) megamorphic.
+  const ic_run_stats mega = run_vm_ic_stats(poly_site_source(6, 24, 6));
+  EXPECT_GT(mega.mega, 0u);
+}
+
+TEST(ShapePolymorphism, DeleteDemotesToDictionaryWithSameResults) {
+  expect_equivalent(R"JS(
+    var o = {a: 1, b: 2, c: 3};
+    var total = 0;
+    for (var i = 0; i < 20; i++) {
+      total += o.a + o.c;
+      if (i == 10) { delete o.b; }   // demotes o to dictionary mode mid-loop
+      if (i == 12) { o.d = 4; }      // dictionary-mode append still works
+    }
+    result = total + ':' + o.d + ':' + (o.b === undefined);
+  )JS");
+}
+
+TEST(ShapePolymorphism, PrototypeShadowingParity) {
+  expect_equivalent(R"JS(
+    function C(i) { this.idx = i; }
+    C.prototype.kind = 'base';
+    var objs = [];
+    for (var i = 0; i < 8; i++) objs.push(new C(i));
+    var log = '';
+    for (var r = 0; r < 4; r++) {
+      for (var j = 0; j < objs.length; j++) {
+        log += objs[j].kind;
+        if (r == 1 && j == 3) { objs[3].kind = 'own'; }  // shadow mid-stream
+      }
+      log += ';';
+    }
+    result = log.length + ':' + objs[3].kind + ':' + objs[4].kind;
+  )JS");
+}
+
+TEST(ShapePolymorphism, DictionaryModeProducesIdenticalResults) {
+  // shape_table_max = 0 disables the shape layer entirely; every program must
+  // behave identically (the shapes are an accelerator, not semantics).
+  context_limits no_shapes;
+  no_shapes.shape_table_max = 0;
+  for (const int layouts : {1, 3, 6}) {
+    const std::string src = poly_site_source(layouts, 16, 4);
+    const eval_outcome shaped = run_engine(src, engine_kind::bytecode);
+    const eval_outcome dict = run_engine(src, engine_kind::bytecode, no_shapes);
+    EXPECT_EQ(shaped.result, dict.result) << src;
+    EXPECT_EQ(shaped.trace, dict.trace) << src;
+    expect_equivalent(src, no_shapes);
+  }
+}
+
+TEST(ShapePolymorphism, TinyShapeTableFallsBackGracefully) {
+  // A table bound small enough to overflow mid-program: late objects demote
+  // to dictionary mode but results stay identical to the oracle.
+  context_limits tiny;
+  tiny.shape_table_max = 4;
+  expect_equivalent(poly_site_source(4, 16, 4), tiny);
+  expect_equivalent(R"JS(
+    var table = {};
+    for (var i = 0; i < 40; i++) table['k' + i] = i;
+    var total = 0;
+    for (var k in table) total += table[k];
+    result = total;
+  )JS",
+                    tiny);
+}
+
+TEST(ShapePolymorphism, GrownObjectDoesNotGoCold) {
+  // Appending a property moves the object to a CHILD shape; caches filled at
+  // the parent must keep hitting (ancestor promotion), not cold-miss per
+  // access. Misses are warmup-only, so they must not scale with iterations:
+  // a per-access miss after the growth would add ~iters/2 misses.
+  const auto grown_src = [](int iters) {
+    return "var o = {a: 1};\n"
+           "var total = 0;\n"
+           "for (var i = 0; i < " +
+           std::to_string(iters) +
+           "; i++) {\n"
+           "  total += o.a;\n"
+           "  if (i == 5) { o.grown = 7; }\n"
+           "}\n"
+           "result = total;\n";
+  };
+  const ic_run_stats short_run = run_vm_ic_stats(grown_src(40));
+  const ic_run_stats long_run = run_vm_ic_stats(grown_src(400));
+  EXPECT_EQ(short_run.misses, long_run.misses)
+      << "IC misses scaled with iteration count: the grown object's accesses "
+         "are cold-missing instead of riding ancestor promotion";
+  EXPECT_GT(long_run.mono + long_run.poly, 390u);
+  expect_equivalent(grown_src(40));
+}
+
+TEST(ShapePolymorphism, DeterministicFuzzAgainstOracle) {
+  // Deterministic generator (fixed LCG): random-ish mixes of layout count,
+  // object count, deletes, and growth, every one checked against the tree
+  // oracle. No wall-clock or real randomness — failures reproduce exactly.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  const auto next = [&seed]() {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(seed >> 33);
+  };
+  for (int round = 0; round < 10; ++round) {
+    const int layouts = 1 + static_cast<int>(next() % 6);
+    const int objects = 4 + static_cast<int>(next() % 20);
+    const int rounds = 2 + static_cast<int>(next() % 4);
+    std::string src = poly_site_source(layouts, objects, rounds);
+    if (next() % 2 == 0) {
+      src += "delete objs[0].v; objs[0].v = -1;\n";
+      src += "var extra = 0;\n"
+             "for (var q = 0; q < objs.length; q++) extra += objs[q].v;\n"
+             "result = result + ':' + extra;\n";
+    }
+    expect_equivalent(src);
+  }
+}
+
+TEST(ShapePolymorphism, SharedChunkAcrossThreads) {
+  // One immutable compiled chunk, eight workers each with a private context
+  // (own shape table, own ICs): results must agree and no worker may observe
+  // another's shapes. Run under TSan in the sanitizer matrix.
+  const std::string src = poly_site_source(3, 24, 4);
+  const program_ptr prog = parse_program(src, "<shared>");
+  const compiled_program_ptr chunk = compile_program(prog);
+  std::vector<std::string> results(8);
+  std::vector<std::thread> workers;
+  workers.reserve(results.size());
+  for (std::size_t w = 0; w < results.size(); ++w) {
+    workers.emplace_back([&, w] {
+      context ctx{context_limits{}};
+      run_program(ctx, chunk);
+      results[w] = ctx.global()->get("result").to_string();
+    });
+  }
+  for (auto& t : workers) t.join();
+  const eval_outcome oracle = run_engine(src, engine_kind::tree_walker);
+  for (const std::string& r : results) EXPECT_EQ(r, oracle.result);
 }
 
 }  // namespace
