@@ -19,6 +19,14 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+// Value following `flag` on the command line, or nullptr when absent.
+inline const char* flag_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
 // Accumulates {bench, config, metric, value} records and, when the bench was
 // invoked with `--json <path>`, writes them as a JSON array on destruction.
 // With no --json flag it is a no-op, so benches call add() unconditionally.

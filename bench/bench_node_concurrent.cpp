@@ -12,11 +12,17 @@
 // validates the worker path end to end (every response checked) without
 // measuring. `--gate` runs the telemetry overhead gate instead: cache-hit
 // throughput with telemetry on must stay within 3% of telemetry off
-// (best of 3 each), the CI bound on the tentpole's hot-path cost.
+// (best of 3 each), the CI bound on the tentpole's hot-path cost. Adding
+// `--min-speedup <x>` to `--gate` also runs the scaling gate: cache-hit
+// throughput at 4 workers must be at least x times the 1-worker throughput
+// (best of 3 each). The scaling gate only arms on runners with >= 4 hardware
+// threads — on smaller machines speedup degenerates to ~1x by construction,
+// so it reports SKIPPED and passes.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -166,6 +172,21 @@ double telemetry_overhead_ratio(std::size_t workers, std::size_t total, int reps
   return best_off > 0.0 ? best_on / best_off : 0.0;
 }
 
+// Scaling gate (CI, multi-core runners only): cache-hit throughput at 4
+// workers vs 1 worker, best of `reps` runs each. Returns the speedup ratio.
+double scaling_speedup(std::size_t total, int reps) {
+  double best_1 = 0.0;
+  double best_4 = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    std::size_t ok = 0;
+    best_1 = std::max(best_1, run_workload(workload::cache_hit, 1, total, &ok));
+    best_4 = std::max(best_4, run_workload(workload::cache_hit, 4, total, &ok));
+  }
+  std::printf("cache-hit req/s: 1 worker %.0f, 4 workers %.0f (best of %d)\n", best_1,
+              best_4, reps);
+  return best_1 > 0.0 ? best_4 / best_1 : 0.0;
+}
+
 }  // namespace
 }  // namespace nakika
 
@@ -183,6 +204,24 @@ int main(int argc, char** argv) {
     if (ratio < 0.97) {
       std::printf("FAIL: telemetry overhead exceeds 3%%\n");
       return 1;
+    }
+    if (const char* arg = bench::flag_value(argc, argv, "--min-speedup")) {
+      const double min_speedup = std::strtod(arg, nullptr);
+      const unsigned cores = std::thread::hardware_concurrency();
+      bench::print_header("Multi-core scaling gate",
+                          "4-worker cache-hit throughput vs 1 worker");
+      if (cores < 4) {
+        std::printf("SKIPPED: %u hardware threads (< 4), speedup is not meaningful here\n",
+                    cores);
+      } else {
+        const double speedup = scaling_speedup(/*total=*/20'000, /*reps=*/3);
+        std::printf("4-worker speedup: %.2fx (gate: >= %.2fx)\n", speedup, min_speedup);
+        json.add("gate/scaling", "speedup_4_vs_1_workers", speedup);
+        if (speedup < min_speedup) {
+          std::printf("FAIL: scaling below --min-speedup\n");
+          return 1;
+        }
+      }
     }
     std::printf("PASS\n");
     return 0;

@@ -37,7 +37,7 @@ constexpr std::size_t k_evict_scan_limit = 64;
 }  // namespace
 
 http_cache::http_cache(std::size_t capacity_bytes, std::size_t shard_count,
-                       bool shard_borrowing)
+                       bool shard_borrowing, bool admission)
     : capacity_bytes_(capacity_bytes),
       shard_count_(pick_shard_count(capacity_bytes, shard_count)),
       // Floor at 1 so a bounded cache with an oversubscribed shard count
@@ -47,7 +47,18 @@ http_cache::http_cache(std::size_t capacity_bytes, std::size_t shard_count,
               ? 0
               : std::max<std::size_t>(capacity_bytes_ / shard_count_, 1)),
       borrowing_(shard_borrowing),
+      admission_(admission),
       shards_(std::make_unique<shard[]>(shard_count_)) {}
+
+namespace {
+
+// Ghost-table fingerprint for a key; never 0 so an empty slot never matches.
+std::uint64_t ghost_hash(const std::string& url) {
+  const std::uint64_t h = std::hash<std::string>{}(url);
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace
 
 http_cache::shard& http_cache::shard_for(const std::string& url) {
   return shards_[std::hash<std::string>{}(url) % shard_count_];
@@ -128,7 +139,20 @@ bool http_cache::put_locked(shard& s, const std::string& url, const http::respon
     return false;
   }
 
+  const bool existed = s.entries.find(url) != s.entries.end();
   drop_locked(s, url);  // replace any existing entry
+
+  // Admission: a first-seen key starts on probation. A replacement put or a
+  // ghost-table match (the key was recently demoted and came back) is proven
+  // reuse and goes straight to main.
+  bool probation = admission_ && !existed;
+  if (probation) {
+    const std::uint64_t h = ghost_hash(url);
+    if (s.ghosts[h & (s.ghosts.size() - 1)] == h) {
+      s.ghosts[h & (s.ghosts.size() - 1)] = 0;
+      probation = false;
+    }
+  }
 
   tenant_state* t = tenant_for(url);
   if (t != nullptr) {
@@ -187,13 +211,20 @@ bool http_cache::put_locked(shard& s, const std::string& url, const http::respon
     total_bytes_.fetch_add(body_bytes, std::memory_order_relaxed);
   }
 
-  s.lru.push_front(url);
   entry e;
   e.response = r;
   e.expires_at = expires_at;
   e.charged_bytes = body_bytes;
   e.tenant = t;
-  e.lru_it = s.lru.begin();
+  e.probation = probation;
+  if (probation) {
+    s.prob.push_front(url);
+    e.lru_it = s.prob.begin();
+    s.prob_bytes += body_bytes;
+  } else {
+    s.lru.push_front(url);
+    e.lru_it = s.lru.begin();
+  }
   s.bytes_used += body_bytes;
   s.entries.emplace(url, std::move(e));
   s.insertions.fetch_add(1, std::memory_order_relaxed);
@@ -221,6 +252,9 @@ void http_cache::clear() {
     }
     s.entries.clear();
     s.lru.clear();
+    s.prob.clear();
+    s.prob_bytes = 0;
+    s.ghosts.fill(0);
     s.bytes_used = 0;
   }
 }
@@ -254,6 +288,16 @@ cache_stats http_cache::stats() const {
     total.expirations += s.expirations.load(std::memory_order_relaxed);
     total.oversized_rejections += s.oversized_rejections.load(std::memory_order_relaxed);
     total.quota_rejections += s.quota_rejections.load(std::memory_order_relaxed);
+    total.admission_rejected += s.admission_rejected.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t http_cache::probation_count() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].prob.size();
   }
   return total;
 }
@@ -264,7 +308,7 @@ std::vector<http_cache::shard_snapshot> http_cache::snapshot_shards() const {
     const shard& s = shards_[i];
     const std::lock_guard<std::mutex> lock(s.mu);
     out[i].entries = s.entries.size();
-    out[i].lru_length = s.lru.size();
+    out[i].lru_length = s.lru.size() + s.prob.size();
     out[i].bytes_used = s.bytes_used;
     for (const auto& [url, e] : s.entries) out[i].charged_bytes += e.charged_bytes;
   }
@@ -272,15 +316,23 @@ std::vector<http_cache::shard_snapshot> http_cache::snapshot_shards() const {
 }
 
 void http_cache::touch_locked(shard& s, const std::string& url, entry& e) {
-  s.lru.erase(e.lru_it);
+  if (e.probation) {
+    // Second access: promotion out of probation into the main LRU.
+    s.prob.erase(e.lru_it);
+    s.prob_bytes -= e.charged_bytes;
+    e.probation = false;
+  } else {
+    s.lru.erase(e.lru_it);
+  }
   s.lru.push_front(url);
   e.lru_it = s.lru.begin();
 }
 
-std::size_t http_cache::evict_one_from(shard& s, const tenant_state* inserting,
-                                       const tenant_state* only) {
+std::size_t http_cache::evict_scan(shard& s, std::list<std::string>& order,
+                                   bool from_probation, const tenant_state* inserting,
+                                   const tenant_state* only) {
   std::size_t scanned = 0;
-  for (auto it = s.lru.rbegin(); it != s.lru.rend() && scanned < k_evict_scan_limit;
+  for (auto it = order.rbegin(); it != order.rend() && scanned < k_evict_scan_limit;
        ++it, ++scanned) {
     const auto e = s.entries.find(*it);
     const tenant_state* et = e->second.tenant;
@@ -290,11 +342,36 @@ std::size_t http_cache::evict_one_from(shard& s, const tenant_state* inserting,
     const bool eligible = only != nullptr ? et == only : (et == nullptr || et == inserting);
     if (!eligible) continue;
     const std::size_t freed = e->second.charged_bytes;
+    if (from_probation) {
+      // Demoted before its second access: remember the ghost so a re-insert
+      // skips probation, and count the one-hit wonder kept out of main.
+      const std::uint64_t h = ghost_hash(*it);
+      s.ghosts[h & (s.ghosts.size() - 1)] = h;
+      s.admission_rejected.fetch_add(1, std::memory_order_relaxed);
+    }
     s.evictions.fetch_add(1, std::memory_order_relaxed);
     drop_locked(s, e);
     return freed;
   }
   return 0;
+}
+
+std::size_t http_cache::evict_one_from(shard& s, const tenant_state* inserting,
+                                       const tenant_state* only) {
+  // Probation pays for capacity first once it holds its ~10% share of the
+  // shard slice (or main is empty) — the scan-resistance property: a stream
+  // of one-hit wonders churns through probation while main's hot set stays.
+  // Below the share, main's LRU tail goes first (probation entries deserve a
+  // grace window to earn their second access), with the other list as the
+  // fallback so a full cache can always make progress.
+  const bool prob_first =
+      !s.prob.empty() && (s.lru.empty() || s.prob_bytes >= probation_target_bytes());
+  std::list<std::string>& first = prob_first ? s.prob : s.lru;
+  std::list<std::string>& second = prob_first ? s.lru : s.prob;
+  if (const std::size_t freed = evict_scan(s, first, prob_first, inserting, only); freed > 0) {
+    return freed;
+  }
+  return evict_scan(s, second, !prob_first, inserting, only);
 }
 
 bool http_cache::evict_one(shard& home, const tenant_state* inserting,
@@ -325,7 +402,12 @@ void http_cache::drop_locked(shard& s, entry_map::iterator it) {
   if (it->second.tenant != nullptr) {
     it->second.tenant->bytes.fetch_sub(it->second.charged_bytes, std::memory_order_relaxed);
   }
-  s.lru.erase(it->second.lru_it);
+  if (it->second.probation) {
+    s.prob.erase(it->second.lru_it);
+    s.prob_bytes -= it->second.charged_bytes;
+  } else {
+    s.lru.erase(it->second.lru_it);
+  }
   s.entries.erase(it);
 }
 

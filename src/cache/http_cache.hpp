@@ -24,8 +24,20 @@
 // (other tenants' inserts never evict a configured tenant's entries). This
 // is the cache half of the scenario tier's starvation bound: one tenant's
 // object storm cannot push another tenant's working set out.
+//
+// Scan-resistant admission (S3-FIFO/CLOCK-style, default on): a first-seen
+// URL enters a small per-shard probation FIFO instead of the main LRU; a hit
+// while on probation promotes it to main. Under capacity pressure the
+// probation tail is evicted first once probation holds ~10% of the shard's
+// slice, so a flash-crowd tail of one-hit wonders churns through probation
+// while the promoted hot set in main stays resident. A small per-shard ghost
+// table remembers recently demoted keys; re-inserting one bypasses probation
+// (its second life proves reuse). Quotas and shard borrowing apply
+// unchanged — probation entries are charged and protected exactly like main
+// entries, only their eviction order differs.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <list>
@@ -56,6 +68,9 @@ struct cache_stats {
   // be freed (all its resident entries already gone), or every eviction
   // candidate belonged to a protected tenant.
   std::uint64_t quota_rejections = 0;
+  // Probation entries evicted before ever being promoted — one-hit wonders
+  // the admission policy kept out of the main LRU.
+  std::uint64_t admission_rejected = 0;
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -70,8 +85,12 @@ class http_cache {
   // to [1, 16], so small caches keep exact global-LRU behavior while large
   // ones spread lock pressure. `shard_borrowing` selects the global-bound
   // mode described above; pass false for strict per-shard slices.
+  // `admission` selects the scan-resistant probation policy described
+  // above; pass false for the pure-LRU behavior (node_config::cache_admission
+  // wires this through the proxy).
   explicit http_cache(std::size_t capacity_bytes = 256 * 1024 * 1024,
-                      std::size_t shard_count = 0, bool shard_borrowing = true);
+                      std::size_t shard_count = 0, bool shard_borrowing = true,
+                      bool admission = true);
 
   // Fresh entry for `url` at virtual time `now`, or nullopt. Expired entries
   // are dropped on access.
@@ -109,6 +128,9 @@ class http_cache {
   [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
   [[nodiscard]] std::size_t shard_capacity_bytes() const { return shard_capacity_bytes_; }
   [[nodiscard]] bool shard_borrowing() const { return borrowing_; }
+  [[nodiscard]] bool admission_enabled() const { return admission_; }
+  // Entries currently on probation (not yet promoted), across all shards.
+  [[nodiscard]] std::size_t probation_count() const;
 
   // The host a cache key is charged to (public for tests).
   [[nodiscard]] static std::string tenant_of(const std::string& url);
@@ -139,6 +161,8 @@ class http_cache {
     std::int64_t expires_at = 0;
     std::size_t charged_bytes = 0;
     tenant_state* tenant = nullptr;  // nullptr = unconfigured tenant
+    // On probation: lru_it points into the shard's prob list, not lru.
+    bool probation = false;
     std::list<std::string>::iterator lru_it;
   };
 
@@ -150,7 +174,13 @@ class http_cache {
     mutable std::mutex mu;
     // Guarded by `mu`.
     entry_map entries;
-    std::list<std::string> lru;  // front = most recent
+    std::list<std::string> lru;   // main list, front = most recent
+    std::list<std::string> prob;  // probation FIFO, front = newest insert
+    std::size_t prob_bytes = 0;
+    // Ghost table: hashes of recently demoted probation keys. A re-insert
+    // matching its slot is admitted straight to main (proven reuse). Fixed
+    // size, direct-mapped — collisions just lose the readmission hint.
+    std::array<std::uint64_t, 256> ghosts{};
     std::size_t bytes_used = 0;
     // Monotonic; incremented under `mu`, read lock-free by stats().
     std::atomic<std::uint64_t> hits{0};
@@ -160,13 +190,24 @@ class http_cache {
     std::atomic<std::uint64_t> expirations{0};
     std::atomic<std::uint64_t> oversized_rejections{0};
     std::atomic<std::uint64_t> quota_rejections{0};
+    std::atomic<std::uint64_t> admission_rejected{0};
   };
 
   [[nodiscard]] shard& shard_for(const std::string& url);
   [[nodiscard]] tenant_state* tenant_for(const std::string& url);
   bool put_locked(shard& s, const std::string& url, const http::response& r,
                   std::int64_t expires_at);
+  // Refreshes recency: probation entries are promoted into main (their
+  // second access), main entries move to the LRU front.
   static void touch_locked(shard& s, const std::string& url, entry& e);
+  // Probation share of a shard slice at which capacity evictions switch to
+  // the probation tail (the ~10% small-queue sizing of S3-FIFO).
+  [[nodiscard]] std::size_t probation_target_bytes() const {
+    return shard_capacity_bytes_ == 0 ? 0 : std::max<std::size_t>(shard_capacity_bytes_ / 10, 1);
+  }
+  // Victim scan over one list's tail; shared by evict_one_from's two passes.
+  std::size_t evict_scan(shard& s, std::list<std::string>& order, bool from_probation,
+                         const tenant_state* inserting, const tenant_state* only);
   // Evicts the least-recent eligible entry of `s` (lock held): entries of
   // `only` when set, otherwise any entry not protected by another tenant's
   // quota. Returns bytes freed (0 = nothing eligible).
@@ -182,6 +223,7 @@ class http_cache {
   std::size_t shard_count_;
   std::size_t shard_capacity_bytes_;  // capacity_bytes_ / shard_count_ (0 = unlimited)
   bool borrowing_;
+  bool admission_;
   // Resident + in-flight reserved bytes across all shards; the CAS bound in
   // borrowing mode, a statistic in strict mode.
   std::atomic<std::size_t> total_bytes_{0};

@@ -84,6 +84,15 @@ void threaded_peer_transport::advertise(const std::string& key, std::int64_t exp
   overlay_.put_now(member_, key, self_name_, expires_at, now_());
 }
 
+peer_transport::overlay_read_stats threaded_peer_transport::read_stats() const {
+  overlay_read_stats s;
+  s.membership_fastpath = overlay_.read_fastpath();
+  s.membership_slowpath = overlay_.read_slowpath();
+  s.ring_fastpath = overlay_.ring_read_fastpath();
+  s.ring_slowpath = overlay_.ring_read_slowpath();
+  return s;
+}
+
 void threaded_peer_transport::fetch_from_peers(const http::request& r, fetch_callback done) {
   const std::string key = r.url.str();
   result out;

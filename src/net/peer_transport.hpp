@@ -70,6 +70,18 @@ class peer_transport {
   // `done` fires exactly once: on the event loop for the sim transport,
   // synchronously on the calling thread for the threaded transport.
   virtual void fetch_from_peers(const http::request& r, fetch_callback done) = 0;
+
+  // Read-path accounting for the overlay this transport fronts: how many
+  // membership/ring reads resolved from an epoch-protected snapshot without
+  // a mutex (fastpath) vs. rebuilt one under the lock (slowpath). The sim
+  // transport reports zeros — its event loop never races readers.
+  struct overlay_read_stats {
+    std::uint64_t membership_fastpath = 0;
+    std::uint64_t membership_slowpath = 0;
+    std::uint64_t ring_fastpath = 0;
+    std::uint64_t ring_slowpath = 0;
+  };
+  [[nodiscard]] virtual overlay_read_stats read_stats() const { return {}; }
 };
 
 // --- deterministic sim implementation ------------------------------------------
@@ -101,10 +113,11 @@ class sim_peer_transport : public peer_transport {
 // --- thread-safe implementation for worker-mode clusters ------------------------
 
 // Dispatches overlay lookups through the DHT's synchronous API (sloppy_dht /
-// coral_overlay state is mutex-guarded) and probes peer caches directly from
-// the calling worker thread. Route latencies are read from the (frozen,
-// read-only once serving starts) sim topology and accumulated into
-// result::latency_seconds rather than slept.
+// coral_overlay reads resolve from epoch-protected snapshots, mutating calls
+// take the ring mutex) and probes peer caches directly from the calling
+// worker thread. Route latencies are read from the (frozen, read-only once
+// serving starts) sim topology and accumulated into result::latency_seconds
+// rather than slept.
 class threaded_peer_transport : public peer_transport {
  public:
   using clock = std::function<std::int64_t()>;  // the owning node's epoch seconds
@@ -119,6 +132,7 @@ class threaded_peer_transport : public peer_transport {
 
   void advertise(const std::string& key, std::int64_t expires_at) override;
   void fetch_from_peers(const http::request& r, fetch_callback done) override;
+  [[nodiscard]] overlay_read_stats read_stats() const override;
 
  private:
   sim::network& net_;

@@ -16,6 +16,16 @@ coral_overlay::coral_overlay(sim::network& net, cluster_config config)
   }
 }
 
+coral_overlay::~coral_overlay() {
+  const overlay_snapshot* cur = snap_.exchange(nullptr, std::memory_order_acq_rel);
+  auto& domain = util::ebr_domain::instance();
+  if (cur != nullptr) {
+    domain.retire(const_cast<overlay_snapshot*>(cur),
+                  [](void* p) { delete static_cast<overlay_snapshot*>(p); });
+  }
+  domain.flush();
+}
+
 coral_overlay::member_id coral_overlay::join(sim::node_id host, const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   member m;
@@ -41,6 +51,9 @@ coral_overlay::member_id coral_overlay::join(sim::node_id host, const std::strin
     m.rings.emplace_back(chosen, rid);
   }
   members_.push_back(std::move(m));
+  // join is the only structural mutator: bump the version so sync-path
+  // readers rebuild the membership snapshot.
+  version_.fetch_add(1, std::memory_order_release);
   return members_.size() - 1;
 }
 
@@ -62,17 +75,66 @@ std::size_t coral_overlay::cluster_of(member_id m, std::size_t level) const {
   return members_[m].rings[level].first;
 }
 
+const coral_overlay::overlay_snapshot* coral_overlay::refresh_snapshot_locked() const {
+  const overlay_snapshot* cur = snap_.load(std::memory_order_acquire);
+  const std::uint64_t v = version_.load(std::memory_order_acquire);
+  if (cur != nullptr && cur->version == v && cur->rings.size() == members_.size()) {
+    return cur;  // another reader rebuilt while we waited on mu_
+  }
+  auto* fresh = new overlay_snapshot;
+  fresh->version = v;
+  fresh->rings.reserve(members_.size());
+  for (const auto& m : members_) {
+    std::vector<std::pair<sloppy_dht*, sloppy_dht::member_id>> rings;
+    rings.reserve(m.rings.size());
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      const auto [cluster, rid] = m.rings[l];
+      rings.emplace_back(levels_[l].clusters[cluster].get(), rid);
+    }
+    fresh->rings.push_back(std::move(rings));
+  }
+  const overlay_snapshot* old = snap_.exchange(fresh, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    util::ebr_domain::instance().retire(
+        const_cast<overlay_snapshot*>(old),
+        [](void* p) { delete static_cast<overlay_snapshot*>(p); });
+  }
+  return fresh;
+}
+
 std::vector<std::pair<sloppy_dht*, sloppy_dht::member_id>> coral_overlay::rings_of(
     member_id m) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (m >= members_.size()) throw std::invalid_argument("coral_overlay: bad member");
-  std::vector<std::pair<sloppy_dht*, sloppy_dht::member_id>> out;
-  out.reserve(members_[m].rings.size());
-  for (std::size_t l = 0; l < levels_.size(); ++l) {
-    const auto [cluster, rid] = members_[m].rings[l];
-    out.emplace_back(levels_[l].clusters[cluster].get(), rid);
+  util::ebr_domain::guard g;
+  const overlay_snapshot* snap = snap_.load(std::memory_order_acquire);
+  if (snap == nullptr || snap->version != version_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snap = refresh_snapshot_locked();
+    }
+    read_slowpath_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    read_fastpath_.fetch_add(1, std::memory_order_relaxed);
   }
-  return out;
+  if (m >= snap->rings.size()) throw std::invalid_argument("coral_overlay: bad member");
+  return snap->rings[m];  // copy; ring pointers are stable for our lifetime
+}
+
+std::uint64_t coral_overlay::ring_read_fastpath() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& lvl : levels_) {
+    for (const auto& c : lvl.clusters) total += c->read_fastpath();
+  }
+  return total;
+}
+
+std::uint64_t coral_overlay::ring_read_slowpath() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& lvl : levels_) {
+    for (const auto& c : lvl.clusters) total += c->read_slowpath();
+  }
+  return total;
 }
 
 // ----- event-driven path (single-threaded sim) ---------------------------------

@@ -5,10 +5,14 @@
 //
 // Mirrors sloppy_dht's two access paths: the event-driven put/get drive the
 // deterministic sim loop; put_now/get_now run the same level walk inline for
-// concurrent worker threads (membership is guarded here, ring state by each
-// cluster's own mutex).
+// concurrent worker threads. The sync path reads membership (which rings a
+// member belongs to) from an epoch-protected snapshot rebuilt only after a
+// join — the single structural mutator — so steady-state reads take no
+// membership mutex; each cluster's ring state is likewise snapshot-read
+// inside sloppy_dht.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -31,6 +35,7 @@ struct cluster_config {
 class coral_overlay {
  public:
   coral_overlay(sim::network& net, cluster_config config = {});
+  ~coral_overlay();
 
   using member_id = std::size_t;
 
@@ -84,6 +89,18 @@ class coral_overlay {
   // Which cluster member `m` belongs to at `level` (for tests).
   [[nodiscard]] std::size_t cluster_of(member_id m, std::size_t level) const;
 
+  // Membership-snapshot read accounting (mirrors sloppy_dht's counters):
+  // fastpath = rings resolved without the membership mutex.
+  [[nodiscard]] std::uint64_t read_fastpath() const {
+    return read_fastpath_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t read_slowpath() const {
+    return read_slowpath_.load(std::memory_order_relaxed);
+  }
+  // Aggregated ring-level read counters across every cluster at every level.
+  [[nodiscard]] std::uint64_t ring_read_fastpath() const;
+  [[nodiscard]] std::uint64_t ring_read_slowpath() const;
+
  private:
   struct level {
     double threshold;
@@ -99,18 +116,33 @@ class coral_overlay {
     std::vector<std::pair<std::size_t, sloppy_dht::member_id>> rings;
   };
 
+  // Immutable membership map published to sync-path readers: per member,
+  // the (ring, member-id) pair at every level. Ring pointers are stable for
+  // the overlay's lifetime (clusters are never destroyed), so the copy a
+  // reader takes stays valid after the epoch guard drops.
+  struct overlay_snapshot {
+    std::uint64_t version = 0;
+    std::vector<std::vector<std::pair<sloppy_dht*, sloppy_dht::member_id>>> rings;
+  };
+
   void get_from_level(member_id m, std::size_t level_index, const std::string& key,
                       std::shared_ptr<std::function<void(std::vector<std::string>, int)>> done);
-  // Snapshot of a member's (ring, member-id) pairs per level, taken under the
-  // membership mutex so the sync path can walk rings without holding it.
+  // A member's (ring, member-id) pairs per level, from the published
+  // snapshot when fresh (no membership mutex), rebuilt under it otherwise.
   [[nodiscard]] std::vector<std::pair<sloppy_dht*, sloppy_dht::member_id>> rings_of(
       member_id m) const;
+  const overlay_snapshot* refresh_snapshot_locked() const;
 
   sim::network& net_;
   cluster_config config_;
   mutable std::mutex mu_;      // guards levels_/members_ membership
   std::vector<level> levels_;  // index 0 = global
   std::vector<member> members_;
+
+  mutable std::atomic<const overlay_snapshot*> snap_{nullptr};
+  std::atomic<std::uint64_t> version_{1};
+  mutable std::atomic<std::uint64_t> read_fastpath_{0};
+  mutable std::atomic<std::uint64_t> read_slowpath_{0};
 };
 
 }  // namespace nakika::overlay

@@ -8,6 +8,70 @@ namespace nakika::overlay {
 sloppy_dht::sloppy_dht(sim::network& net, dht_config config)
     : net_(net), config_(config) {}
 
+sloppy_dht::~sloppy_dht() {
+  // Retire the published snapshot and drain what the epoch allows. By
+  // contract no reader is active during destruction, so this frees
+  // everything unless an unrelated structure elsewhere holds a guard open.
+  const ring_snapshot* cur = snap_.exchange(nullptr, std::memory_order_acq_rel);
+  auto& domain = util::ebr_domain::instance();
+  if (cur != nullptr) {
+    domain.retire(const_cast<ring_snapshot*>(cur),
+                  [](void* p) { delete static_cast<ring_snapshot*>(p); });
+  }
+  domain.flush();
+}
+
+void sloppy_dht::mark_store_mutated(member& m) {
+  m.dirty = true;
+  version_.fetch_add(1, std::memory_order_release);
+}
+
+const sloppy_dht::ring_snapshot* sloppy_dht::refresh_snapshot_locked() {
+  const ring_snapshot* cur = snap_.load(std::memory_order_acquire);
+  const std::uint64_t v = version_.load(std::memory_order_acquire);
+  if (cur != nullptr && cur->version == v && cur->members.size() == members_.size()) {
+    return cur;  // another reader rebuilt while we waited on mu_
+  }
+  auto* fresh = new ring_snapshot;
+  fresh->version = v;
+  fresh->members.reserve(members_.size());
+  for (auto& m : members_) {
+    if (m.dirty || m.snap == nullptr) {
+      auto sm = std::make_shared<snap_member>();
+      sm->alive = m.alive;
+      sm->self = m.self;
+      sm->host = m.host;
+      sm->contacts = m.table->all_contacts();
+      sm->store = m.store;
+      m.snap = std::move(sm);
+      m.dirty = false;
+    }
+    fresh->members.push_back(m.snap);
+  }
+  const ring_snapshot* old = snap_.exchange(fresh, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    util::ebr_domain::instance().retire(
+        const_cast<ring_snapshot*>(old),
+        [](void* p) { delete static_cast<ring_snapshot*>(p); });
+  }
+  return fresh;
+}
+
+std::size_t sloppy_dht::find_in_snapshot(const ring_snapshot& snap, const node_id& id) {
+  for (std::size_t i = 0; i < snap.members.size(); ++i) {
+    if (snap.members[i]->alive && snap.members[i]->self.id == id) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+bool sloppy_dht::holder_dead_in(const ring_snapshot& snap, const std::string& value) {
+  const node_id id = node_id::hash_of(value);
+  for (const auto& m : snap.members) {
+    if (m->self.id == id) return !m->alive;
+  }
+  return false;  // not a member name: nothing to judge, keep the value
+}
+
 struct sloppy_dht::lookup_state {
   member_id via = 0;
   node_id target;
@@ -52,9 +116,12 @@ sloppy_dht::member_id sloppy_dht::join(sim::node_id host, const std::string& nam
     for (std::size_t i = 0; i < members_.size() - 1 && told < 3; ++i) {
       if (!members_[i].alive) continue;
       members_[i].table->observe(members_[id].self);
+      mark_routing_mutated(members_[i]);
       ++told;
     }
     lone = members_.size() == 1;
+    // New member ⇒ snapshot indices shift; force readers to rebuild.
+    version_.fetch_add(1, std::memory_order_release);
   }
 
   // Iterative self-lookup fills more distant buckets. Runs outside the ring
@@ -71,6 +138,7 @@ void sloppy_dht::leave(member_id m) {
   if (m >= members_.size()) throw std::invalid_argument("sloppy_dht::leave: bad member");
   members_[m].alive = false;
   members_[m].store.clear();
+  mark_store_mutated(members_[m]);
 }
 
 void sloppy_dht::revive(member_id m) {
@@ -87,14 +155,17 @@ void sloppy_dht::revive(member_id m) {
     if (i == m || !members_[i].alive) continue;
     self.table->observe(members_[i].self);
     members_[i].table->observe(self.self);
+    mark_routing_mutated(members_[i]);
     ++seeds;
   }
+  mark_store_mutated(self);  // liveness flipped: readers must see it
 }
 
 void sloppy_dht::purge_store(member_id m) {
   std::lock_guard<std::mutex> lock(mu_);
   if (m >= members_.size()) throw std::invalid_argument("sloppy_dht::purge_store: bad member");
   members_[m].store.clear();
+  mark_store_mutated(members_[m]);
 }
 
 bool sloppy_dht::holder_is_dead(const std::string& value) const {
@@ -109,9 +180,11 @@ void sloppy_dht::drop_dangling(member& m, const std::string& key) {
   const auto it = m.store.find(key);
   if (it == m.store.end()) return;
   auto& values = it->second;
+  const std::size_t before = values.size();
   values.erase(std::remove_if(values.begin(), values.end(),
                               [&](const stored_value& sv) { return holder_is_dead(sv.value); }),
                values.end());
+  if (values.size() != before) mark_store_mutated(m);
   if (values.empty()) m.store.erase(it);
 }
 
@@ -172,15 +245,20 @@ void sloppy_dht::prune_expired(member& m, const std::string& key, std::int64_t n
   const auto it = m.store.find(key);
   if (it == m.store.end()) return;
   auto& values = it->second;
+  const std::size_t before = values.size();
   values.erase(std::remove_if(values.begin(), values.end(),
                               [&](const stored_value& sv) { return sv.expires_at <= now; }),
                values.end());
+  if (values.size() != before) mark_store_mutated(m);
   if (values.empty()) m.store.erase(it);
 }
 
 void sloppy_dht::sweep_member(member& m, std::int64_t now) {
+  const std::size_t keys_before = m.store.size();
+  std::size_t values_dropped = 0;
   for (auto it = m.store.begin(); it != m.store.end();) {
     auto& values = it->second;
+    const std::size_t before = values.size();
     values.erase(
         std::remove_if(values.begin(), values.end(),
                        [&](const stored_value& sv) { return sv.expires_at <= now; }),
@@ -193,8 +271,10 @@ void sloppy_dht::sweep_member(member& m, std::int64_t now) {
                                       return a.expires_at < b.expires_at;
                                     }));
     }
+    values_dropped += before - values.size();
     it = values.empty() ? m.store.erase(it) : std::next(it);
   }
+  if (values_dropped != 0 || m.store.size() != keys_before) mark_store_mutated(m);
 }
 
 void sloppy_dht::touch_for_sweep(member& m, std::int64_t now) {
@@ -208,6 +288,7 @@ void sloppy_dht::store_value(member& m, const std::string& key, const std::strin
                              std::int64_t expires_at, std::int64_t now) {
   prune_expired(m, key, now);
   touch_for_sweep(m, now);
+  mark_store_mutated(m);
   auto& values = m.store[key];
   // Refresh an existing copy of the same value.
   for (auto& sv : values) {
@@ -251,6 +332,7 @@ void sloppy_dht::rpc(member_id from, const contact& to, std::function<void(membe
     }
     // The target hears from the caller and refreshes its routing table.
     target->table->observe(members_[from].self);
+    mark_routing_mutated(*target);
     net_.run_cpu(to.host, config_.rpc_cpu_seconds, [this, to, from_host,
                                                     handler = std::move(handler)]() {
       member* target_now = find_member(to.id);
@@ -324,6 +406,7 @@ void sloppy_dht::lookup_step(const std::shared_ptr<lookup_state>& state) {
           if (!known) state->shortlist.push_back(c);
           members_[state->via].table->observe(c);
         }
+        mark_routing_mutated(members_[state->via]);
         std::sort(state->shortlist.begin(), state->shortlist.end(),
                   [&](const contact& a, const contact& b) {
                     return a.id.distance_to(state->target) < b.id.distance_to(state->target);
@@ -335,6 +418,7 @@ void sloppy_dht::lookup_step(const std::shared_ptr<lookup_state>& state) {
       },
       [this, state, to]() {
         members_[state->via].table->remove(to.id);
+        mark_routing_mutated(members_[state->via]);
         lookup_step(state);
       });
 }
@@ -438,9 +522,11 @@ void sloppy_dht::walk_now(member& via, const std::string& key, std::int64_t now,
     member* m = find_member(to.id);
     if (m == nullptr) {
       via.table->remove(to.id);
+      mark_routing_mutated(via);
       continue;
     }
     m->table->observe(via.self);
+    mark_routing_mutated(*m);
     if (collect_values) {
       prune_expired(*m, key, now);
       drop_dangling(*m, key);
@@ -459,6 +545,7 @@ void sloppy_dht::walk_now(member& via, const std::string& key, std::int64_t now,
       if (!known) path.push_back(c);
       via.table->observe(c);
     }
+    mark_routing_mutated(via);
     std::sort(path.begin(), path.end(), [&](const contact& a, const contact& b) {
       return a.id.distance_to(target) < b.id.distance_to(target);
     });
@@ -466,24 +553,106 @@ void sloppy_dht::walk_now(member& via, const std::string& key, std::int64_t now,
   }
 }
 
+void sloppy_dht::walk_snapshot(const ring_snapshot& snap, std::size_t via_index,
+                               const std::string& key, std::int64_t now, sync_result& out,
+                               std::vector<std::size_t>& scrub) const {
+  // Collection filters what the locked path scrubbed physically: expired
+  // values by TTL, dangling holders by snapshot liveness. The snapshot
+  // stores stay untouched; members that held filtered values are reported
+  // via `scrub` so the caller drops them for real under the ring mutex.
+  const snap_member& via = *snap.members[via_index];
+  const auto collect = [&](const snap_member& m, std::size_t index) {
+    const auto it = m.store.find(key);
+    if (it == m.store.end()) return false;
+    bool any = false;
+    bool filtered = false;
+    for (const auto& sv : it->second) {
+      if (sv.expires_at <= now || holder_dead_in(snap, sv.value)) {
+        filtered = true;
+        continue;
+      }
+      out.values.push_back(sv.value);
+      any = true;
+    }
+    if (filtered) scrub.push_back(index);
+    return any;
+  };
+  if (collect(via, via_index)) return;  // zero hops: answered from the local store
+
+  const node_id target = node_id::hash_of(key);
+  const auto by_distance = [&](const contact& a, const contact& b) {
+    return a.id.distance_to(target) < b.id.distance_to(target);
+  };
+  std::vector<contact> path = via.contacts;
+  std::sort(path.begin(), path.end(), by_distance);
+  if (path.size() > config_.k) path.resize(config_.k);
+  std::set<node_id> queried{via.self.id};
+  int budget = static_cast<int>(config_.k) * 3;
+
+  while (budget-- > 0) {
+    const contact* next = nullptr;
+    for (const auto& c : path) {
+      if (!queried.contains(c.id)) {
+        next = &c;
+        break;
+      }
+    }
+    if (next == nullptr) break;
+    const contact to = *next;
+    queried.insert(to.id);
+    ++out.hops;
+    out.latency_seconds += rpc_cost(via.host, to.host);
+
+    const std::size_t mi = find_in_snapshot(snap, to.id);
+    if (mi == static_cast<std::size_t>(-1)) continue;  // dead or unknown
+    const snap_member* m = snap.members[mi].get();
+    if (collect(*m, mi)) return;
+    std::vector<contact> more = m->contacts;
+    std::sort(more.begin(), more.end(), by_distance);
+    if (more.size() > config_.k) more.resize(config_.k);
+    more.push_back(m->self);
+    for (const auto& c : more) {
+      const bool known = std::any_of(path.begin(), path.end(),
+                                     [&](const contact& s) { return s.id == c.id; });
+      if (!known) path.push_back(c);
+    }
+    std::sort(path.begin(), path.end(), by_distance);
+    if (path.size() > config_.k * 2) path.resize(config_.k * 2);
+  }
+}
+
 sloppy_dht::sync_result sloppy_dht::get_now(member_id via, const std::string& key,
                                             std::int64_t now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (via >= members_.size() || !members_[via].alive) {
+  // Lock-free fast path: pin the epoch, read the published snapshot, walk
+  // it. Only a reader that finds the snapshot stale (some mutation bumped
+  // the version since the last rebuild) touches the ring mutex.
+  util::ebr_domain::guard g;
+  const ring_snapshot* snap = snap_.load(std::memory_order_acquire);
+  if (snap == nullptr || snap->version != version_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snap = refresh_snapshot_locked();
+    }
+    read_slowpath_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    read_fastpath_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (via >= snap->members.size() || !snap->members[via]->alive) {
     throw std::invalid_argument("sloppy_dht::get_now: bad member");
   }
   sync_result out;
-  member& origin = members_[via];
-  touch_for_sweep(origin, now);
-  prune_expired(origin, key, now);
-  drop_dangling(origin, key);
-  const auto it = origin.store.find(key);
-  if (it != origin.store.end() && !it->second.empty()) {
-    for (const auto& sv : it->second) out.values.push_back(sv.value);
-    return out;  // zero hops: answered from the local store
+  std::vector<std::size_t> scrub;
+  walk_snapshot(*snap, via, key, now, out, scrub);
+  if (!scrub.empty()) {
+    // The walk saw expired or dangling values — drop them physically, as the
+    // locked lookup used to. Liveness/TTL are re-judged against current
+    // state under the lock, so a holder revived since the snapshot is kept.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::size_t idx : scrub) {
+      prune_expired(members_[idx], key, now);
+      drop_dangling(members_[idx], key);
+    }
   }
-  std::vector<contact> path;
-  walk_now(origin, key, now, /*collect_values=*/true, out, path);
   return out;
 }
 

@@ -13,12 +13,19 @@
 //     worker threads (the threaded peer transport). It never touches the
 //     event loop; the virtual network cost the sim would have charged is
 //     returned as accounted latency instead.
-// Membership, per-member stores, and routing tables are guarded by one ring
-// mutex, so concurrent put_now/get_now/purge_expired/leave are TSan-clean.
-// join is setup-time only: its bootstrap self-lookup is event-driven sim
-// traffic, so complete every join before concurrent serving starts.
+// Writers (put_now, leave/revive/purge, the event-driven path) are guarded
+// by one ring mutex; get_now reads an immutable epoch-protected snapshot of
+// the ring (liveness, flattened routing contacts, stores) and takes NO lock
+// in steady state. Every mutation bumps a version counter; the first reader
+// to observe a stale snapshot rebuilds it under the mutex (per-member
+// copy-on-write — clean members share their previous immutable copy) and
+// publishes it, retiring the old snapshot behind util::ebr so concurrent
+// readers finish safely. join is setup-time only: its bootstrap self-lookup
+// is event-driven sim traffic, so complete every join before concurrent
+// serving starts.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -30,6 +37,7 @@
 
 #include "overlay/routing_table.hpp"
 #include "sim/network.hpp"
+#include "util/ebr.hpp"
 
 namespace nakika::overlay {
 
@@ -50,6 +58,7 @@ struct dht_config {
 class sloppy_dht {
  public:
   sloppy_dht(sim::network& net, dht_config config = {});
+  ~sloppy_dht();
 
   using member_id = std::size_t;
 
@@ -109,10 +118,35 @@ class sloppy_dht {
   [[nodiscard]] std::size_t stored_keys(member_id m) const;
   [[nodiscard]] sim::network& net() { return net_; }
 
+  // Read-side accounting for the lock-free get_now (the zero-read-lock
+  // assertion test rides on these): fastpath = served entirely from the
+  // published snapshot; slowpath = the snapshot was stale (a mutation since
+  // the last read) and the reader took the ring mutex to rebuild it.
+  [[nodiscard]] std::uint64_t read_fastpath() const {
+    return read_fastpath_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t read_slowpath() const {
+    return read_slowpath_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct stored_value {
     std::string value;
     std::int64_t expires_at;
+  };
+  // Immutable per-member copy published to readers: liveness, identity, the
+  // routing table flattened to a contact list, and the store. Shared between
+  // successive snapshots while the member is untouched (copy-on-write).
+  struct snap_member {
+    bool alive = true;
+    contact self;
+    sim::node_id host = 0;
+    std::vector<contact> contacts;
+    std::map<std::string, std::vector<stored_value>> store;
+  };
+  struct ring_snapshot {
+    std::uint64_t version = 0;
+    std::vector<std::shared_ptr<const snap_member>> members;
   };
   struct member {
     bool alive = true;
@@ -121,6 +155,10 @@ class sloppy_dht {
     std::unique_ptr<routing_table> table;
     std::map<std::string, std::vector<stored_value>> store;
     std::size_t ops_since_sweep = 0;
+    // Snapshot bookkeeping: dirty means the published copy (snap) no longer
+    // matches this member and must be re-copied at the next rebuild.
+    bool dirty = true;
+    std::shared_ptr<const snap_member> snap;
   };
 
   // Iterative lookup driving closure. alpha = 1 outstanding RPC.
@@ -153,17 +191,47 @@ class sloppy_dht {
   void store_value(member& m, const std::string& key, const std::string& value,
                    std::int64_t expires_at, std::int64_t now);
 
-  // The synchronous iterative walk shared by get_now/put_now. Walks toward
-  // hash(key); when `collect_values` is set, stops early at the first member
-  // holding non-expired values for `key` (filling out.values). Always fills
-  // `path` with the walked shortlist sorted by distance.
+  // The synchronous store walk used by put_now (under mu_). Walks toward
+  // hash(key), learning/scrubbing routing state as it goes; fills `path`
+  // with the walked shortlist sorted by distance.
   void walk_now(member& via, const std::string& key, std::int64_t now,
                 bool collect_values, sync_result& out, std::vector<contact>& path);
+
+  // --- snapshot plumbing (lock-free get_now) -----------------------------------
+  // A store/liveness mutation: recopy this member at the next rebuild AND
+  // force readers to rebuild (version bump).
+  void mark_store_mutated(member& m);
+  // A routing-only mutation (observe/remove): recopy at the next rebuild,
+  // but don't force one — slightly stale contacts are harmless, stale
+  // stores are not.
+  static void mark_routing_mutated(member& m) { m.dirty = true; }
+  // Returns a snapshot matching the current version, rebuilding and
+  // publishing (old one retired behind the EBR epoch) if needed. mu_ held.
+  const ring_snapshot* refresh_snapshot_locked();
+  // The pure-read iterative walk over a snapshot: filters TTL-expired and
+  // dangling-holder values at collection time, never mutates anything.
+  // Members whose stores held filtered values are appended to `scrub` so the
+  // caller can physically drop them afterwards (under the ring mutex) —
+  // lookups stay destructive toward dangling/expired state, as the locked
+  // path was, without steady-state reads ever touching the lock.
+  void walk_snapshot(const ring_snapshot& snap, std::size_t via_index,
+                     const std::string& key, std::int64_t now, sync_result& out,
+                     std::vector<std::size_t>& scrub) const;
+  // Index of the live member with this overlay id, or npos.
+  [[nodiscard]] static std::size_t find_in_snapshot(const ring_snapshot& snap,
+                                                    const node_id& id);
+  [[nodiscard]] static bool holder_dead_in(const ring_snapshot& snap,
+                                           const std::string& value);
 
   sim::network& net_;
   dht_config config_;
   mutable std::mutex mu_;  // guards members_ (stores, routing tables, liveness)
   std::vector<member> members_;
+
+  std::atomic<const ring_snapshot*> snap_{nullptr};
+  std::atomic<std::uint64_t> version_{1};
+  mutable std::atomic<std::uint64_t> read_fastpath_{0};
+  mutable std::atomic<std::uint64_t> read_slowpath_{0};
 };
 
 }  // namespace nakika::overlay

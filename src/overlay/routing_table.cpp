@@ -34,6 +34,15 @@ std::vector<contact> routing_table::closest(const node_id& target, std::size_t c
   return all;
 }
 
+std::vector<contact> routing_table::all_contacts() const {
+  std::vector<contact> all;
+  all.reserve(size());
+  for (const auto& bucket : buckets_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  return all;
+}
+
 bool routing_table::remove(const node_id& id) {
   const int index = owner_.bucket_index(id);
   if (index < 0) return false;

@@ -32,6 +32,10 @@ class routing_table {
   // Up to `count` known contacts closest to `target`, closest first.
   [[nodiscard]] std::vector<contact> closest(const node_id& target, std::size_t count) const;
 
+  // Every known contact, bucket order (for flattening into read-only ring
+  // snapshots — see sloppy_dht's lock-free get_now).
+  [[nodiscard]] std::vector<contact> all_contacts() const;
+
   bool remove(const node_id& id);
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t bucket_capacity() const { return k_; }

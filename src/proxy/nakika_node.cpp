@@ -5,6 +5,7 @@
 #include "http/wire.hpp"
 #include "overlay/redirector.hpp"
 #include "proxy/plain_proxy.hpp"
+#include "util/ebr.hpp"
 #include "util/logging.hpp"
 
 namespace nakika::proxy {
@@ -35,7 +36,7 @@ nakika_node::nakika_node(sim::network& net, sim::node_id host,
       pipeline_(config_.pipeline),
       resources_(config_.capacities),
       content_cache_(config_.content_cache_bytes, config_.content_cache_shards,
-                     config_.content_cache_borrowing),
+                     config_.content_cache_borrowing, config_.cache_admission),
       script_cache_(config_.script_cache_entries),
       no_script_(config_.default_script_ttl > 0 ? config_.default_script_ttl : 300,
                  config_.script_cache_entries),
@@ -834,10 +835,14 @@ void nakika_node::handle(const http::request& original,
     // backpressure signal and rejects immediately on the caller's thread.
     auto done_shared =
         std::make_shared<std::function<void(http::response)>>(std::move(done));
-    const bool accepted =
-        pool_->try_submit([this, r = original, done_shared](core::worker_context& wc) {
+    // Affinity by site: one site's requests prefer one worker's ring, so its
+    // sandbox reuse and cache lines stay warm; stealing rebalances skew.
+    const std::uint64_t affinity = std::hash<std::string>{}(original.url.site());
+    const bool accepted = pool_->try_submit(
+        [this, r = original, done_shared](core::worker_context& wc) {
           execute_on_worker(r, wc, *done_shared);
-        });
+        },
+        affinity);
     if (!accepted) {
       counters_.add(0, counter_field::offered);
       counters_.add(0, counter_field::rejected);
@@ -1135,7 +1140,33 @@ obs::telemetry_snapshot nakika_node::telemetry() const {
   snap.counters["cache.expirations"] = cs.expirations;
   snap.counters["cache.quota_rejections"] = cs.quota_rejections;
   snap.counters["cache.oversized_rejections"] = cs.oversized_rejections;
+  snap.counters["cache.admission_rejected"] = cs.admission_rejected;
   snap.counters["cache.bytes_used"] = content_cache_.bytes_used();
+
+  // Worker-queue health: aggregate depth/steal/overflow counters plus a
+  // per-worker breakdown so skewed site affinity shows up as one hot ring
+  // with high steal counts on its neighbors.
+  if (pool_ != nullptr) {
+    snap.counters["queue.depth"] = pool_->queue_depth();
+    snap.counters["queue.peak_depth"] = pool_->peak_queue_depth();
+    snap.counters["queue.steals"] = pool_->total_steals();
+    snap.counters["queue.overflow"] = pool_->overflow_submits();
+    for (std::size_t w = 0; w < pool_->workers(); ++w) {
+      const std::string prefix = "queue.worker" + std::to_string(w);
+      snap.counters[prefix + ".depth"] = pool_->queue_depth(w);
+      snap.counters[prefix + ".steals"] = pool_->steals(w);
+    }
+  }
+
+  // Overlay read-path accounting (worker-mode clusters): fastpath reads took
+  // no ring/membership mutex; epoch counters track snapshot reclamation.
+  if (transport_ != nullptr) {
+    const net::peer_transport::overlay_read_stats os = transport_->read_stats();
+    snap.counters["overlay.read_fastpath"] = os.membership_fastpath + os.ring_fastpath;
+    snap.counters["overlay.read_slowpath"] = os.membership_slowpath + os.ring_slowpath;
+    snap.counters["overlay.epoch_retired"] = util::ebr_domain::instance().retired_count();
+    snap.counters["overlay.epoch_reclaimed"] = util::ebr_domain::instance().reclaimed_count();
+  }
   snap.counters["chunk_cache.hits"] = chunk_cache_.hits();
   snap.counters["chunk_cache.misses"] = chunk_cache_.misses();
   snap.counters["resources.terminations"] = resources_.terminations();

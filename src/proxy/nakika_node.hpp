@@ -71,6 +71,10 @@ struct node_config {
   std::size_t content_cache_bytes = 256 * 1024 * 1024;
   std::size_t content_cache_shards = 0;
   bool content_cache_borrowing = true;
+  // Scan-resistant admission (probation FIFO + ghost readmission, see
+  // cache::http_cache): one-hit-wonder floods evict each other instead of
+  // the hot set. Off = classic LRU insert-at-head.
+  bool cache_admission = true;
 
   // --- multi-tenant isolation (scenario tier) ---------------------------------
   // Per-tenant (URL host) content-cache quotas: a configured tenant's cached

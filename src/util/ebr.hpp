@@ -1,0 +1,202 @@
+// Epoch-based reclamation (EBR) for read-mostly snapshot structures
+// (ROADMAP: "RCU or epoch-based reclamation for DHT routing tables and
+// overlay membership so lookups are read-lock-free").
+//
+// The protocol is the classic epoch scheme:
+//   * Readers pin the current global epoch for the duration of a critical
+//     section (an `ebr_domain::guard`). Pinning is one seq_cst store into a
+//     thread-private, cache-line-padded slot — no shared mutex, no CAS.
+//   * Writers publish a new snapshot pointer (release store), then hand the
+//     old one to `retire()`. Retired objects are stamped with the epoch at
+//     retirement and freed only once every pinned reader has advanced past
+//     that epoch — at which point no reader can still hold the pointer.
+//
+// Readers are wait-free; writers serialize among themselves on a small
+// mutex guarding the retire list (the structures this serves already
+// serialize writers — join/leave/churn — on their own locks). Guards nest:
+// an inner guard on the same thread reuses the outer pin, so snapshot
+// readers may call each other freely.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace nakika::util {
+
+class ebr_domain {
+ private:
+  static constexpr std::uint64_t k_idle = ~std::uint64_t{0};
+  // Upper bound on threads concurrently inside guards; slots are leased per
+  // thread and released at thread exit, so churned threads recycle slots
+  // instead of consuming new ones.
+  static constexpr std::size_t k_max_threads = 128;
+
+  // 64 on every target we build for; a fixed value avoids the ABI-stability
+  // warning std::hardware_destructive_interference_size carries on GCC.
+  static constexpr std::size_t k_cache_line = 64;
+
+  struct alignas(k_cache_line) padded_slot {
+    std::atomic<std::uint64_t> epoch{k_idle};
+    std::atomic<bool> claimed{false};
+    std::uint32_t depth = 0;  // owner-thread only
+  };
+
+ public:
+  // One process-wide domain is enough for every snapshot structure: epochs
+  // advance together, and a retired object waits for the slowest reader in
+  // the process — acceptable because critical sections are short (one DHT
+  // walk or ring scan).
+  static ebr_domain& instance() {
+    static ebr_domain d;
+    return d;
+  }
+
+  ebr_domain() = default;
+  ebr_domain(const ebr_domain&) = delete;
+  ebr_domain& operator=(const ebr_domain&) = delete;
+
+  // RAII read-side critical section. Cheap enough for per-lookup use:
+  // entering is one relaxed load + one seq_cst store on the outermost
+  // guard, leaving is one release store.
+  class guard {
+   public:
+    guard() : slot_(local_slot()) {
+      if (slot_->depth++ == 0) {
+        // seq_cst so the epoch announcement cannot be reordered after the
+        // snapshot-pointer load that follows; the reclaimer's epoch scan
+        // (also seq_cst) then observes either our pin or nothing to wait
+        // for.
+        slot_->epoch.store(
+            instance().global_epoch_.load(std::memory_order_seq_cst),
+            std::memory_order_seq_cst);
+      }
+    }
+    ~guard() {
+      if (--slot_->depth == 0) slot_->epoch.store(k_idle, std::memory_order_release);
+    }
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+
+   private:
+    padded_slot* slot_;
+  };
+
+  // Hands `p` to the domain for deferred deletion. The deleter runs once no
+  // reader pinned at (or before) the current epoch remains; it may run
+  // inside this call, a later retire() call, or flush(). Writer-side only.
+  void retire(void* p, std::function<void(void*)> deleter) {
+    const std::uint64_t e = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(retire_mu_);
+      retired_.push_back(limbo_item{p, std::move(deleter), e});
+      retired_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+    try_reclaim();
+  }
+
+  // Attempts to free everything whose epoch has been vacated. Called by
+  // retire(); also useful from tests and teardown paths.
+  void try_reclaim() {
+    std::vector<limbo_item> ready;
+    {
+      std::lock_guard<std::mutex> lock(retire_mu_);
+      const std::uint64_t horizon = min_active_epoch();
+      auto it = retired_.begin();
+      while (it != retired_.end()) {
+        // An item retired at epoch E was unpublished before the epoch
+        // advanced to E+1, so only readers still pinned at <= E can hold a
+        // reference. Free once every active pin is past E.
+        if (it->epoch < horizon) {
+          ready.push_back(std::move(*it));
+          it = retired_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Deleters run outside retire_mu_ so a deleter that itself retires
+    // (nested snapshots) cannot deadlock.
+    for (auto& item : ready) {
+      item.deleter(item.ptr);
+      reclaimed_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Drains what is reclaimable; for quiescent teardown and tests.
+  void flush() { try_reclaim(); }
+
+  [[nodiscard]] std::uint64_t retired_count() const {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reclaimed_count() const {
+    return reclaimed_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t limbo_size() const {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    return retired_.size();
+  }
+
+ private:
+  struct limbo_item {
+    void* ptr;
+    std::function<void(void*)> deleter;
+    std::uint64_t epoch;
+  };
+
+  [[nodiscard]] std::uint64_t min_active_epoch() const {
+    std::uint64_t min = global_epoch_.load(std::memory_order_seq_cst);
+    for (const auto& s : slots_) {
+      const std::uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+      if (e < min) min = e;
+    }
+    return min;
+  }
+
+  // Releases the slot at thread exit so short-lived threads (churn tests,
+  // scenario workers) don't exhaust the fixed slot table.
+  struct slot_lease {
+    padded_slot* s = nullptr;
+    ~slot_lease() {
+      if (s != nullptr) {
+        s->epoch.store(k_idle, std::memory_order_release);
+        s->claimed.store(false, std::memory_order_release);
+      }
+    }
+  };
+
+  static padded_slot* local_slot() {
+    thread_local slot_lease lease;
+    if (lease.s == nullptr) {
+      ebr_domain& d = instance();
+      for (;;) {
+        for (auto& s : d.slots_) {
+          bool expected = false;
+          if (!s.claimed.load(std::memory_order_relaxed) &&
+              s.claimed.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+            lease.s = &s;
+            return lease.s;
+          }
+        }
+        // All slots claimed: only possible with > k_max_threads concurrent
+        // guard users. Spin until one exits — throughput degrades, memory
+        // safety never does.
+      }
+    }
+    return lease.s;
+  }
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::vector<padded_slot> slots_{k_max_threads};
+  mutable std::mutex retire_mu_;
+  std::vector<limbo_item> retired_;
+  std::atomic<std::uint64_t> retired_total_{0};
+  std::atomic<std::uint64_t> reclaimed_total_{0};
+};
+
+}  // namespace nakika::util
+

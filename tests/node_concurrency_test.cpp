@@ -386,5 +386,117 @@ TEST(NodeConcurrency, ShapesOnVsOffDigestByteIdentical) {
   EXPECT_EQ(shaped, dictionary);
 }
 
+// ----- work-stealing pool unit tier ---------------------------------------------
+
+// queue_depth() is the admission count; the per-ring depths plus the
+// overflow deque must account for exactly the same jobs, and the peak
+// watermark must have seen the full backlog.
+TEST(WorkerPool, DepthAggregationAcrossRingsAndOverflow) {
+  core::worker_pool_config cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 64;
+  core::worker_pool pool(cfg);
+
+  // Pin both workers inside long-running jobs so later submits stay queued.
+  std::atomic<bool> release{false};
+  std::atomic<int> running{0};
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(pool.try_submit([&](core::worker_context&) {
+      running.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    }));
+  }
+  while (running.load() < 2) std::this_thread::yield();
+
+  constexpr std::size_t k_backlog = 40;
+  for (std::size_t i = 0; i < k_backlog; ++i) {
+    ASSERT_TRUE(pool.try_submit([](core::worker_context&) {}, /*affinity=*/i));
+  }
+  EXPECT_EQ(pool.queue_depth(), k_backlog);
+  EXPECT_EQ(pool.queue_depth(0) + pool.queue_depth(1) + pool.overflow_depth(), k_backlog)
+      << "per-ring depths plus overflow must equal the aggregate";
+  EXPECT_GE(pool.peak_queue_depth(), k_backlog);
+  EXPECT_LE(pool.peak_queue_depth(), k_backlog + 2);  // + the two pinned jobs
+
+  release.store(true);
+  pool.drain();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.queue_depth(0) + pool.queue_depth(1) + pool.overflow_depth(), 0u);
+  EXPECT_EQ(pool.executed(), k_backlog + 2);
+  EXPECT_EQ(pool.job_exceptions(), 0u);
+}
+
+// Deterministic steal scenario: one worker is pinned inside a job, every
+// subsequent submit targets the pinned worker's ring — the only way the idle
+// sibling can run them is by stealing.
+TEST(WorkerPool, IdleWorkerStealsFromPinnedSiblingsRing) {
+  core::worker_pool_config cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 128;
+  core::worker_pool pool(cfg);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> pinned_index{-1};
+  ASSERT_TRUE(pool.try_submit([&](core::worker_context& wc) {
+    pinned_index.store(static_cast<int>(wc.index()));
+    while (!release.load()) std::this_thread::yield();
+  }));
+  while (pinned_index.load() < 0) std::this_thread::yield();
+  const auto hot = static_cast<std::uint64_t>(pinned_index.load());
+  const std::size_t thief = 1 - static_cast<std::size_t>(hot);
+
+  constexpr std::size_t k_jobs = 32;
+  std::atomic<std::size_t> ran{0};
+  for (std::size_t i = 0; i < k_jobs; ++i) {
+    ASSERT_TRUE(pool.try_submit([&ran](core::worker_context&) { ran.fetch_add(1); }, hot));
+  }
+  while (ran.load() < k_jobs) std::this_thread::yield();
+  EXPECT_GE(pool.steals(thief), k_jobs)
+      << "every job the idle sibling ran had to come from the hot ring";
+  EXPECT_GE(pool.total_steals(), k_jobs);
+
+  release.store(true);
+  pool.drain();
+  EXPECT_EQ(pool.executed(), k_jobs + 1);
+  EXPECT_EQ(pool.job_exceptions(), 0u);
+}
+
+// 8-worker stress with skewed affinities and multi-threaded submitters (run
+// under TSan in CI): every job runs exactly once, nothing is lost to a ring,
+// the overflow path, or a steal, and the queue fully drains.
+TEST(WorkerPool, EightWorkerSkewedAffinityStressRunsEveryJobOnce) {
+  core::worker_pool_config cfg;
+  cfg.workers = 8;
+  cfg.queue_capacity = 512;
+  core::worker_pool pool(cfg);
+
+  constexpr std::size_t k_jobs = 20'000;
+  std::vector<std::atomic<int>> runs(k_jobs);
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = p; i < k_jobs; i += 4) {
+        // Zipf-ish skew: most jobs share a handful of affinities.
+        const std::uint64_t affinity = (i % 16 == 0) ? i : i % 3;
+        while (!pool.try_submit([&runs, i](core::worker_context&) {
+          runs[i].fetch_add(1);
+        }, affinity)) {
+          std::this_thread::yield();  // full queue: retry (backpressure)
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.drain();
+
+  for (std::size_t i = 0; i < k_jobs; ++i) {
+    ASSERT_EQ(runs[i].load(), 1) << "job " << i << " lost or duplicated";
+  }
+  EXPECT_EQ(pool.executed(), k_jobs);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.overflow_depth(), 0u);
+  EXPECT_EQ(pool.job_exceptions(), 0u);
+}
+
 }  // namespace
 }  // namespace nakika::proxy

@@ -10,6 +10,7 @@
 #include "overlay/redirector.hpp"
 #include "overlay/routing_table.hpp"
 #include "sim/topology.hpp"
+#include "util/ebr.hpp"
 
 namespace nakika::overlay {
 namespace {
@@ -784,6 +785,149 @@ TEST(Clusters, PurgeMemberStoreDropsItsReplicas) {
   bool has_live = false;
   for (const std::string& v : r.values) has_live |= (v == "p3");
   EXPECT_TRUE(has_live);
+}
+
+// ----- epoch-based reclamation + lock-free read path ---------------------------------
+
+// The perf tentpole's contract: steady-state get_now resolves entirely from
+// the published snapshot. read_slowpath() counts exactly the reads that had
+// to take the ring mutex — after one warm-up rebuild it must stay frozen
+// while thousands of reads stream through the fast path.
+TEST_F(dht_fixture, SteadyStateGetNowNeverTakesRingMutex) {
+  build_mesh(8);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_GE(dht.put_now(members[0], "k" + std::to_string(k), "h1", 1000, 0), 0);
+  }
+  // Warm-up: the first read after the puts rebuilds the snapshot.
+  (void)dht.get_now(members[1], "k0", 0);
+  const std::uint64_t slow_before = dht.read_slowpath();
+  const std::uint64_t fast_before = dht.read_fastpath();
+
+  constexpr int k_reads = 2'000;
+  for (int i = 0; i < k_reads; ++i) {
+    const auto via = members[static_cast<std::size_t>(i) % members.size()];
+    (void)dht.get_now(via, "k" + std::to_string(i % 5), 0);
+  }
+  EXPECT_EQ(dht.read_slowpath(), slow_before)
+      << "a steady-state read took the ring mutex";
+  EXPECT_EQ(dht.read_fastpath(), fast_before + k_reads);
+}
+
+// Same property at the coral layer: after the last join, rings_of resolves
+// from the membership snapshot; only the first post-join read rebuilds.
+TEST(Clusters, SteadyStateLookupsNeverTakeMembershipMutex) {
+  sim::event_loop loop;
+  sim::network net(loop);
+  std::vector<sim::node_id> hosts;
+  for (int i = 0; i < 6; ++i) hosts.push_back(net.add_node("n" + std::to_string(i)));
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) net.set_route(hosts[i], hosts[j], 0.010);
+  }
+  coral_overlay overlay(net);
+  std::vector<coral_overlay::member_id> members;
+  for (auto h : hosts) members.push_back(overlay.join(h, net.node_name(h)));
+  loop.run();
+  ASSERT_GE(overlay.put_now(members[0], "key", "n0", 1000, 0), 0);
+  (void)overlay.get_now(members[1], "key", 0);  // warm-up rebuilds
+  const std::uint64_t membership_slow = overlay.read_slowpath();
+  const std::uint64_t ring_slow = overlay.ring_read_slowpath();
+  for (int i = 0; i < 500; ++i) {
+    (void)overlay.get_now(members[static_cast<std::size_t>(i) % members.size()], "key", 0);
+  }
+  EXPECT_EQ(overlay.read_slowpath(), membership_slow);
+  EXPECT_EQ(overlay.ring_read_slowpath(), ring_slow);
+  EXPECT_GT(overlay.read_fastpath(), 0u);
+  EXPECT_GT(overlay.ring_read_fastpath(), 0u);
+}
+
+// EBR torture (run under ASan in CI): readers chase a shared pointer that a
+// writer keeps swapping and retiring through the global domain. A reclaim
+// racing a pinned reader is a use-after-free ASan would catch; torn blobs
+// would show up as mixed words.
+TEST(EpochReclamation, RetireWhileReadersPinnedNeverFreesEarly) {
+  struct blob {
+    std::uint64_t words[8];
+  };
+  auto& domain = util::ebr_domain::instance();
+  const std::uint64_t retired_before = domain.retired_count();
+
+  std::atomic<blob*> shared{new blob{{0, 0, 0, 0, 0, 0, 0, 0}}};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        util::ebr_domain::guard g;
+        const blob* b = shared.load(std::memory_order_acquire);
+        const std::uint64_t first = b->words[0];
+        for (int w = 1; w < 8; ++w) {
+          if (b->words[w] != first) torn.fetch_add(1);
+        }
+      }
+    });
+  }
+  constexpr std::uint64_t k_swaps = 2'000;
+  for (std::uint64_t i = 1; i <= k_swaps; ++i) {
+    auto* fresh = new blob{{i, i, i, i, i, i, i, i}};
+    blob* old = shared.exchange(fresh, std::memory_order_acq_rel);
+    domain.retire(old, [](void* p) { delete static_cast<blob*>(p); });
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  delete shared.exchange(nullptr, std::memory_order_acq_rel);
+  domain.flush();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(domain.retired_count() - retired_before, k_swaps);
+  EXPECT_EQ(domain.limbo_size(), 0u) << "flush with no pinned readers must reclaim all";
+}
+
+// Snapshot reads racing churn (run under TSan in CI): crash/revive and puts
+// force continuous snapshot retirement while readers walk old epochs.
+TEST_F(dht_fixture, SnapshotReadsRaceChurnWithoutRaces) {
+  build_mesh(10);
+  sloppy_dht dht(net);
+  std::vector<sloppy_dht::member_id> members;
+  for (auto h : hosts) members.push_back(dht.join(h, net.node_name(h)));
+  loop.run();
+  for (int k = 0; k < 7; ++k) {
+    ASSERT_GE(dht.put_now(members[0], "k" + std::to_string(k), "h2", 1000, 0), 0);
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    for (int i = 0; i < 80; ++i) {
+      dht.leave(members[9]);
+      dht.revive(members[9]);
+      (void)dht.put_now(members[0], "k" + std::to_string(i % 7), "h2", 1000, 0);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> reads{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      int i = 0;
+      while (!stop.load() || i < 200) {
+        const auto via = members[static_cast<std::size_t>(t * 2 + i) % 9];
+        (void)dht.get_now(via, "k" + std::to_string(i % 7), 0);
+        reads.fetch_add(1);
+        ++i;
+      }
+    });
+  }
+  churner.join();
+  for (auto& r : readers) r.join();
+
+  EXPECT_GE(reads.load(), 800u);
+  EXPECT_EQ(dht.member_count(), members.size());
+  // Every read went through exactly one of the two accounted paths.
+  EXPECT_GE(dht.read_fastpath() + dht.read_slowpath(), reads.load());
 }
 
 }  // namespace

@@ -292,6 +292,109 @@ TEST(ShardedCacheBorrowing, HotShardBorrowsIdleCapacity) {
   EXPECT_LE(c.bytes_used(), capacity);
 }
 
+// ----- scan-resistant admission -------------------------------------------------------
+
+// The admission tentpole's core property: a sequential scan of one-hit
+// wonders much larger than the cache must not evict a promoted hot set.
+// New keys churn through the probation FIFO; keys read a second time live in
+// the main LRU, which the scan never reaches once probation holds its share.
+TEST(CacheAdmission, ScanCannotEvictPromotedHotSet) {
+  constexpr std::size_t capacity = 64 * 1024;
+  cache::http_cache c(capacity, /*shard_count=*/1, /*shard_borrowing=*/true,
+                      /*admission=*/true);
+  ASSERT_TRUE(c.admission_enabled());
+  const http::response body =
+      http::make_response(200, "t", util::make_body(std::string(1024, 'h')));
+
+  // Promote a hot set (~31% of capacity): first access inserts on probation,
+  // second access promotes into main.
+  std::vector<std::string> hot;
+  for (int i = 0; i < 16; ++i) hot.push_back("http://hot/" + std::to_string(i));
+  for (const auto& url : hot) ASSERT_TRUE(c.put_with_expiry(url, body, 10'000, 0));
+  EXPECT_EQ(c.probation_count(), hot.size());
+  for (const auto& url : hot) ASSERT_TRUE(c.get(url, 1).has_value());
+  EXPECT_EQ(c.probation_count(), 0u) << "a hit on probation must promote";
+
+  // Scan: ~8x the cache in never-reread keys.
+  for (int i = 0; i < 400; ++i) {
+    c.put_with_expiry("http://scan/" + std::to_string(i), body, 10'000, 1);
+  }
+
+  for (const auto& url : hot) {
+    EXPECT_TRUE(c.get(url, 2).has_value()) << url << " evicted by a one-pass scan";
+  }
+  EXPECT_LE(c.bytes_used(), capacity);
+  EXPECT_GT(c.stats().admission_rejected, 0u)
+      << "scan victims must be counted as admission rejections";
+
+  // Control: with admission off (pure LRU) the same scan flushes the hot set.
+  cache::http_cache lru(capacity, 1, true, /*admission=*/false);
+  for (const auto& url : hot) ASSERT_TRUE(lru.put_with_expiry(url, body, 10'000, 0));
+  for (const auto& url : hot) ASSERT_TRUE(lru.get(url, 1).has_value());
+  for (int i = 0; i < 400; ++i) {
+    lru.put_with_expiry("http://scan/" + std::to_string(i), body, 10'000, 1);
+  }
+  std::size_t survivors = 0;
+  for (const auto& url : hot) survivors += lru.get(url, 2).has_value() ? 1 : 0;
+  EXPECT_LT(survivors, hot.size()) << "LRU control should thrash under the scan";
+}
+
+// Ghost readmission: a key demoted from probation that comes back is
+// admitted straight into main (its return proves reuse), so the next scan
+// cannot displace it again.
+TEST(CacheAdmission, GhostReadmissionSkipsProbation) {
+  constexpr std::size_t capacity = 16 * 1024;
+  cache::http_cache c(capacity, 1, true, true);
+  const http::response body =
+      http::make_response(200, "t", util::make_body(std::string(1024, 'g')));
+  ASSERT_TRUE(c.put_with_expiry("http://a/key", body, 10'000, 0));
+  // Pressure well past capacity: the never-read key is the probation tail
+  // and gets demoted. (No get() polling here — a hit would promote it.)
+  for (int i = 0; i < 20; ++i) {
+    c.put_with_expiry("http://fill/" + std::to_string(i), body, 10'000, 0);
+  }
+  ASSERT_FALSE(c.get("http://a/key", 1).has_value());
+  const std::size_t probation_before = c.probation_count();
+  ASSERT_TRUE(c.put_with_expiry("http://a/key", body, 10'000, 1));
+  // Not EQ: making room for the re-insert may itself evict a probation
+  // entry. The point is the readmitted key did not join the FIFO.
+  EXPECT_LE(c.probation_count(), probation_before)
+      << "a ghost-matched re-insert must bypass probation";
+  // A fresh scan now churns probation; the readmitted key stays resident.
+  for (int i = 0; i < 100; ++i) {
+    c.put_with_expiry("http://fill2/" + std::to_string(i), body, 10'000, 1);
+  }
+  EXPECT_TRUE(c.get("http://a/key", 2).has_value());
+}
+
+// Tenant quotas bind unchanged with admission on: probation entries are
+// charged to their tenant, the cap holds at every step, and a configured
+// tenant's promoted set is protected from another tenant's probation churn.
+TEST(CacheAdmission, TenantQuotasHoldWithProbation) {
+  constexpr std::size_t capacity = 64 * 1024;
+  cache::http_cache c(capacity, 1, true, true);
+  c.set_tenant_quota("greedy.org", 8 * 1024);
+  c.set_tenant_quota("victim.org", 8 * 1024);
+  const http::response body =
+      http::make_response(200, "t", util::make_body(std::string(1024, 'q')));
+  // Victim's working set, promoted to main.
+  for (int i = 0; i < 4; ++i) {
+    const std::string url = "http://victim.org/" + std::to_string(i);
+    ASSERT_TRUE(c.put_with_expiry(url, body, 10'000, 0));
+    ASSERT_TRUE(c.get(url, 0).has_value());
+  }
+  // Greedy floods far past its quota: its own probation entries must pay.
+  for (int i = 0; i < 64; ++i) {
+    c.put_with_expiry("http://greedy.org/" + std::to_string(i), body, 10'000, 0);
+    ASSERT_LE(c.tenant_bytes("greedy.org"), c.tenant_quota("greedy.org"))
+        << "after greedy insert " << i;
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(c.get("http://victim.org/" + std::to_string(i), 1).has_value())
+        << "a tenant's resident set must survive another tenant's flood";
+  }
+}
+
 // A get must refresh LRU order within the touched entry's shard: fill one
 // shard to capacity, touch the older entry, add a third — the touched entry
 // survives and the untouched peer is the eviction victim. URLs are bucketed
